@@ -1,0 +1,160 @@
+//! SZ3-M: the multi-fidelity (but not progressive) wrapper (paper Sec. 6.1.3).
+//!
+//! SZ3-M simply compresses the input several times with different error bounds and
+//! stores all the outputs side by side. A retrieval picks the single output whose
+//! bound satisfies the request and decompresses just that one — fast and
+//! single-pass, but the archive is the *sum* of all outputs, so its compression
+//! ratio is poor, and coarse retrievals cannot be reused when refining (the paper's
+//! argument for why multi-fidelity is not progressive).
+
+use ipc_tensor::ArrayD;
+
+use crate::{paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved};
+
+/// Multi-fidelity wrapper around a [`BaseCompressor`].
+pub struct MultiFidelity<C: BaseCompressor> {
+    base: C,
+    name: &'static str,
+    ladder_factors: Vec<f64>,
+}
+
+impl<C: BaseCompressor> MultiFidelity<C> {
+    /// Wrap `base` with the paper's 9-bound ladder.
+    pub fn paper(base: C, name: &'static str) -> Self {
+        Self {
+            base,
+            name,
+            ladder_factors: paper_residual_ladder(1.0),
+        }
+    }
+}
+
+struct Output {
+    bound: f64,
+    blob: Vec<u8>,
+}
+
+/// Archive produced by [`MultiFidelity`].
+pub struct MultiFidelityArchive {
+    outputs: Vec<Output>,
+    decompress: Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>,
+}
+
+impl<C: BaseCompressor + Clone + 'static> ProgressiveScheme for MultiFidelity<C> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn compress(&self, data: &ArrayD<f64>, error_bound: f64) -> Box<dyn ProgressiveArchive> {
+        let outputs = self
+            .ladder_factors
+            .iter()
+            .map(|&factor| {
+                let bound = error_bound * factor;
+                Output {
+                    bound,
+                    blob: self.base.compress(data, bound),
+                }
+            })
+            .collect();
+        let base = self.base.clone();
+        Box::new(MultiFidelityArchive {
+            outputs,
+            decompress: Box::new(move |bytes| base.decompress(bytes)),
+        })
+    }
+}
+
+impl MultiFidelityArchive {
+    fn retrieve_index(&self, idx: usize) -> Retrieved {
+        let output = &self.outputs[idx];
+        Retrieved {
+            data: (self.decompress)(&output.blob),
+            bytes_loaded: output.blob.len(),
+            passes: 1,
+        }
+    }
+}
+
+impl ProgressiveArchive for MultiFidelityArchive {
+    fn total_bytes(&self) -> usize {
+        self.outputs.iter().map(|o| o.blob.len()).sum()
+    }
+
+    fn retrieve_error_bound(&self, target: f64) -> Retrieved {
+        let idx = self
+            .outputs
+            .iter()
+            .position(|o| o.bound <= target)
+            .unwrap_or(self.outputs.len() - 1);
+        self.retrieve_index(idx)
+    }
+
+    fn retrieve_size_budget(&self, max_bytes: usize) -> Retrieved {
+        // Outputs are ordered loosest (smallest) to finest (largest); pick the finest
+        // one that fits.
+        let idx = self
+            .outputs
+            .iter()
+            .rposition(|o| o.blob.len() <= max_bytes)
+            .unwrap_or(0);
+        self.retrieve_index(idx)
+    }
+
+    fn retrieve_full(&self) -> Retrieved {
+        self.retrieve_index(self.outputs.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sz3::Sz3;
+    use ipc_metrics::linf_error;
+    use ipc_tensor::Shape;
+
+    fn field() -> ArrayD<f64> {
+        ArrayD::from_fn(Shape::d3(14, 16, 18), |c| {
+            (c[0] as f64 * 0.25).sin() * 2.0 + c[1] as f64 * 0.05 + (c[2] as f64 * 0.4).cos()
+        })
+    }
+
+    #[test]
+    fn retrievals_are_single_pass_and_bounded() {
+        let data = field();
+        let scheme = MultiFidelity::paper(Sz3::default(), "SZ3-M");
+        let archive = scheme.compress(&data, 1e-6);
+        for target in [1e-1, 1e-3, 1e-6] {
+            let out = archive.retrieve_error_bound(target);
+            assert_eq!(out.passes, 1);
+            let err = linf_error(data.as_slice(), out.data.as_slice());
+            assert!(err <= target * (1.0 + 1e-6), "target {target}: {err}");
+        }
+    }
+
+    #[test]
+    fn archive_stores_every_output_so_total_is_large() {
+        let data = field();
+        let multi = MultiFidelity::paper(Sz3::default(), "SZ3-M").compress(&data, 1e-6);
+        let single = Sz3::default().compress(&data, 1e-6);
+        assert!(
+            multi.total_bytes() > single.len(),
+            "multi-fidelity archive must be larger than a single output"
+        );
+        // But a coarse retrieval loads far less than the archive.
+        let coarse = multi.retrieve_error_bound(1e-1);
+        assert!(coarse.bytes_loaded * 2 < multi.total_bytes());
+    }
+
+    #[test]
+    fn size_budget_picks_finest_fitting_output() {
+        let data = field();
+        let archive = MultiFidelity::paper(Sz3::default(), "SZ3-M").compress(&data, 1e-7);
+        let full = archive.retrieve_full();
+        let constrained = archive.retrieve_size_budget(full.bytes_loaded / 2);
+        assert!(constrained.bytes_loaded <= full.bytes_loaded / 2 || constrained.bytes_loaded == 0);
+        let err_full = linf_error(data.as_slice(), full.data.as_slice());
+        let err_constrained = linf_error(data.as_slice(), constrained.data.as_slice());
+        assert!(err_constrained >= err_full);
+    }
+}

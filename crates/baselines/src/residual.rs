@@ -1,0 +1,225 @@
+//! Residual-based progressive wrapper: SZ3-R, ZFP-R, SPERR-R (paper Sec. 6.1.3).
+//!
+//! The straightforward way to bolt progressiveness onto any error-bounded compressor
+//! is to compress the input with a loose bound, then repeatedly compress the
+//! remaining residual with ever tighter bounds. Retrieval at fidelity level `k`
+//! must load the first `k+1` blocks and run the base decompressor `k+1` times,
+//! summing the outputs — the multi-pass cost that IPComp's single-pass design avoids
+//! and that Figs. 8–9 of the paper quantify.
+
+use ipc_tensor::ArrayD;
+
+use crate::{paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved};
+
+/// Residual-progressive wrapper around a [`BaseCompressor`].
+pub struct Residual<C: BaseCompressor> {
+    base: C,
+    name: &'static str,
+    /// Multiplicative factors applied to the finest error bound, sorted from the
+    /// loosest (first pass) to `1.0` (last pass).
+    ladder_factors: Vec<f64>,
+}
+
+impl<C: BaseCompressor> Residual<C> {
+    /// Wrap `base` with the paper's 9-step factor-4 ladder (`2^16·eb … eb`).
+    pub fn paper(base: C, name: &'static str) -> Self {
+        let ladder = paper_residual_ladder(1.0);
+        Self {
+            base,
+            name,
+            ladder_factors: ladder,
+        }
+    }
+
+    /// Wrap `base` with a custom number of residual passes, each a factor of 4 apart
+    /// (used by the Fig. 9 residual-count sweep).
+    pub fn with_passes(base: C, name: &'static str, passes: usize) -> Self {
+        assert!(passes >= 1, "need at least one pass");
+        let ladder_factors = (0..passes)
+            .rev()
+            .map(|i| 4f64.powi(i as i32))
+            .collect();
+        Self {
+            base,
+            name,
+            ladder_factors,
+        }
+    }
+
+    /// Number of residual passes this configuration produces.
+    pub fn passes(&self) -> usize {
+        self.ladder_factors.len()
+    }
+}
+
+/// One residual pass: the bound it was compressed with and its blob.
+struct Pass {
+    bound: f64,
+    blob: Vec<u8>,
+}
+
+/// Archive produced by [`Residual`].
+pub struct ResidualArchive {
+    passes: Vec<Pass>,
+    decompress: Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>,
+}
+
+impl<C: BaseCompressor + Clone + 'static> ProgressiveScheme for Residual<C> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn compress(&self, data: &ArrayD<f64>, error_bound: f64) -> Box<dyn ProgressiveArchive> {
+        let mut residual = data.clone();
+        let mut passes = Vec::with_capacity(self.ladder_factors.len());
+        for &factor in &self.ladder_factors {
+            let bound = error_bound * factor;
+            let blob = self.base.compress(&residual, bound);
+            let recon = self.base.decompress(&blob);
+            for (r, v) in residual.as_mut_slice().iter_mut().zip(recon.as_slice()) {
+                *r -= v;
+            }
+            passes.push(Pass { bound, blob });
+        }
+        let base = self.base.clone();
+        Box::new(ResidualArchive {
+            passes,
+            decompress: Box::new(move |bytes| base.decompress(bytes)),
+        })
+    }
+}
+
+impl ResidualArchive {
+    /// Sum the reconstructions of the first `count` passes.
+    fn accumulate(&self, count: usize) -> Retrieved {
+        let count = count.clamp(1, self.passes.len());
+        let mut total: Option<ArrayD<f64>> = None;
+        let mut bytes = 0usize;
+        for pass in &self.passes[..count] {
+            bytes += pass.blob.len();
+            let recon = (self.decompress)(&pass.blob);
+            total = Some(match total {
+                None => recon,
+                Some(mut acc) => {
+                    for (a, v) in acc.as_mut_slice().iter_mut().zip(recon.as_slice()) {
+                        *a += v;
+                    }
+                    acc
+                }
+            });
+        }
+        Retrieved {
+            data: total.expect("at least one pass"),
+            bytes_loaded: bytes,
+            passes: count,
+        }
+    }
+}
+
+impl ProgressiveArchive for ResidualArchive {
+    fn total_bytes(&self) -> usize {
+        self.passes.iter().map(|p| p.blob.len()).sum()
+    }
+
+    fn retrieve_error_bound(&self, target: f64) -> Retrieved {
+        // Load passes until the last loaded pass's bound is within the target; if no
+        // pass is tight enough, everything must be loaded.
+        let count = self
+            .passes
+            .iter()
+            .position(|p| p.bound <= target)
+            .map(|i| i + 1)
+            .unwrap_or(self.passes.len());
+        self.accumulate(count)
+    }
+
+    fn retrieve_size_budget(&self, max_bytes: usize) -> Retrieved {
+        let mut count = 0usize;
+        let mut acc = 0usize;
+        for pass in &self.passes {
+            if acc + pass.blob.len() > max_bytes && count > 0 {
+                break;
+            }
+            acc += pass.blob.len();
+            count += 1;
+        }
+        self.accumulate(count.max(1))
+    }
+
+    fn retrieve_full(&self) -> Retrieved {
+        self.accumulate(self.passes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sz3::Sz3;
+    use ipc_metrics::linf_error;
+    use ipc_tensor::Shape;
+
+    fn field() -> ArrayD<f64> {
+        ArrayD::from_fn(Shape::d3(16, 18, 20), |c| {
+            (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() * 1.5 + c[2] as f64 * 0.01
+        })
+    }
+
+    #[test]
+    fn full_retrieval_respects_finest_bound() {
+        let data = field();
+        let eb = 1e-6;
+        let scheme = Residual::paper(Sz3::default(), "SZ3-R");
+        let archive = scheme.compress(&data, eb);
+        let out = archive.retrieve_full();
+        let err = linf_error(data.as_slice(), out.data.as_slice());
+        assert!(err <= eb * (1.0 + 1e-6), "err {err}");
+        assert_eq!(out.passes, 9);
+    }
+
+    #[test]
+    fn coarse_retrieval_uses_fewer_passes_and_bytes() {
+        let data = field();
+        let scheme = Residual::paper(Sz3::default(), "SZ3-R");
+        let archive = scheme.compress(&data, 1e-7);
+        let coarse = archive.retrieve_error_bound(1e-2);
+        let fine = archive.retrieve_full();
+        assert!(coarse.passes < fine.passes);
+        assert!(coarse.bytes_loaded < fine.bytes_loaded);
+        let err = linf_error(data.as_slice(), coarse.data.as_slice());
+        assert!(err <= 1e-2 * (1.0 + 1e-6), "coarse err {err}");
+    }
+
+    #[test]
+    fn intermediate_bounds_are_respected_at_each_rung() {
+        let data = field();
+        let eb = 1e-6;
+        let scheme = Residual::with_passes(Sz3::default(), "SZ3-R", 5);
+        let archive = scheme.compress(&data, eb);
+        for k in 0..5 {
+            let bound = eb * 4f64.powi(4 - k as i32);
+            let out = archive.retrieve_error_bound(bound);
+            let err = linf_error(data.as_slice(), out.data.as_slice());
+            assert!(err <= bound * (1.0 + 1e-6), "rung {k}: {err} > {bound}");
+            assert_eq!(out.passes, k + 1);
+        }
+    }
+
+    #[test]
+    fn size_budget_loads_within_budget() {
+        let data = field();
+        let scheme = Residual::paper(Sz3::default(), "SZ3-R");
+        let archive = scheme.compress(&data, 1e-7);
+        let total = archive.total_bytes();
+        let out = archive.retrieve_size_budget(total / 2);
+        assert!(out.bytes_loaded <= total / 2 || out.passes == 1);
+        assert!(out.passes < 9);
+    }
+
+    #[test]
+    fn more_passes_cost_more_total_storage() {
+        let data = field();
+        let few = Residual::with_passes(Sz3::default(), "SZ3-R", 2).compress(&data, 1e-6);
+        let many = Residual::with_passes(Sz3::default(), "SZ3-R", 8).compress(&data, 1e-6);
+        assert!(many.total_bytes() > few.total_bytes());
+    }
+}

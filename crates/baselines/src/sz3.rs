@@ -1,0 +1,198 @@
+//! SZ3: the leading non-progressive interpolation-based compressor (paper
+//! Sec. 6.1.3).
+//!
+//! SZ3 shares IPComp's decorrelation stage — the multilevel interpolation predictor
+//! with linear-scale quantization — but encodes the quantization codes with a
+//! classical Huffman entropy stage followed by a byte-level lossless pass (zstd in
+//! the original; the [`ipc_codecs::lzr`] backend here). It supports only
+//! full-fidelity decompression: this is the compressor that SZ3-M and SZ3-R wrap to
+//! obtain multi-fidelity and progressive behaviour.
+
+use ipc_codecs::byteio::{read_f64, write_f64};
+use ipc_codecs::huffman::{huffman_decode_bytes, huffman_encode_bytes};
+use ipc_codecs::varint::{read_varint, write_varint};
+use ipc_codecs::{lzr_compress, lzr_decompress, zigzag_decode, zigzag_encode};
+use ipc_tensor::{ArrayD, Shape};
+use ipcomp::interp::{num_levels, process_anchors, process_level};
+use ipcomp::quantize::{dequantize, quantize};
+use ipcomp::Interpolation;
+
+use crate::BaseCompressor;
+
+const MAGIC: &[u8; 4] = b"SZ3r";
+
+/// The SZ3 baseline compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct Sz3 {
+    /// Interpolation formula used by the predictor (cubic in the reference
+    /// implementation).
+    pub interpolation: Interpolation,
+}
+
+impl Default for Sz3 {
+    fn default() -> Self {
+        Self {
+            interpolation: Interpolation::Cubic,
+        }
+    }
+}
+
+impl Sz3 {
+    /// SZ3 with linear interpolation.
+    pub fn linear() -> Self {
+        Self {
+            interpolation: Interpolation::Linear,
+        }
+    }
+}
+
+impl BaseCompressor for Sz3 {
+    fn name(&self) -> &'static str {
+        "SZ3"
+    }
+
+    fn compress(&self, data: &ArrayD<f64>, error_bound: f64) -> Vec<u8> {
+        assert!(
+            error_bound.is_finite() && error_bound > 0.0,
+            "error bound must be positive"
+        );
+        let shape = data.shape().clone();
+        let orig = data.as_slice();
+        let levels = num_levels(&shape);
+
+        // Prediction + quantization: one flat code stream in traversal order.
+        let mut codes: Vec<i64> = Vec::with_capacity(orig.len());
+        let mut work = vec![0.0f64; shape.len()];
+        process_anchors(&shape, &mut work, |off, pred| {
+            let q = quantize(orig[off] - pred, error_bound);
+            codes.push(q);
+            pred + dequantize(q, error_bound)
+        });
+        for level in (1..=levels).rev() {
+            process_level(&shape, level, self.interpolation, &mut work, |off, pred| {
+                let q = quantize(orig[off] - pred, error_bound);
+                codes.push(q);
+                pred + dequantize(q, error_bound)
+            });
+        }
+
+        // Entropy stage: Huffman over the zigzag-varint byte stream, then the
+        // byte-level lossless backend (zstd stand-in), mirroring SZ3's
+        // Huffman-then-zstd pipeline.
+        let mut raw = Vec::with_capacity(codes.len() * 2);
+        for &c in &codes {
+            write_varint(&mut raw, zigzag_encode(c));
+        }
+        let entropy = huffman_encode_bytes(&raw);
+        let packed = lzr_compress(&entropy);
+
+        let mut out = Vec::with_capacity(packed.len() + 64);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, shape.ndim() as u64);
+        for &d in shape.dims() {
+            write_varint(&mut out, d as u64);
+        }
+        write_f64(&mut out, error_bound);
+        out.push(self.interpolation.id());
+        write_varint(&mut out, packed.len() as u64);
+        out.extend_from_slice(&packed);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> ArrayD<f64> {
+        let mut pos = 0usize;
+        assert_eq!(&bytes[0..4], MAGIC, "not an SZ3 stream");
+        pos += 4;
+        let ndim = read_varint(bytes, &mut pos).expect("ndim") as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_varint(bytes, &mut pos).expect("dim") as usize);
+        }
+        let shape = Shape::new(&dims);
+        let error_bound = read_f64(bytes, &mut pos).expect("eb");
+        let interpolation = Interpolation::from_id(bytes[pos]).expect("interpolation id");
+        pos += 1;
+        let packed_len = read_varint(bytes, &mut pos).expect("len") as usize;
+        let packed = &bytes[pos..pos + packed_len];
+
+        let entropy = lzr_decompress(packed).expect("lossless stage");
+        let raw = huffman_decode_bytes(&entropy).expect("huffman stage");
+        let mut rpos = 0usize;
+        let mut next_code = || {
+            let v = read_varint(&raw, &mut rpos).expect("code");
+            zigzag_decode(v)
+        };
+
+        let levels = num_levels(&shape);
+        let mut work = vec![0.0f64; shape.len()];
+        process_anchors(&shape, &mut work, |_, pred| {
+            pred + dequantize(next_code(), error_bound)
+        });
+        for level in (1..=levels).rev() {
+            process_level(&shape, level, interpolation, &mut work, |_, pred| {
+                pred + dequantize(next_code(), error_bound)
+            });
+        }
+        ArrayD::from_vec(shape, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipc_metrics::linf_error;
+
+    fn field(shape: Shape) -> ArrayD<f64> {
+        ArrayD::from_fn(shape, |c| {
+            (c[0] as f64 * 0.23).sin() * 2.0
+                + (c.get(1).copied().unwrap_or(0) as f64 * 0.11).cos()
+                + c.last().copied().unwrap_or(0) as f64 * 0.02
+        })
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound() {
+        for dims in [vec![200usize], vec![31, 45], vec![18, 22, 26]] {
+            let data = field(Shape::new(&dims));
+            for eb in [1e-3, 1e-6] {
+                let sz3 = Sz3::default();
+                let blob = sz3.compress(&data, eb);
+                let out = sz3.decompress(&blob);
+                let err = linf_error(data.as_slice(), out.as_slice());
+                assert!(err <= eb * (1.0 + 1e-9), "dims {dims:?} eb {eb}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_variant_also_bounded() {
+        let data = field(Shape::d3(20, 20, 20));
+        let sz3 = Sz3::linear();
+        let blob = sz3.compress(&data, 1e-4);
+        let out = sz3.decompress(&blob);
+        assert!(linf_error(data.as_slice(), out.as_slice()) <= 1e-4 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let data = field(Shape::d3(32, 32, 32));
+        let blob = Sz3::default().compress(&data, 1e-4 * data.value_range());
+        let cr = (data.len() * 8) as f64 / blob.len() as f64;
+        assert!(cr > 5.0, "CR {cr}");
+    }
+
+    #[test]
+    fn looser_bound_smaller_output() {
+        let data = field(Shape::d3(24, 24, 24));
+        let tight = Sz3::default().compress(&data, 1e-8);
+        let loose = Sz3::default().compress(&data, 1e-3);
+        assert!(loose.len() < tight.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bound_panics() {
+        let data = field(Shape::d2(8, 8));
+        let _ = Sz3::default().compress(&data, 0.0);
+    }
+}

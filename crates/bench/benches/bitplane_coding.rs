@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark: predictive negabinary bitplane encoding and decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipcomp::bitplane::{decode_level, encode_level};
+use rand::{Rng, SeedableRng};
+
+fn residual_like_codes(n: usize) -> Vec<i64> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let mag = (rng.gen::<f64>().powi(4) * 65536.0) as i64;
+            if rng.gen_bool(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+fn bench_bitplanes(c: &mut Criterion) {
+    let codes = residual_like_codes(1 << 17);
+    let mut group = c.benchmark_group("bitplane_coding");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.bench_function("encode_predictive", |b| {
+        b.iter(|| encode_level(&codes, 2, true, false))
+    });
+    group.bench_function("encode_raw", |b| {
+        b.iter(|| encode_level(&codes, 2, false, false))
+    });
+    let encoded = encode_level(&codes, 2, true, false);
+    group.bench_function("decode_full", |b| {
+        b.iter(|| decode_level(&encoded, encoded.num_planes, 2, true).unwrap())
+    });
+    group.bench_function("decode_half_planes", |b| {
+        b.iter(|| decode_level(&encoded, encoded.num_planes / 2, 2, true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitplanes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark: end-to-end compression and retrieval of IPComp against the
+//! baselines on one turbulence field (the kernel behind the paper's Fig. 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipc_baselines::{
+    IpCompScheme, MultiFidelity, Pmgard, ProgressiveScheme, Residual, Sz3, Zfp,
+};
+use ipc_datagen::Dataset;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = Dataset::Density.generate(&Dataset::Density.tiny_shape(), 3);
+    let eb = 1e-6 * data.value_range();
+    let schemes: Vec<Box<dyn ProgressiveScheme>> = vec![
+        Box::new(IpCompScheme::default()),
+        Box::new(MultiFidelity::paper(Sz3::default(), "SZ3-M")),
+        Box::new(Residual::paper(Sz3::default(), "SZ3-R")),
+        Box::new(Residual::paper(Zfp, "ZFP-R")),
+        Box::new(Pmgard),
+    ];
+
+    let mut group = c.benchmark_group("end_to_end_compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    for scheme in &schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), scheme, |b, s| {
+            b.iter(|| s.compress(&data, eb))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("end_to_end_full_retrieval");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    for scheme in &schemes {
+        let archive = scheme.compress(&data, eb);
+        group.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            b.iter(|| archive.retrieve_full())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: throughput of the multilevel interpolation predictor
+//! (the decorrelation stage shared by IPComp and SZ3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipc_datagen::Dataset;
+use ipc_tensor::Shape;
+use ipcomp::interp::{num_levels, process_anchors, process_level};
+use ipcomp::Interpolation;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let shape = Shape::d3(48, 64, 64);
+    let data = Dataset::Density.generate(&shape, 1);
+    let orig = data.as_slice().to_vec();
+    let mut group = c.benchmark_group("interpolation_predict");
+    group.throughput(Throughput::Bytes((orig.len() * 8) as u64));
+    for (name, method) in [("linear", Interpolation::Linear), ("cubic", Interpolation::Cubic)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &method| {
+            b.iter(|| {
+                let mut work = vec![0.0f64; orig.len()];
+                let mut acc = 0.0f64;
+                process_anchors(&shape, &mut work, |off, _| orig[off]);
+                for level in (1..=num_levels(&shape)).rev() {
+                    process_level(&shape, level, method, &mut work, |off, pred| {
+                        acc += orig[off] - pred;
+                        orig[off]
+                    });
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolation);
+criterion_main!(benches);

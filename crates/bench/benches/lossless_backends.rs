@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark: the lossless backends (Huffman, LZR, RLE) that close
+//! every compression pipeline in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipc_codecs::{huffman_encode, lzr_compress, lzr_decompress, rle_encode};
+
+fn quantization_like_bytes(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| {
+            let phase = (i as f64 * 0.001).sin();
+            if phase.abs() < 0.7 {
+                0
+            } else {
+                ((phase * 120.0) as i64 & 0xFF) as u8
+            }
+        })
+        .collect()
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let bytes = quantization_like_bytes(1 << 20);
+    let symbols: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
+    let compressed = lzr_compress(&bytes);
+
+    let mut group = c.benchmark_group("lossless_backends");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("lzr_compress", |b| b.iter(|| lzr_compress(&bytes)));
+    group.bench_function("lzr_decompress", |b| {
+        b.iter(|| lzr_decompress(&compressed).unwrap())
+    });
+    group.bench_function("huffman_encode", |b| b.iter(|| huffman_encode(&symbols)));
+    group.bench_function("rle_encode", |b| b.iter(|| rle_encode(&bytes)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossless);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark: the knapsack DP behind the optimized data loader.
+//!
+//! The paper argues the optimizer's overhead is negligible relative to compression;
+//! this bench provides the numbers for that claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipc_datagen::Dataset;
+use ipcomp::{compress, plan_for_bitrate, plan_for_error_bound, Config};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let data = Dataset::Density.generate(&Dataset::Density.tiny_shape(), 5);
+    let range = data.value_range();
+    let compressed = compress(&data, 1e-9 * range, &Config::default()).unwrap();
+
+    let mut group = c.benchmark_group("optimizer_dp");
+    group.bench_function("error_bound_mode", |b| {
+        b.iter(|| plan_for_error_bound(&compressed, 1e-4 * range).unwrap())
+    });
+    group.bench_function("bitrate_mode", |b| {
+        b.iter(|| plan_for_bitrate(&compressed, 2.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

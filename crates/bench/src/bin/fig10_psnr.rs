@@ -1,0 +1,45 @@
+//! Figure 10: PSNR of the reconstruction as a function of the retrieved bitrate, for
+//! Density, Pressure, VelocityX and CH4.
+//!
+//! IPComp optimizes the L-infinity error, not PSNR, but should remain competitive or
+//! superior across the bitrate range.
+
+use ipc_bench::{progressive_schemes, workload, Scale};
+use ipc_datagen::Dataset;
+use ipc_metrics::psnr;
+
+fn main() {
+    let scale = Scale::from_env();
+    let schemes = progressive_schemes();
+    let bitrates = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0];
+    let rel_eb = 1e-9;
+
+    for dataset in [Dataset::Density, Dataset::Pressure, Dataset::VelocityX, Dataset::Ch4] {
+        let w = workload(dataset, scale);
+        let eb = rel_eb * w.range;
+        println!("\nFigure 10: {} PSNR (dB) vs retrieved bitrate (scale = {scale:?})\n", dataset.name());
+        let mut widths = vec![10usize];
+        widths.extend(std::iter::repeat(10).take(schemes.len()));
+        let mut header = vec!["Bitrate"];
+        header.extend(schemes.iter().map(|s| s.name()));
+        ipc_bench::print_header(&header, &widths);
+
+        let archives: Vec<_> = schemes.iter().map(|s| s.compress(&w.data, eb)).collect();
+        let n = w.data.len();
+        for &bitrate in &bitrates {
+            let budget = (bitrate * n as f64 / 8.0) as usize;
+            let mut row = vec![format!("{bitrate:.1}")];
+            for archive in &archives {
+                let out = archive.retrieve_size_budget(budget);
+                if out.bytes_loaded > budget {
+                    row.push("-".to_string());
+                } else {
+                    let p = psnr(w.data.as_slice(), out.data.as_slice());
+                    row.push(if p.is_finite() { format!("{p:.1}") } else { "inf".into() });
+                }
+            }
+            ipc_bench::print_row(&row, &widths);
+        }
+    }
+    println!("\nHigher PSNR is better. '-' means the compressor's smallest loadable unit exceeds the budget.");
+}

@@ -1,0 +1,30 @@
+//! Figure 5: compression ratios of all progressive compressors on the six datasets,
+//! under the high-precision (eb = 1e-9 x range) and high-ratio (eb = 1e-6 x range)
+//! settings.
+
+use ipc_bench::{progressive_schemes, workloads, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let schemes = progressive_schemes();
+    for (label, rel_eb) in [("(a) high precision, eb = 1e-9 x range", 1e-9), ("(b) high ratio, eb = 1e-6 x range", 1e-6)] {
+        println!("\nFigure 5 {label}  (scale = {scale:?})\n");
+        let mut widths = vec![10usize];
+        widths.extend(std::iter::repeat(9).take(schemes.len()));
+        let mut header = vec!["Dataset"];
+        header.extend(schemes.iter().map(|s| s.name()));
+        ipc_bench::print_header(&header, &widths);
+        for w in workloads(scale) {
+            let eb = rel_eb * w.range;
+            let original = w.data.len() * std::mem::size_of::<f64>();
+            let mut row = vec![w.dataset.name().to_string()];
+            for scheme in &schemes {
+                let archive = scheme.compress(&w.data, eb);
+                let cr = original as f64 / archive.total_bytes() as f64;
+                row.push(format!("{cr:.2}"));
+            }
+            ipc_bench::print_row(&row, &widths);
+        }
+    }
+    println!("\nHigher is better; IPComp should lead or tie on every dataset.");
+}

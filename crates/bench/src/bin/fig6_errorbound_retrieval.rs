@@ -1,0 +1,49 @@
+//! Figure 6: retrieval volume (as bitrate) needed to reach a requested L-infinity
+//! error bound, for every progressive compressor on every dataset.
+//!
+//! Lower curves are better: they reach the same reconstruction fidelity while
+//! reading fewer bits per value from the archive. SZ3-R and ZFP-R only support the
+//! pre-defined residual rungs, which is why their curves are staircases.
+
+use ipc_bench::{progressive_schemes, workloads, Scale};
+use ipc_metrics::linf_error;
+
+fn main() {
+    let scale = Scale::from_env();
+    let schemes = progressive_schemes();
+    // Retrieval targets from coarse to fine, relative to each dataset's range.
+    let targets = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8];
+    let compression_rel_eb = 1e-9;
+
+    for w in workloads(scale) {
+        let eb = compression_rel_eb * w.range;
+        println!(
+            "\nFigure 6: {} (scale = {scale:?}, compressed at eb = 1e-9 x range)\n",
+            w.dataset.name()
+        );
+        let mut widths = vec![12usize];
+        widths.extend(std::iter::repeat(19).take(schemes.len()));
+        let mut header = vec!["Target eb"];
+        let names: Vec<String> = schemes
+            .iter()
+            .map(|s| format!("{} br / err", s.name()))
+            .collect();
+        header.extend(names.iter().map(|s| s.as_str()));
+        ipc_bench::print_header(&header, &widths);
+
+        let archives: Vec<_> = schemes.iter().map(|s| s.compress(&w.data, eb)).collect();
+        let n = w.data.len() as f64;
+        for &rel_target in &targets {
+            let target = rel_target * w.range;
+            let mut row = vec![format!("{rel_target:.0e}")];
+            for archive in &archives {
+                let out = archive.retrieve_error_bound(target);
+                let bitrate = out.bytes_loaded as f64 * 8.0 / n;
+                let err = linf_error(w.data.as_slice(), out.data.as_slice()) / w.range;
+                row.push(format!("{bitrate:.3} / {err:.1e}"));
+            }
+            ipc_bench::print_row(&row, &widths);
+        }
+    }
+    println!("\nbr = bits/value loaded for the request (lower is better); err = achieved relative L-inf error.");
+}

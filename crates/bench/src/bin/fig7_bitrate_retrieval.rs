@@ -1,0 +1,49 @@
+//! Figure 7: reconstruction error achievable within a retrieval bitrate budget, for
+//! every progressive compressor on every dataset.
+//!
+//! Lower curves are better: with the same number of bits per value read from the
+//! archive, the reconstruction error is smaller.
+
+use ipc_bench::{progressive_schemes, workloads, Scale};
+use ipc_metrics::linf_error;
+
+fn main() {
+    let scale = Scale::from_env();
+    let schemes = progressive_schemes();
+    let bitrates = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0];
+    let compression_rel_eb = 1e-9;
+
+    for w in workloads(scale) {
+        let eb = compression_rel_eb * w.range;
+        println!(
+            "\nFigure 7: {} (scale = {scale:?}, compressed at eb = 1e-9 x range)\n",
+            w.dataset.name()
+        );
+        let mut widths = vec![10usize];
+        widths.extend(std::iter::repeat(12).take(schemes.len()));
+        let mut header = vec!["Bitrate"];
+        header.extend(schemes.iter().map(|s| s.name()));
+        ipc_bench::print_header(&header, &widths);
+
+        let archives: Vec<_> = schemes.iter().map(|s| s.compress(&w.data, eb)).collect();
+        let n = w.data.len();
+        for &bitrate in &bitrates {
+            let budget = (bitrate * n as f64 / 8.0) as usize;
+            let mut row = vec![format!("{bitrate:.2}")];
+            for archive in &archives {
+                let out = archive.retrieve_size_budget(budget);
+                if out.bytes_loaded > budget {
+                    // The scheme has no retrieval unit small enough for this budget
+                    // (residual/multi-fidelity archives can only load whole rungs).
+                    row.push("-".to_string());
+                } else {
+                    let err = linf_error(w.data.as_slice(), out.data.as_slice()) / w.range;
+                    row.push(format!("{err:.2e}"));
+                }
+            }
+            ipc_bench::print_row(&row, &widths);
+        }
+    }
+    println!("\nCells are relative L-inf error after loading at most the given bits/value (lower is better).");
+    println!("'-' means the compressor cannot produce any reconstruction within that budget (its smallest loadable unit is larger).");
+}

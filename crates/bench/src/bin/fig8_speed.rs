@@ -1,0 +1,42 @@
+//! Figure 8: compression and decompression (full-fidelity retrieval) throughput of
+//! every compressor, including SPERR-R, at eb = 1e-9 x range.
+//!
+//! Residual-based compressors must run their base compressor once per ladder rung at
+//! compression time and once per loaded rung at retrieval time, which is where their
+//! slowdown comes from.
+
+use ipc_bench::{speed_schemes, time, workloads, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let schemes = speed_schemes();
+    let rel_eb = 1e-9;
+
+    for (label, decompress) in [("(a) compression", false), ("(b) decompression", true)] {
+        println!("\nFigure 8 {label} throughput in MB/s (scale = {scale:?}, eb = 1e-9 x range)\n");
+        let mut widths = vec![10usize];
+        widths.extend(std::iter::repeat(9).take(schemes.len()));
+        let mut header = vec!["Dataset"];
+        header.extend(schemes.iter().map(|s| s.name()));
+        ipc_bench::print_header(&header, &widths);
+
+        for w in workloads(scale) {
+            let eb = rel_eb * w.range;
+            let mb = (w.data.len() * 8) as f64 / 1e6;
+            let mut row = vec![w.dataset.name().to_string()];
+            for scheme in &schemes {
+                let speed = if decompress {
+                    let archive = scheme.compress(&w.data, eb);
+                    let (_, secs) = time(|| archive.retrieve_full());
+                    mb / secs
+                } else {
+                    let (_, secs) = time(|| scheme.compress(&w.data, eb));
+                    mb / secs
+                };
+                row.push(format!("{speed:.1}"));
+            }
+            ipc_bench::print_row(&row, &widths);
+        }
+    }
+    println!("\nHigher is better. IPComp should be fastest except possibly for SZ3-M (which is multi-fidelity, not progressive).");
+}

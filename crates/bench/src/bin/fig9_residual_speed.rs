@@ -1,0 +1,48 @@
+//! Figure 9: how the speed of residual-based progressive compressors degrades as the
+//! number of residual passes (pre-defined error bounds) grows.
+//!
+//! IPComp's speed is shown as a flat reference line: its retrieval flexibility does
+//! not depend on a pass count.
+
+use ipc_bench::{time, IpCompScheme, ProgressiveScheme, Residual, Scale, Sz3, Zfp};
+use ipc_datagen::Dataset;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ipc_bench::workload(Dataset::Density, scale);
+    let eb = 1e-9 * w.range;
+    let mb = (w.data.len() * 8) as f64 / 1e6;
+    let pass_counts = [2usize, 3, 4, 5, 6, 7, 8, 9, 10];
+
+    println!("Figure 9: residual-pass count vs throughput on Density (MB/s, scale = {scale:?})\n");
+    let widths = [8, 14, 14, 14, 14, 12];
+    ipc_bench::print_header(
+        &["Passes", "SZ3-R comp", "SZ3-R decomp", "ZFP-R comp", "ZFP-R decomp", "IPComp comp"],
+        &widths,
+    );
+
+    let ipcomp = IpCompScheme::default();
+    let (_, ipc_secs) = time(|| ipcomp.compress(&w.data, eb));
+    let ipc_speed = mb / ipc_secs;
+
+    for &passes in &pass_counts {
+        let sz3r = Residual::with_passes(Sz3::default(), "SZ3-R", passes);
+        let zfpr = Residual::with_passes(Zfp, "ZFP-R", passes);
+        let (sz3_archive, sz3_comp) = time(|| sz3r.compress(&w.data, eb));
+        let (_, sz3_dec) = time(|| sz3_archive.retrieve_full());
+        let (zfp_archive, zfp_comp) = time(|| zfpr.compress(&w.data, eb));
+        let (_, zfp_dec) = time(|| zfp_archive.retrieve_full());
+        ipc_bench::print_row(
+            &[
+                passes.to_string(),
+                format!("{:.1}", mb / sz3_comp),
+                format!("{:.1}", mb / sz3_dec),
+                format!("{:.1}", mb / zfp_comp),
+                format!("{:.1}", mb / zfp_dec),
+                format!("{ipc_speed:.1}"),
+            ],
+            &widths,
+        );
+    }
+    println!("\nResidual throughput should fall as the pass count grows; IPComp is unaffected.");
+}

@@ -1,0 +1,28 @@
+//! Table 3: the dataset inventory used by every experiment.
+//!
+//! Prints the paper's dataset table alongside the synthetic stand-in shapes actually
+//! generated at the selected `IPC_SCALE`.
+
+use ipc_bench::{workloads, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 3: datasets (scale = {scale:?})\n");
+    ipc_bench::print_header(
+        &["Name", "Domain", "Precision", "Paper shape", "Run shape", "Range"],
+        &[10, 12, 9, 14, 14, 12],
+    );
+    for w in workloads(scale) {
+        ipc_bench::print_row(
+            &[
+                w.dataset.name().to_string(),
+                w.dataset.domain().to_string(),
+                "f64".to_string(),
+                format!("{}", w.dataset.paper_shape()),
+                format!("{}", w.data.shape()),
+                ipc_bench::fmt(w.range),
+            ],
+            &[10, 12, 9, 14, 14, 12],
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! MSB-first bit-granular writer and reader.
+//!
+//! Bitplane slicing, Huffman codes, and the LZR entropy stage all need to emit and
+//! consume individual bits. Both types operate over plain `Vec<u8>` / `&[u8]` so that
+//! the produced buffers can be stored directly inside container blocks.
+
+use crate::{CodecError, Result};
+
+/// Append-only bit writer. Bits are packed MSB-first within each byte.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the last byte of `buf` (0 means the last byte is full
+    /// or the buffer is empty).
+    partial_bits: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty writer with capacity for roughly `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            partial_bits: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial_bits == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.partial_bits as usize
+        }
+    }
+
+    /// Write a single bit (`true` = 1).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial_bits == 0 {
+            self.buf.push(0);
+            self.partial_bits = 0;
+        }
+        let last = self.buf.last_mut().expect("buffer non-empty");
+        if bit {
+            *last |= 1 << (7 - self.partial_bits);
+        }
+        self.partial_bits += 1;
+        if self.partial_bits == 8 {
+            self.partial_bits = 0;
+        }
+    }
+
+    /// Write the `n` least-significant bits of `value`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish writing and return the backing buffer (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (final byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bit reader matching [`BitWriter`]'s MSB-first packing.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over a byte buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos_bits: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos_bits
+    }
+
+    /// Number of bits remaining (including any zero padding in the final byte).
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos_bits
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte_idx = self.pos_bits / 8;
+        if byte_idx >= self.buf.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let bit_idx = 7 - (self.pos_bits % 8) as u32;
+        self.pos_bits += 1;
+        Ok((self.buf[byte_idx] >> bit_idx) & 1 == 1)
+    }
+
+    /// Read `n` bits into the low bits of a `u64`, most-significant first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let bits = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // The final byte is padded, so 8 bits are readable, the 9th is not.
+        for _ in 0..8 {
+            r.read_bit().unwrap();
+        }
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn position_and_remaining_track_progress() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0xCD, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn msb_first_packing_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        // 1,0,1 packed MSB-first => 1010_0000.
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+}

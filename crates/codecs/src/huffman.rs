@@ -1,0 +1,282 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! The SZ3 baseline (paper Sec. 6.1.3) entropy-codes its linear-scale quantization
+//! codes with Huffman before the final lossless pass; the LZR backend reuses the same
+//! coder for its byte-oriented token stream. The implementation builds a classical
+//! frequency-sorted tree, converts it to canonical form (codes assigned by
+//! non-decreasing length, then symbol order) and serializes only the `(symbol, length)`
+//! table, so the decoder can rebuild the exact same codebook.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::varint::{read_varint, write_varint};
+use crate::{CodecError, Result};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A single symbol's canonical code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Code {
+    bits: u64,
+    len: u8,
+}
+
+/// Build canonical code lengths for `symbols` with the given frequencies.
+///
+/// Returns `(symbol, code_length)` pairs sorted by symbol. Handles the degenerate
+/// cases of zero or one distinct symbol (the single symbol gets a 1-bit code).
+fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
+    if freqs.is_empty() {
+        return Vec::new();
+    }
+    if freqs.len() == 1 {
+        let &sym = freqs.keys().next().expect("one entry");
+        return vec![(sym, 1)];
+    }
+
+    // Node arena: leaves first, then internal nodes.
+    #[derive(Clone, Copy)]
+    struct Node {
+        freq: u64,
+        left: usize,
+        right: usize,
+        symbol: u32,
+    }
+    const NONE: usize = usize::MAX;
+
+    let mut nodes: Vec<Node> = Vec::with_capacity(freqs.len() * 2);
+    // Deterministic order: sort by symbol so equal-frequency ties break identically
+    // across runs.
+    let mut symbols: Vec<(u32, u64)> = freqs.iter().map(|(&s, &f)| (s, f)).collect();
+    symbols.sort_unstable();
+    for &(sym, freq) in &symbols {
+        nodes.push(Node {
+            freq,
+            left: NONE,
+            right: NONE,
+            symbol: sym,
+        });
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| Reverse((n.freq, i)))
+        .collect();
+
+    while heap.len() > 1 {
+        let Reverse((f1, i1)) = heap.pop().expect("heap has >= 2 items");
+        let Reverse((f2, i2)) = heap.pop().expect("heap has >= 2 items");
+        let parent = nodes.len();
+        nodes.push(Node {
+            freq: f1 + f2,
+            left: i1,
+            right: i2,
+            symbol: 0,
+        });
+        heap.push(Reverse((f1 + f2, parent)));
+    }
+    let root = heap.pop().expect("single root").0 .1;
+
+    // Depth-first traversal to assign lengths.
+    let mut lengths: Vec<(u32, u8)> = Vec::with_capacity(freqs.len());
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let n = nodes[idx];
+        if n.left == NONE {
+            lengths.push((n.symbol, depth.max(1)));
+        } else {
+            stack.push((n.left, depth + 1));
+            stack.push((n.right, depth + 1));
+        }
+    }
+    lengths.sort_unstable();
+    lengths
+}
+
+/// Assign canonical codes given `(symbol, length)` pairs.
+fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, Code> {
+    let mut entries: Vec<(u8, u32)> = lengths.iter().map(|&(s, l)| (l, s)).collect();
+    entries.sort_unstable();
+    let mut codes = HashMap::with_capacity(entries.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &(len, sym) in &entries {
+        code <<= len - prev_len;
+        codes.insert(
+            sym,
+            Code {
+                bits: code,
+                len,
+            },
+        );
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encode a slice of `u32` symbols into a self-describing byte buffer.
+///
+/// The buffer starts with the symbol count, the canonical `(symbol, length)` table,
+/// and then the bit-packed payload.
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut freqs: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let codes = canonical_codes(&lengths);
+
+    let mut out = Vec::new();
+    write_varint(&mut out, symbols.len() as u64);
+    write_varint(&mut out, lengths.len() as u64);
+    for &(sym, len) in &lengths {
+        write_varint(&mut out, sym as u64);
+        out.push(len);
+    }
+
+    let mut writer = BitWriter::with_capacity_bits(symbols.len() * 8);
+    for &s in symbols {
+        let c = codes[&s];
+        writer.write_bits(c.bits, c.len as u32);
+    }
+    let payload = writer.into_bytes();
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode a buffer produced by [`huffman_encode`].
+pub fn huffman_decode(buf: &[u8]) -> Result<Vec<u32>> {
+    let mut pos = 0usize;
+    let n_symbols = read_varint(buf, &mut pos)? as usize;
+    let table_len = read_varint(buf, &mut pos)? as usize;
+    if n_symbols > 0 && table_len == 0 {
+        return Err(CodecError::Corrupt("empty code table for non-empty payload"));
+    }
+    let mut lengths: Vec<(u32, u8)> = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        let sym = read_varint(buf, &mut pos)? as u32;
+        let len = *buf.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        if len == 0 || len > 64 {
+            return Err(CodecError::Corrupt("invalid code length"));
+        }
+        lengths.push((sym, len));
+    }
+    let payload_len = read_varint(buf, &mut pos)? as usize;
+    let payload = buf
+        .get(pos..pos + payload_len)
+        .ok_or(CodecError::UnexpectedEof)?;
+
+    // Build a (length, code) -> symbol lookup.
+    let codes = canonical_codes(&lengths);
+    let mut decode_map: HashMap<(u8, u64), u32> = HashMap::with_capacity(codes.len());
+    let mut max_len = 0u8;
+    for (sym, code) in &codes {
+        decode_map.insert((code.len, code.bits), *sym);
+        max_len = max_len.max(code.len);
+    }
+
+    let mut reader = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_symbols);
+    for _ in 0..n_symbols {
+        let mut code = 0u64;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | reader.read_bit()? as u64;
+            len += 1;
+            if let Some(&sym) = decode_map.get(&(len, code)) {
+                out.push(sym);
+                break;
+            }
+            if len > max_len {
+                return Err(CodecError::Corrupt("code not found in table"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encode a byte slice with Huffman (bytes promoted to `u32` symbols).
+pub fn huffman_encode_bytes(bytes: &[u8]) -> Vec<u8> {
+    let symbols: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
+    huffman_encode(&symbols)
+}
+
+/// Decode a buffer produced by [`huffman_encode_bytes`].
+pub fn huffman_decode_bytes(buf: &[u8]) -> Result<Vec<u8>> {
+    let symbols = huffman_decode(buf)?;
+    symbols
+        .into_iter()
+        .map(|s| {
+            u8::try_from(s).map_err(|_| CodecError::Corrupt("byte symbol out of range"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = vec![1u32, 2, 2, 3, 3, 3, 3, 7, 7, 1, 0];
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let enc = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn roundtrip_single_distinct_symbol() {
+        let data = vec![42u32; 1000];
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+        // 1000 symbols at 1 bit each + table should be far smaller than raw.
+        assert!(enc.len() < 200);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros: entropy ~0.47 bits/symbol, so the encoded size must be well
+        // below one byte per symbol.
+        let mut data = vec![0u32; 9000];
+        data.extend(std::iter::repeat(5u32).take(1000));
+        let enc = huffman_encode(&data);
+        assert!(enc.len() < 10_000 / 4, "encoded {} bytes", enc.len());
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_large_alphabet() {
+        let data: Vec<u32> = (0..5000u32).map(|i| (i * i) % 1031).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_helpers_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let enc = huffman_encode_bytes(&data);
+        assert_eq!(huffman_decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = vec![1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let enc = huffman_encode(&data);
+        let truncated = &enc[..enc.len() - 2];
+        assert!(huffman_decode(truncated).is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data: Vec<u32> = (0..1000u32).map(|i| i % 17).collect();
+        assert_eq!(huffman_encode(&data), huffman_encode(&data));
+    }
+}

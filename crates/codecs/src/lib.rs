@@ -1,0 +1,58 @@
+//! Bit-level and lossless coding substrate.
+//!
+//! The IPComp pipeline (paper Sec. 4) ends every level in a sequence of generic coding
+//! stages: quantized integers are mapped to **negabinary**, sliced into bitplanes,
+//! predictively XOR-coded, and the resulting bit/byte streams are compressed with a
+//! lossless backend (the paper uses zstd; this workspace substitutes the [`lzr`]
+//! LZ77+Huffman backend, see DESIGN.md). The SZ3 baseline additionally needs a
+//! classical **Huffman** entropy stage over quantization codes.
+//!
+//! Everything here is self-contained and allocation-conscious:
+//!
+//! * [`bitstream`] — MSB-first bit writer/reader over byte buffers.
+//! * [`negabinary`] — base(−2) integer representation (paper Sec. 4.4.2).
+//! * [`zigzag`] — sign folding used by the baseline coders.
+//! * [`varint`] — LEB128 variable-length integers for headers.
+//! * [`huffman`] — canonical Huffman coder over `u32` symbols.
+//! * [`rle`] — zero-run-length coding for sparse bitplanes.
+//! * [`lzr`] — LZ77-style match finder + Huffman entropy stage (zstd stand-in).
+//! * [`byteio`] — little-endian scalar/slice serialization helpers.
+
+pub mod bitstream;
+pub mod byteio;
+pub mod huffman;
+pub mod lzr;
+pub mod negabinary;
+pub mod rle;
+pub mod varint;
+pub mod zigzag;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use huffman::{huffman_decode, huffman_encode};
+pub use lzr::{lzr_compress, lzr_decompress};
+pub use negabinary::{from_negabinary, to_negabinary};
+pub use rle::{rle_decode, rle_encode};
+pub use zigzag::{zigzag_decode, zigzag_encode};
+
+/// Errors produced while decoding compressed byte streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a complete value could be decoded.
+    UnexpectedEof,
+    /// A header or table contained an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt compressed stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience alias for codec results.
+pub type Result<T> = std::result::Result<T, CodecError>;

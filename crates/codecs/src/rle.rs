@@ -1,0 +1,133 @@
+//! Zero-run-length coding for sparse byte streams.
+//!
+//! High-order bitplanes of near-zero quantized residuals are almost entirely zero
+//! bytes after packing (that is precisely why the paper picks negabinary, Sec. 4.4.2).
+//! A cheap zero-run pre-pass ahead of the LZR backend shrinks those blocks at almost
+//! no CPU cost.
+//!
+//! Format: a sequence of `(zero_run: varint, literal_len: varint, literal bytes)`
+//! records; decoding stops when the input is exhausted.
+
+use crate::varint::{read_varint, write_varint};
+use crate::Result;
+
+/// Encode `input` with zero-run-length coding.
+pub fn rle_encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 16);
+    let mut i = 0usize;
+    while i < input.len() {
+        // Count run of zero bytes.
+        let zero_start = i;
+        while i < input.len() && input[i] == 0 {
+            i += 1;
+        }
+        let zero_run = i - zero_start;
+        // Count run of literals: stop at a run of >= 4 zeros (shorter zero runs are
+        // cheaper to keep as literals than to start a new record).
+        let lit_start = i;
+        let mut zeros_seen = 0usize;
+        while i < input.len() {
+            if input[i] == 0 {
+                zeros_seen += 1;
+                if zeros_seen >= 4 {
+                    i -= zeros_seen - 1;
+                    break;
+                }
+            } else {
+                zeros_seen = 0;
+            }
+            i += 1;
+        }
+        let mut lit_end = i;
+        // Trim trailing zeros out of the literal run (they belong to the next record).
+        while lit_end > lit_start && input[lit_end - 1] == 0 {
+            lit_end -= 1;
+        }
+        i = lit_end;
+        write_varint(&mut out, zero_run as u64);
+        write_varint(&mut out, (lit_end - lit_start) as u64);
+        out.extend_from_slice(&input[lit_start..lit_end]);
+        if lit_end == lit_start && zero_run == 0 {
+            // Should be unreachable, but guards against an infinite loop.
+            break;
+        }
+    }
+    out
+}
+
+/// Decode a buffer produced by [`rle_encode`].
+pub fn rle_decode(input: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let zero_run = read_varint(input, &mut pos)? as usize;
+        let lit_len = read_varint(input, &mut pos)? as usize;
+        out.resize(out.len() + zero_run, 0);
+        let lits = input
+            .get(pos..pos + lit_len)
+            .ok_or(crate::CodecError::UnexpectedEof)?;
+        out.extend_from_slice(lits);
+        pos += lit_len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let mut data = vec![0u8; 100];
+        data.extend_from_slice(&[1, 2, 3, 0, 0, 4, 5]);
+        data.extend(vec![0u8; 1000]);
+        data.extend_from_slice(&[9; 33]);
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+        assert!(enc.len() < data.len() / 4);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(rle_decode(&rle_encode(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_zeros() {
+        let data = vec![0u8; 65536];
+        let enc = rle_encode(&data);
+        assert!(enc.len() < 10);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_no_zeros() {
+        let data: Vec<u8> = (1..=255u8).cycle().take(10_000).collect();
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+        // Overhead for incompressible data must stay small.
+        assert!(enc.len() < data.len() + 64);
+    }
+
+    #[test]
+    fn roundtrip_alternating() {
+        let data: Vec<u8> = (0..10_000).map(|i| if i % 7 == 0 { 0 } else { i as u8 }).collect();
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_trailing_zeros() {
+        let mut data = vec![5u8, 6, 7];
+        data.extend(vec![0u8; 512]);
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let data = vec![1u8; 100];
+        let enc = rle_encode(&data);
+        assert!(rle_decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

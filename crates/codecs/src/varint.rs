@@ -1,0 +1,109 @@
+//! LEB128 variable-length unsigned integers, used by container and codec headers.
+
+use crate::{CodecError, Result};
+
+/// Append a u64 as LEB128 to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_varint`] will emit for `value`.
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Read a LEB128 u64 from `buf` starting at `*pos`, advancing `*pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint overflows u64"));
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_magnitudes() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 42);
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_input_rejected() {
+        // 11 continuation bytes would shift past 64 bits.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&buf, &mut pos),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+}

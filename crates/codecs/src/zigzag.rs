@@ -1,0 +1,42 @@
+//! Zigzag sign folding.
+//!
+//! The baseline coders (SZ3's Huffman stage, ZFP's exponent handling, header
+//! varints) need a dense non-negative representation of signed integers. Zigzag maps
+//! `0, -1, 1, -2, 2, …` to `0, 1, 2, 3, 4, …` so that small-magnitude values stay
+//! small regardless of sign.
+
+/// Map a signed integer to an unsigned one with interleaved sign.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_interleave() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for v in -100_000i64..100_000 {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        for &v in &[i64::MIN, i64::MAX, i64::MIN + 1, i64::MAX - 1] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Post-analysis operators used by the paper's Fig. 11 experiment.
+//!
+//! The visual-quality experiment reconstructs the Density field at 0.1 %, 0.3 % and
+//! 1 % retrieval and then derives two quantities with very different precision
+//! requirements: a first-derivative quantity ("Curl") and a second-derivative
+//! quantity (Laplacian). Derivatives amplify compression error — the Laplacian
+//! doubly so — which is why progressively retrieving *more* data only when the
+//! analysis demands it pays off.
+//!
+//! All operators use central finite differences in the interior and one-sided
+//! differences at the boundary, on unit grid spacing.
+
+use ipc_tensor::{ArrayD, Shape};
+
+/// First-order partial derivative of `field` along `axis` (central differences).
+pub fn gradient(field: &ArrayD<f64>, axis: usize) -> ArrayD<f64> {
+    let shape = field.shape().clone();
+    assert!(axis < shape.ndim(), "axis {axis} out of range");
+    let dims = shape.dims().to_vec();
+    let n = dims[axis];
+    ArrayD::from_fn(shape.clone(), |coords| {
+        let i = coords[axis];
+        let mut hi = coords.to_vec();
+        let mut lo = coords.to_vec();
+        if i == 0 {
+            hi[axis] = 1.min(n - 1);
+            (field.get(&hi) - field.get(coords)) / 1.0_f64.max((hi[axis] - i) as f64)
+        } else if i == n - 1 {
+            lo[axis] = i - 1;
+            field.get(coords) - field.get(&lo)
+        } else {
+            hi[axis] = i + 1;
+            lo[axis] = i - 1;
+            (field.get(&hi) - field.get(&lo)) / 2.0
+        }
+    })
+}
+
+/// Discrete Laplacian: sum of second derivatives along every axis.
+pub fn laplacian(field: &ArrayD<f64>) -> ArrayD<f64> {
+    let shape = field.shape().clone();
+    let dims = shape.dims().to_vec();
+    ArrayD::from_fn(shape.clone(), |coords| {
+        let mut acc = 0.0;
+        for axis in 0..dims.len() {
+            let n = dims[axis];
+            if n < 3 {
+                continue;
+            }
+            let i = coords[axis];
+            // Clamp the stencil inside the domain (one-sided at boundaries).
+            let c = i.clamp(1, n - 2);
+            let mut lo = coords.to_vec();
+            let mut mid = coords.to_vec();
+            let mut hi = coords.to_vec();
+            lo[axis] = c - 1;
+            mid[axis] = c;
+            hi[axis] = c + 1;
+            acc += field.get(&hi) - 2.0 * field.get(&mid) + field.get(&lo);
+        }
+        acc
+    })
+}
+
+/// Magnitude of the curl of the vector field `(0, 0, ψ)` built from scalar `ψ`
+/// (the stream-function construction): `|∇×(0,0,ψ)| = |(∂ψ/∂y, −∂ψ/∂x, 0)|`.
+///
+/// This derives a first-order "Curl" quantity from a single scalar field, matching
+/// how the paper visualizes Curl on the Density field alone.
+pub fn curl_magnitude(field: &ArrayD<f64>) -> ArrayD<f64> {
+    assert!(
+        field.shape().ndim() >= 2,
+        "curl needs at least two dimensions"
+    );
+    let gx = gradient(field, 0);
+    let gy = gradient(field, 1);
+    let shape: Shape = field.shape().clone();
+    let data: Vec<f64> = gx
+        .as_slice()
+        .iter()
+        .zip(gy.as_slice())
+        .map(|(&a, &b)| (a * a + b * b).sqrt())
+        .collect();
+    ArrayD::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_field() -> ArrayD<f64> {
+        // f(i,j,k) = 2i + 3j - k
+        ArrayD::from_fn(Shape::d3(8, 8, 8), |c| {
+            2.0 * c[0] as f64 + 3.0 * c[1] as f64 - c[2] as f64
+        })
+    }
+
+    #[test]
+    fn gradient_of_linear_field_is_constant() {
+        let f = linear_field();
+        let g0 = gradient(&f, 0);
+        let g1 = gradient(&f, 1);
+        let g2 = gradient(&f, 2);
+        for idx in 0..f.len() {
+            assert!((g0.as_slice()[idx] - 2.0).abs() < 1e-12);
+            assert!((g1.as_slice()[idx] - 3.0).abs() < 1e-12);
+            assert!((g2.as_slice()[idx] + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_of_linear_field_is_zero() {
+        let f = linear_field();
+        let l = laplacian(&f);
+        assert!(l.as_slice().iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn laplacian_of_quadratic_is_constant() {
+        // f = i^2 => d2f/di2 = 2 everywhere (interior).
+        let f = ArrayD::from_fn(Shape::d3(10, 4, 4), |c| (c[0] * c[0]) as f64);
+        let l = laplacian(&f);
+        for i in 1..9 {
+            assert!((l[[i, 2, 2]] - 2.0).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn curl_magnitude_of_linear_field_is_constant() {
+        let f = linear_field();
+        let c = curl_magnitude(&f);
+        let expected = (2.0f64 * 2.0 + 3.0 * 3.0).sqrt();
+        for idx in 0..f.len() {
+            assert!((c.as_slice()[idx] - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn derivative_amplifies_noise_and_laplacian_more_so() {
+        // This reproduces the qualitative claim behind Fig. 11: a perturbation of
+        // amplitude eps produces O(eps) curl error and O(eps) laplacian error, but the
+        // laplacian error relative to its own signal magnitude is far larger for a
+        // smooth field.
+        let shape = Shape::d3(24, 24, 24);
+        let smooth = ArrayD::from_fn(shape.clone(), |c| {
+            ((c[0] as f64) * 0.3).sin() + ((c[1] as f64) * 0.25).cos()
+        });
+        let noisy = ArrayD::from_fn(shape.clone(), |c| {
+            smooth[[c[0], c[1], c[2]]] + if (c[0] + c[1] + c[2]) % 2 == 0 { 1e-3 } else { -1e-3 }
+        });
+        let curl_err: f64 = curl_magnitude(&smooth)
+            .as_slice()
+            .iter()
+            .zip(curl_magnitude(&noisy).as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let lap_err: f64 = laplacian(&smooth)
+            .as_slice()
+            .iter()
+            .zip(laplacian(&noisy).as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(lap_err > 2.0 * curl_err, "lap {lap_err} vs curl {curl_err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn gradient_invalid_axis_panics() {
+        let f = linear_field();
+        let _ = gradient(&f, 3);
+    }
+}

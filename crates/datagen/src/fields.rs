@@ -1,0 +1,364 @@
+//! Field synthesis recipes.
+//!
+//! Each recipe produces a deterministic pseudo-random field whose statistics mimic
+//! one family of SDRBench datasets. All recipes evaluate a closed-form function of
+//! normalized coordinates so the same recipe scales from unit-test grids to
+//! paper-size grids without changing character.
+
+use ipc_tensor::{ArrayD, Shape};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A synthesis recipe for one family of scientific fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldRecipe {
+    /// Superposition of random Fourier modes with a power-law spectrum
+    /// (`amplitude ∝ |k|^-spectral_slope`), mimicking hydrodynamic turbulence.
+    Turbulence {
+        /// Spectral decay exponent (Kolmogorov-like fields use ≈ 5/3).
+        spectral_slope: f64,
+        /// Number of Fourier modes superposed.
+        modes: usize,
+        /// If true the field is exponentiated so values stay positive (density,
+        /// pressure); otherwise it stays zero-mean (velocity).
+        positive: bool,
+        /// Mixed into the user seed so sibling fields decorrelate.
+        seed_offset: u64,
+    },
+    /// Sum of oscillatory Gaussian wave packets, mimicking a seismic wavefield
+    /// snapshot (sharp oscillations on a quiet background).
+    WaveField {
+        /// Number of wave packets.
+        packets: usize,
+        /// Carrier frequency of the packets (cycles across the domain).
+        base_frequency: f64,
+        /// Mixed into the user seed.
+        seed_offset: u64,
+    },
+    /// Vertically layered wind field with a jet maximum and smooth horizontal
+    /// perturbations, mimicking a weather model wind component.
+    LayeredWind {
+        /// Peak jet speed (m/s scale).
+        jet_strength: f64,
+        /// Number of horizontal perturbation modes.
+        perturbation_modes: usize,
+        /// Mixed into the user seed.
+        seed_offset: u64,
+    },
+    /// Sigmoidal reaction fronts separating burnt/unburnt regions with wrinkled
+    /// interfaces, mimicking a combustion species mass fraction in [0, 1].
+    ReactionFront {
+        /// Number of fronts placed across the domain.
+        front_count: usize,
+        /// Interface sharpness (larger = thinner flame).
+        sharpness: f64,
+        /// Mixed into the user seed.
+        seed_offset: u64,
+    },
+}
+
+/// One random Fourier mode.
+struct Mode {
+    k: [f64; 3],
+    amplitude: f64,
+    phase: f64,
+}
+
+fn sample_modes(
+    rng: &mut ChaCha8Rng,
+    count: usize,
+    slope: f64,
+    k_max: f64,
+) -> Vec<Mode> {
+    let mut modes = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Sample wave vectors with components in [1, k_max]; higher |k| is rarer by
+        // construction of the amplitude law.
+        let k = [
+            rng.gen_range(1.0..k_max) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+            rng.gen_range(1.0..k_max) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+            rng.gen_range(1.0..k_max) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+        ];
+        let k_norm = (k[0] * k[0] + k[1] * k[1] + k[2] * k[2]).sqrt();
+        modes.push(Mode {
+            k,
+            amplitude: k_norm.powf(-slope),
+            phase: rng.gen_range(0.0..std::f64::consts::TAU),
+        });
+    }
+    modes
+}
+
+#[inline]
+fn eval_modes(modes: &[Mode], x: f64, y: f64, z: f64) -> f64 {
+    let mut v = 0.0;
+    for m in modes {
+        v += m.amplitude
+            * (std::f64::consts::TAU * (m.k[0] * x + m.k[1] * y + m.k[2] * z) + m.phase).sin();
+    }
+    v
+}
+
+/// Normalized coordinates of a grid point (each in `[0, 1)`).
+#[inline]
+fn normalized(coords: &[usize], dims: &[usize]) -> (f64, f64, f64) {
+    let get = |i: usize| -> f64 {
+        if i < coords.len() && dims[i] > 1 {
+            coords[i] as f64 / dims[i] as f64
+        } else {
+            0.0
+        }
+    };
+    (get(0), get(1), get(2))
+}
+
+/// Synthesize a field from a recipe on `shape`, deterministically from `seed`.
+pub fn synthesize(recipe: FieldRecipe, shape: &Shape, seed: u64) -> ArrayD<f64> {
+    match recipe {
+        FieldRecipe::Turbulence {
+            spectral_slope,
+            modes,
+            positive,
+            seed_offset,
+        } => turbulence(shape, seed ^ seed_offset, spectral_slope, modes, positive),
+        FieldRecipe::WaveField {
+            packets,
+            base_frequency,
+            seed_offset,
+        } => wave_field(shape, seed ^ seed_offset, packets, base_frequency),
+        FieldRecipe::LayeredWind {
+            jet_strength,
+            perturbation_modes,
+            seed_offset,
+        } => layered_wind(shape, seed ^ seed_offset, jet_strength, perturbation_modes),
+        FieldRecipe::ReactionFront {
+            front_count,
+            sharpness,
+            seed_offset,
+        } => reaction_front(shape, seed ^ seed_offset, front_count, sharpness),
+    }
+}
+
+fn turbulence(
+    shape: &Shape,
+    seed: u64,
+    slope: f64,
+    mode_count: usize,
+    positive: bool,
+) -> ArrayD<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let modes = sample_modes(&mut rng, mode_count, slope, 12.0);
+    let dims = shape.dims().to_vec();
+    let field = ArrayD::from_fn(shape.clone(), |coords| {
+        let (x, y, z) = normalized(coords, &dims);
+        let v = eval_modes(&modes, x, y, z);
+        if positive {
+            // Log-normal-like positive field around 1.0 (density / pressure scale).
+            (1.5 * v).exp()
+        } else {
+            v
+        }
+    });
+    field
+}
+
+fn wave_field(shape: &Shape, seed: u64, packets: usize, base_freq: f64) -> ArrayD<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    struct Packet {
+        center: [f64; 3],
+        sigma: f64,
+        freq: f64,
+        dir: [f64; 3],
+        amp: f64,
+        phase: f64,
+    }
+    let packets: Vec<Packet> = (0..packets)
+        .map(|_| {
+            let dir: [f64; 3] = [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ];
+            let n = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
+                .sqrt()
+                .max(1e-9);
+            Packet {
+                center: [rng.gen(), rng.gen(), rng.gen()],
+                sigma: rng.gen_range(0.04..0.18),
+                freq: base_freq * rng.gen_range(0.5..1.5),
+                dir: [dir[0] / n, dir[1] / n, dir[2] / n],
+                amp: rng.gen_range(0.2..1.0),
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            }
+        })
+        .collect();
+    let dims = shape.dims().to_vec();
+    ArrayD::from_fn(shape.clone(), |coords| {
+        let (x, y, z) = normalized(coords, &dims);
+        let mut v = 0.0;
+        for p in &packets {
+            let dx = x - p.center[0];
+            let dy = y - p.center[1];
+            let dz = z - p.center[2];
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let envelope = (-r2 / (2.0 * p.sigma * p.sigma)).exp();
+            if envelope > 1e-8 {
+                let along = dx * p.dir[0] + dy * p.dir[1] + dz * p.dir[2];
+                v += p.amp
+                    * envelope
+                    * (std::f64::consts::TAU * p.freq * along + p.phase).sin();
+            }
+        }
+        v
+    })
+}
+
+fn layered_wind(shape: &Shape, seed: u64, jet: f64, modes: usize) -> ArrayD<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pert = sample_modes(&mut rng, modes, 2.0, 8.0);
+    let jet_height: f64 = rng.gen_range(0.55..0.75);
+    let jet_width: f64 = rng.gen_range(0.12..0.2);
+    let dims = shape.dims().to_vec();
+    ArrayD::from_fn(shape.clone(), |coords| {
+        let (zlev, y, x) = normalized(coords, &dims);
+        // Vertical jet profile peaking at jet_height.
+        let dz = (zlev - jet_height) / jet_width;
+        let base = jet * (-0.5 * dz * dz).exp() + 2.0 * zlev;
+        // Smooth horizontal perturbations that strengthen with altitude.
+        let perturbation = eval_modes(&pert, x, y, zlev) * (2.0 + 6.0 * zlev);
+        base + perturbation
+    })
+}
+
+fn reaction_front(shape: &Shape, seed: u64, fronts: usize, sharpness: f64) -> ArrayD<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    struct Front {
+        position: f64,
+        wrinkle: Vec<Mode>,
+        width: f64,
+    }
+    let fronts: Vec<Front> = (0..fronts)
+        .map(|i| Front {
+            position: (i as f64 + rng.gen_range(0.25..0.75)) / (fronts as f64 + 0.5),
+            wrinkle: sample_modes(&mut rng, 10, 1.5, 6.0),
+            width: 1.0 / sharpness * rng.gen_range(0.8..1.4),
+        })
+        .collect();
+    let background = sample_modes(&mut rng, 16, 2.2, 6.0);
+    let dims = shape.dims().to_vec();
+    ArrayD::from_fn(shape.clone(), |coords| {
+        let (x, y, z) = normalized(coords, &dims);
+        // Mass fraction alternates across successive fronts (burnt / unburnt layers).
+        let mut value: f64 = 0.02;
+        let mut sign = 1.0;
+        for f in &fronts {
+            let wrinkled = f.position + 0.04 * eval_modes(&f.wrinkle, 0.0, y, z);
+            let s = 1.0 / (1.0 + (-(x - wrinkled) / f.width).exp());
+            value += sign * 0.3 * s;
+            sign = -sign;
+        }
+        // Small-scale positive mixing fluctuations.
+        let fluct = 0.02 * (1.0 + eval_modes(&background, x, y, z)).max(0.0);
+        (value + fluct).clamp(0.0, 1.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turbulence_spectral_slope_affects_smoothness() {
+        let shape = Shape::d3(8, 32, 32);
+        let rough = turbulence(&shape, 9, 1.2, 48, false);
+        let smooth = turbulence(&shape, 9, 3.0, 48, false);
+        // Total variation along the last axis should be larger for the shallow
+        // spectrum (rougher field), after normalizing by the value range.
+        let tv = |f: &ArrayD<f64>| {
+            let dims = f.shape().dims().to_vec();
+            let mut acc = 0.0;
+            for i in 0..dims[0] {
+                for j in 0..dims[1] {
+                    for k in 1..dims[2] {
+                        acc += (f[[i, j, k]] - f[[i, j, k - 1]]).abs();
+                    }
+                }
+            }
+            acc / f.value_range()
+        };
+        assert!(tv(&rough) > tv(&smooth));
+    }
+
+    #[test]
+    fn wave_field_has_quiet_background() {
+        let shape = Shape::d3(16, 24, 24);
+        let f = wave_field(&shape, 5, 8, 10.0);
+        // Median magnitude should be much smaller than the maximum (localized packets).
+        let mut mags: Vec<f64> = f.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = mags[mags.len() / 2];
+        let max = mags[mags.len() - 1];
+        assert!(median < 0.5 * max, "median {median}, max {max}");
+    }
+
+    #[test]
+    fn layered_wind_increases_with_altitude_on_average() {
+        let shape = Shape::d3(16, 24, 24);
+        let f = layered_wind(&shape, 3, 25.0, 16);
+        let dims = shape.dims();
+        let layer_mean = |lvl: usize| {
+            let mut acc = 0.0;
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    acc += f[[lvl, j, k]];
+                }
+            }
+            acc / (dims[1] * dims[2]) as f64
+        };
+        // The jet peaks in the upper half of the column.
+        assert!(layer_mean(11) > layer_mean(1));
+    }
+
+    #[test]
+    fn reaction_front_bounded_in_unit_interval() {
+        let shape = Shape::d3(20, 20, 20);
+        let f = reaction_front(&shape, 8, 3, 20.0);
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Must contain both near-burnt and near-unburnt regions.
+        let (lo, hi) = f.min_max();
+        assert!(hi - lo > 0.2, "front contrast too small: {lo}..{hi}");
+    }
+
+    #[test]
+    fn synthesize_dispatches_all_recipes() {
+        let shape = Shape::d3(6, 8, 10);
+        for recipe in [
+            FieldRecipe::Turbulence {
+                spectral_slope: 1.7,
+                modes: 8,
+                positive: true,
+                seed_offset: 1,
+            },
+            FieldRecipe::WaveField {
+                packets: 4,
+                base_frequency: 6.0,
+                seed_offset: 2,
+            },
+            FieldRecipe::LayeredWind {
+                jet_strength: 20.0,
+                perturbation_modes: 8,
+                seed_offset: 3,
+            },
+            FieldRecipe::ReactionFront {
+                front_count: 2,
+                sharpness: 15.0,
+                seed_offset: 4,
+            },
+        ] {
+            let f = synthesize(recipe, &shape, 77);
+            assert_eq!(f.len(), shape.len());
+            assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Compression entry points.
+
+use ipc_tensor::ArrayD;
+use rayon::prelude::*;
+
+use crate::bitplane::{encode_level, EncodedLevel};
+use crate::config::Config;
+use crate::container::{encode_anchors, Compressed, Header};
+use crate::error::{IpcompError, Result};
+use crate::interp::{num_levels, process_anchors, process_level};
+use crate::progressive::{ProgressiveDecoder, RetrievalRequest};
+use crate::quantize::{dequantize, quantize};
+
+/// Compress a field with an **absolute** point-wise error bound.
+///
+/// This runs the full IPComp pipeline of the paper: multilevel interpolation
+/// prediction, linear-scale quantization, and predictive negabinary bitplane coding
+/// into independently loadable blocks.
+///
+/// # Errors
+///
+/// Returns [`IpcompError::InvalidInput`] if the error bound is not positive and
+/// finite.
+pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result<Compressed> {
+    if !(error_bound.is_finite() && error_bound > 0.0) {
+        return Err(IpcompError::InvalidInput(format!(
+            "error bound must be positive and finite, got {error_bound}"
+        )));
+    }
+    if data.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(IpcompError::InvalidInput(
+            "input contains non-finite values".into(),
+        ));
+    }
+    let shape = data.shape().clone();
+    let orig = data.as_slice();
+    let levels = num_levels(&shape);
+    let eb = error_bound;
+
+    // Prediction + quantization pass. The work buffer always holds the values the
+    // decompressor will see, so predictions are made from lossy data exactly as they
+    // will be at decompression time (paper Sec. 4.2.2).
+    let mut work = vec![0.0f64; shape.len()];
+    let mut anchor_codes: Vec<i64> = Vec::new();
+    process_anchors(&shape, &mut work, |off, pred| {
+        let q = quantize(orig[off] - pred, eb);
+        anchor_codes.push(q);
+        pred + dequantize(q, eb)
+    });
+
+    let mut level_codes: Vec<Vec<i64>> = Vec::with_capacity(levels as usize);
+    for level in (1..=levels).rev() {
+        let mut codes = Vec::new();
+        process_level(&shape, level, config.interpolation, &mut work, |off, pred| {
+            let q = quantize(orig[off] - pred, eb);
+            codes.push(q);
+            pred + dequantize(q, eb)
+        });
+        level_codes.push(codes);
+    }
+
+    // Entropy / bitplane stage — independent per level, so it can run in parallel.
+    let encode = |codes: &Vec<i64>| -> EncodedLevel {
+        encode_level(
+            codes,
+            config.prefix_bits,
+            config.predictive_coding,
+            config.parallel_encoding,
+        )
+    };
+    let encoded_levels: Vec<EncodedLevel> = if config.parallel_encoding {
+        level_codes.par_iter().map(encode).collect()
+    } else {
+        level_codes.iter().map(encode).collect()
+    };
+
+    let progressive_levels = config
+        .progressive_levels
+        .unwrap_or(levels)
+        .clamp(0, levels);
+
+    Ok(Compressed {
+        header: Header {
+            dims: shape.dims().to_vec(),
+            error_bound: eb,
+            interpolation: config.interpolation,
+            num_levels: levels,
+            progressive_levels,
+            prefix_bits: config.prefix_bits,
+            predictive_coding: config.predictive_coding,
+            value_range: data.value_range(),
+        },
+        anchors: encode_anchors(&anchor_codes),
+        levels: encoded_levels,
+    })
+}
+
+/// Compress with an error bound **relative** to the field's value range
+/// (`eb = rel_bound · (max − min)`), the convention used throughout the paper's
+/// evaluation (e.g. `1e-6` and `1e-9` in Fig. 5).
+pub fn compress_rel(data: &ArrayD<f64>, rel_bound: f64, config: &Config) -> Result<Compressed> {
+    let range = data.value_range();
+    if range == 0.0 {
+        // A constant field: any positive bound works; pick the relative bound itself.
+        return compress(data, rel_bound.max(f64::MIN_POSITIVE), config);
+    }
+    compress(data, rel_bound * range, config)
+}
+
+impl Compressed {
+    /// Full-fidelity decompression (all bitplanes), returning the reconstructed
+    /// field. Progressive retrieval goes through [`ProgressiveDecoder`] instead.
+    pub fn decompress(&self) -> Result<ArrayD<f64>> {
+        let mut dec = ProgressiveDecoder::new(self);
+        Ok(dec.retrieve(RetrievalRequest::Full)?.data)
+    }
+
+    /// Compression ratio achieved against an uncompressed f64 representation.
+    pub fn compression_ratio(&self) -> f64 {
+        let original = self.header.num_elements() * std::mem::size_of::<f64>();
+        original as f64 / self.total_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Interpolation;
+    use ipc_metrics::linf_error;
+    use ipc_tensor::Shape;
+
+    fn smooth_field(shape: Shape) -> ArrayD<f64> {
+        ArrayD::from_fn(shape, |c| {
+            (c[0] as f64 * 0.2).sin() + (c.get(1).copied().unwrap_or(0) as f64 * 0.1).cos() * 2.0
+                + c.last().copied().unwrap_or(0) as f64 * 0.01
+        })
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound_1d_2d_3d() {
+        for dims in [vec![100usize], vec![33, 57], vec![20, 24, 28]] {
+            let data = smooth_field(Shape::new(&dims));
+            for eb in [1e-3, 1e-6] {
+                let c = compress(&data, eb, &Config::default()).unwrap();
+                let out = c.decompress().unwrap();
+                let err = linf_error(data.as_slice(), out.as_slice());
+                assert!(err <= eb * (1.0 + 1e-9), "dims {dims:?} eb {eb}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_and_cubic_both_bounded() {
+        let data = smooth_field(Shape::d3(17, 19, 23));
+        for interp in [Interpolation::Linear, Interpolation::Cubic] {
+            let cfg = Config {
+                interpolation: interp,
+                ..Config::default()
+            };
+            let c = compress(&data, 1e-5, &cfg).unwrap();
+            let out = c.decompress().unwrap();
+            assert!(linf_error(data.as_slice(), out.as_slice()) <= 1e-5 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_field(Shape::d3(32, 32, 32));
+        let c = compress_rel(&data, 1e-4, &Config::default()).unwrap();
+        assert!(
+            c.compression_ratio() > 5.0,
+            "expected CR > 5, got {}",
+            c.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn tighter_bounds_compress_less() {
+        let data = smooth_field(Shape::d3(24, 24, 24));
+        let loose = compress_rel(&data, 1e-3, &Config::default()).unwrap();
+        let tight = compress_rel(&data, 1e-8, &Config::default()).unwrap();
+        assert!(loose.compression_ratio() > tight.compression_ratio());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let data = smooth_field(Shape::d2(10, 10));
+        assert!(compress(&data, 0.0, &Config::default()).is_err());
+        assert!(compress(&data, f64::NAN, &Config::default()).is_err());
+        let mut bad = data.clone();
+        bad.as_mut_slice()[5] = f64::INFINITY;
+        assert!(compress(&bad, 1e-6, &Config::default()).is_err());
+    }
+
+    #[test]
+    fn constant_field_roundtrips() {
+        let data = ArrayD::full(Shape::d3(8, 8, 8), 3.25);
+        let c = compress_rel(&data, 1e-6, &Config::default()).unwrap();
+        let out = c.decompress().unwrap();
+        assert!(linf_error(data.as_slice(), out.as_slice()) < 1e-6);
+        // A constant field should compress extremely well (the container header and
+        // level metadata are the only remaining cost on a 4 KiB input).
+        assert!(c.compression_ratio() > 25.0, "CR {}", c.compression_ratio());
+    }
+
+    #[test]
+    fn serialization_preserves_decompression() {
+        let data = smooth_field(Shape::d3(16, 18, 14));
+        let c = compress(&data, 1e-6, &Config::default()).unwrap();
+        let bytes = c.to_bytes();
+        let back = Compressed::from_bytes(&bytes).unwrap();
+        let a = c.decompress().unwrap();
+        let b = back.decompress().unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn parallel_and_serial_compression_agree() {
+        let data = smooth_field(Shape::d3(20, 20, 20));
+        let serial = compress(
+            &data,
+            1e-6,
+            &Config {
+                parallel_encoding: false,
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        let parallel = compress(
+            &data,
+            1e-6,
+            &Config {
+                parallel_encoding: true,
+                ..Config::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.to_bytes(), parallel.to_bytes());
+    }
+}

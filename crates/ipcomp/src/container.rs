@@ -1,0 +1,350 @@
+//! Compressed container format.
+//!
+//! The container is what lands on disk (or in an object store): a small header, the
+//! always-loaded anchor block, and — per interpolation level — a metadata record plus
+//! one independently addressable block per bitplane (the numbered blocks of the
+//! paper's Fig. 2). Retrieval reads the header + anchors + metadata, asks the
+//! optimizer which plane blocks to fetch, and loads only those.
+
+use ipc_codecs::byteio::{
+    read_bytes, read_f64, read_u32, write_bytes, write_f64, write_u32,
+};
+use ipc_codecs::varint::{read_varint, varint_len, write_varint};
+use ipc_codecs::{lzr_compress, lzr_decompress, zigzag_decode, zigzag_encode};
+use ipc_tensor::Shape;
+
+use crate::bitplane::EncodedLevel;
+use crate::config::Interpolation;
+use crate::error::{IpcompError, Result};
+
+/// Magic bytes identifying an IPComp container.
+pub const MAGIC: &[u8; 4] = b"IPCP";
+/// Container format version.
+pub const VERSION: u32 = 1;
+
+/// Container header: everything needed to plan a retrieval without touching payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Grid dimensions of the original field.
+    pub dims: Vec<usize>,
+    /// Absolute error bound the data was quantized with.
+    pub error_bound: f64,
+    /// Interpolation formula used by the predictor.
+    pub interpolation: Interpolation,
+    /// Number of interpolation levels (level 1 = finest).
+    pub num_levels: u32,
+    /// Levels `1..=progressive_levels` are bitplane-progressive; coarser levels are
+    /// always loaded in full.
+    pub progressive_levels: u32,
+    /// Prefix bits used by the predictive bitplane coder.
+    pub prefix_bits: u8,
+    /// Whether predictive coding was applied.
+    pub predictive_coding: bool,
+    /// Value range (max − min) of the original data, stored for relative-bound
+    /// retrievals and PSNR reporting.
+    pub value_range: f64,
+}
+
+impl Header {
+    /// Reconstruct the [`Shape`] of the original field.
+    pub fn shape(&self) -> Shape {
+        Shape::new(&self.dims)
+    }
+
+    /// Number of scalar elements in the original field.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// A complete IPComp compressed artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// Container header.
+    pub header: Header,
+    /// LZR-compressed zigzag-varint anchor codes (always loaded).
+    pub anchors: Vec<u8>,
+    /// Per-level bitplane blocks, ordered from the **coarsest** level
+    /// (`num_levels`) down to the finest (level 1).
+    pub levels: Vec<EncodedLevel>,
+}
+
+impl Compressed {
+    /// The interpolation level number corresponding to `levels[idx]`.
+    pub fn level_number(&self, idx: usize) -> u32 {
+        self.header.num_levels - idx as u32
+    }
+
+    /// Whether `levels[idx]` participates in progressive (partial-plane) loading.
+    pub fn is_progressive(&self, idx: usize) -> bool {
+        self.level_number(idx) <= self.header.progressive_levels
+    }
+
+    /// Bytes that every retrieval must load regardless of fidelity: header, anchors,
+    /// and per-level metadata (plane sizes + truncation-loss tables). Computed to
+    /// mirror [`Compressed::to_bytes`] exactly, so
+    /// `base_bytes() + payload_bytes() == to_bytes().len()`.
+    pub fn base_bytes(&self) -> usize {
+        let header = 4 // magic
+            + 4 // version
+            + varint_len(self.header.dims.len() as u64)
+            + self
+                .header
+                .dims
+                .iter()
+                .map(|&d| varint_len(d as u64))
+                .sum::<usize>()
+            + 8 // error bound
+            + 1 // interpolation id
+            + 4 // num_levels
+            + 4 // progressive_levels
+            + 1 // prefix bits
+            + 1 // predictive flag
+            + 8; // value range
+        let anchors = varint_len(self.anchors.len() as u64) + self.anchors.len();
+        let levels_header = varint_len(self.levels.len() as u64);
+        let metadata: usize = self
+            .levels
+            .iter()
+            .map(|l| {
+                varint_len(l.n_values as u64)
+                    + 1
+                    + l.trunc_loss.iter().map(|&v| varint_len(v)).sum::<usize>()
+                    + l.planes
+                        .iter()
+                        .map(|p| varint_len(p.len() as u64))
+                        .sum::<usize>()
+            })
+            .sum();
+        header + anchors + levels_header + metadata
+    }
+
+    /// Total compressed payload bytes (all bitplane blocks of all levels).
+    pub fn payload_bytes(&self) -> usize {
+        self.levels.iter().map(EncodedLevel::payload_bytes).sum()
+    }
+
+    /// Total size of the compressed artifact; equals `to_bytes().len()`.
+    pub fn total_bytes(&self) -> usize {
+        self.base_bytes() + self.payload_bytes()
+    }
+
+    /// Serialize the container to a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() + 64);
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, VERSION);
+        write_varint(&mut out, self.header.dims.len() as u64);
+        for &d in &self.header.dims {
+            write_varint(&mut out, d as u64);
+        }
+        write_f64(&mut out, self.header.error_bound);
+        out.push(self.header.interpolation.id());
+        write_u32(&mut out, self.header.num_levels);
+        write_u32(&mut out, self.header.progressive_levels);
+        out.push(self.header.prefix_bits);
+        out.push(self.header.predictive_coding as u8);
+        write_f64(&mut out, self.header.value_range);
+
+        write_bytes(&mut out, &self.anchors);
+
+        write_varint(&mut out, self.levels.len() as u64);
+        for level in &self.levels {
+            write_varint(&mut out, level.n_values as u64);
+            out.push(level.num_planes);
+            for &loss in &level.trunc_loss {
+                write_varint(&mut out, loss);
+            }
+            for plane in &level.planes {
+                write_bytes(&mut out, plane);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a container produced by [`Compressed::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let magic = buf
+            .get(0..4)
+            .ok_or(IpcompError::CorruptContainer("missing magic"))?;
+        if magic != MAGIC {
+            return Err(IpcompError::CorruptContainer("bad magic"));
+        }
+        pos += 4;
+        let version = read_u32(buf, &mut pos)?;
+        if version != VERSION {
+            return Err(IpcompError::CorruptContainer("unsupported version"));
+        }
+        let ndim = read_varint(buf, &mut pos)? as usize;
+        if ndim == 0 || ndim > ipc_tensor::MAX_DIMS {
+            return Err(IpcompError::CorruptContainer("invalid dimension count"));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_varint(buf, &mut pos)? as usize);
+        }
+        let error_bound = read_f64(buf, &mut pos)?;
+        let interp_id = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))?;
+        pos += 1;
+        let interpolation = Interpolation::from_id(interp_id)
+            .ok_or(IpcompError::CorruptContainer("unknown interpolation id"))?;
+        let num_levels = read_u32(buf, &mut pos)?;
+        let progressive_levels = read_u32(buf, &mut pos)?;
+        let prefix_bits = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))?;
+        pos += 1;
+        let predictive_coding = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))? != 0;
+        pos += 1;
+        let value_range = read_f64(buf, &mut pos)?;
+
+        let anchors = read_bytes(buf, &mut pos)?.to_vec();
+
+        let n_levels = read_varint(buf, &mut pos)? as usize;
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let n_values = read_varint(buf, &mut pos)? as usize;
+            let num_planes = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))?;
+            pos += 1;
+            if num_planes > 63 {
+                return Err(IpcompError::CorruptContainer("plane count out of range"));
+            }
+            let mut trunc_loss = Vec::with_capacity(num_planes as usize + 1);
+            for _ in 0..=num_planes {
+                trunc_loss.push(read_varint(buf, &mut pos)?);
+            }
+            let mut planes = Vec::with_capacity(num_planes as usize);
+            for _ in 0..num_planes {
+                planes.push(read_bytes(buf, &mut pos)?.to_vec());
+            }
+            levels.push(EncodedLevel {
+                n_values,
+                num_planes,
+                planes,
+                trunc_loss,
+            });
+        }
+
+        Ok(Self {
+            header: Header {
+                dims,
+                error_bound,
+                interpolation,
+                num_levels,
+                progressive_levels,
+                prefix_bits,
+                predictive_coding,
+                value_range,
+            },
+            anchors,
+            levels,
+        })
+    }
+}
+
+/// Compress anchor codes (zigzag varints + LZR).
+pub fn encode_anchors(codes: &[i64]) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(codes.len() * 2);
+    write_varint(&mut raw, codes.len() as u64);
+    for &c in codes {
+        write_varint(&mut raw, zigzag_encode(c));
+    }
+    lzr_compress(&raw)
+}
+
+/// Decode anchor codes produced by [`encode_anchors`].
+pub fn decode_anchors(bytes: &[u8]) -> Result<Vec<i64>> {
+    let raw = lzr_decompress(bytes)?;
+    let mut pos = 0usize;
+    let n = read_varint(&raw, &mut pos)? as usize;
+    let mut codes = Vec::with_capacity(n);
+    for _ in 0..n {
+        codes.push(zigzag_decode(read_varint(&raw, &mut pos)?));
+    }
+    Ok(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_compressed() -> Compressed {
+        let codes_a: Vec<i64> = (0..40).map(|i| (i * 7) % 13 - 6).collect();
+        let codes_l1: Vec<i64> = (0..500).map(|i| ((i * i) % 97) as i64 - 48).collect();
+        let codes_l2: Vec<i64> = (0..100).map(|i| (i % 31) as i64 - 15).collect();
+        Compressed {
+            header: Header {
+                dims: vec![10, 10, 10],
+                error_bound: 1e-6,
+                interpolation: Interpolation::Cubic,
+                num_levels: 2,
+                progressive_levels: 2,
+                prefix_bits: 2,
+                predictive_coding: true,
+                value_range: 3.5,
+            },
+            anchors: encode_anchors(&codes_a),
+            levels: vec![
+                crate::bitplane::encode_level(&codes_l2, 2, true, false),
+                crate::bitplane::encode_level(&codes_l1, 2, true, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let c = sample_compressed();
+        let bytes = c.to_bytes();
+        let back = Compressed::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn size_accounting_matches_serialized_size_exactly() {
+        let c = sample_compressed();
+        assert_eq!(c.total_bytes(), c.to_bytes().len());
+        assert_eq!(
+            c.base_bytes() + c.payload_bytes(),
+            c.to_bytes().len()
+        );
+    }
+
+    #[test]
+    fn anchors_roundtrip() {
+        let codes: Vec<i64> = (-2000..2000).map(|i| i * 3).collect();
+        let enc = encode_anchors(&codes);
+        assert_eq!(decode_anchors(&enc).unwrap(), codes);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let c = sample_compressed();
+        let mut bytes = c.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Compressed::from_bytes(&bytes),
+            Err(IpcompError::CorruptContainer(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_container_rejected() {
+        let c = sample_compressed();
+        let bytes = c.to_bytes();
+        for cut in [3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Compressed::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn level_numbering_and_progressive_flags() {
+        let c = sample_compressed();
+        assert_eq!(c.level_number(0), 2);
+        assert_eq!(c.level_number(1), 1);
+        assert!(c.is_progressive(0));
+        assert!(c.is_progressive(1));
+        let mut limited = c.clone();
+        limited.header.progressive_levels = 1;
+        assert!(!limited.is_progressive(0));
+        assert!(limited.is_progressive(1));
+    }
+}

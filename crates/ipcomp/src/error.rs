@@ -1,0 +1,60 @@
+//! Error types for the IPComp public API.
+
+use ipc_codecs::CodecError;
+
+/// Errors surfaced by compression, serialization, or retrieval.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IpcompError {
+    /// A lossless codec failed while reading a compressed block (corruption or
+    /// truncation).
+    Codec(CodecError),
+    /// The caller supplied inconsistent parameters (e.g. a non-positive error bound).
+    InvalidInput(String),
+    /// The compressed container is malformed.
+    CorruptContainer(&'static str),
+}
+
+impl From<CodecError> for IpcompError {
+    fn from(e: CodecError) -> Self {
+        IpcompError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for IpcompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpcompError::Codec(e) => write!(f, "codec error: {e}"),
+            IpcompError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            IpcompError::CorruptContainer(msg) => write!(f, "corrupt container: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IpcompError {}
+
+/// Convenience alias for IPComp results.
+pub type Result<T> = std::result::Result<T, IpcompError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variants() {
+        let e = IpcompError::InvalidInput("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = IpcompError::Codec(CodecError::UnexpectedEof);
+        assert!(e.to_string().contains("codec"));
+        let e = IpcompError::CorruptContainer("magic");
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        fn inner() -> Result<()> {
+            Err(CodecError::UnexpectedEof)?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(IpcompError::Codec(_))));
+    }
+}

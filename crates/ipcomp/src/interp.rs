@@ -1,0 +1,344 @@
+//! Multilevel interpolation predictor (paper Sec. 4.1 and Fig. 3).
+//!
+//! The input grid is partitioned into orthogonal levels by a shrinking stride: level
+//! `l` (1 = finest) owns the points that lie on the `2^(l-1)` lattice but not on the
+//! `2^l` lattice, and the *anchor* points (all coordinates multiples of `2^L`) seed
+//! the whole cascade and are predicted from zero (Algorithm 1, line 2).
+//!
+//! Within a level the predictor sweeps the dimensions in order; along the active
+//! dimension each target (at an odd multiple of the stride) is interpolated from its
+//! already-known neighbours at `±stride` (linear) or `±stride, ±3·stride` (cubic),
+//! falling back to lower-order formulas at the domain boundary. Compression and
+//! decompression share the exact same traversal through [`process_level`] /
+//! [`process_anchors`]; only the per-point closure differs, which is what guarantees
+//! that the decompressor reproduces the compressor's predictions bit for bit.
+
+use crate::config::Interpolation;
+use ipc_tensor::{AxisRange, GridIter, Shape};
+
+/// Number of interpolation levels for a shape: `ceil(log2(max_dim))`, at least 1.
+pub fn num_levels(shape: &Shape) -> u32 {
+    let max_dim = shape.max_dim();
+    if max_dim <= 2 {
+        1
+    } else {
+        (usize::BITS - (max_dim - 1).leading_zeros()).max(1)
+    }
+}
+
+/// Stride of a level: `2^(level-1)`.
+pub fn level_stride(level: u32) -> usize {
+    1usize << (level - 1)
+}
+
+/// Number of points owned by the anchor grid (stride `2^L` in every dimension).
+pub fn anchor_count(shape: &Shape) -> usize {
+    let stride = level_stride(num_levels(shape) + 1);
+    shape
+        .dims()
+        .iter()
+        .map(|&d| (d - 1) / stride + 1)
+        .product()
+}
+
+/// Number of points owned by level `level` (i.e. predicted during that level).
+pub fn level_count(shape: &Shape, level: u32) -> usize {
+    let mut count = 0usize;
+    for_each_level_range(shape, level_stride(level), |ranges| {
+        count += GridIter::new(shape, ranges).total();
+    });
+    count
+}
+
+/// Invoke `f` with the per-dimension axis ranges of every dimension pass of a level.
+fn for_each_level_range(shape: &Shape, stride: usize, mut f: impl FnMut(Vec<AxisRange>)) {
+    let dims = shape.dims();
+    let ndim = dims.len();
+    for d in 0..ndim {
+        if stride >= dims[d] {
+            // No odd multiple of `stride` fits in this dimension.
+            continue;
+        }
+        let mut ranges = Vec::with_capacity(ndim);
+        for (e, &len) in dims.iter().enumerate() {
+            let range = if e < d {
+                // Dimensions already swept in this level: full `stride` lattice.
+                AxisRange::strided(0, stride, len)
+            } else if e == d {
+                // Active dimension: odd multiples of `stride`.
+                AxisRange::strided(stride, 2 * stride, len)
+            } else {
+                // Dimensions not yet swept: still on the coarser `2·stride` lattice.
+                AxisRange::strided(0, 2 * stride, len)
+            };
+            ranges.push(range);
+        }
+        f(ranges);
+    }
+}
+
+/// Compute the interpolation prediction for a target point.
+///
+/// `offset` is the flat index of the target, `coord` its coordinate along the active
+/// dimension `d`, `dim_len`/`dim_stride` the size and flat stride of that dimension,
+/// and `work` the buffer holding already-reconstructed values.
+#[inline]
+fn predict_point(
+    work: &[f64],
+    offset: usize,
+    coord: usize,
+    dim_len: usize,
+    dim_stride: usize,
+    stride: usize,
+    method: Interpolation,
+) -> f64 {
+    let prev = work[offset - stride * dim_stride];
+    let has_next = coord + stride < dim_len;
+    if !has_next {
+        // Boundary: only the previous neighbour exists.
+        return prev;
+    }
+    let next = work[offset + stride * dim_stride];
+    match method {
+        Interpolation::Linear => 0.5 * (prev + next),
+        Interpolation::Cubic => {
+            let has_prev3 = coord >= 3 * stride;
+            let has_next3 = coord + 3 * stride < dim_len;
+            if has_prev3 && has_next3 {
+                let prev3 = work[offset - 3 * stride * dim_stride];
+                let next3 = work[offset + 3 * stride * dim_stride];
+                -0.0625 * prev3 + 0.5625 * prev + 0.5625 * next - 0.0625 * next3
+            } else {
+                0.5 * (prev + next)
+            }
+        }
+    }
+}
+
+/// Visit every anchor point (all coordinates multiples of the anchor stride) in
+/// deterministic row-major order. For each anchor, `f(offset, prediction)` is called
+/// with a prediction of `0.0` and must return the value to store into `work[offset]`.
+pub fn process_anchors(
+    shape: &Shape,
+    work: &mut [f64],
+    mut f: impl FnMut(usize, f64) -> f64,
+) {
+    let stride = level_stride(num_levels(shape) + 1);
+    let ranges: Vec<AxisRange> = shape
+        .dims()
+        .iter()
+        .map(|&len| AxisRange::strided(0, stride, len))
+        .collect();
+    for (_, offset) in GridIter::new(shape, ranges) {
+        let new = f(offset, 0.0);
+        work[offset] = new;
+    }
+}
+
+/// Visit every target point of `level` in deterministic order. For each target,
+/// the prediction is computed from `work` and `f(offset, prediction)` is called; its
+/// return value is stored into `work[offset]` before the traversal moves on (so later
+/// targets in the same level see reconstructed values, exactly as in decompression).
+pub fn process_level(
+    shape: &Shape,
+    level: u32,
+    method: Interpolation,
+    work: &mut [f64],
+    mut f: impl FnMut(usize, f64) -> f64,
+) {
+    let stride = level_stride(level);
+    let dims = shape.dims().to_vec();
+    let strides = shape.strides().to_vec();
+    let ndim = dims.len();
+    for d in 0..ndim {
+        if stride >= dims[d] {
+            continue;
+        }
+        let mut ranges = Vec::with_capacity(ndim);
+        for (e, &len) in dims.iter().enumerate() {
+            let range = if e < d {
+                AxisRange::strided(0, stride, len)
+            } else if e == d {
+                AxisRange::strided(stride, 2 * stride, len)
+            } else {
+                AxisRange::strided(0, 2 * stride, len)
+            };
+            ranges.push(range);
+        }
+        for (coords, offset) in GridIter::new(shape, ranges) {
+            let pred = predict_point(
+                work,
+                offset,
+                coords[d],
+                dims[d],
+                strides[d],
+                stride,
+                method,
+            );
+            let new = f(offset, pred);
+            work[offset] = new;
+        }
+    }
+}
+
+/// Total number of points across anchors and all levels — must equal `shape.len()`.
+///
+/// Exposed for tests and for container sanity checks.
+pub fn total_points(shape: &Shape) -> usize {
+    let levels = num_levels(shape);
+    let mut total = anchor_count(shape);
+    for l in 1..=levels {
+        total += level_count(shape, l);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipc_tensor::ArrayD;
+
+    #[test]
+    fn level_count_partition_is_exact() {
+        for dims in [
+            vec![16usize],
+            vec![17],
+            vec![8, 8],
+            vec![7, 13],
+            vec![16, 20, 20],
+            vec![5, 9, 33],
+            vec![2, 2, 2],
+            vec![1, 50, 3],
+        ] {
+            let shape = Shape::new(&dims);
+            assert_eq!(
+                total_points(&shape),
+                shape.len(),
+                "partition mismatch for {dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_point_visited_exactly_once() {
+        let shape = Shape::d3(9, 12, 7);
+        let mut visits = vec![0u32; shape.len()];
+        let mut work = vec![0.0; shape.len()];
+        process_anchors(&shape, &mut work, |off, _| {
+            visits[off] += 1;
+            0.0
+        });
+        for level in (1..=num_levels(&shape)).rev() {
+            process_level(&shape, level, Interpolation::Linear, &mut work, |off, _| {
+                visits[off] += 1;
+                0.0
+            });
+        }
+        assert!(visits.iter().all(|&v| v == 1), "visits: {visits:?}");
+    }
+
+    #[test]
+    fn num_levels_grows_with_dimension() {
+        assert_eq!(num_levels(&Shape::d1(2)), 1);
+        assert_eq!(num_levels(&Shape::d1(3)), 2);
+        assert_eq!(num_levels(&Shape::d1(4)), 2);
+        assert_eq!(num_levels(&Shape::d1(5)), 3);
+        assert_eq!(num_levels(&Shape::d1(9)), 4);
+        assert_eq!(num_levels(&Shape::d1(1024)), 10);
+        assert_eq!(num_levels(&Shape::d3(256, 384, 384)), 9);
+    }
+
+    #[test]
+    fn linear_ramp_has_zero_interior_residuals() {
+        // A perfectly linear field is predicted exactly by linear interpolation away
+        // from boundary fallbacks, so residuals there must vanish.
+        let shape = Shape::d2(17, 17);
+        let field = ArrayD::from_fn(shape.clone(), |c| c[0] as f64 + 2.0 * c[1] as f64);
+        let orig = field.as_slice().to_vec();
+        let mut work = orig.clone();
+        let mut nonzero = 0usize;
+        let mut interior = 0usize;
+        process_anchors(&shape, &mut work, |off, _| orig[off]);
+        for level in (1..=num_levels(&shape)).rev() {
+            process_level(&shape, level, Interpolation::Linear, &mut work, |off, pred| {
+                let resid = orig[off] - pred;
+                if resid.abs() > 1e-12 {
+                    nonzero += 1;
+                }
+                interior += 1;
+                orig[off]
+            });
+        }
+        assert!(interior > 0);
+        // Only boundary-fallback targets may have nonzero residuals; they are a thin
+        // O(n^(d-1)/n) fraction of the 17x17 grid.
+        assert!(
+            (nonzero as f64) < 0.30 * interior as f64,
+            "nonzero {nonzero} of {interior}"
+        );
+    }
+
+    #[test]
+    fn cubic_reproduces_cubic_polynomial_in_interior() {
+        let shape = Shape::d1(33);
+        let poly = |x: f64| 0.5 * x * x * x - 2.0 * x * x + 3.0 * x - 7.0;
+        let orig: Vec<f64> = (0..33).map(|i| poly(i as f64)).collect();
+        let mut work = orig.clone();
+        process_anchors(&shape, &mut work, |off, _| orig[off]);
+        // Only check the finest level where all four cubic neighbours exist away from
+        // boundaries.
+        let mut max_err = 0.0f64;
+        for level in (1..=num_levels(&shape)).rev() {
+            process_level(&shape, level, Interpolation::Cubic, &mut work, |off, pred| {
+                if level == 1 && off >= 3 && off + 3 < 33 {
+                    max_err = max_err.max((orig[off] - pred).abs());
+                }
+                orig[off]
+            });
+        }
+        assert!(max_err < 1e-9, "cubic interior error {max_err}");
+    }
+
+    #[test]
+    fn reconstruction_matches_when_residuals_are_exact() {
+        // Feeding back `pred + residual` with exact residuals reproduces the input.
+        let shape = Shape::d3(6, 11, 5);
+        let field = ArrayD::from_fn(shape.clone(), |c| {
+            (c[0] as f64 * 0.7).sin() + (c[1] as f64 * 0.3).cos() + c[2] as f64
+        });
+        let orig = field.as_slice().to_vec();
+
+        // Compression pass: record residuals in traversal order.
+        let mut residuals = Vec::new();
+        let mut work = vec![0.0; shape.len()];
+        process_anchors(&shape, &mut work, |off, pred| {
+            residuals.push(orig[off] - pred);
+            orig[off]
+        });
+        for level in (1..=num_levels(&shape)).rev() {
+            process_level(&shape, level, Interpolation::Cubic, &mut work, |off, pred| {
+                residuals.push(orig[off] - pred);
+                orig[off]
+            });
+        }
+
+        // Decompression pass: replay residuals in the same order.
+        let mut replay = residuals.into_iter();
+        let mut out = vec![0.0; shape.len()];
+        process_anchors(&shape, &mut out, |_, pred| pred + replay.next().unwrap());
+        for level in (1..=num_levels(&shape)).rev() {
+            process_level(&shape, level, Interpolation::Cubic, &mut out, |_, pred| {
+                pred + replay.next().unwrap()
+            });
+        }
+        for (a, b) in orig.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn anchor_count_small_relative_to_grid() {
+        let shape = Shape::d3(64, 96, 96);
+        assert!(anchor_count(&shape) * 100 < shape.len());
+    }
+}

@@ -1,0 +1,440 @@
+//! Progressive reconstruction (Algorithms 1 and 2 of the paper).
+//!
+//! [`ProgressiveDecoder`] owns the retrieval state for one compressed field: which
+//! bitplanes have been loaded per level, the negabinary accumulator of every
+//! coefficient, the current reconstruction, and how many bytes have been read so far.
+//!
+//! * The **first** retrieval runs Algorithm 1: anchors and non-progressive levels are
+//!   decoded in full, then each progressive level contributes its loaded planes, and
+//!   the interpolation cascade rebuilds the field in a single pass.
+//! * **Subsequent** retrievals run Algorithm 2: only the newly requested planes are
+//!   decoded, their dequantized deltas are pushed through the same interpolation
+//!   cascade (with zero anchors — the cascade is linear in the residuals), and the
+//!   resulting delta field is added onto the existing reconstruction. No previously
+//!   loaded block is ever re-read and no previous work is redone.
+
+use ipc_codecs::negabinary::from_negabinary;
+use ipc_tensor::{ArrayD, Shape};
+
+use crate::bitplane::decode_planes_into;
+use crate::container::{decode_anchors, Compressed};
+use crate::error::{IpcompError, Result};
+use crate::interp::{num_levels, process_anchors, process_level};
+use crate::optimizer::{plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan};
+use crate::quantize::dequantize;
+
+/// How much fidelity a retrieval should target (paper Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrievalRequest {
+    /// Reconstruct with point-wise error no larger than this absolute bound.
+    ErrorBound(f64),
+    /// Reconstruct with point-wise error no larger than `factor · value_range`.
+    RelErrorBound(f64),
+    /// Load at most this many bits per scalar value (I/O-constrained retrieval).
+    Bitrate(f64),
+    /// Load at most this many bytes in total.
+    SizeBudget(usize),
+    /// Load everything (classic full-fidelity decompression).
+    Full,
+}
+
+/// The result of one retrieval step.
+#[derive(Debug, Clone)]
+pub struct Retrieval {
+    /// The reconstructed field at the requested fidelity.
+    pub data: ArrayD<f64>,
+    /// Bytes read from the container by this retrieval step alone.
+    pub bytes_this_request: usize,
+    /// Cumulative bytes read since the decoder was created.
+    pub bytes_total: usize,
+    /// Cumulative retrieval bitrate (bits per original scalar).
+    pub bitrate: f64,
+    /// Upper bound on the point-wise reconstruction error of `data`.
+    pub error_bound: f64,
+}
+
+/// Stateful progressive decoder for one compressed field.
+pub struct ProgressiveDecoder<'a> {
+    compressed: &'a Compressed,
+    shape: Shape,
+    /// Negabinary accumulators per level (same ordering as `compressed.levels`).
+    acc: Vec<Vec<u64>>,
+    /// Planes currently loaded per level (counted from the most significant).
+    planes_loaded: Vec<u8>,
+    /// Current reconstruction, present after the first retrieval.
+    recon: Option<Vec<f64>>,
+    /// Current error bound of `recon`.
+    current_error_bound: f64,
+    bytes_total: usize,
+}
+
+impl<'a> ProgressiveDecoder<'a> {
+    /// Create a decoder with nothing loaded yet.
+    pub fn new(compressed: &'a Compressed) -> Self {
+        let shape = compressed.header.shape();
+        let acc = compressed
+            .levels
+            .iter()
+            .map(|l| vec![0u64; l.n_values])
+            .collect();
+        let planes_loaded = vec![0u8; compressed.levels.len()];
+        Self {
+            compressed,
+            shape,
+            acc,
+            planes_loaded,
+            recon: None,
+            current_error_bound: f64::INFINITY,
+            bytes_total: 0,
+        }
+    }
+
+    /// Cumulative bytes read so far.
+    pub fn bytes_loaded(&self) -> usize {
+        self.bytes_total
+    }
+
+    /// The current reconstruction, if any retrieval has been performed.
+    pub fn current(&self) -> Option<ArrayD<f64>> {
+        self.recon
+            .as_ref()
+            .map(|r| ArrayD::from_vec(self.shape.clone(), r.clone()))
+    }
+
+    /// Planes currently loaded per level (coarsest level first).
+    pub fn planes_loaded(&self) -> &[u8] {
+        &self.planes_loaded
+    }
+
+    /// Resolve a request into a loading plan via the optimizer.
+    pub fn plan(&self, request: RetrievalRequest) -> Result<LoadPlan> {
+        let c = self.compressed;
+        match request {
+            RetrievalRequest::Full => Ok(plan_full(c)),
+            RetrievalRequest::ErrorBound(eb) => plan_for_error_bound(c, eb),
+            RetrievalRequest::RelErrorBound(rel) => {
+                if !(rel.is_finite() && rel > 0.0) {
+                    return Err(IpcompError::InvalidInput(format!(
+                        "relative bound must be positive, got {rel}"
+                    )));
+                }
+                plan_for_error_bound(c, rel * c.header.value_range)
+            }
+            RetrievalRequest::Bitrate(b) => plan_for_bitrate(c, b),
+            RetrievalRequest::SizeBudget(bytes) => plan_for_bytes(c, bytes),
+        }
+    }
+
+    /// Retrieve (or refine to) the fidelity described by `request`.
+    ///
+    /// Retrieval is monotone: if the request asks for less fidelity than what is
+    /// already loaded, the current reconstruction is returned unchanged and no data
+    /// is read.
+    pub fn retrieve(&mut self, request: RetrievalRequest) -> Result<Retrieval> {
+        let plan = self.plan(request)?;
+        self.retrieve_with_plan(&plan)
+    }
+
+    /// Retrieve (or refine to) a specific loading plan.
+    pub fn retrieve_with_plan(&mut self, plan: &LoadPlan) -> Result<Retrieval> {
+        if plan.planes_loaded.len() != self.compressed.levels.len() {
+            return Err(IpcompError::InvalidInput(
+                "plan does not match the container's level count".into(),
+            ));
+        }
+        let bytes_before = self.bytes_total;
+        if self.recon.is_none() {
+            self.initial_reconstruction(plan)?;
+        } else {
+            self.incremental_refinement(plan)?;
+        }
+        let data = ArrayD::from_vec(
+            self.shape.clone(),
+            self.recon.as_ref().expect("reconstruction present").clone(),
+        );
+        let bytes_this = self.bytes_total - bytes_before;
+        let n = self.compressed.header.num_elements();
+        Ok(Retrieval {
+            data,
+            bytes_this_request: bytes_this,
+            bytes_total: self.bytes_total,
+            bitrate: self.bytes_total as f64 * 8.0 / n as f64,
+            error_bound: self.current_error_bound,
+        })
+    }
+
+    /// Decode the planes requested by `plan` that are not loaded yet, updating the
+    /// accumulators and byte accounting. Returns per-level vectors of the *newly
+    /// added* dequantized residual deltas (empty when a level gained nothing).
+    fn load_new_planes(&mut self, plan: &LoadPlan) -> Result<Vec<Vec<f64>>> {
+        let c = self.compressed;
+        let eb = c.header.error_bound;
+        let mut deltas = Vec::with_capacity(c.levels.len());
+        for (idx, level) in c.levels.iter().enumerate() {
+            let want = plan.planes_loaded[idx].min(level.num_planes);
+            let have = self.planes_loaded[idx];
+            if want <= have {
+                deltas.push(Vec::new());
+                continue;
+            }
+            // Planes are counted from the most significant: having `have` planes means
+            // planes [num_planes-have, num_planes) are present.
+            let hi = level.num_planes - have;
+            let lo = level.num_planes - want;
+            let before: Vec<i64> = if have == 0 {
+                vec![0; level.n_values]
+            } else {
+                self.acc[idx].iter().map(|&w| from_negabinary(w)).collect()
+            };
+            decode_planes_into(
+                level,
+                lo,
+                hi,
+                c.header.prefix_bits,
+                c.header.predictive_coding,
+                &mut self.acc[idx],
+            )?;
+            let delta: Vec<f64> = self.acc[idx]
+                .iter()
+                .zip(&before)
+                .map(|(&w, &b)| dequantize(from_negabinary(w) - b, eb))
+                .collect();
+            // Account for the bytes of the newly read plane blocks.
+            for p in lo..hi {
+                self.bytes_total += level.planes[p as usize].len();
+            }
+            self.planes_loaded[idx] = want;
+            deltas.push(delta);
+        }
+        Ok(deltas)
+    }
+
+    /// Upper bound on the reconstruction error given the currently loaded planes.
+    fn error_bound_for_loaded(&self) -> f64 {
+        let c = self.compressed;
+        let mut extra = 0.0;
+        for (idx, level) in c.levels.iter().enumerate() {
+            let discard = level.num_planes - self.planes_loaded[idx];
+            extra += crate::optimizer::level_error(c, idx, discard);
+        }
+        c.header.error_bound + extra
+    }
+
+    /// Algorithm 1: reconstruct from scratch with the planes selected by `plan`.
+    fn initial_reconstruction(&mut self, plan: &LoadPlan) -> Result<()> {
+        let c = self.compressed;
+        let eb = c.header.error_bound;
+        let shape = self.shape.clone();
+        let levels = num_levels(&shape);
+
+        // Base data: header + anchors + metadata are always read.
+        self.bytes_total += c.base_bytes();
+        let anchor_codes = decode_anchors(&c.anchors)?;
+
+        let _deltas = self.load_new_planes(plan)?;
+        // Residuals per level from the accumulators (values, not deltas).
+        let residuals: Vec<Vec<f64>> = self
+            .acc
+            .iter()
+            .map(|acc| {
+                acc.iter()
+                    .map(|&w| dequantize(from_negabinary(w), eb))
+                    .collect()
+            })
+            .collect();
+
+        let mut work = vec![0.0f64; shape.len()];
+        let mut anchor_iter = anchor_codes.into_iter();
+        process_anchors(&shape, &mut work, |_, pred| {
+            pred + dequantize(anchor_iter.next().unwrap_or(0), eb)
+        });
+        for level in (1..=levels).rev() {
+            let idx = (c.header.num_levels - level) as usize;
+            let mut it = residuals[idx].iter();
+            process_level(&shape, level, c.header.interpolation, &mut work, |_, pred| {
+                pred + it.next().copied().unwrap_or(0.0)
+            });
+        }
+        self.recon = Some(work);
+        self.current_error_bound = self.error_bound_for_loaded();
+        Ok(())
+    }
+
+    /// Algorithm 2: refine the existing reconstruction with newly loaded planes only.
+    fn incremental_refinement(&mut self, plan: &LoadPlan) -> Result<()> {
+        let c = self.compressed;
+        let shape = self.shape.clone();
+        let levels = num_levels(&shape);
+        let deltas = self.load_new_planes(plan)?;
+        if deltas.iter().all(Vec::is_empty) {
+            // Nothing new requested — retrieval is monotone.
+            return Ok(());
+        }
+
+        // Propagate the delta residuals through the (linear) interpolation cascade
+        // with zero anchors, then add onto the existing reconstruction.
+        let mut delta_field = vec![0.0f64; shape.len()];
+        process_anchors(&shape, &mut delta_field, |_, _| 0.0);
+        for level in (1..=levels).rev() {
+            let idx = (c.header.num_levels - level) as usize;
+            if deltas[idx].is_empty() {
+                // No new planes for this level: its delta residuals are all zero, but
+                // deltas from coarser levels still propagate through the prediction.
+                process_level(&shape, level, c.header.interpolation, &mut delta_field, |_, pred| pred);
+            } else {
+                let mut it = deltas[idx].iter();
+                process_level(&shape, level, c.header.interpolation, &mut delta_field, |_, pred| {
+                    pred + it.next().copied().unwrap_or(0.0)
+                });
+            }
+        }
+        let recon = self.recon.as_mut().expect("called only after initial reconstruction");
+        for (r, d) in recon.iter_mut().zip(&delta_field) {
+            *r += d;
+        }
+        self.current_error_bound = self.error_bound_for_loaded();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::compress;
+    use crate::config::Config;
+    use ipc_metrics::linf_error;
+    use ipc_tensor::{ArrayD, Shape};
+
+    fn field() -> ArrayD<f64> {
+        let shape = Shape::d3(24, 18, 20);
+        ArrayD::from_fn(shape, |c| {
+            (c[0] as f64 * 0.21).sin() * 3.0
+                + (c[1] as f64 * 0.13).cos() * 2.0
+                + (c[2] as f64 * 0.05) * (c[0] as f64 * 0.02)
+        })
+    }
+
+    #[test]
+    fn full_retrieval_respects_error_bound() {
+        let data = field();
+        let eb = 1e-5;
+        let c = compress(&data, eb, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&c);
+        let out = dec.retrieve(RetrievalRequest::Full).unwrap();
+        let err = linf_error(data.as_slice(), out.data.as_slice());
+        assert!(err <= eb * (1.0 + 1e-9), "err {err} > eb {eb}");
+        assert!(out.error_bound <= eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn coarse_retrieval_loads_fewer_bytes_and_respects_requested_bound() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+
+        let mut coarse_dec = ProgressiveDecoder::new(&c);
+        let coarse = coarse_dec.retrieve(RetrievalRequest::ErrorBound(1e-2)).unwrap();
+        let coarse_err = linf_error(data.as_slice(), coarse.data.as_slice());
+        assert!(coarse_err <= 1e-2 * (1.0 + 1e-9), "coarse err {coarse_err}");
+
+        let mut full_dec = ProgressiveDecoder::new(&c);
+        let full = full_dec.retrieve(RetrievalRequest::Full).unwrap();
+        assert!(
+            coarse.bytes_total < full.bytes_total,
+            "coarse {} vs full {}",
+            coarse.bytes_total,
+            full.bytes_total
+        );
+    }
+
+    #[test]
+    fn incremental_refinement_matches_from_scratch_reconstruction() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+
+        // Progressive path: coarse, then medium, then full on the same decoder.
+        let mut dec = ProgressiveDecoder::new(&c);
+        dec.retrieve(RetrievalRequest::ErrorBound(1e-2)).unwrap();
+        dec.retrieve(RetrievalRequest::ErrorBound(1e-4)).unwrap();
+        let refined = dec.retrieve(RetrievalRequest::Full).unwrap();
+
+        // Reference path: full retrieval on a fresh decoder.
+        let mut fresh = ProgressiveDecoder::new(&c);
+        let reference = fresh.retrieve(RetrievalRequest::Full).unwrap();
+
+        let diff = linf_error(reference.data.as_slice(), refined.data.as_slice());
+        assert!(diff < 1e-9, "incremental vs direct differ by {diff}");
+        // And the refined output must still satisfy the compression bound.
+        let err = linf_error(data.as_slice(), refined.data.as_slice());
+        assert!(err <= 1e-7 * (1.0 + 1e-6), "err {err}");
+    }
+
+    #[test]
+    fn refinement_loads_only_new_bytes() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&c);
+        let first = dec.retrieve(RetrievalRequest::ErrorBound(1e-3)).unwrap();
+        let second = dec.retrieve(RetrievalRequest::ErrorBound(1e-5)).unwrap();
+        let third = dec.retrieve(RetrievalRequest::Full).unwrap();
+        assert!(second.bytes_this_request > 0);
+        assert!(third.bytes_this_request > 0);
+        // Total bytes equal the sum of per-step bytes (each block read exactly once).
+        assert_eq!(
+            third.bytes_total,
+            first.bytes_this_request + second.bytes_this_request + third.bytes_this_request
+        );
+        // And never exceed the full container size (within metadata estimation slack).
+        assert!(third.bytes_total <= c.total_bytes() + 64);
+    }
+
+    #[test]
+    fn lower_fidelity_request_after_refinement_is_a_noop() {
+        let data = field();
+        let c = compress(&data, 1e-6, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&c);
+        let fine = dec.retrieve(RetrievalRequest::ErrorBound(1e-4)).unwrap();
+        let coarse_again = dec.retrieve(RetrievalRequest::ErrorBound(1e-1)).unwrap();
+        assert_eq!(coarse_again.bytes_this_request, 0);
+        assert_eq!(coarse_again.data.as_slice(), fine.data.as_slice());
+    }
+
+    #[test]
+    fn bitrate_retrieval_respects_budget() {
+        let data = field();
+        let c = compress(&data, 1e-8, &Config::default()).unwrap();
+        let n = data.len();
+        for bitrate in [1.0, 2.0, 4.0] {
+            let mut dec = ProgressiveDecoder::new(&c);
+            let out = dec.retrieve(RetrievalRequest::Bitrate(bitrate)).unwrap();
+            let budget_bytes = (bitrate * n as f64 / 8.0) as usize;
+            assert!(
+                out.bytes_total <= budget_bytes.max(c.base_bytes()) + 1,
+                "bitrate {bitrate}: loaded {} of budget {budget_bytes}",
+                out.bytes_total
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_bound_uses_value_range() {
+        let data = field();
+        let c = compress(&data, 1e-8, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&c);
+        let out = dec.retrieve(RetrievalRequest::RelErrorBound(1e-3)).unwrap();
+        let err = linf_error(data.as_slice(), out.data.as_slice());
+        assert!(err <= 1e-3 * data.value_range() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn plan_mismatch_rejected() {
+        let data = field();
+        let c = compress(&data, 1e-6, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&c);
+        let bad = LoadPlan {
+            planes_loaded: vec![1],
+            extra_error_bound: 0.0,
+            payload_bytes: 0,
+        };
+        assert!(dec.retrieve_with_plan(&bad).is_err());
+    }
+}

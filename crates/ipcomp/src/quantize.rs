@@ -1,0 +1,63 @@
+//! Linear-scale error-bounded quantization.
+//!
+//! The prediction residual `y = x − P(x̂)` is mapped to an integer code
+//! `q = round(y / (2·eb))`; dequantizing back to `q·2·eb` guarantees the point-wise
+//! error `|y − ŷ| ≤ eb` that the whole error analysis of the paper (Sec. 4.2.2)
+//! rests on.
+
+/// Quantize a residual with the given error bound. `eb` must be positive.
+#[inline]
+pub fn quantize(residual: f64, eb: f64) -> i64 {
+    debug_assert!(eb > 0.0, "error bound must be positive");
+    (residual / (2.0 * eb)).round() as i64
+}
+
+/// Dequantize an integer code back to a residual value.
+#[inline]
+pub fn dequantize(code: i64, eb: f64) -> f64 {
+    code as f64 * 2.0 * eb
+}
+
+/// Quantize then immediately dequantize — the value the decompressor will see.
+#[inline]
+pub fn quantize_roundtrip(residual: f64, eb: f64) -> (i64, f64) {
+    let q = quantize(residual, eb);
+    (q, dequantize(q, eb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_within_bound() {
+        let eb = 1e-3;
+        for i in -10_000..10_000 {
+            let v = i as f64 * 7.3e-4;
+            let (_, back) = quantize_roundtrip(v, eb);
+            assert!((v - back).abs() <= eb + 1e-15, "v={v}");
+        }
+    }
+
+    #[test]
+    fn zero_residual_is_code_zero() {
+        assert_eq!(quantize(0.0, 1e-6), 0);
+        assert_eq!(dequantize(0, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn codes_are_symmetric_in_sign() {
+        let eb = 0.5;
+        for i in 1..100 {
+            let v = i as f64 * 0.37;
+            assert_eq!(quantize(v, eb), -quantize(-v, eb));
+        }
+    }
+
+    #[test]
+    fn small_bound_produces_large_codes() {
+        let q = quantize(1.0, 1e-9);
+        assert_eq!(q, 500_000_000);
+        assert!((dequantize(q, 1e-9) - 1.0).abs() <= 1e-9);
+    }
+}

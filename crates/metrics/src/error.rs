@@ -1,0 +1,166 @@
+//! Point-wise and aggregate error metrics between original and reconstructed fields.
+
+/// Maximum absolute point-wise difference (the paper's L∞ decompression error).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn linf_error(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean squared error.
+pub fn mse(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    if original.is_empty() {
+        return 0.0;
+    }
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / original.len() as f64
+}
+
+/// Peak signal-to-noise ratio as defined in the paper:
+/// `20·log10((max(x) − min(x)) / sqrt(MSE))`.
+///
+/// Returns `f64::INFINITY` for an exact reconstruction.
+pub fn psnr(original: &[f64], reconstructed: &[f64]) -> f64 {
+    let m = mse(original, reconstructed);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    let (lo, hi) = min_max(original);
+    let range = hi - lo;
+    if range == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    20.0 * (range / m.sqrt()).log10()
+}
+
+/// Maximum point-wise error normalized by the original value range.
+pub fn max_rel_error(original: &[f64], reconstructed: &[f64]) -> f64 {
+    let (lo, hi) = min_max(original);
+    let range = hi - lo;
+    if range == 0.0 {
+        return 0.0;
+    }
+    linf_error(original, reconstructed) / range
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Bundle of the error metrics reported by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum point-wise absolute error.
+    pub linf: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB.
+    pub psnr: f64,
+    /// L∞ normalized by the original value range.
+    pub rel_linf: f64,
+}
+
+impl ErrorStats {
+    /// Compute every metric in one pass pair.
+    pub fn compute(original: &[f64], reconstructed: &[f64]) -> Self {
+        Self {
+            linf: linf_error(original, reconstructed),
+            mse: mse(original, reconstructed),
+            psnr: psnr(original, reconstructed),
+            rel_linf: max_rel_error(original, reconstructed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction() {
+        let x = vec![1.0, 2.0, 3.0, -4.0];
+        assert_eq!(linf_error(&x, &x), 0.0);
+        assert_eq!(mse(&x, &x), 0.0);
+        assert_eq!(psnr(&x, &x), f64::INFINITY);
+        assert_eq!(max_rel_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn linf_picks_worst_point() {
+        let x = vec![0.0, 0.0, 0.0];
+        let y = vec![0.1, -0.5, 0.2];
+        assert_eq!(linf_error(&x, &y), 0.5);
+    }
+
+    #[test]
+    fn mse_average_of_squares() {
+        let x = vec![0.0, 0.0];
+        let y = vec![1.0, -3.0];
+        assert_eq!(mse(&x, &y), (1.0 + 9.0) / 2.0);
+    }
+
+    #[test]
+    fn psnr_matches_manual_computation() {
+        let x = vec![0.0, 10.0];
+        let y = vec![0.1, 10.0];
+        // range = 10, mse = 0.005, psnr = 20*log10(10/sqrt(0.005))
+        let expected = 20.0 * (10.0 / (0.005f64).sqrt()).log10();
+        assert!((psnr(&x, &y) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_increases_with_fidelity() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let coarse: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+        let fine: Vec<f64> = x.iter().map(|v| v + 0.01).collect();
+        assert!(psnr(&x, &fine) > psnr(&x, &coarse));
+    }
+
+    #[test]
+    fn relative_error_normalizes_by_range() {
+        let x = vec![0.0, 100.0];
+        let y = vec![1.0, 100.0];
+        assert!((max_rel_error(&x, &y) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stats_bundle_consistent() {
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 1e-3).collect();
+        let s = ErrorStats::compute(&x, &y);
+        assert!((s.linf - 1e-3).abs() < 1e-12);
+        assert!((s.mse - 1e-6).abs() < 1e-12);
+        assert!(s.psnr > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = linf_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fidelity and efficiency metrics for scientific lossy compression.
+//!
+//! These are the five metrics the paper defines in Sec. 3.1.1 — compression ratio,
+//! bitrate, decompression error (L∞), error bound compliance, and PSNR — plus the
+//! Shannon entropy estimator used by Table 2 and the bit-level entropy of bitplanes.
+
+pub mod entropy;
+pub mod error;
+
+pub use entropy::{bit_entropy, shannon_entropy};
+pub use error::{linf_error, max_rel_error, mse, psnr, ErrorStats};
+
+/// Compression ratio: original size divided by compressed size.
+///
+/// Sizes are in bytes. Returns `f64::INFINITY` for an empty compressed buffer.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        f64::INFINITY
+    } else {
+        original_bytes as f64 / compressed_bytes as f64
+    }
+}
+
+/// Bitrate: average number of stored bits per scalar value.
+pub fn bitrate(compressed_bytes: usize, num_elements: usize) -> f64 {
+    if num_elements == 0 {
+        0.0
+    } else {
+        compressed_bytes as f64 * 8.0 / num_elements as f64
+    }
+}
+
+/// Convert a bitrate budget back to a byte budget for `num_elements` scalars.
+pub fn bytes_for_bitrate(bitrate: f64, num_elements: usize) -> usize {
+    ((bitrate * num_elements as f64) / 8.0).floor() as usize
+}
+
+/// Throughput in MB/s given a payload size in bytes and elapsed seconds.
+pub fn throughput_mbps(bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes as f64 / 1e6 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_ratio_basic() {
+        assert_eq!(compression_ratio(1000, 100), 10.0);
+        assert_eq!(compression_ratio(1000, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn bitrate_inverse_of_ratio() {
+        // 64-bit doubles at CR 16 => 4 bits per value.
+        let n = 1024usize;
+        let compressed = n * 8 / 16;
+        assert!((bitrate(compressed, n) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_for_bitrate_roundtrip() {
+        let n = 100_000usize;
+        let budget = bytes_for_bitrate(2.0, n);
+        assert_eq!(budget, 25_000);
+        assert!((bitrate(budget, n) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_simple() {
+        assert_eq!(throughput_mbps(10_000_000, 2.0), 5.0);
+        assert_eq!(throughput_mbps(1, 0.0), f64::INFINITY);
+    }
+}

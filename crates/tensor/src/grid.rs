@@ -1,0 +1,228 @@
+//! Sub-lattice traversal.
+//!
+//! The multilevel interpolation predictor (paper Fig. 3) walks progressively finer
+//! sub-lattices of the input grid: at each level it visits points whose coordinate
+//! along one dimension is an *odd* multiple of the current stride while coordinates
+//! along other dimensions sit on coarser lattices. [`GridIter`] provides exactly that
+//! traversal as an odometer over per-dimension [`AxisRange`]s, yielding both the
+//! coordinates and the flat row-major offset of every visited point.
+
+use crate::Shape;
+
+/// A strided range `start, start+step, start+2*step, … < end` along one axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AxisRange {
+    /// First coordinate visited.
+    pub start: usize,
+    /// Step between consecutive coordinates (must be ≥ 1).
+    pub step: usize,
+    /// Exclusive upper bound.
+    pub end: usize,
+}
+
+impl AxisRange {
+    /// A full axis `0..len` with step 1.
+    pub fn full(len: usize) -> Self {
+        Self {
+            start: 0,
+            step: 1,
+            end: len,
+        }
+    }
+
+    /// A strided axis `start..end` stepping by `step`.
+    pub fn strided(start: usize, step: usize, end: usize) -> Self {
+        assert!(step >= 1, "AxisRange step must be >= 1");
+        Self { start, step, end }
+    }
+
+    /// Number of coordinates visited along this axis.
+    pub fn count(&self) -> usize {
+        if self.start >= self.end {
+            0
+        } else {
+            (self.end - self.start).div_ceil(self.step)
+        }
+    }
+}
+
+/// Odometer iterator over the Cartesian product of per-dimension [`AxisRange`]s.
+///
+/// Yields `(coords, flat_offset)` pairs in row-major order of the visited lattice.
+///
+/// # Examples
+///
+/// ```
+/// use ipc_tensor::{AxisRange, GridIter, Shape};
+/// let shape = Shape::d2(4, 4);
+/// // Points with even row and odd column.
+/// let it = GridIter::new(
+///     &shape,
+///     vec![AxisRange::strided(0, 2, 4), AxisRange::strided(1, 2, 4)],
+/// );
+/// let offsets: Vec<usize> = it.map(|(_, off)| off).collect();
+/// assert_eq!(offsets, vec![1, 3, 9, 11]);
+/// ```
+pub struct GridIter {
+    strides: Vec<usize>,
+    ranges: Vec<AxisRange>,
+    current: Vec<usize>,
+    offset: usize,
+    done: bool,
+}
+
+impl GridIter {
+    /// Create an iterator over the sub-lattice described by `ranges` inside `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges.len() != shape.ndim()` or any range exceeds its dimension.
+    pub fn new(shape: &Shape, ranges: Vec<AxisRange>) -> Self {
+        assert_eq!(ranges.len(), shape.ndim(), "one AxisRange per dimension");
+        for (i, r) in ranges.iter().enumerate() {
+            assert!(
+                r.end <= shape.dims()[i],
+                "AxisRange end {} exceeds dim {} of size {}",
+                r.end,
+                i,
+                shape.dims()[i]
+            );
+        }
+        let empty = ranges.iter().any(|r| r.count() == 0);
+        let current: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        let offset = if empty {
+            0
+        } else {
+            current
+                .iter()
+                .zip(shape.strides())
+                .map(|(&c, &s)| c * s)
+                .sum()
+        };
+        Self {
+            strides: shape.strides().to_vec(),
+            ranges,
+            current,
+            offset,
+            done: empty,
+        }
+    }
+
+    /// Total number of lattice points this iterator will visit.
+    pub fn total(&self) -> usize {
+        self.ranges.iter().map(|r| r.count()).product()
+    }
+}
+
+impl Iterator for GridIter {
+    type Item = (Vec<usize>, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item = (self.current.clone(), self.offset);
+        // Advance the odometer from the last (fastest-varying) dimension.
+        let ndim = self.ranges.len();
+        let mut dim = ndim;
+        loop {
+            if dim == 0 {
+                self.done = true;
+                break;
+            }
+            dim -= 1;
+            let r = self.ranges[dim];
+            let next = self.current[dim] + r.step;
+            if next < r.end {
+                self.current[dim] = next;
+                self.offset += r.step * self.strides[dim];
+                break;
+            } else {
+                // Reset this digit and carry.
+                self.offset -= (self.current[dim] - r.start) * self.strides[dim];
+                self.current[dim] = r.start;
+            }
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_visits_everything_in_order() {
+        let shape = Shape::d2(3, 4);
+        let ranges = vec![AxisRange::full(3), AxisRange::full(4)];
+        let visited: Vec<usize> = GridIter::new(&shape, ranges).map(|(_, o)| o).collect();
+        assert_eq!(visited, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strided_sub_lattice() {
+        let shape = Shape::d2(4, 4);
+        let it = GridIter::new(
+            &shape,
+            vec![AxisRange::strided(1, 2, 4), AxisRange::strided(0, 2, 4)],
+        );
+        let offs: Vec<usize> = it.map(|(_, o)| o).collect();
+        assert_eq!(offs, vec![4, 6, 12, 14]);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let shape = Shape::d2(4, 4);
+        let it = GridIter::new(
+            &shape,
+            vec![AxisRange::strided(5, 2, 4), AxisRange::full(4)],
+        );
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn total_matches_iteration_count() {
+        let shape = Shape::d3(5, 6, 7);
+        let ranges = vec![
+            AxisRange::strided(1, 2, 5),
+            AxisRange::strided(0, 3, 6),
+            AxisRange::strided(2, 4, 7),
+        ];
+        let it = GridIter::new(&shape, ranges.clone());
+        let total = it.total();
+        let n = GridIter::new(&shape, ranges).count();
+        assert_eq!(total, n);
+        assert_eq!(n, 2 * 2 * 2);
+    }
+
+    #[test]
+    fn offsets_match_shape_offset_of() {
+        let shape = Shape::d3(4, 5, 6);
+        let ranges = vec![
+            AxisRange::strided(0, 2, 4),
+            AxisRange::strided(1, 2, 5),
+            AxisRange::strided(0, 3, 6),
+        ];
+        for (coords, off) in GridIter::new(&shape, ranges) {
+            assert_eq!(shape.offset_of(&coords), off);
+        }
+    }
+
+    #[test]
+    fn axis_range_count() {
+        assert_eq!(AxisRange::full(10).count(), 10);
+        assert_eq!(AxisRange::strided(0, 2, 10).count(), 5);
+        assert_eq!(AxisRange::strided(1, 2, 10).count(), 5);
+        assert_eq!(AxisRange::strided(1, 2, 2).count(), 1);
+        assert_eq!(AxisRange::strided(3, 2, 3).count(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_traversal() {
+        let shape = Shape::d1(9);
+        let offs: Vec<usize> = GridIter::new(&shape, vec![AxisRange::strided(1, 2, 9)])
+            .map(|(_, o)| o)
+            .collect();
+        assert_eq!(offs, vec![1, 3, 5, 7]);
+    }
+}

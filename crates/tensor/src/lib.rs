@@ -1,0 +1,29 @@
+//! Minimal N-dimensional strided array substrate for scientific fields.
+//!
+//! The IPComp paper operates on dense 1D/2D/3D floating point grids (Table 3 of the
+//! paper lists six 3-D fields). This crate provides the small amount of array
+//! machinery that every compressor in the workspace shares:
+//!
+//! * [`Shape`] — dimension sizes, row-major strides, linear/multi index conversion.
+//! * [`ArrayD`] — an owned dense array of `T` with a [`Shape`].
+//! * [`GridIter`] — an odometer-style iterator over a sub-lattice of a grid
+//!   (per-dimension `start/step/end` ranges), which is the traversal primitive used by
+//!   the multilevel interpolation predictors.
+//!
+//! The substrate intentionally stays tiny: compressors mostly work on `&[f64]`
+//! plus a [`Shape`], so no view/broadcast machinery is needed.
+
+pub mod array;
+pub mod grid;
+pub mod shape;
+
+pub use array::ArrayD;
+pub use grid::{AxisRange, GridIter};
+pub use shape::Shape;
+
+/// Maximum number of dimensions supported by the workspace.
+///
+/// The paper's datasets are all 3-D; we support up to 4-D (e.g. time-varying 3-D
+/// fields) which covers every workload in the evaluation plus the extension
+/// experiments.
+pub const MAX_DIMS: usize = 4;

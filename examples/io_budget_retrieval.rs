@@ -1,0 +1,45 @@
+//! I/O-budget retrieval: reconstruct a weather field under a fixed bitrate budget
+//! (the paper's "fixed rate/size mode") and compare IPComp against the residual
+//! baseline SZ3-R.
+//!
+//! This is the scenario where a remote analysis node has limited bandwidth to the
+//! storage system: the question is not "how accurate do I need to be" but "how
+//! accurate can I get for the bytes I can afford to move".
+//!
+//! Run with `cargo run --release --example io_budget_retrieval`.
+
+use ipcomp_suite::baselines::{IpCompScheme, ProgressiveScheme, Residual, Sz3};
+use ipcomp_suite::datagen::Dataset;
+use ipcomp_suite::metrics::linf_error;
+
+fn main() {
+    let field = Dataset::SpeedX.generate(&Dataset::SpeedX.small_shape(), 7);
+    let range = field.value_range();
+    let eb = 1e-9 * range;
+    let n = field.len();
+
+    let ipcomp = IpCompScheme::default();
+    let sz3r = Residual::paper(Sz3::default(), "SZ3-R");
+    let ipcomp_archive = ipcomp.compress(&field, eb);
+    let sz3r_archive = sz3r.compress(&field, eb);
+
+    println!("SpeedX ({} values), compressed at eb = 1e-9 x range", n);
+    println!(
+        "archive sizes: IPComp = {} bytes, SZ3-R = {} bytes\n",
+        ipcomp_archive.total_bytes(),
+        sz3r_archive.total_bytes()
+    );
+    println!("{:>9}  {:>26}  {:>26}", "bitrate", "IPComp (rel err, passes)", "SZ3-R (rel err, passes)");
+    for bitrate in [0.5, 1.0, 2.0, 4.0] {
+        let budget = (bitrate * n as f64 / 8.0) as usize;
+        let a = ipcomp_archive.retrieve_size_budget(budget);
+        let b = sz3r_archive.retrieve_size_budget(budget);
+        let ea = linf_error(field.as_slice(), a.data.as_slice()) / range;
+        let eb_ = linf_error(field.as_slice(), b.data.as_slice()) / range;
+        println!(
+            "{:>9.2}  {:>18.2e} ({:>2} pass)  {:>18.2e} ({:>2} pass)",
+            bitrate, ea, a.passes, eb_, b.passes
+        );
+    }
+    println!("\nLower error at the same bitrate is better; note SZ3-R needs multiple decompression passes.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: compress a scientific field once, then retrieve it progressively.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ipcomp_suite::core::{compress_rel, Config, ProgressiveDecoder, RetrievalRequest};
+use ipcomp_suite::datagen::Dataset;
+use ipcomp_suite::metrics::{compression_ratio, linf_error};
+
+fn main() {
+    // 1. Get a field. Here: the synthetic turbulence Density stand-in at a small
+    //    grid; swap in your own `ArrayD<f64>` for real data.
+    let field = Dataset::Density.generate(&Dataset::Density.small_shape(), 42);
+    let original_bytes = field.len() * std::mem::size_of::<f64>();
+    println!(
+        "field: {} ({} values, {:.1} MB)",
+        field.shape(),
+        field.len(),
+        original_bytes as f64 / 1e6
+    );
+
+    // 2. Compress once, with a point-wise error bound of 1e-9 x the value range.
+    let compressed = compress_rel(&field, 1e-9, &Config::default()).expect("compression");
+    println!(
+        "compressed: {} bytes (CR = {:.1})",
+        compressed.total_bytes(),
+        compression_ratio(original_bytes, compressed.total_bytes())
+    );
+
+    // 3. Retrieve progressively: each request refines the previous reconstruction by
+    //    loading only new bitplane blocks (a single pass, no recomputation).
+    let mut decoder = ProgressiveDecoder::new(&compressed);
+    for rel_eb in [1e-3, 1e-5, 1e-7] {
+        let out = decoder
+            .retrieve(RetrievalRequest::RelErrorBound(rel_eb))
+            .expect("retrieval");
+        let actual = linf_error(field.as_slice(), out.data.as_slice()) / field.value_range();
+        println!(
+            "target {rel_eb:.0e}: loaded {:>9} bytes total ({:>5.2} bits/value), new this step {:>9}, actual rel error {actual:.2e}",
+            out.bytes_total, out.bitrate, out.bytes_this_request
+        );
+    }
+
+    // 4. Or decompress everything in one go.
+    let full = compressed.decompress().expect("full decompression");
+    println!(
+        "full fidelity error: {:.2e} (bound {:.2e})",
+        linf_error(field.as_slice(), full.as_slice()),
+        compressed.header.error_bound
+    );
+}

@@ -1,0 +1,229 @@
+//! Cross-crate integration tests: the full pipeline from synthetic dataset
+//! generation through compression, progressive retrieval, and the baseline
+//! compressors, exercised the way the benchmark harness and a downstream user would.
+
+use ipcomp_suite::baselines::{
+    BaseCompressor, IpCompScheme, Mgard, MultiFidelity, Pmgard, ProgressiveScheme, Residual,
+    Sperr, Sz3, Zfp,
+};
+use ipcomp_suite::core::{
+    compress, compress_rel, Compressed, Config, Interpolation, ProgressiveDecoder,
+    RetrievalRequest,
+};
+use ipcomp_suite::datagen::Dataset;
+use ipcomp_suite::metrics::{linf_error, psnr};
+
+/// Every dataset, compressed by IPComp at two relative bounds, must honour the
+/// point-wise error bound after full decompression.
+#[test]
+fn ipcomp_error_bound_holds_on_all_datasets() {
+    for dataset in Dataset::ALL {
+        let data = dataset.generate_tiny(1);
+        let range = data.value_range();
+        for rel_eb in [1e-3, 1e-6] {
+            let compressed = compress_rel(&data, rel_eb, &Config::default()).unwrap();
+            let out = compressed.decompress().unwrap();
+            let err = linf_error(data.as_slice(), out.as_slice());
+            assert!(
+                err <= rel_eb * range * (1.0 + 1e-9),
+                "{} rel_eb {rel_eb}: err {err}",
+                dataset.name()
+            );
+        }
+    }
+}
+
+/// All baseline compressors honour their error bound on every dataset.
+#[test]
+fn baselines_error_bounds_hold_on_all_datasets() {
+    let compressors: Vec<Box<dyn BaseCompressor>> = vec![
+        Box::new(Sz3::default()),
+        Box::new(Zfp),
+        Box::new(Mgard),
+        Box::new(Sperr),
+    ];
+    for dataset in Dataset::ALL {
+        let data = dataset.generate_tiny(2);
+        let eb = 1e-4 * data.value_range();
+        for compressor in &compressors {
+            let blob = compressor.compress(&data, eb);
+            let out = compressor.decompress(&blob);
+            let err = linf_error(data.as_slice(), out.as_slice());
+            assert!(
+                err <= eb * (1.0 + 1e-9),
+                "{} on {}: err {err} > eb {eb}",
+                compressor.name(),
+                dataset.name()
+            );
+        }
+    }
+}
+
+/// Progressive schemes all satisfy a retrieval error target. At tight targets IPComp
+/// loads the least data of every scheme; at loose targets it stays within a small
+/// factor of the residual schemes even when the target happens to sit exactly on one
+/// of their pre-defined rungs (their best case, see EXPERIMENTS.md).
+#[test]
+fn retrieval_targets_met_and_ipcomp_volume_competitive() {
+    let data = Dataset::Density.generate_tiny(3);
+    let range = data.value_range();
+    let eb = 1e-8 * range;
+
+    let schemes: Vec<Box<dyn ProgressiveScheme>> = vec![
+        Box::new(IpCompScheme::default()),
+        Box::new(MultiFidelity::paper(Sz3::default(), "SZ3-M")),
+        Box::new(Residual::paper(Sz3::default(), "SZ3-R")),
+        Box::new(Residual::paper(Zfp, "ZFP-R")),
+        Box::new(Pmgard),
+    ];
+    let archives: Vec<_> = schemes.iter().map(|s| s.compress(&data, eb)).collect();
+
+    // On this unit-test-sized grid (~6 k values) IPComp's fixed container overhead
+    // (header, anchors, per-level truncation tables) is a visible fraction of the
+    // loaded bytes, so the comparison allows a small factor; at realistic sizes the
+    // harness (Fig. 6) shows IPComp loading the least data outright at tight bounds.
+    for (rel_target, max_factor_vs_best) in [(1e-3, 1.35), (1e-5, 1.05)] {
+        let target = rel_target * range;
+        let mut ipcomp_bytes = None;
+        let mut best_other = usize::MAX;
+        for (scheme, archive) in schemes.iter().zip(&archives) {
+            let out = archive.retrieve_error_bound(target);
+            let err = linf_error(data.as_slice(), out.data.as_slice());
+            assert!(
+                err <= target * (1.0 + 1e-6),
+                "{} violated the retrieval target: {err} > {target}",
+                scheme.name()
+            );
+            if scheme.name() == "IPComp" {
+                ipcomp_bytes = Some(out.bytes_loaded);
+            } else {
+                best_other = best_other.min(out.bytes_loaded);
+            }
+        }
+        let ipcomp_bytes = ipcomp_bytes.unwrap();
+        assert!(
+            ipcomp_bytes as f64 <= best_other as f64 * max_factor_vs_best,
+            "target {rel_target}: IPComp loaded {ipcomp_bytes} bytes, best baseline {best_other}"
+        );
+    }
+}
+
+/// The serialized container can be written, read back, and retrieved progressively
+/// with identical results — the "store to disk, load partially later" workflow.
+#[test]
+fn container_roundtrip_through_bytes_preserves_retrieval() {
+    let data = Dataset::Wave.generate_tiny(4);
+    let compressed = compress_rel(&data, 1e-6, &Config::default()).unwrap();
+    let bytes = compressed.to_bytes();
+    let reloaded = Compressed::from_bytes(&bytes).unwrap();
+
+    let mut a = ProgressiveDecoder::new(&compressed);
+    let mut b = ProgressiveDecoder::new(&reloaded);
+    for request in [
+        RetrievalRequest::RelErrorBound(1e-2),
+        RetrievalRequest::Bitrate(2.0),
+        RetrievalRequest::Full,
+    ] {
+        let ra = a.retrieve(request).unwrap();
+        let rb = b.retrieve(request).unwrap();
+        assert_eq!(ra.data.as_slice(), rb.data.as_slice());
+        assert_eq!(ra.bytes_total, rb.bytes_total);
+    }
+}
+
+/// Progressive refinement across many small steps converges to the full-fidelity
+/// reconstruction and never regresses (monotone error, monotone bytes).
+#[test]
+fn staged_refinement_is_monotone_and_converges() {
+    let data = Dataset::Ch4.generate_tiny(5);
+    let range = data.value_range();
+    let compressed = compress_rel(&data, 1e-8, &Config::default()).unwrap();
+    let mut decoder = ProgressiveDecoder::new(&compressed);
+
+    let mut last_err = f64::INFINITY;
+    let mut last_bytes = 0usize;
+    for rel in [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7] {
+        let out = decoder
+            .retrieve(RetrievalRequest::RelErrorBound(rel))
+            .unwrap();
+        let err = linf_error(data.as_slice(), out.data.as_slice());
+        assert!(err <= rel * range * (1.0 + 1e-9), "target {rel}: {err}");
+        assert!(err <= last_err * (1.0 + 1e-12), "error increased at {rel}");
+        assert!(out.bytes_total >= last_bytes, "bytes decreased at {rel}");
+        last_err = err;
+        last_bytes = out.bytes_total;
+    }
+    // Final refinement to full fidelity matches a from-scratch full decompression.
+    let refined = decoder.retrieve(RetrievalRequest::Full).unwrap();
+    let direct = compressed.decompress().unwrap();
+    assert!(linf_error(refined.data.as_slice(), direct.as_slice()) < 1e-9);
+}
+
+/// Linear and cubic interpolation configurations both work across datasets, and the
+/// PSNR of the reconstruction increases with the retrieved bitrate.
+#[test]
+fn psnr_improves_with_bitrate() {
+    let data = Dataset::Pressure.generate_tiny(6);
+    for config in [Config::linear(), Config::cubic()] {
+        let compressed = compress_rel(&data, 1e-9, &config).unwrap();
+        let mut decoder = ProgressiveDecoder::new(&compressed);
+        let coarse = decoder.retrieve(RetrievalRequest::Bitrate(0.5)).unwrap();
+        let mut decoder2 = ProgressiveDecoder::new(&compressed);
+        let fine = decoder2.retrieve(RetrievalRequest::Bitrate(6.0)).unwrap();
+        let p_coarse = psnr(data.as_slice(), coarse.data.as_slice());
+        let p_fine = psnr(data.as_slice(), fine.data.as_slice());
+        assert!(
+            p_fine >= p_coarse,
+            "{:?}: PSNR {p_fine} at 6 bpv < {p_coarse} at 0.5 bpv",
+            config.interpolation
+        );
+    }
+}
+
+/// SZ3-M archives are larger than single-output SZ3 but retrievals stay single-pass;
+/// SZ3-R archives are compact but need multiple passes — the trade-off IPComp avoids.
+#[test]
+fn multifidelity_and_residual_tradeoffs_match_paper_description() {
+    let data = Dataset::VelocityX.generate_tiny(7);
+    let eb = 1e-6 * data.value_range();
+    let single = Sz3::default().compress(&data, eb);
+
+    let sz3m = MultiFidelity::paper(Sz3::default(), "SZ3-M").compress(&data, eb);
+    let sz3r = Residual::paper(Sz3::default(), "SZ3-R").compress(&data, eb);
+    let ipcomp = IpCompScheme::default().compress(&data, eb);
+
+    assert!(sz3m.total_bytes() > single.len());
+    assert!(sz3m.retrieve_full().passes == 1);
+    assert!(sz3r.retrieve_full().passes > 1);
+    assert!(ipcomp.retrieve_full().passes == 1);
+    // IPComp's archive should not be larger than the multi-output archive.
+    assert!(ipcomp.total_bytes() < sz3m.total_bytes());
+}
+
+/// The compression ratio ordering of Fig. 5 (IPComp >= SZ3-R > SZ3-M, IPComp > PMGARD)
+/// holds on the turbulence fields at the high-ratio setting.
+#[test]
+fn fig5_compression_ratio_ordering_holds_on_density() {
+    let data = Dataset::Density.generate(&Dataset::Density.tiny_shape(), 8);
+    let eb = 1e-6 * data.value_range();
+
+    let ipcomp = IpCompScheme::default().compress(&data, eb).total_bytes();
+    let sz3m = MultiFidelity::paper(Sz3::default(), "SZ3-M")
+        .compress(&data, eb)
+        .total_bytes();
+    let pmgard = Pmgard.compress(&data, eb).total_bytes();
+
+    assert!(ipcomp < sz3m, "IPComp {ipcomp} should beat SZ3-M {sz3m}");
+    assert!(ipcomp < pmgard, "IPComp {ipcomp} should beat PMGARD {pmgard}");
+}
+
+/// Compressing with an explicit absolute bound equals the relative-bound helper.
+#[test]
+fn absolute_and_relative_bounds_agree() {
+    let data = Dataset::SpeedX.generate_tiny(9);
+    let range = data.value_range();
+    let a = compress(&data, 1e-4 * range, &Config::default()).unwrap();
+    let b = compress_rel(&data, 1e-4, &Config::default()).unwrap();
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_eq!(a.header.interpolation, Interpolation::Cubic);
+}
