@@ -88,17 +88,10 @@ pub trait ProgressiveScheme: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// IPComp wrapped as a [`ProgressiveScheme`] for side-by-side evaluation.
+#[derive(Default)]
 pub struct IpCompScheme {
     /// Compressor configuration.
     pub config: ipcomp::Config,
-}
-
-impl Default for IpCompScheme {
-    fn default() -> Self {
-        Self {
-            config: ipcomp::Config::default(),
-        }
-    }
 }
 
 /// Archive produced by [`IpCompScheme`].

@@ -50,25 +50,29 @@ pub(crate) fn decompose(data: &ArrayD<f64>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let mut coeffs = Vec::with_capacity(levels as usize);
     for level in (1..=levels).rev() {
         let mut c = Vec::new();
-        process_level(&shape, level, Interpolation::Linear, &mut work, |off, pred| {
-            c.push(orig[off] - pred);
-            orig[off]
-        });
+        process_level(
+            &shape,
+            level,
+            Interpolation::Linear,
+            &mut work,
+            |off, pred| {
+                c.push(orig[off] - pred);
+                orig[off]
+            },
+        );
         coeffs.push(c);
     }
     (anchors, coeffs)
 }
 
 /// Hierarchical synthesis: rebuild a field from (possibly perturbed) coefficients.
-pub(crate) fn synthesize(
-    shape: &Shape,
-    anchors: &[f64],
-    coeffs: &[Vec<f64>],
-) -> ArrayD<f64> {
+pub(crate) fn synthesize(shape: &Shape, anchors: &[f64], coeffs: &[Vec<f64>]) -> ArrayD<f64> {
     let levels = num_levels(shape);
     let mut work = vec![0.0f64; shape.len()];
     let mut a = anchors.iter();
-    process_anchors(shape, &mut work, |_, pred| pred + a.next().copied().unwrap_or(0.0));
+    process_anchors(shape, &mut work, |_, pred| {
+        pred + a.next().copied().unwrap_or(0.0)
+    });
     for level in (1..=levels).rev() {
         let idx = (levels - level) as usize;
         let mut it = coeffs[idx].iter();
@@ -135,8 +139,8 @@ impl BaseCompressor for Mgard {
         let error_bound = read_f64(bytes, &mut pos).expect("eb");
         let packed_len = read_varint(bytes, &mut pos).expect("len") as usize;
         let packed = &bytes[pos..pos + packed_len];
-        let raw = huffman_decode_bytes(&lzr_decompress(packed).expect("lossless"))
-            .expect("huffman");
+        let raw =
+            huffman_decode_bytes(&lzr_decompress(packed).expect("lossless")).expect("huffman");
 
         let levels = num_levels(&shape);
         let eb_l = level_bound(error_bound, levels, ndim);

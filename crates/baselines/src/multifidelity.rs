@@ -9,7 +9,9 @@
 
 use ipc_tensor::ArrayD;
 
-use crate::{paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved};
+use crate::{
+    paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved,
+};
 
 /// Multi-fidelity wrapper around a [`BaseCompressor`].
 pub struct MultiFidelity<C: BaseCompressor> {
@@ -34,10 +36,12 @@ struct Output {
     blob: Vec<u8>,
 }
 
+/// Boxed decompressor closure carried by the archive.
+type DecompressFn = Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>;
 /// Archive produced by [`MultiFidelity`].
 pub struct MultiFidelityArchive {
     outputs: Vec<Output>,
-    decompress: Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>,
+    decompress: DecompressFn,
 }
 
 impl<C: BaseCompressor + Clone + 'static> ProgressiveScheme for MultiFidelity<C> {

@@ -56,7 +56,10 @@ impl ProgressiveScheme for Pmgard {
         let mut sections = Vec::with_capacity(coeffs.len());
         let mut amplification = Vec::with_capacity(coeffs.len());
         for (idx, level_coeffs) in coeffs.iter().enumerate() {
-            let codes: Vec<i64> = level_coeffs.iter().map(|&c| quantize(c, eb_level)).collect();
+            let codes: Vec<i64> = level_coeffs
+                .iter()
+                .map(|&c| quantize(c, eb_level))
+                .collect();
             sections.push(encode_level(&codes, 2, true, false));
             // Level number: coarsest first. Multilinear prediction has unit gain, so
             // each skipped-plane error can be amplified at most `ndim` times per

@@ -9,7 +9,9 @@
 
 use ipc_tensor::ArrayD;
 
-use crate::{paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved};
+use crate::{
+    paper_residual_ladder, BaseCompressor, ProgressiveArchive, ProgressiveScheme, Retrieved,
+};
 
 /// Residual-progressive wrapper around a [`BaseCompressor`].
 pub struct Residual<C: BaseCompressor> {
@@ -35,10 +37,7 @@ impl<C: BaseCompressor> Residual<C> {
     /// (used by the Fig. 9 residual-count sweep).
     pub fn with_passes(base: C, name: &'static str, passes: usize) -> Self {
         assert!(passes >= 1, "need at least one pass");
-        let ladder_factors = (0..passes)
-            .rev()
-            .map(|i| 4f64.powi(i as i32))
-            .collect();
+        let ladder_factors = (0..passes).rev().map(|i| 4f64.powi(i as i32)).collect();
         Self {
             base,
             name,
@@ -58,10 +57,12 @@ struct Pass {
     blob: Vec<u8>,
 }
 
+/// Boxed decompressor closure carried by the archive.
+type DecompressFn = Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>;
 /// Archive produced by [`Residual`].
 pub struct ResidualArchive {
     passes: Vec<Pass>,
-    decompress: Box<dyn Fn(&[u8]) -> ArrayD<f64> + Send + Sync>,
+    decompress: DecompressFn,
 }
 
 impl<C: BaseCompressor + Clone + 'static> ProgressiveScheme for Residual<C> {

@@ -88,7 +88,7 @@ fn for_each_line(data: &mut ArrayD<f64>, axis: usize, f: impl Fn(&mut [f64])) {
     // Enumerate line start offsets: all points with coordinate 0 along `axis`.
     let mut starts = Vec::with_capacity(shape.len() / len);
     for off in 0..shape.len() {
-        if (off / stride) % len == 0 {
+        if (off / stride).is_multiple_of(len) {
             starts.push(off);
         }
     }
@@ -165,7 +165,10 @@ mod tests {
         forward_line(&mut line);
         let even_energy: f64 = line.iter().step_by(2).map(|v| v * v).sum();
         let odd_energy: f64 = line.iter().skip(1).step_by(2).map(|v| v * v).sum();
-        assert!(odd_energy < 0.05 * even_energy, "{odd_energy} vs {even_energy}");
+        assert!(
+            odd_energy < 0.05 * even_energy,
+            "{odd_energy} vs {even_energy}"
+        );
     }
 
     #[test]

@@ -1,14 +1,20 @@
 //! Criterion micro-benchmark: predictive negabinary bitplane encoding and decoding.
+//!
+//! Benchmarks the word-parallel coder against the retained bit-at-a-time
+//! reference (`ipcomp::bitplane::scalar`) on the same codes, so the speedup of
+//! the 64×64 transpose + plane-XOR path is directly visible in one run.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ipcomp::bitplane::{decode_level, encode_level};
+use ipcomp::bitplane::{decode_level, encode_level, scalar};
 use rand::{Rng, SeedableRng};
 
 fn residual_like_codes(n: usize) -> Vec<i64> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    // Laplacian-ish residual distribution over a wide code range, as produced
+    // by tight error bounds on real fields (same family as the unit tests).
     (0..n)
         .map(|_| {
-            let mag = (rng.gen::<f64>().powi(4) * 65536.0) as i64;
+            let mag = (rng.gen::<f64>().powi(3) * (1i64 << 22) as f64) as i64;
             if rng.gen_bool(0.5) {
                 mag
             } else {
@@ -19,18 +25,28 @@ fn residual_like_codes(n: usize) -> Vec<i64> {
 }
 
 fn bench_bitplanes(c: &mut Criterion) {
-    let codes = residual_like_codes(1 << 17);
+    let codes = residual_like_codes(1 << 20);
     let mut group = c.benchmark_group("bitplane_coding");
+    group.sample_size(10);
     group.throughput(Throughput::Elements(codes.len() as u64));
     group.bench_function("encode_predictive", |b| {
         b.iter(|| encode_level(&codes, 2, true, false))
     });
+    group.bench_function("encode_predictive_scalar", |b| {
+        b.iter(|| scalar::encode_level(&codes, 2, true))
+    });
     group.bench_function("encode_raw", |b| {
         b.iter(|| encode_level(&codes, 2, false, false))
+    });
+    group.bench_function("encode_parallel", |b| {
+        b.iter(|| encode_level(&codes, 2, true, true))
     });
     let encoded = encode_level(&codes, 2, true, false);
     group.bench_function("decode_full", |b| {
         b.iter(|| decode_level(&encoded, encoded.num_planes, 2, true).unwrap())
+    });
+    group.bench_function("decode_full_scalar", |b| {
+        b.iter(|| scalar::decode_level(&encoded, encoded.num_planes, 2, true).unwrap())
     });
     group.bench_function("decode_half_planes", |b| {
         b.iter(|| decode_level(&encoded, encoded.num_planes / 2, 2, true).unwrap())

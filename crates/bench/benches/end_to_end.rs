@@ -2,9 +2,7 @@
 //! baselines on one turbulence field (the kernel behind the paper's Fig. 8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ipc_baselines::{
-    IpCompScheme, MultiFidelity, Pmgard, ProgressiveScheme, Residual, Sz3, Zfp,
-};
+use ipc_baselines::{IpCompScheme, MultiFidelity, Pmgard, ProgressiveScheme, Residual, Sz3, Zfp};
 use ipc_datagen::Dataset;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -22,9 +20,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes((data.len() * 8) as u64));
     for scheme in &schemes {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), scheme, |b, s| {
-            b.iter(|| s.compress(&data, eb))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            scheme,
+            |b, s| b.iter(|| s.compress(&data, eb)),
+        );
     }
     group.finish();
 

@@ -13,7 +13,10 @@ fn bench_interpolation(c: &mut Criterion) {
     let orig = data.as_slice().to_vec();
     let mut group = c.benchmark_group("interpolation_predict");
     group.throughput(Throughput::Bytes((orig.len() * 8) as u64));
-    for (name, method) in [("linear", Interpolation::Linear), ("cubic", Interpolation::Cubic)] {
+    for (name, method) in [
+        ("linear", Interpolation::Linear),
+        ("cubic", Interpolation::Cubic),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &method| {
             b.iter(|| {
                 let mut work = vec![0.0f64; orig.len()];

@@ -3,6 +3,7 @@
 //! * negabinary vs sign-magnitude truncation uncertainty (paper Sec. 4.4.2),
 //! * predictive coding on/off and prefix length (paper Table 2 / Sec. 4.4.1),
 //! * linear vs cubic interpolation,
+//!
 //! measured as end-to-end compressed size on the Density field.
 
 use ipc_bench::{workload, Scale};
@@ -23,7 +24,12 @@ fn main() {
         let nb = negabinary_uncertainty(d) as f64;
         let sm = sign_magnitude_uncertainty(d) as f64;
         ipc_bench::print_row(
-            &[d.to_string(), format!("{nb:.0}"), format!("{sm:.0}"), format!("{:.3}", nb / sm)],
+            &[
+                d.to_string(),
+                format!("{nb:.0}"),
+                format!("{sm:.0}"),
+                format!("{:.3}", nb / sm),
+            ],
             &widths,
         );
     }

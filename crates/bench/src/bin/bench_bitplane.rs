@@ -1,0 +1,161 @@
+//! Bitplane coder throughput runner: emits `BENCH_bitplane.json`.
+//!
+//! Measures encode/decode throughput of the word-parallel bitplane coder and of
+//! the retained bit-at-a-time reference at 1M and 16M coefficients, both pinned
+//! to a single thread (`RAYON_NUM_THREADS=1`, the apples-to-apples comparison
+//! the word-parallel rewrite is judged on) and with the rayon pool enabled.
+//! Future PRs append their own runs to track the perf trajectory.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_bitplane [out.json]`
+//! Set `IPC_BENCH_QUICK=1` to drop the 16M size (CI-friendly).
+
+use ipc_bench::time;
+use ipcomp::bitplane::{decode_level, encode_level, scalar, EncodedLevel};
+use rand::{Rng, SeedableRng};
+
+fn residual_like_codes(n: usize) -> Vec<i64> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2025);
+    // Same Laplacian-ish family as the bitplane unit tests: cube-shaped unit
+    // draws scaled to a wide code range, as produced by tight error bounds on
+    // real fields.
+    (0..n)
+        .map(|_| {
+            let mag = (rng.gen::<f64>().powi(3) * (1i64 << 22) as f64) as i64;
+            if rng.gen_bool(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, secs) = time(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
+struct Row {
+    size: usize,
+    threads: &'static str,
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+    encode_scalar_mb_s: f64,
+    decode_scalar_mb_s: f64,
+}
+
+fn measure(
+    codes: &[i64],
+    encoded: &EncodedLevel,
+    reps: usize,
+    with_scalar: bool,
+) -> (f64, f64, f64, f64) {
+    let mb = std::mem::size_of_val(codes) as f64 / 1e6;
+    let enc = mb / best_of(reps, || encode_level(codes, 2, true, true));
+    let dec = mb
+        / best_of(reps, || {
+            decode_level(encoded, encoded.num_planes, 2, true).unwrap()
+        });
+    let (enc_s, dec_s) = if with_scalar {
+        (
+            mb / best_of(reps, || scalar::encode_level(codes, 2, true)),
+            mb / best_of(reps, || {
+                scalar::decode_level(encoded, encoded.num_planes, 2, true).unwrap()
+            }),
+        )
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+    (enc, dec, enc_s, dec_s)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_bitplane.json".to_string());
+    let quick = std::env::var("IPC_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[1 << 20]
+    } else {
+        &[1 << 20, 16 << 20]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let codes = residual_like_codes(n);
+        let encoded = encode_level(&codes, 2, true, false);
+        let reps = if n > 1 << 22 { 3 } else { 5 };
+        // The scalar reference at 16M coefficients is very slow; measuring it at
+        // 1M already pins down the speedup factor.
+        let with_scalar = n <= 1 << 20;
+
+        // Single-thread measurements: the honest comparison against the scalar
+        // path. Toggling RAYON_NUM_THREADS mid-process works because the
+        // vendored rayon shim re-reads it on every parallel call; upstream
+        // rayon latches the global pool size at first use, so if the vendor
+        // shims are ever swapped for the real crates this runner must spawn a
+        // subprocess per thread configuration instead.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let (enc1, dec1, enc_s, dec_s) = measure(&codes, &encoded, reps, with_scalar);
+        rows.push(Row {
+            size: n,
+            threads: "1",
+            encode_mb_s: enc1,
+            decode_mb_s: dec1,
+            encode_scalar_mb_s: enc_s,
+            decode_scalar_mb_s: dec_s,
+        });
+        if enc_s.is_finite() {
+            println!(
+                "n={n}: single-thread speedup encode {:.1}x decode {:.1}x",
+                enc1 / enc_s,
+                dec1 / dec_s
+            );
+        }
+
+        // Full rayon pool.
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let (enc_p, dec_p, _, _) = measure(&codes, &encoded, reps, false);
+        rows.push(Row {
+            size: n,
+            threads: "all",
+            encode_mb_s: enc_p,
+            decode_mb_s: dec_p,
+            encode_scalar_mb_s: f64::NAN,
+            decode_scalar_mb_s: f64::NAN,
+        });
+        println!(
+            "n={n}: 1-thread encode {enc1:.0} MB/s decode {dec1:.0} MB/s | pool encode {enc_p:.0} MB/s decode {dec_p:.0} MB/s"
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"bitplane_coding\",\n  \"unit\": \"MB/s of i64 codes\",\n  \"prefix_bits\": 2,\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"coefficients\": {}, \"threads\": \"{}\", \"encode_mb_s\": {}, \"decode_mb_s\": {}, \"encode_scalar_mb_s\": {}, \"decode_scalar_mb_s\": {}}}{}\n",
+            r.size,
+            r.threads,
+            json_num(r.encode_mb_s),
+            json_num(r.decode_mb_s),
+            json_num(r.encode_scalar_mb_s),
+            json_num(r.decode_scalar_mb_s),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

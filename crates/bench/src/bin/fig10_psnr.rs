@@ -14,12 +14,20 @@ fn main() {
     let bitrates = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0];
     let rel_eb = 1e-9;
 
-    for dataset in [Dataset::Density, Dataset::Pressure, Dataset::VelocityX, Dataset::Ch4] {
+    for dataset in [
+        Dataset::Density,
+        Dataset::Pressure,
+        Dataset::VelocityX,
+        Dataset::Ch4,
+    ] {
         let w = workload(dataset, scale);
         let eb = rel_eb * w.range;
-        println!("\nFigure 10: {} PSNR (dB) vs retrieved bitrate (scale = {scale:?})\n", dataset.name());
+        println!(
+            "\nFigure 10: {} PSNR (dB) vs retrieved bitrate (scale = {scale:?})\n",
+            dataset.name()
+        );
         let mut widths = vec![10usize];
-        widths.extend(std::iter::repeat(10).take(schemes.len()));
+        widths.extend(std::iter::repeat_n(10, schemes.len()));
         let mut header = vec!["Bitrate"];
         header.extend(schemes.iter().map(|s| s.name()));
         ipc_bench::print_header(&header, &widths);
@@ -35,7 +43,11 @@ fn main() {
                     row.push("-".to_string());
                 } else {
                     let p = psnr(w.data.as_slice(), out.data.as_slice());
-                    row.push(if p.is_finite() { format!("{p:.1}") } else { "inf".into() });
+                    row.push(if p.is_finite() {
+                        format!("{p:.1}")
+                    } else {
+                        "inf".into()
+                    });
                 }
             }
             ipc_bench::print_row(&row, &widths);

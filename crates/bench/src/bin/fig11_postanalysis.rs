@@ -44,7 +44,9 @@ fn main() {
     let curl_ref = curl_magnitude(&w.data);
     let lap_ref = laplacian(&w.data);
 
-    println!("Figure 11: Curl / Laplacian quality vs fraction of compressed Density data retrieved");
+    println!(
+        "Figure 11: Curl / Laplacian quality vs fraction of compressed Density data retrieved"
+    );
     println!("(scale = {scale:?}, archive = {total} bytes)\n");
     let widths = [12, 12, 16, 16];
     ipc_bench::print_header(
@@ -81,7 +83,10 @@ fn main() {
         renders.push((fraction, curl, lap));
     }
 
-    println!("\nReference Curl (middle slice):\n{}", ascii_slice(&curl_ref));
+    println!(
+        "\nReference Curl (middle slice):\n{}",
+        ascii_slice(&curl_ref)
+    );
     for (fraction, curl, lap) in &renders {
         println!(
             "Curl at {:.1}% retrieved:\n{}",
@@ -94,6 +99,9 @@ fn main() {
             ascii_slice(lap)
         );
     }
-    println!("Reference Laplacian (middle slice):\n{}", ascii_slice(&lap_ref));
+    println!(
+        "Reference Laplacian (middle slice):\n{}",
+        ascii_slice(&lap_ref)
+    );
     println!("Curl stabilizes at a smaller retrieved fraction than the Laplacian — the motivation for progressive retrieval.");
 }

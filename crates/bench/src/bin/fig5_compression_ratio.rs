@@ -7,10 +7,13 @@ use ipc_bench::{progressive_schemes, workloads, Scale};
 fn main() {
     let scale = Scale::from_env();
     let schemes = progressive_schemes();
-    for (label, rel_eb) in [("(a) high precision, eb = 1e-9 x range", 1e-9), ("(b) high ratio, eb = 1e-6 x range", 1e-6)] {
+    for (label, rel_eb) in [
+        ("(a) high precision, eb = 1e-9 x range", 1e-9),
+        ("(b) high ratio, eb = 1e-6 x range", 1e-6),
+    ] {
         println!("\nFigure 5 {label}  (scale = {scale:?})\n");
         let mut widths = vec![10usize];
-        widths.extend(std::iter::repeat(9).take(schemes.len()));
+        widths.extend(std::iter::repeat_n(9, schemes.len()));
         let mut header = vec!["Dataset"];
         header.extend(schemes.iter().map(|s| s.name()));
         ipc_bench::print_header(&header, &widths);

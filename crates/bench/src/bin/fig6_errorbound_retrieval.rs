@@ -22,7 +22,7 @@ fn main() {
             w.dataset.name()
         );
         let mut widths = vec![12usize];
-        widths.extend(std::iter::repeat(19).take(schemes.len()));
+        widths.extend(std::iter::repeat_n(19, schemes.len()));
         let mut header = vec!["Target eb"];
         let names: Vec<String> = schemes
             .iter()

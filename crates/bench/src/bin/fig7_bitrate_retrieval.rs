@@ -20,7 +20,7 @@ fn main() {
             w.dataset.name()
         );
         let mut widths = vec![10usize];
-        widths.extend(std::iter::repeat(12).take(schemes.len()));
+        widths.extend(std::iter::repeat_n(12, schemes.len()));
         let mut header = vec!["Bitrate"];
         header.extend(schemes.iter().map(|s| s.name()));
         ipc_bench::print_header(&header, &widths);

@@ -15,7 +15,7 @@ fn main() {
     for (label, decompress) in [("(a) compression", false), ("(b) decompression", true)] {
         println!("\nFigure 8 {label} throughput in MB/s (scale = {scale:?}, eb = 1e-9 x range)\n");
         let mut widths = vec![10usize];
-        widths.extend(std::iter::repeat(9).take(schemes.len()));
+        widths.extend(std::iter::repeat_n(9, schemes.len()));
         let mut header = vec!["Dataset"];
         header.extend(schemes.iter().map(|s| s.name()));
         ipc_bench::print_header(&header, &widths);

@@ -17,7 +17,14 @@ fn main() {
     println!("Figure 9: residual-pass count vs throughput on Density (MB/s, scale = {scale:?})\n");
     let widths = [8, 14, 14, 14, 14, 12];
     ipc_bench::print_header(
-        &["Passes", "SZ3-R comp", "SZ3-R decomp", "ZFP-R comp", "ZFP-R decomp", "IPComp comp"],
+        &[
+            "Passes",
+            "SZ3-R comp",
+            "SZ3-R decomp",
+            "ZFP-R comp",
+            "ZFP-R decomp",
+            "IPComp comp",
+        ],
         &widths,
     );
 

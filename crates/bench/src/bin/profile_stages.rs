@@ -1,0 +1,80 @@
+//! Developer utility: per-stage timing of the bitplane encode/decode pipeline.
+//!
+//! Not part of the paper's figure set — this exists to show where the next
+//! optimization should land (`cargo run --release -p ipc_bench --bin
+//! profile_stages`).
+
+use ipc_bench::time;
+use ipc_codecs::bitslice::slice_planes;
+use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice};
+use ipc_codecs::{lzr_compress, lzr_decompress};
+use ipcomp::bitplane::{decode_level, encode_level};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let n = 1 << 20;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2025);
+    let codes: Vec<i64> = (0..n)
+        .map(|_| {
+            let mag = (rng.gen::<f64>().powi(4) * 65536.0) as i64;
+            if rng.gen_bool(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect();
+
+    let (nb, t_nb) = time(|| to_negabinary_slice(&codes));
+    let num_planes = required_bitplanes_words(&nb).min(63) as usize;
+    let (_, t_trunc) = time(|| ipcomp::bitplane::truncation_loss_table(&nb, num_planes as u8));
+    let (pred, t_pred) = time(|| {
+        nb.iter()
+            .map(|&w| w ^ (w >> 1) ^ (w >> 2))
+            .collect::<Vec<u64>>()
+    });
+    let (bits, t_slice) = time(|| slice_planes(&pred, num_planes));
+    let (compressed, t_lzr) = time(|| bits.iter().map(|b| lzr_compress(b)).collect::<Vec<_>>());
+    println!("encode stages (n={n}, planes={num_planes}):");
+    println!("  negabinary     {:>8.2} ms", t_nb * 1e3);
+    println!("  trunc table    {:>8.2} ms", t_trunc * 1e3);
+    println!("  predict        {:>8.2} ms", t_pred * 1e3);
+    println!("  slice planes   {:>8.2} ms", t_slice * 1e3);
+    println!("  lzr compress   {:>8.2} ms", t_lzr * 1e3);
+
+    let enc = encode_level(&codes, 2, true, false);
+    let (_, t_enc) = time(|| encode_level(&codes, 2, true, false));
+    println!("  TOTAL encode   {:>8.2} ms", t_enc * 1e3);
+
+    let (planes, t_dec_lzr) = time(|| {
+        enc.planes
+            .iter()
+            .map(|p| lzr_decompress(p).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let total_plane_bytes: usize = planes.iter().map(Vec::len).sum();
+    for (p, block) in enc.planes.iter().enumerate() {
+        let (_, t) = time(|| lzr_decompress(block).unwrap());
+        println!(
+            "    plane {p:>2}: {:>8} compressed bytes, {:>7.2} ms",
+            block.len(),
+            t * 1e3
+        );
+    }
+    let mut acc = vec![0u64; enc.n_values];
+    let (_, t_scatter) = time(|| {
+        ipcomp::bitplane::decode_planes_into(&enc, 0, enc.num_planes, 2, true, &mut acc).unwrap()
+    });
+    let (_, t_convert) = time(|| ipc_codecs::negabinary::from_negabinary_slice(&acc));
+    let (_, t_dec) = time(|| decode_level(&enc, enc.num_planes, 2, true).unwrap());
+    println!("decode stages ({total_plane_bytes} plane bytes):");
+    println!("  lzr decompress {:>8.2} ms", t_dec_lzr * 1e3);
+    println!(
+        "  planes+scatter {:>8.2} ms (includes its own lzr pass)",
+        t_scatter * 1e3
+    );
+    println!("  negabinary out {:>8.2} ms", t_convert * 1e3);
+    println!("  TOTAL decode   {:>8.2} ms", t_dec * 1e3);
+    let _ = compressed;
+}

@@ -55,11 +55,17 @@ fn finest_level_codes(data: &ArrayD<f64>, eb: f64, config: &Config) -> Vec<i64> 
     let mut finest = Vec::new();
     for level in (1..=levels).rev() {
         let mut codes = Vec::new();
-        process_level(&shape, level, config.interpolation, &mut work, |off, pred| {
-            let q = quantize(orig[off] - pred, eb);
-            codes.push(q);
-            pred + dequantize(q, eb)
-        });
+        process_level(
+            &shape,
+            level,
+            config.interpolation,
+            &mut work,
+            |off, pred| {
+                let q = quantize(orig[off] - pred, eb);
+                codes.push(q);
+                pred + dequantize(q, eb)
+            },
+        );
         if level == 1 {
             finest = codes;
         }
@@ -73,7 +79,13 @@ fn main() {
     println!("(scale = {scale:?}, eb = 1e-6 x range, finest interpolation level)\n");
     let widths = [10, 12, 14, 14, 14];
     ipc_bench::print_header(
-        &["Field", "Original", "1-bit prefix", "2-bit prefix", "3-bit prefix"],
+        &[
+            "Field",
+            "Original",
+            "1-bit prefix",
+            "2-bit prefix",
+            "3-bit prefix",
+        ],
         &widths,
     );
     let config = Config {

@@ -9,7 +9,14 @@ fn main() {
     let scale = Scale::from_env();
     println!("Table 3: datasets (scale = {scale:?})\n");
     ipc_bench::print_header(
-        &["Name", "Domain", "Precision", "Paper shape", "Run shape", "Range"],
+        &[
+            "Name",
+            "Domain",
+            "Precision",
+            "Paper shape",
+            "Run shape",
+            "Range",
+        ],
         &[10, 12, 9, 14, 14, 12],
     );
     for w in workloads(scale) {

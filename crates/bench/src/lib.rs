@@ -31,7 +31,11 @@ pub enum Scale {
 impl Scale {
     /// Read the scale from `IPC_SCALE` (defaults to [`Scale::Small`]).
     pub fn from_env() -> Self {
-        match std::env::var("IPC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("IPC_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "default" | "medium" => Scale::Default,
             "paper" | "full" => Scale::Paper,
@@ -127,7 +131,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Print a header row followed by a separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }

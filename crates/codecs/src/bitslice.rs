@@ -1,0 +1,191 @@
+//! Word-parallel bitplane slicing via 64×64 bit-matrix transposition.
+//!
+//! The bitplane coder views a batch of `u64` code words as a bit matrix: row `i`
+//! is coefficient `i`, column `p` is bitplane `p`. Slicing planes out of that
+//! matrix one bit at a time costs O(n · planes) shift/mask/branch operations; a
+//! 64×64 bit transpose does the same job 64 coefficients at a time with
+//! word-wide XORs, turning plane extraction into a handful of operations per
+//! *word* instead of per *bit*.
+//!
+//! Conventions used throughout:
+//!
+//! * **Coefficient words** store plane `p` of a coefficient at bit `p`
+//!   (least-significant bit = plane 0), exactly as produced by
+//!   [`crate::negabinary::to_negabinary`].
+//! * **Plane words** pack 64 coefficients MSB-first: coefficient `i` of the
+//!   block sits at bit `63 - i`, so `u64::to_be_bytes` yields the byte layout of
+//!   [`crate::bitstream::BitWriter`] (coefficient `8k` at the MSB of byte `k`).
+//!   Within the transposed block, plane `p` lives at row [`plane_row`]`(p)`.
+
+/// Row index of plane `p` in the output of [`transpose_64x64`] when the input
+/// rows are coefficient words in block order.
+#[inline(always)]
+pub const fn plane_row(p: usize) -> usize {
+    63 - p
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3, widened to 64).
+///
+/// Treating element `(r, c)` as bit `63 - c` of `a[r]`, the array is replaced by
+/// its transpose: afterwards bit `63 - c` of `a[r]` equals bit `63 - r` of the
+/// original `a[c]`. The operation is an involution.
+#[inline]
+pub fn transpose_64x64(a: &mut [u64; 64]) {
+    let mut j: u32 = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j as usize] >> j)) & m;
+            a[k] ^= t;
+            a[k + j as usize] ^= t << j;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Slice packed coefficient words into per-plane MSB-first byte streams.
+///
+/// Returns `num_planes` buffers of `ceil(words.len() / 8)` bytes; buffer `p`
+/// holds bit `p` of every coefficient in order, bit-identical to writing those
+/// bits one at a time through [`crate::bitstream::BitWriter`] (including the
+/// zero padding of the final byte).
+pub fn slice_planes(words: &[u64], num_planes: usize) -> Vec<Vec<u8>> {
+    assert!(num_planes <= 64, "a u64 word has at most 64 planes");
+    let n = words.len();
+    let plane_len = n.div_ceil(8);
+    let mut planes = vec![vec![0u8; plane_len]; num_planes];
+    for (b, block) in words.chunks(64).enumerate() {
+        let mut m = [0u64; 64];
+        m[..block.len()].copy_from_slice(block);
+        transpose_64x64(&mut m);
+        let base = b * 8;
+        let nbytes = (plane_len - base).min(8);
+        for (p, plane) in planes.iter_mut().enumerate() {
+            let bytes = m[plane_row(p)].to_be_bytes();
+            plane[base..base + nbytes].copy_from_slice(&bytes[..nbytes]);
+        }
+    }
+    planes
+}
+
+/// One 64-coefficient block in plane-major form, for word-parallel per-plane
+/// arithmetic (XOR prediction and the like) before scattering back.
+#[derive(Debug, Clone)]
+pub struct PlaneBlock {
+    /// `rows[plane_row(p)]` holds plane `p`; coefficient `i` sits at bit `63-i`.
+    rows: [u64; 64],
+    /// Number of valid coefficients in this block (1..=64).
+    len: usize,
+}
+
+impl PlaneBlock {
+    /// Gather a block of up to 64 coefficient words into plane-major form.
+    pub fn gather(block: &[u64]) -> Self {
+        assert!(!block.is_empty() && block.len() <= 64);
+        let mut rows = [0u64; 64];
+        rows[..block.len()].copy_from_slice(block);
+        transpose_64x64(&mut rows);
+        Self {
+            rows,
+            len: block.len(),
+        }
+    }
+
+    /// Plane `p` of the block as a packed word (coefficient `i` at bit `63-i`).
+    #[inline(always)]
+    pub fn plane(&self, p: usize) -> u64 {
+        self.rows[plane_row(p)]
+    }
+
+    /// Scatter the block back into coefficient words.
+    pub fn scatter(mut self, block: &mut [u64]) {
+        assert_eq!(block.len(), self.len);
+        transpose_64x64(&mut self.rows);
+        block.copy_from_slice(&self.rows[..self.len]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::BitWriter;
+
+    fn reference_bit(words: &[u64], p: usize, i: usize) -> bool {
+        (words[i] >> p) & 1 == 1
+    }
+
+    #[test]
+    fn transpose_is_involution_and_moves_single_bits() {
+        let mut a = [0u64; 64];
+        a[5] = 1 << 62; // element (5, 1)
+        a[63] = 1; // element (63, 63)
+        let orig = a;
+        transpose_64x64(&mut a);
+        assert_eq!(a[1], 1 << (63 - 5), "element (5,1) -> (1,5)");
+        assert_eq!(a[63], 1 << 0, "element (63,63) stays");
+        transpose_64x64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (r, c) matrix indices are the point
+    fn transpose_matches_naive_on_pseudorandom_matrix() {
+        let mut a = [0u64; 64];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for row in a.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *row = x;
+        }
+        let orig = a;
+        transpose_64x64(&mut a);
+        for r in 0..64 {
+            for c in 0..64 {
+                let got = (a[r] >> (63 - c)) & 1;
+                let want = (orig[c] >> (63 - r)) & 1;
+                assert_eq!(got, want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_planes_matches_bitwriter_exactly() {
+        // Cover multiple blocks plus a ragged tail that is not byte-aligned.
+        for n in [1usize, 7, 8, 63, 64, 65, 130, 200] {
+            let words: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 40)
+                .collect();
+            let planes = slice_planes(&words, 64);
+            for (p, plane) in planes.iter().enumerate() {
+                let mut w = BitWriter::with_capacity_bits(n);
+                for i in 0..n {
+                    w.write_bit(reference_bit(&words, p, i));
+                }
+                assert_eq!(plane, &w.into_bytes(), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn plane_block_roundtrips_and_exposes_planes() {
+        let words: Vec<u64> = (0..50).map(|i| (i as u64) << (i % 60)).collect();
+        let block = PlaneBlock::gather(&words);
+        for p in 0..64 {
+            let w = block.plane(p);
+            for (i, &src) in words.iter().enumerate() {
+                assert_eq!(
+                    (w >> (63 - i)) & 1,
+                    (src >> p) & 1,
+                    "plane {p} coefficient {i}"
+                );
+            }
+        }
+        let mut out = vec![0u64; 50];
+        block.scatter(&mut out);
+        assert_eq!(out, words);
+    }
+}

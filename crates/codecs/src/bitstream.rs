@@ -57,14 +57,79 @@ impl BitWriter {
 
     /// Write the `n` least-significant bits of `value`, most-significant first.
     ///
+    /// Runs byte-at-a-time: at most `⌈n/8⌉ + 1` buffer operations instead of one
+    /// per bit, which is what makes the Huffman entropy stage word-speed.
+    ///
     /// # Panics
     ///
     /// Panics if `n > 64`.
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot write more than 64 bits at once");
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
+        let mut rem = n;
+        // Top up the current partial byte first.
+        if self.partial_bits != 0 {
+            let free = 8 - self.partial_bits as u32;
+            let take = free.min(rem);
+            let chunk = ((value >> (rem - take)) as u8) & ((1u16 << take) - 1) as u8;
+            let last = self.buf.last_mut().expect("partial byte exists");
+            *last |= chunk << (free - take);
+            self.partial_bits += take as u8;
+            if self.partial_bits == 8 {
+                self.partial_bits = 0;
+            }
+            rem -= take;
+        }
+        // Whole bytes.
+        while rem >= 8 {
+            rem -= 8;
+            self.buf.push((value >> rem) as u8);
+        }
+        // Leftover high bits of a fresh byte.
+        if rem > 0 {
+            let chunk = ((value as u8) & ((1u16 << rem) - 1) as u8) << (8 - rem);
+            self.buf.push(chunk);
+            self.partial_bits = rem as u8;
+        }
+    }
+
+    /// Write all 64 bits of `value`, most-significant first.
+    ///
+    /// Equivalent to `write_bits(value, 64)` but runs word-at-a-time when the
+    /// writer is byte-aligned (the common case for the bitplane coder, which
+    /// always writes whole plane words).
+    #[inline]
+    pub fn write_word64(&mut self, value: u64) {
+        if self.partial_bits == 0 {
+            self.buf.extend_from_slice(&value.to_be_bytes());
+        } else {
+            self.write_bits(value, 64);
+        }
+    }
+
+    /// Append `n_bits` stream bits from packed MSB-first plane words
+    /// (bit `63 - k` of `words[w]` is stream bit `64·w + k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `n_bits` bits.
+    pub fn write_words(&mut self, words: &[u64], n_bits: usize) {
+        assert!(words.len() * 64 >= n_bits, "not enough word bits");
+        let full = n_bits / 64;
+        for &w in &words[..full] {
+            self.write_word64(w);
+        }
+        let rem = (n_bits % 64) as u32;
+        if rem > 0 {
+            self.write_bits(words[full] >> (64 - rem), rem);
         }
     }
 
@@ -123,6 +188,78 @@ impl<'a> BitReader<'a> {
             v = (v << 1) | self.read_bit()? as u64;
         }
         Ok(v)
+    }
+
+    /// Peek at the next `n ≤ 56` bits without consuming them, MSB-first in the
+    /// low bits of the result. Bits past the end of the buffer read as zero, so
+    /// callers that resolve variable-length codes near the end of a stream can
+    /// peek a full window and validate the consumed length afterwards.
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> u64 {
+        debug_assert!(n <= 56, "peek window limited to 56 bits");
+        if n == 0 {
+            return 0;
+        }
+        let byte_idx = self.pos_bits / 8;
+        let bit_idx = (self.pos_bits % 8) as u32;
+        let mut window = [0u8; 8];
+        if byte_idx < self.buf.len() {
+            let avail = (self.buf.len() - byte_idx).min(8);
+            window[..avail].copy_from_slice(&self.buf[byte_idx..byte_idx + avail]);
+        }
+        (u64::from_be_bytes(window) << bit_idx) >> (64 - n)
+    }
+
+    /// Consume `n` bits (previously inspected with [`BitReader::peek_bits`]).
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) -> Result<()> {
+        if self.remaining() < n as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.pos_bits += n as usize;
+        Ok(())
+    }
+
+    /// Read 64 bits as one MSB-first word, byte-at-a-time when aligned.
+    #[inline]
+    pub fn read_word64(&mut self) -> Result<u64> {
+        if self.pos_bits.is_multiple_of(8) {
+            let byte_idx = self.pos_bits / 8;
+            let bytes = self
+                .buf
+                .get(byte_idx..byte_idx + 8)
+                .ok_or(CodecError::UnexpectedEof)?;
+            self.pos_bits += 64;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(bytes);
+            Ok(u64::from_be_bytes(buf))
+        } else {
+            self.read_bits(64)
+        }
+    }
+
+    /// View the remaining stream as packed MSB-first plane words: bit `63 - k`
+    /// of word `w` is stream bit `64·w + k` past the current position. Bits
+    /// beyond the buffer read as zero; `n_bits` bits must be available.
+    pub fn as_words(&self, n_bits: usize) -> Result<Vec<u64>> {
+        if self.remaining() < n_bits {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut reader = self.clone();
+        let n_words = n_bits.div_ceil(64);
+        let mut words = Vec::with_capacity(n_words);
+        let mut left = n_bits;
+        for _ in 0..n_words {
+            if left >= 64 {
+                words.push(reader.read_word64()?);
+                left -= 64;
+            } else {
+                let v = reader.read_bits(left as u32)?;
+                words.push(v << (64 - left));
+                left = 0;
+            }
+        }
+        Ok(words)
     }
 }
 
@@ -193,6 +330,143 @@ mod tests {
         r.read_bits(5).unwrap();
         assert_eq!(r.position(), 5);
         assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn chunked_write_bits_matches_per_bit_reference() {
+        // Exhaustive-ish cross-check of the byte-chunked write_bits against a
+        // strictly per-bit writer at every alignment.
+        let values = [
+            0u64,
+            1,
+            0b1011,
+            0xFF,
+            0xDEAD_BEEF,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+        ];
+        for lead in 0..8u32 {
+            for &v in &values {
+                for n in [1u32, 3, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64] {
+                    let mut fast = BitWriter::new();
+                    fast.write_bits(0x5A, lead.min(8));
+                    fast.write_bits(v, n);
+                    let mut slow = BitWriter::new();
+                    slow.write_bits(0x5A, lead.min(8));
+                    for i in (0..n).rev() {
+                        slow.write_bit((v >> i) & 1 == 1);
+                    }
+                    assert_eq!(fast.bit_len(), slow.bit_len(), "lead={lead} v={v:#x} n={n}");
+                    assert_eq!(
+                        fast.into_bytes(),
+                        slow.into_bytes(),
+                        "lead={lead} v={v:#x} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_skip_track_reads() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101_1011_0101, 11);
+        w.write_bits(0xABCD, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(11), 0b101_1011_0101);
+        assert_eq!(r.peek_bits(4), 0b1011, "peek must not consume");
+        r.skip_bits(11).unwrap();
+        assert_eq!(r.peek_bits(16), 0xABCD);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        // Only padding is left: peeking past the end pads with zeros, and
+        // skipping past the end errors.
+        assert_eq!(r.peek_bits(40), 0);
+        assert!(r.skip_bits(r.remaining() as u32 + 1).is_err());
+    }
+
+    #[test]
+    fn word_writes_match_bit_writes() {
+        let words = [0xDEAD_BEEF_0123_4567u64, 0x8000_0000_0000_0001];
+        // Aligned path.
+        let mut a = BitWriter::new();
+        for &w in &words {
+            a.write_word64(w);
+        }
+        let mut b = BitWriter::new();
+        for &w in &words {
+            b.write_bits(w, 64);
+        }
+        assert_eq!(a.into_bytes(), b.into_bytes());
+        // Unaligned path.
+        let mut a = BitWriter::new();
+        a.write_bits(0b101, 3);
+        a.write_word64(words[0]);
+        let mut b = BitWriter::new();
+        b.write_bits(0b101, 3);
+        b.write_bits(words[0], 64);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn write_words_handles_partial_tail() {
+        let words = [0xFFFF_0000_FFFF_0000u64, 0xABCD_EF01_2345_6789];
+        for n_bits in [1usize, 64, 65, 100, 128] {
+            let mut a = BitWriter::new();
+            a.write_words(&words, n_bits);
+            let mut b = BitWriter::new();
+            for k in 0..n_bits {
+                let w = words[k / 64];
+                b.write_bit((w >> (63 - (k % 64))) & 1 == 1);
+            }
+            assert_eq!(a.bit_len(), n_bits);
+            assert_eq!(a.into_bytes(), b.into_bytes(), "n_bits={n_bits}");
+        }
+    }
+
+    #[test]
+    fn read_word64_aligned_and_unaligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_word64(0x0123_4567_89AB_CDEF);
+        w.write_bits(0, 6);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert_eq!(r.read_word64().unwrap(), 0x0123_4567_89AB_CDEF);
+        // Aligned fast path.
+        let mut w = BitWriter::new();
+        w.write_word64(42);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_word64().unwrap(), 42);
+        assert!(r.read_word64().is_err());
+    }
+
+    #[test]
+    fn as_words_roundtrips_write_words() {
+        let words = [0x1357_9BDF_0246_8ACEu64, 0xFEDC_BA98_7654_3210, 0xF0F0];
+        for n_bits in [3usize, 64, 120, 128, 192] {
+            let mut w = BitWriter::new();
+            w.write_words(&words, n_bits);
+            let bytes = w.into_bytes();
+            let r = BitReader::new(&bytes);
+            let got = r.as_words(n_bits).unwrap();
+            let want: Vec<u64> = (0..n_bits.div_ceil(64))
+                .map(|i| {
+                    let w = words[i];
+                    let used = (n_bits - i * 64).min(64);
+                    if used == 64 {
+                        w
+                    } else {
+                        w & !(u64::MAX >> used)
+                    }
+                })
+                .collect();
+            assert_eq!(got, want, "n_bits={n_bits}");
+        }
+        let r = BitReader::new(&[0u8; 2]);
+        assert!(r.as_words(17).is_err());
     }
 
     #[test]

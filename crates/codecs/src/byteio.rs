@@ -53,9 +53,7 @@ pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 /// Read a length-prefixed byte slice.
 pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
     let len = crate::varint::read_varint(buf, pos)? as usize;
-    let slice = buf
-        .get(*pos..*pos + len)
-        .ok_or(CodecError::UnexpectedEof)?;
+    let slice = buf.get(*pos..*pos + len).ok_or(CodecError::UnexpectedEof)?;
     *pos += len;
     Ok(slice)
 }
@@ -71,7 +69,7 @@ pub fn f64_slice_to_bytes(values: &[f64]) -> Vec<u8> {
 
 /// Deserialize little-endian bytes into an `f64` vector.
 pub fn bytes_to_f64_vec(bytes: &[u8]) -> Result<Vec<f64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Corrupt("f64 buffer length not a multiple of 8"));
     }
     Ok(bytes
@@ -118,7 +116,7 @@ mod tests {
 
     #[test]
     fn f64_slice_roundtrip() {
-        let values = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.14159];
+        let values = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
         let bytes = f64_slice_to_bytes(&values);
         assert_eq!(bytes_to_f64_vec(&bytes).unwrap(), values);
     }

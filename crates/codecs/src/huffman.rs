@@ -8,7 +8,7 @@
 //! table, so the decoder can rebuild the exact same codebook.
 
 use crate::bitstream::{BitReader, BitWriter};
-use crate::varint::{read_varint, write_varint};
+use crate::varint::{read_varint, varint_len, write_varint};
 use crate::{CodecError, Result};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -102,13 +102,7 @@ fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, Code> {
     let mut prev_len = 0u8;
     for &(len, sym) in &entries {
         code <<= len - prev_len;
-        codes.insert(
-            sym,
-            Code {
-                bits: code,
-                len,
-            },
-        );
+        codes.insert(sym, Code { bits: code, len });
         code += 1;
         prev_len = len;
     }
@@ -146,13 +140,212 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Decode a buffer produced by [`huffman_encode`].
-pub fn huffman_decode(buf: &[u8]) -> Result<Vec<u32>> {
+/// Canonical decoding tables: a direct-lookup table resolving all codes up to
+/// [`CanonicalDecoder::TABLE_BITS`] bits in one peek, plus the
+/// first-code/offset arrays that resolve longer codes with integer compares
+/// (no hashing anywhere on the per-symbol path).
+struct CanonicalDecoder {
+    /// `lut[peeked] = (symbol, code_len)`; `code_len == 0` marks "longer than
+    /// TABLE_BITS, take the slow path".
+    lut: Vec<(u32, u8)>,
+    /// Symbols sorted by (code length, symbol) — canonical code order.
+    symbols: Vec<u32>,
+    /// Per code length `l`: the first canonical code of that length.
+    first_code: [u64; 65],
+    /// Per code length `l`: index into `symbols` of that first code.
+    first_index: [usize; 65],
+    /// Per code length `l`: number of codes of that length.
+    count: [usize; 65],
+    max_len: u8,
+}
+
+impl CanonicalDecoder {
+    const TABLE_BITS: u32 = 12;
+
+    /// Build the decoding tables, rejecting tables that violate the canonical
+    /// (Kraft) constraint — headers are untrusted bytes, and an oversubscribed
+    /// length table would otherwise push the code counter past `2^len` and out
+    /// of the lookup table.
+    fn new(lengths: &[(u32, u8)]) -> Result<Self> {
+        // Canonical order: by (length, symbol), matching `canonical_codes`.
+        let mut entries: Vec<(u8, u32)> = lengths.iter().map(|&(s, l)| (l, s)).collect();
+        entries.sort_unstable();
+        let mut symbols = Vec::with_capacity(entries.len());
+        let mut first_code = [0u64; 65];
+        let mut first_index = [0usize; 65];
+        let mut count = [0usize; 65];
+        let mut max_len = 0u8;
+        let mut lut = vec![(0u32, 0u8); 1usize << Self::TABLE_BITS];
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for (i, &(len, sym)) in entries.iter().enumerate() {
+            let shift = (len - prev_len) as u32;
+            code = match code.checked_shl(shift) {
+                // checked_shl rejects shift ≥ 64; a shifted-out high bit is the
+                // same oversubscription expressed earlier.
+                Some(shifted) if shift == 0 || shifted >> shift == code => shifted,
+                _ if code == 0 => 0,
+                _ => return Err(CodecError::Corrupt("oversubscribed Huffman code table")),
+            };
+            if len < 64 && code >> len != 0 {
+                return Err(CodecError::Corrupt("oversubscribed Huffman code table"));
+            }
+            if count[len as usize] == 0 {
+                first_code[len as usize] = code;
+                first_index[len as usize] = i;
+            }
+            count[len as usize] += 1;
+            if (len as u32) <= Self::TABLE_BITS {
+                // Every TABLE_BITS-wide window starting with this code decodes
+                // to `sym`.
+                let shift = Self::TABLE_BITS - len as u32;
+                let base = (code << shift) as usize;
+                for slot in &mut lut[base..base + (1usize << shift)] {
+                    *slot = (sym, len);
+                }
+            }
+            symbols.push(sym);
+            max_len = max_len.max(len);
+            code += 1;
+            prev_len = len;
+        }
+        Ok(Self {
+            lut,
+            symbols,
+            first_code,
+            first_index,
+            count,
+            max_len,
+        })
+    }
+
+    /// Decode `n` symbols from `payload`, feeding each to `emit`.
+    ///
+    /// Runs on a local MSB-aligned 64-bit buffer: the top `have` bits of `acc`
+    /// are the next stream bits, refilled a byte at a time and consumed with one
+    /// shift per symbol — no per-bit reads and no hashing. Tables declaring
+    /// codes longer than 56 bits (possible only in hand-crafted headers — a real
+    /// histogram would need hundreds of gigabytes of input to produce one) are
+    /// routed to the bitwise fallback, which keeps the fast loop's refill
+    /// invariant `len ≤ have` unconditional.
+    fn decode_all(&self, payload: &[u8], n: usize, mut emit: impl FnMut(u32)) -> Result<()> {
+        if self.max_len > 56 {
+            return self.decode_all_bitwise(payload, n, emit);
+        }
+        // Register-resident MSB-aligned bit buffer: the top `have` bits of
+        // `acc` are the next stream bits. The refill ORs a whole 8-byte load
+        // below the valid region but only *accounts* for whole bytes; the
+        // surplus sub-byte bits are real stream bits that the next refill ORs
+        // again to the same positions (OR is idempotent), which keeps the
+        // per-symbol critical path free of load latency.
+        let total_bits = payload.len() * 8;
+        let mut consumed = 0usize;
+        let mut byte_pos = 0usize;
+        let mut acc: u64 = 0;
+        let mut have: u32 = 0;
+        for _ in 0..n {
+            if have <= 56 {
+                if byte_pos + 8 <= payload.len() {
+                    let bytes: [u8; 8] = payload[byte_pos..byte_pos + 8]
+                        .try_into()
+                        .expect("8-byte slice");
+                    acc |= u64::from_be_bytes(bytes) >> have;
+                    let take = (64 - have) >> 3;
+                    byte_pos += take as usize;
+                    have += take * 8;
+                } else {
+                    while have <= 56 && byte_pos < payload.len() {
+                        acc |= (payload[byte_pos] as u64) << (56 - have);
+                        byte_pos += 1;
+                        have += 8;
+                    }
+                }
+            }
+            let (mut sym, mut len) = {
+                let (s, l) = self.lut[(acc >> (64 - Self::TABLE_BITS)) as usize];
+                (s, l as u32)
+            };
+            if len == 0 {
+                // The code is longer than the lookup window; extend it with
+                // canonical first-code compares on the same buffered window.
+                let mut l = Self::TABLE_BITS + 1;
+                loop {
+                    if l > self.max_len as u32 {
+                        return Err(CodecError::Corrupt("code not found in table"));
+                    }
+                    let code = acc >> (64 - l);
+                    let li = l as usize;
+                    if self.count[li] > 0 {
+                        let offset = code.wrapping_sub(self.first_code[li]);
+                        if offset < self.count[li] as u64 {
+                            sym = self.symbols[self.first_index[li] + offset as usize];
+                            len = l;
+                            break;
+                        }
+                    }
+                    l += 1;
+                }
+            }
+            consumed += len as usize;
+            if consumed > total_bits {
+                return Err(CodecError::UnexpectedEof);
+            }
+            // `len ≤ 56 < have` whenever unread bytes remain; at the stream end
+            // the EOF check above bounds `len` by the exact remainder.
+            acc <<= len;
+            have = have.saturating_sub(len);
+            emit(sym);
+        }
+        Ok(())
+    }
+
+    /// Bit-at-a-time fallback for adversarial tables with > 56-bit codes.
+    fn decode_all_bitwise(
+        &self,
+        payload: &[u8],
+        n: usize,
+        mut emit: impl FnMut(u32),
+    ) -> Result<()> {
+        let mut reader = BitReader::new(payload);
+        for _ in 0..n {
+            let mut code = 0u64;
+            let mut l = 0usize;
+            loop {
+                code = (code << 1) | reader.read_bit()? as u64;
+                l += 1;
+                if l > self.max_len as usize {
+                    return Err(CodecError::Corrupt("code not found in table"));
+                }
+                if self.count[l] > 0 {
+                    let offset = code.wrapping_sub(self.first_code[l]);
+                    if offset < self.count[l] as u64 {
+                        emit(self.symbols[self.first_index[l] + offset as usize]);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parsed self-describing header: `(n_symbols, (symbol, length) table, payload)`.
+type ParsedHeader<'a> = (usize, Vec<(u32, u8)>, &'a [u8]);
+
+/// Parse the header shared by [`huffman_decode`] and [`huffman_decode_bytes`].
+fn parse_header(buf: &[u8]) -> Result<ParsedHeader<'_>> {
     let mut pos = 0usize;
     let n_symbols = read_varint(buf, &mut pos)? as usize;
     let table_len = read_varint(buf, &mut pos)? as usize;
     if n_symbols > 0 && table_len == 0 {
-        return Err(CodecError::Corrupt("empty code table for non-empty payload"));
+        return Err(CodecError::Corrupt(
+            "empty code table for non-empty payload",
+        ));
+    }
+    // Each table entry consumes at least two bytes, so a table_len larger than
+    // the buffer is corrupt; checking first keeps the preallocation bounded.
+    if table_len > buf.len() {
+        return Err(CodecError::UnexpectedEof);
     }
     let mut lengths: Vec<(u32, u8)> = Vec::with_capacity(table_len);
     for _ in 0..table_len {
@@ -168,51 +361,133 @@ pub fn huffman_decode(buf: &[u8]) -> Result<Vec<u32>> {
     let payload = buf
         .get(pos..pos + payload_len)
         .ok_or(CodecError::UnexpectedEof)?;
+    Ok((n_symbols, lengths, payload))
+}
 
-    // Build a (length, code) -> symbol lookup.
-    let codes = canonical_codes(&lengths);
-    let mut decode_map: HashMap<(u8, u64), u32> = HashMap::with_capacity(codes.len());
-    let mut max_len = 0u8;
-    for (sym, code) in &codes {
-        decode_map.insert((code.len, code.bits), *sym);
-        max_len = max_len.max(code.len);
-    }
-
-    let mut reader = BitReader::new(payload);
+/// Decode a buffer produced by [`huffman_encode`].
+pub fn huffman_decode(buf: &[u8]) -> Result<Vec<u32>> {
+    let (n_symbols, lengths, payload) = parse_header(buf)?;
+    let decoder = CanonicalDecoder::new(&lengths)?;
     let mut out = Vec::with_capacity(n_symbols);
-    for _ in 0..n_symbols {
-        let mut code = 0u64;
-        let mut len = 0u8;
-        loop {
-            code = (code << 1) | reader.read_bit()? as u64;
-            len += 1;
-            if let Some(&sym) = decode_map.get(&(len, code)) {
-                out.push(sym);
-                break;
-            }
-            if len > max_len {
-                return Err(CodecError::Corrupt("code not found in table"));
-            }
-        }
-    }
+    decoder.decode_all(payload, n_symbols, |sym| out.push(sym))?;
     Ok(out)
 }
 
+/// Shared implementation of the byte-specialized encoder. When `size_limit` is
+/// set, returns `None` without doing any bit packing if the exact encoded size
+/// (computable from the histogram alone) would not be strictly smaller.
+fn huffman_encode_bytes_impl(bytes: &[u8], size_limit: Option<usize>) -> Option<Vec<u8>> {
+    let mut freq = [0u64; 256];
+    for &b in bytes {
+        freq[b as usize] += 1;
+    }
+    let freqs: HashMap<u32, u64> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(s, &f)| (s as u32, f))
+        .collect();
+    let lengths = code_lengths(&freqs);
+
+    // Exact output size, known before writing a single bit: header varints plus
+    // `Σ freq(s) · len(s)` payload bits.
+    let payload_bits: u64 = lengths
+        .iter()
+        .map(|&(sym, len)| freq[sym as usize] * len as u64)
+        .sum();
+    let payload_len = (payload_bits as usize).div_ceil(8);
+    let header_len = varint_len(bytes.len() as u64)
+        + varint_len(lengths.len() as u64)
+        + lengths
+            .iter()
+            .map(|&(sym, _)| varint_len(sym as u64) + 1)
+            .sum::<usize>()
+        + varint_len(payload_len as u64);
+    if let Some(limit) = size_limit {
+        if header_len + payload_len >= limit {
+            return None;
+        }
+    }
+
+    let mut out = Vec::with_capacity(header_len + payload_len);
+    write_varint(&mut out, bytes.len() as u64);
+    write_varint(&mut out, lengths.len() as u64);
+    for &(sym, len) in &lengths {
+        write_varint(&mut out, sym as u64);
+        out.push(len);
+    }
+    write_varint(&mut out, payload_len as u64);
+
+    // Dense code table + a local 64-bit accumulator: roughly one shift/or and an
+    // amortized byte push per symbol, instead of a BitWriter call per code.
+    let codes = canonical_codes(&lengths);
+    let mut table = [(0u64, 0u32); 256];
+    for (&sym, code) in &codes {
+        table[sym as usize] = (code.bits, code.len as u32);
+    }
+    let payload_start = out.len();
+    out.reserve(payload_len);
+    let mut acc: u64 = 0;
+    let mut fill: u32 = 0;
+    for &b in bytes {
+        let (bits, len) = table[b as usize];
+        if len <= 56 {
+            acc = (acc << len) | bits;
+            fill += len;
+        } else {
+            // Degenerate >56-bit codes: split the append in two halves.
+            let hi = len - 32;
+            acc = (acc << hi) | (bits >> 32);
+            fill += hi;
+            while fill >= 8 {
+                fill -= 8;
+                out.push((acc >> fill) as u8);
+            }
+            acc = (acc << 32) | (bits & 0xFFFF_FFFF);
+            fill += 32;
+        }
+        while fill >= 8 {
+            fill -= 8;
+            out.push((acc >> fill) as u8);
+        }
+    }
+    if fill > 0 {
+        out.push((acc << (8 - fill)) as u8);
+    }
+    debug_assert_eq!(out.len() - payload_start, payload_len);
+    Some(out)
+}
+
 /// Encode a byte slice with Huffman (bytes promoted to `u32` symbols).
+///
+/// Produces output byte-identical to `huffman_encode(&bytes as u32s)` but runs
+/// on the LZR hot path: frequencies are counted in a flat 256-slot array and
+/// codes are emitted through a dense per-byte table into a local bit
+/// accumulator instead of hash lookups and per-code writer calls.
 pub fn huffman_encode_bytes(bytes: &[u8]) -> Vec<u8> {
-    let symbols: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
-    huffman_encode(&symbols)
+    huffman_encode_bytes_impl(bytes, None).expect("unbounded encode always succeeds")
+}
+
+/// Encode `bytes` only if the exact encoded size is strictly smaller than
+/// `limit`; otherwise return `None` without paying for the bit packing.
+///
+/// The size test is computed from the histogram, so callers that fall back to
+/// storing raw data (like the LZR container) skip the entire entropy pass on
+/// incompressible input.
+pub fn huffman_encode_bytes_under(bytes: &[u8], limit: usize) -> Option<Vec<u8>> {
+    huffman_encode_bytes_impl(bytes, Some(limit))
 }
 
 /// Decode a buffer produced by [`huffman_encode_bytes`].
 pub fn huffman_decode_bytes(buf: &[u8]) -> Result<Vec<u8>> {
-    let symbols = huffman_decode(buf)?;
-    symbols
-        .into_iter()
-        .map(|s| {
-            u8::try_from(s).map_err(|_| CodecError::Corrupt("byte symbol out of range"))
-        })
-        .collect()
+    let (n_symbols, lengths, payload) = parse_header(buf)?;
+    if lengths.iter().any(|&(sym, _)| sym > u8::MAX as u32) {
+        return Err(CodecError::Corrupt("byte symbol out of range"));
+    }
+    let decoder = CanonicalDecoder::new(&lengths)?;
+    let mut out = Vec::with_capacity(n_symbols);
+    decoder.decode_all(payload, n_symbols, |sym| out.push(sym as u8))?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -246,10 +521,35 @@ mod tests {
         // 90% zeros: entropy ~0.47 bits/symbol, so the encoded size must be well
         // below one byte per symbol.
         let mut data = vec![0u32; 9000];
-        data.extend(std::iter::repeat(5u32).take(1000));
+        data.extend(std::iter::repeat_n(5u32, 1000));
         let enc = huffman_encode(&data);
         assert!(enc.len() < 10_000 / 4, "encoded {} bytes", enc.len());
         assert_eq!(huffman_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn oversubscribed_code_table_is_rejected_not_panicking() {
+        // Hand-crafted header: 1 symbol to decode, table declaring THREE codes
+        // of length 1 (only two can exist). Must return Corrupt, not panic.
+        let crafted = [1u8, 3, 0, 1, 1, 1, 2, 1, 1, 0];
+        assert!(matches!(
+            huffman_decode(&crafted),
+            Err(CodecError::Corrupt(_))
+        ));
+        assert!(matches!(
+            huffman_decode_bytes(&crafted),
+            Err(CodecError::Corrupt(_))
+        ));
+        // Oversubscription at a longer length (five 2-bit codes).
+        let mut crafted = vec![1u8, 5];
+        for sym in 0u8..5 {
+            crafted.extend_from_slice(&[sym, 2]);
+        }
+        crafted.extend_from_slice(&[1, 0]);
+        assert!(matches!(
+            huffman_decode(&crafted),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!
 //! Everything here is self-contained and allocation-conscious:
 //!
-//! * [`bitstream`] — MSB-first bit writer/reader over byte buffers.
+//! * [`bitstream`] — MSB-first bit writer/reader over byte buffers, with
+//!   word-level (`u64`) fast paths for the bitplane coder.
+//! * [`bitslice`] — 64×64 bit-matrix transposition for word-parallel bitplane
+//!   slicing and scattering.
 //! * [`negabinary`] — base(−2) integer representation (paper Sec. 4.4.2).
 //! * [`zigzag`] — sign folding used by the baseline coders.
 //! * [`varint`] — LEB128 variable-length integers for headers.
@@ -18,6 +21,7 @@
 //! * [`lzr`] — LZ77-style match finder + Huffman entropy stage (zstd stand-in).
 //! * [`byteio`] — little-endian scalar/slice serialization helpers.
 
+pub mod bitslice;
 pub mod bitstream;
 pub mod byteio;
 pub mod huffman;

@@ -37,6 +37,19 @@ pub fn from_negabinary(bits: u64) -> i64 {
     (bits ^ NEGABINARY_MASK).wrapping_sub(NEGABINARY_MASK) as i64
 }
 
+/// Bulk conversion of signed integers to negabinary words.
+///
+/// One tight add/xor pass; the compiler auto-vectorizes it, which matters on the
+/// bitplane coder's hot path where whole levels are converted at once.
+pub fn to_negabinary_slice(values: &[i64]) -> Vec<u64> {
+    values.iter().map(|&v| to_negabinary(v)).collect()
+}
+
+/// Bulk conversion of negabinary words back to signed integers.
+pub fn from_negabinary_slice(words: &[u64]) -> Vec<i64> {
+    words.iter().map(|&w| from_negabinary(w)).collect()
+}
+
 /// Evaluate a negabinary word keeping only bitplanes `>= lowest_kept`.
 ///
 /// This models the effect of *not loading* the `lowest_kept` least significant
@@ -105,6 +118,14 @@ pub fn required_bitplanes(values: &[i64]) -> u32 {
     max_bits
 }
 
+/// [`required_bitplanes`] over already-converted negabinary words. The word
+/// OR-reduction lets callers that hold the packed representation avoid a second
+/// conversion pass.
+pub fn required_bitplanes_words(words: &[u64]) -> u32 {
+    let all = words.iter().fold(0u64, |acc, &w| acc | w);
+    64 - all.leading_zeros()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,7 +145,15 @@ mod tests {
         for v in -10_000i64..10_000 {
             assert_eq!(from_negabinary(to_negabinary(v)), v);
         }
-        for &v in &[i64::MIN / 4, i64::MAX / 4, 0, 1, -1, 123_456_789, -987_654_321] {
+        for &v in &[
+            i64::MIN / 4,
+            i64::MAX / 4,
+            0,
+            1,
+            -1,
+            123_456_789,
+            -987_654_321,
+        ] {
             assert_eq!(from_negabinary(to_negabinary(v)), v);
         }
     }
@@ -179,6 +208,30 @@ mod tests {
             let nb = negabinary_uncertainty(d) as f64;
             let sm = sign_magnitude_uncertainty(d) as f64;
             assert!(nb / sm < 0.70, "d={d}: {nb}/{sm}");
+        }
+    }
+
+    #[test]
+    fn bulk_conversions_match_scalar() {
+        let values: Vec<i64> = (-500..500).chain([i64::MIN / 4, i64::MAX / 4]).collect();
+        let words = to_negabinary_slice(&values);
+        assert_eq!(
+            words,
+            values.iter().map(|&v| to_negabinary(v)).collect::<Vec<_>>()
+        );
+        assert_eq!(from_negabinary_slice(&words), values);
+    }
+
+    #[test]
+    fn required_bitplanes_words_agrees_with_scalar_path() {
+        for vals in [
+            vec![],
+            vec![0i64],
+            vec![1, -1, 7],
+            (-3000..3000).collect::<Vec<i64>>(),
+        ] {
+            let words = to_negabinary_slice(&vals);
+            assert_eq!(required_bitplanes_words(&words), required_bitplanes(&vals));
         }
     }
 

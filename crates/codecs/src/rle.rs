@@ -111,7 +111,9 @@ mod tests {
 
     #[test]
     fn roundtrip_alternating() {
-        let data: Vec<u8> = (0..10_000).map(|i| if i % 7 == 0 { 0 } else { i as u8 }).collect();
+        let data: Vec<u8> = (0..10_000)
+            .map(|i| if i % 7 == 0 { 0 } else { i as u8 })
+            .collect();
         let enc = rle_encode(&data);
         assert_eq!(rle_decode(&enc).unwrap(), data);
     }

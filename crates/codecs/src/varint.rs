@@ -73,7 +73,17 @@ mod tests {
 
     #[test]
     fn varint_len_matches_encoding() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             assert_eq!(varint_len(v), buf.len(), "value {v}");

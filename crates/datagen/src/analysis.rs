@@ -146,7 +146,12 @@ mod tests {
             ((c[0] as f64) * 0.3).sin() + ((c[1] as f64) * 0.25).cos()
         });
         let noisy = ArrayD::from_fn(shape.clone(), |c| {
-            smooth[[c[0], c[1], c[2]]] + if (c[0] + c[1] + c[2]) % 2 == 0 { 1e-3 } else { -1e-3 }
+            smooth[[c[0], c[1], c[2]]]
+                + if (c[0] + c[1] + c[2]) % 2 == 0 {
+                    1e-3
+                } else {
+                    -1e-3
+                }
         });
         let curl_err: f64 = curl_magnitude(&smooth)
             .as_slice()

@@ -65,12 +65,7 @@ struct Mode {
     phase: f64,
 }
 
-fn sample_modes(
-    rng: &mut ChaCha8Rng,
-    count: usize,
-    slope: f64,
-    k_max: f64,
-) -> Vec<Mode> {
+fn sample_modes(rng: &mut ChaCha8Rng, count: usize, slope: f64, k_max: f64) -> Vec<Mode> {
     let mut modes = Vec::with_capacity(count);
     for _ in 0..count {
         // Sample wave vectors with components in [1, k_max]; higher |k| is rarer by
@@ -150,7 +145,8 @@ fn turbulence(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let modes = sample_modes(&mut rng, mode_count, slope, 12.0);
     let dims = shape.dims().to_vec();
-    let field = ArrayD::from_fn(shape.clone(), |coords| {
+
+    ArrayD::from_fn(shape.clone(), |coords| {
         let (x, y, z) = normalized(coords, &dims);
         let v = eval_modes(&modes, x, y, z);
         if positive {
@@ -159,8 +155,7 @@ fn turbulence(
         } else {
             v
         }
-    });
-    field
+    })
 }
 
 fn wave_field(shape: &Shape, seed: u64, packets: usize, base_freq: f64) -> ArrayD<f64> {
@@ -205,9 +200,7 @@ fn wave_field(shape: &Shape, seed: u64, packets: usize, base_freq: f64) -> Array
             let envelope = (-r2 / (2.0 * p.sigma * p.sigma)).exp();
             if envelope > 1e-8 {
                 let along = dx * p.dir[0] + dy * p.dir[1] + dz * p.dir[2];
-                v += p.amp
-                    * envelope
-                    * (std::f64::consts::TAU * p.freq * along + p.phase).sin();
+                v += p.amp * envelope * (std::f64::consts::TAU * p.freq * along + p.phase).sin();
             }
         }
         v

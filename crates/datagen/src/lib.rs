@@ -75,9 +75,7 @@ impl Dataset {
     /// The full-size shape used in the paper (64-bit floats).
     pub fn paper_shape(&self) -> Shape {
         match self {
-            Dataset::Density | Dataset::Pressure | Dataset::VelocityX => {
-                Shape::d3(256, 384, 384)
-            }
+            Dataset::Density | Dataset::Pressure | Dataset::VelocityX => Shape::d3(256, 384, 384),
             Dataset::Wave => Shape::d3(1008, 1008, 352),
             Dataset::SpeedX => Shape::d3(100, 500, 500),
             Dataset::Ch4 => Shape::d3(500, 500, 500),

@@ -1,4 +1,4 @@
-//! Predictive negabinary bitplane coding (paper Sec. 4.3–4.4).
+//! Predictive negabinary bitplane coding (paper Sec. 4.3–4.4), word-parallel.
 //!
 //! Each level's quantized residuals are mapped to negabinary, sliced into bitplanes
 //! (all coefficients' bit `p` form plane `p`), and each plane is compressed into an
@@ -14,16 +14,53 @@
 //!   full of zeros and makes plane truncation additive, so skipping low planes simply
 //!   subtracts a bounded, pre-computable amount from each coefficient.
 //!
+//! # Word-parallel implementation
+//!
+//! The coder never touches individual bits. It exploits two algebraic facts:
+//!
+//! 1. **Prediction is linear over GF(2) and shift-invariant.** The encoded bit of
+//!    plane `p` is `raw_p ⊕ raw_{p+1} ⊕ … ⊕ raw_{p+prefix_bits}` (planes ≥ 64 read
+//!    as zero). Applied to *all* planes of one coefficient word `w` at once, the
+//!    entire predicted word is
+//!
+//!    ```text
+//!    enc(w) = w ^ (w >> 1) ^ … ^ (w >> prefix_bits)
+//!    ```
+//!
+//!    because bit `p` of `w >> k` *is* raw plane `p + k`. Prediction therefore
+//!    costs `prefix_bits` shift-XORs per coefficient — there is no per-bit
+//!    `prefix_parity` anywhere on the encode path. The inverse on decode is the
+//!    same identity read plane-wise: `raw_p = enc_p ⊕ raw_{p+1} ⊕ … ⊕
+//!    raw_{p+prefix_bits}`, i.e. one whole-plane XOR per prefix bit, applied
+//!    top-down so the more significant raw planes are already known.
+//! 2. **Plane extraction is a bit-matrix transpose.** Treating 64 consecutive
+//!    coefficient words as a 64×64 bit matrix, a Hacker's-Delight transpose
+//!    ([`ipc_codecs::bitslice`]) yields all 64 plane words of the block in ~6×64
+//!    word operations, and its involution scatters decoded planes back into the
+//!    accumulators.
+//!
+//! Because the identity reproduces the scalar definition bit for bit, the on-disk
+//! format is unchanged: plane payloads are byte-identical to the historical
+//! bit-at-a-time coder (retained under [`scalar`] as a test oracle).
+//!
+//! Truncation-loss metadata is unaffected by any of this: `trunc_loss` is computed
+//! from the *raw* negabinary words before prediction, and prediction permutes only
+//! how plane bits are stored, not which planes exist or what discarding them does
+//! to a reconstruction.
+//!
 //! The per-level metadata records the exact worst-case truncation loss
 //! `‖δy_l(b)‖∞` for every possible number of discarded planes `b`, which is what the
 //! optimizer (Sec. 5) consumes.
 
-use ipc_codecs::bitstream::{BitReader, BitWriter};
-use ipc_codecs::negabinary::{required_bitplanes, to_negabinary, truncation_loss};
-use ipc_codecs::{lzr_compress, lzr_decompress};
+use ipc_codecs::bitslice::{slice_planes, PlaneBlock};
+use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice, truncation_loss};
+use ipc_codecs::{lzr_compress, lzr_decompress, CodecError};
 use rayon::prelude::*;
 
 use crate::error::{IpcompError, Result};
+
+/// Minimum number of coefficients before the coder fans work out to rayon.
+const PARALLEL_THRESHOLD: usize = 4096;
 
 /// One level's residuals encoded as independently loadable bitplane blocks.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,11 +86,7 @@ impl EncodedLevel {
     /// Compressed size of the `b` least significant planes (the bytes *saved* by
     /// discarding them).
     pub fn saved_bytes(&self, b: u8) -> usize {
-        self.planes
-            .iter()
-            .take(b as usize)
-            .map(Vec::len)
-            .sum()
+        self.planes.iter().take(b as usize).map(Vec::len).sum()
     }
 
     /// Compressed size of the planes that remain loaded when `b` planes are
@@ -63,70 +96,136 @@ impl EncodedLevel {
     }
 }
 
-/// XOR of the `prefix_bits` bits immediately above plane `p` in word `nb`.
-#[inline]
-fn prefix_parity(nb: u64, p: u32, prefix_bits: u8) -> u64 {
-    let mut parity = 0u64;
+/// Apply the GF(2)-linear prediction to every plane of one coefficient word:
+/// bit `p` of the result is `raw_p ⊕ raw_{p+1} ⊕ … ⊕ raw_{p+prefix_bits}`.
+#[inline(always)]
+fn predict_word(w: u64, prefix_bits: u8) -> u64 {
+    let mut enc = w;
     for k in 1..=prefix_bits as u32 {
-        let plane = p + k;
-        if plane < 64 {
-            parity ^= (nb >> plane) & 1;
-        }
+        enc ^= w >> k;
     }
-    parity
+    enc
+}
+
+/// Exact (not monotonized) maximum `|truncation_loss|` over `nb` for one
+/// discard count `b`, exploiting that negabinary is positional: the loss of
+/// dropping the low `b` planes of `w` is exactly
+/// `from_negabinary(w & ((1 << b) - 1))` — the signed value of those planes
+/// alone. [`truncation_loss_table`] folds these into a running maximum.
+fn max_masked_loss(nb: &[u64], b: usize) -> u64 {
+    let mask = (1u64 << b) - 1;
+    let mut exact = 0u64;
+    for &w in nb {
+        exact = exact.max(ipc_codecs::negabinary::from_negabinary(w & mask).unsigned_abs());
+    }
+    debug_assert_eq!(
+        exact,
+        nb.iter()
+            .map(|&w| truncation_loss(w, b as u32).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    );
+    exact
+}
+
+/// Bitmask over low-16-bit patterns present in `nb`: word `i` of the result has
+/// bit `j` set iff pattern `64·i + j` occurs.
+const PATTERN_BITS: usize = 16;
+
+/// Worst-case truncation loss per discard count for a level's negabinary words,
+/// in code units; `table[b]` bounds the error of discarding the `b` lowest
+/// planes. The per-discard maxima are accumulated into a running maximum so the
+/// table is monotone: the optimizer then never sees "discarding more planes
+/// costs less error", even though individual negabinary words can momentarily
+/// cancel when a higher plane is dropped. Exposed for the benchmark harness;
+/// [`encode_level`] calls it internally.
+///
+/// # Panics
+///
+/// Panics if `num_planes > 63` — the container format caps significant planes
+/// at 63 (see [`encode_level`]'s `.min(63)` clamp).
+pub fn truncation_loss_table(nb: &[u64], num_planes: u8) -> Vec<u64> {
+    assert!(
+        num_planes <= 63,
+        "the container format caps significant planes at 63"
+    );
+    let mut trunc_loss = vec![0u64; num_planes as usize + 1];
+    if num_planes == 0 {
+        return trunc_loss;
+    }
+    // For planes `b ≤ 16` the loss depends only on the low 16 bits of each
+    // word, so one presence pass over the level replaces up to 16 full passes:
+    // per plane we then scan the (at most) 65536 distinct patterns instead of
+    // every coefficient. Planes above 16 are rare enough to scan directly.
+    // Small levels skip the presence table — a direct pass is cheaper than
+    // initializing 64 Ki pattern slots.
+    let use_patterns = nb.len() >= (1 << PATTERN_BITS) && num_planes > 1;
+    let present: Vec<u64> = if use_patterns {
+        let mut present = vec![0u64; 1 << (PATTERN_BITS - 6)];
+        for &w in nb {
+            let pat = (w as usize) & ((1 << PATTERN_BITS) - 1);
+            present[pat >> 6] |= 1u64 << (pat & 63);
+        }
+        present
+    } else {
+        Vec::new()
+    };
+
+    let mut running = 0u64;
+    for (b, slot) in trunc_loss.iter_mut().enumerate().skip(1) {
+        let exact = if use_patterns && b <= PATTERN_BITS {
+            let mask = (1u64 << b) - 1;
+            let mut exact = 0u64;
+            for (i, &bits) in present.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let pat = (i * 64 + j) as u64;
+                    exact = exact
+                        .max(ipc_codecs::negabinary::from_negabinary(pat & mask).unsigned_abs());
+                }
+            }
+            debug_assert_eq!(exact, max_masked_loss(nb, b));
+            exact
+        } else {
+            max_masked_loss(nb, b)
+        };
+        running = running.max(exact);
+        *slot = running;
+    }
+    trunc_loss
 }
 
 /// Encode one level's quantization codes into bitplane blocks.
+///
+/// The payload is byte-identical to the historical bit-at-a-time coder (see
+/// [`scalar`]); only the implementation is word-parallel.
 pub fn encode_level(
     codes: &[i64],
     prefix_bits: u8,
     predictive: bool,
     parallel: bool,
 ) -> EncodedLevel {
-    let nb: Vec<u64> = codes.iter().map(|&c| to_negabinary(c)).collect();
-    let num_planes = required_bitplanes(codes).min(63) as u8;
+    let nb = to_negabinary_slice(codes);
+    let num_planes = required_bitplanes_words(&nb).min(63) as u8;
+    let trunc_loss = truncation_loss_table(&nb, num_planes);
 
-    // Worst-case truncation loss per discard count, in code units. The per-discard
-    // maxima are accumulated into a running maximum so the table is monotone: the
-    // optimizer then never sees "discarding more planes costs less error", even
-    // though individual negabinary words can momentarily cancel when a higher plane
-    // is dropped.
-    let mut trunc_loss = vec![0u64; num_planes as usize + 1];
-    let mut running = 0u64;
-    for (b, loss) in trunc_loss.iter_mut().enumerate() {
-        if b == 0 {
-            continue;
-        }
-        let exact = nb
-            .iter()
-            .map(|&w| truncation_loss(w, b as u32).unsigned_abs())
-            .max()
-            .unwrap_or(0);
-        running = running.max(exact);
-        *loss = running;
-    }
-
-    let encode_plane = |p: u32| -> Vec<u8> {
-        let mut writer = BitWriter::with_capacity_bits(nb.len());
-        for &w in &nb {
-            let raw = (w >> p) & 1;
-            let bit = if predictive {
-                raw ^ prefix_parity(w, p, prefix_bits)
-            } else {
-                raw
-            };
-            writer.write_bit(bit == 1);
-        }
-        lzr_compress(&writer.into_bytes())
+    // Whole-word prediction, then one transpose pass slices every plane at once.
+    let predicted: Vec<u64> = if predictive && prefix_bits > 0 {
+        nb.iter().map(|&w| predict_word(w, prefix_bits)).collect()
+    } else {
+        nb
     };
+    let plane_bits = slice_planes(&predicted, num_planes as usize);
 
-    let planes: Vec<Vec<u8>> = if parallel && nb.len() > 4096 {
-        (0..num_planes as u32)
+    let planes: Vec<Vec<u8>> = if parallel && codes.len() > PARALLEL_THRESHOLD {
+        plane_bits
             .into_par_iter()
-            .map(encode_plane)
+            .map(|bits| lzr_compress(&bits))
             .collect()
     } else {
-        (0..num_planes as u32).map(encode_plane).collect()
+        plane_bits.iter().map(|bits| lzr_compress(bits)).collect()
     };
 
     EncodedLevel {
@@ -144,6 +243,9 @@ pub fn encode_level(
 /// contain every plane above `plane_hi` (all zeros for a fresh decoder), because the
 /// predictive coding is undone using those more significant bits. The newly decoded
 /// bits are OR-ed into `acc`.
+///
+/// All requested planes are entropy-decoded (in parallel for large levels) before
+/// any accumulator is touched, so a corrupt plane block leaves `acc` unmodified.
 pub fn decode_planes_into(
     level: &EncodedLevel,
     plane_lo: u8,
@@ -165,20 +267,133 @@ pub fn decode_planes_into(
             level.num_planes
         )));
     }
-    for p in (plane_lo..plane_hi).rev() {
+    if plane_lo == plane_hi || level.n_values == 0 {
+        return Ok(());
+    }
+    let n = level.n_values;
+    let plane_len = n.div_ceil(8);
+    let n_words = n.div_ceil(64);
+    let parallel = n > PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
+
+    // Stage 1: entropy-decode every requested plane block into its packed
+    // MSB-first byte stream. Independent per plane, so large levels fan the LZR
+    // work out across the rayon pool.
+    let decompress = |p: u8| -> Result<Vec<u8>> {
         let packed = lzr_decompress(&level.planes[p as usize])?;
-        let mut reader = BitReader::new(&packed);
-        for word in acc.iter_mut() {
-            let encoded = reader.read_bit()? as u64;
-            let raw = if predictive {
-                encoded ^ prefix_parity(*word, p as u32, prefix_bits)
-            } else {
-                encoded
-            };
-            *word |= raw << p;
+        if packed.len() < plane_len {
+            // The scalar reader would run off the end of this plane mid-stream.
+            return Err(IpcompError::Codec(CodecError::UnexpectedEof));
+        }
+        Ok(packed)
+    };
+    let decompressed: Vec<Result<Vec<u8>>> = if parallel && plane_hi - plane_lo > 1 {
+        (plane_lo..plane_hi)
+            .collect::<Vec<u8>>()
+            .into_par_iter()
+            .map(decompress)
+            .collect()
+    } else {
+        (plane_lo..plane_hi).map(decompress).collect()
+    };
+    let mut planes: Vec<Vec<u8>> = Vec::with_capacity(decompressed.len());
+    for plane in decompressed {
+        planes.push(plane?);
+    }
+
+    // Stage 2: undo the prediction as whole-plane XORs over the packed byte
+    // streams, top-down so every more significant plane is already raw when it
+    // is XOR-ed in. Prefix planes at or above `plane_hi` live in the
+    // accumulators (zero on a fresh decode where `plane_hi == num_planes`,
+    // since planes past the significant range are zero by construction); they
+    // are extracted once with a transpose pass per block.
+    if predictive && prefix_bits > 0 {
+        let prefix_top = (plane_hi as usize + prefix_bits as usize).min(64);
+        let acc_prefix: Vec<Vec<u64>> = if plane_hi < level.num_planes {
+            let count = prefix_top - plane_hi as usize;
+            let mut extracted = vec![vec![0u64; n_words]; count];
+            for (b, chunk) in acc.chunks(64).enumerate() {
+                let block = PlaneBlock::gather(chunk);
+                for (j, plane) in extracted.iter_mut().enumerate() {
+                    plane[b] = block.plane(plane_hi as usize + j);
+                }
+            }
+            extracted
+        } else {
+            Vec::new()
+        };
+        for p in (plane_lo..plane_hi).rev() {
+            for k in 1..=prefix_bits as usize {
+                let q = p as usize + k;
+                if q >= 64 {
+                    break;
+                }
+                if q < plane_hi as usize {
+                    // Already undone this call: split_at_mut gives the borrow.
+                    let (lo_half, hi_half) = planes.split_at_mut(q - plane_lo as usize);
+                    let dst = &mut lo_half[(p - plane_lo) as usize][..plane_len];
+                    let src = &hi_half[0][..plane_len];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d ^= s;
+                    }
+                } else if q - (plane_hi as usize) < acc_prefix.len() {
+                    let src = &acc_prefix[q - plane_hi as usize];
+                    let dst = &mut planes[(p - plane_lo) as usize];
+                    xor_words_into_bytes(&mut dst[..plane_len], src);
+                }
+                // Planes past both ranges are zero: nothing to XOR.
+            }
         }
     }
+
+    // Stage 3: scatter the raw planes into the accumulators — one transpose per
+    // 64-coefficient block, OR-ed on top of whatever planes are already loaded.
+    // Blocks are independent, so they spread across threads.
+    let scatter_block = |(b, chunk): (usize, &mut [u64])| {
+        let base = b * 8;
+        let avail = plane_len - base;
+        let mut rows = [0u64; 64];
+        if avail >= 8 {
+            for (i, plane) in planes.iter().enumerate() {
+                let bytes: [u8; 8] = plane[base..base + 8].try_into().expect("full block");
+                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
+                    u64::from_be_bytes(bytes);
+            }
+        } else {
+            for (i, plane) in planes.iter().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes[..avail].copy_from_slice(&plane[base..plane_len]);
+                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
+                    u64::from_be_bytes(bytes);
+            }
+        }
+        ipc_codecs::bitslice::transpose_64x64(&mut rows);
+        for (word, row) in chunk.iter_mut().zip(rows.iter()) {
+            *word |= row;
+        }
+    };
+    if parallel {
+        acc.par_chunks_mut(64).enumerate().for_each(scatter_block);
+    } else {
+        acc.chunks_mut(64).enumerate().for_each(scatter_block);
+    }
     Ok(())
+}
+
+/// XOR packed MSB-first plane words into a packed plane byte stream in place.
+fn xor_words_into_bytes(dst: &mut [u8], src: &[u64]) {
+    let mut chunks = dst.chunks_exact_mut(8);
+    let mut words = src.iter();
+    for (chunk, &w) in (&mut chunks).zip(&mut words) {
+        let cur = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        chunk.copy_from_slice(&(cur ^ w).to_be_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let w = words.next().copied().unwrap_or(0).to_be_bytes();
+        for (d, s) in rem.iter_mut().zip(w.iter()) {
+            *d ^= s;
+        }
+    }
 }
 
 /// Decode the top `planes_loaded` planes of a level into quantization codes
@@ -191,11 +406,147 @@ pub fn decode_level(
 ) -> Result<Vec<i64>> {
     let mut acc = vec![0u64; level.n_values];
     let lo = level.num_planes - planes_loaded.min(level.num_planes);
-    decode_planes_into(level, lo, level.num_planes, prefix_bits, predictive, &mut acc)?;
+    decode_planes_into(
+        level,
+        lo,
+        level.num_planes,
+        prefix_bits,
+        predictive,
+        &mut acc,
+    )?;
+    // Consuming map lets the collect reuse the accumulator's allocation.
     Ok(acc
         .into_iter()
         .map(ipc_codecs::negabinary::from_negabinary)
         .collect())
+}
+
+/// Historical bit-at-a-time implementation, kept as the reference oracle for the
+/// word-parallel coder: property tests assert byte-identical payloads and decode
+/// results, and the benchmark harness measures the speedup against it.
+#[cfg(any(test, feature = "reference-scalar"))]
+pub mod scalar {
+    use super::EncodedLevel;
+    use crate::error::{IpcompError, Result};
+    use ipc_codecs::bitstream::{BitReader, BitWriter};
+    use ipc_codecs::negabinary::{required_bitplanes, to_negabinary, truncation_loss};
+    use ipc_codecs::{lzr_compress, lzr_decompress};
+
+    /// XOR of the `prefix_bits` bits immediately above plane `p` in word `nb`.
+    #[inline]
+    fn prefix_parity(nb: u64, p: u32, prefix_bits: u8) -> u64 {
+        let mut parity = 0u64;
+        for k in 1..=prefix_bits as u32 {
+            let plane = p + k;
+            if plane < 64 {
+                parity ^= (nb >> plane) & 1;
+            }
+        }
+        parity
+    }
+
+    /// Bit-at-a-time [`super::encode_level`].
+    pub fn encode_level(codes: &[i64], prefix_bits: u8, predictive: bool) -> EncodedLevel {
+        let nb: Vec<u64> = codes.iter().map(|&c| to_negabinary(c)).collect();
+        let num_planes = required_bitplanes(codes).min(63) as u8;
+        let trunc_loss = {
+            let mut trunc_loss = vec![0u64; num_planes as usize + 1];
+            let mut running = 0u64;
+            for (b, slot) in trunc_loss.iter_mut().enumerate().skip(1) {
+                let exact = nb
+                    .iter()
+                    .map(|&w| truncation_loss(w, b as u32).unsigned_abs())
+                    .max()
+                    .unwrap_or(0);
+                running = running.max(exact);
+                *slot = running;
+            }
+            trunc_loss
+        };
+
+        let encode_plane = |p: u32| -> Vec<u8> {
+            let mut writer = BitWriter::with_capacity_bits(nb.len());
+            for &w in &nb {
+                let raw = (w >> p) & 1;
+                let bit = if predictive {
+                    raw ^ prefix_parity(w, p, prefix_bits)
+                } else {
+                    raw
+                };
+                writer.write_bit(bit == 1);
+            }
+            lzr_compress(&writer.into_bytes())
+        };
+        let planes: Vec<Vec<u8>> = (0..num_planes as u32).map(encode_plane).collect();
+
+        EncodedLevel {
+            n_values: codes.len(),
+            num_planes,
+            planes,
+            trunc_loss,
+        }
+    }
+
+    /// Bit-at-a-time [`super::decode_planes_into`].
+    pub fn decode_planes_into(
+        level: &EncodedLevel,
+        plane_lo: u8,
+        plane_hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+        acc: &mut [u64],
+    ) -> Result<()> {
+        if acc.len() != level.n_values {
+            return Err(IpcompError::InvalidInput(format!(
+                "accumulator length {} does not match level size {}",
+                acc.len(),
+                level.n_values
+            )));
+        }
+        if plane_hi > level.num_planes || plane_lo > plane_hi {
+            return Err(IpcompError::InvalidInput(format!(
+                "invalid plane range {plane_lo}..{plane_hi} for level with {} planes",
+                level.num_planes
+            )));
+        }
+        for p in (plane_lo..plane_hi).rev() {
+            let packed = lzr_decompress(&level.planes[p as usize])?;
+            let mut reader = BitReader::new(&packed);
+            for word in acc.iter_mut() {
+                let encoded = reader.read_bit()? as u64;
+                let raw = if predictive {
+                    encoded ^ prefix_parity(*word, p as u32, prefix_bits)
+                } else {
+                    encoded
+                };
+                *word |= raw << p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bit-at-a-time [`super::decode_level`].
+    pub fn decode_level(
+        level: &EncodedLevel,
+        planes_loaded: u8,
+        prefix_bits: u8,
+        predictive: bool,
+    ) -> Result<Vec<i64>> {
+        let mut acc = vec![0u64; level.n_values];
+        let lo = level.num_planes - planes_loaded.min(level.num_planes);
+        decode_planes_into(
+            level,
+            lo,
+            level.num_planes,
+            prefix_bits,
+            predictive,
+            &mut acc,
+        )?;
+        Ok(acc
+            .into_iter()
+            .map(ipc_codecs::negabinary::from_negabinary)
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +589,14 @@ mod tests {
         assert!(enc.planes.is_empty());
         let dec = decode_level(&enc, 0, 2, true).unwrap();
         assert_eq!(dec, codes);
+    }
+
+    #[test]
+    fn empty_level_roundtrips() {
+        let enc = encode_level(&[], 2, true, false);
+        assert_eq!(enc.n_values, 0);
+        assert_eq!(enc.num_planes, 0);
+        assert_eq!(decode_level(&enc, 0, 2, true).unwrap(), Vec::<i64>::new());
     }
 
     #[test]
@@ -353,5 +712,115 @@ mod tests {
         assert!(decode_planes_into(&enc, 0, enc.num_planes + 1, 2, true, &mut acc).is_err());
         let mut short = vec![0u64; 50];
         assert!(decode_planes_into(&enc, 0, enc.num_planes, 2, true, &mut short).is_err());
+    }
+
+    #[test]
+    fn corrupt_plane_block_errors_without_touching_acc() {
+        let codes = sample_codes(900, 1 << 12, 9);
+        let mut enc = encode_level(&codes, 2, true, false);
+        let top = enc.num_planes as usize - 1;
+        enc.planes[top] = ipc_codecs::lzr_compress(&[0u8; 4]); // too short for 900 bits
+        let mut acc = vec![0u64; 900];
+        let err = decode_planes_into(&enc, 0, enc.num_planes, 2, true, &mut acc);
+        assert!(err.is_err());
+        assert!(
+            acc.iter().all(|&w| w == 0),
+            "acc must be untouched on error"
+        );
+    }
+
+    // ---- word-parallel vs scalar reference oracle ---------------------------
+
+    /// The word-parallel encoder must produce byte-identical payloads to the
+    /// bit-at-a-time reference for every prefix width, with and without
+    /// prediction.
+    #[test]
+    fn encoder_is_bit_identical_to_scalar_reference() {
+        let codes = sample_codes(3000, 1 << 17, 10);
+        for prefix_bits in 0..=4u8 {
+            for predictive in [false, true] {
+                let word = encode_level(&codes, prefix_bits, predictive, false);
+                let reference = scalar::encode_level(&codes, prefix_bits, predictive);
+                assert_eq!(
+                    word, reference,
+                    "prefix_bits={prefix_bits} predictive={predictive}"
+                );
+            }
+        }
+    }
+
+    /// Same oracle at every truncation depth on the decode side.
+    #[test]
+    fn decoder_matches_scalar_reference_at_every_depth() {
+        let codes = sample_codes(2100, 1 << 15, 11);
+        for prefix_bits in [0u8, 2, 4] {
+            let enc = encode_level(&codes, prefix_bits, true, false);
+            for loaded in 0..=enc.num_planes {
+                let word = decode_level(&enc, loaded, prefix_bits, true).unwrap();
+                let reference = scalar::decode_level(&enc, loaded, prefix_bits, true).unwrap();
+                assert_eq!(word, reference, "prefix_bits={prefix_bits} loaded={loaded}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+        /// Word-parallel encode is byte-identical to the scalar oracle on random
+        /// code vectors for all supported prefix widths.
+        #[test]
+        fn prop_encode_bit_identical(
+            codes in proptest::collection::vec(-1_000_000i64..1_000_000, 0..700),
+            prefix_bits in 0u8..=4,
+            predictive in proptest::any::<bool>(),
+        ) {
+            let word = encode_level(&codes, prefix_bits, predictive, false);
+            let reference = scalar::encode_level(&codes, prefix_bits, predictive);
+            proptest::prop_assert_eq!(word, reference);
+        }
+
+        /// Word-parallel decode agrees with the scalar oracle at a random
+        /// truncation depth.
+        #[test]
+        fn prop_decode_matches_scalar_at_random_depth(
+            codes in proptest::collection::vec(-3_000_000i64..3_000_000, 1..600),
+            prefix_bits in 0u8..=4,
+            depth_seed in proptest::any::<u64>(),
+        ) {
+            let enc = encode_level(&codes, prefix_bits, true, false);
+            let loaded = if enc.num_planes == 0 {
+                0
+            } else {
+                (depth_seed % (enc.num_planes as u64 + 1)) as u8
+            };
+            let word = decode_level(&enc, loaded, prefix_bits, true).unwrap();
+            let reference = scalar::decode_level(&enc, loaded, prefix_bits, true).unwrap();
+            proptest::prop_assert_eq!(word, reference);
+        }
+
+        /// Incremental refinement through `decode_planes_into` visits planes in
+        /// the same order as the scalar reference and lands on identical
+        /// accumulators at every split point.
+        #[test]
+        fn prop_incremental_refine_matches_scalar(
+            codes in proptest::collection::vec(-500_000i64..500_000, 1..500),
+            prefix_bits in 0u8..=4,
+            cut_seed in proptest::any::<u64>(),
+        ) {
+            let enc = encode_level(&codes, prefix_bits, true, false);
+            let hi = enc.num_planes;
+            let cut1 = if hi == 0 { 0 } else { (cut_seed % (hi as u64 + 1)) as u8 };
+            let cut2 = if cut1 == 0 { 0 } else { ((cut_seed >> 32) % (cut1 as u64 + 1)) as u8 };
+            let mut word_acc = vec![0u64; enc.n_values];
+            let mut ref_acc = vec![0u64; enc.n_values];
+            for (lo, hi) in [(cut1, hi), (cut2, cut1), (0, cut2)] {
+                decode_planes_into(&enc, lo, hi, prefix_bits, true, &mut word_acc).unwrap();
+                scalar::decode_planes_into(&enc, lo, hi, prefix_bits, true, &mut ref_acc)
+                    .unwrap();
+                proptest::prop_assert_eq!(&word_acc, &ref_acc, "after planes {}..{}", lo, hi);
+            }
+            let decoded = ipc_codecs::negabinary::from_negabinary_slice(&word_acc);
+            proptest::prop_assert_eq!(decoded, codes);
+        }
     }
 }

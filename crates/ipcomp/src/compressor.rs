@@ -51,11 +51,17 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
     let mut level_codes: Vec<Vec<i64>> = Vec::with_capacity(levels as usize);
     for level in (1..=levels).rev() {
         let mut codes = Vec::new();
-        process_level(&shape, level, config.interpolation, &mut work, |off, pred| {
-            let q = quantize(orig[off] - pred, eb);
-            codes.push(q);
-            pred + dequantize(q, eb)
-        });
+        process_level(
+            &shape,
+            level,
+            config.interpolation,
+            &mut work,
+            |off, pred| {
+                let q = quantize(orig[off] - pred, eb);
+                codes.push(q);
+                pred + dequantize(q, eb)
+            },
+        );
         level_codes.push(codes);
     }
 
@@ -74,10 +80,7 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
         level_codes.iter().map(encode).collect()
     };
 
-    let progressive_levels = config
-        .progressive_levels
-        .unwrap_or(levels)
-        .clamp(0, levels);
+    let progressive_levels = config.progressive_levels.unwrap_or(levels).clamp(0, levels);
 
     Ok(Compressed {
         header: Header {
@@ -131,7 +134,8 @@ mod tests {
 
     fn smooth_field(shape: Shape) -> ArrayD<f64> {
         ArrayD::from_fn(shape, |c| {
-            (c[0] as f64 * 0.2).sin() + (c.get(1).copied().unwrap_or(0) as f64 * 0.1).cos() * 2.0
+            (c[0] as f64 * 0.2).sin()
+                + (c.get(1).copied().unwrap_or(0) as f64 * 0.1).cos() * 2.0
                 + c.last().copied().unwrap_or(0) as f64 * 0.01
         })
     }

@@ -6,9 +6,7 @@
 //! paper's Fig. 2). Retrieval reads the header + anchors + metadata, asks the
 //! optimizer which plane blocks to fetch, and loads only those.
 
-use ipc_codecs::byteio::{
-    read_bytes, read_f64, read_u32, write_bytes, write_f64, write_u32,
-};
+use ipc_codecs::byteio::{read_bytes, read_f64, read_u32, write_bytes, write_f64, write_u32};
 use ipc_codecs::varint::{read_varint, varint_len, write_varint};
 use ipc_codecs::{lzr_compress, lzr_decompress, zigzag_decode, zigzag_encode};
 use ipc_tensor::Shape;
@@ -302,10 +300,7 @@ mod tests {
     fn size_accounting_matches_serialized_size_exactly() {
         let c = sample_compressed();
         assert_eq!(c.total_bytes(), c.to_bytes().len());
-        assert_eq!(
-            c.base_bytes() + c.payload_bytes(),
-            c.to_bytes().len()
-        );
+        assert_eq!(c.base_bytes() + c.payload_bytes(), c.to_bytes().len());
     }
 
     #[test]

@@ -34,11 +34,7 @@ pub fn level_stride(level: u32) -> usize {
 /// Number of points owned by the anchor grid (stride `2^L` in every dimension).
 pub fn anchor_count(shape: &Shape) -> usize {
     let stride = level_stride(num_levels(shape) + 1);
-    shape
-        .dims()
-        .iter()
-        .map(|&d| (d - 1) / stride + 1)
-        .product()
+    shape.dims().iter().map(|&d| (d - 1) / stride + 1).product()
 }
 
 /// Number of points owned by level `level` (i.e. predicted during that level).
@@ -115,24 +111,91 @@ fn predict_point(
     }
 }
 
+/// Row-major traversal of the sub-lattice described by `ranges`, invoking
+/// `visit(offset, coord_d)` with the flat offset and the coordinate along
+/// dimension `d` of every point.
+///
+/// This is the hot loop of both compression and decompression. Where the generic
+/// [`GridIter`] pays a coordinate-vector clone and an odometer carry chain per
+/// point, this sweep specializes the innermost dimension to a direct strided run
+/// (`offset += step · stride` per point) and only runs the odometer across the
+/// outer dimensions once per run. The visit order is identical to
+/// `GridIter::new(shape, ranges)`.
+fn sweep_ranges(
+    strides: &[usize],
+    ranges: &[AxisRange],
+    d: usize,
+    mut visit: impl FnMut(usize, usize),
+) {
+    if ranges.iter().any(|r| r.count() == 0) {
+        return;
+    }
+    let last = ranges.len() - 1;
+    let inner = ranges[last];
+    let inner_count = inner.count();
+    let inner_step = inner.step * strides[last];
+    // Odometer state over the outer dimensions; `base` already includes the
+    // inner dimension's start offset.
+    let mut coords: Vec<usize> = ranges[..last].iter().map(|r| r.start).collect();
+    let mut base: usize = coords
+        .iter()
+        .zip(strides)
+        .map(|(&c, &s)| c * s)
+        .sum::<usize>()
+        + inner.start * strides[last];
+    loop {
+        if d == last {
+            // The active dimension is the innermost: its coordinate advances
+            // with the run.
+            let mut offset = base;
+            let mut coord = inner.start;
+            for _ in 0..inner_count {
+                visit(offset, coord);
+                offset += inner_step;
+                coord += inner.step;
+            }
+        } else {
+            // The active coordinate is constant along the innermost run.
+            let coord_d = coords[d];
+            let mut offset = base;
+            for _ in 0..inner_count {
+                visit(offset, coord_d);
+                offset += inner_step;
+            }
+        }
+        // Advance the outer odometer (row-major: dimension `last-1` fastest).
+        let mut dim = last;
+        loop {
+            if dim == 0 {
+                return;
+            }
+            dim -= 1;
+            let r = ranges[dim];
+            let next = coords[dim] + r.step;
+            if next < r.end {
+                coords[dim] = next;
+                base += r.step * strides[dim];
+                break;
+            }
+            base -= (coords[dim] - r.start) * strides[dim];
+            coords[dim] = r.start;
+        }
+    }
+}
+
 /// Visit every anchor point (all coordinates multiples of the anchor stride) in
 /// deterministic row-major order. For each anchor, `f(offset, prediction)` is called
 /// with a prediction of `0.0` and must return the value to store into `work[offset]`.
-pub fn process_anchors(
-    shape: &Shape,
-    work: &mut [f64],
-    mut f: impl FnMut(usize, f64) -> f64,
-) {
+pub fn process_anchors(shape: &Shape, work: &mut [f64], mut f: impl FnMut(usize, f64) -> f64) {
     let stride = level_stride(num_levels(shape) + 1);
     let ranges: Vec<AxisRange> = shape
         .dims()
         .iter()
         .map(|&len| AxisRange::strided(0, stride, len))
         .collect();
-    for (_, offset) in GridIter::new(shape, ranges) {
-        let new = f(offset, 0.0);
-        work[offset] = new;
-    }
+    sweep_ranges(shape.strides(), &ranges, 0, |offset, _| {
+        work[offset] = f(offset, 0.0);
+    });
 }
 
 /// Visit every target point of `level` in deterministic order. For each target,
@@ -165,19 +228,11 @@ pub fn process_level(
             };
             ranges.push(range);
         }
-        for (coords, offset) in GridIter::new(shape, ranges) {
-            let pred = predict_point(
-                work,
-                offset,
-                coords[d],
-                dims[d],
-                strides[d],
-                stride,
-                method,
-            );
+        sweep_ranges(&strides, &ranges, d, |offset, coord_d| {
+            let pred = predict_point(work, offset, coord_d, dims[d], strides[d], stride, method);
             let new = f(offset, pred);
             work[offset] = new;
-        }
+        });
     }
 }
 
@@ -238,6 +293,37 @@ mod tests {
     }
 
     #[test]
+    fn sweep_ranges_matches_grid_iter_order() {
+        // The specialized run sweep must visit exactly the offsets GridIter
+        // yields, in the same order, with the right active-dimension coordinate.
+        for dims in [vec![9usize], vec![5, 8], vec![4, 7, 6], vec![3, 2, 5, 4]] {
+            let shape = Shape::new(&dims);
+            let ndim = dims.len();
+            for d in 0..ndim {
+                let ranges: Vec<AxisRange> = dims
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &len)| {
+                        if e == d {
+                            AxisRange::strided(1, 2, len)
+                        } else {
+                            AxisRange::strided(0, 2, len)
+                        }
+                    })
+                    .collect();
+                let mut got: Vec<(usize, usize)> = Vec::new();
+                sweep_ranges(shape.strides(), &ranges, d, |off, coord| {
+                    got.push((off, coord));
+                });
+                let want: Vec<(usize, usize)> = GridIter::new(&shape, ranges)
+                    .map(|(coords, off)| (off, coords[d]))
+                    .collect();
+                assert_eq!(got, want, "dims {dims:?} active dim {d}");
+            }
+        }
+    }
+
+    #[test]
     fn num_levels_grows_with_dimension() {
         assert_eq!(num_levels(&Shape::d1(2)), 1);
         assert_eq!(num_levels(&Shape::d1(3)), 2);
@@ -260,14 +346,20 @@ mod tests {
         let mut interior = 0usize;
         process_anchors(&shape, &mut work, |off, _| orig[off]);
         for level in (1..=num_levels(&shape)).rev() {
-            process_level(&shape, level, Interpolation::Linear, &mut work, |off, pred| {
-                let resid = orig[off] - pred;
-                if resid.abs() > 1e-12 {
-                    nonzero += 1;
-                }
-                interior += 1;
-                orig[off]
-            });
+            process_level(
+                &shape,
+                level,
+                Interpolation::Linear,
+                &mut work,
+                |off, pred| {
+                    let resid = orig[off] - pred;
+                    if resid.abs() > 1e-12 {
+                        nonzero += 1;
+                    }
+                    interior += 1;
+                    orig[off]
+                },
+            );
         }
         assert!(interior > 0);
         // Only boundary-fallback targets may have nonzero residuals; they are a thin
@@ -289,12 +381,18 @@ mod tests {
         // boundaries.
         let mut max_err = 0.0f64;
         for level in (1..=num_levels(&shape)).rev() {
-            process_level(&shape, level, Interpolation::Cubic, &mut work, |off, pred| {
-                if level == 1 && off >= 3 && off + 3 < 33 {
-                    max_err = max_err.max((orig[off] - pred).abs());
-                }
-                orig[off]
-            });
+            process_level(
+                &shape,
+                level,
+                Interpolation::Cubic,
+                &mut work,
+                |off, pred| {
+                    if level == 1 && off >= 3 && off + 3 < 33 {
+                        max_err = max_err.max((orig[off] - pred).abs());
+                    }
+                    orig[off]
+                },
+            );
         }
         assert!(max_err < 1e-9, "cubic interior error {max_err}");
     }
@@ -316,10 +414,16 @@ mod tests {
             orig[off]
         });
         for level in (1..=num_levels(&shape)).rev() {
-            process_level(&shape, level, Interpolation::Cubic, &mut work, |off, pred| {
-                residuals.push(orig[off] - pred);
-                orig[off]
-            });
+            process_level(
+                &shape,
+                level,
+                Interpolation::Cubic,
+                &mut work,
+                |off, pred| {
+                    residuals.push(orig[off] - pred);
+                    orig[off]
+                },
+            );
         }
 
         // Decompression pass: replay residuals in the same order.

@@ -232,13 +232,13 @@ pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result
         let mut planes_loaded = vec![0u8; n_levels];
         let mut extra_error = 0.0;
         let mut payload_bytes = 0usize;
-        for idx in 0..n_levels {
+        for (idx, loaded) in planes_loaded.iter_mut().enumerate() {
             let level = &compressed.levels[idx];
             if compressed.is_progressive(idx) {
-                planes_loaded[idx] = 0;
+                *loaded = 0;
                 extra_error += level_error(compressed, idx, level.num_planes);
             } else {
-                planes_loaded[idx] = level.num_planes;
+                *loaded = level.num_planes;
                 payload_bytes += level.payload_bytes();
             }
         }
@@ -426,7 +426,7 @@ mod tests {
         let c = toy_compressed();
         let n = c.header.num_elements();
         let plan_a = plan_for_bitrate(&c, 2.0).unwrap();
-        let plan_b = plan_for_bytes(&c, 2.0 as usize * n / 8 * 1).unwrap();
+        let plan_b = plan_for_bytes(&c, 2 * n / 8).unwrap();
         assert_eq!(plan_a.planes_loaded, plan_b.planes_loaded);
     }
 

@@ -13,14 +13,16 @@
 //!   resulting delta field is added onto the existing reconstruction. No previously
 //!   loaded block is ever re-read and no previous work is redone.
 
-use ipc_codecs::negabinary::from_negabinary;
+use ipc_codecs::negabinary::{from_negabinary, from_negabinary_slice};
 use ipc_tensor::{ArrayD, Shape};
 
 use crate::bitplane::decode_planes_into;
 use crate::container::{decode_anchors, Compressed};
 use crate::error::{IpcompError, Result};
 use crate::interp::{num_levels, process_anchors, process_level};
-use crate::optimizer::{plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan};
+use crate::optimizer::{
+    plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan,
+};
 use crate::quantize::dequantize;
 
 /// How much fidelity a retrieval should target (paper Sec. 5).
@@ -184,7 +186,7 @@ impl<'a> ProgressiveDecoder<'a> {
             let before: Vec<i64> = if have == 0 {
                 vec![0; level.n_values]
             } else {
-                self.acc[idx].iter().map(|&w| from_negabinary(w)).collect()
+                from_negabinary_slice(&self.acc[idx])
             };
             decode_planes_into(
                 level,
@@ -251,9 +253,13 @@ impl<'a> ProgressiveDecoder<'a> {
         for level in (1..=levels).rev() {
             let idx = (c.header.num_levels - level) as usize;
             let mut it = residuals[idx].iter();
-            process_level(&shape, level, c.header.interpolation, &mut work, |_, pred| {
-                pred + it.next().copied().unwrap_or(0.0)
-            });
+            process_level(
+                &shape,
+                level,
+                c.header.interpolation,
+                &mut work,
+                |_, pred| pred + it.next().copied().unwrap_or(0.0),
+            );
         }
         self.recon = Some(work);
         self.current_error_bound = self.error_bound_for_loaded();
@@ -280,15 +286,28 @@ impl<'a> ProgressiveDecoder<'a> {
             if deltas[idx].is_empty() {
                 // No new planes for this level: its delta residuals are all zero, but
                 // deltas from coarser levels still propagate through the prediction.
-                process_level(&shape, level, c.header.interpolation, &mut delta_field, |_, pred| pred);
+                process_level(
+                    &shape,
+                    level,
+                    c.header.interpolation,
+                    &mut delta_field,
+                    |_, pred| pred,
+                );
             } else {
                 let mut it = deltas[idx].iter();
-                process_level(&shape, level, c.header.interpolation, &mut delta_field, |_, pred| {
-                    pred + it.next().copied().unwrap_or(0.0)
-                });
+                process_level(
+                    &shape,
+                    level,
+                    c.header.interpolation,
+                    &mut delta_field,
+                    |_, pred| pred + it.next().copied().unwrap_or(0.0),
+                );
             }
         }
-        let recon = self.recon.as_mut().expect("called only after initial reconstruction");
+        let recon = self
+            .recon
+            .as_mut()
+            .expect("called only after initial reconstruction");
         for (r, d) in recon.iter_mut().zip(&delta_field) {
             *r += d;
         }
@@ -332,7 +351,9 @@ mod tests {
         let c = compress(&data, 1e-7, &Config::default()).unwrap();
 
         let mut coarse_dec = ProgressiveDecoder::new(&c);
-        let coarse = coarse_dec.retrieve(RetrievalRequest::ErrorBound(1e-2)).unwrap();
+        let coarse = coarse_dec
+            .retrieve(RetrievalRequest::ErrorBound(1e-2))
+            .unwrap();
         let coarse_err = linf_error(data.as_slice(), coarse.data.as_slice());
         assert!(coarse_err <= 1e-2 * (1.0 + 1e-9), "coarse err {coarse_err}");
 

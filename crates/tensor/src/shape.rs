@@ -119,9 +119,9 @@ impl Shape {
     pub fn coords_of(&self, mut offset: usize) -> Vec<usize> {
         debug_assert!(offset < self.len(), "offset out of bounds");
         let mut coords = vec![0usize; self.ndim()];
-        for i in 0..self.ndim() {
-            coords[i] = offset / self.strides[i];
-            offset %= self.strides[i];
+        for (coord, &stride) in coords.iter_mut().zip(&self.strides) {
+            *coord = offset / stride;
+            offset %= stride;
         }
         coords
     }

@@ -29,7 +29,10 @@ fn main() {
         ipcomp_archive.total_bytes(),
         sz3r_archive.total_bytes()
     );
-    println!("{:>9}  {:>26}  {:>26}", "bitrate", "IPComp (rel err, passes)", "SZ3-R (rel err, passes)");
+    println!(
+        "{:>9}  {:>26}  {:>26}",
+        "bitrate", "IPComp (rel err, passes)", "SZ3-R (rel err, passes)"
+    );
     for bitrate in [0.5, 1.0, 2.0, 4.0] {
         let budget = (bitrate * n as f64 / 8.0) as usize;
         let a = ipcomp_archive.retrieve_size_budget(budget);

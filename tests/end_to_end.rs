@@ -3,12 +3,11 @@
 //! compressors, exercised the way the benchmark harness and a downstream user would.
 
 use ipcomp_suite::baselines::{
-    BaseCompressor, IpCompScheme, Mgard, MultiFidelity, Pmgard, ProgressiveScheme, Residual,
-    Sperr, Sz3, Zfp,
+    BaseCompressor, IpCompScheme, Mgard, MultiFidelity, Pmgard, ProgressiveScheme, Residual, Sperr,
+    Sz3, Zfp,
 };
 use ipcomp_suite::core::{
-    compress, compress_rel, Compressed, Config, Interpolation, ProgressiveDecoder,
-    RetrievalRequest,
+    compress, compress_rel, Compressed, Config, Interpolation, ProgressiveDecoder, RetrievalRequest,
 };
 use ipcomp_suite::datagen::Dataset;
 use ipcomp_suite::metrics::{linf_error, psnr};
@@ -214,7 +213,10 @@ fn fig5_compression_ratio_ordering_holds_on_density() {
     let pmgard = Pmgard.compress(&data, eb).total_bytes();
 
     assert!(ipcomp < sz3m, "IPComp {ipcomp} should beat SZ3-M {sz3m}");
-    assert!(ipcomp < pmgard, "IPComp {ipcomp} should beat PMGARD {pmgard}");
+    assert!(
+        ipcomp < pmgard,
+        "IPComp {ipcomp} should beat PMGARD {pmgard}"
+    );
 }
 
 /// Compressing with an explicit absolute bound equals the relative-bound helper.

@@ -1,0 +1,275 @@
+//! Offline shim for `criterion`.
+//!
+//! A self-contained benchmark harness exposing the subset of the criterion API
+//! the workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is real (adaptive
+//! warmup to size a batch, then timed samples, median reported) but there is no
+//! statistical analysis, plotting, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; turns per-iteration time into a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function_id` or `function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs the measurement loop for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    median_secs: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: adaptive warmup picks a batch size taking ≥ ~40 ms, then
+    /// `sample_size` batches are timed and the median per-iteration time kept.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(40) || batch >= 1 << 22 {
+                break;
+            }
+            // Grow towards the target batch duration.
+            batch = (batch * 2).max(1);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_secs = samples[samples.len() / 2];
+    }
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_secs: f64::NAN,
+        };
+        f(&mut bencher);
+        let secs = bencher.median_secs;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}", format_rate(n as f64 / secs, "elem"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}", format_rate(n as f64 / secs, "B"))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<32} time: {:>12}{}",
+            self.name,
+            id.id,
+            format_secs(secs),
+            rate
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is immediate in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: "bench".into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        };
+        group.run(id.into(), f);
+        self
+    }
+}
+
+/// Declare a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut group = Criterion::default();
+        let mut g = group.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("enc", 64).id, "enc/64");
+        assert_eq!(BenchmarkId::from_parameter("IPComp").id, "IPComp");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(format_secs(0.5).ends_with("ms"));
+        assert!(format_secs(2.0).ends_with(" s"));
+        assert!(format_rate(2.5e6, "elem").contains("Melem/s"));
+    }
+}

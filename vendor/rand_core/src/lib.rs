@@ -1,0 +1,108 @@
+//! Offline shim for `rand_core`.
+//!
+//! The build environment of this workspace has no access to crates.io, so the
+//! `vendor/` directory carries minimal re-implementations of the external crates
+//! the code depends on. This one provides the two traits the workspace uses from
+//! `rand_core`: [`RngCore`] and [`SeedableRng`] (including the `seed_from_u64`
+//! convenience constructor, implemented with SplitMix64 like upstream).
+//!
+//! The APIs match the upstream 0.6 names so swapping back to the real crates is a
+//! one-line change in the workspace manifest. Generated values are *not*
+//! guaranteed to be bit-identical to upstream.
+
+/// A source of uniformly random bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it into a full seed with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_tail() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &1u64.to_le_bytes());
+        assert_eq!(&buf[8..], &2u64.to_le_bytes()[..3]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_dependent() {
+        let a = Counter::seed_from_u64(1).0;
+        let b = Counter::seed_from_u64(1).0;
+        let c = Counter::seed_from_u64(2).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline shim for `rayon`.
+//!
+//! Implements the small slice of the rayon API this workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, `map`/`for_each`/`enumerate`/`collect` —
+//! with *real* parallelism on `std::thread::scope`. Items are materialized into a
+//! `Vec`, split into contiguous per-thread chunks, processed concurrently, and
+//! re-concatenated in order, so `collect()` preserves rayon's ordering guarantee
+//! and results are deterministic.
+//!
+//! This is not work-stealing: wildly unbalanced workloads parallelize worse than
+//! under real rayon, which is acceptable for the plane-sized work units the
+//! compressor feeds it. Swapping back to upstream rayon is a manifest-only change.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Everything a caller needs in scope to use the parallel iterator methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Set while executing inside a worker thread. Real rayon handles nested
+    /// parallelism through work-stealing on one global pool; this shim instead
+    /// runs nested parallel calls sequentially so thread counts stay bounded by
+    /// the hardware parallelism instead of multiplying per nesting level.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads a parallel call issued here would use, mirroring rayon's
+/// `current_num_threads` (1 inside a worker, where nested calls run inline).
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        thread_count(usize::MAX)
+    }
+}
+
+fn thread_count(items: usize) -> usize {
+    // Honor RAYON_NUM_THREADS like upstream rayon's default pool does.
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(items).max(1)
+}
+
+/// Map `f` over `items` on scoped threads, preserving input order in the output.
+fn run_par<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; evaluation happens at `collect`/`for_each` time.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_par(self.items, f);
+    }
+
+    /// Pair each item with its index (rayon's `enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Accepted for rayon API compatibility; chunking here is already coarse.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Collect the items (no-op map).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluate the map in parallel and collect the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(run_par(self.items, self.f))
+    }
+
+    /// Evaluate the map in parallel, discarding results.
+    pub fn for_each<R>(self, g: impl Fn(R) + Sync)
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        let f = self.f;
+        run_par(self.items, move |item| g(f(item)));
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for ParIter<T>
+where
+    T: Send,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `par_iter()` over borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send;
+    /// Materialize a borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel mutable chunking of slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..10_000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_works() {
+        let out: Vec<u32> = (0u32..100).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = data.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let counter = AtomicUsize::new(0);
+        (0usize..1000).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjointly() {
+        let mut data = vec![0u8; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = (i + 1) as u8;
+            }
+        });
+        assert!(data.iter().all(|&v| v != 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], (1000usize.div_ceil(64)) as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        (0usize..100).into_par_iter().for_each(|i| {
+            if i == 57 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The companion `serde` shim implements `Serialize`/`Deserialize` as blanket
+//! marker traits, so these derives have nothing to generate: they exist only so
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace keep
+//! compiling unchanged against the shims.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
