@@ -1,0 +1,196 @@
+//! Entropy pipeline throughput runner: emits `BENCH_entropy.json`.
+//!
+//! Measures the chunked rANS entropy pipeline (container v2) against the PR 1
+//! monolithic Huffman pipeline it replaced, on a compressible 1M-coefficient
+//! level:
+//!
+//! * **Level decode throughput** at 1, 2, and 4 rayon threads, for both
+//!   pipelines — the thread sweep makes the "chunks parallelize evenly,
+//!   whole planes don't" claim measurable.
+//! * **Compressed size** of both pipelines (the rANS chunks must be
+//!   equal-or-better despite per-chunk table overhead).
+//! * **Codec micro-benchmark**: raw rANS vs Huffman encode/decode throughput
+//!   on the token stream of a representative dense plane.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_entropy [out.json]`
+//! Set `IPC_BENCH_QUICK=1` to cut repetitions (CI-friendly).
+
+use ipc_bench::time;
+use ipc_codecs::huffman::{huffman_decode_bytes, huffman_encode_bytes};
+use ipc_codecs::rans::{rans_decode_bytes, rans_encode_bytes};
+use ipcomp::bitplane::{decode_level, encode_level_with, EncodeOptions, EncodedLevel};
+use rand::{Rng, SeedableRng};
+
+/// Compressible residual-like codes: strong skew toward small magnitudes so
+/// the mid bitplanes carry structure for the entropy stage to find (matching
+/// how tight error bounds on smooth fields behave).
+fn residual_like_codes(n: usize) -> Vec<i64> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2025);
+    (0..n)
+        .map(|_| {
+            let mag = (rng.gen::<f64>().powi(4) * (1i64 << 18) as f64) as i64;
+            if rng.gen_bool(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, secs) = time(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
+struct Row {
+    pipeline: &'static str,
+    threads: usize,
+    decode_mb_s: f64,
+    encode_mb_s: f64,
+    compressed_bytes: usize,
+}
+
+fn measure_pipeline(
+    name: &'static str,
+    codes: &[i64],
+    opts: EncodeOptions,
+    threads: &[usize],
+    reps: usize,
+) -> (EncodedLevel, Vec<Row>) {
+    let mb = std::mem::size_of_val(codes) as f64 / 1e6;
+    let encoded = encode_level_with(codes, 2, true, false, opts);
+    let mut rows = Vec::new();
+    for &t in threads {
+        // The vendored rayon shim re-reads RAYON_NUM_THREADS on every
+        // parallel call; with upstream rayon this sweep would need one
+        // subprocess per configuration instead.
+        std::env::set_var("RAYON_NUM_THREADS", t.to_string());
+        let enc = mb / best_of(reps, || encode_level_with(codes, 2, true, true, opts));
+        let dec = mb
+            / best_of(reps, || {
+                decode_level(&encoded, encoded.num_planes, 2, true).unwrap()
+            });
+        rows.push(Row {
+            pipeline: name,
+            threads: t,
+            decode_mb_s: dec,
+            encode_mb_s: enc,
+            compressed_bytes: encoded.payload_bytes(),
+        });
+        println!(
+            "{name:>16} @{t} threads: encode {enc:>7.0} MB/s  decode {dec:>7.0} MB/s  ({} bytes)",
+            encoded.payload_bytes()
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    (encoded, rows)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_entropy.json".to_string());
+    let quick = std::env::var("IPC_BENCH_QUICK").is_ok();
+    let reps = if quick { 3 } else { 7 };
+    let n = 1 << 20;
+    let codes = residual_like_codes(n);
+    let threads = [1usize, 2, 4];
+
+    // PR 1 baseline: monolithic planes, Huffman-only entropy stage.
+    let v1_opts = EncodeOptions {
+        chunk_bytes: 0,
+        rans: false,
+    };
+    // Current pipeline: 64 KiB chunks, rANS/Huffman/store per chunk.
+    let v2_opts = EncodeOptions::default();
+
+    let (v1_level, v1_rows) = measure_pipeline("v1 huffman", &codes, v1_opts, &threads, reps);
+    let (v2_level, v2_rows) = measure_pipeline("v2 chunked rans", &codes, v2_opts, &threads, reps);
+
+    let size_ratio = v2_level.payload_bytes() as f64 / v1_level.payload_bytes() as f64;
+    let speedup_1t = v2_rows[0].decode_mb_s / v1_rows[0].decode_mb_s;
+    let speedup_4t = v2_rows[2].decode_mb_s / v1_rows[2].decode_mb_s;
+    let scaling_v1 = v1_rows[2].decode_mb_s / v1_rows[0].decode_mb_s;
+    let scaling_v2 = v2_rows[2].decode_mb_s / v2_rows[0].decode_mb_s;
+    println!(
+        "v2/v1 decode speedup: {speedup_1t:.2}x @1t, {speedup_4t:.2}x @4t | \
+         4t/1t scaling: v1 {scaling_v1:.2}x, v2 {scaling_v2:.2}x | size ratio {size_ratio:.3}"
+    );
+
+    // Codec micro-benchmark on a dense mid plane's packed bytes (plane count
+    // and density chosen by the data itself — take the largest plane).
+    let dense_plane: Vec<u8> = {
+        let plane = v1_level
+            .planes
+            .iter()
+            .max_by_key(|p| p.len())
+            .expect("level has planes");
+        ipc_codecs::lzr::lzr_decompress_bounded(&plane.chunks[0], v1_level.plane_len()).unwrap()
+    };
+    let pmb = dense_plane.len() as f64 / 1e6;
+    let rans_enc = rans_encode_bytes(&dense_plane);
+    let huff_enc = huffman_encode_bytes(&dense_plane);
+    let micro = [
+        (
+            "rans_encode",
+            pmb / best_of(reps, || rans_encode_bytes(&dense_plane)),
+        ),
+        (
+            "rans_decode",
+            pmb / best_of(reps, || rans_decode_bytes(&rans_enc).unwrap()),
+        ),
+        (
+            "huffman_encode",
+            pmb / best_of(reps, || huffman_encode_bytes(&dense_plane)),
+        ),
+        (
+            "huffman_decode",
+            pmb / best_of(reps, || huffman_decode_bytes(&huff_enc).unwrap()),
+        ),
+    ];
+    for (name, mbs) in &micro {
+        println!("{name:>16}: {mbs:>7.0} MB/s");
+    }
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"entropy_pipeline\",\n  \"unit\": \"MB/s of i64 codes\",\n  \"coefficients\": 1048576,\n  \"prefix_bits\": 2,\n",
+    );
+    json.push_str(&format!(
+        "  \"compressed_bytes\": {{\"v1_huffman\": {}, \"v2_chunked_rans\": {}, \"ratio\": {:.4}}},\n",
+        v1_level.payload_bytes(),
+        v2_level.payload_bytes(),
+        size_ratio
+    ));
+    json.push_str(&format!(
+        "  \"decode_speedup_v2_over_v1\": {{\"1_thread\": {speedup_1t:.2}, \"4_threads\": {speedup_4t:.2}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    let all_rows: Vec<&Row> = v1_rows.iter().chain(v2_rows.iter()).collect();
+    for (i, r) in all_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pipeline\": \"{}\", \"threads\": {}, \"encode_mb_s\": {:.2}, \"decode_mb_s\": {:.2}, \"compressed_bytes\": {}}}{}\n",
+            r.pipeline,
+            r.threads,
+            r.encode_mb_s,
+            r.decode_mb_s,
+            r.compressed_bytes,
+            if i + 1 < all_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"codec_micro_mb_s\": {\n");
+    for (i, (name, mbs)) in micro.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {mbs:.2}{}\n",
+            if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

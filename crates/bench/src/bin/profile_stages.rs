@@ -2,12 +2,14 @@
 //!
 //! Not part of the paper's figure set — this exists to show where the next
 //! optimization should land (`cargo run --release -p ipc_bench --bin
-//! profile_stages`).
+//! profile_stages`). Since the chunked entropy pipeline landed, the decode
+//! side breaks work down per plane *and* per chunk, which is the granularity
+//! the rayon pool actually schedules.
 
 use ipc_bench::time;
 use ipc_codecs::bitslice::slice_planes;
+use ipc_codecs::lzr_compress;
 use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice};
-use ipc_codecs::{lzr_compress, lzr_decompress};
 use ipcomp::bitplane::{decode_level, encode_level};
 use rand::{Rng, SeedableRng};
 
@@ -41,24 +43,40 @@ fn main() {
     println!("  trunc table    {:>8.2} ms", t_trunc * 1e3);
     println!("  predict        {:>8.2} ms", t_pred * 1e3);
     println!("  slice planes   {:>8.2} ms", t_slice * 1e3);
-    println!("  lzr compress   {:>8.2} ms", t_lzr * 1e3);
+    println!(
+        "  entropy stage  {:>8.2} ms (whole-plane, for reference)",
+        t_lzr * 1e3
+    );
 
     let enc = encode_level(&codes, 2, true, false);
     let (_, t_enc) = time(|| encode_level(&codes, 2, true, false));
-    println!("  TOTAL encode   {:>8.2} ms", t_enc * 1e3);
+    println!(
+        "  TOTAL encode   {:>8.2} ms (chunked pipeline)",
+        t_enc * 1e3
+    );
 
-    let (planes, t_dec_lzr) = time(|| {
-        enc.planes
-            .iter()
-            .map(|p| lzr_decompress(p).unwrap())
-            .collect::<Vec<_>>()
-    });
-    let total_plane_bytes: usize = planes.iter().map(Vec::len).sum();
-    for (p, block) in enc.planes.iter().enumerate() {
-        let (_, t) = time(|| lzr_decompress(block).unwrap());
+    // Decode breakdown at chunk granularity: per plane, the chunk count, the
+    // compressed size spread, and the entropy-decode time. Chunk sizes within
+    // a plane are what the parallel fan-out balances across threads.
+    println!(
+        "decode chunk breakdown ({} plane bytes, chunk_bytes={}):",
+        enc.payload_bytes(),
+        enc.chunk_bytes
+    );
+    for (p, plane) in enc.planes.iter().enumerate() {
+        let (_, t) = time(|| {
+            for k in 0..plane.chunks.len() {
+                let expected = enc.region_byte_range(k).len();
+                ipc_codecs::lzr::lzr_decompress_bounded(&plane.chunks[k], expected).unwrap();
+            }
+        });
+        let sizes: Vec<usize> = plane.chunks.iter().map(Vec::len).collect();
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        let max = sizes.iter().max().copied().unwrap_or(0);
         println!(
-            "    plane {p:>2}: {:>8} compressed bytes, {:>7.2} ms",
-            block.len(),
+            "    plane {p:>2}: {:>2} chunks, {:>8} bytes (chunks {min}..{max}), {:>7.2} ms",
+            plane.chunks.len(),
+            plane.len(),
             t * 1e3
         );
     }
@@ -68,10 +86,9 @@ fn main() {
     });
     let (_, t_convert) = time(|| ipc_codecs::negabinary::from_negabinary_slice(&acc));
     let (_, t_dec) = time(|| decode_level(&enc, enc.num_planes, 2, true).unwrap());
-    println!("decode stages ({total_plane_bytes} plane bytes):");
-    println!("  lzr decompress {:>8.2} ms", t_dec_lzr * 1e3);
+    println!("decode stages:");
     println!(
-        "  planes+scatter {:>8.2} ms (includes its own lzr pass)",
+        "  chunks+scatter {:>8.2} ms (includes its own entropy pass)",
         t_scatter * 1e3
     );
     println!("  negabinary out {:>8.2} ms", t_convert * 1e3);

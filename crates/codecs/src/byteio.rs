@@ -53,7 +53,11 @@ pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 /// Read a length-prefixed byte slice.
 pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
     let len = crate::varint::read_varint(buf, pos)? as usize;
-    let slice = buf.get(*pos..*pos + len).ok_or(CodecError::UnexpectedEof)?;
+    // Saturating: an adversarial length must fail the range check, not
+    // overflow the addition.
+    let slice = buf
+        .get(*pos..pos.saturating_add(len))
+        .ok_or(CodecError::UnexpectedEof)?;
     *pos += len;
     Ok(slice)
 }

@@ -337,6 +337,12 @@ fn parse_header(buf: &[u8]) -> Result<ParsedHeader<'_>> {
     let mut pos = 0usize;
     let n_symbols = read_varint(buf, &mut pos)? as usize;
     let table_len = read_varint(buf, &mut pos)? as usize;
+    // Every code is at least one bit, so a symbol count that outruns the
+    // entire buffer's bit count is corrupt; checking here keeps the output
+    // preallocation bounded by the input size.
+    if n_symbols / 8 > buf.len() {
+        return Err(CodecError::Corrupt("symbol count exceeds payload bits"));
+    }
     if n_symbols > 0 && table_len == 0 {
         return Err(CodecError::Corrupt(
             "empty code table for non-empty payload",
@@ -359,7 +365,7 @@ fn parse_header(buf: &[u8]) -> Result<ParsedHeader<'_>> {
     }
     let payload_len = read_varint(buf, &mut pos)? as usize;
     let payload = buf
-        .get(pos..pos + payload_len)
+        .get(pos..pos.saturating_add(payload_len))
         .ok_or(CodecError::UnexpectedEof)?;
     Ok((n_symbols, lengths, payload))
 }
@@ -478,9 +484,49 @@ pub fn huffman_encode_bytes_under(bytes: &[u8], limit: usize) -> Option<Vec<u8>>
     huffman_encode_bytes_impl(bytes, Some(limit))
 }
 
+/// Exact size in bytes that [`huffman_encode_bytes`] would produce, computed
+/// from the histogram alone — no code table materialization and no bit
+/// packing. The entropy-stage dispatch uses this to compare Huffman against
+/// rANS before committing to either encode.
+pub fn huffman_encoded_bytes_size(bytes: &[u8]) -> usize {
+    let mut freq = [0u64; 256];
+    for &b in bytes {
+        freq[b as usize] += 1;
+    }
+    let freqs: HashMap<u32, u64> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(s, &f)| (s as u32, f))
+        .collect();
+    let lengths = code_lengths(&freqs);
+    let payload_bits: u64 = lengths
+        .iter()
+        .map(|&(sym, len)| freq[sym as usize] * len as u64)
+        .sum();
+    let payload_len = (payload_bits as usize).div_ceil(8);
+    varint_len(bytes.len() as u64)
+        + varint_len(lengths.len() as u64)
+        + lengths
+            .iter()
+            .map(|&(sym, _)| varint_len(sym as u64) + 1)
+            .sum::<usize>()
+        + varint_len(payload_len as u64)
+        + payload_len
+}
+
 /// Decode a buffer produced by [`huffman_encode_bytes`].
 pub fn huffman_decode_bytes(buf: &[u8]) -> Result<Vec<u8>> {
+    huffman_decode_bytes_capped(buf, usize::MAX)
+}
+
+/// [`huffman_decode_bytes`] that additionally rejects streams declaring more
+/// than `max_symbols` symbols, for callers decoding untrusted bytes.
+pub fn huffman_decode_bytes_capped(buf: &[u8], max_symbols: usize) -> Result<Vec<u8>> {
     let (n_symbols, lengths, payload) = parse_header(buf)?;
+    if n_symbols > max_symbols {
+        return Err(CodecError::Corrupt("symbol count exceeds cap"));
+    }
     if lengths.iter().any(|&(sym, _)| sym > u8::MAX as u32) {
         return Err(CodecError::Corrupt("byte symbol out of range"));
     }
@@ -578,5 +624,41 @@ mod tests {
     fn deterministic_output() {
         let data: Vec<u32> = (0..1000u32).map(|i| i % 17).collect();
         assert_eq!(huffman_encode(&data), huffman_encode(&data));
+    }
+
+    #[test]
+    fn encoded_bytes_size_is_exact() {
+        for data in [
+            Vec::new(),
+            vec![42u8; 777],
+            (0..=255u8).cycle().take(3000).collect::<Vec<u8>>(),
+            (0..4000u32).map(|i| (i % 5) as u8).collect(),
+        ] {
+            assert_eq!(
+                huffman_encoded_bytes_size(&data),
+                huffman_encode_bytes(&data).len()
+            );
+        }
+    }
+
+    #[test]
+    fn symbol_count_cap_and_bit_bound_enforced() {
+        let data = vec![3u8; 500];
+        let enc = huffman_encode_bytes(&data);
+        assert_eq!(huffman_decode_bytes_capped(&enc, 500).unwrap(), data);
+        assert!(matches!(
+            huffman_decode_bytes_capped(&enc, 499),
+            Err(CodecError::Corrupt(_))
+        ));
+        // A header declaring more symbols than the buffer has bits is corrupt
+        // before any allocation happens.
+        let mut bomb = Vec::new();
+        write_varint(&mut bomb, 1 << 50);
+        write_varint(&mut bomb, 1);
+        bomb.extend_from_slice(&[7, 1, 1, 0]);
+        assert!(matches!(
+            huffman_decode_bytes(&bomb),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

@@ -1,10 +1,11 @@
 //! LZR: the workspace's zstd stand-in — an LZ77-style match finder followed by a
-//! byte-wise canonical Huffman entropy stage.
+//! table-driven entropy stage (interleaved rANS, with canonical Huffman kept as
+//! a compatibility fallback).
 //!
 //! The IPComp paper feeds its predictively coded bitplanes (and SZ3 feeds its Huffman
 //! output) into zstd, which contributes two things: repeated-pattern elimination and
 //! entropy coding. LZR reproduces both roles with a greedy hash-chain LZ77 pass
-//! (min match 4, 64 KiB window) whose token stream is then Huffman coded. The exact
+//! (min match 4, 64 KiB window) whose token stream is then entropy coded. The exact
 //! ratios differ from zstd, but the *relative* behaviour the paper argues about —
 //! predictive bitplane coding preserving byte-level repetition better than Huffman
 //! coding does — is preserved because both effects are still exploited.
@@ -12,8 +13,28 @@
 //! Token stream format (before the entropy stage):
 //! `[literal_len varint][literal bytes][match_len varint][match_dist varint]`
 //! repeated; a `match_len` of 0 terminates the stream (and carries no distance).
+//!
+//! ## Entropy-stage dispatch
+//!
+//! The container byte after the length varint selects how the body was coded:
+//! `0` = stored token stream, `1` = canonical Huffman over tokens (the PR 1
+//! stage, still read for version-1 containers), `2` = interleaved rANS over
+//! tokens ([`crate::rans`]), `3` = rANS over the *raw input bytes*, `4` = the
+//! raw input bytes verbatim. Modes 3 and 4 are chosen when the match finder
+//! comes up empty: decode then skips the detokenization pass entirely — the
+//! entropy decoder's output (or a straight copy) is the final data. The
+//! encoder picks per buffer using exact pre-sized logic: the
+//! Huffman size is computed from the histogram without packing a bit, rANS is
+//! attempted only when its deterministic estimate can beat both that and the
+//! store threshold, and the stored fallback keeps the historical rule that
+//! entropy coding must shrink tokens by at least 1/8 (12.5%) to be worth a
+//! decode pass — the same speed-for-marginal-ratio policy zstd applies to raw
+//! blocks.
 
-use crate::huffman::{huffman_decode_bytes, huffman_encode_bytes_under};
+use crate::huffman::{
+    huffman_decode_bytes_capped, huffman_encode_bytes_under, huffman_encoded_bytes_size,
+};
+use crate::rans::{rans_decode_bytes_capped, rans_encode_bytes_under};
 use crate::varint::{read_varint, write_varint};
 use crate::{CodecError, Result};
 
@@ -88,20 +109,28 @@ fn lz_tokenize(input: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Reverse of [`lz_tokenize`].
-fn lz_detokenize(tokens: &[u8]) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(tokens.len() * 2);
+/// Reverse of [`lz_tokenize`]. `expected_len` is the declared output size:
+/// the expansion is rejected as soon as it would overrun it, so a corrupt
+/// match length cannot balloon the output buffer.
+fn lz_detokenize(tokens: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len.min(tokens.len().saturating_mul(8).max(64)));
     let mut pos = 0usize;
     loop {
         let lit_len = read_varint(tokens, &mut pos)? as usize;
         let lits = tokens
-            .get(pos..pos + lit_len)
+            .get(pos..pos.saturating_add(lit_len))
             .ok_or(CodecError::UnexpectedEof)?;
+        if lit_len > expected_len - out.len() {
+            return Err(CodecError::Corrupt("LZR literals overrun declared length"));
+        }
         out.extend_from_slice(lits);
         pos += lit_len;
         let match_len = read_varint(tokens, &mut pos)? as usize;
         if match_len == 0 {
             return Ok(out);
+        }
+        if match_len > expected_len - out.len() {
+            return Err(CodecError::Corrupt("LZR match overruns declared length"));
         }
         let dist = read_varint(tokens, &mut pos)? as usize;
         if dist == 0 || dist > out.len() {
@@ -122,18 +151,57 @@ fn lz_detokenize(tokens: &[u8]) -> Result<Vec<u8>> {
     }
 }
 
-/// Compress a byte buffer with the LZR backend (LZ77 + Huffman).
+/// Entropy-stage selection: `(mode byte, encoded bytes)` for a token stream.
+///
+/// All three candidates are sized before any expensive work: the store
+/// threshold keeps the historical 1/8 rule, Huffman's exact size comes from
+/// the histogram alone, and rANS runs only when its estimate can undercut the
+/// better of the two (its final size check is exact).
+fn entropy_stage(tokens: Vec<u8>) -> (u8, Vec<u8>) {
+    let threshold = tokens.len() - tokens.len() / 8;
+    let huffman_size = huffman_encoded_bytes_size(&tokens);
+    if let Some(encoded) = rans_encode_bytes_under(&tokens, threshold.min(huffman_size)) {
+        return (2, encoded);
+    }
+    if let Some(encoded) = huffman_encode_bytes_under(&tokens, threshold) {
+        return (1, encoded);
+    }
+    (0, tokens)
+}
+
+/// Compress a byte buffer with the LZR backend (LZ77 + rANS/Huffman).
 ///
 /// The output is self-describing and starts with the original length so that
 /// [`lzr_decompress`] can pre-allocate and validate.
 pub fn lzr_compress(input: &[u8]) -> Vec<u8> {
     let tokens = lz_tokenize(input);
-    // Fall back to storing tokens raw unless the entropy stage shrinks them by
-    // at least 1/8 (12.5%): near-incompressible token streams (dense low-order
-    // bitplanes) would otherwise pay a full Huffman decode on every load to
-    // save a few bytes — the same speed-for-marginal-ratio policy zstd applies
-    // to raw blocks. The exact encoded size is known from the histogram alone,
-    // so rejected streams skip the bit-packing pass entirely.
+    // When matching bought nothing (the token stream is no shorter than the
+    // input), drop the token framing: entropy-code the raw bytes if that
+    // pays (mode 3), otherwise store them verbatim (mode 4). Either way
+    // decode skips detokenization — the entropy decoder's output (or a plain
+    // copy) is the final data.
+    let (mode, body) = if tokens.len() > input.len() {
+        let threshold = input.len() - input.len() / 8;
+        match rans_encode_bytes_under(input, threshold.min(huffman_encoded_bytes_size(input))) {
+            Some(encoded) => (3u8, encoded),
+            None => (4u8, input.to_vec()),
+        }
+    } else {
+        entropy_stage(tokens)
+    };
+    let mut out = Vec::with_capacity(body.len() + 10);
+    write_varint(&mut out, input.len() as u64);
+    out.push(mode);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// [`lzr_compress`] restricted to the PR 1 entropy stage (Huffman or store,
+/// never rANS). Byte-identical to the historical version-1 writer; kept so
+/// the benchmark harness can measure the chunked rANS pipeline against the
+/// exact baseline it replaced.
+pub fn lzr_compress_huffman(input: &[u8]) -> Vec<u8> {
+    let tokens = lz_tokenize(input);
     let entropy = huffman_encode_bytes_under(&tokens, tokens.len() - tokens.len() / 8);
     let mut out = Vec::with_capacity(tokens.len() + 10);
     write_varint(&mut out, input.len() as u64);
@@ -151,23 +219,62 @@ pub fn lzr_compress(input: &[u8]) -> Vec<u8> {
 }
 
 /// Decompress a buffer produced by [`lzr_compress`].
+///
+/// This trusts the declared output length (a corrupt stream can make it
+/// allocate up to that much); when decoding untrusted bytes prefer
+/// [`lzr_decompress_bounded`], which rejects any stream whose declared length
+/// exceeds what the caller knows the output must be.
 pub fn lzr_decompress(input: &[u8]) -> Result<Vec<u8>> {
+    lzr_decompress_bounded(input, usize::MAX)
+}
+
+/// [`lzr_decompress`] with an output-size cap: every allocation on the decode
+/// path — token buffer, entropy symbol count, output expansion — is bounded
+/// by `max_len`, so a corrupt length field costs a small error, not an OOM.
+pub fn lzr_decompress_bounded(input: &[u8], max_len: usize) -> Result<Vec<u8>> {
     let mut pos = 0usize;
     let original_len = read_varint(input, &mut pos)? as usize;
+    if original_len > max_len {
+        return Err(CodecError::Corrupt("LZR declared length exceeds bound"));
+    }
     let mode = *input.get(pos).ok_or(CodecError::UnexpectedEof)?;
     pos += 1;
     let body = &input[pos..];
+    // The tokenizer never expands its input by more than ~3.3× (literal bytes
+    // are bounded by the output, and every match token spends ≥ 4 output
+    // bytes to buy at most 11 varint bytes), so any token stream longer than
+    // this is corrupt regardless of content.
+    let token_cap = original_len.saturating_mul(4).saturating_add(64);
     // Stored-mode bodies are detokenized in place — no defensive copy.
     let decoded;
     let tokens: &[u8] = match mode {
+        4 => {
+            // Raw stored bytes: the body is the data.
+            if body.len() != original_len {
+                return Err(CodecError::Corrupt("LZR length mismatch"));
+            }
+            return Ok(body.to_vec());
+        }
+        3 => {
+            // Raw-byte rANS: the entropy decoder's output is the final data.
+            let out = rans_decode_bytes_capped(body, original_len)?;
+            if out.len() != original_len {
+                return Err(CodecError::Corrupt("LZR length mismatch"));
+            }
+            return Ok(out);
+        }
+        2 => {
+            decoded = rans_decode_bytes_capped(body, token_cap)?;
+            &decoded
+        }
         1 => {
-            decoded = huffman_decode_bytes(body)?;
+            decoded = huffman_decode_bytes_capped(body, token_cap)?;
             &decoded
         }
         0 => body,
         _ => return Err(CodecError::Corrupt("unknown LZR container mode")),
     };
-    let out = lz_detokenize(tokens)?;
+    let out = lz_detokenize(tokens, original_len)?;
     if out.len() != original_len {
         return Err(CodecError::Corrupt("LZR length mismatch"));
     }
@@ -241,6 +348,46 @@ mod tests {
     }
 
     #[test]
+    fn compressible_streams_pick_rans() {
+        // Mild skew that still dodges long matches: the entropy stage (not the
+        // match finder) must be doing the work, and rANS should win it.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let data: Vec<u8> = (0..40_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                (r * r * r * 32.0) as u8 ^ (rng.gen::<u8>() & 1)
+            })
+            .collect();
+        let enc = lzr_compress(&data);
+        let mut pos = 0usize;
+        read_varint(&enc, &mut pos).unwrap();
+        assert!(
+            enc[pos] == 2 || enc[pos] == 3,
+            "skewed input should entropy-code as rANS, got mode {}",
+            enc[pos]
+        );
+        assert_eq!(lzr_decompress(&enc).unwrap(), data);
+        // And never larger than the PR 1 Huffman encoding of the same input.
+        let huffman = lzr_compress_huffman(&data);
+        assert!(
+            enc.len() <= huffman.len(),
+            "rans {} vs huffman {}",
+            enc.len(),
+            huffman.len()
+        );
+    }
+
+    #[test]
+    fn huffman_only_writer_matches_v1_modes() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 11) as u8).collect();
+        let enc = lzr_compress_huffman(&data);
+        let mut pos = 0usize;
+        read_varint(&enc, &mut pos).unwrap();
+        assert!(enc[pos] <= 1, "v1 writer only emits store/Huffman");
+        assert_eq!(lzr_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
     fn corrupt_stream_detected() {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         let mut enc = lzr_compress(&data);
@@ -257,5 +404,41 @@ mod tests {
         let data = vec![42u8; 10_000];
         let enc = lzr_compress(&data);
         assert!(lzr_decompress(&enc[..4]).is_err());
+    }
+
+    #[test]
+    fn bounded_decode_rejects_oversized_length_claims() {
+        let data = vec![5u8; 4096];
+        let enc = lzr_compress(&data);
+        assert_eq!(lzr_decompress_bounded(&enc, 4096).unwrap(), data);
+        assert!(matches!(
+            lzr_decompress_bounded(&enc, 4095),
+            Err(CodecError::Corrupt(_))
+        ));
+        // A forged huge length varint errors instead of allocating.
+        let mut forged = Vec::new();
+        write_varint(&mut forged, u64::MAX / 2);
+        forged.push(0);
+        forged.extend_from_slice(&[0, 0]);
+        assert!(lzr_decompress_bounded(&forged, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn corrupt_match_length_cannot_balloon_output() {
+        // Hand-built stored-mode stream: declares 100 output bytes but asks a
+        // match to expand far beyond them.
+        let mut tokens = Vec::new();
+        write_varint(&mut tokens, 4);
+        tokens.extend_from_slice(&[1, 2, 3, 4]);
+        write_varint(&mut tokens, 1 << 40); // absurd match length
+        write_varint(&mut tokens, 2);
+        let mut stream = Vec::new();
+        write_varint(&mut stream, 100);
+        stream.push(0);
+        stream.extend_from_slice(&tokens);
+        assert!(matches!(
+            lzr_decompress(&stream),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

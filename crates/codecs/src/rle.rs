@@ -64,7 +64,7 @@ pub fn rle_decode(input: &[u8]) -> Result<Vec<u8>> {
         let lit_len = read_varint(input, &mut pos)? as usize;
         out.resize(out.len() + zero_run, 0);
         let lits = input
-            .get(pos..pos + lit_len)
+            .get(pos..pos.saturating_add(lit_len))
             .ok_or(crate::CodecError::UnexpectedEof)?;
         out.extend_from_slice(lits);
         pos += lit_len;

@@ -1,4 +1,5 @@
-//! Predictive negabinary bitplane coding (paper Sec. 4.3–4.4), word-parallel.
+//! Predictive negabinary bitplane coding (paper Sec. 4.3–4.4), word-parallel
+//! with a chunked entropy pipeline.
 //!
 //! Each level's quantized residuals are mapped to negabinary, sliced into bitplanes
 //! (all coefficients' bit `p` form plane `p`), and each plane is compressed into an
@@ -39,9 +40,34 @@
 //!    word operations, and its involution scatters decoded planes back into the
 //!    accumulators.
 //!
-//! Because the identity reproduces the scalar definition bit for bit, the on-disk
-//! format is unchanged: plane payloads are byte-identical to the historical
-//! bit-at-a-time coder (retained under [`scalar`] as a test oracle).
+//! # Chunked entropy pipeline
+//!
+//! The packed bit stream of every plane is split into fixed-size
+//! [`CHUNK_BYTES`] chunks and each chunk is entropy-coded *independently*
+//! (LZ77 + rANS/Huffman/store, see [`ipc_codecs::lzr`]). Chunking buys three
+//! things at a fraction of a percent of ratio:
+//!
+//! * **Even parallelism** — decode fans out over every `(plane, chunk)` pair,
+//!   so the rayon pool sees uniform ~64 KiB work items instead of one lumpy
+//!   task per plane (dense low planes cost 10× what sparse high planes do).
+//! * **Streaming** — a chunk covers a contiguous coefficient range, and every
+//!   plane of a level shares the same chunk grid, so a decoder can fully
+//!   reconstruct coefficients `[k·8·CHUNK_BYTES, (k+1)·8·CHUNK_BYTES)` from
+//!   just the `k`-th chunk of each loaded plane ([`PlaneStream`]). Memory
+//!   stays bounded by the region size, not the level size.
+//! * **Addressability** — the version-2 container records every chunk's size
+//!   in its metadata, so a remote reader can fetch any chunk without parsing
+//!   payload bytes.
+//!
+//! Prediction stays correct under chunking because it operates per
+//! coefficient *across* planes: bit `i` of plane `p` mixes only with bit `i`
+//! of planes `p+1..=p+prefix_bits`, all of which live in the same chunk
+//! position `i / (8·CHUNK_BYTES)` of their planes.
+//!
+//! Because the slicing/prediction identities reproduce the scalar definition bit
+//! for bit, the *packed plane bytes* are unchanged from the historical coder; the
+//! scalar reference (retained under [`scalar`] as a test oracle) shares the
+//! chunked entropy stage, so payloads remain byte-identical between the two.
 //!
 //! Truncation-loss metadata is unaffected by any of this: `trunc_loss` is computed
 //! from the *raw* negabinary words before prediction, and prediction permutes only
@@ -54,13 +80,70 @@
 
 use ipc_codecs::bitslice::{slice_planes, PlaneBlock};
 use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice, truncation_loss};
-use ipc_codecs::{lzr_compress, lzr_decompress, CodecError};
+use ipc_codecs::{lzr_compress, CodecError};
 use rayon::prelude::*;
 
 use crate::error::{IpcompError, Result};
 
 /// Minimum number of coefficients before the coder fans work out to rayon.
 const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Packed plane bytes covered by one entropy chunk (512 Ki coefficients).
+/// Must stay a multiple of 8 so chunk boundaries align with the 64-coefficient
+/// transpose blocks.
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// One bitplane compressed as independently decodable entropy chunks.
+///
+/// Chunk `k` covers packed plane bytes `[k·span, (k+1)·span)` where `span` is
+/// the owning level's [`EncodedLevel::region_bytes`]. Version-1 containers
+/// store a single chunk spanning the whole plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedPlane {
+    /// Compressed chunk payloads, in coefficient order.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl EncodedPlane {
+    /// Wrap a whole-plane block as a single chunk (the version-1 layout).
+    pub fn monolithic(block: Vec<u8>) -> Self {
+        Self {
+            chunks: vec![block],
+        }
+    }
+
+    /// Total compressed size of this plane in bytes.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the plane holds no compressed bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Tuning knobs for [`encode_level_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    /// Packed bytes per entropy chunk; `0` disables chunking and stores one
+    /// monolithic block per plane (the version-1 layout). Must be a multiple
+    /// of 8 so chunks align with 64-coefficient transpose blocks.
+    pub chunk_bytes: usize,
+    /// Allow the rANS entropy stage. Disabling restricts the per-chunk
+    /// decision to Huffman/store, reproducing the PR 1 byte stream — kept for
+    /// the benchmark harness and A/B tests.
+    pub rans: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: CHUNK_BYTES,
+            rans: true,
+        }
+    }
+}
 
 /// One level's residuals encoded as independently loadable bitplane blocks.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,22 +154,61 @@ pub struct EncodedLevel {
     pub num_planes: u8,
     /// Compressed plane blocks; `planes[p]` holds bit `p` of every coefficient
     /// (`p = 0` is the least significant plane).
-    pub planes: Vec<Vec<u8>>,
+    pub planes: Vec<EncodedPlane>,
     /// `trunc_loss[b]` = maximum absolute error, in quantization-code units, incurred
     /// by discarding the `b` least significant planes (`b` ranges `0..=num_planes`).
     pub trunc_loss: Vec<u64>,
+    /// Packed bytes per entropy chunk; `0` means whole-plane blocks (the
+    /// version-1 layout). All planes of a level share the same chunk grid.
+    pub chunk_bytes: usize,
 }
 
 impl EncodedLevel {
+    /// Length of one packed (uncompressed) plane in bytes.
+    pub fn plane_len(&self) -> usize {
+        self.n_values.div_ceil(8)
+    }
+
+    /// Packed bytes per chunk region: the configured chunk size, or the whole
+    /// plane for monolithic (version-1) levels.
+    pub fn region_bytes(&self) -> usize {
+        if self.chunk_bytes == 0 {
+            self.plane_len().max(1)
+        } else {
+            self.chunk_bytes
+        }
+    }
+
+    /// Number of chunk regions every plane of this level is split into.
+    pub fn num_regions(&self) -> usize {
+        self.plane_len().div_ceil(self.region_bytes())
+    }
+
+    /// Packed byte range of region `k` within a plane.
+    pub fn region_byte_range(&self, k: usize) -> std::ops::Range<usize> {
+        let rb = self.region_bytes();
+        (k * rb)..((k + 1) * rb).min(self.plane_len())
+    }
+
+    /// Coefficient range reconstructed by region `k`.
+    pub fn region_coeff_range(&self, k: usize) -> std::ops::Range<usize> {
+        let bytes = self.region_byte_range(k);
+        (bytes.start * 8)..(bytes.end * 8).min(self.n_values)
+    }
+
     /// Total compressed size of all plane blocks in bytes.
     pub fn payload_bytes(&self) -> usize {
-        self.planes.iter().map(Vec::len).sum()
+        self.planes.iter().map(EncodedPlane::len).sum()
     }
 
     /// Compressed size of the `b` least significant planes (the bytes *saved* by
     /// discarding them).
     pub fn saved_bytes(&self, b: u8) -> usize {
-        self.planes.iter().take(b as usize).map(Vec::len).sum()
+        self.planes
+            .iter()
+            .take(b as usize)
+            .map(EncodedPlane::len)
+            .sum()
     }
 
     /// Compressed size of the planes that remain loaded when `b` planes are
@@ -197,16 +319,35 @@ pub fn truncation_loss_table(nb: &[u64], num_planes: u8) -> Vec<u64> {
     trunc_loss
 }
 
-/// Encode one level's quantization codes into bitplane blocks.
+/// Entropy-code one chunk of packed plane bytes according to the options.
+#[inline]
+fn compress_chunk(bytes: &[u8], opts: &EncodeOptions) -> Vec<u8> {
+    if opts.rans {
+        lzr_compress(bytes)
+    } else {
+        ipc_codecs::lzr::lzr_compress_huffman(bytes)
+    }
+}
+
+/// Encode one level's quantization codes into bitplane blocks with explicit
+/// chunking/entropy options. [`encode_level`] forwards the defaults.
 ///
-/// The payload is byte-identical to the historical bit-at-a-time coder (see
-/// [`scalar`]); only the implementation is word-parallel.
-pub fn encode_level(
+/// # Panics
+///
+/// Panics if `opts.chunk_bytes` is not a multiple of 8 (chunk boundaries
+/// must align with the 64-coefficient transpose blocks). The `Result`-based
+/// entry point [`crate::compressor::compress`] validates this up front.
+pub fn encode_level_with(
     codes: &[i64],
     prefix_bits: u8,
     predictive: bool,
     parallel: bool,
+    opts: EncodeOptions,
 ) -> EncodedLevel {
+    assert!(
+        opts.chunk_bytes.is_multiple_of(8),
+        "chunk_bytes must be a multiple of 8 to align with transpose blocks"
+    );
     let nb = to_negabinary_slice(codes);
     let num_planes = required_bitplanes_words(&nb).min(63) as u8;
     let trunc_loss = truncation_loss_table(&nb, num_planes);
@@ -219,20 +360,206 @@ pub fn encode_level(
     };
     let plane_bits = slice_planes(&predicted, num_planes as usize);
 
-    let planes: Vec<Vec<u8>> = if parallel && codes.len() > PARALLEL_THRESHOLD {
-        plane_bits
+    let plane_len = codes.len().div_ceil(8);
+    let span = if opts.chunk_bytes == 0 {
+        plane_len.max(1)
+    } else {
+        opts.chunk_bytes
+    };
+    // Fan every (plane, chunk) pair out as one task: uniform ~chunk-sized work
+    // items keep the rayon pool balanced even though low planes compress far
+    // slower than sparse high planes.
+    let tasks: Vec<&[u8]> = plane_bits
+        .iter()
+        .flat_map(|bits| bits.chunks(span.max(1)))
+        .collect();
+    let compressed: Vec<Vec<u8>> = if parallel && codes.len() > PARALLEL_THRESHOLD {
+        tasks
             .into_par_iter()
-            .map(|bits| lzr_compress(&bits))
+            .map(|bytes| compress_chunk(bytes, &opts))
             .collect()
     } else {
-        plane_bits.iter().map(|bits| lzr_compress(bits)).collect()
+        tasks
+            .into_iter()
+            .map(|bytes| compress_chunk(bytes, &opts))
+            .collect()
     };
+
+    let chunks_per_plane = plane_len.div_ceil(span.max(1)).max(1);
+    let mut it = compressed.into_iter();
+    let planes: Vec<EncodedPlane> = (0..num_planes)
+        .map(|_| EncodedPlane {
+            chunks: (&mut it).take(chunks_per_plane).collect(),
+        })
+        .collect();
 
     EncodedLevel {
         n_values: codes.len(),
         num_planes,
         planes,
         trunc_loss,
+        chunk_bytes: opts.chunk_bytes,
+    }
+}
+
+/// Encode one level's quantization codes into bitplane blocks.
+///
+/// The packed plane bits are byte-identical to the historical bit-at-a-time
+/// coder (see [`scalar`]); only the entropy framing (chunked rANS) and the
+/// implementation (word-parallel) have evolved.
+pub fn encode_level(
+    codes: &[i64],
+    prefix_bits: u8,
+    predictive: bool,
+    parallel: bool,
+) -> EncodedLevel {
+    encode_level_with(
+        codes,
+        prefix_bits,
+        predictive,
+        parallel,
+        EncodeOptions::default(),
+    )
+}
+
+/// Validate a plane range request against a level and its chunk structure.
+fn check_plane_range(
+    level: &EncodedLevel,
+    plane_lo: u8,
+    plane_hi: u8,
+    acc_len: usize,
+) -> Result<()> {
+    if acc_len != level.n_values {
+        return Err(IpcompError::InvalidInput(format!(
+            "accumulator length {acc_len} does not match level size {}",
+            level.n_values
+        )));
+    }
+    if plane_hi > level.num_planes || plane_lo > plane_hi {
+        return Err(IpcompError::InvalidInput(format!(
+            "invalid plane range {plane_lo}..{plane_hi} for level with {} planes",
+            level.num_planes
+        )));
+    }
+    let n_regions = level.num_regions();
+    for p in plane_lo..plane_hi {
+        let have = level.planes[p as usize].chunks.len();
+        if have != n_regions {
+            return Err(IpcompError::CorruptContainer(
+                "plane chunk count does not match the level's chunk grid",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Entropy-decode chunk `k` of plane `p`, validating the decoded size against
+/// the level's chunk grid. Every allocation is bounded by the expected size,
+/// so corrupt chunk headers cannot force runaway memory use.
+fn decode_chunk(level: &EncodedLevel, p: u8, k: usize) -> Result<Vec<u8>> {
+    let expected = level.region_byte_range(k).len();
+    let packed =
+        ipc_codecs::lzr::lzr_decompress_bounded(&level.planes[p as usize].chunks[k], expected)?;
+    if packed.len() != expected {
+        // The plane reader would run off the end (or past it) mid-stream.
+        return Err(IpcompError::Codec(CodecError::UnexpectedEof));
+    }
+    Ok(packed)
+}
+
+/// Undo the predictive coding and scatter one region's decoded plane chunks
+/// into its slice of the accumulators.
+///
+/// `chunks[i]` holds the decoded packed bytes of plane `plane_lo + i` for
+/// this region, most of a region's planes living in cache together. The
+/// prediction is strictly per-coefficient across planes, so a region is
+/// self-contained: bits only mix with the same bit position of higher planes,
+/// which sit at the same offset of their own chunk (or, above `plane_hi`, in
+/// the region's accumulator words).
+#[allow(clippy::too_many_arguments)] // decode parameters travel together
+fn scatter_region(
+    chunks: &mut [Vec<u8>],
+    level: &EncodedLevel,
+    k: usize,
+    plane_lo: u8,
+    plane_hi: u8,
+    prefix_bits: u8,
+    predictive: bool,
+    acc_region: &mut [u64],
+) {
+    let region_len = level.region_byte_range(k).len();
+    let n_words = acc_region.len().div_ceil(64);
+
+    // Undo the prediction as whole-plane XORs over the packed byte streams,
+    // top-down so every more significant plane is already raw when it is
+    // XOR-ed in. Prefix planes at or above `plane_hi` live in the
+    // accumulators (zero on a fresh decode where `plane_hi == num_planes`,
+    // since planes past the significant range are zero by construction); they
+    // are extracted once with a transpose pass per block.
+    if predictive && prefix_bits > 0 {
+        let prefix_top = (plane_hi as usize + prefix_bits as usize).min(64);
+        let acc_prefix: Vec<Vec<u64>> = if plane_hi < level.num_planes {
+            let count = prefix_top - plane_hi as usize;
+            let mut extracted = vec![vec![0u64; n_words]; count];
+            for (b, chunk) in acc_region.chunks(64).enumerate() {
+                let block = PlaneBlock::gather(chunk);
+                for (j, plane) in extracted.iter_mut().enumerate() {
+                    plane[b] = block.plane(plane_hi as usize + j);
+                }
+            }
+            extracted
+        } else {
+            Vec::new()
+        };
+        for p in (plane_lo..plane_hi).rev() {
+            for j in 1..=prefix_bits as usize {
+                let q = p as usize + j;
+                if q >= 64 {
+                    break;
+                }
+                if q < plane_hi as usize {
+                    // Already undone this call: split_at_mut gives the borrow.
+                    let (lo_half, hi_half) = chunks.split_at_mut(q - plane_lo as usize);
+                    let dst = &mut lo_half[(p - plane_lo) as usize][..region_len];
+                    let src = &hi_half[0][..region_len];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d ^= s;
+                    }
+                } else if q - (plane_hi as usize) < acc_prefix.len() {
+                    let src = &acc_prefix[q - plane_hi as usize];
+                    let dst = &mut chunks[(p - plane_lo) as usize];
+                    xor_words_into_bytes(&mut dst[..region_len], src);
+                }
+                // Planes past both ranges are zero: nothing to XOR.
+            }
+        }
+    }
+
+    // Scatter the raw planes into the accumulators — one transpose per
+    // 64-coefficient block, OR-ed on top of whatever planes are already
+    // loaded.
+    for (b, block_words) in acc_region.chunks_mut(64).enumerate() {
+        let base = b * 8;
+        let avail = region_len - base;
+        let mut rows = [0u64; 64];
+        if avail >= 8 {
+            for (i, plane) in chunks.iter().enumerate() {
+                let bytes: [u8; 8] = plane[base..base + 8].try_into().expect("full block");
+                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
+                    u64::from_be_bytes(bytes);
+            }
+        } else {
+            for (i, plane) in chunks.iter().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes[..avail].copy_from_slice(&plane[base..region_len]);
+                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
+                    u64::from_be_bytes(bytes);
+            }
+        }
+        ipc_codecs::bitslice::transpose_64x64(&mut rows);
+        for (word, row) in block_words.iter_mut().zip(rows.iter()) {
+            *word |= row;
+        }
     }
 }
 
@@ -244,8 +571,11 @@ pub fn encode_level(
 /// predictive coding is undone using those more significant bits. The newly decoded
 /// bits are OR-ed into `acc`.
 ///
-/// All requested planes are entropy-decoded (in parallel for large levels) before
-/// any accumulator is touched, so a corrupt plane block leaves `acc` unmodified.
+/// Work fans out across the rayon pool at chunk granularity: every
+/// `(plane, chunk)` pair entropy-decodes as its own task, then each chunk
+/// region undoes prediction and scatters independently. All requested chunks
+/// are entropy-decoded before any accumulator is touched, so a corrupt block
+/// leaves `acc` unmodified.
 pub fn decode_planes_into(
     level: &EncodedLevel,
     plane_lo: u8,
@@ -254,129 +584,152 @@ pub fn decode_planes_into(
     predictive: bool,
     acc: &mut [u64],
 ) -> Result<()> {
-    if acc.len() != level.n_values {
-        return Err(IpcompError::InvalidInput(format!(
-            "accumulator length {} does not match level size {}",
-            acc.len(),
-            level.n_values
-        )));
-    }
-    if plane_hi > level.num_planes || plane_lo > plane_hi {
-        return Err(IpcompError::InvalidInput(format!(
-            "invalid plane range {plane_lo}..{plane_hi} for level with {} planes",
-            level.num_planes
-        )));
-    }
+    check_plane_range(level, plane_lo, plane_hi, acc.len())?;
     if plane_lo == plane_hi || level.n_values == 0 {
         return Ok(());
     }
-    let n = level.n_values;
-    let plane_len = n.div_ceil(8);
-    let n_words = n.div_ceil(64);
-    let parallel = n > PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
+    let n_regions = level.num_regions();
+    let n_planes = (plane_hi - plane_lo) as usize;
+    let parallel = level.n_values > PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
 
-    // Stage 1: entropy-decode every requested plane block into its packed
-    // MSB-first byte stream. Independent per plane, so large levels fan the LZR
-    // work out across the rayon pool.
-    let decompress = |p: u8| -> Result<Vec<u8>> {
-        let packed = lzr_decompress(&level.planes[p as usize])?;
-        if packed.len() < plane_len {
-            // The scalar reader would run off the end of this plane mid-stream.
-            return Err(IpcompError::Codec(CodecError::UnexpectedEof));
-        }
-        Ok(packed)
-    };
-    let decompressed: Vec<Result<Vec<u8>>> = if parallel && plane_hi - plane_lo > 1 {
-        (plane_lo..plane_hi)
-            .collect::<Vec<u8>>()
-            .into_par_iter()
-            .map(decompress)
-            .collect()
+    // Stage 1: entropy-decode every requested chunk. Tasks are uniform-sized
+    // regardless of how compressible each plane is, so the pool stays busy.
+    let tasks: Vec<(u8, usize)> = (plane_lo..plane_hi)
+        .flat_map(|p| (0..n_regions).map(move |k| (p, k)))
+        .collect();
+    let decode = |(p, k): (u8, usize)| decode_chunk(level, p, k);
+    let decoded: Vec<Result<Vec<u8>>> = if parallel && tasks.len() > 1 {
+        tasks.into_par_iter().map(decode).collect()
     } else {
-        (plane_lo..plane_hi).map(decompress).collect()
+        tasks.into_iter().map(decode).collect()
     };
-    let mut planes: Vec<Vec<u8>> = Vec::with_capacity(decompressed.len());
-    for plane in decompressed {
-        planes.push(plane?);
+    // Regroup task results (plane-major) into per-region chunk sets.
+    let mut regions: Vec<Vec<Vec<u8>>> = (0..n_regions)
+        .map(|_| Vec::with_capacity(n_planes))
+        .collect();
+    for (t, chunk) in decoded.into_iter().enumerate() {
+        regions[t % n_regions].push(chunk?);
     }
 
-    // Stage 2: undo the prediction as whole-plane XORs over the packed byte
-    // streams, top-down so every more significant plane is already raw when it
-    // is XOR-ed in. Prefix planes at or above `plane_hi` live in the
-    // accumulators (zero on a fresh decode where `plane_hi == num_planes`,
-    // since planes past the significant range are zero by construction); they
-    // are extracted once with a transpose pass per block.
-    if predictive && prefix_bits > 0 {
-        let prefix_top = (plane_hi as usize + prefix_bits as usize).min(64);
-        let acc_prefix: Vec<Vec<u64>> = if plane_hi < level.num_planes {
-            let count = prefix_top - plane_hi as usize;
-            let mut extracted = vec![vec![0u64; n_words]; count];
-            for (b, chunk) in acc.chunks(64).enumerate() {
-                let block = PlaneBlock::gather(chunk);
-                for (j, plane) in extracted.iter_mut().enumerate() {
-                    plane[b] = block.plane(plane_hi as usize + j);
-                }
-            }
-            extracted
-        } else {
-            Vec::new()
-        };
-        for p in (plane_lo..plane_hi).rev() {
-            for k in 1..=prefix_bits as usize {
-                let q = p as usize + k;
-                if q >= 64 {
-                    break;
-                }
-                if q < plane_hi as usize {
-                    // Already undone this call: split_at_mut gives the borrow.
-                    let (lo_half, hi_half) = planes.split_at_mut(q - plane_lo as usize);
-                    let dst = &mut lo_half[(p - plane_lo) as usize][..plane_len];
-                    let src = &hi_half[0][..plane_len];
-                    for (d, s) in dst.iter_mut().zip(src) {
-                        *d ^= s;
-                    }
-                } else if q - (plane_hi as usize) < acc_prefix.len() {
-                    let src = &acc_prefix[q - plane_hi as usize];
-                    let dst = &mut planes[(p - plane_lo) as usize];
-                    xor_words_into_bytes(&mut dst[..plane_len], src);
-                }
-                // Planes past both ranges are zero: nothing to XOR.
-            }
-        }
-    }
-
-    // Stage 3: scatter the raw planes into the accumulators — one transpose per
-    // 64-coefficient block, OR-ed on top of whatever planes are already loaded.
-    // Blocks are independent, so they spread across threads.
-    let scatter_block = |(b, chunk): (usize, &mut [u64])| {
-        let base = b * 8;
-        let avail = plane_len - base;
-        let mut rows = [0u64; 64];
-        if avail >= 8 {
-            for (i, plane) in planes.iter().enumerate() {
-                let bytes: [u8; 8] = plane[base..base + 8].try_into().expect("full block");
-                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
-                    u64::from_be_bytes(bytes);
-            }
-        } else {
-            for (i, plane) in planes.iter().enumerate() {
-                let mut bytes = [0u8; 8];
-                bytes[..avail].copy_from_slice(&plane[base..plane_len]);
-                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
-                    u64::from_be_bytes(bytes);
-            }
-        }
-        ipc_codecs::bitslice::transpose_64x64(&mut rows);
-        for (word, row) in chunk.iter_mut().zip(rows.iter()) {
-            *word |= row;
-        }
+    // Stage 2: per-region prediction undo + scatter, each region owning its
+    // slice of the accumulators.
+    type RegionTask<'a> = (usize, Vec<Vec<u8>>, &'a mut [u64]);
+    let region_coeffs = level.region_bytes() * 8;
+    let work: Vec<RegionTask<'_>> = regions
+        .into_iter()
+        .zip(acc.chunks_mut(region_coeffs))
+        .enumerate()
+        .map(|(k, (chunks, acc_region))| (k, chunks, acc_region))
+        .collect();
+    let scatter = |(k, mut chunks, acc_region): (usize, Vec<Vec<u8>>, &mut [u64])| {
+        scatter_region(
+            &mut chunks,
+            level,
+            k,
+            plane_lo,
+            plane_hi,
+            prefix_bits,
+            predictive,
+            acc_region,
+        );
     };
-    if parallel {
-        acc.par_chunks_mut(64).enumerate().for_each(scatter_block);
+    if parallel && n_regions > 1 {
+        work.into_par_iter().for_each(scatter);
     } else {
-        acc.chunks_mut(64).enumerate().for_each(scatter_block);
+        work.into_iter().for_each(scatter);
     }
     Ok(())
+}
+
+/// Streaming region-at-a-time decoder over a level's chunk grid.
+///
+/// Yields the same accumulator contents as [`decode_planes_into`] but decodes
+/// one chunk region per call, so peak memory is bounded by
+/// `(plane span) × region size` instead of the whole level, and callers can
+/// interleave consumption with loading (paper Fig. 2's incremental
+/// retrieval, now at sub-plane granularity).
+///
+/// Atomicity is per region: a corrupt chunk fails that region's call before
+/// its accumulator slice is touched, but previously streamed regions remain
+/// updated.
+pub struct PlaneStream<'a> {
+    level: &'a EncodedLevel,
+    plane_lo: u8,
+    plane_hi: u8,
+    prefix_bits: u8,
+    predictive: bool,
+    next_region: usize,
+}
+
+impl<'a> PlaneStream<'a> {
+    /// Start streaming planes `[plane_lo, plane_hi)` of `level`; `acc_len`
+    /// must be the caller's accumulator length (validated once here).
+    pub fn new(
+        level: &'a EncodedLevel,
+        plane_lo: u8,
+        plane_hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+        acc_len: usize,
+    ) -> Result<Self> {
+        check_plane_range(level, plane_lo, plane_hi, acc_len)?;
+        Ok(Self {
+            level,
+            plane_lo,
+            plane_hi,
+            prefix_bits,
+            predictive,
+            next_region: 0,
+        })
+    }
+
+    /// Total number of chunk regions this stream will produce.
+    pub fn num_regions(&self) -> usize {
+        if self.plane_lo == self.plane_hi || self.level.n_values == 0 {
+            0
+        } else {
+            self.level.num_regions()
+        }
+    }
+
+    /// Compressed bytes the `k`-th region reads across the streamed planes.
+    pub fn region_compressed_bytes(&self, k: usize) -> usize {
+        (self.plane_lo..self.plane_hi)
+            .map(|p| self.level.planes[p as usize].chunks[k].len())
+            .sum()
+    }
+
+    /// Decode the next region into the matching slice of `acc` (the full
+    /// level accumulator, same as [`decode_planes_into`]'s). Returns the
+    /// coefficient range that was completed, or `None` when the stream is
+    /// exhausted.
+    pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<std::ops::Range<usize>>> {
+        if acc.len() != self.level.n_values {
+            return Err(IpcompError::InvalidInput(
+                "accumulator length changed mid-stream".into(),
+            ));
+        }
+        if self.next_region >= self.num_regions() {
+            return Ok(None);
+        }
+        let k = self.next_region;
+        let mut chunks: Vec<Vec<u8>> = (self.plane_lo..self.plane_hi)
+            .map(|p| decode_chunk(self.level, p, k))
+            .collect::<Result<_>>()?;
+        let coeffs = self.level.region_coeff_range(k);
+        scatter_region(
+            &mut chunks,
+            self.level,
+            k,
+            self.plane_lo,
+            self.plane_hi,
+            self.prefix_bits,
+            self.predictive,
+            &mut acc[coeffs.clone()],
+        );
+        self.next_region += 1;
+        Ok(Some(coeffs))
+    }
 }
 
 /// XOR packed MSB-first plane words into a packed plane byte stream in place.
@@ -423,14 +776,15 @@ pub fn decode_level(
 
 /// Historical bit-at-a-time implementation, kept as the reference oracle for the
 /// word-parallel coder: property tests assert byte-identical payloads and decode
-/// results, and the benchmark harness measures the speedup against it.
+/// results, and the benchmark harness measures the speedup against it. The
+/// entropy stage (chunking + rANS dispatch) is shared with the word-parallel
+/// path, so the comparison isolates the bit-manipulation layer.
 #[cfg(any(test, feature = "reference-scalar"))]
 pub mod scalar {
-    use super::EncodedLevel;
+    use super::{EncodeOptions, EncodedLevel, EncodedPlane};
     use crate::error::{IpcompError, Result};
     use ipc_codecs::bitstream::{BitReader, BitWriter};
     use ipc_codecs::negabinary::{required_bitplanes, to_negabinary, truncation_loss};
-    use ipc_codecs::{lzr_compress, lzr_decompress};
 
     /// XOR of the `prefix_bits` bits immediately above plane `p` in word `nb`.
     #[inline]
@@ -445,8 +799,13 @@ pub mod scalar {
         parity
     }
 
-    /// Bit-at-a-time [`super::encode_level`].
-    pub fn encode_level(codes: &[i64], prefix_bits: u8, predictive: bool) -> EncodedLevel {
+    /// Bit-at-a-time [`super::encode_level_with`].
+    pub fn encode_level_with(
+        codes: &[i64],
+        prefix_bits: u8,
+        predictive: bool,
+        opts: EncodeOptions,
+    ) -> EncodedLevel {
         let nb: Vec<u64> = codes.iter().map(|&c| to_negabinary(c)).collect();
         let num_planes = required_bitplanes(codes).min(63) as u8;
         let trunc_loss = {
@@ -464,7 +823,13 @@ pub mod scalar {
             trunc_loss
         };
 
-        let encode_plane = |p: u32| -> Vec<u8> {
+        let plane_len = codes.len().div_ceil(8);
+        let span = if opts.chunk_bytes == 0 {
+            plane_len.max(1)
+        } else {
+            opts.chunk_bytes
+        };
+        let encode_plane = |p: u32| -> EncodedPlane {
             let mut writer = BitWriter::with_capacity_bits(nb.len());
             for &w in &nb {
                 let raw = (w >> p) & 1;
@@ -475,16 +840,37 @@ pub mod scalar {
                 };
                 writer.write_bit(bit == 1);
             }
-            lzr_compress(&writer.into_bytes())
+            let packed = writer.into_bytes();
+            EncodedPlane {
+                chunks: packed
+                    .chunks(span.max(1))
+                    .map(|c| super::compress_chunk(c, &opts))
+                    .collect(),
+            }
         };
-        let planes: Vec<Vec<u8>> = (0..num_planes as u32).map(encode_plane).collect();
+        let planes: Vec<EncodedPlane> = (0..num_planes as u32).map(encode_plane).collect();
 
         EncodedLevel {
             n_values: codes.len(),
             num_planes,
             planes,
             trunc_loss,
+            chunk_bytes: opts.chunk_bytes,
         }
+    }
+
+    /// Bit-at-a-time [`super::encode_level`].
+    pub fn encode_level(codes: &[i64], prefix_bits: u8, predictive: bool) -> EncodedLevel {
+        encode_level_with(codes, prefix_bits, predictive, EncodeOptions::default())
+    }
+
+    /// Reassemble the full packed byte stream of one plane from its chunks.
+    fn unpack_plane(level: &EncodedLevel, p: u8) -> Result<Vec<u8>> {
+        let mut packed = Vec::with_capacity(level.plane_len());
+        for k in 0..level.planes[p as usize].chunks.len() {
+            packed.extend_from_slice(&super::decode_chunk(level, p, k)?);
+        }
+        Ok(packed)
     }
 
     /// Bit-at-a-time [`super::decode_planes_into`].
@@ -510,7 +896,7 @@ pub mod scalar {
             )));
         }
         for p in (plane_lo..plane_hi).rev() {
-            let packed = lzr_decompress(&level.planes[p as usize])?;
+            let packed = unpack_plane(level, p)?;
             let mut reader = BitReader::new(&packed);
             for word in acc.iter_mut() {
                 let encoded = reader.read_bit()? as u64;
@@ -571,6 +957,15 @@ mod tests {
             .collect()
     }
 
+    /// Small chunk size that forces multi-chunk planes on unit-test-sized
+    /// levels (must stay a multiple of 8).
+    fn tiny_chunks() -> EncodeOptions {
+        EncodeOptions {
+            chunk_bytes: 64,
+            rans: true,
+        }
+    }
+
     #[test]
     fn full_decode_roundtrip() {
         let codes = sample_codes(5000, 1 << 20, 1);
@@ -579,6 +974,104 @@ mod tests {
             let dec = decode_level(&enc, enc.num_planes, 2, predictive).unwrap();
             assert_eq!(dec, codes);
         }
+    }
+
+    #[test]
+    fn chunked_roundtrip_at_every_chunk_size() {
+        let codes = sample_codes(3000, 1 << 18, 21);
+        let reference = decode_level(
+            &encode_level(&codes, 2, true, false),
+            encode_level(&codes, 2, true, false).num_planes,
+            2,
+            true,
+        )
+        .unwrap();
+        for chunk_bytes in [0usize, 8, 64, 128, 1024, CHUNK_BYTES] {
+            let enc = encode_level_with(
+                &codes,
+                2,
+                true,
+                false,
+                EncodeOptions {
+                    chunk_bytes,
+                    rans: true,
+                },
+            );
+            let expected_chunks = if chunk_bytes == 0 {
+                1
+            } else {
+                codes.len().div_ceil(8).div_ceil(chunk_bytes)
+            };
+            for plane in &enc.planes {
+                assert_eq!(
+                    plane.chunks.len(),
+                    expected_chunks,
+                    "chunk_bytes={chunk_bytes}"
+                );
+            }
+            let dec = decode_level(&enc, enc.num_planes, 2, true).unwrap();
+            assert_eq!(dec, reference, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn chunked_and_monolithic_decode_identically_at_every_depth() {
+        let codes = sample_codes(2000, 1 << 16, 22);
+        let mono = encode_level_with(
+            &codes,
+            2,
+            true,
+            false,
+            EncodeOptions {
+                chunk_bytes: 0,
+                rans: true,
+            },
+        );
+        let chunked = encode_level_with(&codes, 2, true, false, tiny_chunks());
+        assert_eq!(mono.num_planes, chunked.num_planes);
+        for loaded in 0..=mono.num_planes {
+            let a = decode_level(&mono, loaded, 2, true).unwrap();
+            let b = decode_level(&chunked, loaded, 2, true).unwrap();
+            assert_eq!(a, b, "loaded={loaded}");
+        }
+    }
+
+    #[test]
+    fn plane_stream_matches_bulk_decode() {
+        let codes = sample_codes(4000, 1 << 17, 23);
+        let enc = encode_level_with(&codes, 2, true, false, tiny_chunks());
+        let hi = enc.num_planes;
+        let lo = hi / 3;
+
+        let mut bulk = vec![0u64; enc.n_values];
+        decode_planes_into(&enc, lo, hi, 2, true, &mut bulk).unwrap();
+
+        let mut streamed = vec![0u64; enc.n_values];
+        let mut stream = PlaneStream::new(&enc, lo, hi, 2, true, streamed.len()).unwrap();
+        let mut regions = 0usize;
+        let mut last_end = 0usize;
+        while let Some(range) = stream.decode_next(&mut streamed).unwrap() {
+            // Regions arrive in coefficient order, without gaps.
+            assert_eq!(range.start, last_end);
+            last_end = range.end;
+            regions += 1;
+            // Everything up to `range.end` is already final.
+            assert_eq!(streamed[..range.end], bulk[..range.end]);
+        }
+        assert_eq!(last_end, enc.n_values);
+        assert_eq!(regions, stream.num_regions());
+        assert_eq!(streamed, bulk);
+    }
+
+    #[test]
+    fn plane_stream_region_byte_accounting_covers_payload() {
+        let codes = sample_codes(3000, 1 << 14, 24);
+        let enc = encode_level_with(&codes, 2, true, false, tiny_chunks());
+        let stream = PlaneStream::new(&enc, 0, enc.num_planes, 2, true, codes.len()).unwrap();
+        let total: usize = (0..stream.num_regions())
+            .map(|k| stream.region_compressed_bytes(k))
+            .sum();
+        assert_eq!(total, enc.payload_bytes());
     }
 
     #[test]
@@ -719,7 +1212,7 @@ mod tests {
         let codes = sample_codes(900, 1 << 12, 9);
         let mut enc = encode_level(&codes, 2, true, false);
         let top = enc.num_planes as usize - 1;
-        enc.planes[top] = ipc_codecs::lzr_compress(&[0u8; 4]); // too short for 900 bits
+        enc.planes[top] = EncodedPlane::monolithic(lzr_compress(&[0u8; 4])); // too short for 900 bits
         let mut acc = vec![0u64; 900];
         let err = decode_planes_into(&enc, 0, enc.num_planes, 2, true, &mut acc);
         assert!(err.is_err());
@@ -729,22 +1222,38 @@ mod tests {
         );
     }
 
+    #[test]
+    fn mismatched_chunk_grid_rejected() {
+        let codes = sample_codes(2000, 1 << 12, 25);
+        let mut enc = encode_level_with(&codes, 2, true, false, tiny_chunks());
+        // Drop a chunk from one plane: the grid no longer matches.
+        enc.planes[0].chunks.pop();
+        let mut acc = vec![0u64; 2000];
+        assert!(matches!(
+            decode_planes_into(&enc, 0, enc.num_planes, 2, true, &mut acc),
+            Err(IpcompError::CorruptContainer(_))
+        ));
+    }
+
     // ---- word-parallel vs scalar reference oracle ---------------------------
 
     /// The word-parallel encoder must produce byte-identical payloads to the
     /// bit-at-a-time reference for every prefix width, with and without
-    /// prediction.
+    /// prediction — including across chunked entropy layouts.
     #[test]
     fn encoder_is_bit_identical_to_scalar_reference() {
         let codes = sample_codes(3000, 1 << 17, 10);
         for prefix_bits in 0..=4u8 {
             for predictive in [false, true] {
-                let word = encode_level(&codes, prefix_bits, predictive, false);
-                let reference = scalar::encode_level(&codes, prefix_bits, predictive);
-                assert_eq!(
-                    word, reference,
-                    "prefix_bits={prefix_bits} predictive={predictive}"
-                );
+                for opts in [EncodeOptions::default(), tiny_chunks()] {
+                    let word = encode_level_with(&codes, prefix_bits, predictive, false, opts);
+                    let reference =
+                        scalar::encode_level_with(&codes, prefix_bits, predictive, opts);
+                    assert_eq!(
+                        word, reference,
+                        "prefix_bits={prefix_bits} predictive={predictive} opts={opts:?}"
+                    );
+                }
             }
         }
     }
@@ -767,15 +1276,20 @@ mod tests {
         #![proptest_config(proptest::ProptestConfig::with_cases(48))]
 
         /// Word-parallel encode is byte-identical to the scalar oracle on random
-        /// code vectors for all supported prefix widths.
+        /// code vectors for all supported prefix widths and random chunk grids.
         #[test]
         fn prop_encode_bit_identical(
             codes in proptest::collection::vec(-1_000_000i64..1_000_000, 0..700),
             prefix_bits in 0u8..=4,
             predictive in proptest::any::<bool>(),
+            chunk_step in 0usize..6,
         ) {
-            let word = encode_level(&codes, prefix_bits, predictive, false);
-            let reference = scalar::encode_level(&codes, prefix_bits, predictive);
+            let opts = EncodeOptions {
+                chunk_bytes: chunk_step * 24, // 0, 24, 48, ... — multiples of 8
+                rans: true,
+            };
+            let word = encode_level_with(&codes, prefix_bits, predictive, false, opts);
+            let reference = scalar::encode_level_with(&codes, prefix_bits, predictive, opts);
             proptest::prop_assert_eq!(word, reference);
         }
 
@@ -821,6 +1335,26 @@ mod tests {
             }
             let decoded = ipc_codecs::negabinary::from_negabinary_slice(&word_acc);
             proptest::prop_assert_eq!(decoded, codes);
+        }
+
+        /// Chunked streaming decode lands on the same accumulators as bulk
+        /// decode for arbitrary plane sub-ranges and chunk sizes.
+        #[test]
+        fn prop_plane_stream_matches_bulk(
+            codes in proptest::collection::vec(-200_000i64..200_000, 1..500),
+            chunk_step in 1usize..6,
+            range_seed in proptest::any::<u64>(),
+        ) {
+            let opts = EncodeOptions { chunk_bytes: chunk_step * 8, rans: true };
+            let enc = encode_level_with(&codes, 2, true, false, opts);
+            let hi = enc.num_planes;
+            let lo = if hi == 0 { 0 } else { (range_seed % (hi as u64 + 1)) as u8 };
+            let mut bulk = vec![0u64; enc.n_values];
+            decode_planes_into(&enc, lo, hi, 2, true, &mut bulk).unwrap();
+            let mut streamed = vec![0u64; enc.n_values];
+            let mut stream = PlaneStream::new(&enc, lo, hi, 2, true, streamed.len()).unwrap();
+            while stream.decode_next(&mut streamed).unwrap().is_some() {}
+            proptest::prop_assert_eq!(streamed, bulk);
         }
     }
 }

@@ -3,7 +3,7 @@
 use ipc_tensor::ArrayD;
 use rayon::prelude::*;
 
-use crate::bitplane::{encode_level, EncodedLevel};
+use crate::bitplane::{encode_level_with, EncodeOptions, EncodedLevel};
 use crate::config::Config;
 use crate::container::{encode_anchors, Compressed, Header};
 use crate::error::{IpcompError, Result};
@@ -31,6 +31,12 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
         return Err(IpcompError::InvalidInput(
             "input contains non-finite values".into(),
         ));
+    }
+    if !config.chunk_bytes.is_multiple_of(8) {
+        return Err(IpcompError::InvalidInput(format!(
+            "chunk_bytes must be a multiple of 8 (64-coefficient transpose alignment), got {}",
+            config.chunk_bytes
+        )));
     }
     let shape = data.shape().clone();
     let orig = data.as_slice();
@@ -66,12 +72,17 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
     }
 
     // Entropy / bitplane stage — independent per level, so it can run in parallel.
+    let opts = EncodeOptions {
+        chunk_bytes: config.chunk_bytes,
+        ..EncodeOptions::default()
+    };
     let encode = |codes: &Vec<i64>| -> EncodedLevel {
-        encode_level(
+        encode_level_with(
             codes,
             config.prefix_bits,
             config.predictive_coding,
             config.parallel_encoding,
+            opts,
         )
     };
     let encoded_levels: Vec<EncodedLevel> = if config.parallel_encoding {

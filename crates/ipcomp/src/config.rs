@@ -61,6 +61,11 @@ pub struct Config {
     pub prefix_bits: u8,
     /// Run per-level bitplane encoding on the rayon thread pool.
     pub parallel_encoding: bool,
+    /// Packed plane bytes per entropy chunk (must be a multiple of 8).
+    /// Smaller chunks stream and parallelize at finer granularity for a small
+    /// ratio cost; `0` stores one monolithic block per plane, the version-1
+    /// layout.
+    pub chunk_bytes: usize,
 }
 
 impl Default for Config {
@@ -71,6 +76,7 @@ impl Default for Config {
             predictive_coding: true,
             prefix_bits: 2,
             parallel_encoding: true,
+            chunk_bytes: crate::bitplane::CHUNK_BYTES,
         }
     }
 }

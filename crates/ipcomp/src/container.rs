@@ -5,20 +5,47 @@
 //! one independently addressable block per bitplane (the numbered blocks of the
 //! paper's Fig. 2). Retrieval reads the header + anchors + metadata, asks the
 //! optimizer which plane blocks to fetch, and loads only those.
+//!
+//! ## Versions
+//!
+//! * **v1** (PR 1) — each plane is a single monolithic LZR block, written as
+//!   `varint length + bytes` inline with the level metadata. Still read;
+//!   decodes byte-identically.
+//! * **v2** (current) — planes are split into fixed-size entropy chunks
+//!   ([`crate::bitplane::CHUNK_BYTES`] packed bytes each) and the level
+//!   metadata carries a **chunk index**: every chunk's compressed size, ahead
+//!   of any payload byte. A reader can therefore compute the absolute offset
+//!   of any `(level, plane, chunk)` triple from metadata alone and fetch
+//!   chunks independently — which is what lets decode fan out evenly over
+//!   rayon and stream planes region by region. Payload bytes follow the
+//!   metadata of each level, plane-major.
+//!
+//! Deserialization is hardened: every count and length field is validated
+//! against the remaining buffer and the header geometry before any
+//! proportional allocation, so corrupt or adversarial containers fail with
+//! [`IpcompError`] instead of panicking or ballooning memory.
 
 use ipc_codecs::byteio::{read_bytes, read_f64, read_u32, write_bytes, write_f64, write_u32};
 use ipc_codecs::varint::{read_varint, varint_len, write_varint};
-use ipc_codecs::{lzr_compress, lzr_decompress, zigzag_decode, zigzag_encode};
+use ipc_codecs::{lzr_compress, zigzag_decode, zigzag_encode};
+
 use ipc_tensor::Shape;
 
-use crate::bitplane::EncodedLevel;
+use crate::bitplane::{EncodedLevel, EncodedPlane};
 use crate::config::Interpolation;
 use crate::error::{IpcompError, Result};
 
 /// Magic bytes identifying an IPComp container.
 pub const MAGIC: &[u8; 4] = b"IPCP";
-/// Container format version.
-pub const VERSION: u32 = 1;
+/// Current container format version (written by [`Compressed::to_bytes`]).
+pub const VERSION: u32 = 2;
+/// Oldest container format version still readable.
+pub const MIN_VERSION: u32 = 1;
+
+/// Upper bound on the number of scalar elements a header may declare
+/// (2^48 ≈ 280 T elements); anything larger is treated as corrupt before any
+/// allocation is attempted.
+const MAX_ELEMENTS: u64 = 1 << 48;
 
 /// Container header: everything needed to plan a retrieval without touching payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,8 +105,32 @@ impl Compressed {
         self.level_number(idx) <= self.header.progressive_levels
     }
 
+    /// Serialized size of one level's metadata record (sizes, loss table, and
+    /// the chunk index — everything except payload bytes).
+    fn level_metadata_bytes(level: &EncodedLevel) -> usize {
+        varint_len(level.n_values as u64)
+            + 1
+            + level
+                .trunc_loss
+                .iter()
+                .map(|&v| varint_len(v))
+                .sum::<usize>()
+            + varint_len(level.chunk_bytes as u64)
+            + level
+                .planes
+                .iter()
+                .map(|p| {
+                    varint_len(p.chunks.len() as u64)
+                        + p.chunks
+                            .iter()
+                            .map(|c| varint_len(c.len() as u64))
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
     /// Bytes that every retrieval must load regardless of fidelity: header, anchors,
-    /// and per-level metadata (plane sizes + truncation-loss tables). Computed to
+    /// and per-level metadata (chunk index + truncation-loss tables). Computed to
     /// mirror [`Compressed::to_bytes`] exactly, so
     /// `base_bytes() + payload_bytes() == to_bytes().len()`.
     pub fn base_bytes(&self) -> usize {
@@ -101,19 +152,7 @@ impl Compressed {
             + 8; // value range
         let anchors = varint_len(self.anchors.len() as u64) + self.anchors.len();
         let levels_header = varint_len(self.levels.len() as u64);
-        let metadata: usize = self
-            .levels
-            .iter()
-            .map(|l| {
-                varint_len(l.n_values as u64)
-                    + 1
-                    + l.trunc_loss.iter().map(|&v| varint_len(v)).sum::<usize>()
-                    + l.planes
-                        .iter()
-                        .map(|p| varint_len(p.len() as u64))
-                        .sum::<usize>()
-            })
-            .sum();
+        let metadata: usize = self.levels.iter().map(Self::level_metadata_bytes).sum();
         header + anchors + levels_header + metadata
     }
 
@@ -127,7 +166,7 @@ impl Compressed {
         self.base_bytes() + self.payload_bytes()
     }
 
-    /// Serialize the container to a byte buffer.
+    /// Serialize the container to a byte buffer (current format version).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_bytes() + 64);
         out.extend_from_slice(MAGIC);
@@ -153,14 +192,28 @@ impl Compressed {
             for &loss in &level.trunc_loss {
                 write_varint(&mut out, loss);
             }
+            // Chunk index first (all sizes, no payload), then the payload
+            // bytes plane-major: a reader can address any chunk from the
+            // metadata alone.
+            write_varint(&mut out, level.chunk_bytes as u64);
             for plane in &level.planes {
-                write_bytes(&mut out, plane);
+                write_varint(&mut out, plane.chunks.len() as u64);
+                for chunk in &plane.chunks {
+                    write_varint(&mut out, chunk.len() as u64);
+                }
+            }
+            for plane in &level.planes {
+                for chunk in &plane.chunks {
+                    out.extend_from_slice(chunk);
+                }
             }
         }
         out
     }
 
-    /// Deserialize a container produced by [`Compressed::to_bytes`].
+    /// Deserialize a container produced by [`Compressed::to_bytes`] — either
+    /// the current version-2 chunked layout or the original version-1
+    /// monolithic layout.
     pub fn from_bytes(buf: &[u8]) -> Result<Self> {
         let mut pos = 0usize;
         let magic = buf
@@ -171,7 +224,7 @@ impl Compressed {
         }
         pos += 4;
         let version = read_u32(buf, &mut pos)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(IpcompError::CorruptContainer("unsupported version"));
         }
         let ndim = read_varint(buf, &mut pos)? as usize;
@@ -179,8 +232,14 @@ impl Compressed {
             return Err(IpcompError::CorruptContainer("invalid dimension count"));
         }
         let mut dims = Vec::with_capacity(ndim);
+        let mut elements: u64 = 1;
         for _ in 0..ndim {
-            dims.push(read_varint(buf, &mut pos)? as usize);
+            let d = read_varint(buf, &mut pos)?;
+            elements = elements.saturating_mul(d.max(1));
+            dims.push(d as usize);
+        }
+        if dims.contains(&0) || elements > MAX_ELEMENTS {
+            return Err(IpcompError::CorruptContainer("implausible dimensions"));
         }
         let error_bound = read_f64(buf, &mut pos)?;
         let interp_id = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))?;
@@ -198,9 +257,20 @@ impl Compressed {
         let anchors = read_bytes(buf, &mut pos)?.to_vec();
 
         let n_levels = read_varint(buf, &mut pos)? as usize;
+        // Each level record costs at least 3 bytes, so a count outrunning the
+        // buffer is corrupt; checking first bounds the preallocation.
+        if n_levels > buf.len() {
+            return Err(IpcompError::CorruptContainer("implausible level count"));
+        }
         let mut levels = Vec::with_capacity(n_levels);
         for _ in 0..n_levels {
-            let n_values = read_varint(buf, &mut pos)? as usize;
+            let n_values = read_varint(buf, &mut pos)?;
+            if n_values > elements {
+                return Err(IpcompError::CorruptContainer(
+                    "level larger than the whole field",
+                ));
+            }
+            let n_values = n_values as usize;
             let num_planes = *buf.get(pos).ok_or(IpcompError::CorruptContainer("eof"))?;
             pos += 1;
             if num_planes > 63 {
@@ -210,16 +280,32 @@ impl Compressed {
             for _ in 0..=num_planes {
                 trunc_loss.push(read_varint(buf, &mut pos)?);
             }
-            let mut planes = Vec::with_capacity(num_planes as usize);
-            for _ in 0..num_planes {
-                planes.push(read_bytes(buf, &mut pos)?.to_vec());
-            }
+            let (chunk_bytes, planes) = if version == 1 {
+                // v1: planes are single `varint length + bytes` blocks.
+                let mut planes = Vec::with_capacity(num_planes as usize);
+                for _ in 0..num_planes {
+                    planes.push(EncodedPlane::monolithic(
+                        read_bytes(buf, &mut pos)?.to_vec(),
+                    ));
+                }
+                (0usize, planes)
+            } else {
+                Self::read_v2_level_blocks(buf, &mut pos, n_values, num_planes)?
+            };
             levels.push(EncodedLevel {
                 n_values,
                 num_planes,
                 planes,
                 trunc_loss,
+                chunk_bytes,
             });
+        }
+        // One encoded level per interpolation level, always: the retrieval
+        // paths compute `num_levels - idx`, which must never underflow.
+        if levels.len() != num_levels as usize {
+            return Err(IpcompError::CorruptContainer(
+                "level list does not match declared level count",
+            ));
         }
 
         Ok(Self {
@@ -237,6 +323,70 @@ impl Compressed {
             levels,
         })
     }
+
+    /// Parse one v2 level's chunk index and payload into planes.
+    fn read_v2_level_blocks(
+        buf: &[u8],
+        pos: &mut usize,
+        n_values: usize,
+        num_planes: u8,
+    ) -> Result<(usize, Vec<EncodedPlane>)> {
+        let chunk_bytes = read_varint(buf, pos)? as usize;
+        let plane_len = n_values.div_ceil(8);
+        if chunk_bytes != 0 && !chunk_bytes.is_multiple_of(8) {
+            return Err(IpcompError::CorruptContainer("misaligned chunk size"));
+        }
+        let expected_chunks = if num_planes == 0 {
+            0
+        } else if chunk_bytes == 0 {
+            1
+        } else {
+            plane_len.div_ceil(chunk_bytes).max(1)
+        };
+        // The whole index must fit in what's left of the buffer (each entry
+        // is ≥ 1 byte), before any allocation proportional to it.
+        let remaining = buf.len() - (*pos).min(buf.len());
+        if (num_planes as usize).saturating_mul(expected_chunks) > remaining {
+            return Err(IpcompError::CorruptContainer("chunk index outruns buffer"));
+        }
+        let mut sizes: Vec<Vec<usize>> = Vec::with_capacity(num_planes as usize);
+        let mut payload_total = 0usize;
+        for _ in 0..num_planes {
+            let n_chunks = read_varint(buf, pos)? as usize;
+            if n_chunks != expected_chunks {
+                return Err(IpcompError::CorruptContainer(
+                    "plane chunk count does not match the level's chunk grid",
+                ));
+            }
+            let mut plane_sizes = Vec::with_capacity(n_chunks);
+            for _ in 0..n_chunks {
+                let len = read_varint(buf, pos)? as usize;
+                payload_total = payload_total.saturating_add(len);
+                plane_sizes.push(len);
+            }
+            sizes.push(plane_sizes);
+        }
+        if payload_total > buf.len().saturating_sub(*pos) {
+            return Err(IpcompError::CorruptContainer(
+                "chunk payload outruns buffer",
+            ));
+        }
+        let mut planes = Vec::with_capacity(num_planes as usize);
+        for plane_sizes in sizes {
+            let mut chunks = Vec::with_capacity(plane_sizes.len());
+            for len in plane_sizes {
+                let chunk =
+                    buf.get(*pos..pos.saturating_add(len))
+                        .ok_or(IpcompError::CorruptContainer(
+                            "chunk payload outruns buffer",
+                        ))?;
+                *pos += len;
+                chunks.push(chunk.to_vec());
+            }
+            planes.push(EncodedPlane { chunks });
+        }
+        Ok((chunk_bytes, planes))
+    }
 }
 
 /// Compress anchor codes (zigzag varints + LZR).
@@ -249,11 +399,20 @@ pub fn encode_anchors(codes: &[i64]) -> Vec<u8> {
     lzr_compress(&raw)
 }
 
-/// Decode anchor codes produced by [`encode_anchors`].
-pub fn decode_anchors(bytes: &[u8]) -> Result<Vec<i64>> {
-    let raw = lzr_decompress(bytes)?;
+/// Decode anchor codes produced by [`encode_anchors`]. `max_codes` bounds the
+/// result (anchor grids are a small fraction of the field), so corrupt
+/// streams cannot force huge allocations.
+pub fn decode_anchors_bounded(bytes: &[u8], max_codes: usize) -> Result<Vec<i64>> {
+    // Each code costs at least one raw byte (varint), plus the count varint.
+    let raw = ipc_codecs::lzr::lzr_decompress_bounded(
+        bytes,
+        max_codes.saturating_mul(10).saturating_add(10),
+    )?;
     let mut pos = 0usize;
     let n = read_varint(&raw, &mut pos)? as usize;
+    if n > max_codes || n > raw.len() {
+        return Err(IpcompError::CorruptContainer("implausible anchor count"));
+    }
     let mut codes = Vec::with_capacity(n);
     for _ in 0..n {
         codes.push(zigzag_decode(read_varint(&raw, &mut pos)?));
@@ -261,9 +420,15 @@ pub fn decode_anchors(bytes: &[u8]) -> Result<Vec<i64>> {
     Ok(codes)
 }
 
+/// Decode anchor codes produced by [`encode_anchors`] without a caller bound.
+pub fn decode_anchors(bytes: &[u8]) -> Result<Vec<i64>> {
+    decode_anchors_bounded(bytes, usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitplane::EncodeOptions;
 
     fn sample_compressed() -> Compressed {
         let codes_a: Vec<i64> = (0..40).map(|i| (i * 7) % 13 - 6).collect();
@@ -288,19 +453,38 @@ mod tests {
         }
     }
 
+    /// Same field, but with a tiny chunk size so every plane splits into many
+    /// chunks and the index actually has entries to serialize.
+    fn sample_compressed_chunked() -> Compressed {
+        let mut c = sample_compressed();
+        let codes_l1: Vec<i64> = (0..500).map(|i| ((i * i) % 97) as i64 - 48).collect();
+        let codes_l2: Vec<i64> = (0..100).map(|i| (i % 31) as i64 - 15).collect();
+        let opts = EncodeOptions {
+            chunk_bytes: 16,
+            rans: true,
+        };
+        c.levels = vec![
+            crate::bitplane::encode_level_with(&codes_l2, 2, true, false, opts),
+            crate::bitplane::encode_level_with(&codes_l1, 2, true, false, opts),
+        ];
+        c
+    }
+
     #[test]
     fn serialization_roundtrip() {
-        let c = sample_compressed();
-        let bytes = c.to_bytes();
-        let back = Compressed::from_bytes(&bytes).unwrap();
-        assert_eq!(back, c);
+        for c in [sample_compressed(), sample_compressed_chunked()] {
+            let bytes = c.to_bytes();
+            let back = Compressed::from_bytes(&bytes).unwrap();
+            assert_eq!(back, c);
+        }
     }
 
     #[test]
     fn size_accounting_matches_serialized_size_exactly() {
-        let c = sample_compressed();
-        assert_eq!(c.total_bytes(), c.to_bytes().len());
-        assert_eq!(c.base_bytes() + c.payload_bytes(), c.to_bytes().len());
+        for c in [sample_compressed(), sample_compressed_chunked()] {
+            assert_eq!(c.total_bytes(), c.to_bytes().len());
+            assert_eq!(c.base_bytes() + c.payload_bytes(), c.to_bytes().len());
+        }
     }
 
     #[test]
@@ -308,6 +492,8 @@ mod tests {
         let codes: Vec<i64> = (-2000..2000).map(|i| i * 3).collect();
         let enc = encode_anchors(&codes);
         assert_eq!(decode_anchors(&enc).unwrap(), codes);
+        assert_eq!(decode_anchors_bounded(&enc, 4000).unwrap(), codes);
+        assert!(decode_anchors_bounded(&enc, 3999).is_err());
     }
 
     #[test]
@@ -318,6 +504,17 @@ mod tests {
         assert!(matches!(
             Compressed::from_bytes(&bytes),
             Err(IpcompError::CorruptContainer(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let c = sample_compressed();
+        let mut bytes = c.to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            Compressed::from_bytes(&bytes),
+            Err(IpcompError::CorruptContainer("unsupported version"))
         ));
     }
 

@@ -63,4 +63,4 @@ pub use config::{Config, Interpolation};
 pub use container::{Compressed, Header};
 pub use error::{IpcompError, Result};
 pub use optimizer::{plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan};
-pub use progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest};
+pub use progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest, StreamProgress};

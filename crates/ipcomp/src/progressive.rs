@@ -16,8 +16,8 @@
 use ipc_codecs::negabinary::{from_negabinary, from_negabinary_slice};
 use ipc_tensor::{ArrayD, Shape};
 
-use crate::bitplane::decode_planes_into;
-use crate::container::{decode_anchors, Compressed};
+use crate::bitplane::{decode_planes_into, PlaneStream};
+use crate::container::{decode_anchors_bounded, Compressed};
 use crate::error::{IpcompError, Result};
 use crate::interp::{num_levels, process_anchors, process_level};
 use crate::optimizer::{
@@ -38,6 +38,25 @@ pub enum RetrievalRequest {
     SizeBudget(usize),
     /// Load everything (classic full-fidelity decompression).
     Full,
+}
+
+/// Progress report emitted once per decoded chunk region during a streaming
+/// retrieval ([`ProgressiveDecoder::retrieve_streaming`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Index into the container's level list (coarsest level first).
+    pub level_idx: usize,
+    /// Chunk region just completed within that level.
+    pub region: usize,
+    /// Total chunk regions the level will stream for this request.
+    pub regions_in_level: usize,
+    /// Coefficients of the level fully decoded so far (prefix property:
+    /// everything below this index is final for the requested fidelity).
+    pub coeffs_decoded: usize,
+    /// Total coefficients in the level.
+    pub coeffs_in_level: usize,
+    /// Cumulative container bytes read by the decoder so far.
+    pub bytes_total: usize,
 }
 
 /// The result of one retrieval step.
@@ -137,8 +156,33 @@ impl<'a> ProgressiveDecoder<'a> {
         self.retrieve_with_plan(&plan)
     }
 
+    /// Retrieve (or refine to) the fidelity described by `request`, invoking
+    /// `progress` after every decoded chunk region.
+    ///
+    /// Chunked (version-2) containers stream at entropy-chunk granularity —
+    /// 512 Ki coefficients per report — so a caller can surface progress,
+    /// meter I/O, or overlap consumption with decoding; version-1 containers
+    /// report once per plane. The final reconstruction is identical to
+    /// [`ProgressiveDecoder::retrieve`] with the same request.
+    pub fn retrieve_streaming(
+        &mut self,
+        request: RetrievalRequest,
+        mut progress: impl FnMut(StreamProgress),
+    ) -> Result<Retrieval> {
+        let plan = self.plan(request)?;
+        self.retrieve_inner(&plan, Some(&mut progress))
+    }
+
     /// Retrieve (or refine to) a specific loading plan.
     pub fn retrieve_with_plan(&mut self, plan: &LoadPlan) -> Result<Retrieval> {
+        self.retrieve_inner(plan, None)
+    }
+
+    fn retrieve_inner(
+        &mut self,
+        plan: &LoadPlan,
+        progress: Option<&mut dyn FnMut(StreamProgress)>,
+    ) -> Result<Retrieval> {
         if plan.planes_loaded.len() != self.compressed.levels.len() {
             return Err(IpcompError::InvalidInput(
                 "plan does not match the container's level count".into(),
@@ -146,9 +190,9 @@ impl<'a> ProgressiveDecoder<'a> {
         }
         let bytes_before = self.bytes_total;
         if self.recon.is_none() {
-            self.initial_reconstruction(plan)?;
+            self.initial_reconstruction(plan, progress)?;
         } else {
-            self.incremental_refinement(plan)?;
+            self.incremental_refinement(plan, progress)?;
         }
         let data = ArrayD::from_vec(
             self.shape.clone(),
@@ -168,7 +212,17 @@ impl<'a> ProgressiveDecoder<'a> {
     /// Decode the planes requested by `plan` that are not loaded yet, updating the
     /// accumulators and byte accounting. Returns per-level vectors of the *newly
     /// added* dequantized residual deltas (empty when a level gained nothing).
-    fn load_new_planes(&mut self, plan: &LoadPlan) -> Result<Vec<Vec<f64>>> {
+    ///
+    /// When `progress` is set, planes are decoded region by region through
+    /// [`PlaneStream`] and the callback observes every chunk region as it
+    /// lands (v2 containers make the regions chunk-sized; v1 containers
+    /// deliver one whole-plane region per level). Without it, chunk decoding
+    /// fans out across the rayon pool instead.
+    fn load_new_planes(
+        &mut self,
+        plan: &LoadPlan,
+        mut progress: Option<&mut dyn FnMut(StreamProgress)>,
+    ) -> Result<Vec<Vec<f64>>> {
         let c = self.compressed;
         let eb = c.header.error_bound;
         let mut deltas = Vec::with_capacity(c.levels.len());
@@ -188,23 +242,71 @@ impl<'a> ProgressiveDecoder<'a> {
             } else {
                 from_negabinary_slice(&self.acc[idx])
             };
-            decode_planes_into(
-                level,
-                lo,
-                hi,
-                c.header.prefix_bits,
-                c.header.predictive_coding,
-                &mut self.acc[idx],
-            )?;
+            if let Some(cb) = progress.as_deref_mut() {
+                let acc = &mut self.acc[idx];
+                let mut stream = PlaneStream::new(
+                    level,
+                    lo,
+                    hi,
+                    c.header.prefix_bits,
+                    c.header.predictive_coding,
+                    acc.len(),
+                )?;
+                let mut region = 0usize;
+                let bytes_before = self.bytes_total;
+                let mut coeffs_done = 0usize;
+                let failure = loop {
+                    match stream.decode_next(acc) {
+                        Ok(Some(coeffs)) => {
+                            coeffs_done = coeffs.end;
+                            self.bytes_total += stream.region_compressed_bytes(region);
+                            cb(StreamProgress {
+                                level_idx: idx,
+                                region,
+                                regions_in_level: stream.num_regions(),
+                                coeffs_decoded: coeffs.end,
+                                coeffs_in_level: level.n_values,
+                                bytes_total: self.bytes_total,
+                            });
+                            region += 1;
+                        }
+                        Ok(None) => break None,
+                        Err(e) => break Some(e),
+                    }
+                };
+                if let Some(e) = failure {
+                    // Restore the decoder's bulk-path guarantee that a failed
+                    // load leaves no trace: the planes being added were all
+                    // zero in the accumulators before this call, so clearing
+                    // their bit range in the regions already scattered (and
+                    // rolling back the byte accounting) undoes the partial
+                    // stream exactly.
+                    let mask = (1u64 << hi) - (1u64 << lo);
+                    for w in &mut acc[..coeffs_done] {
+                        *w &= !mask;
+                    }
+                    self.bytes_total = bytes_before;
+                    return Err(e);
+                }
+            } else {
+                decode_planes_into(
+                    level,
+                    lo,
+                    hi,
+                    c.header.prefix_bits,
+                    c.header.predictive_coding,
+                    &mut self.acc[idx],
+                )?;
+                // Account for the bytes of the newly read plane blocks.
+                for p in lo..hi {
+                    self.bytes_total += level.planes[p as usize].len();
+                }
+            }
             let delta: Vec<f64> = self.acc[idx]
                 .iter()
                 .zip(&before)
                 .map(|(&w, &b)| dequantize(from_negabinary(w) - b, eb))
                 .collect();
-            // Account for the bytes of the newly read plane blocks.
-            for p in lo..hi {
-                self.bytes_total += level.planes[p as usize].len();
-            }
             self.planes_loaded[idx] = want;
             deltas.push(delta);
         }
@@ -223,17 +325,30 @@ impl<'a> ProgressiveDecoder<'a> {
     }
 
     /// Algorithm 1: reconstruct from scratch with the planes selected by `plan`.
-    fn initial_reconstruction(&mut self, plan: &LoadPlan) -> Result<()> {
+    fn initial_reconstruction(
+        &mut self,
+        plan: &LoadPlan,
+        progress: Option<&mut dyn FnMut(StreamProgress)>,
+    ) -> Result<()> {
         let c = self.compressed;
         let eb = c.header.error_bound;
         let shape = self.shape.clone();
         let levels = num_levels(&shape);
+        // The cascade below computes `num_levels - level`; a container whose
+        // declared level count disagrees with its own grid geometry (possible
+        // only through corruption — the compressor derives both from the
+        // shape) would underflow that index.
+        if levels != c.header.num_levels {
+            return Err(IpcompError::CorruptContainer(
+                "declared level count inconsistent with grid dimensions",
+            ));
+        }
 
         // Base data: header + anchors + metadata are always read.
         self.bytes_total += c.base_bytes();
-        let anchor_codes = decode_anchors(&c.anchors)?;
+        let anchor_codes = decode_anchors_bounded(&c.anchors, c.header.num_elements())?;
 
-        let _deltas = self.load_new_planes(plan)?;
+        let _deltas = self.load_new_planes(plan, progress)?;
         // Residuals per level from the accumulators (values, not deltas).
         let residuals: Vec<Vec<f64>> = self
             .acc
@@ -267,11 +382,15 @@ impl<'a> ProgressiveDecoder<'a> {
     }
 
     /// Algorithm 2: refine the existing reconstruction with newly loaded planes only.
-    fn incremental_refinement(&mut self, plan: &LoadPlan) -> Result<()> {
+    fn incremental_refinement(
+        &mut self,
+        plan: &LoadPlan,
+        progress: Option<&mut dyn FnMut(StreamProgress)>,
+    ) -> Result<()> {
         let c = self.compressed;
         let shape = self.shape.clone();
         let levels = num_levels(&shape);
-        let deltas = self.load_new_planes(plan)?;
+        let deltas = self.load_new_planes(plan, progress)?;
         if deltas.iter().all(Vec::is_empty) {
             // Nothing new requested — retrieval is monotone.
             return Ok(());
@@ -444,6 +563,126 @@ mod tests {
         let out = dec.retrieve(RetrievalRequest::RelErrorBound(1e-3)).unwrap();
         let err = linf_error(data.as_slice(), out.data.as_slice());
         assert!(err <= 1e-3 * data.value_range() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn streaming_retrieval_matches_bulk_and_reports_monotone_progress() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+
+        let mut bulk_dec = ProgressiveDecoder::new(&c);
+        let bulk = bulk_dec.retrieve(RetrievalRequest::Full).unwrap();
+
+        let mut stream_dec = ProgressiveDecoder::new(&c);
+        let mut reports: Vec<StreamProgress> = Vec::new();
+        let streamed = stream_dec
+            .retrieve_streaming(RetrievalRequest::Full, |p| reports.push(p))
+            .unwrap();
+
+        assert_eq!(streamed.data.as_slice(), bulk.data.as_slice());
+        assert_eq!(streamed.bytes_total, bulk.bytes_total);
+        assert!(!reports.is_empty());
+        // Bytes and per-level coefficient coverage only ever grow, and every
+        // level that holds planes reports completing its final region.
+        for w in reports.windows(2) {
+            assert!(w[1].bytes_total >= w[0].bytes_total);
+        }
+        for (idx, level) in c.levels.iter().enumerate() {
+            if level.num_planes == 0 {
+                continue;
+            }
+            let last = reports
+                .iter()
+                .rev()
+                .find(|r| r.level_idx == idx)
+                .expect("level with planes must report");
+            assert_eq!(last.region + 1, last.regions_in_level);
+            assert_eq!(last.coeffs_decoded, last.coeffs_in_level);
+            assert_eq!(last.coeffs_in_level, level.n_values);
+        }
+    }
+
+    #[test]
+    fn streaming_refinement_matches_bulk_refinement() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+
+        let mut bulk_dec = ProgressiveDecoder::new(&c);
+        bulk_dec
+            .retrieve(RetrievalRequest::ErrorBound(1e-2))
+            .unwrap();
+        let bulk = bulk_dec.retrieve(RetrievalRequest::Full).unwrap();
+
+        let mut stream_dec = ProgressiveDecoder::new(&c);
+        stream_dec
+            .retrieve_streaming(RetrievalRequest::ErrorBound(1e-2), |_| {})
+            .unwrap();
+        let mut refine_reports = 0usize;
+        let streamed = stream_dec
+            .retrieve_streaming(RetrievalRequest::Full, |_| refine_reports += 1)
+            .unwrap();
+
+        assert!(refine_reports > 0);
+        assert_eq!(streamed.data.as_slice(), bulk.data.as_slice());
+        assert_eq!(streamed.bytes_total, bulk.bytes_total);
+    }
+
+    #[test]
+    fn failed_streaming_retrieval_leaves_no_partial_state() {
+        let data = field();
+        // Small chunks so every plane spans many regions, then corrupt a
+        // *middle* chunk of the finest level's lowest plane: the streaming
+        // path scatters several regions before hitting the corruption.
+        let config = Config {
+            chunk_bytes: 64,
+            ..Config::default()
+        };
+        let mut c = compress(&data, 1e-7, &config).unwrap();
+        let finest = c.levels.len() - 1;
+        assert!(
+            c.levels[finest].num_regions() > 6,
+            "need multi-region planes"
+        );
+        c.levels[finest].planes[0].chunks[5] = vec![0xFF; 3];
+
+        // A plan that stops above the corrupt plane decodes fine.
+        let mut partial_plan = crate::optimizer::plan_full(&c);
+        partial_plan.planes_loaded[finest] -= 1;
+        let mut fresh = ProgressiveDecoder::new(&c);
+        let reference = fresh.retrieve_with_plan(&partial_plan).unwrap();
+
+        // The bulk path guarantees a failed load leaves no trace in the
+        // accumulators; a failed streaming load must behave identically —
+        // same values AND same byte accounting on the retry.
+        let mut bulk_dec = ProgressiveDecoder::new(&c);
+        assert!(bulk_dec.retrieve(RetrievalRequest::Full).is_err());
+        let bulk_after = bulk_dec.retrieve_with_plan(&partial_plan).unwrap();
+
+        let mut stream_dec = ProgressiveDecoder::new(&c);
+        let mut regions_before_failure = 0usize;
+        assert!(stream_dec
+            .retrieve_streaming(RetrievalRequest::Full, |_| regions_before_failure += 1)
+            .is_err());
+        assert!(regions_before_failure > 0, "failure must be mid-stream");
+        let stream_after = stream_dec.retrieve_with_plan(&partial_plan).unwrap();
+
+        assert_eq!(stream_after.data.as_slice(), bulk_after.data.as_slice());
+        assert_eq!(stream_after.bytes_total, bulk_after.bytes_total);
+        // And the retry output carries no stray bits from the failed pass.
+        assert_eq!(stream_after.data.as_slice(), reference.data.as_slice());
+    }
+
+    #[test]
+    fn misaligned_chunk_bytes_config_is_rejected_not_panicking() {
+        let data = field();
+        let config = Config {
+            chunk_bytes: 100,
+            ..Config::default()
+        };
+        assert!(matches!(
+            compress(&data, 1e-6, &config),
+            Err(IpcompError::InvalidInput(_))
+        ));
     }
 
     #[test]

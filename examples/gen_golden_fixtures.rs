@@ -1,0 +1,58 @@
+//! Regenerate the golden container fixtures under `tests/fixtures/`.
+//!
+//! The fixture field is built from exact dyadic arithmetic only (integer
+//! products scaled by powers of two) so its bytes are identical on every
+//! platform — no libm calls whose last bit could differ between systems.
+//!
+//! Run with `cargo run --example gen_golden_fixtures` after an *intentional*
+//! container format change, and commit the updated fixtures together with the
+//! format bump. `container_v1.bin` is frozen output of the version-1 writer
+//! (removed when the format moved to v2) and can no longer be regenerated;
+//! this tool refuses to overwrite it.
+
+use ipcomp_suite::core::{compress, Config};
+use ipcomp_suite::tensor::{ArrayD, Shape};
+
+/// Deterministic smooth-ish field: exact dyadic values on a 20×16×12 grid.
+fn golden_field() -> ArrayD<f64> {
+    let shape = Shape::d3(20, 16, 12);
+    ArrayD::from_fn(shape, |c| {
+        let (x, y, z) = (c[0] as i64, c[1] as i64, c[2] as i64);
+        let a = ((x * x * 3 + y * 7 + z * 11) % 257 - 128) as f64 / 32.0;
+        let b = ((x * 5 + y * y * 2 + z * z * 13) % 127 - 63) as f64 / 64.0;
+        a + b * 0.5
+    })
+}
+
+/// Absolute error bound used by every fixture: 2^-10, exactly representable.
+const GOLDEN_EB: f64 = 0.0009765625;
+
+fn main() {
+    let field = golden_field();
+    let dir = std::path::Path::new("tests/fixtures");
+    std::fs::create_dir_all(dir).expect("create fixture dir");
+
+    let c = compress(&field, GOLDEN_EB, &Config::default()).unwrap();
+    let bytes = c.to_bytes();
+    std::fs::write(dir.join("container_v2.bin"), &bytes).unwrap();
+    println!("container_v2.bin: {} bytes", bytes.len());
+
+    // Same field with a tiny chunk size, so the fixture pins the multi-chunk
+    // index layout that full-size planes (> 64 KiB packed) produce.
+    let chunked_config = Config {
+        chunk_bytes: 64,
+        ..Config::default()
+    };
+    let chunked = compress(&field, GOLDEN_EB, &chunked_config).unwrap();
+    let chunked_bytes = chunked.to_bytes();
+    std::fs::write(dir.join("container_v2_chunked.bin"), &chunked_bytes).unwrap();
+    println!("container_v2_chunked.bin: {} bytes", chunked_bytes.len());
+
+    let decoded = c.decompress().unwrap();
+    let mut value_bytes = Vec::with_capacity(decoded.len() * 8);
+    for v in decoded.as_slice() {
+        value_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(dir.join("expected_values.bin"), &value_bytes).unwrap();
+    println!("expected_values.bin: {} bytes", value_bytes.len());
+}

@@ -1,0 +1,160 @@
+//! Golden-bytes regression tests for the on-disk container format.
+//!
+//! The fixtures under `tests/fixtures/` pin the byte-exact output of the
+//! container writer and the decode of historical containers:
+//!
+//! * `container_v1.bin` — frozen output of the version-1 writer (PR 1,
+//!   monolithic Huffman plane blocks). It can no longer be regenerated; the
+//!   current reader must keep decoding it to the exact same values forever.
+//! * `container_v2.bin` / `container_v2_chunked.bin` — output of the current
+//!   version-2 writer at the default and a tiny chunk size. Encoding the
+//!   deterministic golden field must reproduce them byte for byte, so any
+//!   accidental format change fails here instead of corrupting archives in
+//!   the wild.
+//! * `expected_values.bin` — the bit-exact `f64` reconstruction all of the
+//!   containers above must decode to.
+//!
+//! The golden field uses only exact dyadic arithmetic (integer products
+//! scaled by powers of two), so every byte is reproducible across platforms.
+//! Regenerate the v2 fixtures with `cargo run --example gen_golden_fixtures`
+//! after an *intentional* format bump, and commit them with it.
+
+use ipcomp_suite::core::{compress, Compressed, Config, ProgressiveDecoder, RetrievalRequest};
+use ipcomp_suite::tensor::{ArrayD, Shape};
+
+/// Deterministic smooth-ish field: exact dyadic values on a 20×16×12 grid.
+/// Must match `examples/gen_golden_fixtures.rs` exactly.
+fn golden_field() -> ArrayD<f64> {
+    let shape = Shape::d3(20, 16, 12);
+    ArrayD::from_fn(shape, |c| {
+        let (x, y, z) = (c[0] as i64, c[1] as i64, c[2] as i64);
+        let a = ((x * x * 3 + y * 7 + z * 11) % 257 - 128) as f64 / 32.0;
+        let b = ((x * 5 + y * y * 2 + z * z * 13) % 127 - 63) as f64 / 64.0;
+        a + b * 0.5
+    })
+}
+
+const GOLDEN_EB: f64 = 0.0009765625; // 2^-10, exactly representable
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn expected_values() -> Vec<f64> {
+    fixture("expected_values.bin")
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+/// The current writer must reproduce the committed v2 fixture byte for byte.
+#[test]
+fn v2_encode_is_byte_exact() {
+    let c = compress(&golden_field(), GOLDEN_EB, &Config::default()).unwrap();
+    let bytes = c.to_bytes();
+    let golden = fixture("container_v2.bin");
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "serialized size changed — container format drifted"
+    );
+    assert!(
+        bytes == golden,
+        "serialized bytes changed — container format drifted"
+    );
+    // And the fixture is a version-2 container.
+    assert_eq!(&golden[4..8], &2u32.to_le_bytes());
+}
+
+/// Same guarantee for the multi-chunk index layout.
+#[test]
+fn v2_chunked_encode_is_byte_exact() {
+    let config = Config {
+        chunk_bytes: 64,
+        ..Config::default()
+    };
+    let c = compress(&golden_field(), GOLDEN_EB, &config).unwrap();
+    let golden = fixture("container_v2_chunked.bin");
+    assert!(
+        c.to_bytes() == golden,
+        "chunk-index serialization changed — container format drifted"
+    );
+    // The tiny chunk size must actually produce multi-chunk planes.
+    let parsed = Compressed::from_bytes(&golden).unwrap();
+    assert!(
+        parsed
+            .levels
+            .iter()
+            .any(|l| l.planes.iter().any(|p| p.chunks.len() > 1)),
+        "fixture must exercise the multi-chunk layout"
+    );
+}
+
+/// Both v2 fixtures re-decode losslessly to the committed reconstruction.
+#[test]
+fn v2_fixtures_decode_to_expected_values() {
+    let expected = expected_values();
+    for name in ["container_v2.bin", "container_v2_chunked.bin"] {
+        let c = Compressed::from_bytes(&fixture(name)).unwrap();
+        let decoded = c.decompress().unwrap();
+        assert_eq!(decoded.as_slice(), &expected[..], "{name}");
+    }
+}
+
+/// The frozen version-1 container still parses and decodes byte-identically
+/// to the current pipeline's reconstruction.
+#[test]
+fn v1_container_decodes_byte_identically() {
+    let golden = fixture("container_v1.bin");
+    assert_eq!(&golden[4..8], &1u32.to_le_bytes(), "fixture must be v1");
+    let c = Compressed::from_bytes(&golden).unwrap();
+    // v1 levels carry monolithic plane blocks.
+    assert!(c
+        .levels
+        .iter()
+        .all(|l| l.planes.iter().all(|p| p.chunks.len() == 1)));
+    let decoded = c.decompress().unwrap();
+    assert_eq!(decoded.as_slice(), &expected_values()[..]);
+}
+
+/// The v1 and v2 containers of the same field agree at every retrieval
+/// fidelity, not just full decode — partial-plane loading must be
+/// version-transparent.
+#[test]
+fn v1_and_v2_agree_under_progressive_retrieval() {
+    let v1 = Compressed::from_bytes(&fixture("container_v1.bin")).unwrap();
+    let v2 = Compressed::from_bytes(&fixture("container_v2.bin")).unwrap();
+    let mut d1 = ProgressiveDecoder::new(&v1);
+    let mut d2 = ProgressiveDecoder::new(&v2);
+    for request in [
+        RetrievalRequest::ErrorBound(0.25),
+        RetrievalRequest::ErrorBound(0.015625),
+        RetrievalRequest::Full,
+    ] {
+        let r1 = d1.retrieve(request).unwrap();
+        let r2 = d2.retrieve(request).unwrap();
+        assert_eq!(
+            r1.data.as_slice(),
+            r2.data.as_slice(),
+            "divergence at {request:?}"
+        );
+    }
+}
+
+/// The reconstruction (shared by every fixture) honours the error bound —
+/// guards against a fixture regenerated from a broken pipeline.
+#[test]
+fn expected_values_respect_error_bound() {
+    let field = golden_field();
+    let expected = expected_values();
+    assert_eq!(field.len(), expected.len());
+    for (a, b) in field.as_slice().iter().zip(&expected) {
+        assert!(
+            (a - b).abs() <= GOLDEN_EB * (1.0 + 1e-12),
+            "error bound violated: {a} vs {b}"
+        );
+    }
+}
