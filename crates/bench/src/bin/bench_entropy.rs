@@ -134,6 +134,67 @@ fn main() {
         ipc_codecs::lzr::lzr_decompress_bounded(&plane.chunks[0], v1_level.plane_len()).unwrap()
     };
     let pmb = dense_plane.len() as f64 / 1e6;
+
+    // LZR tokenizer skip-step A/B over *every* packed plane of the level —
+    // the real encode workload. Fully incompressible low planes escalate the
+    // skip quickly either way; the win lives in the partially compressible
+    // mid planes where sparse matches keep resetting the step and the
+    // empty-match path dominates encode time.
+    let all_planes: Vec<Vec<u8>> = v1_level
+        .planes
+        .iter()
+        .map(|p| {
+            ipc_codecs::lzr::lzr_decompress_bounded(&p.chunks[0], v1_level.plane_len()).unwrap()
+        })
+        .collect();
+    let planes_mb: f64 = all_planes.iter().map(|p| p.len() as f64 / 1e6).sum();
+    let lzr_skip = [6u32, 5].map(|shift| {
+        let bytes: usize = all_planes
+            .iter()
+            .map(|p| ipc_codecs::lzr::lzr_compress_accel(p, shift).len())
+            .sum();
+        let mbs = planes_mb
+            / best_of(reps, || {
+                for p in &all_planes {
+                    std::hint::black_box(ipc_codecs::lzr::lzr_compress_accel(p, shift));
+                }
+            });
+        (shift, mbs, bytes)
+    });
+    for (shift, mbs, bytes) in &lzr_skip {
+        println!("lzr_encode(skip>>{shift}): {mbs:>7.0} MB/s  ({bytes} bytes, all planes)");
+    }
+    let lzr_speedup = lzr_skip[1].1 / lzr_skip[0].1;
+    let lzr_size_ratio = lzr_skip[1].2 as f64 / lzr_skip[0].2 as f64;
+    println!(
+        "lzr skip-step widening (planes): {lzr_speedup:.2}x encode at {lzr_size_ratio:.4}x size"
+    );
+
+    // Same A/B on raw f64 bytes of a smooth field — the anchor-stream /
+    // generic-buffer workload. Short accidental matches keep resetting the
+    // escalation there, so this is where the wider step actually pays.
+    let float_bytes = {
+        let values: Vec<f64> = (0..(1 << 21))
+            .map(|i| (i as f64 * 0.001).sin() * (1.0 + (i as f64 * 1e-5).cos()))
+            .collect();
+        ipc_codecs::byteio::f64_slice_to_bytes(&values)
+    };
+    let fmb = float_bytes.len() as f64 / 1e6;
+    let lzr_skip_floats = [6u32, 5].map(|shift| {
+        let bytes = ipc_codecs::lzr::lzr_compress_accel(&float_bytes, shift).len();
+        let mbs = fmb
+            / best_of(reps, || {
+                std::hint::black_box(ipc_codecs::lzr::lzr_compress_accel(&float_bytes, shift))
+            });
+        (shift, mbs, bytes)
+    });
+    let lzr_float_speedup = lzr_skip_floats[1].1 / lzr_skip_floats[0].1;
+    let lzr_float_size = lzr_skip_floats[1].2 as f64 / lzr_skip_floats[0].2 as f64;
+    println!(
+        "lzr skip-step widening (floats): {:.0} -> {:.0} MB/s ({lzr_float_speedup:.2}x) at {lzr_float_size:.4}x size",
+        lzr_skip_floats[0].1, lzr_skip_floats[1].1
+    );
+
     let rans_enc = rans_encode_bytes(&dense_plane);
     let huff_enc = huffman_encode_bytes(&dense_plane);
     let micro = [
@@ -183,7 +244,16 @@ fn main() {
             if i + 1 < all_rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"codec_micro_mb_s\": {\n");
+    json.push_str("  ],\n  \"lzr_skip_step\": {\n");
+    json.push_str(&format!(
+        "    \"bitplanes\": {{\"skip_shift_6_mb_s\": {:.2}, \"skip_shift_5_mb_s\": {:.2}, \"encode_speedup\": {:.3}, \"size_ratio\": {:.4}}},\n",
+        lzr_skip[0].1, lzr_skip[1].1, lzr_speedup, lzr_size_ratio
+    ));
+    json.push_str(&format!(
+        "    \"structured_floats\": {{\"skip_shift_6_mb_s\": {:.2}, \"skip_shift_5_mb_s\": {:.2}, \"encode_speedup\": {:.3}, \"size_ratio\": {:.4}}}\n  }},\n",
+        lzr_skip_floats[0].1, lzr_skip_floats[1].1, lzr_float_speedup, lzr_float_size
+    ));
+    json.push_str("  \"codec_micro_mb_s\": {\n");
     for (i, (name, mbs)) in micro.iter().enumerate() {
         json.push_str(&format!(
             "    \"{name}\": {mbs:.2}{}\n",

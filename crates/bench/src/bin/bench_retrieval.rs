@@ -1,0 +1,266 @@
+//! Ranged-retrieval traffic runner: emits `BENCH_retrieval.json`.
+//!
+//! Models serving one compressed container from S3-like storage (5 ms per
+//! GET, 200 MB/s) and measures what the chunk-index read path buys over
+//! downloading the whole archive:
+//!
+//! * **Bytes fetched vs error bound** — full-read baseline against planned
+//!   ranged retrieval, per requested bound.
+//! * **Request count vs coalescing** — one GET per chunk against batched
+//!   reads merged under a 4 KiB gap threshold.
+//! * **Multi-client sharing** — N concurrent sessions over one shared chunk
+//!   cache against the same fleet without a cache.
+//!
+//! Every planned retrieval is verified bit-identical to the historical
+//! slice-based decoder before a number is recorded.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_retrieval [out.json] [--smoke]`
+//! `--smoke` (or `IPC_BENCH_QUICK=1`) shrinks the field for CI health checks;
+//! committed numbers come from the full 1M-coefficient run.
+
+use std::sync::Arc;
+
+use ipc_store::{
+    field_checksum, ChunkSource, ContainerStore, SimProfile, SimulatedObjectStore, StoreOptions,
+    StoreServer,
+};
+use ipc_tensor::{ArrayD, Shape};
+use ipcomp::{compress, Config, MemorySource, ProgressiveDecoder, RetrievalRequest};
+
+/// Smooth structure plus deterministic coordinate-hash noise, 1M
+/// coefficients at full size. The noise keeps the interpolation residuals at
+/// the magnitude of the entropy bench's "standard" 1M-coefficient level
+/// (dense, partly incompressible low planes) instead of the near-zero
+/// residuals a purely smooth field produces.
+fn bench_field(smoke: bool) -> ArrayD<f64> {
+    let n = if smoke { 40 } else { 100 };
+    ArrayD::from_fn(Shape::d3(n, n, n), |c| {
+        let h = (c[0].wrapping_mul(73856093)
+            ^ c[1].wrapping_mul(19349663)
+            ^ c[2].wrapping_mul(83492791)) as u64;
+        let noise = ((h.wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1 << 24) as f64) - 0.5;
+        (c[0] as f64 * 0.11).sin() * 3.0
+            + (c[1] as f64 * 0.07).cos() * 2.0
+            + (c[2] as f64 * 0.05).sin() * (c[0] as f64 * 0.013).cos()
+            + noise * 0.01
+    })
+}
+
+const LATENCY_MS: f64 = 5.0;
+const THROUGHPUT_MB_S: f64 = 200.0;
+const COALESCE_GAP: u64 = 4096;
+
+fn sim_profile() -> SimProfile {
+    SimProfile {
+        latency_per_request: std::time::Duration::from_micros((LATENCY_MS * 1000.0) as u64),
+        throughput_bytes_per_sec: THROUGHPUT_MB_S * 1e6,
+        real_sleep: false,
+    }
+}
+
+struct TrafficRow {
+    requests: u64,
+    bytes: u64,
+    sim_ms: f64,
+    checksum: u64,
+}
+
+/// Run one fresh session against a fresh simulated store and record the
+/// backend traffic it generated (metadata open included — a remote reader
+/// pays for it too).
+fn measure(bytes: &[u8], options: StoreOptions, request: RetrievalRequest) -> TrafficRow {
+    let sim = Arc::new(SimulatedObjectStore::new(
+        MemorySource::new(bytes.to_vec()),
+        sim_profile(),
+    ));
+    let store = ContainerStore::open(sim.clone() as Arc<dyn ChunkSource>, options).unwrap();
+    let mut session = store.session();
+    let out = session.retrieve(request).unwrap();
+    let stats = sim.stats();
+    TrafficRow {
+        requests: stats.requests,
+        bytes: stats.bytes,
+        sim_ms: stats.simulated_secs * 1e3,
+        checksum: field_checksum(out.data.as_slice()),
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_retrieval.json".to_string();
+    let mut smoke = std::env::var("IPC_BENCH_QUICK").is_ok();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if !arg.starts_with('-') {
+            out_path = arg;
+        }
+    }
+
+    let field = bench_field(smoke);
+    let n = field.len();
+    let eb = 1e-7;
+    let compressed = compress(&field, eb, &Config::default()).unwrap();
+    let bytes = compressed.to_bytes();
+    let total = bytes.len();
+    println!(
+        "container: {n} coefficients, {total} bytes ({} levels), eb {eb:.0e}",
+        compressed.levels.len()
+    );
+
+    let per_chunk_options = StoreOptions {
+        cache_bytes: 0,
+        coalesce_gap: None,
+        readahead_planes: 0,
+    };
+    let coalesced_options = StoreOptions {
+        cache_bytes: 0,
+        coalesce_gap: Some(COALESCE_GAP),
+        readahead_planes: 0,
+    };
+
+    let bounds = [1e-2, 1e-3, 1e-4, 1e-5];
+    let requests: Vec<(String, RetrievalRequest)> = bounds
+        .iter()
+        .map(|&b| (format!("{b:.0e}"), RetrievalRequest::ErrorBound(b)))
+        .chain(std::iter::once((
+            "full".to_string(),
+            RetrievalRequest::Full,
+        )))
+        .collect();
+
+    // Full-read baseline: one GET for the entire container.
+    let full_read_ms = LATENCY_MS + total as f64 / (THROUGHPUT_MB_S * 1e6) * 1e3;
+
+    let mut rows = Vec::new();
+    let mut mid_fraction = f64::NAN;
+    let mut min_coalesce_factor = f64::INFINITY;
+    for (label, request) in &requests {
+        // Reference: the historical slice-based decoder.
+        let reference = {
+            let mut dec = ProgressiveDecoder::new(&compressed);
+            field_checksum(dec.retrieve(*request).unwrap().data.as_slice())
+        };
+        let per_chunk = measure(&bytes, per_chunk_options, *request);
+        let coalesced = measure(&bytes, coalesced_options, *request);
+        assert_eq!(
+            per_chunk.checksum, reference,
+            "{label}: per-chunk output diverged"
+        );
+        assert_eq!(
+            coalesced.checksum, reference,
+            "{label}: coalesced output diverged"
+        );
+
+        // Coalescing pays for the gap bytes it bridges, so its byte count is
+        // the per-chunk exact fetch plus a small overhead.
+        let fraction = per_chunk.bytes as f64 / total as f64;
+        let factor = per_chunk.requests as f64 / coalesced.requests as f64;
+        if *label == "1e-3" {
+            mid_fraction = fraction;
+        }
+        if !label.starts_with("full") {
+            min_coalesce_factor = min_coalesce_factor.min(factor);
+        }
+        println!(
+            "bound {label:>5}: planned {:>9} B ({:>5.1}% of {total} B) | requests {:>4} per-chunk -> {:>3} coalesced ({factor:.1}x) | sim {:.1} ms vs {:.1} ms (full read {full_read_ms:.1} ms)",
+            per_chunk.bytes,
+            fraction * 100.0,
+            per_chunk.requests,
+            coalesced.requests,
+            per_chunk.sim_ms,
+            coalesced.sim_ms,
+        );
+        rows.push((label.clone(), per_chunk, coalesced, fraction, factor));
+    }
+
+    // Multi-client fan-out: 8 clients refining coarse -> fine over one store,
+    // with and without the shared chunk cache.
+    let clients = if smoke { 3 } else { 8 };
+    let workload = vec![
+        RetrievalRequest::ErrorBound(1e-2),
+        RetrievalRequest::ErrorBound(1e-4),
+    ];
+    let serve = |cache_bytes: usize| -> (u64, u64, f64, Option<f64>) {
+        let sim = Arc::new(SimulatedObjectStore::new(
+            MemorySource::new(bytes.clone()),
+            sim_profile(),
+        ));
+        let store = ContainerStore::open(
+            sim.clone() as Arc<dyn ChunkSource>,
+            StoreOptions {
+                cache_bytes,
+                coalesce_gap: Some(COALESCE_GAP),
+                readahead_planes: 0,
+            },
+        )
+        .unwrap();
+        let server = StoreServer::new(store.clone());
+        let outcomes = server.serve(&vec![workload.clone(); clients]);
+        let first = outcomes[0].as_ref().unwrap().checksum;
+        for o in &outcomes {
+            assert_eq!(o.as_ref().unwrap().checksum, first, "client divergence");
+        }
+        let stats = sim.stats();
+        let hit_rate = store
+            .cache_stats()
+            .map(|c| c.hits as f64 / (c.hits + c.misses).max(1) as f64);
+        (
+            stats.requests,
+            stats.bytes,
+            stats.simulated_secs * 1e3,
+            hit_rate,
+        )
+    };
+    let (req_nc, bytes_nc, ms_nc, _) = serve(0);
+    let (req_c, bytes_c, ms_c, hit_rate) = serve(64 << 20);
+    println!(
+        "{clients} clients coarse->fine: no cache {req_nc} GETs / {bytes_nc} B / {ms_nc:.1} ms | shared cache {req_c} GETs / {bytes_c} B / {ms_c:.1} ms (hit rate {:.0}%)",
+        hit_rate.unwrap_or(0.0) * 100.0
+    );
+
+    println!(
+        "acceptance: mid-bound fraction {:.1}% (< 50% required), min coalesce factor {min_coalesce_factor:.1}x (>= 4x required), outputs bit-identical to slice path",
+        mid_fraction * 100.0
+    );
+    if !smoke {
+        assert!(mid_fraction < 0.5, "mid-bound fraction {mid_fraction}");
+        assert!(
+            min_coalesce_factor >= 4.0,
+            "coalesce factor {min_coalesce_factor}"
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"ranged_retrieval\",\n");
+    json.push_str(&format!(
+        "  \"coefficients\": {n},\n  \"container_bytes\": {total},\n  \"compress_error_bound\": {eb:e},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"full_read\": {{\"bytes\": {total}, \"requests\": 1, \"sim_ms\": {full_read_ms:.2}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, (label, per_chunk, coalesced, fraction, factor)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"error_bound\": \"{label}\", \"planned_bytes\": {}, \"coalesced_bytes\": {}, \"bytes_fraction_of_container\": {fraction:.4}, \"requests_per_chunk\": {}, \"requests_coalesced\": {}, \"coalesce_factor\": {factor:.2}, \"sim_ms_per_chunk\": {:.2}, \"sim_ms_coalesced\": {:.2}}}{}\n",
+            per_chunk.bytes,
+            coalesced.bytes,
+            per_chunk.requests,
+            coalesced.requests,
+            per_chunk.sim_ms,
+            coalesced.sim_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"multi_client\": {{\"clients\": {clients}, \"workload\": [\"1e-2\", \"1e-4\"], \"no_cache\": {{\"requests\": {req_nc}, \"bytes\": {bytes_nc}, \"sim_ms\": {ms_nc:.2}}}, \"shared_cache\": {{\"requests\": {req_c}, \"bytes\": {bytes_c}, \"sim_ms\": {ms_c:.2}, \"hit_rate\": {:.4}}}}},\n",
+        hit_rate.unwrap_or(0.0)
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"mid_error_bound\": \"1e-3\", \"bytes_fraction_mid\": {mid_fraction:.4}, \"min_coalesce_factor\": {min_coalesce_factor:.2}, \"bit_identical_to_slice_path\": true}}\n}}\n"
+    ));
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -43,6 +43,18 @@ const MAX_MATCH: usize = 1 << 16;
 const WINDOW: usize = 1 << 16;
 const HASH_BITS: u32 = 16;
 
+/// Default skip-step escalation shift of the tokenizer's empty-match path:
+/// the scan step widens by one byte for every `2^shift` consecutive misses.
+/// 5 (one step per 32 misses) skims incompressible stretches — dense
+/// low-order bitplanes are essentially random bits — roughly twice as fast
+/// as the historical 6, at a ratio cost measured in hundredths of a percent
+/// (`BENCH_entropy.json` records the A/B).
+const DEFAULT_SKIP_SHIFT: u32 = 5;
+
+/// The historical escalation rate, kept so [`lzr_compress_huffman`] stays
+/// byte-identical to the version-1 writer.
+const V1_SKIP_SHIFT: u32 = 6;
+
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
@@ -50,16 +62,16 @@ fn hash4(bytes: &[u8]) -> usize {
 }
 
 /// Produce the raw LZ77 token stream for `input` (no entropy stage).
-fn lz_tokenize(input: &[u8]) -> Vec<u8> {
+fn lz_tokenize(input: &[u8], skip_shift: u32) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let mut literal_start = 0usize;
     let mut i = 0usize;
 
-    // LZ4-style acceleration: every 64 consecutive positions without a match
-    // widen the scan step by one byte, so incompressible stretches (dense
-    // low-order bitplanes are essentially random bits) are skimmed instead of
-    // hashed byte by byte. A hit resets the step to 1.
+    // LZ4-style acceleration: every `2^skip_shift` consecutive positions
+    // without a match widen the scan step by one byte, so incompressible
+    // stretches (dense low-order bitplanes are essentially random bits) are
+    // skimmed instead of hashed byte by byte. A hit resets the step to 1.
     let mut misses = 0usize;
 
     while i + MIN_MATCH <= input.len() {
@@ -98,7 +110,7 @@ fn lz_tokenize(input: &[u8]) -> Vec<u8> {
             misses = 0;
         } else {
             misses += 1;
-            i += 1 + (misses >> 6);
+            i += 1 + (misses >> skip_shift);
         }
     }
 
@@ -174,7 +186,18 @@ fn entropy_stage(tokens: Vec<u8>) -> (u8, Vec<u8>) {
 /// The output is self-describing and starts with the original length so that
 /// [`lzr_decompress`] can pre-allocate and validate.
 pub fn lzr_compress(input: &[u8]) -> Vec<u8> {
-    let tokens = lz_tokenize(input);
+    lzr_compress_accel(input, DEFAULT_SKIP_SHIFT)
+}
+
+/// [`lzr_compress`] with an explicit skip-step escalation shift (the scan
+/// step of the empty-match path widens every `2^skip_shift` misses).
+///
+/// Exposed as a tuning/benchmark hook: the throughput-vs-ratio A/B between
+/// the historical shift (6) and the current default lives in
+/// `BENCH_entropy.json`. Output at any shift decodes with the same reader —
+/// the shift only changes which matches the tokenizer finds.
+pub fn lzr_compress_accel(input: &[u8], skip_shift: u32) -> Vec<u8> {
+    let tokens = lz_tokenize(input, skip_shift);
     // When matching bought nothing (the token stream is no shorter than the
     // input), drop the token framing: entropy-code the raw bytes if that
     // pays (mode 3), otherwise store them verbatim (mode 4). Either way
@@ -197,11 +220,11 @@ pub fn lzr_compress(input: &[u8]) -> Vec<u8> {
 }
 
 /// [`lzr_compress`] restricted to the PR 1 entropy stage (Huffman or store,
-/// never rANS). Byte-identical to the historical version-1 writer; kept so
-/// the benchmark harness can measure the chunked rANS pipeline against the
-/// exact baseline it replaced.
+/// never rANS) and the PR 1 tokenizer escalation. Byte-identical to the
+/// historical version-1 writer; kept so the benchmark harness can measure
+/// the chunked rANS pipeline against the exact baseline it replaced.
 pub fn lzr_compress_huffman(input: &[u8]) -> Vec<u8> {
-    let tokens = lz_tokenize(input);
+    let tokens = lz_tokenize(input, V1_SKIP_SHIFT);
     let entropy = huffman_encode_bytes_under(&tokens, tokens.len() - tokens.len() / 8);
     let mut out = Vec::with_capacity(tokens.len() + 10);
     write_varint(&mut out, input.len() as u64);

@@ -83,7 +83,9 @@ use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice, trun
 use ipc_codecs::{lzr_compress, CodecError};
 use rayon::prelude::*;
 
+use crate::container::LevelMap;
 use crate::error::{IpcompError, Result};
+use crate::source::{read_ranges_exact, ByteRange, ChunkSource};
 
 /// Minimum number of coefficients before the coder fans work out to rayon.
 const PARALLEL_THRESHOLD: usize = 4096;
@@ -92,6 +94,55 @@ const PARALLEL_THRESHOLD: usize = 4096;
 /// Must stay a multiple of 8 so chunk boundaries align with the 64-coefficient
 /// transpose blocks.
 pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Chunk-grid geometry of one level: how its packed plane bytes split into
+/// entropy chunks and which coefficients each chunk region covers.
+///
+/// Both the in-memory [`EncodedLevel`] and the metadata-only
+/// [`crate::container::LevelMap`] expose this, so decode paths can be written
+/// once against the geometry regardless of where the compressed bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkGrid {
+    /// Number of coefficients in the level.
+    pub n_values: usize,
+    /// Packed bytes per entropy chunk; `0` means whole-plane blocks (the
+    /// version-1 layout).
+    pub chunk_bytes: usize,
+}
+
+impl ChunkGrid {
+    /// Length of one packed (uncompressed) plane in bytes.
+    pub fn plane_len(&self) -> usize {
+        self.n_values.div_ceil(8)
+    }
+
+    /// Packed bytes per chunk region: the configured chunk size, or the whole
+    /// plane for monolithic (version-1) levels.
+    pub fn region_bytes(&self) -> usize {
+        if self.chunk_bytes == 0 {
+            self.plane_len().max(1)
+        } else {
+            self.chunk_bytes
+        }
+    }
+
+    /// Number of chunk regions every plane of this level is split into.
+    pub fn num_regions(&self) -> usize {
+        self.plane_len().div_ceil(self.region_bytes())
+    }
+
+    /// Packed byte range of region `k` within a plane.
+    pub fn region_byte_range(&self, k: usize) -> std::ops::Range<usize> {
+        let rb = self.region_bytes();
+        (k * rb)..((k + 1) * rb).min(self.plane_len())
+    }
+
+    /// Coefficient range reconstructed by region `k`.
+    pub fn region_coeff_range(&self, k: usize) -> std::ops::Range<usize> {
+        let bytes = self.region_byte_range(k);
+        (bytes.start * 8)..(bytes.end * 8).min(self.n_values)
+    }
+}
 
 /// One bitplane compressed as independently decodable entropy chunks.
 ///
@@ -164,36 +215,38 @@ pub struct EncodedLevel {
 }
 
 impl EncodedLevel {
+    /// The level's chunk-grid geometry.
+    pub fn grid(&self) -> ChunkGrid {
+        ChunkGrid {
+            n_values: self.n_values,
+            chunk_bytes: self.chunk_bytes,
+        }
+    }
+
     /// Length of one packed (uncompressed) plane in bytes.
     pub fn plane_len(&self) -> usize {
-        self.n_values.div_ceil(8)
+        self.grid().plane_len()
     }
 
     /// Packed bytes per chunk region: the configured chunk size, or the whole
     /// plane for monolithic (version-1) levels.
     pub fn region_bytes(&self) -> usize {
-        if self.chunk_bytes == 0 {
-            self.plane_len().max(1)
-        } else {
-            self.chunk_bytes
-        }
+        self.grid().region_bytes()
     }
 
     /// Number of chunk regions every plane of this level is split into.
     pub fn num_regions(&self) -> usize {
-        self.plane_len().div_ceil(self.region_bytes())
+        self.grid().num_regions()
     }
 
     /// Packed byte range of region `k` within a plane.
     pub fn region_byte_range(&self, k: usize) -> std::ops::Range<usize> {
-        let rb = self.region_bytes();
-        (k * rb)..((k + 1) * rb).min(self.plane_len())
+        self.grid().region_byte_range(k)
     }
 
     /// Coefficient range reconstructed by region `k`.
     pub fn region_coeff_range(&self, k: usize) -> std::ops::Range<usize> {
-        let bytes = self.region_byte_range(k);
-        (bytes.start * 8)..(bytes.end * 8).min(self.n_values)
+        self.grid().region_coeff_range(k)
     }
 
     /// Total compressed size of all plane blocks in bytes.
@@ -422,29 +475,31 @@ pub fn encode_level(
     )
 }
 
-/// Validate a plane range request against a level and its chunk structure.
-fn check_plane_range(
-    level: &EncodedLevel,
+/// Validate a plane range request against a level's geometry and chunk
+/// structure; `plane_chunks` reports how many chunks plane `p` actually holds
+/// (from payload vecs or the metadata index, depending on the backing).
+fn check_plane_range_with(
+    grid: ChunkGrid,
+    num_planes: u8,
+    plane_chunks: impl Fn(u8) -> usize,
     plane_lo: u8,
     plane_hi: u8,
     acc_len: usize,
 ) -> Result<()> {
-    if acc_len != level.n_values {
+    if acc_len != grid.n_values {
         return Err(IpcompError::InvalidInput(format!(
             "accumulator length {acc_len} does not match level size {}",
-            level.n_values
+            grid.n_values
         )));
     }
-    if plane_hi > level.num_planes || plane_lo > plane_hi {
+    if plane_hi > num_planes || plane_lo > plane_hi {
         return Err(IpcompError::InvalidInput(format!(
-            "invalid plane range {plane_lo}..{plane_hi} for level with {} planes",
-            level.num_planes
+            "invalid plane range {plane_lo}..{plane_hi} for level with {num_planes} planes"
         )));
     }
-    let n_regions = level.num_regions();
+    let n_regions = grid.num_regions();
     for p in plane_lo..plane_hi {
-        let have = level.planes[p as usize].chunks.len();
-        if have != n_regions {
+        if plane_chunks(p) != n_regions {
             return Err(IpcompError::CorruptContainer(
                 "plane chunk count does not match the level's chunk grid",
             ));
@@ -453,18 +508,41 @@ fn check_plane_range(
     Ok(())
 }
 
-/// Entropy-decode chunk `k` of plane `p`, validating the decoded size against
-/// the level's chunk grid. Every allocation is bounded by the expected size,
-/// so corrupt chunk headers cannot force runaway memory use.
-fn decode_chunk(level: &EncodedLevel, p: u8, k: usize) -> Result<Vec<u8>> {
-    let expected = level.region_byte_range(k).len();
-    let packed =
-        ipc_codecs::lzr::lzr_decompress_bounded(&level.planes[p as usize].chunks[k], expected)?;
+/// Validate a plane range request against an in-memory level.
+fn check_plane_range(
+    level: &EncodedLevel,
+    plane_lo: u8,
+    plane_hi: u8,
+    acc_len: usize,
+) -> Result<()> {
+    check_plane_range_with(
+        level.grid(),
+        level.num_planes,
+        |p| level.planes[p as usize].chunks.len(),
+        plane_lo,
+        plane_hi,
+        acc_len,
+    )
+}
+
+/// Entropy-decode one compressed chunk, validating the decoded size against
+/// the expected packed region length. Every allocation is bounded by the
+/// expected size, so corrupt chunk headers cannot force runaway memory use.
+pub(crate) fn decode_chunk_bytes(compressed: &[u8], expected: usize) -> Result<Vec<u8>> {
+    let packed = ipc_codecs::lzr::lzr_decompress_bounded(compressed, expected)?;
     if packed.len() != expected {
         // The plane reader would run off the end (or past it) mid-stream.
         return Err(IpcompError::Codec(CodecError::UnexpectedEof));
     }
     Ok(packed)
+}
+
+/// Entropy-decode chunk `k` of plane `p` of an in-memory level.
+fn decode_chunk(level: &EncodedLevel, p: u8, k: usize) -> Result<Vec<u8>> {
+    decode_chunk_bytes(
+        &level.planes[p as usize].chunks[k],
+        level.region_byte_range(k).len(),
+    )
 }
 
 /// Undo the predictive coding and scatter one region's decoded plane chunks
@@ -479,15 +557,14 @@ fn decode_chunk(level: &EncodedLevel, p: u8, k: usize) -> Result<Vec<u8>> {
 #[allow(clippy::too_many_arguments)] // decode parameters travel together
 fn scatter_region(
     chunks: &mut [Vec<u8>],
-    level: &EncodedLevel,
-    k: usize,
+    region_len: usize,
+    num_planes: u8,
     plane_lo: u8,
     plane_hi: u8,
     prefix_bits: u8,
     predictive: bool,
     acc_region: &mut [u64],
 ) {
-    let region_len = level.region_byte_range(k).len();
     let n_words = acc_region.len().div_ceil(64);
 
     // Undo the prediction as whole-plane XORs over the packed byte streams,
@@ -498,7 +575,7 @@ fn scatter_region(
     // are extracted once with a transpose pass per block.
     if predictive && prefix_bits > 0 {
         let prefix_top = (plane_hi as usize + prefix_bits as usize).min(64);
-        let acc_prefix: Vec<Vec<u64>> = if plane_hi < level.num_planes {
+        let acc_prefix: Vec<Vec<u64>> = if plane_hi < num_planes {
             let count = prefix_top - plane_hi as usize;
             let mut extracted = vec![vec![0u64; n_words]; count];
             for (b, chunk) in acc_region.chunks(64).enumerate() {
@@ -624,8 +701,8 @@ pub fn decode_planes_into(
     let scatter = |(k, mut chunks, acc_region): (usize, Vec<Vec<u8>>, &mut [u64])| {
         scatter_region(
             &mut chunks,
-            level,
-            k,
+            level.region_byte_range(k).len(),
+            level.num_planes,
             plane_lo,
             plane_hi,
             prefix_bits,
@@ -641,6 +718,18 @@ pub fn decode_planes_into(
     Ok(())
 }
 
+/// Where a [`PlaneStream`] pulls its compressed chunks from.
+enum Backing<'a> {
+    /// All chunk payloads resident in memory.
+    Level(&'a EncodedLevel),
+    /// Chunks fetched region by region through a [`ChunkSource`], addressed
+    /// via the metadata-only chunk index.
+    Source {
+        level: &'a LevelMap,
+        source: &'a dyn ChunkSource,
+    },
+}
+
 /// Streaming region-at-a-time decoder over a level's chunk grid.
 ///
 /// Yields the same accumulator contents as [`decode_planes_into`] but decodes
@@ -649,11 +738,20 @@ pub fn decode_planes_into(
 /// interleave consumption with loading (paper Fig. 2's incremental
 /// retrieval, now at sub-plane granularity).
 ///
-/// Atomicity is per region: a corrupt chunk fails that region's call before
-/// its accumulator slice is touched, but previously streamed regions remain
-/// updated.
+/// A stream can be backed either by an in-memory [`EncodedLevel`]
+/// ([`PlaneStream::new`]) or by a [`ChunkSource`] plus the container's chunk
+/// index ([`PlaneStream::from_source`]); the source-backed variant fetches
+/// exactly one region's chunk ranges per call — one batched `read_ranges`
+/// the source stack is free to coalesce — so I/O arrives in the same
+/// region-sized increments the decode consumes.
+///
+/// Atomicity is per region: a corrupt chunk (or a failed fetch) fails that
+/// region's call before its accumulator slice is touched, but previously
+/// streamed regions remain updated.
 pub struct PlaneStream<'a> {
-    level: &'a EncodedLevel,
+    backing: Backing<'a>,
+    grid: ChunkGrid,
+    num_planes: u8,
     plane_lo: u8,
     plane_hi: u8,
     prefix_bits: u8,
@@ -674,7 +772,41 @@ impl<'a> PlaneStream<'a> {
     ) -> Result<Self> {
         check_plane_range(level, plane_lo, plane_hi, acc_len)?;
         Ok(Self {
-            level,
+            backing: Backing::Level(level),
+            grid: level.grid(),
+            num_planes: level.num_planes,
+            plane_lo,
+            plane_hi,
+            prefix_bits,
+            predictive,
+            next_region: 0,
+        })
+    }
+
+    /// Start streaming planes `[plane_lo, plane_hi)` of a level addressed by
+    /// the container chunk index `level`, fetching compressed chunks from
+    /// `source` one region at a time.
+    pub fn from_source(
+        level: &'a LevelMap,
+        source: &'a dyn ChunkSource,
+        plane_lo: u8,
+        plane_hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+        acc_len: usize,
+    ) -> Result<Self> {
+        check_plane_range_with(
+            level.grid(),
+            level.num_planes,
+            |p| level.plane_chunk_count(p),
+            plane_lo,
+            plane_hi,
+            acc_len,
+        )?;
+        Ok(Self {
+            backing: Backing::Source { level, source },
+            grid: level.grid(),
+            num_planes: level.num_planes,
             plane_lo,
             plane_hi,
             prefix_bits,
@@ -685,17 +817,20 @@ impl<'a> PlaneStream<'a> {
 
     /// Total number of chunk regions this stream will produce.
     pub fn num_regions(&self) -> usize {
-        if self.plane_lo == self.plane_hi || self.level.n_values == 0 {
+        if self.plane_lo == self.plane_hi || self.grid.n_values == 0 {
             0
         } else {
-            self.level.num_regions()
+            self.grid.num_regions()
         }
     }
 
     /// Compressed bytes the `k`-th region reads across the streamed planes.
     pub fn region_compressed_bytes(&self, k: usize) -> usize {
         (self.plane_lo..self.plane_hi)
-            .map(|p| self.level.planes[p as usize].chunks[k].len())
+            .map(|p| match &self.backing {
+                Backing::Level(level) => level.planes[p as usize].chunks[k].len(),
+                Backing::Source { level, .. } => level.chunk_size(p, k),
+            })
             .sum()
     }
 
@@ -704,7 +839,7 @@ impl<'a> PlaneStream<'a> {
     /// coefficient range that was completed, or `None` when the stream is
     /// exhausted.
     pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<std::ops::Range<usize>>> {
-        if acc.len() != self.level.n_values {
+        if acc.len() != self.grid.n_values {
             return Err(IpcompError::InvalidInput(
                 "accumulator length changed mid-stream".into(),
             ));
@@ -713,14 +848,26 @@ impl<'a> PlaneStream<'a> {
             return Ok(None);
         }
         let k = self.next_region;
-        let mut chunks: Vec<Vec<u8>> = (self.plane_lo..self.plane_hi)
-            .map(|p| decode_chunk(self.level, p, k))
-            .collect::<Result<_>>()?;
-        let coeffs = self.level.region_coeff_range(k);
+        let expected = self.grid.region_byte_range(k).len();
+        let mut chunks: Vec<Vec<u8>> = match &self.backing {
+            Backing::Level(level) => (self.plane_lo..self.plane_hi)
+                .map(|p| decode_chunk(level, p, k))
+                .collect::<Result<_>>()?,
+            Backing::Source { level, source } => {
+                let ranges: Vec<ByteRange> = (self.plane_lo..self.plane_hi)
+                    .map(|p| level.chunk_range(p, k))
+                    .collect();
+                let bufs = read_ranges_exact(*source, &ranges)?;
+                bufs.iter()
+                    .map(|b| decode_chunk_bytes(b, expected))
+                    .collect::<Result<_>>()?
+            }
+        };
+        let coeffs = self.grid.region_coeff_range(k);
         scatter_region(
             &mut chunks,
-            self.level,
-            k,
+            expected,
+            self.num_planes,
             self.plane_lo,
             self.plane_hi,
             self.prefix_bits,
@@ -1061,6 +1208,127 @@ mod tests {
         assert_eq!(last_end, enc.n_values);
         assert_eq!(regions, stream.num_regions());
         assert_eq!(streamed, bulk);
+    }
+
+    /// Stream through a ranged source and compare against the in-memory
+    /// stream at every region.
+    fn assert_source_stream_matches(codes: &[i64], opts: EncodeOptions) {
+        let enc = encode_level_with(codes, 2, true, false, opts);
+        let compressed = crate::container::Compressed {
+            header: crate::container::Header {
+                dims: vec![codes.len().max(1)],
+                error_bound: 1e-6,
+                interpolation: crate::config::Interpolation::Cubic,
+                num_levels: 1,
+                progressive_levels: 1,
+                prefix_bits: 2,
+                predictive_coding: true,
+                value_range: 1.0,
+            },
+            anchors: Vec::new(),
+            levels: vec![enc.clone()],
+        };
+        let bytes = compressed.to_bytes();
+        let source = crate::source::MemorySource::new(bytes);
+        let map = crate::container::ContainerMap::open(&source).unwrap();
+
+        let hi = enc.num_planes;
+        let mut mem_acc = vec![0u64; enc.n_values];
+        let mut mem_stream = PlaneStream::new(&enc, 0, hi, 2, true, mem_acc.len()).unwrap();
+        let mut src_acc = vec![0u64; enc.n_values];
+        let mut src_stream =
+            PlaneStream::from_source(&map.levels[0], &source, 0, hi, 2, true, src_acc.len())
+                .unwrap();
+        assert_eq!(mem_stream.num_regions(), src_stream.num_regions());
+        loop {
+            let a = mem_stream.decode_next(&mut mem_acc).unwrap();
+            let b = src_stream.decode_next(&mut src_acc).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(mem_acc, src_acc);
+            if a.is_none() {
+                break;
+            }
+        }
+        let decoded: Vec<i64> = src_acc.into_iter().map(from_negabinary).collect();
+        assert_eq!(decoded, codes);
+    }
+
+    #[test]
+    fn plane_stream_single_element_level() {
+        // A 1-element level has a 1-byte plane: the chunk grid degenerates to
+        // one sub-byte region and the transpose path handles a lone word.
+        for codes in [vec![5i64], vec![-1i64], vec![0i64]] {
+            assert_source_stream_matches(&codes, tiny_chunks());
+            assert_source_stream_matches(
+                &codes,
+                EncodeOptions {
+                    chunk_bytes: 0,
+                    rans: true,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn plane_stream_chunk_boundary_exactly_at_plane_end() {
+        // 64-byte chunks: 512 coefficients end exactly on the first chunk
+        // boundary, 1024 exactly on the second — no ragged final chunk.
+        for n in [512usize, 1024] {
+            let codes = sample_codes(n, 1 << 12, 31);
+            let enc = encode_level_with(&codes, 2, true, false, tiny_chunks());
+            assert_eq!(enc.plane_len() % enc.region_bytes(), 0);
+            let grid = enc.grid();
+            let last = grid.num_regions() - 1;
+            assert_eq!(grid.region_byte_range(last).end, grid.plane_len());
+            assert_eq!(grid.region_coeff_range(last).end, n);
+            assert_source_stream_matches(&codes, tiny_chunks());
+        }
+    }
+
+    #[test]
+    fn plane_stream_ragged_final_chunk() {
+        // 500 coefficients with 8-byte chunks: the final chunk covers only
+        // 60 of the 64 coefficient slots of a full region.
+        let codes = sample_codes(500, 1 << 10, 32);
+        assert_source_stream_matches(
+            &codes,
+            EncodeOptions {
+                chunk_bytes: 8,
+                rans: true,
+            },
+        );
+    }
+
+    #[test]
+    fn plane_stream_truncated_final_chunk_is_bounded_error() {
+        let codes = sample_codes(3000, 1 << 14, 33);
+        let mut enc = encode_level_with(&codes, 2, true, false, tiny_chunks());
+        // Truncate the final chunk of the lowest plane mid-stream.
+        let last = enc.planes[0].chunks.len() - 1;
+        let chunk = &mut enc.planes[0].chunks[last];
+        chunk.truncate(chunk.len().saturating_sub(2).max(1));
+        let mut acc = vec![0u64; enc.n_values];
+        let mut stream = PlaneStream::new(&enc, 0, enc.num_planes, 2, true, acc.len()).unwrap();
+        let mut failed = false;
+        let mut completed = 0usize;
+        loop {
+            match stream.decode_next(&mut acc) {
+                Ok(Some(r)) => completed = r.end,
+                Ok(None) => break,
+                Err(e) => {
+                    // Must surface a bounded error, never panic; regions
+                    // before the corruption stay decoded.
+                    assert!(matches!(
+                        e,
+                        IpcompError::Codec(_) | IpcompError::CorruptContainer(_)
+                    ));
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "truncated chunk must fail the stream");
+        assert!(completed < enc.n_values);
     }
 
     #[test]

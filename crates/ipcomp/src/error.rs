@@ -12,11 +12,21 @@ pub enum IpcompError {
     InvalidInput(String),
     /// The compressed container is malformed.
     CorruptContainer(&'static str),
+    /// A storage backend failed while fetching container bytes (the message is
+    /// the stringified I/O error, kept as text so the variant stays `Clone` +
+    /// `PartialEq` like the rest of the enum).
+    Io(String),
 }
 
 impl From<CodecError> for IpcompError {
     fn from(e: CodecError) -> Self {
         IpcompError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for IpcompError {
+    fn from(e: std::io::Error) -> Self {
+        IpcompError::Io(e.to_string())
     }
 }
 
@@ -26,6 +36,7 @@ impl std::fmt::Display for IpcompError {
             IpcompError::Codec(e) => write!(f, "codec error: {e}"),
             IpcompError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             IpcompError::CorruptContainer(msg) => write!(f, "corrupt container: {msg}"),
+            IpcompError::Io(msg) => write!(f, "storage i/o error: {msg}"),
         }
     }
 }

@@ -57,10 +57,14 @@ pub mod interp;
 pub mod optimizer;
 pub mod progressive;
 pub mod quantize;
+pub mod source;
 
 pub use compressor::{compress, compress_rel};
 pub use config::{Config, Interpolation};
-pub use container::{Compressed, Header};
+pub use container::{Compressed, ContainerMap, Header, LevelMap};
 pub use error::{IpcompError, Result};
-pub use optimizer::{plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan};
+pub use optimizer::{
+    plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan, PlanInput,
+};
 pub use progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest, StreamProgress};
+pub use source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource};

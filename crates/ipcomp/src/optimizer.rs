@@ -16,11 +16,102 @@
 //! rounds *up* the constrained quantity, so the produced plan never violates the
 //! user's constraint.
 
-use crate::container::Compressed;
+use crate::container::{Compressed, ContainerMap, Header};
 use crate::error::{IpcompError, Result};
 
 /// Number of discretization buckets used by the knapsack DP.
 pub const ERROR_BINS: usize = 1024;
+
+/// Everything the retrieval planner needs to know about a container:
+/// header geometry, per-level plane counts, truncation-loss tables, and
+/// compressed plane sizes. Implemented by the fully resident [`Compressed`]
+/// and by the metadata-only [`ContainerMap`], so plans can be computed
+/// without a single payload byte in memory.
+///
+/// Method names carry a `plan_` prefix to stay clear of the implementors'
+/// inherent methods.
+pub trait PlanInput {
+    /// Container header.
+    fn plan_header(&self) -> &Header;
+    /// Number of encoded level entries.
+    fn plan_num_level_entries(&self) -> usize;
+    /// Significant bitplanes of level entry `idx`.
+    fn plan_num_planes(&self, idx: usize) -> u8;
+    /// Truncation-loss table of level entry `idx` (`0..=num_planes` entries).
+    fn plan_trunc_loss(&self, idx: usize) -> &[u64];
+    /// Compressed bytes of plane `p` of level entry `idx`.
+    fn plan_plane_bytes(&self, idx: usize, p: u8) -> usize;
+    /// Bytes every retrieval loads regardless of fidelity (header, anchors,
+    /// metadata).
+    fn plan_base_bytes(&self) -> usize;
+
+    /// Interpolation level number of entry `idx` (coarsest first).
+    fn plan_level_number(&self, idx: usize) -> u32 {
+        self.plan_header().num_levels - idx as u32
+    }
+
+    /// Whether entry `idx` participates in progressive loading.
+    fn plan_is_progressive(&self, idx: usize) -> bool {
+        self.plan_level_number(idx) <= self.plan_header().progressive_levels
+    }
+
+    /// Total compressed payload bytes of entry `idx`.
+    fn plan_level_payload_bytes(&self, idx: usize) -> usize {
+        (0..self.plan_num_planes(idx))
+            .map(|p| self.plan_plane_bytes(idx, p))
+            .sum()
+    }
+
+    /// Compressed bytes of the planes that stay loaded when `discard` planes
+    /// are dropped from entry `idx`.
+    fn plan_loaded_bytes(&self, idx: usize, discard: u8) -> usize {
+        (discard..self.plan_num_planes(idx))
+            .map(|p| self.plan_plane_bytes(idx, p))
+            .sum()
+    }
+}
+
+impl PlanInput for Compressed {
+    fn plan_header(&self) -> &Header {
+        &self.header
+    }
+    fn plan_num_level_entries(&self) -> usize {
+        self.levels.len()
+    }
+    fn plan_num_planes(&self, idx: usize) -> u8 {
+        self.levels[idx].num_planes
+    }
+    fn plan_trunc_loss(&self, idx: usize) -> &[u64] {
+        &self.levels[idx].trunc_loss
+    }
+    fn plan_plane_bytes(&self, idx: usize, p: u8) -> usize {
+        self.levels[idx].planes[p as usize].len()
+    }
+    fn plan_base_bytes(&self) -> usize {
+        self.base_bytes()
+    }
+}
+
+impl PlanInput for ContainerMap {
+    fn plan_header(&self) -> &Header {
+        &self.header
+    }
+    fn plan_num_level_entries(&self) -> usize {
+        self.levels.len()
+    }
+    fn plan_num_planes(&self, idx: usize) -> u8 {
+        self.levels[idx].num_planes
+    }
+    fn plan_trunc_loss(&self, idx: usize) -> &[u64] {
+        &self.levels[idx].trunc_loss
+    }
+    fn plan_plane_bytes(&self, idx: usize, p: u8) -> usize {
+        self.levels[idx].plane_bytes(p)
+    }
+    fn plan_base_bytes(&self) -> usize {
+        self.base_bytes()
+    }
+}
 
 /// A retrieval plan: how many bitplanes to load per level and what it costs.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,13 +129,13 @@ pub struct LoadPlan {
 impl LoadPlan {
     /// Total bytes a retrieval with this plan reads, including the always-loaded
     /// base (header, anchors, metadata).
-    pub fn total_bytes(&self, compressed: &Compressed) -> usize {
-        compressed.base_bytes() + self.payload_bytes
+    pub fn total_bytes<C: PlanInput + ?Sized>(&self, compressed: &C) -> usize {
+        compressed.plan_base_bytes() + self.payload_bytes
     }
 
     /// Upper bound on the total reconstruction error of this plan.
-    pub fn error_bound(&self, compressed: &Compressed) -> f64 {
-        compressed.header.error_bound + self.extra_error_bound
+    pub fn error_bound<C: PlanInput + ?Sized>(&self, compressed: &C) -> f64 {
+        compressed.plan_header().error_bound + self.extra_error_bound
     }
 
     /// Element-wise maximum of two plans (used to keep retrieval monotone).
@@ -78,10 +169,10 @@ impl LoadPlan {
 /// giving `amplification(level) = s · q^(level-1)`. For linear interpolation this
 /// reduces to `d·1`; for cubic it is modestly conservative, which costs a little
 /// extra loaded data but never violates the user's requested bound.
-pub(crate) fn amplification(compressed: &Compressed, idx: usize) -> f64 {
-    let level = compressed.level_number(idx);
-    let p = compressed.header.interpolation.linf_norm();
-    let d = compressed.header.dims.len() as i32;
+pub(crate) fn amplification<C: PlanInput + ?Sized>(compressed: &C, idx: usize) -> f64 {
+    let level = compressed.plan_level_number(idx);
+    let p = compressed.plan_header().interpolation.linf_norm();
+    let d = compressed.plan_header().dims.len() as i32;
     let q = p.powi(d);
     let s: f64 = (0..d).map(|i| p.powi(i)).sum();
     s * q.powi(level as i32 - 1)
@@ -89,16 +180,19 @@ pub(crate) fn amplification(compressed: &Compressed, idx: usize) -> f64 {
 
 /// Worst-case data-space error contributed by level `idx` when `discard` planes are
 /// dropped.
-pub(crate) fn level_error(compressed: &Compressed, idx: usize, discard: u8) -> f64 {
-    let loss_codes = compressed.levels[idx].trunc_loss[discard as usize] as f64;
-    amplification(compressed, idx) * loss_codes * 2.0 * compressed.header.error_bound
+pub(crate) fn level_error<C: PlanInput + ?Sized>(compressed: &C, idx: usize, discard: u8) -> f64 {
+    let loss_codes = compressed.plan_trunc_loss(idx)[discard as usize] as f64;
+    amplification(compressed, idx) * loss_codes * 2.0 * compressed.plan_header().error_bound
 }
 
 /// Plan that loads every bitplane of every level (classic full-fidelity
 /// decompression).
-pub fn plan_full(compressed: &Compressed) -> LoadPlan {
-    let planes_loaded: Vec<u8> = compressed.levels.iter().map(|l| l.num_planes).collect();
-    let payload_bytes = compressed.payload_bytes();
+pub fn plan_full<C: PlanInput + ?Sized>(compressed: &C) -> LoadPlan {
+    let n = compressed.plan_num_level_entries();
+    let planes_loaded: Vec<u8> = (0..n).map(|idx| compressed.plan_num_planes(idx)).collect();
+    let payload_bytes = (0..n)
+        .map(|idx| compressed.plan_level_payload_bytes(idx))
+        .sum();
     LoadPlan {
         planes_loaded,
         extra_error_bound: 0.0,
@@ -113,15 +207,20 @@ struct LevelOptions {
     options: Vec<(u8, f64, usize)>,
 }
 
-fn level_options(compressed: &Compressed, idx: usize) -> LevelOptions {
-    let level = &compressed.levels[idx];
-    if !compressed.is_progressive(idx) {
+fn level_options<C: PlanInput + ?Sized>(compressed: &C, idx: usize) -> LevelOptions {
+    if !compressed.plan_is_progressive(idx) {
         return LevelOptions {
-            options: vec![(0, 0.0, level.loaded_bytes(0))],
+            options: vec![(0, 0.0, compressed.plan_loaded_bytes(idx, 0))],
         };
     }
-    let options = (0..=level.num_planes)
-        .map(|d| (d, level_error(compressed, idx, d), level.loaded_bytes(d)))
+    let options = (0..=compressed.plan_num_planes(idx))
+        .map(|d| {
+            (
+                d,
+                level_error(compressed, idx, d),
+                compressed.plan_loaded_bytes(idx, d),
+            )
+        })
         .collect();
     LevelOptions { options }
 }
@@ -131,19 +230,22 @@ fn level_options(compressed: &Compressed, idx: usize) -> LevelOptions {
 ///
 /// If `target_error < eb` the bound cannot be met by any plan; the full plan is
 /// returned (its error is the tightest achievable).
-pub fn plan_for_error_bound(compressed: &Compressed, target_error: f64) -> Result<LoadPlan> {
+pub fn plan_for_error_bound<C: PlanInput + ?Sized>(
+    compressed: &C,
+    target_error: f64,
+) -> Result<LoadPlan> {
     if !(target_error.is_finite() && target_error > 0.0) {
         return Err(IpcompError::InvalidInput(format!(
             "retrieval error bound must be positive and finite, got {target_error}"
         )));
     }
-    let eb = compressed.header.error_bound;
+    let eb = compressed.plan_header().error_bound;
     let slack = target_error - eb;
     if slack <= 0.0 {
         return Ok(plan_full(compressed));
     }
 
-    let n_levels = compressed.levels.len();
+    let n_levels = compressed.plan_num_level_entries();
     let bin = slack / (ERROR_BINS - 1) as f64;
     let discretize = |err: f64| -> Option<usize> {
         if err <= 0.0 {
@@ -159,7 +261,7 @@ pub fn plan_for_error_bound(compressed: &Compressed, target_error: f64) -> Resul
     let mut choices: Vec<Vec<u8>> = Vec::with_capacity(n_levels);
     for idx in 0..n_levels {
         let opts = level_options(compressed, idx);
-        let payload = compressed.levels[idx].payload_bytes() as i64;
+        let payload = compressed.plan_level_payload_bytes(idx) as i64;
         let mut new_dp = vec![i64::MIN; ERROR_BINS];
         let mut choice = vec![0u8; ERROR_BINS];
         for (discard, err, loaded) in &opts.options {
@@ -191,11 +293,10 @@ pub fn plan_for_error_bound(compressed: &Compressed, target_error: f64) -> Resul
     let mut budget = ERROR_BINS - 1;
     for idx in (0..n_levels).rev() {
         let discard = choices[idx][budget];
-        let level = &compressed.levels[idx];
-        planes_loaded[idx] = level.num_planes - discard;
+        planes_loaded[idx] = compressed.plan_num_planes(idx) - discard;
         let err = level_error(compressed, idx, discard);
         extra_error += err;
-        payload_bytes += level.loaded_bytes(discard);
+        payload_bytes += compressed.plan_loaded_bytes(idx, discard);
         let d = if err <= 0.0 {
             0
         } else {
@@ -216,13 +317,16 @@ pub fn plan_for_error_bound(compressed: &Compressed, target_error: f64) -> Resul
 ///
 /// Non-progressive levels, the header, anchors, and metadata are always loaded even
 /// if they exceed the budget (nothing can be reconstructed without them).
-pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result<LoadPlan> {
-    let n_levels = compressed.levels.len();
+pub fn plan_for_bytes<C: PlanInput + ?Sized>(
+    compressed: &C,
+    max_total_bytes: usize,
+) -> Result<LoadPlan> {
+    let n_levels = compressed.plan_num_level_entries();
     // Mandatory bytes: base plus non-progressive levels' full payload.
-    let mandatory: usize = compressed.base_bytes()
+    let mandatory: usize = compressed.plan_base_bytes()
         + (0..n_levels)
-            .filter(|&i| !compressed.is_progressive(i))
-            .map(|i| compressed.levels[i].payload_bytes())
+            .filter(|&i| !compressed.plan_is_progressive(i))
+            .map(|i| compressed.plan_level_payload_bytes(i))
             .sum::<usize>();
     let budget = max_total_bytes.saturating_sub(mandatory);
 
@@ -233,13 +337,13 @@ pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result
         let mut extra_error = 0.0;
         let mut payload_bytes = 0usize;
         for (idx, loaded) in planes_loaded.iter_mut().enumerate() {
-            let level = &compressed.levels[idx];
-            if compressed.is_progressive(idx) {
+            let num_planes = compressed.plan_num_planes(idx);
+            if compressed.plan_is_progressive(idx) {
                 *loaded = 0;
-                extra_error += level_error(compressed, idx, level.num_planes);
+                extra_error += level_error(compressed, idx, num_planes);
             } else {
-                *loaded = level.num_planes;
-                payload_bytes += level.payload_bytes();
+                *loaded = num_planes;
+                payload_bytes += compressed.plan_level_payload_bytes(idx);
             }
         }
         return Ok(LoadPlan {
@@ -262,7 +366,7 @@ pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result
         let opts = level_options(compressed, idx);
         let mut new_dp = vec![f64::INFINITY; ERROR_BINS];
         let mut choice = vec![u8::MAX; ERROR_BINS];
-        let progressive = compressed.is_progressive(idx);
+        let progressive = compressed.plan_is_progressive(idx);
         for (discard, err, loaded) in &opts.options {
             // Non-progressive levels are paid for in `mandatory`, not the budget.
             let cost = if progressive { *loaded } else { 0 };
@@ -299,12 +403,11 @@ pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result
     let mut remaining = ERROR_BINS - 1;
     for idx in (0..n_levels).rev() {
         let discard = choices[idx][remaining];
-        let level = &compressed.levels[idx];
-        planes_loaded[idx] = level.num_planes - discard;
+        planes_loaded[idx] = compressed.plan_num_planes(idx) - discard;
         extra_error += level_error(compressed, idx, discard);
-        let loaded = level.loaded_bytes(discard);
+        let loaded = compressed.plan_loaded_bytes(idx, discard);
         payload_bytes += loaded;
-        let cost = if compressed.is_progressive(idx) {
+        let cost = if compressed.plan_is_progressive(idx) {
             (loaded as f64 / bin).ceil() as usize
         } else {
             0
@@ -319,15 +422,40 @@ pub fn plan_for_bytes(compressed: &Compressed, max_total_bytes: usize) -> Result
     })
 }
 
+/// Resolve a [`RetrievalRequest`](crate::progressive::RetrievalRequest) into
+/// a loading plan. The single dispatch point shared by the decoder's
+/// `plan()` and the range planner, so a request always lowers to the same
+/// planes no matter which layer asks.
+pub fn plan_for_request<C: PlanInput + ?Sized>(
+    compressed: &C,
+    request: crate::progressive::RetrievalRequest,
+) -> Result<LoadPlan> {
+    use crate::progressive::RetrievalRequest;
+    match request {
+        RetrievalRequest::Full => Ok(plan_full(compressed)),
+        RetrievalRequest::ErrorBound(eb) => plan_for_error_bound(compressed, eb),
+        RetrievalRequest::RelErrorBound(rel) => {
+            if !(rel.is_finite() && rel > 0.0) {
+                return Err(IpcompError::InvalidInput(format!(
+                    "relative bound must be positive, got {rel}"
+                )));
+            }
+            plan_for_error_bound(compressed, rel * compressed.plan_header().value_range)
+        }
+        RetrievalRequest::Bitrate(b) => plan_for_bitrate(compressed, b),
+        RetrievalRequest::SizeBudget(bytes) => plan_for_bytes(compressed, bytes),
+    }
+}
+
 /// Bitrate mode: like [`plan_for_bytes`] with the budget expressed in bits per
 /// scalar value of the original field.
-pub fn plan_for_bitrate(compressed: &Compressed, bitrate: f64) -> Result<LoadPlan> {
+pub fn plan_for_bitrate<C: PlanInput + ?Sized>(compressed: &C, bitrate: f64) -> Result<LoadPlan> {
     if !(bitrate.is_finite() && bitrate > 0.0) {
         return Err(IpcompError::InvalidInput(format!(
             "bitrate must be positive and finite, got {bitrate}"
         )));
     }
-    let bytes = (bitrate * compressed.header.num_elements() as f64 / 8.0).floor() as usize;
+    let bytes = (bitrate * compressed.plan_header().num_elements() as f64 / 8.0).floor() as usize;
     plan_for_bytes(compressed, bytes)
 }
 

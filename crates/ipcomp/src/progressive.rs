@@ -13,17 +13,18 @@
 //!   resulting delta field is added onto the existing reconstruction. No previously
 //!   loaded block is ever re-read and no previous work is redone.
 
+use std::sync::Arc;
+
 use ipc_codecs::negabinary::{from_negabinary, from_negabinary_slice};
 use ipc_tensor::{ArrayD, Shape};
 
 use crate::bitplane::{decode_planes_into, PlaneStream};
-use crate::container::{decode_anchors_bounded, Compressed};
+use crate::container::{decode_anchors_bounded, Compressed, ContainerMap, Header};
 use crate::error::{IpcompError, Result};
 use crate::interp::{num_levels, process_anchors, process_level};
-use crate::optimizer::{
-    plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan,
-};
+use crate::optimizer::{LoadPlan, PlanInput};
 use crate::quantize::dequantize;
+use crate::source::ChunkSource;
 
 /// How much fidelity a retrieval should target (paper Sec. 5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,11 +75,95 @@ pub struct Retrieval {
     pub error_bound: f64,
 }
 
+/// Where a [`ProgressiveDecoder`] reads container bytes from.
+///
+/// The slice variant preserves the historical fully resident API; the source
+/// variant addresses payload through the container's chunk index and fetches
+/// exactly the chunk ranges each retrieval step needs via a [`ChunkSource`].
+#[derive(Clone)]
+enum Store<'a> {
+    /// Fully resident container (the historical in-memory path).
+    Slice(&'a Compressed),
+    /// Metadata map plus ranged access to the serialized bytes.
+    Source {
+        map: Arc<ContainerMap>,
+        source: SourceRef<'a>,
+    },
+}
+
+/// How the decoder holds its chunk source: borrowed for stack-local use, or
+/// shared so sessions can own a `'static` decoder.
+#[derive(Clone)]
+enum SourceRef<'a> {
+    Borrowed(&'a dyn ChunkSource),
+    Shared(Arc<dyn ChunkSource>),
+}
+
+impl SourceRef<'_> {
+    fn get(&self) -> &dyn ChunkSource {
+        match self {
+            SourceRef::Borrowed(s) => *s,
+            SourceRef::Shared(s) => s.as_ref(),
+        }
+    }
+}
+
+impl Store<'_> {
+    fn header(&self) -> &Header {
+        match self {
+            Store::Slice(c) => &c.header,
+            Store::Source { map, .. } => &map.header,
+        }
+    }
+
+    fn anchors(&self) -> &[u8] {
+        match self {
+            Store::Slice(c) => &c.anchors,
+            Store::Source { map, .. } => &map.anchors,
+        }
+    }
+
+    fn base_bytes(&self) -> usize {
+        match self {
+            Store::Slice(c) => c.base_bytes(),
+            Store::Source { map, .. } => map.base_bytes(),
+        }
+    }
+
+    fn num_level_entries(&self) -> usize {
+        match self {
+            Store::Slice(c) => c.levels.len(),
+            Store::Source { map, .. } => map.levels.len(),
+        }
+    }
+
+    fn level_n_values(&self, idx: usize) -> usize {
+        match self {
+            Store::Slice(c) => c.levels[idx].n_values,
+            Store::Source { map, .. } => map.levels[idx].n_values,
+        }
+    }
+
+    fn level_num_planes(&self, idx: usize) -> u8 {
+        match self {
+            Store::Slice(c) => c.levels[idx].num_planes,
+            Store::Source { map, .. } => map.levels[idx].num_planes,
+        }
+    }
+
+    fn plan_input(&self) -> &dyn PlanInput {
+        match self {
+            Store::Slice(c) => *c,
+            Store::Source { map, .. } => map.as_ref(),
+        }
+    }
+}
+
 /// Stateful progressive decoder for one compressed field.
 pub struct ProgressiveDecoder<'a> {
-    compressed: &'a Compressed,
+    store: Store<'a>,
     shape: Shape,
-    /// Negabinary accumulators per level (same ordering as `compressed.levels`).
+    /// Negabinary accumulators per level (same ordering as the container's levels).
     acc: Vec<Vec<u64>>,
     /// Planes currently loaded per level (counted from the most significant).
     planes_loaded: Vec<u8>,
@@ -90,23 +175,66 @@ pub struct ProgressiveDecoder<'a> {
 }
 
 impl<'a> ProgressiveDecoder<'a> {
-    /// Create a decoder with nothing loaded yet.
+    /// Create a decoder with nothing loaded yet over a fully resident
+    /// container.
     pub fn new(compressed: &'a Compressed) -> Self {
-        let shape = compressed.header.shape();
-        let acc = compressed
-            .levels
-            .iter()
-            .map(|l| vec![0u64; l.n_values])
+        Self::with_store(Store::Slice(compressed))
+    }
+
+    /// Create a decoder over ranged container storage, reading the metadata
+    /// map from the source up front (payload bytes are only fetched as
+    /// retrievals request them).
+    pub fn from_source(source: &'a dyn ChunkSource) -> Result<Self> {
+        let map = Arc::new(ContainerMap::open(source)?);
+        Ok(Self::from_source_with_map(source, map))
+    }
+
+    /// Like [`ProgressiveDecoder::from_source`] with an already-parsed
+    /// metadata map (e.g. shared across many client sessions).
+    pub fn from_source_with_map(source: &'a dyn ChunkSource, map: Arc<ContainerMap>) -> Self {
+        Self::with_store(Store::Source {
+            map,
+            source: SourceRef::Borrowed(source),
+        })
+    }
+
+    /// Like [`ProgressiveDecoder::from_source_with_map`] but owning a shared
+    /// handle to the source, producing a `'static` decoder that sessions can
+    /// hold without borrowing.
+    pub fn from_shared_source(
+        source: Arc<dyn ChunkSource>,
+        map: Arc<ContainerMap>,
+    ) -> ProgressiveDecoder<'static> {
+        ProgressiveDecoder::with_store(Store::Source {
+            map,
+            source: SourceRef::Shared(source),
+        })
+    }
+
+    fn with_store(store: Store<'a>) -> Self {
+        let shape = store.header().shape();
+        let n_levels = store.num_level_entries();
+        let acc = (0..n_levels)
+            .map(|i| vec![0u64; store.level_n_values(i)])
             .collect();
-        let planes_loaded = vec![0u8; compressed.levels.len()];
+        let planes_loaded = vec![0u8; n_levels];
         Self {
-            compressed,
+            store,
             shape,
             acc,
             planes_loaded,
             recon: None,
             current_error_bound: f64::INFINITY,
             bytes_total: 0,
+        }
+    }
+
+    /// The metadata map backing a source-based decoder (`None` for the
+    /// fully resident slice path).
+    pub fn container_map(&self) -> Option<&Arc<ContainerMap>> {
+        match &self.store {
+            Store::Slice(_) => None,
+            Store::Source { map, .. } => Some(map),
         }
     }
 
@@ -129,21 +257,7 @@ impl<'a> ProgressiveDecoder<'a> {
 
     /// Resolve a request into a loading plan via the optimizer.
     pub fn plan(&self, request: RetrievalRequest) -> Result<LoadPlan> {
-        let c = self.compressed;
-        match request {
-            RetrievalRequest::Full => Ok(plan_full(c)),
-            RetrievalRequest::ErrorBound(eb) => plan_for_error_bound(c, eb),
-            RetrievalRequest::RelErrorBound(rel) => {
-                if !(rel.is_finite() && rel > 0.0) {
-                    return Err(IpcompError::InvalidInput(format!(
-                        "relative bound must be positive, got {rel}"
-                    )));
-                }
-                plan_for_error_bound(c, rel * c.header.value_range)
-            }
-            RetrievalRequest::Bitrate(b) => plan_for_bitrate(c, b),
-            RetrievalRequest::SizeBudget(bytes) => plan_for_bytes(c, bytes),
-        }
+        crate::optimizer::plan_for_request(self.store.plan_input(), request)
     }
 
     /// Retrieve (or refine to) the fidelity described by `request`.
@@ -183,7 +297,7 @@ impl<'a> ProgressiveDecoder<'a> {
         plan: &LoadPlan,
         progress: Option<&mut dyn FnMut(StreamProgress)>,
     ) -> Result<Retrieval> {
-        if plan.planes_loaded.len() != self.compressed.levels.len() {
+        if plan.planes_loaded.len() != self.store.num_level_entries() {
             return Err(IpcompError::InvalidInput(
                 "plan does not match the container's level count".into(),
             ));
@@ -199,7 +313,7 @@ impl<'a> ProgressiveDecoder<'a> {
             self.recon.as_ref().expect("reconstruction present").clone(),
         );
         let bytes_this = self.bytes_total - bytes_before;
-        let n = self.compressed.header.num_elements();
+        let n = self.store.header().num_elements();
         Ok(Retrieval {
             data,
             bytes_this_request: bytes_this,
@@ -223,11 +337,19 @@ impl<'a> ProgressiveDecoder<'a> {
         plan: &LoadPlan,
         mut progress: Option<&mut dyn FnMut(StreamProgress)>,
     ) -> Result<Vec<Vec<f64>>> {
-        let c = self.compressed;
-        let eb = c.header.error_bound;
-        let mut deltas = Vec::with_capacity(c.levels.len());
-        for (idx, level) in c.levels.iter().enumerate() {
-            let want = plan.planes_loaded[idx].min(level.num_planes);
+        // Clone the store handle (a reference or a pair of `Arc`s) so level
+        // borrows come from a local, leaving `self` free for field updates.
+        let store = self.store.clone();
+        let header = store.header();
+        let eb = header.error_bound;
+        let prefix_bits = header.prefix_bits;
+        let predictive = header.predictive_coding;
+        let n_levels = store.num_level_entries();
+        let mut deltas = Vec::with_capacity(n_levels);
+        for idx in 0..n_levels {
+            let num_planes = store.level_num_planes(idx);
+            let n_values = store.level_n_values(idx);
+            let want = plan.planes_loaded[idx].min(num_planes);
             let have = self.planes_loaded[idx];
             if want <= have {
                 deltas.push(Vec::new());
@@ -235,23 +357,34 @@ impl<'a> ProgressiveDecoder<'a> {
             }
             // Planes are counted from the most significant: having `have` planes means
             // planes [num_planes-have, num_planes) are present.
-            let hi = level.num_planes - have;
-            let lo = level.num_planes - want;
+            let hi = num_planes - have;
+            let lo = num_planes - want;
             let before: Vec<i64> = if have == 0 {
-                vec![0; level.n_values]
+                vec![0; n_values]
             } else {
                 from_negabinary_slice(&self.acc[idx])
             };
             if let Some(cb) = progress.as_deref_mut() {
                 let acc = &mut self.acc[idx];
-                let mut stream = PlaneStream::new(
-                    level,
-                    lo,
-                    hi,
-                    c.header.prefix_bits,
-                    c.header.predictive_coding,
-                    acc.len(),
-                )?;
+                let mut stream = match &store {
+                    Store::Slice(c) => PlaneStream::new(
+                        &c.levels[idx],
+                        lo,
+                        hi,
+                        prefix_bits,
+                        predictive,
+                        acc.len(),
+                    )?,
+                    Store::Source { map, source } => PlaneStream::from_source(
+                        &map.levels[idx],
+                        source.get(),
+                        lo,
+                        hi,
+                        prefix_bits,
+                        predictive,
+                        acc.len(),
+                    )?,
+                };
                 let mut region = 0usize;
                 let bytes_before = self.bytes_total;
                 let mut coeffs_done = 0usize;
@@ -265,7 +398,7 @@ impl<'a> ProgressiveDecoder<'a> {
                                 region,
                                 regions_in_level: stream.num_regions(),
                                 coeffs_decoded: coeffs.end,
-                                coeffs_in_level: level.n_values,
+                                coeffs_in_level: n_values,
                                 bytes_total: self.bytes_total,
                             });
                             region += 1;
@@ -289,17 +422,40 @@ impl<'a> ProgressiveDecoder<'a> {
                     return Err(e);
                 }
             } else {
-                decode_planes_into(
-                    level,
-                    lo,
-                    hi,
-                    c.header.prefix_bits,
-                    c.header.predictive_coding,
-                    &mut self.acc[idx],
-                )?;
-                // Account for the bytes of the newly read plane blocks.
-                for p in lo..hi {
-                    self.bytes_total += level.planes[p as usize].len();
+                match &store {
+                    Store::Slice(c) => {
+                        let level = &c.levels[idx];
+                        decode_planes_into(
+                            level,
+                            lo,
+                            hi,
+                            prefix_bits,
+                            predictive,
+                            &mut self.acc[idx],
+                        )?;
+                        // Account for the bytes of the newly read plane blocks.
+                        for p in lo..hi {
+                            self.bytes_total += level.planes[p as usize].len();
+                        }
+                    }
+                    Store::Source { map, source } => {
+                        // Fetch exactly the requested planes' chunk ranges
+                        // (one batched read the source stack can coalesce),
+                        // then decode through the same in-memory path.
+                        let level_map = &map.levels[idx];
+                        let fetched = level_map.fetch_planes(source.get(), lo, hi)?;
+                        decode_planes_into(
+                            &fetched,
+                            lo,
+                            hi,
+                            prefix_bits,
+                            predictive,
+                            &mut self.acc[idx],
+                        )?;
+                        for p in lo..hi {
+                            self.bytes_total += level_map.plane_bytes(p);
+                        }
+                    }
                 }
             }
             let delta: Vec<f64> = self.acc[idx]
@@ -315,13 +471,13 @@ impl<'a> ProgressiveDecoder<'a> {
 
     /// Upper bound on the reconstruction error given the currently loaded planes.
     fn error_bound_for_loaded(&self) -> f64 {
-        let c = self.compressed;
+        let c = self.store.plan_input();
         let mut extra = 0.0;
-        for (idx, level) in c.levels.iter().enumerate() {
-            let discard = level.num_planes - self.planes_loaded[idx];
+        for idx in 0..self.store.num_level_entries() {
+            let discard = self.store.level_num_planes(idx) - self.planes_loaded[idx];
             extra += crate::optimizer::level_error(c, idx, discard);
         }
-        c.header.error_bound + extra
+        self.store.header().error_bound + extra
     }
 
     /// Algorithm 1: reconstruct from scratch with the planes selected by `plan`.
@@ -330,23 +486,23 @@ impl<'a> ProgressiveDecoder<'a> {
         plan: &LoadPlan,
         progress: Option<&mut dyn FnMut(StreamProgress)>,
     ) -> Result<()> {
-        let c = self.compressed;
-        let eb = c.header.error_bound;
+        let header = self.store.header().clone();
+        let eb = header.error_bound;
         let shape = self.shape.clone();
         let levels = num_levels(&shape);
         // The cascade below computes `num_levels - level`; a container whose
         // declared level count disagrees with its own grid geometry (possible
         // only through corruption — the compressor derives both from the
         // shape) would underflow that index.
-        if levels != c.header.num_levels {
+        if levels != header.num_levels {
             return Err(IpcompError::CorruptContainer(
                 "declared level count inconsistent with grid dimensions",
             ));
         }
 
         // Base data: header + anchors + metadata are always read.
-        self.bytes_total += c.base_bytes();
-        let anchor_codes = decode_anchors_bounded(&c.anchors, c.header.num_elements())?;
+        self.bytes_total += self.store.base_bytes();
+        let anchor_codes = decode_anchors_bounded(self.store.anchors(), header.num_elements())?;
 
         let _deltas = self.load_new_planes(plan, progress)?;
         // Residuals per level from the accumulators (values, not deltas).
@@ -366,15 +522,11 @@ impl<'a> ProgressiveDecoder<'a> {
             pred + dequantize(anchor_iter.next().unwrap_or(0), eb)
         });
         for level in (1..=levels).rev() {
-            let idx = (c.header.num_levels - level) as usize;
+            let idx = (header.num_levels - level) as usize;
             let mut it = residuals[idx].iter();
-            process_level(
-                &shape,
-                level,
-                c.header.interpolation,
-                &mut work,
-                |_, pred| pred + it.next().copied().unwrap_or(0.0),
-            );
+            process_level(&shape, level, header.interpolation, &mut work, |_, pred| {
+                pred + it.next().copied().unwrap_or(0.0)
+            });
         }
         self.recon = Some(work);
         self.current_error_bound = self.error_bound_for_loaded();
@@ -387,7 +539,7 @@ impl<'a> ProgressiveDecoder<'a> {
         plan: &LoadPlan,
         progress: Option<&mut dyn FnMut(StreamProgress)>,
     ) -> Result<()> {
-        let c = self.compressed;
+        let header = self.store.header().clone();
         let shape = self.shape.clone();
         let levels = num_levels(&shape);
         let deltas = self.load_new_planes(plan, progress)?;
@@ -401,14 +553,14 @@ impl<'a> ProgressiveDecoder<'a> {
         let mut delta_field = vec![0.0f64; shape.len()];
         process_anchors(&shape, &mut delta_field, |_, _| 0.0);
         for level in (1..=levels).rev() {
-            let idx = (c.header.num_levels - level) as usize;
+            let idx = (header.num_levels - level) as usize;
             if deltas[idx].is_empty() {
                 // No new planes for this level: its delta residuals are all zero, but
                 // deltas from coarser levels still propagate through the prediction.
                 process_level(
                     &shape,
                     level,
-                    c.header.interpolation,
+                    header.interpolation,
                     &mut delta_field,
                     |_, pred| pred,
                 );
@@ -417,7 +569,7 @@ impl<'a> ProgressiveDecoder<'a> {
                 process_level(
                     &shape,
                     level,
-                    c.header.interpolation,
+                    header.interpolation,
                     &mut delta_field,
                     |_, pred| pred + it.next().copied().unwrap_or(0.0),
                 );
@@ -683,6 +835,84 @@ mod tests {
             compress(&data, 1e-6, &config),
             Err(IpcompError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn source_backed_retrieval_is_byte_identical_to_slice_path() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+        let source = crate::source::MemorySource::new(c.to_bytes());
+
+        for request in [
+            RetrievalRequest::ErrorBound(1e-3),
+            RetrievalRequest::Bitrate(2.0),
+            RetrievalRequest::Full,
+        ] {
+            let mut slice_dec = ProgressiveDecoder::new(&c);
+            let a = slice_dec.retrieve(request).unwrap();
+            let mut src_dec = ProgressiveDecoder::from_source(&source).unwrap();
+            let b = src_dec.retrieve(request).unwrap();
+            assert_eq!(a.data.as_slice(), b.data.as_slice(), "{request:?}");
+            assert_eq!(a.bytes_total, b.bytes_total, "{request:?}");
+            assert_eq!(a.error_bound, b.error_bound, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn source_backed_refinement_matches_slice_refinement() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::default()).unwrap();
+        let source = crate::source::MemorySource::new(c.to_bytes());
+
+        let mut slice_dec = ProgressiveDecoder::new(&c);
+        let mut src_dec = ProgressiveDecoder::from_source(&source).unwrap();
+        for request in [
+            RetrievalRequest::ErrorBound(1e-2),
+            RetrievalRequest::ErrorBound(1e-4),
+            RetrievalRequest::Full,
+        ] {
+            let a = slice_dec.retrieve(request).unwrap();
+            let b = src_dec.retrieve(request).unwrap();
+            assert_eq!(a.data.as_slice(), b.data.as_slice(), "{request:?}");
+            assert_eq!(a.bytes_this_request, b.bytes_this_request, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn source_backed_streaming_matches_bulk() {
+        let data = field();
+        let config = Config {
+            chunk_bytes: 64,
+            ..Config::default()
+        };
+        let c = compress(&data, 1e-7, &config).unwrap();
+        let source = crate::source::MemorySource::new(c.to_bytes());
+
+        let mut bulk = ProgressiveDecoder::from_source(&source).unwrap();
+        let full = bulk.retrieve(RetrievalRequest::Full).unwrap();
+
+        let mut streaming = ProgressiveDecoder::from_source(&source).unwrap();
+        let mut reports = 0usize;
+        let streamed = streaming
+            .retrieve_streaming(RetrievalRequest::Full, |_| reports += 1)
+            .unwrap();
+        assert!(reports > 1, "tiny chunks must stream many regions");
+        assert_eq!(streamed.data.as_slice(), full.data.as_slice());
+        assert_eq!(streamed.bytes_total, full.bytes_total);
+    }
+
+    #[test]
+    fn shared_source_decoder_is_static_and_equivalent() {
+        let data = field();
+        let c = compress(&data, 1e-6, &Config::default()).unwrap();
+        let source: Arc<dyn crate::source::ChunkSource> =
+            Arc::new(crate::source::MemorySource::new(c.to_bytes()));
+        let map = Arc::new(crate::container::ContainerMap::open(source.as_ref()).unwrap());
+        let mut dec: ProgressiveDecoder<'static> =
+            ProgressiveDecoder::from_shared_source(source, map);
+        let out = dec.retrieve(RetrievalRequest::Full).unwrap();
+        let reference = c.decompress().unwrap();
+        assert_eq!(out.data.as_slice(), reference.as_slice());
     }
 
     #[test]

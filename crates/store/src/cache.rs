@@ -1,0 +1,248 @@
+//! Byte-budgeted LRU cache over a [`ChunkSource`].
+//!
+//! Keys are the exact requested ranges. That is effective because the
+//! decoder always addresses a given chunk by the same `(offset, len)` pair —
+//! the chunk index is immutable — so every re-request of a chunk by another
+//! session (or a refinement pass) is a guaranteed key match. The cache sits
+//! *above* coalescing in a source stack: hits are served per chunk without
+//! touching the backend, and the misses of one batch flow down in a single
+//! `read_ranges` call that the coalescer can still merge.
+//!
+//! Concurrency: the miss fetch happens outside the lock, so two sessions
+//! racing on the same cold chunk may both fetch it (last insert wins). That
+//! duplicates a read instead of serializing every client behind remote
+//! latency — the right trade for a read-only cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
+use ipcomp::Result;
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ranges served from the cache.
+    pub hits: u64,
+    /// Ranges fetched from the wrapped source.
+    pub misses: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    bytes: Bytes,
+    tick: u64,
+}
+
+struct CacheState {
+    map: HashMap<ByteRange, CacheEntry>,
+    resident: usize,
+    tick: u64,
+}
+
+/// A [`ChunkSource`] wrapper holding recently requested ranges in an LRU
+/// cache with a byte budget.
+pub struct CachedSource<S> {
+    inner: S,
+    budget: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: ChunkSource> CachedSource<S> {
+    /// Cache up to `budget_bytes` of range payload.
+    pub fn new(inner: S, budget_bytes: usize) -> Self {
+        Self {
+            inner,
+            budget: budget_bytes,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                resident: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the hit/miss counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            resident_bytes: state.resident,
+            entries: state.map.len(),
+        }
+    }
+
+    /// Drop every cached entry (counters keep accumulating).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("cache lock");
+        state.map.clear();
+        state.resident = 0;
+    }
+
+    /// Evict least-recently-used entries until the budget holds. The scan is
+    /// linear in the entry count, which stays small (entries are chunk-sized,
+    /// so a budget holds at most budget / chunk_size of them).
+    fn evict_to_budget(state: &mut CacheState, budget: usize) {
+        while state.resident > budget && !state.map.is_empty() {
+            let oldest = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            if let Some(e) = state.map.remove(&oldest) {
+                state.resident -= e.bytes.len();
+            }
+        }
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for CachedSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        let mut out: Vec<Option<Bytes>> = vec![None; ranges.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            state.tick += 1;
+            let tick = state.tick;
+            for (i, r) in ranges.iter().enumerate() {
+                if let Some(e) = state.map.get_mut(r) {
+                    e.tick = tick;
+                    out[i] = Some(e.bytes.clone());
+                } else {
+                    miss_idx.push(i);
+                }
+            }
+        }
+        self.hits
+            .fetch_add((ranges.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+
+        if !miss_idx.is_empty() {
+            let miss_ranges: Vec<ByteRange> = miss_idx.iter().map(|&i| ranges[i]).collect();
+            // Fetch outside the lock; read_ranges_exact guarantees sizes, so
+            // cached entries are always exactly their key's length.
+            let bufs = read_ranges_exact(&self.inner, &miss_ranges)?;
+            let mut state = self.state.lock().expect("cache lock");
+            state.tick += 1;
+            let tick = state.tick;
+            for (&i, buf) in miss_idx.iter().zip(bufs) {
+                out[i] = Some(buf.clone());
+                let r = ranges[i];
+                // Entries larger than the whole budget bypass the cache.
+                if r.len <= self.budget && !state.map.contains_key(&r) {
+                    // A coalescing layer below returns slices of one large
+                    // merged read; storing such a slice would pin the whole
+                    // backing buffer while `resident` counts only the slice.
+                    // Copy into a right-sized allocation so the byte budget
+                    // bounds real memory (one chunk-sized memcpy per miss).
+                    let stored = if buf.len() == buf.backing_len() {
+                        buf
+                    } else {
+                        Bytes::from_vec(buf.to_vec())
+                    };
+                    state.resident += stored.len();
+                    state.map.insert(
+                        r,
+                        CacheEntry {
+                            bytes: stored,
+                            tick,
+                        },
+                    );
+                }
+            }
+            let budget = self.budget;
+            Self::evict_to_budget(&mut state, budget);
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("all slots filled"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimProfile, SimulatedObjectStore};
+    use ipcomp::source::MemorySource;
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let sim = SimulatedObjectStore::new(MemorySource::new(vec![9u8; 4096]), SimProfile::free());
+        let cache = CachedSource::new(&sim, 1 << 20);
+        let ranges = [ByteRange::new(0, 128), ByteRange::new(1024, 64)];
+        let a = cache.read_ranges(&ranges).unwrap();
+        let b = cache.read_ranges(&ranges).unwrap();
+        assert_eq!(&a[0][..], &b[0][..]);
+        assert_eq!(sim.stats().requests, 2, "second round served from cache");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let data: Vec<u8> = (0..=255).cycle().take(4096).map(|v| v as u8).collect();
+        let cache = CachedSource::new(MemorySource::new(data.clone()), 256);
+        let r1 = ByteRange::new(0, 128);
+        let r2 = ByteRange::new(128, 128);
+        let r3 = ByteRange::new(256, 128);
+        cache.read_ranges(&[r1, r2]).unwrap();
+        // Touch r1 so r2 is the LRU victim when r3 arrives.
+        cache.read_ranges(&[r1]).unwrap();
+        cache.read_ranges(&[r3]).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert!(s.resident_bytes <= 256);
+        // r1 still cached, r2 evicted.
+        let before = cache.stats().misses;
+        cache.read_ranges(&[r1]).unwrap();
+        assert_eq!(cache.stats().misses, before);
+        cache.read_ranges(&[r2]).unwrap();
+        assert_eq!(cache.stats().misses, before + 1);
+        // Content stays correct throughout.
+        let buf = cache.read_ranges(&[r2]).unwrap();
+        assert_eq!(&buf[0][..], &data[128..256]);
+    }
+
+    #[test]
+    fn entries_from_coalesced_reads_are_right_sized_copies() {
+        use crate::coalesce::CoalescingSource;
+        let data: Vec<u8> = (0..=255).cycle().take(8192).map(|v| v as u8).collect();
+        let inner = CoalescingSource::new(MemorySource::new(data.clone()), 1 << 16);
+        let cache = CachedSource::new(inner, 1 << 20);
+        // Both ranges merge into one backing read below the cache; the cached
+        // entries must not pin that merged buffer.
+        let ranges = [ByteRange::new(0, 64), ByteRange::new(4096, 64)];
+        let first = cache.read_ranges(&ranges).unwrap();
+        assert!(first.iter().any(|b| b.backing_len() > b.len()));
+        let again = cache.read_ranges(&ranges).unwrap();
+        for (r, b) in ranges.iter().zip(&again) {
+            assert_eq!(&b[..], &data[r.offset as usize..r.end() as usize]);
+            assert_eq!(b.backing_len(), b.len(), "cached entry pins extra bytes");
+        }
+        assert_eq!(cache.stats().resident_bytes, 128);
+    }
+
+    #[test]
+    fn oversized_entries_bypass_the_cache() {
+        let cache = CachedSource::new(MemorySource::new(vec![1u8; 4096]), 64);
+        cache.read_ranges(&[ByteRange::new(0, 1024)]).unwrap();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

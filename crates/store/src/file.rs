@@ -1,0 +1,101 @@
+//! File-backed [`ChunkSource`] using positioned reads.
+//!
+//! Each requested range becomes one `pread`-style read at an absolute offset,
+//! so concurrent sessions share a single descriptor without seeking over each
+//! other — the same access pattern an `mmap`-backed reader produces, without
+//! the `unsafe` surface. The OS page cache plays the role of the mapping.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use ipcomp::source::{ByteRange, Bytes, ChunkSource};
+use ipcomp::{IpcompError, Result};
+
+/// [`ChunkSource`] over a serialized container on the filesystem.
+pub struct FileSource {
+    file: File,
+    len: u64,
+    path: PathBuf,
+    /// Positioned reads need a cursor lock on platforms without `pread`.
+    #[cfg(not(unix))]
+    lock: std::sync::Mutex<()>,
+}
+
+impl FileSource {
+    /// Open a serialized container file read-only.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            len,
+            path,
+            #[cfg(not(unix))]
+            lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// The file this source reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_at(&self, range: ByteRange) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; range.len];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, range.offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let _guard = self.lock.lock().expect("file cursor lock");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(range.offset))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+}
+
+impl ChunkSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        let mut out = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            if r.end() > self.len {
+                return Err(IpcompError::CorruptContainer(
+                    "byte range beyond end of source",
+                ));
+            }
+            out.push(Bytes::from_vec(self.read_at(*r)?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_file;
+
+    #[test]
+    fn file_source_reads_exact_ranges() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let path = scratch_file("file_source_ranges", &data);
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.len(), 200);
+        let bufs = src
+            .read_ranges(&[ByteRange::new(0, 3), ByteRange::new(190, 10)])
+            .unwrap();
+        assert_eq!(&bufs[0][..], &data[0..3]);
+        assert_eq!(&bufs[1][..], &data[190..200]);
+        assert!(src.read_ranges(&[ByteRange::new(195, 6)]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! # `ipc_store` — chunk-addressable storage backends and the progressive
+//! retrieval service
+//!
+//! The version-2 IPComp container records every `(level, plane, chunk)`
+//! triple's size and offset in its metadata; this crate is the read side
+//! that exploits it end to end, so a retrieval touches exactly the bytes its
+//! plan selects instead of materializing the whole archive:
+//!
+//! 1. **Backends** — implementations of [`ChunkSource`] (the trait lives in
+//!    `ipcomp::source`, re-exported here): the in-memory [`MemorySource`],
+//!    the positioned-read [`FileSource`], and the [`SimulatedObjectStore`]
+//!    wrapper that models S3-like per-request latency/throughput, counts
+//!    traffic, and can inject short reads for hardening tests.
+//! 2. **Planner** — [`planner::plan_request`] resolves a
+//!    [`RetrievalRequest`] through the optimizer *over metadata alone* and
+//!    lowers the resulting plan to per-chunk byte ranges;
+//!    [`coalesce::coalesce_ranges`] merges adjacent runs under a gap
+//!    threshold so a level's plane fetch becomes a single ranged read.
+//! 3. **Service** — [`ContainerStore`] composes a source stack (backend →
+//!    coalescing → shared LRU [`CachedSource`]) and hands out
+//!    [`RetrievalSession`]s; [`StoreServer`] drives N concurrent client
+//!    sessions over the shared cache on the rayon pool.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ipc_store::{ContainerStore, MemorySource, StoreOptions};
+//! use ipcomp::{compress, Config, RetrievalRequest};
+//! use ipc_tensor::{ArrayD, Shape};
+//!
+//! let field = ArrayD::from_fn(Shape::d3(16, 16, 16), |c| {
+//!     (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() + c[2] as f64 * 0.01
+//! });
+//! let compressed = compress(&field, 1e-6, &Config::default()).unwrap();
+//!
+//! // Any ChunkSource works here — a file, an object-store simulator, ...
+//! let base = Arc::new(MemorySource::new(compressed.to_bytes()));
+//! let store = ContainerStore::open(base, StoreOptions::default()).unwrap();
+//! let mut session = store.session();
+//! let coarse = session.retrieve(RetrievalRequest::ErrorBound(1e-2)).unwrap();
+//! let fine = session.retrieve(RetrievalRequest::ErrorBound(1e-5)).unwrap();
+//! assert!(coarse.bytes_total < fine.bytes_total);
+//! ```
+
+pub mod cache;
+pub mod coalesce;
+pub mod file;
+pub mod planner;
+pub mod server;
+pub mod session;
+pub mod sim;
+pub mod testutil;
+
+pub use cache::{CacheStats, CachedSource};
+pub use coalesce::{coalesce_ranges, CoalescingSource};
+pub use file::FileSource;
+pub use planner::{lower_plan, plan_request, ChunkRead, RangePlan};
+pub use server::{field_checksum, ClientOutcome, ClientStep, StoreServer};
+pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, StoreOptions};
+pub use sim::{Fault, SimProfile, SimStats, SimulatedObjectStore};
+
+// The storage abstraction itself lives next to the container format so the
+// decoder can consume it; re-export it as part of this crate's surface.
+pub use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource};
+pub use ipcomp::{ContainerMap, LevelMap};
+
+/// Convenience re-export: requests sessions are driven with.
+pub use ipcomp::RetrievalRequest;

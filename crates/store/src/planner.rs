@@ -1,0 +1,196 @@
+//! Retrieval planner: lower a [`LoadPlan`] into the exact chunk byte ranges
+//! it needs, given what a session has already loaded.
+//!
+//! The optimizer decides *how many planes* per level (over the metadata-only
+//! [`ContainerMap`], so no payload is touched); this module turns that into
+//! *which bytes*: one [`ChunkRead`] per `(level, plane, chunk)` triple the
+//! plan adds, in container payload order. [`RangePlan::coalesced`] then
+//! merges adjacent runs under a gap threshold — because plans always load
+//! the top planes and the container stores planes low-to-high, the added
+//! planes of a level form one contiguous tail run, so coalescing typically
+//! collapses a level's whole fetch into a single ranged read.
+//!
+//! On version-1 containers (no chunk index) every plane is one
+//! whole-payload chunk, so the same lowering degrades to a single range per
+//! plane instead of erroring.
+
+use ipcomp::container::ContainerMap;
+use ipcomp::optimizer::{plan_for_request, LoadPlan};
+use ipcomp::progressive::RetrievalRequest;
+use ipcomp::source::ByteRange;
+use ipcomp::Result;
+
+use crate::coalesce::coalesce_ranges;
+
+/// One chunk fetch of a lowered plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRead {
+    /// Index into the container's level list (coarsest first).
+    pub level: usize,
+    /// Plane index within the level (0 = least significant).
+    pub plane: u8,
+    /// Chunk index within the plane.
+    pub chunk: usize,
+    /// Absolute byte range of the compressed chunk.
+    pub range: ByteRange,
+}
+
+/// A [`LoadPlan`] lowered to byte ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePlan {
+    /// The plane-count plan this lowering realizes.
+    pub load: LoadPlan,
+    /// Chunk fetches in container payload order (level-major, then
+    /// plane-major — exactly the serialized byte order).
+    pub reads: Vec<ChunkRead>,
+}
+
+impl RangePlan {
+    /// Total payload bytes the plan fetches.
+    pub fn payload_bytes(&self) -> usize {
+        self.reads.iter().map(|r| r.range.len).sum()
+    }
+
+    /// Number of per-chunk requests without coalescing.
+    pub fn request_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// The raw per-chunk ranges, in payload order.
+    pub fn ranges(&self) -> Vec<ByteRange> {
+        self.reads.iter().map(|r| r.range).collect()
+    }
+
+    /// The batched reads after merging ranges whose gap is at most
+    /// `max_gap` bytes.
+    pub fn coalesced(&self, max_gap: u64) -> Vec<ByteRange> {
+        coalesce_ranges(&self.ranges(), max_gap).0
+    }
+}
+
+/// Lower `plan` against `map`, skipping planes already loaded.
+///
+/// `already_loaded[idx]` counts planes from the most significant, exactly
+/// like `LoadPlan::planes_loaded` (pass all zeros for a fresh session).
+pub fn lower_plan(map: &ContainerMap, already_loaded: &[u8], plan: &LoadPlan) -> RangePlan {
+    let mut reads = Vec::new();
+    for (idx, level) in map.levels.iter().enumerate() {
+        let want = plan
+            .planes_loaded
+            .get(idx)
+            .copied()
+            .unwrap_or(0)
+            .min(level.num_planes);
+        let have = already_loaded.get(idx).copied().unwrap_or(0);
+        if want <= have {
+            continue;
+        }
+        // Top `want` planes minus the top `have` already present.
+        let hi = level.num_planes - have;
+        let lo = level.num_planes - want;
+        for p in lo..hi {
+            for k in 0..level.plane_chunk_count(p) {
+                reads.push(ChunkRead {
+                    level: idx,
+                    plane: p,
+                    chunk: k,
+                    range: level.chunk_range(p, k),
+                });
+            }
+        }
+    }
+    RangePlan {
+        load: plan.clone(),
+        reads,
+    }
+}
+
+/// Resolve `request` through the optimizer (the same dispatch the decoder's
+/// `plan()` uses) and lower it in one step.
+pub fn plan_request(
+    map: &ContainerMap,
+    already_loaded: &[u8],
+    request: RetrievalRequest,
+) -> Result<RangePlan> {
+    let plan = plan_for_request(map, request)?;
+    Ok(lower_plan(map, already_loaded, &plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipc_tensor::{ArrayD, Shape};
+    use ipcomp::{compress, Config, RetrievalRequest};
+
+    fn toy_map(chunk_bytes: usize) -> (ipcomp::Compressed, ContainerMap) {
+        let field = ArrayD::from_fn(Shape::d3(20, 18, 16), |c| {
+            (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() * 2.0 + c[2] as f64 * 0.01
+        });
+        let config = Config {
+            chunk_bytes,
+            ..Config::default()
+        };
+        let c = compress(&field, 1e-7, &config).unwrap();
+        let map = ContainerMap::from_compressed(&c);
+        (c, map)
+    }
+
+    #[test]
+    fn full_plan_covers_every_payload_byte() {
+        let (c, map) = toy_map(64);
+        let rp = plan_request(&map, &vec![0; map.levels.len()], RetrievalRequest::Full).unwrap();
+        assert_eq!(rp.payload_bytes(), c.payload_bytes());
+    }
+
+    #[test]
+    fn error_bound_plan_fetches_strict_subset() {
+        let (c, map) = toy_map(64);
+        let rp = plan_request(
+            &map,
+            &vec![0; map.levels.len()],
+            RetrievalRequest::ErrorBound(1e-3),
+        )
+        .unwrap();
+        assert!(rp.payload_bytes() > 0);
+        assert!(rp.payload_bytes() < c.payload_bytes());
+        // Reads arrive in payload order: offsets strictly increase.
+        for w in rp.reads.windows(2) {
+            assert!(w[1].range.offset >= w[0].range.end());
+        }
+    }
+
+    #[test]
+    fn refinement_lowering_skips_loaded_planes() {
+        let (_, map) = toy_map(64);
+        let coarse = plan_request(
+            &map,
+            &vec![0; map.levels.len()],
+            RetrievalRequest::ErrorBound(1e-2),
+        )
+        .unwrap();
+        let refined =
+            plan_request(&map, &coarse.load.planes_loaded, RetrievalRequest::Full).unwrap();
+        // No chunk is fetched twice across the two steps.
+        let mut seen: std::collections::HashSet<(usize, u8, usize)> = Default::default();
+        for r in coarse.reads.iter().chain(&refined.reads) {
+            assert!(seen.insert((r.level, r.plane, r.chunk)), "duplicate {r:?}");
+        }
+        // Together they cover the full plan exactly.
+        let full = plan_request(&map, &vec![0; map.levels.len()], RetrievalRequest::Full).unwrap();
+        assert_eq!(
+            coarse.payload_bytes() + refined.payload_bytes(),
+            full.payload_bytes()
+        );
+    }
+
+    #[test]
+    fn coalescing_collapses_contiguous_plane_runs() {
+        let (_, map) = toy_map(64);
+        let rp = plan_request(&map, &vec![0; map.levels.len()], RetrievalRequest::Full).unwrap();
+        let merged = rp.coalesced(0);
+        // A full fetch of each level's payload is one contiguous run, and
+        // adjacent levels are separated only by their metadata records.
+        assert!(merged.len() <= map.levels.len());
+        assert!(rp.request_count() >= 4 * merged.len());
+    }
+}

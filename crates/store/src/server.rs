@@ -1,0 +1,95 @@
+//! Multi-client retrieval driver: N concurrent sessions over one shared
+//! [`ContainerStore`].
+//!
+//! Each workload (a sequence of [`RetrievalRequest`]s) runs in its own
+//! session on the rayon pool. Sessions are fully independent — per-client
+//! monotone refinement and failed-load rollback hold unchanged — while all
+//! of them pull chunks through the store's shared cache, so the backend sees
+//! each chunk roughly once no matter how many clients ask for it.
+
+use std::sync::Arc;
+
+use ipcomp::progressive::RetrievalRequest;
+use ipcomp::Result;
+use rayon::prelude::*;
+
+use crate::session::ContainerStore;
+
+/// One completed retrieval step of a client workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientStep {
+    /// Container bytes this step alone read.
+    pub bytes_this_request: usize,
+    /// Cumulative bytes after the step.
+    pub bytes_total: usize,
+    /// Error bound of the reconstruction after the step.
+    pub error_bound: f64,
+}
+
+/// Result of one client's full workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// Per-request accounting, in workload order.
+    pub steps: Vec<ClientStep>,
+    /// FNV-1a hash over the final reconstruction's `f64` bit patterns, so
+    /// callers can assert cross-client (and cross-backend) bit-identity
+    /// without shipping whole fields around.
+    pub checksum: u64,
+}
+
+/// Hash a reconstruction's exact bit patterns.
+pub fn field_checksum(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Drives concurrent client sessions over one shared store.
+pub struct StoreServer {
+    store: Arc<ContainerStore>,
+}
+
+impl StoreServer {
+    /// Serve sessions of `store`.
+    pub fn new(store: Arc<ContainerStore>) -> Self {
+        Self { store }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<ContainerStore> {
+        &self.store
+    }
+
+    /// Run every workload as its own session, fanning out over the rayon
+    /// pool. Results arrive in workload order; a failing request fails only
+    /// its own client.
+    pub fn serve(&self, workloads: &[Vec<RetrievalRequest>]) -> Vec<Result<ClientOutcome>> {
+        workloads
+            .to_vec()
+            .into_par_iter()
+            .map(|requests| {
+                let mut session = self.store.session();
+                let mut steps = Vec::with_capacity(requests.len());
+                let mut last = None;
+                for request in requests {
+                    let out = session.retrieve(request)?;
+                    steps.push(ClientStep {
+                        bytes_this_request: out.bytes_this_request,
+                        bytes_total: out.bytes_total,
+                        error_bound: out.error_bound,
+                    });
+                    last = Some(out);
+                }
+                // Hash once over the final reconstruction only — hashing a
+                // megabyte-scale field per refinement step is wasted CPU.
+                let checksum = last.map_or(0, |out| field_checksum(out.data.as_slice()));
+                Ok(ClientOutcome { steps, checksum })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,224 @@
+//! Session layer: a shared [`ContainerStore`] (source stack + metadata map)
+//! and per-client [`RetrievalSession`]s on top of it.
+//!
+//! One `ContainerStore` composes the source stack once — base backend, then
+//! optional coalescing, then an optional shared LRU chunk cache — and hands
+//! out any number of sessions. Each session owns its own
+//! [`ProgressiveDecoder`] (so per-client progress, monotonicity, and
+//! failed-load rollback behave exactly as in the single-reader API) while
+//! all sessions draw chunks through the same cache: the first client to
+//! request a plane pays the backend cost, the rest hit shared memory.
+
+use std::sync::Arc;
+
+use ipcomp::container::ContainerMap;
+use ipcomp::progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest, StreamProgress};
+use ipcomp::source::ChunkSource;
+use ipcomp::Result;
+
+use crate::cache::{CacheStats, CachedSource};
+use crate::coalesce::CoalescingSource;
+use crate::planner::{lower_plan, plan_request};
+
+/// Configuration of a [`ContainerStore`]'s source stack and sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreOptions {
+    /// Byte budget of the shared LRU chunk cache; `0` disables the cache
+    /// layer entirely.
+    pub cache_bytes: usize,
+    /// Merge chunk requests whose byte gap is at most this threshold into
+    /// batched reads; `None` disables the coalescing layer (every chunk is
+    /// its own backend request).
+    pub coalesce_gap: Option<u64>,
+    /// After every retrieval, prefetch up to this many not-yet-loaded planes
+    /// per level into the shared cache (refinement readahead). `0` disables.
+    pub readahead_planes: u8,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            cache_bytes: 64 << 20,
+            coalesce_gap: Some(4096),
+            readahead_planes: 0,
+        }
+    }
+}
+
+/// A container opened for ranged multi-session retrieval: the parsed
+/// metadata map plus the composed source stack every session reads through.
+pub struct ContainerStore {
+    map: Arc<ContainerMap>,
+    stack: Arc<dyn ChunkSource>,
+    cache: Option<Arc<CachedSource<Arc<dyn ChunkSource>>>>,
+    options: StoreOptions,
+}
+
+impl ContainerStore {
+    /// Open a container over `base`, reading its metadata map and composing
+    /// the configured source stack above the backend.
+    pub fn open(base: Arc<dyn ChunkSource>, options: StoreOptions) -> Result<Arc<Self>> {
+        let map = Arc::new(ContainerMap::open(base.as_ref())?);
+        Ok(Self::with_map(base, map, options))
+    }
+
+    /// Like [`ContainerStore::open`] with an already-parsed metadata map.
+    pub fn with_map(
+        base: Arc<dyn ChunkSource>,
+        map: Arc<ContainerMap>,
+        options: StoreOptions,
+    ) -> Arc<Self> {
+        let mut stack: Arc<dyn ChunkSource> = base;
+        if let Some(gap) = options.coalesce_gap {
+            stack = Arc::new(CoalescingSource::new(stack, gap));
+        }
+        let mut cache = None;
+        if options.cache_bytes > 0 {
+            let cached = Arc::new(CachedSource::new(stack, options.cache_bytes));
+            cache = Some(Arc::clone(&cached));
+            stack = cached;
+        }
+        Arc::new(Self {
+            map,
+            stack,
+            cache,
+            options,
+        })
+    }
+
+    /// The container's metadata map.
+    pub fn map(&self) -> &Arc<ContainerMap> {
+        &self.map
+    }
+
+    /// The composed source stack sessions read through.
+    pub fn source(&self) -> &Arc<dyn ChunkSource> {
+        &self.stack
+    }
+
+    /// Shared-cache counters, if a cache layer is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Start a fresh retrieval session (nothing loaded yet).
+    pub fn session(self: &Arc<Self>) -> RetrievalSession {
+        let decoder =
+            ProgressiveDecoder::from_shared_source(Arc::clone(&self.stack), Arc::clone(&self.map));
+        RetrievalSession {
+            store: Arc::clone(self),
+            decoder,
+        }
+    }
+}
+
+/// What a prefetch warmed up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchOutcome {
+    /// Chunk ranges fetched into the cache.
+    pub ranges: usize,
+    /// Payload bytes fetched.
+    pub bytes: usize,
+}
+
+/// One client's progressive retrieval state over a shared [`ContainerStore`].
+pub struct RetrievalSession {
+    store: Arc<ContainerStore>,
+    decoder: ProgressiveDecoder<'static>,
+}
+
+impl RetrievalSession {
+    /// Retrieve (or refine to) the requested fidelity, then apply the
+    /// configured readahead.
+    pub fn retrieve(&mut self, request: RetrievalRequest) -> Result<Retrieval> {
+        let out = self.decoder.retrieve(request)?;
+        self.readahead();
+        Ok(out)
+    }
+
+    /// Streaming variant of [`RetrievalSession::retrieve`].
+    pub fn retrieve_streaming(
+        &mut self,
+        request: RetrievalRequest,
+        progress: impl FnMut(StreamProgress),
+    ) -> Result<Retrieval> {
+        let out = self.decoder.retrieve_streaming(request, progress)?;
+        self.readahead();
+        Ok(out)
+    }
+
+    /// Warm the shared cache with every chunk `request` would add beyond
+    /// what this session has loaded, without decoding anything. Returns what
+    /// was fetched; a no-op (zero outcome) when the store has no cache layer
+    /// to retain the bytes — fetching would pay backend cost for nothing.
+    pub fn prefetch(&self, request: RetrievalRequest) -> Result<PrefetchOutcome> {
+        if self.store.cache.is_none() {
+            return Ok(PrefetchOutcome::default());
+        }
+        let plan = plan_request(&self.store.map, self.decoder.planes_loaded(), request)?;
+        let ranges = plan.ranges();
+        self.store.stack.read_ranges(&ranges)?;
+        Ok(PrefetchOutcome {
+            ranges: ranges.len(),
+            bytes: plan.payload_bytes(),
+        })
+    }
+
+    /// Best-effort readahead of the next `readahead_planes` planes per level
+    /// below what is loaded; failures are ignored (the retrieval that
+    /// actually needs the bytes will surface them). Skipped entirely when no
+    /// cache layer exists to hold the prefetched chunks.
+    fn readahead(&self) {
+        let n = self.store.options.readahead_planes;
+        if n == 0 || self.store.cache.is_none() {
+            return;
+        }
+        // Express the readahead as a LoadPlan (current planes + n per level)
+        // and reuse the planner's lowering, so the subtle planes-counted-
+        // from-most-significant arithmetic lives in exactly one place.
+        let loaded = self.decoder.planes_loaded();
+        let plan = ipcomp::LoadPlan {
+            planes_loaded: self
+                .store
+                .map
+                .levels
+                .iter()
+                .zip(loaded)
+                .map(|(level, &have)| (have + n).min(level.num_planes))
+                .collect(),
+            extra_error_bound: 0.0,
+            payload_bytes: 0,
+        };
+        let ranges = lower_plan(&self.store.map, loaded, &plan).ranges();
+        if !ranges.is_empty() {
+            let _ = self.store.stack.read_ranges(&ranges);
+        }
+    }
+
+    /// The plan lowering this session's next `request` would fetch (for
+    /// inspection or cost estimation; does not read anything).
+    pub fn plan_ranges(&self, request: RetrievalRequest) -> Result<crate::planner::RangePlan> {
+        let plan = self.decoder.plan(request)?;
+        Ok(lower_plan(
+            &self.store.map,
+            self.decoder.planes_loaded(),
+            &plan,
+        ))
+    }
+
+    /// Planes currently loaded per level (coarsest first).
+    pub fn planes_loaded(&self) -> &[u8] {
+        self.decoder.planes_loaded()
+    }
+
+    /// Cumulative container bytes this session has read (logical payload
+    /// accounting; backend traffic lives in the source stack's stats).
+    pub fn bytes_loaded(&self) -> usize {
+        self.decoder.bytes_loaded()
+    }
+
+    /// Direct access to the underlying decoder.
+    pub fn decoder_mut(&mut self) -> &mut ProgressiveDecoder<'static> {
+        &mut self.decoder
+    }
+}

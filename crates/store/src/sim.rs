@@ -1,0 +1,215 @@
+//! Object-store simulator: wraps any [`ChunkSource`] with a configurable
+//! per-request cost model and request accounting, so benchmarks can model
+//! S3-like access — every range is one GET with fixed latency plus a
+//! throughput term — on a single box, and hardening tests can inject
+//! short reads.
+//!
+//! The simulated clock is accounted unconditionally (and readable via
+//! [`SimulatedObjectStore::stats`]); actually sleeping for it is opt-in so CI
+//! smoke runs stay fast while local benchmark runs can produce wall-clock
+//! numbers too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ipcomp::source::{ByteRange, Bytes, ChunkSource};
+use ipcomp::Result;
+
+/// Cost model of one simulated remote store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimProfile {
+    /// Fixed cost charged per requested range (one range = one GET).
+    pub latency_per_request: Duration,
+    /// Transfer rate; `0.0` means infinitely fast (latency-only model).
+    pub throughput_bytes_per_sec: f64,
+    /// Actually sleep for the simulated time instead of only accounting it.
+    pub real_sleep: bool,
+}
+
+impl SimProfile {
+    /// The paper-style default: 5 ms per request, 200 MB/s, accounting only.
+    pub fn object_store() -> Self {
+        Self {
+            latency_per_request: Duration::from_millis(5),
+            throughput_bytes_per_sec: 200e6,
+            real_sleep: false,
+        }
+    }
+
+    /// Free access — counts requests without charging time.
+    pub fn free() -> Self {
+        Self {
+            latency_per_request: Duration::ZERO,
+            throughput_bytes_per_sec: 0.0,
+            real_sleep: false,
+        }
+    }
+}
+
+/// Fault injection applied to returned buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Honest backend.
+    None,
+    /// Every range request with index `>= after` (counted across the store's
+    /// lifetime) returns only the first half of its bytes — the kind of
+    /// silent truncation an interrupted transfer produces. Consumers must
+    /// surface a bounded error, never panic.
+    ShortReadAfter(u64),
+}
+
+/// Cumulative counters of one simulated store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Individual range requests served (each modeling one GET).
+    pub requests: u64,
+    /// `read_ranges` batches served.
+    pub batches: u64,
+    /// Payload bytes returned.
+    pub bytes: u64,
+    /// Total simulated transfer time in seconds.
+    pub simulated_secs: f64,
+}
+
+/// A [`ChunkSource`] wrapper that charges a latency/throughput cost per
+/// range, counts traffic, and optionally injects short reads.
+pub struct SimulatedObjectStore<S> {
+    inner: S,
+    profile: SimProfile,
+    fault: Fault,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+    simulated_nanos: AtomicU64,
+}
+
+impl<S: ChunkSource> SimulatedObjectStore<S> {
+    /// Wrap `inner` with the given cost model.
+    pub fn new(inner: S, profile: SimProfile) -> Self {
+        Self {
+            inner,
+            profile,
+            fault: Fault::None,
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            simulated_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap `inner` with a cost model and fault injection.
+    pub fn with_fault(inner: S, profile: SimProfile, fault: Fault) -> Self {
+        Self {
+            fault,
+            ..Self::new(inner, profile)
+        }
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            simulated_secs: self.simulated_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Reset the traffic counters (fault state is lifetime-global).
+    pub fn reset_stats(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.simulated_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for SimulatedObjectStore<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        let first_index = self
+            .requests
+            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let total: u64 = ranges.iter().map(|r| r.len as u64).sum();
+        self.bytes.fetch_add(total, Ordering::Relaxed);
+
+        let mut cost = self.profile.latency_per_request * ranges.len() as u32;
+        if self.profile.throughput_bytes_per_sec > 0.0 {
+            cost += Duration::from_secs_f64(total as f64 / self.profile.throughput_bytes_per_sec);
+        }
+        self.simulated_nanos
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        if self.profile.real_sleep && !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+
+        let bufs = self.inner.read_ranges(ranges)?;
+        match self.fault {
+            Fault::None => Ok(bufs),
+            Fault::ShortReadAfter(after) => Ok(bufs
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    if first_index + i as u64 >= after && !b.is_empty() {
+                        let keep = b.len() / 2;
+                        b.slice(0..keep)
+                    } else {
+                        b
+                    }
+                })
+                .collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcomp::source::MemorySource;
+
+    #[test]
+    fn counts_requests_bytes_and_simulated_time() {
+        let sim = SimulatedObjectStore::new(
+            MemorySource::new(vec![7u8; 1000]),
+            SimProfile {
+                latency_per_request: Duration::from_millis(5),
+                throughput_bytes_per_sec: 1000.0,
+                real_sleep: false,
+            },
+        );
+        sim.read_ranges(&[ByteRange::new(0, 100), ByteRange::new(500, 400)])
+            .unwrap();
+        let s = sim.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.bytes, 500);
+        // 2 × 5 ms latency + 500 B at 1000 B/s = 0.51 s.
+        assert!(
+            (s.simulated_secs - 0.51).abs() < 1e-9,
+            "{}",
+            s.simulated_secs
+        );
+        sim.reset_stats();
+        assert_eq!(sim.stats().requests, 0);
+    }
+
+    #[test]
+    fn short_read_fault_truncates_after_threshold() {
+        let sim = SimulatedObjectStore::with_fault(
+            MemorySource::new(vec![1u8; 64]),
+            SimProfile::free(),
+            Fault::ShortReadAfter(1),
+        );
+        let bufs = sim
+            .read_ranges(&[ByteRange::new(0, 16), ByteRange::new(16, 16)])
+            .unwrap();
+        assert_eq!(bufs[0].len(), 16);
+        assert_eq!(bufs[1].len(), 8);
+        // And read_ranges_exact surfaces it as a bounded error.
+        assert!(ipcomp::source::read_ranges_exact(&sim, &[ByteRange::new(0, 16)]).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Test/bench support: build chunk sources in whatever backend the
+//! environment asks for.
+//!
+//! Setting `IPC_STORE_FORCE_FILE=1` makes [`test_source`] materialize every
+//! container as a scratch file served by [`FileSource`], so one CI pass runs
+//! the whole suite against the positioned-read path instead of the in-memory
+//! fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ipcomp::source::{ChunkSource, MemorySource};
+
+use crate::file::FileSource;
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `data` to a unique scratch file in the system temp directory and
+/// return its path. Callers remove it when done.
+pub fn scratch_file(name: &str, data: &[u8]) -> std::path::PathBuf {
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("ipc_store_{name}_{}_{seq}.bin", std::process::id()));
+    std::fs::write(&path, data).expect("write scratch container");
+    path
+}
+
+/// Whether the environment forces the file-backed source.
+pub fn file_backend_forced() -> bool {
+    std::env::var("IPC_STORE_FORCE_FILE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Wrap serialized container bytes in the backend selected by the
+/// environment: [`MemorySource`] by default, [`FileSource`] over a scratch
+/// file when `IPC_STORE_FORCE_FILE=1`.
+///
+/// On Unix the scratch file is unlinked immediately (the open descriptor
+/// keeps it readable), so forced-file runs leave no litter behind.
+pub fn test_source(bytes: Vec<u8>) -> Arc<dyn ChunkSource> {
+    if file_backend_forced() {
+        let path = scratch_file("test_source", &bytes);
+        let source = FileSource::open(&path).expect("open scratch container");
+        #[cfg(unix)]
+        std::fs::remove_file(&path).ok();
+        Arc::new(source)
+    } else {
+        Arc::new(MemorySource::new(bytes))
+    }
+}

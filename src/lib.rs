@@ -6,6 +6,7 @@
 //! `crates/*`:
 //!
 //! * [`ipcomp`] — the paper's contribution: the progressive interpolation compressor.
+//! * [`ipc_store`] — chunk-addressable storage backends and the retrieval service.
 //! * [`ipc_baselines`] — SZ3, SZ3-M, SZ3-R, ZFP, ZFP-R, MGARD, PMGARD, SPERR-R.
 //! * [`ipc_tensor`] — N-dimensional strided array substrate.
 //! * [`ipc_codecs`] — bitstream, negabinary, Huffman, RLE, and LZR lossless backends.
@@ -16,5 +17,6 @@ pub use ipc_baselines as baselines;
 pub use ipc_codecs as codecs;
 pub use ipc_datagen as datagen;
 pub use ipc_metrics as metrics;
+pub use ipc_store as store;
 pub use ipc_tensor as tensor;
 pub use ipcomp as core;
