@@ -111,11 +111,13 @@ fn main() {
         cache_bytes: 0,
         coalesce_gap: None,
         readahead_planes: 0,
+        protect_top_planes: 0,
     };
     let coalesced_options = StoreOptions {
         cache_bytes: 0,
         coalesce_gap: Some(COALESCE_GAP),
         readahead_planes: 0,
+        protect_top_planes: 0,
     };
 
     let bounds = [1e-2, 1e-3, 1e-4, 1e-5];
@@ -191,6 +193,7 @@ fn main() {
                 cache_bytes,
                 coalesce_gap: Some(COALESCE_GAP),
                 readahead_planes: 0,
+                protect_top_planes: 0,
             },
         )
         .unwrap();
@@ -217,6 +220,66 @@ fn main() {
         "{clients} clients coarse->fine: no cache {req_nc} GETs / {bytes_nc} B / {ms_nc:.1} ms | shared cache {req_c} GETs / {bytes_c} B / {ms_c:.1} ms (hit rate {:.0}%)",
         hit_rate.unwrap_or(0.0) * 100.0
     );
+
+    // Cache admission under pressure: a fleet repeatedly pulls the coarse
+    // prefix while a one-shot sweep (a `Full` retrieval nobody repeats)
+    // churns through the whole container. The cache is sized at half the
+    // container — comfortably above the coarse working set — yet the sweep
+    // still evicts the hot prefix under pure LRU; protecting the top-plane
+    // chunks keeps it resident. Sessions run sequentially so hit counts are
+    // deterministic.
+    let admission = |protect: u8| -> (u64, u64, f64) {
+        let sim = Arc::new(SimulatedObjectStore::new(
+            MemorySource::new(bytes.clone()),
+            sim_profile(),
+        ));
+        let store = ContainerStore::open(
+            sim.clone() as Arc<dyn ChunkSource>,
+            StoreOptions {
+                cache_bytes: (total / 2).max(64 << 10),
+                coalesce_gap: Some(COALESCE_GAP),
+                readahead_planes: 0,
+                protect_top_planes: protect,
+            },
+        )
+        .unwrap();
+        let coarse = RetrievalRequest::ErrorBound(1e-2);
+        store.session().retrieve(coarse).unwrap(); // warm the prefix
+        store.session().retrieve(RetrievalRequest::Full).unwrap(); // one-shot sweep
+        let backend_before = sim.stats();
+        let cache_before = store.cache_stats().unwrap();
+        store.session().retrieve(coarse).unwrap(); // the fleet's common path
+        let backend_after = sim.stats();
+        let cache_after = store.cache_stats().unwrap();
+        let hits = cache_after.hits - cache_before.hits;
+        let misses = cache_after.misses - cache_before.misses;
+        (
+            backend_after.requests - backend_before.requests,
+            backend_after.bytes - backend_before.bytes,
+            hits as f64 / (hits + misses).max(1) as f64,
+        )
+    };
+    let (lru_gets, lru_bytes, lru_hit_rate) = admission(0);
+    let (pin_gets, pin_bytes, pin_hit_rate) = admission(63);
+    println!(
+        "cache admission (cache = container/2): coarse retrieval after a full sweep refetches {lru_bytes} B / {lru_gets} GETs under LRU vs {pin_bytes} B / {pin_gets} GETs with top-plane pinning (its hit rate {:.0}% -> {:.0}%)",
+        lru_hit_rate * 100.0,
+        pin_hit_rate * 100.0
+    );
+    if !smoke {
+        assert!(
+            pin_bytes < lru_bytes,
+            "pinning must shield the hot prefix: {pin_bytes} vs {lru_bytes} bytes refetched"
+        );
+        assert!(
+            pin_hit_rate > lru_hit_rate,
+            "pinning must lift the coarse hit rate: {pin_hit_rate:.3} vs {lru_hit_rate:.3}"
+        );
+        assert!(
+            pin_hit_rate >= 0.5,
+            "post-sweep coarse retrieval should mostly hit: {pin_hit_rate:.3}"
+        );
+    }
 
     println!(
         "acceptance: mid-bound fraction {:.1}% (< 50% required), min coalesce factor {min_coalesce_factor:.1}x (>= 4x required), outputs bit-identical to slice path",
@@ -257,6 +320,10 @@ fn main() {
     json.push_str(&format!(
         "  \"multi_client\": {{\"clients\": {clients}, \"workload\": [\"1e-2\", \"1e-4\"], \"no_cache\": {{\"requests\": {req_nc}, \"bytes\": {bytes_nc}, \"sim_ms\": {ms_nc:.2}}}, \"shared_cache\": {{\"requests\": {req_c}, \"bytes\": {bytes_c}, \"sim_ms\": {ms_c:.2}, \"hit_rate\": {:.4}}}}},\n",
         hit_rate.unwrap_or(0.0)
+    ));
+    json.push_str(&format!(
+        "  \"cache_admission\": {{\"cache_bytes\": {}, \"scenario\": \"coarse after one-shot full sweep\", \"lru\": {{\"refetched_bytes\": {lru_bytes}, \"gets\": {lru_gets}, \"hit_rate\": {lru_hit_rate:.4}}}, \"top_plane_pinning\": {{\"protect_top_planes\": 63, \"refetched_bytes\": {pin_bytes}, \"gets\": {pin_gets}, \"hit_rate\": {pin_hit_rate:.4}}}}},\n",
+        (total / 2).max(64 << 10)
     ));
     json.push_str(&format!(
         "  \"acceptance\": {{\"mid_error_bound\": \"1e-3\", \"bytes_fraction_mid\": {mid_fraction:.4}, \"min_coalesce_factor\": {min_coalesce_factor:.2}, \"bit_identical_to_slice_path\": true}}\n}}\n"

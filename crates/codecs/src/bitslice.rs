@@ -1,4 +1,5 @@
-//! Word-parallel bitplane slicing via 64×64 bit-matrix transposition.
+//! Word-parallel bitplane slicing via 64×64 bit-matrix transposition, plus
+//! plane-count-specialized scatter kernels for the decode path.
 //!
 //! The bitplane coder views a batch of `u64` code words as a bit matrix: row `i`
 //! is coefficient `i`, column `p` is bitplane `p`. Slicing planes out of that
@@ -6,6 +7,27 @@
 //! 64×64 bit transpose does the same job 64 coefficients at a time with
 //! word-wide XORs, turning plane extraction into a handful of operations per
 //! *word* instead of per *bit*.
+//!
+//! # Scatter kernels
+//!
+//! The decode direction — scattering packed plane byte streams back into
+//! per-coefficient accumulator words — historically reused the same full
+//! 64×64 transpose per 64-coefficient block *regardless of how many planes
+//! were actually loaded*, which made the scatter stage the decode bottleneck
+//! (a coarse retrieval loading 8 of 48 planes still paid for 64). The
+//! [`scatter_planes`] entry point instead dispatches on the live plane count:
+//!
+//! * **1–8, 9–16, 17–32 planes** — the grouped kernel processes live planes
+//!   in groups of 8 through an 8×8 byte-matrix transpose
+//!   (Hacker's Delight §7-2), touching only live plane words and skipping
+//!   all-zero groups (sparse high planes cost almost nothing).
+//! * **33–64 planes** — the full 64×64 transpose, which is already
+//!   near-optimal when most rows are live.
+//! * An **AVX2 variant** of the grouped kernel (bit-expand via
+//!   `shuffle`/`cmpeq`, byte-widen via `cvtepu8_epi64`) is selected at
+//!   runtime behind the `simd` cargo feature; the portable kernels remain
+//!   compiled and tested unconditionally and are the only path on other
+//!   architectures or under `--no-default-features`.
 //!
 //! Conventions used throughout:
 //!
@@ -16,6 +38,10 @@
 //!   block sits at bit `63 - i`, so `u64::to_be_bytes` yields the byte layout of
 //!   [`crate::bitstream::BitWriter`] (coefficient `8k` at the MSB of byte `k`).
 //!   Within the transposed block, plane `p` lives at row [`plane_row`]`(p)`.
+//! * **Packed plane bytes** are the serialized form of plane words: byte `k`
+//!   covers coefficients `8k..8k+8`, coefficient `8k` at the byte's MSB.
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Row index of plane `p` in the output of [`transpose_64x64`] when the input
 /// rows are coefficient words in block order.
@@ -108,6 +134,276 @@ impl PlaneBlock {
     }
 }
 
+// ---- plane-count-specialized scatter kernels --------------------------------
+
+/// Which scatter implementation [`scatter_planes`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ScatterImpl {
+    /// Pick per call: AVX2 grouped kernel when available, otherwise the
+    /// portable specialized kernels, with the full transpose for dense plane
+    /// spans.
+    Auto = 0,
+    /// The pre-specialization path: one full 64×64 transpose per block
+    /// regardless of plane count. Kept selectable for A/B benchmarking.
+    Generic = 1,
+    /// The portable specialized kernels, never AVX2 (regardless of CPU).
+    Portable = 2,
+}
+
+/// Process-wide kernel override, settable via [`force_scatter_impl`] or the
+/// `IPC_SCATTER_IMPL` environment variable (`generic` / `portable` / `auto`),
+/// mirroring the `IPC_STORE_FORCE_FILE` escape-hatch precedent. `u8::MAX`
+/// means "not yet initialized from the environment".
+static SCATTER_IMPL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Force every subsequent [`scatter_planes`] call onto one implementation
+/// (benchmark A/B harnesses; decoded bits are identical either way).
+pub fn force_scatter_impl(which: ScatterImpl) {
+    SCATTER_IMPL.store(which as u8, Ordering::Relaxed);
+}
+
+/// The implementation [`scatter_planes`] currently dispatches to.
+pub fn scatter_impl() -> ScatterImpl {
+    match SCATTER_IMPL.load(Ordering::Relaxed) {
+        1 => ScatterImpl::Generic,
+        2 => ScatterImpl::Portable,
+        0 => ScatterImpl::Auto,
+        _ => {
+            let from_env = match std::env::var("IPC_SCATTER_IMPL").as_deref() {
+                Ok("generic") => ScatterImpl::Generic,
+                Ok("portable") => ScatterImpl::Portable,
+                _ => ScatterImpl::Auto,
+            };
+            SCATTER_IMPL.store(from_env as u8, Ordering::Relaxed);
+            from_env
+        }
+    }
+}
+
+/// Whether the AVX2 grouped kernel is compiled in and supported by this CPU.
+pub fn avx2_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Scatter packed plane byte streams into coefficient accumulator words.
+///
+/// `planes[j]` holds the packed bytes of plane `plane_lo + j` for this span of
+/// coefficients (byte `k` covers coefficients `8k..8k+8`, coefficient `8k` at
+/// the MSB); each stream must hold at least `out.len().div_ceil(8)` bytes.
+/// Bit `plane_lo + j` of `out[i]` is OR-ed with coefficient `i`'s bit of
+/// plane `j` — identical to gathering the block, OR-ing rows, and
+/// re-transposing, but the kernel is chosen by live plane count (see module
+/// docs) instead of always paying the full 64×64 transpose.
+///
+/// # Panics
+///
+/// Panics if `plane_lo + planes.len() > 64` or a plane stream is shorter than
+/// the span requires.
+pub fn scatter_planes(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+    assert!(
+        plane_lo + planes.len() <= 64,
+        "plane range exceeds a 64-bit word"
+    );
+    if planes.is_empty() || out.is_empty() {
+        return;
+    }
+    let need = out.len().div_ceil(8);
+    for p in planes {
+        assert!(
+            p.len() >= need,
+            "plane stream shorter than coefficient span"
+        );
+    }
+    match scatter_impl() {
+        ScatterImpl::Generic => scatter_planes_generic(planes, plane_lo, out),
+        ScatterImpl::Portable => scatter_planes_portable(planes, plane_lo, out),
+        ScatterImpl::Auto => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                unsafe { avx2::scatter_planes_avx2(planes, plane_lo, out) };
+                return;
+            }
+            scatter_planes_portable(planes, plane_lo, out)
+        }
+    }
+}
+
+/// Portable dispatch: grouped kernel while ≤ 32 planes are live (1–8, 9–16,
+/// 17–32 plane buckets are 1, 2, and 4 group passes), full transpose above
+/// that — with most rows live the dense kernel's fixed cost wins.
+fn scatter_planes_portable(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+    if planes.len() <= 32 {
+        scatter_planes_grouped(planes, plane_lo, out);
+    } else {
+        scatter_planes_generic(planes, plane_lo, out);
+    }
+}
+
+/// The pre-specialization scatter: gather every block's live planes into a
+/// 64×64 matrix and transpose, whatever the live count.
+pub fn scatter_planes_generic(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+    for (b, block) in out.chunks_mut(64).enumerate() {
+        let base = b * 8;
+        let mut rows = [0u64; 64];
+        for (j, p) in planes.iter().enumerate() {
+            rows[plane_row(plane_lo + j)] = load_word_be(p, base);
+        }
+        transpose_64x64(&mut rows);
+        for (word, row) in block.iter_mut().zip(rows.iter()) {
+            *word |= row;
+        }
+    }
+}
+
+/// Load up to 8 packed plane bytes starting at `base` as an MSB-first word,
+/// zero-padding past the end of the stream (ragged final block).
+#[inline(always)]
+fn load_word_be(p: &[u8], base: usize) -> u64 {
+    if p.len() >= base + 8 {
+        u64::from_be_bytes(p[base..base + 8].try_into().expect("8-byte slice"))
+    } else if base >= p.len() {
+        0
+    } else {
+        let mut bytes = [0u8; 8];
+        bytes[..p.len() - base].copy_from_slice(&p[base..]);
+        u64::from_be_bytes(bytes)
+    }
+}
+
+/// 8×8 bit-matrix transpose (Hacker's Delight §7-2): viewing `x` as 8 rows of
+/// 8 bits, row `r` in byte `7 - r` (MSB byte = row 0) and column `c` at bit
+/// `7 - c` within its byte, the result is the transposed matrix.
+#[inline(always)]
+fn transpose8(mut x: u64) -> u64 {
+    let mut t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Grouped portable kernel: live planes in groups of 8, one 8×8 transpose per
+/// group per 8 coefficients. All-zero groups (common in sparse high planes)
+/// skip the transpose and the output writes entirely. Groups iterate *inside*
+/// the coefficient loop so each accumulator word is touched exactly once.
+fn scatter_planes_grouped(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+    let n_groups = planes.len().div_ceil(8);
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        for g in 0..n_groups {
+            let group = &planes[g * 8..(g * 8 + 8).min(planes.len())];
+            // Row 7-j (byte j) holds plane j, so the transposed byte for
+            // coefficient t carries plane j at bit j.
+            let mut x = 0u64;
+            for (j, p) in group.iter().enumerate() {
+                x |= (p[i] as u64) << (8 * j);
+            }
+            if x == 0 {
+                continue;
+            }
+            let y = transpose8(x);
+            let shift = plane_lo + g * 8;
+            for (t, word) in chunk.iter_mut().enumerate() {
+                *word |= ((y >> (8 * (7 - t))) & 0xFF) << shift;
+            }
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! AVX2 grouped scatter: expand each live plane's bits into a lane-per-
+    //! coefficient byte mask (`shuffle_epi8` + `cmpeq_epi8`), OR the group's
+    //! planes together at their in-byte bit positions, then widen the 32
+    //! coefficient bytes to `u64` lanes (`cvtepu8_epi64`) and OR them into
+    //! the accumulators at the group's plane shift.
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scatter_planes_avx2(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+        // Byte lane l of a 256-bit vector wants byte l/8 of the group's
+        // 4-byte coefficient window; shuffle_epi8 indexes within 128-bit
+        // halves, so the second half selects bytes 2 and 3.
+        let idx = _mm256_setr_epi8(
+            0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, //
+            2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3,
+        );
+        // Lane l selects bit 7 - (l % 8): packed plane bytes are MSB-first.
+        let bits = {
+            let one_byte: [i8; 8] = [1 << 7, 1 << 6, 1 << 5, 1 << 4, 1 << 3, 1 << 2, 1 << 1, 1];
+            let mut pattern = [0i8; 32];
+            for (l, b) in pattern.iter_mut().enumerate() {
+                *b = one_byte[l % 8];
+            }
+            _mm256_loadu_si256(pattern.as_ptr() as *const __m256i)
+        };
+        let n = out.len();
+        let full_spans = n / 32;
+        let n_groups = planes.len().div_ceil(8);
+        for s in 0..full_spans {
+            let byte_base = s * 4;
+            for g in 0..n_groups {
+                let group = &planes[g * 8..(g * 8 + 8).min(planes.len())];
+                let mut acc = _mm256_setzero_si256();
+                let mut any = 0u32;
+                for (j, p) in group.iter().enumerate() {
+                    let w = u32::from_le_bytes(
+                        p[byte_base..byte_base + 4].try_into().expect("4 bytes"),
+                    );
+                    any |= w;
+                    if w == 0 {
+                        continue;
+                    }
+                    let v = _mm256_set1_epi32(w as i32);
+                    let spread = _mm256_shuffle_epi8(v, idx);
+                    let m = _mm256_cmpeq_epi8(_mm256_and_si256(spread, bits), bits);
+                    let plane_bit = _mm256_set1_epi8((1u8 << j) as i8);
+                    acc = _mm256_or_si256(acc, _mm256_and_si256(m, plane_bit));
+                }
+                if any == 0 {
+                    continue;
+                }
+                // Widen the 32 coefficient bytes to u64 lanes and OR into the
+                // accumulators at this group's plane shift (a runtime value,
+                // so the shift count travels through an xmm register).
+                let shift = _mm_cvtsi32_si128((plane_lo + g * 8) as i32);
+                let mut lanes = [0u8; 32];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                let base = s * 32;
+                for q in 0..8 {
+                    let four =
+                        i32::from_le_bytes(lanes[q * 4..q * 4 + 4].try_into().expect("4 bytes"));
+                    let quad = _mm_cvtsi32_si128(four);
+                    let wide = _mm256_sll_epi64(_mm256_cvtepu8_epi64(quad), shift);
+                    let dst = out[base + q * 4..].as_mut_ptr() as *mut __m256i;
+                    _mm256_storeu_si256(dst, _mm256_or_si256(_mm256_loadu_si256(dst), wide));
+                }
+            }
+        }
+        // Ragged tail (< 32 coefficients): portable grouped kernel on the
+        // remaining bytes.
+        let done = full_spans * 32;
+        if done < n {
+            let tail: Vec<&[u8]> = planes.iter().map(|p| &p[done / 8..]).collect();
+            super::scatter_planes_grouped(&tail, plane_lo, &mut out[done..]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +464,123 @@ mod tests {
                 assert_eq!(plane, &w.into_bytes(), "n={n} p={p}");
             }
         }
+    }
+
+    /// Bit-at-a-time reference for every scatter kernel: OR plane `lo + j`'s
+    /// packed bit `i` into bit `lo + j` of `out[i]`.
+    fn scatter_reference(planes: &[&[u8]], plane_lo: usize, out: &mut [u64]) {
+        for (j, p) in planes.iter().enumerate() {
+            for (i, w) in out.iter_mut().enumerate() {
+                let bit = (p[i / 8] >> (7 - (i % 8))) & 1;
+                *w |= (bit as u64) << (plane_lo + j);
+            }
+        }
+    }
+
+    /// Deterministic packed plane streams with mixed density (low planes
+    /// dense, high planes sparse — the shape real negabinary levels have).
+    fn sample_planes(n_planes: usize, n_bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut x = seed | 1;
+        (0..n_planes)
+            .map(|p| {
+                (0..n_bytes)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        // Thin out high planes so the zero-group skip paths run.
+                        if p > 8 && !x.is_multiple_of(7) {
+                            0
+                        } else {
+                            (x >> 32) as u8
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scatter_kernels_agree_with_reference_at_every_plane_count() {
+        // Sweep the kernel buckets (1–8, 9–16, 17–32, 33–64), plane offsets,
+        // and ragged coefficient counts, comparing every implementation.
+        for &n in &[1usize, 7, 8, 31, 32, 64, 65, 100, 256, 500, 515] {
+            let n_bytes = n.div_ceil(8);
+            for &count in &[1usize, 2, 5, 8, 9, 16, 17, 29, 32, 33, 48, 64] {
+                for &lo in &[0usize, 1, 13, 40] {
+                    if lo + count > 64 {
+                        continue;
+                    }
+                    let streams = sample_planes(count, n_bytes, (n * 31 + count) as u64);
+                    let planes: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+                    let mut want = vec![0u64; n];
+                    scatter_reference(&planes, lo, &mut want);
+
+                    let mut generic = vec![0u64; n];
+                    scatter_planes_generic(&planes, lo, &mut generic);
+                    assert_eq!(generic, want, "generic n={n} count={count} lo={lo}");
+
+                    let mut grouped = vec![0u64; n];
+                    scatter_planes_grouped(&planes, lo, &mut grouped);
+                    assert_eq!(grouped, want, "grouped n={n} count={count} lo={lo}");
+
+                    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        let mut simd = vec![0u64; n];
+                        // SAFETY: AVX2 presence verified above.
+                        unsafe { avx2::scatter_planes_avx2(&planes, lo, &mut simd) };
+                        assert_eq!(simd, want, "avx2 n={n} count={count} lo={lo}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_accumulates_on_top_of_loaded_planes() {
+        // Two scatter calls into the same accumulators (refinement order:
+        // high planes, then low) must land exactly like one combined call.
+        let n = 200usize;
+        let streams = sample_planes(12, n.div_ceil(8), 99);
+        let planes: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let mut combined = vec![0u64; n];
+        scatter_planes(&planes, 3, &mut combined);
+        let mut staged = vec![0u64; n];
+        scatter_planes(&planes[6..], 3 + 6, &mut staged);
+        scatter_planes(&planes[..6], 3, &mut staged);
+        assert_eq!(staged, combined);
+    }
+
+    #[test]
+    fn scatter_matches_plane_block_roundtrip() {
+        // The kernels must reproduce the gather/transpose path bit for bit.
+        let words: Vec<u64> = (0..130)
+            .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let sliced = slice_planes(&words, 64);
+        let planes: Vec<&[u8]> = sliced.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0u64; words.len()];
+        scatter_planes(&planes, 0, &mut out);
+        assert_eq!(out, words);
+    }
+
+    #[test]
+    fn forced_scatter_impls_are_bit_identical() {
+        let n = 777usize;
+        let streams = sample_planes(20, n.div_ceil(8), 7);
+        let planes: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let run = |which: ScatterImpl| {
+            force_scatter_impl(which);
+            let mut out = vec![0u64; n];
+            scatter_planes(&planes, 5, &mut out);
+            out
+        };
+        let auto = run(ScatterImpl::Auto);
+        let generic = run(ScatterImpl::Generic);
+        let portable = run(ScatterImpl::Portable);
+        force_scatter_impl(ScatterImpl::Auto);
+        assert_eq!(auto, generic);
+        assert_eq!(auto, portable);
     }
 
     #[test]

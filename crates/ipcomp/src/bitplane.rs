@@ -78,14 +78,15 @@
 //! `‖δy_l(b)‖∞` for every possible number of discarded planes `b`, which is what the
 //! optimizer (Sec. 5) consumes.
 
-use ipc_codecs::bitslice::{slice_planes, PlaneBlock};
+use ipc_codecs::bitslice::slice_planes;
 use ipc_codecs::negabinary::{required_bitplanes_words, to_negabinary_slice, truncation_loss};
 use ipc_codecs::{lzr_compress, CodecError};
 use rayon::prelude::*;
 
 use crate::container::LevelMap;
 use crate::error::{IpcompError, Result};
-use crate::source::{read_ranges_exact, ByteRange, ChunkSource};
+use crate::pipeline::{DecodeStage, EntropyStage, FetchStage, RegionPipeline, ScatterStage};
+use crate::source::ChunkSource;
 
 /// Minimum number of coefficients before the coder fans work out to rayon.
 const PARALLEL_THRESHOLD: usize = 4096;
@@ -315,6 +316,23 @@ const PATTERN_BITS: usize = 16;
 /// cancel when a higher plane is dropped. Exposed for the benchmark harness;
 /// [`encode_level`] calls it internally.
 ///
+/// Two fast paths keep the table exact without one full coefficient pass per
+/// plane:
+///
+/// * **`b ≤ 16`** — the loss depends only on the low 16 bits of each word, so
+///   one presence pass over the level replaces up to 16 full passes: per
+///   plane the (at most) 65536 distinct patterns are scanned instead of
+///   every coefficient. Small levels skip the table — a direct pass is
+///   cheaper than initializing 64 Ki pattern slots.
+/// * **`b > 16`** — a *single* sweep over the coefficients updates every
+///   high discard count at once: negabinary is positional, so the masked
+///   value grows incrementally by `±2^i` per set bit `i`, and between set
+///   bits `|value|` is constant — already covered by the running maximum.
+///   Words whose high bits are all zero contribute nothing beyond `b = 16`
+///   (their masked value stops changing) and are skipped outright, which on
+///   near-zero-centered residual distributions makes the sweep almost free.
+///   Levels with 30+ planes previously paid one full pass *per high plane*.
+///
 /// # Panics
 ///
 /// Panics if `num_planes > 63` — the container format caps significant planes
@@ -324,50 +342,86 @@ pub fn truncation_loss_table(nb: &[u64], num_planes: u8) -> Vec<u64> {
         num_planes <= 63,
         "the container format caps significant planes at 63"
     );
-    let mut trunc_loss = vec![0u64; num_planes as usize + 1];
+    let n_planes = num_planes as usize;
+    let mut trunc_loss = vec![0u64; n_planes + 1];
     if num_planes == 0 {
         return trunc_loss;
     }
-    // For planes `b ≤ 16` the loss depends only on the low 16 bits of each
-    // word, so one presence pass over the level replaces up to 16 full passes:
-    // per plane we then scan the (at most) 65536 distinct patterns instead of
-    // every coefficient. Planes above 16 are rare enough to scan directly.
-    // Small levels skip the presence table — a direct pass is cheaper than
-    // initializing 64 Ki pattern slots.
+    let mut exact = vec![0u64; n_planes + 1];
+
+    // Low planes (b ≤ 16): presence-table scan when the level is large
+    // enough to amortize it, direct passes otherwise.
+    let low_top = n_planes.min(PATTERN_BITS);
     let use_patterns = nb.len() >= (1 << PATTERN_BITS) && num_planes > 1;
-    let present: Vec<u64> = if use_patterns {
+    if use_patterns {
         let mut present = vec![0u64; 1 << (PATTERN_BITS - 6)];
         for &w in nb {
             let pat = (w as usize) & ((1 << PATTERN_BITS) - 1);
             present[pat >> 6] |= 1u64 << (pat & 63);
         }
-        present
-    } else {
-        Vec::new()
-    };
-
-    let mut running = 0u64;
-    for (b, slot) in trunc_loss.iter_mut().enumerate().skip(1) {
-        let exact = if use_patterns && b <= PATTERN_BITS {
+        for (b, slot) in exact.iter_mut().enumerate().take(low_top + 1).skip(1) {
             let mask = (1u64 << b) - 1;
-            let mut exact = 0u64;
+            let mut best = 0u64;
             for (i, &bits) in present.iter().enumerate() {
                 let mut bits = bits;
                 while bits != 0 {
                     let j = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     let pat = (i * 64 + j) as u64;
-                    exact = exact
+                    best = best
                         .max(ipc_codecs::negabinary::from_negabinary(pat & mask).unsigned_abs());
                 }
             }
-            debug_assert_eq!(exact, max_masked_loss(nb, b));
-            exact
+            debug_assert_eq!(best, max_masked_loss(nb, b));
+            *slot = best;
+        }
+    } else {
+        for (b, slot) in exact.iter_mut().enumerate().take(low_top + 1).skip(1) {
+            *slot = max_masked_loss(nb, b);
+        }
+    }
+
+    // High planes (b > 16): one sweep, touching only words with live high
+    // bits and only the discard counts right after each set bit — every
+    // other candidate is constant since the previous one and the running
+    // maximum below subsumes it.
+    if n_planes > PATTERN_BITS {
+        let low_mask = (1u64 << PATTERN_BITS) - 1;
+        let live_mask = if n_planes == 64 {
+            !low_mask
         } else {
-            max_masked_loss(nb, b)
+            ((1u64 << n_planes) - 1) & !low_mask
         };
-        running = running.max(exact);
+        for &w in nb {
+            let mut hi_bits = w & live_mask;
+            if hi_bits == 0 {
+                continue;
+            }
+            let mut v = ipc_codecs::negabinary::from_negabinary(w & low_mask);
+            while hi_bits != 0 {
+                let i = hi_bits.trailing_zeros() as usize;
+                hi_bits &= hi_bits - 1;
+                v += if i.is_multiple_of(2) {
+                    1i64 << i
+                } else {
+                    -(1i64 << i)
+                };
+                exact[i + 1] = exact[i + 1].max(v.unsigned_abs());
+            }
+        }
+    }
+
+    let mut running = 0u64;
+    for (b, (slot, &e)) in trunc_loss.iter_mut().zip(exact.iter()).enumerate().skip(1) {
+        running = running.max(e);
         *slot = running;
+        // The sweep records |masked value| only where a word's bits change;
+        // the running maximum must land on exactly the monotonized direct
+        // table (each skipped candidate equals an earlier recorded one).
+        debug_assert!(
+            b <= PATTERN_BITS || running >= max_masked_loss(nb, b),
+            "b={b}: sweep missed a candidate"
+        );
     }
     trunc_loss
 }
@@ -537,107 +591,15 @@ pub(crate) fn decode_chunk_bytes(compressed: &[u8], expected: usize) -> Result<V
     Ok(packed)
 }
 
-/// Entropy-decode chunk `k` of plane `p` of an in-memory level.
+/// Entropy-decode chunk `k` of plane `p` of an in-memory level (only the
+/// scalar reference decoder still reads whole planes this way; the
+/// word-parallel paths go through [`crate::pipeline::EntropyStage`]).
+#[cfg(any(test, feature = "reference-scalar"))]
 fn decode_chunk(level: &EncodedLevel, p: u8, k: usize) -> Result<Vec<u8>> {
     decode_chunk_bytes(
         &level.planes[p as usize].chunks[k],
         level.region_byte_range(k).len(),
     )
-}
-
-/// Undo the predictive coding and scatter one region's decoded plane chunks
-/// into its slice of the accumulators.
-///
-/// `chunks[i]` holds the decoded packed bytes of plane `plane_lo + i` for
-/// this region, most of a region's planes living in cache together. The
-/// prediction is strictly per-coefficient across planes, so a region is
-/// self-contained: bits only mix with the same bit position of higher planes,
-/// which sit at the same offset of their own chunk (or, above `plane_hi`, in
-/// the region's accumulator words).
-#[allow(clippy::too_many_arguments)] // decode parameters travel together
-fn scatter_region(
-    chunks: &mut [Vec<u8>],
-    region_len: usize,
-    num_planes: u8,
-    plane_lo: u8,
-    plane_hi: u8,
-    prefix_bits: u8,
-    predictive: bool,
-    acc_region: &mut [u64],
-) {
-    let n_words = acc_region.len().div_ceil(64);
-
-    // Undo the prediction as whole-plane XORs over the packed byte streams,
-    // top-down so every more significant plane is already raw when it is
-    // XOR-ed in. Prefix planes at or above `plane_hi` live in the
-    // accumulators (zero on a fresh decode where `plane_hi == num_planes`,
-    // since planes past the significant range are zero by construction); they
-    // are extracted once with a transpose pass per block.
-    if predictive && prefix_bits > 0 {
-        let prefix_top = (plane_hi as usize + prefix_bits as usize).min(64);
-        let acc_prefix: Vec<Vec<u64>> = if plane_hi < num_planes {
-            let count = prefix_top - plane_hi as usize;
-            let mut extracted = vec![vec![0u64; n_words]; count];
-            for (b, chunk) in acc_region.chunks(64).enumerate() {
-                let block = PlaneBlock::gather(chunk);
-                for (j, plane) in extracted.iter_mut().enumerate() {
-                    plane[b] = block.plane(plane_hi as usize + j);
-                }
-            }
-            extracted
-        } else {
-            Vec::new()
-        };
-        for p in (plane_lo..plane_hi).rev() {
-            for j in 1..=prefix_bits as usize {
-                let q = p as usize + j;
-                if q >= 64 {
-                    break;
-                }
-                if q < plane_hi as usize {
-                    // Already undone this call: split_at_mut gives the borrow.
-                    let (lo_half, hi_half) = chunks.split_at_mut(q - plane_lo as usize);
-                    let dst = &mut lo_half[(p - plane_lo) as usize][..region_len];
-                    let src = &hi_half[0][..region_len];
-                    for (d, s) in dst.iter_mut().zip(src) {
-                        *d ^= s;
-                    }
-                } else if q - (plane_hi as usize) < acc_prefix.len() {
-                    let src = &acc_prefix[q - plane_hi as usize];
-                    let dst = &mut chunks[(p - plane_lo) as usize];
-                    xor_words_into_bytes(&mut dst[..region_len], src);
-                }
-                // Planes past both ranges are zero: nothing to XOR.
-            }
-        }
-    }
-
-    // Scatter the raw planes into the accumulators — one transpose per
-    // 64-coefficient block, OR-ed on top of whatever planes are already
-    // loaded.
-    for (b, block_words) in acc_region.chunks_mut(64).enumerate() {
-        let base = b * 8;
-        let avail = region_len - base;
-        let mut rows = [0u64; 64];
-        if avail >= 8 {
-            for (i, plane) in chunks.iter().enumerate() {
-                let bytes: [u8; 8] = plane[base..base + 8].try_into().expect("full block");
-                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
-                    u64::from_be_bytes(bytes);
-            }
-        } else {
-            for (i, plane) in chunks.iter().enumerate() {
-                let mut bytes = [0u8; 8];
-                bytes[..avail].copy_from_slice(&plane[base..region_len]);
-                rows[ipc_codecs::bitslice::plane_row(plane_lo as usize + i)] =
-                    u64::from_be_bytes(bytes);
-            }
-        }
-        ipc_codecs::bitslice::transpose_64x64(&mut rows);
-        for (word, row) in block_words.iter_mut().zip(rows.iter()) {
-            *word |= row;
-        }
-    }
 }
 
 /// Decode planes `[plane_lo, plane_hi)` of `level` into the negabinary accumulators
@@ -648,11 +610,12 @@ fn scatter_region(
 /// predictive coding is undone using those more significant bits. The newly decoded
 /// bits are OR-ed into `acc`.
 ///
-/// Work fans out across the rayon pool at chunk granularity: every
-/// `(plane, chunk)` pair entropy-decodes as its own task, then each chunk
-/// region undoes prediction and scatters independently. All requested chunks
-/// are entropy-decoded before any accumulator is touched, so a corrupt block
-/// leaves `acc` unmodified.
+/// Built from the same [`crate::pipeline`] stages as the streaming decoder:
+/// the entropy stage fans out across the rayon pool at chunk granularity
+/// (every `(plane, chunk)` pair is one task), then the scatter stage runs per
+/// chunk region, each region owning its slice of the accumulators. All
+/// requested chunks are entropy-decoded before any accumulator is touched, so
+/// a corrupt block leaves `acc` unmodified.
 pub fn decode_planes_into(
     level: &EncodedLevel,
     plane_lo: u8,
@@ -668,13 +631,22 @@ pub fn decode_planes_into(
     let n_regions = level.num_regions();
     let n_planes = (plane_hi - plane_lo) as usize;
     let parallel = level.n_values > PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
+    let entropy = EntropyStage::new(level.grid());
+    let scatter_stage = ScatterStage::new(
+        level.grid(),
+        level.num_planes,
+        plane_lo,
+        plane_hi,
+        prefix_bits,
+        predictive,
+    );
 
-    // Stage 1: entropy-decode every requested chunk. Tasks are uniform-sized
+    // Entropy stage: decode every requested chunk. Tasks are uniform-sized
     // regardless of how compressible each plane is, so the pool stays busy.
     let tasks: Vec<(u8, usize)> = (plane_lo..plane_hi)
         .flat_map(|p| (0..n_regions).map(move |k| (p, k)))
         .collect();
-    let decode = |(p, k): (u8, usize)| decode_chunk(level, p, k);
+    let decode = |(p, k): (u8, usize)| entropy.decode_chunk(k, &level.planes[p as usize].chunks[k]);
     let decoded: Vec<Result<Vec<u8>>> = if parallel && tasks.len() > 1 {
         tasks.into_par_iter().map(decode).collect()
     } else {
@@ -688,8 +660,8 @@ pub fn decode_planes_into(
         regions[t % n_regions].push(chunk?);
     }
 
-    // Stage 2: per-region prediction undo + scatter, each region owning its
-    // slice of the accumulators.
+    // Scatter stage: per-region prediction undo + kernel-specialized
+    // scatter, each region owning its slice of the accumulators.
     type RegionTask<'a> = (usize, Vec<Vec<u8>>, &'a mut [u64]);
     let region_coeffs = level.region_bytes() * 8;
     let work: Vec<RegionTask<'_>> = regions
@@ -698,17 +670,10 @@ pub fn decode_planes_into(
         .enumerate()
         .map(|(k, (chunks, acc_region))| (k, chunks, acc_region))
         .collect();
-    let scatter = |(k, mut chunks, acc_region): (usize, Vec<Vec<u8>>, &mut [u64])| {
-        scatter_region(
-            &mut chunks,
-            level.region_byte_range(k).len(),
-            level.num_planes,
-            plane_lo,
-            plane_hi,
-            prefix_bits,
-            predictive,
-            acc_region,
-        );
+    let scatter = |(k, chunks, acc_region): (usize, Vec<Vec<u8>>, &mut [u64])| {
+        scatter_stage
+            .process(k, (chunks, acc_region))
+            .expect("scatter stage is infallible after entropy validation");
     };
     if parallel && n_regions > 1 {
         work.into_par_iter().for_each(scatter);
@@ -718,45 +683,29 @@ pub fn decode_planes_into(
     Ok(())
 }
 
-/// Where a [`PlaneStream`] pulls its compressed chunks from.
-enum Backing<'a> {
-    /// All chunk payloads resident in memory.
-    Level(&'a EncodedLevel),
-    /// Chunks fetched region by region through a [`ChunkSource`], addressed
-    /// via the metadata-only chunk index.
-    Source {
-        level: &'a LevelMap,
-        source: &'a dyn ChunkSource,
-    },
-}
-
-/// Streaming region-at-a-time decoder over a level's chunk grid.
+/// Streaming region-at-a-time decoder over a level's chunk grid — the
+/// pull-based driver of the staged decode pipeline ([`crate::pipeline`]).
 ///
 /// Yields the same accumulator contents as [`decode_planes_into`] but decodes
 /// one chunk region per call, so peak memory is bounded by
-/// `(plane span) × region size` instead of the whole level, and callers can
+/// `(plane span) × region size` (double-buffered: the region being decoded
+/// plus the one being prefetched) instead of the whole level, and callers can
 /// interleave consumption with loading (paper Fig. 2's incremental
 /// retrieval, now at sub-plane granularity).
 ///
 /// A stream can be backed either by an in-memory [`EncodedLevel`]
 /// ([`PlaneStream::new`]) or by a [`ChunkSource`] plus the container's chunk
 /// index ([`PlaneStream::from_source`]); the source-backed variant fetches
-/// exactly one region's chunk ranges per call — one batched `read_ranges`
-/// the source stack is free to coalesce — so I/O arrives in the same
-/// region-sized increments the decode consumes.
+/// one region's chunk ranges per batched `read_ranges` call — which the
+/// source stack is free to coalesce — and *overlaps* region `k + 1`'s fetch
+/// with region `k`'s entropy decode and scatter on a scoped worker thread,
+/// so backend latency hides behind compute instead of adding to it.
 ///
 /// Atomicity is per region: a corrupt chunk (or a failed fetch) fails that
 /// region's call before its accumulator slice is touched, but previously
 /// streamed regions remain updated.
 pub struct PlaneStream<'a> {
-    backing: Backing<'a>,
-    grid: ChunkGrid,
-    num_planes: u8,
-    plane_lo: u8,
-    plane_hi: u8,
-    prefix_bits: u8,
-    predictive: bool,
-    next_region: usize,
+    pipeline: RegionPipeline<'a>,
 }
 
 impl<'a> PlaneStream<'a> {
@@ -772,20 +721,25 @@ impl<'a> PlaneStream<'a> {
     ) -> Result<Self> {
         check_plane_range(level, plane_lo, plane_hi, acc_len)?;
         Ok(Self {
-            backing: Backing::Level(level),
-            grid: level.grid(),
-            num_planes: level.num_planes,
-            plane_lo,
-            plane_hi,
-            prefix_bits,
-            predictive,
-            next_region: 0,
+            pipeline: RegionPipeline::new(
+                FetchStage::Resident {
+                    level,
+                    plane_lo,
+                    plane_hi,
+                },
+                level.grid(),
+                level.num_planes,
+                plane_lo,
+                plane_hi,
+                prefix_bits,
+                predictive,
+            ),
         })
     }
 
     /// Start streaming planes `[plane_lo, plane_hi)` of a level addressed by
     /// the container chunk index `level`, fetching compressed chunks from
-    /// `source` one region at a time.
+    /// `source` one region at a time with one-region prefetch overlap.
     pub fn from_source(
         level: &'a LevelMap,
         source: &'a dyn ChunkSource,
@@ -804,34 +758,31 @@ impl<'a> PlaneStream<'a> {
             acc_len,
         )?;
         Ok(Self {
-            backing: Backing::Source { level, source },
-            grid: level.grid(),
-            num_planes: level.num_planes,
-            plane_lo,
-            plane_hi,
-            prefix_bits,
-            predictive,
-            next_region: 0,
+            pipeline: RegionPipeline::new(
+                FetchStage::Ranged {
+                    level,
+                    source,
+                    plane_lo,
+                    plane_hi,
+                },
+                level.grid(),
+                level.num_planes,
+                plane_lo,
+                plane_hi,
+                prefix_bits,
+                predictive,
+            ),
         })
     }
 
     /// Total number of chunk regions this stream will produce.
     pub fn num_regions(&self) -> usize {
-        if self.plane_lo == self.plane_hi || self.grid.n_values == 0 {
-            0
-        } else {
-            self.grid.num_regions()
-        }
+        self.pipeline.num_regions()
     }
 
     /// Compressed bytes the `k`-th region reads across the streamed planes.
     pub fn region_compressed_bytes(&self, k: usize) -> usize {
-        (self.plane_lo..self.plane_hi)
-            .map(|p| match &self.backing {
-                Backing::Level(level) => level.planes[p as usize].chunks[k].len(),
-                Backing::Source { level, .. } => level.chunk_size(p, k),
-            })
-            .sum()
+        self.pipeline.region_compressed_bytes(k)
     }
 
     /// Decode the next region into the matching slice of `acc` (the full
@@ -839,60 +790,7 @@ impl<'a> PlaneStream<'a> {
     /// coefficient range that was completed, or `None` when the stream is
     /// exhausted.
     pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<std::ops::Range<usize>>> {
-        if acc.len() != self.grid.n_values {
-            return Err(IpcompError::InvalidInput(
-                "accumulator length changed mid-stream".into(),
-            ));
-        }
-        if self.next_region >= self.num_regions() {
-            return Ok(None);
-        }
-        let k = self.next_region;
-        let expected = self.grid.region_byte_range(k).len();
-        let mut chunks: Vec<Vec<u8>> = match &self.backing {
-            Backing::Level(level) => (self.plane_lo..self.plane_hi)
-                .map(|p| decode_chunk(level, p, k))
-                .collect::<Result<_>>()?,
-            Backing::Source { level, source } => {
-                let ranges: Vec<ByteRange> = (self.plane_lo..self.plane_hi)
-                    .map(|p| level.chunk_range(p, k))
-                    .collect();
-                let bufs = read_ranges_exact(*source, &ranges)?;
-                bufs.iter()
-                    .map(|b| decode_chunk_bytes(b, expected))
-                    .collect::<Result<_>>()?
-            }
-        };
-        let coeffs = self.grid.region_coeff_range(k);
-        scatter_region(
-            &mut chunks,
-            expected,
-            self.num_planes,
-            self.plane_lo,
-            self.plane_hi,
-            self.prefix_bits,
-            self.predictive,
-            &mut acc[coeffs.clone()],
-        );
-        self.next_region += 1;
-        Ok(Some(coeffs))
-    }
-}
-
-/// XOR packed MSB-first plane words into a packed plane byte stream in place.
-fn xor_words_into_bytes(dst: &mut [u8], src: &[u64]) {
-    let mut chunks = dst.chunks_exact_mut(8);
-    let mut words = src.iter();
-    for (chunk, &w) in (&mut chunks).zip(&mut words) {
-        let cur = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
-        chunk.copy_from_slice(&(cur ^ w).to_be_bytes());
-    }
-    let rem = chunks.into_remainder();
-    if !rem.is_empty() {
-        let w = words.next().copied().unwrap_or(0).to_be_bytes();
-        for (d, s) in rem.iter_mut().zip(w.iter()) {
-            *d ^= s;
-        }
+        self.pipeline.decode_next(acc)
     }
 }
 
@@ -1378,6 +1276,27 @@ mod tests {
                 "discard={discard}: err {max_err} > bound {}",
                 enc.trunc_loss[discard as usize]
             );
+        }
+    }
+
+    #[test]
+    fn trunc_loss_high_plane_sweep_matches_direct_reference() {
+        // Codes spanning 40+ planes: the single-sweep high-plane path must
+        // reproduce the per-plane direct passes exactly, including on levels
+        // small enough to skip the pattern table and large enough to use it.
+        for n in [100usize, 70_000] {
+            let mut codes = sample_codes(n, 1i64 << 40, 77);
+            codes[n / 2] = (1i64 << 41) - 12345; // force a deep negabinary word
+            codes[n / 3] = -(1i64 << 40) - 7;
+            let nb = ipc_codecs::negabinary::to_negabinary_slice(&codes);
+            let num_planes = ipc_codecs::negabinary::required_bitplanes_words(&nb).min(63) as u8;
+            assert!(num_planes > 30, "test needs a >30-plane level");
+            let table = truncation_loss_table(&nb, num_planes);
+            let mut running = 0u64;
+            for (b, &entry) in table.iter().enumerate().skip(1) {
+                running = running.max(max_masked_loss(&nb, b));
+                assert_eq!(entry, running, "n={n} b={b}");
+            }
         }
     }
 

@@ -24,7 +24,10 @@
 //!    minimum-error set for a byte/bitrate budget (paper Sec. 5).
 //! 5. **Progressive decoder** ([`progressive`]): Algorithm 1 reconstructs from
 //!    scratch in a single pass; Algorithm 2 refines an existing reconstruction from
-//!    newly loaded planes only.
+//!    newly loaded planes only. Every read path decodes through the staged
+//!    **fetch → entropy → scatter** pipeline ([`pipeline`]), which prefetches the
+//!    next chunk region (and, on bulk ranged retrievals, the next level) while the
+//!    current one decodes, and scatters through plane-count-specialized kernels.
 //!
 //! ## Quick start
 //!
@@ -55,6 +58,7 @@ pub mod container;
 pub mod error;
 pub mod interp;
 pub mod optimizer;
+pub mod pipeline;
 pub mod progressive;
 pub mod quantize;
 pub mod source;

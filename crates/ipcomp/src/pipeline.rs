@@ -1,0 +1,567 @@
+//! Staged decode pipeline: **fetch → entropy-decode → scatter**.
+//!
+//! Every read path of the decoder — fully resident slices, ranged sources,
+//! bulk retrievals, and region streaming — is built from the same three
+//! [`DecodeStage`] implementations:
+//!
+//! 1. [`FetchStage`] resolves one chunk region to its compressed chunk
+//!    payloads: a borrow for resident levels, one batched
+//!    [`ChunkSource::read_ranges`] call (which the source stack is free to
+//!    coalesce, cache, or simulate) for ranged levels.
+//! 2. [`EntropyStage`] entropy-decodes each compressed chunk into packed
+//!    plane bytes, validating every decoded size against the region
+//!    geometry so corrupt input surfaces as a bounded error before any
+//!    accumulator is touched.
+//! 3. [`ScatterStage`] undoes the predictive coding and scatters the packed
+//!    bytes into the negabinary accumulators through the plane-count
+//!    specialized kernels of [`ipc_codecs::bitslice`].
+//!
+//! [`RegionPipeline`] drives the stages pull-style with a one-region
+//! prefetch: while region `k` is entropy-decoded and scattered on the
+//! calling thread, region `k + 1`'s chunk ranges are fetched on a scoped
+//! worker thread. The double buffer bounds memory at two regions, and
+//! because the scatter stage runs only after the whole region
+//! entropy-decodes, the per-region rollback semantics of the serial decoder
+//! are preserved exactly. For resident levels (fetch is a borrow) the
+//! prefetch thread is skipped entirely.
+//!
+//! Fetch/compute overlap grows with backend latency: against a remote store
+//! the pipeline hides up to `min(fetch, decode)` of every interior region.
+//! The overlap can be disabled process-wide (`IPC_DECODE_OVERLAP=0` or
+//! [`set_fetch_overlap`]) for deterministic A/B measurements; decoded bits
+//! are identical either way.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use ipc_codecs::bitslice::{self, PlaneBlock};
+
+use crate::bitplane::{decode_chunk_bytes, ChunkGrid, EncodedLevel};
+use crate::container::LevelMap;
+use crate::error::{IpcompError, Result};
+use crate::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
+
+/// Process-wide fetch-overlap switch: `u8::MAX` = uninitialized, else 0/1.
+static FETCH_OVERLAP: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Enable or disable the prefetch worker thread (benchmark A/B harnesses and
+/// environments where spawning is undesirable). Decoded output is identical
+/// either way; only the fetch/compute overlap changes.
+pub fn set_fetch_overlap(enabled: bool) {
+    FETCH_OVERLAP.store(enabled as u8, Ordering::Relaxed);
+}
+
+/// Whether [`RegionPipeline`] overlaps region `k + 1`'s fetch with region
+/// `k`'s decode (default true; `IPC_DECODE_OVERLAP=0` disables).
+pub fn fetch_overlap() -> bool {
+    match FETCH_OVERLAP.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let enabled = std::env::var("IPC_DECODE_OVERLAP").as_deref() != Ok("0");
+            FETCH_OVERLAP.store(enabled as u8, Ordering::Relaxed);
+            enabled
+        }
+    }
+}
+
+/// One stage of the decode pipeline: a pure transform from a region index
+/// plus the previous stage's output to this stage's output. Stages are
+/// stateless given their configuration, so a driver may run them from
+/// multiple threads (`&self`) and in any region order.
+pub trait DecodeStage<In> {
+    /// What the stage produces for one region.
+    type Output;
+    /// Process one region.
+    fn process(&self, region: usize, input: In) -> Result<Self::Output>;
+    /// Stage name for diagnostics and per-stage benchmark reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Compressed chunks of one region, one per streamed plane (ascending plane
+/// index). Resident levels lend their buffers; ranged levels hand over the
+/// fetched [`Bytes`].
+pub enum FetchedRegion<'a> {
+    /// Chunk payloads borrowed from an in-memory [`EncodedLevel`].
+    Borrowed(Vec<&'a [u8]>),
+    /// Chunk payloads fetched through a [`ChunkSource`].
+    Fetched(Vec<Bytes>),
+}
+
+impl FetchedRegion<'_> {
+    /// Number of chunks (= planes being streamed).
+    pub fn len(&self) -> usize {
+        match self {
+            FetchedRegion::Borrowed(v) => v.len(),
+            FetchedRegion::Fetched(v) => v.len(),
+        }
+    }
+
+    /// Whether the region holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compressed bytes of chunk `i`.
+    pub fn chunk(&self, i: usize) -> &[u8] {
+        match self {
+            FetchedRegion::Borrowed(v) => v[i],
+            FetchedRegion::Fetched(v) => &v[i],
+        }
+    }
+}
+
+/// Stage 1: resolve a region to its compressed chunk payloads.
+pub enum FetchStage<'a> {
+    /// All chunks resident in memory; fetching is a borrow.
+    Resident {
+        /// The in-memory level.
+        level: &'a EncodedLevel,
+        /// First plane being streamed.
+        plane_lo: u8,
+        /// One past the last plane being streamed.
+        plane_hi: u8,
+    },
+    /// Chunks addressed via the container's metadata index and fetched
+    /// through a [`ChunkSource`] — one batched `read_ranges` per region.
+    Ranged {
+        /// The metadata-only chunk index.
+        level: &'a LevelMap,
+        /// Where the container's bytes live.
+        source: &'a dyn ChunkSource,
+        /// First plane being streamed.
+        plane_lo: u8,
+        /// One past the last plane being streamed.
+        plane_hi: u8,
+    },
+}
+
+impl<'a> FetchStage<'a> {
+    /// Whether running this stage on a worker thread can overlap real work
+    /// (resident fetches are borrows — there is nothing to hide).
+    pub fn supports_prefetch(&self) -> bool {
+        matches!(self, FetchStage::Ranged { .. })
+    }
+
+    /// Compressed bytes region `k` reads across the streamed planes.
+    pub fn region_compressed_bytes(&self, k: usize) -> usize {
+        match self {
+            FetchStage::Resident {
+                level,
+                plane_lo,
+                plane_hi,
+            } => (*plane_lo..*plane_hi)
+                .map(|p| level.planes[p as usize].chunks[k].len())
+                .sum(),
+            FetchStage::Ranged {
+                level,
+                plane_lo,
+                plane_hi,
+                ..
+            } => (*plane_lo..*plane_hi).map(|p| level.chunk_size(p, k)).sum(),
+        }
+    }
+}
+
+impl<'a> DecodeStage<()> for FetchStage<'a> {
+    type Output = FetchedRegion<'a>;
+
+    fn process(&self, region: usize, _input: ()) -> Result<FetchedRegion<'a>> {
+        match self {
+            FetchStage::Resident {
+                level,
+                plane_lo,
+                plane_hi,
+            } => Ok(FetchedRegion::Borrowed(
+                (*plane_lo..*plane_hi)
+                    .map(|p| level.planes[p as usize].chunks[region].as_slice())
+                    .collect(),
+            )),
+            FetchStage::Ranged {
+                level,
+                source,
+                plane_lo,
+                plane_hi,
+            } => {
+                let ranges: Vec<ByteRange> = (*plane_lo..*plane_hi)
+                    .map(|p| level.chunk_range(p, region))
+                    .collect();
+                Ok(FetchedRegion::Fetched(read_ranges_exact(*source, &ranges)?))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fetch"
+    }
+}
+
+/// Stage 2: entropy-decode one region's compressed chunks into packed plane
+/// bytes, validating each decoded length against the region geometry.
+pub struct EntropyStage {
+    grid: ChunkGrid,
+}
+
+impl EntropyStage {
+    /// Entropy stage over one level's chunk grid.
+    pub fn new(grid: ChunkGrid) -> Self {
+        Self { grid }
+    }
+
+    /// Decode a single compressed chunk of region `k` (the unit the bulk
+    /// decoder fans out across the rayon pool).
+    pub fn decode_chunk(&self, region: usize, compressed: &[u8]) -> Result<Vec<u8>> {
+        decode_chunk_bytes(compressed, self.grid.region_byte_range(region).len())
+    }
+}
+
+impl<'a> DecodeStage<FetchedRegion<'a>> for EntropyStage {
+    type Output = Vec<Vec<u8>>;
+
+    fn process(&self, region: usize, input: FetchedRegion<'a>) -> Result<Vec<Vec<u8>>> {
+        (0..input.len())
+            .map(|i| self.decode_chunk(region, input.chunk(i)))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "entropy"
+    }
+}
+
+/// Stage 3: undo the predictive coding and scatter one region's packed plane
+/// bytes into its slice of the accumulators, through the plane-count
+/// specialized kernels.
+pub struct ScatterStage {
+    grid: ChunkGrid,
+    num_planes: u8,
+    plane_lo: u8,
+    plane_hi: u8,
+    prefix_bits: u8,
+    predictive: bool,
+}
+
+impl ScatterStage {
+    /// Scatter stage for planes `[plane_lo, plane_hi)` of a level with
+    /// `num_planes` significant planes.
+    pub fn new(
+        grid: ChunkGrid,
+        num_planes: u8,
+        plane_lo: u8,
+        plane_hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+    ) -> Self {
+        Self {
+            grid,
+            num_planes,
+            plane_lo,
+            plane_hi,
+            prefix_bits,
+            predictive,
+        }
+    }
+
+    /// Undo the prediction as whole-plane XORs over the packed byte streams,
+    /// top-down so every more significant plane is already raw when it is
+    /// XOR-ed in. Prefix planes at or above `plane_hi` live in the
+    /// accumulators (zero on a fresh decode where `plane_hi == num_planes`,
+    /// since planes past the significant range are zero by construction);
+    /// they are extracted once with a transpose pass per block.
+    fn undo_prediction(&self, chunks: &mut [Vec<u8>], region_len: usize, acc_region: &[u64]) {
+        let plane_lo = self.plane_lo as usize;
+        let plane_hi = self.plane_hi as usize;
+        let prefix_bits = self.prefix_bits as usize;
+        let n_words = acc_region.len().div_ceil(64);
+        let prefix_top = (plane_hi + prefix_bits).min(64);
+        let acc_prefix: Vec<Vec<u64>> = if self.plane_hi < self.num_planes {
+            let count = prefix_top - plane_hi;
+            let mut extracted = vec![vec![0u64; n_words]; count];
+            for (b, chunk) in acc_region.chunks(64).enumerate() {
+                let block = PlaneBlock::gather(chunk);
+                for (j, plane) in extracted.iter_mut().enumerate() {
+                    plane[b] = block.plane(plane_hi + j);
+                }
+            }
+            extracted
+        } else {
+            Vec::new()
+        };
+        for p in (plane_lo..plane_hi).rev() {
+            for j in 1..=prefix_bits {
+                let q = p + j;
+                if q >= 64 {
+                    break;
+                }
+                if q < plane_hi {
+                    // Already undone this call: split_at_mut gives the borrow.
+                    let (lo_half, hi_half) = chunks.split_at_mut(q - plane_lo);
+                    let dst = &mut lo_half[p - plane_lo][..region_len];
+                    let src = &hi_half[0][..region_len];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d ^= s;
+                    }
+                } else if q - plane_hi < acc_prefix.len() {
+                    let src = &acc_prefix[q - plane_hi];
+                    let dst = &mut chunks[p - plane_lo];
+                    xor_words_into_bytes(&mut dst[..region_len], src);
+                }
+                // Planes past both ranges are zero: nothing to XOR.
+            }
+        }
+    }
+}
+
+impl<'a> DecodeStage<(Vec<Vec<u8>>, &'a mut [u64])> for ScatterStage {
+    type Output = ();
+
+    fn process(&self, region: usize, input: (Vec<Vec<u8>>, &'a mut [u64])) -> Result<()> {
+        let (mut chunks, acc_region) = input;
+        let region_len = self.grid.region_byte_range(region).len();
+        if self.predictive && self.prefix_bits > 0 {
+            self.undo_prediction(&mut chunks, region_len, acc_region);
+        }
+        // Scatter the raw planes into the accumulators, OR-ed on top of
+        // whatever planes are already loaded, via the kernel matching the
+        // live plane count.
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| &c[..region_len]).collect();
+        bitslice::scatter_planes(&refs, self.plane_lo as usize, acc_region);
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "scatter"
+    }
+}
+
+/// XOR packed MSB-first plane words into a packed plane byte stream in place.
+fn xor_words_into_bytes(dst: &mut [u8], src: &[u64]) {
+    let mut chunks = dst.chunks_exact_mut(8);
+    let mut words = src.iter();
+    for (chunk, &w) in (&mut chunks).zip(&mut words) {
+        let cur = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        chunk.copy_from_slice(&(cur ^ w).to_be_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let w = words.next().copied().unwrap_or(0).to_be_bytes();
+        for (d, s) in rem.iter_mut().zip(w.iter()) {
+            *d ^= s;
+        }
+    }
+}
+
+/// Run `work` on the calling thread while `fetch` runs on a scoped worker
+/// thread, returning both results. A panic on the worker is resumed on the
+/// caller. This is the one place the pipeline's fetch/compute overlap
+/// touches threads; both the region-lookahead driver below and the
+/// level-lookahead bulk path in `progressive` go through it.
+pub fn overlap_fetch<T, U>(fetch: impl FnOnce() -> T + Send, work: impl FnOnce() -> U) -> (U, T)
+where
+    T: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(fetch);
+        let out = work();
+        let fetched = match handle.join() {
+            Ok(res) => res,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (out, fetched)
+    })
+}
+
+/// Pull-based pipeline driver over one level's chunk regions.
+///
+/// Each [`RegionPipeline::decode_next`] call completes one region through
+/// entropy + scatter while the *next* region's chunks are fetched on a
+/// scoped worker thread (ranged backings only). Regions complete in
+/// coefficient order; a failed region leaves its accumulator slice untouched
+/// and the stream positioned to retry it.
+pub struct RegionPipeline<'a> {
+    fetch: FetchStage<'a>,
+    entropy: EntropyStage,
+    scatter: ScatterStage,
+    grid: ChunkGrid,
+    plane_lo: u8,
+    plane_hi: u8,
+    next_region: usize,
+    prefetched: Option<(usize, Result<FetchedRegion<'a>>)>,
+}
+
+impl<'a> RegionPipeline<'a> {
+    /// Compose a pipeline from its stages. The caller has already validated
+    /// the plane range and accumulator geometry (see
+    /// `bitplane::check_plane_range`).
+    pub fn new(
+        fetch: FetchStage<'a>,
+        grid: ChunkGrid,
+        num_planes: u8,
+        plane_lo: u8,
+        plane_hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+    ) -> Self {
+        Self {
+            fetch,
+            entropy: EntropyStage::new(grid),
+            scatter: ScatterStage::new(
+                grid,
+                num_planes,
+                plane_lo,
+                plane_hi,
+                prefix_bits,
+                predictive,
+            ),
+            grid,
+            plane_lo,
+            plane_hi,
+            next_region: 0,
+            prefetched: None,
+        }
+    }
+
+    /// Total number of chunk regions this pipeline will produce.
+    pub fn num_regions(&self) -> usize {
+        if self.plane_lo == self.plane_hi || self.grid.n_values == 0 {
+            0
+        } else {
+            self.grid.num_regions()
+        }
+    }
+
+    /// Compressed bytes the `k`-th region reads across the streamed planes.
+    pub fn region_compressed_bytes(&self, k: usize) -> usize {
+        self.fetch.region_compressed_bytes(k)
+    }
+
+    /// Decode the next region into the matching slice of `acc` (the full
+    /// level accumulator). Returns the coefficient range completed, or
+    /// `None` when the stream is exhausted.
+    pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<Range<usize>>> {
+        if acc.len() != self.grid.n_values {
+            return Err(IpcompError::InvalidInput(
+                "accumulator length changed mid-stream".into(),
+            ));
+        }
+        let n_regions = self.num_regions();
+        if self.next_region >= n_regions {
+            return Ok(None);
+        }
+        let k = self.next_region;
+        let fetched = match self.prefetched.take() {
+            Some((idx, res)) if idx == k => res?,
+            other => {
+                self.prefetched = other;
+                self.fetch.process(k, ())?
+            }
+        };
+        let coeffs = self.grid.region_coeff_range(k);
+        let acc_region = &mut acc[coeffs.clone()];
+        let next = k + 1;
+        if next < n_regions
+            && self.prefetched.is_none()
+            && self.fetch.supports_prefetch()
+            && fetch_overlap()
+        {
+            // Overlap: region k's entropy + scatter on this thread, region
+            // k + 1's fetch on a scoped worker. The worker only borrows the
+            // fetch stage, so a decode failure still stores the prefetch
+            // result for the (possible) retry of the *next* region.
+            let fetch = &self.fetch;
+            let entropy = &self.entropy;
+            let scatter = &self.scatter;
+            let (work, pre) = overlap_fetch(
+                move || fetch.process(next, ()),
+                || {
+                    entropy
+                        .process(k, fetched)
+                        .and_then(|chunks| scatter.process(k, (chunks, acc_region)))
+                },
+            );
+            self.prefetched = Some((next, pre));
+            work?;
+        } else {
+            let chunks = self.entropy.process(k, fetched)?;
+            self.scatter.process(k, (chunks, acc_region))?;
+        }
+        self.next_region += 1;
+        Ok(Some(coeffs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitplane::{encode_level_with, EncodeOptions};
+
+    fn sample_codes(n: usize) -> Vec<i64> {
+        (0..n)
+            .map(|i| {
+                let x = (i as i64).wrapping_mul(0x9E37) % 5000;
+                if i % 2 == 0 {
+                    x
+                } else {
+                    -x
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stages_compose_to_the_bulk_decoder() {
+        let codes = sample_codes(3000);
+        let opts = EncodeOptions {
+            chunk_bytes: 64,
+            rans: true,
+        };
+        let enc = encode_level_with(&codes, 2, true, false, opts);
+        let hi = enc.num_planes;
+
+        let mut bulk = vec![0u64; enc.n_values];
+        crate::bitplane::decode_planes_into(&enc, 0, hi, 2, true, &mut bulk).unwrap();
+
+        let fetch = FetchStage::Resident {
+            level: &enc,
+            plane_lo: 0,
+            plane_hi: hi,
+        };
+        let entropy = EntropyStage::new(enc.grid());
+        let scatter = ScatterStage::new(enc.grid(), enc.num_planes, 0, hi, 2, true);
+        let mut acc = vec![0u64; enc.n_values];
+        for k in 0..enc.grid().num_regions() {
+            let region = fetch.process(k, ()).unwrap();
+            let chunks = entropy.process(k, region).unwrap();
+            let coeffs = enc.grid().region_coeff_range(k);
+            scatter.process(k, (chunks, &mut acc[coeffs])).unwrap();
+        }
+        assert_eq!(acc, bulk);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let codes = sample_codes(100);
+        let enc = encode_level_with(&codes, 2, true, false, EncodeOptions::default());
+        let fetch = FetchStage::Resident {
+            level: &enc,
+            plane_lo: 0,
+            plane_hi: enc.num_planes,
+        };
+        assert_eq!(DecodeStage::name(&fetch), "fetch");
+        assert_eq!(EntropyStage::new(enc.grid()).name(), "entropy");
+        assert_eq!(
+            ScatterStage::new(enc.grid(), enc.num_planes, 0, enc.num_planes, 2, true).name(),
+            "scatter"
+        );
+    }
+
+    #[test]
+    fn overlap_toggle_roundtrips() {
+        let before = fetch_overlap();
+        set_fetch_overlap(false);
+        assert!(!fetch_overlap());
+        set_fetch_overlap(true);
+        assert!(fetch_overlap());
+        set_fetch_overlap(before);
+    }
+}

@@ -327,15 +327,20 @@ impl<'a> ProgressiveDecoder<'a> {
     /// accumulators and byte accounting. Returns per-level vectors of the *newly
     /// added* dequantized residual deltas (empty when a level gained nothing).
     ///
-    /// When `progress` is set, planes are decoded region by region through
-    /// [`PlaneStream`] and the callback observes every chunk region as it
-    /// lands (v2 containers make the regions chunk-sized; v1 containers
-    /// deliver one whole-plane region per level). Without it, chunk decoding
-    /// fans out across the rayon pool instead.
+    /// Every path is built from the staged decode pipeline
+    /// ([`crate::pipeline`]): with `progress` set, planes stream region by
+    /// region through [`PlaneStream`] (the pipeline driver, which for ranged
+    /// sources overlaps region `k + 1`'s fetch with region `k`'s decode) and
+    /// the callback observes every chunk region as it lands. Without it, the
+    /// bulk entropy stage fans out across the rayon pool — and for ranged
+    /// sources the *next level's* batched fetch is issued on a scoped worker
+    /// while the current level decodes, so backend latency overlaps compute
+    /// without changing the request pattern (still one coalescible
+    /// `read_ranges` per level).
     fn load_new_planes(
         &mut self,
         plan: &LoadPlan,
-        mut progress: Option<&mut dyn FnMut(StreamProgress)>,
+        progress: Option<&mut dyn FnMut(StreamProgress)>,
     ) -> Result<Vec<Vec<f64>>> {
         // Clone the store handle (a reference or a pair of `Arc`s) so level
         // borrows come from a local, leaving `self` free for field updates.
@@ -345,128 +350,182 @@ impl<'a> ProgressiveDecoder<'a> {
         let prefix_bits = header.prefix_bits;
         let predictive = header.predictive_coding;
         let n_levels = store.num_level_entries();
-        let mut deltas = Vec::with_capacity(n_levels);
+        // Per-level work items: (idx, lo, hi, want), coarsest level first.
+        let mut works: Vec<(usize, u8, u8, u8)> = Vec::new();
         for idx in 0..n_levels {
             let num_planes = store.level_num_planes(idx);
-            let n_values = store.level_n_values(idx);
             let want = plan.planes_loaded[idx].min(num_planes);
             let have = self.planes_loaded[idx];
-            if want <= have {
-                deltas.push(Vec::new());
-                continue;
+            if want > have {
+                // Planes are counted from the most significant: having
+                // `have` planes means [num_planes-have, num_planes) present.
+                works.push((idx, num_planes - want, num_planes - have, want));
             }
-            // Planes are counted from the most significant: having `have` planes means
-            // planes [num_planes-have, num_planes) are present.
-            let hi = num_planes - have;
-            let lo = num_planes - want;
-            let before: Vec<i64> = if have == 0 {
-                vec![0; n_values]
-            } else {
-                from_negabinary_slice(&self.acc[idx])
-            };
-            if let Some(cb) = progress.as_deref_mut() {
-                let acc = &mut self.acc[idx];
-                let mut stream = match &store {
-                    Store::Slice(c) => PlaneStream::new(
-                        &c.levels[idx],
-                        lo,
-                        hi,
-                        prefix_bits,
-                        predictive,
-                        acc.len(),
-                    )?,
-                    Store::Source { map, source } => PlaneStream::from_source(
-                        &map.levels[idx],
-                        source.get(),
-                        lo,
-                        hi,
-                        prefix_bits,
-                        predictive,
-                        acc.len(),
-                    )?,
-                };
-                let mut region = 0usize;
-                let bytes_before = self.bytes_total;
-                let mut coeffs_done = 0usize;
-                let failure = loop {
-                    match stream.decode_next(acc) {
-                        Ok(Some(coeffs)) => {
-                            coeffs_done = coeffs.end;
-                            self.bytes_total += stream.region_compressed_bytes(region);
-                            cb(StreamProgress {
-                                level_idx: idx,
-                                region,
-                                regions_in_level: stream.num_regions(),
-                                coeffs_decoded: coeffs.end,
-                                coeffs_in_level: n_values,
-                                bytes_total: self.bytes_total,
-                            });
-                            region += 1;
-                        }
-                        Ok(None) => break None,
-                        Err(e) => break Some(e),
+        }
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_levels];
+
+        if let Some(cb) = progress {
+            for &(idx, lo, hi, want) in &works {
+                let before = self.stream_level(&store, cb, idx, lo, hi, prefix_bits, predictive)?;
+                deltas[idx] = self.finish_level(idx, want, eb, before);
+            }
+            return Ok(deltas);
+        }
+        match &store {
+            Store::Slice(c) => {
+                for &(idx, lo, hi, want) in &works {
+                    let level = &c.levels[idx];
+                    let before = self.snapshot_level(idx);
+                    decode_planes_into(level, lo, hi, prefix_bits, predictive, &mut self.acc[idx])?;
+                    for p in lo..hi {
+                        self.bytes_total += level.planes[p as usize].len();
                     }
-                };
-                if let Some(e) = failure {
-                    // Restore the decoder's bulk-path guarantee that a failed
-                    // load leaves no trace: the planes being added were all
-                    // zero in the accumulators before this call, so clearing
-                    // their bit range in the regions already scattered (and
-                    // rolling back the byte accounting) undoes the partial
-                    // stream exactly.
-                    let mask = (1u64 << hi) - (1u64 << lo);
-                    for w in &mut acc[..coeffs_done] {
-                        *w &= !mask;
-                    }
-                    self.bytes_total = bytes_before;
-                    return Err(e);
+                    deltas[idx] = self.finish_level(idx, want, eb, before);
                 }
-            } else {
-                match &store {
-                    Store::Slice(c) => {
-                        let level = &c.levels[idx];
-                        decode_planes_into(
-                            level,
-                            lo,
-                            hi,
-                            prefix_bits,
-                            predictive,
-                            &mut self.acc[idx],
-                        )?;
-                        // Account for the bytes of the newly read plane blocks.
-                        for p in lo..hi {
-                            self.bytes_total += level.planes[p as usize].len();
+            }
+            Store::Source { map, source } => {
+                // Pipelined level loop: each level is one batched, coalescible
+                // `read_ranges` (exactly the PR 3 request pattern); the next
+                // level's fetch runs on a scoped worker while this one
+                // entropy-decodes and scatters.
+                let overlap = crate::pipeline::fetch_overlap();
+                let mut pending: Option<Result<crate::bitplane::EncodedLevel>> = None;
+                for (i, &(idx, lo, hi, want)) in works.iter().enumerate() {
+                    let fetched = match pending.take() {
+                        Some(res) => res?,
+                        None => map.levels[idx].fetch_planes(source.get(), lo, hi)?,
+                    };
+                    let before = self.snapshot_level(idx);
+                    let next = works.get(i + 1).copied();
+                    let decoded = match next {
+                        Some((nidx, nlo, nhi, _)) if overlap => {
+                            let acc = &mut self.acc[idx];
+                            let (decoded, prefetch) = crate::pipeline::overlap_fetch(
+                                || map.levels[nidx].fetch_planes(source.get(), nlo, nhi),
+                                || {
+                                    decode_planes_into(
+                                        &fetched,
+                                        lo,
+                                        hi,
+                                        prefix_bits,
+                                        predictive,
+                                        acc,
+                                    )
+                                },
+                            );
+                            pending = Some(prefetch);
+                            decoded
                         }
-                    }
-                    Store::Source { map, source } => {
-                        // Fetch exactly the requested planes' chunk ranges
-                        // (one batched read the source stack can coalesce),
-                        // then decode through the same in-memory path.
-                        let level_map = &map.levels[idx];
-                        let fetched = level_map.fetch_planes(source.get(), lo, hi)?;
-                        decode_planes_into(
+                        _ => decode_planes_into(
                             &fetched,
                             lo,
                             hi,
                             prefix_bits,
                             predictive,
                             &mut self.acc[idx],
-                        )?;
-                        for p in lo..hi {
-                            self.bytes_total += level_map.plane_bytes(p);
-                        }
+                        ),
+                    };
+                    decoded?;
+                    for p in lo..hi {
+                        self.bytes_total += map.levels[idx].plane_bytes(p);
                     }
+                    deltas[idx] = self.finish_level(idx, want, eb, before);
                 }
             }
-            let delta: Vec<f64> = self.acc[idx]
-                .iter()
-                .zip(&before)
-                .map(|(&w, &b)| dequantize(from_negabinary(w) - b, eb))
-                .collect();
-            self.planes_loaded[idx] = want;
-            deltas.push(delta);
         }
         Ok(deltas)
+    }
+
+    /// Negabinary values of one level's accumulators before new planes land
+    /// (all zeros while nothing is loaded).
+    fn snapshot_level(&self, idx: usize) -> Vec<i64> {
+        if self.planes_loaded[idx] == 0 {
+            vec![0; self.acc[idx].len()]
+        } else {
+            from_negabinary_slice(&self.acc[idx])
+        }
+    }
+
+    /// Compute the newly added dequantized deltas of a level and mark its
+    /// planes loaded.
+    fn finish_level(&mut self, idx: usize, want: u8, eb: f64, before: Vec<i64>) -> Vec<f64> {
+        let delta: Vec<f64> = self.acc[idx]
+            .iter()
+            .zip(&before)
+            .map(|(&w, &b)| dequantize(from_negabinary(w) - b, eb))
+            .collect();
+        self.planes_loaded[idx] = want;
+        delta
+    }
+
+    /// Stream one level's planes region by region through the pipeline,
+    /// reporting progress per region and rolling the accumulators and byte
+    /// accounting back exactly on mid-stream failure. Returns the level's
+    /// pre-stream negabinary snapshot for delta computation.
+    #[allow(clippy::too_many_arguments)] // decode parameters travel together
+    fn stream_level(
+        &mut self,
+        store: &Store<'a>,
+        cb: &mut dyn FnMut(StreamProgress),
+        idx: usize,
+        lo: u8,
+        hi: u8,
+        prefix_bits: u8,
+        predictive: bool,
+    ) -> Result<Vec<i64>> {
+        let n_values = store.level_n_values(idx);
+        let before = self.snapshot_level(idx);
+        let acc = &mut self.acc[idx];
+        let mut stream = match store {
+            Store::Slice(c) => {
+                PlaneStream::new(&c.levels[idx], lo, hi, prefix_bits, predictive, acc.len())?
+            }
+            Store::Source { map, source } => PlaneStream::from_source(
+                &map.levels[idx],
+                source.get(),
+                lo,
+                hi,
+                prefix_bits,
+                predictive,
+                acc.len(),
+            )?,
+        };
+        let mut region = 0usize;
+        let bytes_before = self.bytes_total;
+        let mut coeffs_done = 0usize;
+        let failure = loop {
+            match stream.decode_next(acc) {
+                Ok(Some(coeffs)) => {
+                    coeffs_done = coeffs.end;
+                    self.bytes_total += stream.region_compressed_bytes(region);
+                    cb(StreamProgress {
+                        level_idx: idx,
+                        region,
+                        regions_in_level: stream.num_regions(),
+                        coeffs_decoded: coeffs.end,
+                        coeffs_in_level: n_values,
+                        bytes_total: self.bytes_total,
+                    });
+                    region += 1;
+                }
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        if let Some(e) = failure {
+            // Restore the decoder's bulk-path guarantee that a failed load
+            // leaves no trace: the planes being added were all zero in the
+            // accumulators before this call, so clearing their bit range in
+            // the regions already scattered (and rolling back the byte
+            // accounting) undoes the partial stream exactly.
+            let mask = (1u64 << hi) - (1u64 << lo);
+            for w in &mut acc[..coeffs_done] {
+                *w &= !mask;
+            }
+            self.bytes_total = bytes_before;
+            return Err(e);
+        }
+        Ok(before)
     }
 
     /// Upper bound on the reconstruction error given the currently loaded planes.

@@ -1,4 +1,5 @@
-//! Byte-budgeted LRU cache over a [`ChunkSource`].
+//! Byte-budgeted LRU cache over a [`ChunkSource`], with protected admission
+//! for the hot coarse prefix.
 //!
 //! Keys are the exact requested ranges. That is effective because the
 //! decoder always addresses a given chunk by the same `(offset, len)` pair —
@@ -8,12 +9,22 @@
 //! touching the backend, and the misses of one batch flow down in a single
 //! `read_ranges` call that the coalescer can still merge.
 //!
+//! **Admission/eviction policy**: ranges registered via
+//! [`CachedSource::protect`] — in practice the top-plane chunks every client
+//! touches first — are evicted only when no unprotected entry remains over
+//! budget. Pure LRU failed exactly there: one client's one-shot sweep
+//! through the low planes (a `Full` retrieval reads megabytes it will never
+//! re-read) evicted the coarse prefix that every *other* client hits, so
+//! fleet hit rates collapsed after each deep retrieval. Protecting the
+//! coarse prefix costs the sweep nothing (its chunks were dead on arrival)
+//! and keeps the common path warm.
+//!
 //! Concurrency: the miss fetch happens outside the lock, so two sessions
 //! racing on the same cold chunk may both fetch it (last insert wins). That
 //! duplicates a read instead of serializing every client behind remote
 //! latency — the right trade for a read-only cache.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -31,6 +42,8 @@ pub struct CacheStats {
     pub resident_bytes: usize,
     /// Entries currently resident.
     pub entries: usize,
+    /// Ranges registered as protected (whether or not resident).
+    pub protected_ranges: usize,
 }
 
 struct CacheEntry {
@@ -40,6 +53,8 @@ struct CacheEntry {
 
 struct CacheState {
     map: HashMap<ByteRange, CacheEntry>,
+    /// Keys shielded from eviction while any unprotected victim exists.
+    protected: HashSet<ByteRange>,
     resident: usize,
     tick: u64,
 }
@@ -62,12 +77,23 @@ impl<S: ChunkSource> CachedSource<S> {
             budget: budget_bytes,
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
+                protected: HashSet::new(),
                 resident: 0,
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Register ranges whose entries should survive one-shot sweeps: they
+    /// are evicted only when no unprotected entry is left to evict. Callers
+    /// should keep the protected set comfortably below the byte budget
+    /// (e.g. the top-plane chunks, see `ContainerStore`); protecting more
+    /// than the budget degenerates to plain LRU among the protected set.
+    pub fn protect(&self, ranges: &[ByteRange]) {
+        let mut state = self.state.lock().expect("cache lock");
+        state.protected.extend(ranges.iter().copied());
     }
 
     /// Snapshot of the hit/miss counters and residency.
@@ -78,28 +104,41 @@ impl<S: ChunkSource> CachedSource<S> {
             misses: self.misses.load(Ordering::Relaxed),
             resident_bytes: state.resident,
             entries: state.map.len(),
+            protected_ranges: state.protected.len(),
         }
     }
 
-    /// Drop every cached entry (counters keep accumulating).
+    /// Drop every cached entry (counters keep accumulating, protection
+    /// registrations persist).
     pub fn clear(&self) {
         let mut state = self.state.lock().expect("cache lock");
         state.map.clear();
         state.resident = 0;
     }
 
-    /// Evict least-recently-used entries until the budget holds. The scan is
-    /// linear in the entry count, which stays small (entries are chunk-sized,
-    /// so a budget holds at most budget / chunk_size of them).
+    /// Evict least-recently-used *unprotected* entries until the budget
+    /// holds; protected entries go only when nothing else is left. The scan
+    /// is linear in the entry count, which stays small (entries are
+    /// chunk-sized, so a budget holds at most budget / chunk_size of them).
     fn evict_to_budget(state: &mut CacheState, budget: usize) {
         while state.resident > budget && !state.map.is_empty() {
-            let oldest = state
+            let victim = state
                 .map
                 .iter()
+                .filter(|(k, _)| !state.protected.contains(*k))
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| *k)
+                .or_else(|| {
+                    // Only protected entries remain: fall back to LRU among
+                    // them so the byte budget still bounds memory.
+                    state
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.tick)
+                        .map(|(k, _)| *k)
+                })
                 .expect("non-empty");
-            if let Some(e) = state.map.remove(&oldest) {
+            if let Some(e) = state.map.remove(&victim) {
                 state.resident -= e.bytes.len();
             }
         }
@@ -237,6 +276,55 @@ mod tests {
             assert_eq!(b.backing_len(), b.len(), "cached entry pins extra bytes");
         }
         assert_eq!(cache.stats().resident_bytes, 128);
+    }
+
+    #[test]
+    fn protected_entries_survive_one_shot_sweeps() {
+        let data: Vec<u8> = (0..=255).cycle().take(8192).map(|v| v as u8).collect();
+        let cache = CachedSource::new(MemorySource::new(data.clone()), 512);
+        // The "hot coarse prefix": two chunks everyone re-reads.
+        let hot = [ByteRange::new(0, 128), ByteRange::new(128, 128)];
+        cache.protect(&hot);
+        cache.read_ranges(&hot).unwrap();
+        // A one-shot sweep through four times the budget of cold chunks.
+        let sweep: Vec<ByteRange> = (0..16)
+            .map(|i| ByteRange::new(1024 + i * 128, 128))
+            .collect();
+        for r in &sweep {
+            cache.read_ranges(std::slice::from_ref(r)).unwrap();
+        }
+        // The hot prefix is still resident: re-reading it adds no misses.
+        let misses_before = cache.stats().misses;
+        let bufs = cache.read_ranges(&hot).unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            misses_before,
+            "hot prefix was evicted"
+        );
+        for (r, b) in hot.iter().zip(&bufs) {
+            assert_eq!(&b[..], &data[r.offset as usize..r.end() as usize]);
+        }
+        assert_eq!(cache.stats().protected_ranges, 2);
+        assert!(cache.stats().resident_bytes <= 512);
+    }
+
+    #[test]
+    fn protected_entries_still_bounded_by_budget() {
+        // Protecting more than the budget must not leak memory: LRU applies
+        // within the protected set once nothing unprotected remains.
+        let cache = CachedSource::new(MemorySource::new(vec![3u8; 4096]), 256);
+        let ranges: Vec<ByteRange> = (0..8).map(|i| ByteRange::new(i * 128, 128)).collect();
+        cache.protect(&ranges);
+        for r in &ranges {
+            cache.read_ranges(std::slice::from_ref(r)).unwrap();
+        }
+        let s = cache.stats();
+        assert!(
+            s.resident_bytes <= 256,
+            "budget must hold: {}",
+            s.resident_bytes
+        );
+        assert_eq!(s.entries, 2);
     }
 
     #[test]

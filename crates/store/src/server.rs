@@ -5,7 +5,12 @@
 //! session on the rayon pool. Sessions are fully independent — per-client
 //! monotone refinement and failed-load rollback hold unchanged — while all
 //! of them pull chunks through the store's shared cache, so the backend sees
-//! each chunk roughly once no matter how many clients ask for it.
+//! each chunk roughly once no matter how many clients ask for it. Every
+//! session decodes through the staged fetch → entropy → scatter pipeline,
+//! issuing its overlapped range reads through the same batched
+//! `ChunkSource` API the cache and coalescer compose over, and the cache's
+//! protected top-plane admission keeps the coarse prefix resident however
+//! many one-shot deep sweeps the fleet mixes in.
 
 use std::sync::Arc;
 

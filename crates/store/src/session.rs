@@ -2,12 +2,20 @@
 //! and per-client [`RetrievalSession`]s on top of it.
 //!
 //! One `ContainerStore` composes the source stack once — base backend, then
-//! optional coalescing, then an optional shared LRU chunk cache — and hands
-//! out any number of sessions. Each session owns its own
-//! [`ProgressiveDecoder`] (so per-client progress, monotonicity, and
-//! failed-load rollback behave exactly as in the single-reader API) while
-//! all sessions draw chunks through the same cache: the first client to
-//! request a plane pays the backend cost, the rest hit shared memory.
+//! optional coalescing, then an optional shared LRU chunk cache with
+//! protected top-plane admission — and hands out any number of sessions.
+//! Each session owns its own [`ProgressiveDecoder`] (so per-client progress,
+//! monotonicity, and failed-load rollback behave exactly as in the
+//! single-reader API) while all sessions draw chunks through the same cache:
+//! the first client to request a plane pays the backend cost, the rest hit
+//! shared memory.
+//!
+//! Sessions inherit the decoder's staged pipeline (`ipcomp::pipeline`):
+//! bulk retrievals issue each level's batched, coalescible range read one
+//! level *ahead* of the decode, and streaming retrievals prefetch the next
+//! chunk region while the current one decodes — so against a remote backend
+//! the store's read latency overlaps entropy/scatter compute without
+//! changing the request pattern the cache and coalescer see.
 
 use std::sync::Arc;
 
@@ -33,6 +41,12 @@ pub struct StoreOptions {
     /// After every retrieval, prefetch up to this many not-yet-loaded planes
     /// per level into the shared cache (refinement readahead). `0` disables.
     pub readahead_planes: u8,
+    /// Protect the chunks of this many top (most significant) planes per
+    /// level from cache eviction, so one-shot low-plane sweeps stop flushing
+    /// the coarse prefix every client re-reads. Protection is capped at half
+    /// the cache byte budget (topmost planes across all levels first) and is
+    /// a no-op without a cache layer. `0` restores pure LRU.
+    pub protect_top_planes: u8,
 }
 
 impl Default for StoreOptions {
@@ -41,6 +55,7 @@ impl Default for StoreOptions {
             cache_bytes: 64 << 20,
             coalesce_gap: Some(4096),
             readahead_planes: 0,
+            protect_top_planes: 2,
         }
     }
 }
@@ -75,6 +90,13 @@ impl ContainerStore {
         let mut cache = None;
         if options.cache_bytes > 0 {
             let cached = Arc::new(CachedSource::new(stack, options.cache_bytes));
+            if options.protect_top_planes > 0 {
+                cached.protect(&Self::protected_ranges(
+                    &map,
+                    options.protect_top_planes,
+                    options.cache_bytes / 2,
+                ));
+            }
             cache = Some(Arc::clone(&cached));
             stack = cached;
         }
@@ -84,6 +106,36 @@ impl ContainerStore {
             cache,
             options,
         })
+    }
+
+    /// Chunk ranges of the top `depth` planes of every level, topmost tier
+    /// first across all levels (the coarse prefix every client reads before
+    /// anything else), greedily filled up to `byte_cap` so protection never
+    /// crowds out the working set. Whole planes that no longer fit are
+    /// skipped rather than aborting the sweep: a deep plane of the finest
+    /// level can cost more than every remaining plane of the coarse levels
+    /// combined, and those cheap-but-hot planes are exactly what the fleet
+    /// re-reads.
+    fn protected_ranges(map: &ContainerMap, depth: u8, byte_cap: usize) -> Vec<ipcomp::ByteRange> {
+        let mut ranges = Vec::new();
+        let mut bytes = 0usize;
+        for tier in 0..depth {
+            for level in &map.levels {
+                if tier >= level.num_planes {
+                    continue;
+                }
+                let p = level.num_planes - 1 - tier;
+                let plane_bytes = level.plane_bytes(p);
+                if bytes + plane_bytes > byte_cap {
+                    continue;
+                }
+                bytes += plane_bytes;
+                for k in 0..level.plane_chunk_count(p) {
+                    ranges.push(level.chunk_range(p, k));
+                }
+            }
+        }
+        ranges
     }
 
     /// The container's metadata map.

@@ -107,11 +107,13 @@ fn coalescing_cuts_request_count_at_least_4x() {
         cache_bytes: 0,
         coalesce_gap: None,
         readahead_planes: 0,
+        protect_top_planes: 0,
     });
     let coalesced = count_requests(StoreOptions {
         cache_bytes: 0,
         coalesce_gap: Some(4096),
         readahead_planes: 0,
+        protect_top_planes: 0,
     });
     assert!(
         per_chunk >= 4 * coalesced,
@@ -220,6 +222,7 @@ fn streaming_short_read_rolls_back_and_session_can_retry() {
             cache_bytes: 0,
             coalesce_gap: None,
             readahead_planes: 0,
+            protect_top_planes: 0,
         },
     );
     let mut session = store.session();
