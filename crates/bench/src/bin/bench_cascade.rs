@@ -1,0 +1,353 @@
+//! Streaming cascade reconstruction runner: emits `BENCH_cascade.json`.
+//!
+//! Measures the `ipcomp::cascade` engine on the 1M-coefficient workload:
+//!
+//! * **Reconstruct stage** — the PR 4 batch formulation (dequantize every
+//!   level into a residual buffer, then closure-driven `process_level`
+//!   passes) against the cascade engine's fused run kernels, from identical
+//!   decoded codes, bit-identical outputs asserted. Acceptance: ≥ 1.5×.
+//! * **Kernel A/B** — `IPC_CASCADE_IMPL`-style dispatch sweep
+//!   (reference / portable / auto-AVX2), per-level pass timings included.
+//! * **Batch vs streamed end-to-end** — a full retrieval against a simulated
+//!   object store that *really sleeps*, with level streaming on
+//!   (interpolation passes overlap the next level's fetch) and off (the
+//!   historical decode-everything-then-reconstruct schedule). Decoded bits
+//!   asserted identical; only wall clock may differ.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_cascade [out.json] [--smoke]`
+//! `--smoke` (or `IPC_BENCH_QUICK=1`) shrinks the field for CI health checks;
+//! committed numbers come from the full 1M-coefficient run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ipc_store::{CoalescingSource, SimProfile, SimulatedObjectStore};
+use ipc_tensor::{ArrayD, Shape};
+use ipcomp::bitplane::decode_level;
+use ipcomp::cascade::{self, CascadeEngine, CascadeImpl};
+use ipcomp::container::decode_anchors_bounded;
+use ipcomp::interp::{num_levels, process_anchors, process_level};
+use ipcomp::quantize::dequantize;
+use ipcomp::{compress, Config, MemorySource, ProgressiveDecoder, RetrievalRequest};
+
+/// Same field family as `bench_decode`: smooth structure plus deterministic
+/// coordinate-hash noise so the low planes stay dense.
+fn bench_field(smoke: bool) -> ArrayD<f64> {
+    let n = if smoke { 40 } else { 100 };
+    ArrayD::from_fn(Shape::d3(n, n, n), |c| {
+        let h = (c[0].wrapping_mul(73856093)
+            ^ c[1].wrapping_mul(19349663)
+            ^ c[2].wrapping_mul(83492791)) as u64;
+        let noise = ((h.wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1 << 24) as f64) - 0.5;
+        (c[0] as f64 * 0.11).sin() * 3.0
+            + (c[1] as f64 * 0.07).cos() * 2.0
+            + (c[2] as f64 * 0.05).sin() * (c[0] as f64 * 0.013).cos()
+            + noise * 0.01
+    })
+}
+
+/// FNV-1a over the reconstruction bits.
+fn checksum(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The PR 4 batch reconstruction, verbatim: one dequantize sweep per level
+/// into a residual buffer, then closure-driven interpolation passes pulling
+/// residuals off an iterator, coarsest level first.
+fn pr4_reconstruct(
+    shape: &Shape,
+    config: &Config,
+    eb: f64,
+    anchors: &[i64],
+    level_codes: &[Vec<i64>],
+) -> Vec<f64> {
+    let levels = num_levels(shape);
+    let residuals: Vec<Vec<f64>> = level_codes
+        .iter()
+        .map(|codes| codes.iter().map(|&q| dequantize(q, eb)).collect())
+        .collect();
+    let mut work = vec![0.0f64; shape.len()];
+    let mut it = anchors.iter();
+    process_anchors(shape, &mut work, |_, pred| {
+        pred + it.next().map_or(0.0, |&q| dequantize(q, eb))
+    });
+    for level in (1..=levels).rev() {
+        let idx = (levels - level) as usize;
+        let mut it = residuals[idx].iter();
+        process_level(shape, level, config.interpolation, &mut work, |_, pred| {
+            pred + it.next().copied().unwrap_or(0.0)
+        });
+    }
+    work
+}
+
+/// One cascade-engine reconstruction from pre-cloned codes, timing each
+/// level's pass.
+fn cascade_reconstruct(
+    shape: &Shape,
+    config: &Config,
+    eb: f64,
+    anchors: &[i64],
+    level_codes: Vec<Vec<i64>>,
+    per_level: &mut [Duration],
+) -> (Vec<f64>, Duration) {
+    let mut engine = CascadeEngine::new(shape.clone(), config.interpolation, eb);
+    let t0 = Instant::now();
+    engine.seed_anchors(anchors);
+    for (idx, codes) in level_codes.into_iter().enumerate() {
+        let t = Instant::now();
+        engine.level_ready(idx, codes);
+        per_level[idx] = per_level[idx].min(t.elapsed());
+    }
+    let total = t0.elapsed();
+    (engine.into_field(), total)
+}
+
+fn main() {
+    // Single-thread story: the build container has one CPU; on bigger
+    // machines this keeps the reconstruct-stage numbers honest.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+
+    let mut out_path = "BENCH_cascade.json".to_string();
+    let mut smoke = std::env::var("IPC_BENCH_QUICK").is_ok();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if !arg.starts_with('-') {
+            out_path = arg;
+        }
+    }
+
+    let field = bench_field(smoke);
+    let shape = field.shape().clone();
+    let n = field.len();
+    let eb = 1e-7;
+    let config = Config::default();
+    let compressed = compress(&field, eb, &config).unwrap();
+    let bytes = compressed.to_bytes();
+    let reps = if smoke { 2 } else { 7 };
+    println!(
+        "container: {n} coefficients, {} bytes, cascade avx2 {}",
+        bytes.len(),
+        cascade::cascade_avx2_available()
+    );
+
+    // Decode every level's quantization codes once (the read path is
+    // measured by bench_decode; this runner isolates the reconstruct stage).
+    let header = &compressed.header;
+    let anchors = decode_anchors_bounded(&compressed.anchors, header.num_elements()).unwrap();
+    let level_codes: Vec<Vec<i64>> = compressed
+        .levels
+        .iter()
+        .map(|l| {
+            decode_level(
+                l,
+                l.num_planes,
+                header.prefix_bits,
+                header.predictive_coding,
+            )
+            .unwrap()
+        })
+        .collect();
+    let n_levels = level_codes.len();
+
+    // ---- reconstruct stage: PR 4 batch vs cascade kernels ------------------
+    let mut pr4_best = Duration::MAX;
+    let mut pr4_field = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        pr4_field = pr4_reconstruct(&shape, &config, eb, &anchors, &level_codes);
+        pr4_best = pr4_best.min(t.elapsed());
+    }
+
+    let impls = [
+        ("reference", CascadeImpl::Reference),
+        ("portable", CascadeImpl::Portable),
+        ("auto", CascadeImpl::Auto),
+    ];
+    let mut impl_ms = Vec::new();
+    let mut auto_per_level = vec![Duration::MAX; n_levels];
+    let mut auto_best = Duration::MAX;
+    for (name, which) in impls {
+        cascade::force_cascade_impl(which);
+        let mut best = Duration::MAX;
+        let mut per_level = vec![Duration::MAX; n_levels];
+        for _ in 0..reps {
+            let cloned = level_codes.clone();
+            let (out, total) =
+                cascade_reconstruct(&shape, &config, eb, &anchors, cloned, &mut per_level);
+            best = best.min(total);
+            assert_eq!(
+                checksum(&out),
+                checksum(&pr4_field),
+                "{name}: cascade diverged from the PR 4 batch reconstruction"
+            );
+        }
+        if which == CascadeImpl::Auto {
+            auto_per_level = per_level;
+            auto_best = best;
+        }
+        println!(
+            "reconstruct[{name}]: {:.2} ms (PR 4 batch {:.2} ms)",
+            best.as_secs_f64() * 1e3,
+            pr4_best.as_secs_f64() * 1e3
+        );
+        impl_ms.push((name, best));
+    }
+    cascade::force_cascade_impl(CascadeImpl::Auto);
+
+    let speedup = pr4_best.as_secs_f64() / auto_best.as_secs_f64();
+    let portable_ms = impl_ms
+        .iter()
+        .find(|(n, _)| *n == "portable")
+        .unwrap()
+        .1
+        .as_secs_f64()
+        * 1e3;
+    let simd_speedup = portable_ms / (auto_best.as_secs_f64() * 1e3);
+    println!(
+        "reconstruct stage: PR 4 {:.2} ms -> cascade {:.2} ms ({speedup:.2}x; simd-vs-portable {simd_speedup:.2}x)",
+        pr4_best.as_secs_f64() * 1e3,
+        auto_best.as_secs_f64() * 1e3
+    );
+
+    // Full retrieval wall clock (read path + reconstruction) for context.
+    let mut retrieve_best = Duration::MAX;
+    let mut retrieve_sum = 0u64;
+    for _ in 0..reps {
+        let mut dec = ProgressiveDecoder::new(&compressed);
+        let t = Instant::now();
+        let out = dec.retrieve(RetrievalRequest::Full).unwrap();
+        retrieve_best = retrieve_best.min(t.elapsed());
+        retrieve_sum = checksum(out.data.as_slice());
+    }
+    assert_eq!(retrieve_sum, checksum(&pr4_field), "retrieve diverged");
+    println!(
+        "full retrieve incl. read path: {:.2} ms",
+        retrieve_best.as_secs_f64() * 1e3
+    );
+
+    // ---- batch vs streamed end-to-end on the sleeping simulated store ------
+    let profile = SimProfile {
+        latency_per_request: Duration::from_millis(if smoke { 1 } else { 2 }),
+        throughput_bytes_per_sec: 200e6,
+        real_sleep: true,
+    };
+    // Streaming retrieval both ways (same region-granular request pattern);
+    // only the cascade schedule differs: streamed interleaves interpolation
+    // sub-passes with region fetches — coarse levels finish while the finest
+    // fetches, and the finest level's early sub-passes run while its own
+    // later regions are still arriving — where batch reconstructs only after
+    // the last byte lands (the PR 4 decode-then-reconstruct schedule).
+    let run_streamed = |streamed: bool| -> (Duration, u64, u64, u64) {
+        cascade::set_cascade_streaming(streamed);
+        let sim = Arc::new(SimulatedObjectStore::new(
+            MemorySource::new(bytes.clone()),
+            profile,
+        ));
+        let stack = CoalescingSource::new(Arc::clone(&sim), 4096);
+        let mut dec = ProgressiveDecoder::from_source(&stack).unwrap();
+        let t = Instant::now();
+        let out = dec
+            .retrieve_streaming_events(RetrievalRequest::Full, |_| {})
+            .unwrap();
+        let wall = t.elapsed();
+        let stats = sim.stats();
+        (
+            wall,
+            stats.requests,
+            stats.bytes,
+            checksum(out.data.as_slice()),
+        )
+    };
+    let overlap_reps = if smoke { 2 } else { 5 };
+    let (mut batch_wall, mut batch_gets, mut batch_bytes, mut batch_sum) = run_streamed(false);
+    let (mut stream_wall, mut stream_gets, mut stream_bytes, mut stream_sum) = run_streamed(true);
+    for _ in 1..overlap_reps {
+        let b = run_streamed(false);
+        if b.0 < batch_wall {
+            (batch_wall, batch_gets, batch_bytes, batch_sum) = b;
+        }
+        let s = run_streamed(true);
+        if s.0 < stream_wall {
+            (stream_wall, stream_gets, stream_bytes, stream_sum) = s;
+        }
+    }
+    cascade::set_cascade_streaming(true);
+    assert_eq!(batch_sum, stream_sum, "streaming changed decoded bits");
+    assert_eq!(batch_gets, stream_gets, "streaming changed the GET pattern");
+    assert_eq!(batch_bytes, stream_bytes, "streaming changed bytes fetched");
+    let hidden = batch_wall.saturating_sub(stream_wall);
+    println!(
+        "sim store ({} GETs / {} B): decode-then-reconstruct {:.1} ms -> streamed cascade {:.1} ms ({:.1} ms hidden)",
+        batch_gets,
+        batch_bytes,
+        batch_wall.as_secs_f64() * 1e3,
+        stream_wall.as_secs_f64() * 1e3,
+        hidden.as_secs_f64() * 1e3
+    );
+
+    println!(
+        "acceptance: reconstruct speedup {speedup:.2}x (>= 1.5x required), streamed {} batch on the sim store, outputs bit-identical",
+        if stream_wall <= batch_wall { "beats" } else { "TRAILS" }
+    );
+    if !smoke {
+        assert!(
+            speedup >= 1.5,
+            "cascade must deliver >= 1.5x on the reconstruct stage, got {speedup:.2}x"
+        );
+        assert!(
+            stream_wall <= batch_wall,
+            "streamed cascade must not lose to decode-then-reconstruct: {stream_wall:?} vs {batch_wall:?}"
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"cascade_reconstruction\",\n");
+    json.push_str(&format!(
+        "  \"coefficients\": {n},\n  \"container_bytes\": {},\n  \"compress_error_bound\": {eb:e},\n  \"threads\": 1,\n  \"avx2\": {},\n",
+        bytes.len(),
+        cascade::cascade_avx2_available()
+    ));
+    json.push_str(&format!(
+        "  \"reconstruct_ms\": {{\"pr4_batch\": {:.3}, \"cascade_reference\": {:.3}, \"cascade_portable\": {:.3}, \"cascade_auto\": {:.3}, \"speedup_vs_pr4\": {speedup:.3}, \"simd_vs_portable\": {simd_speedup:.3}}},\n",
+        pr4_best.as_secs_f64() * 1e3,
+        impl_ms[0].1.as_secs_f64() * 1e3,
+        impl_ms[1].1.as_secs_f64() * 1e3,
+        impl_ms[2].1.as_secs_f64() * 1e3,
+    ));
+    json.push_str("  \"per_level_pass_ms\": [\n");
+    for (idx, d) in auto_per_level.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"level_idx\": {idx}, \"interp_level\": {}, \"coefficients\": {}, \"ms\": {:.3}}}{}\n",
+            n_levels - idx,
+            level_codes[idx].len(),
+            d.as_secs_f64() * 1e3,
+            if idx + 1 < n_levels { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"full_retrieve_ms\": {:.3},\n",
+        retrieve_best.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"streamed_overlap\": {{\"sim_latency_ms_per_get\": {}, \"sim_throughput_mb_s\": 200, \"gets\": {batch_gets}, \"bytes\": {batch_bytes}, \"batch_wall_ms\": {:.2}, \"streamed_wall_ms\": {:.2}, \"hidden_ms\": {:.2}, \"request_pattern_unchanged\": true}},\n",
+        profile.latency_per_request.as_millis(),
+        batch_wall.as_secs_f64() * 1e3,
+        stream_wall.as_secs_f64() * 1e3,
+        hidden.as_secs_f64() * 1e3,
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"reconstruct_speedup\": {speedup:.3}, \"required\": 1.5, \"streamed_beats_batch\": {}, \"bit_identical\": true}}\n}}\n",
+        stream_wall <= batch_wall
+    ));
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

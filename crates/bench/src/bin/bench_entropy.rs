@@ -106,6 +106,7 @@ fn main() {
     let v1_opts = EncodeOptions {
         chunk_bytes: 0,
         rans: false,
+        match_candidates: 1,
     };
     // Current pipeline: 64 KiB chunks, rANS/Huffman/store per chunk.
     let v2_opts = EncodeOptions::default();
@@ -168,6 +169,38 @@ fn main() {
     let lzr_size_ratio = lzr_skip[1].2 as f64 / lzr_skip[0].2 as f64;
     println!(
         "lzr skip-step widening (planes): {lzr_speedup:.2}x encode at {lzr_size_ratio:.4}x size"
+    );
+
+    // LZR tokenizer hash-chain A/B (EncodeOptions::match_candidates): the
+    // 2-candidate chain retries the displaced bucket head, trading encode
+    // speed for ratio where patterns collide. Measured over the same packed
+    // plane workload; the default stays single-head unless the tradeoff pays.
+    let lzr_chain = [1u8, 2].map(|candidates| {
+        let opts = ipc_codecs::LzrOptions {
+            match_candidates: candidates,
+            ..ipc_codecs::LzrOptions::default()
+        };
+        let bytes: usize = all_planes
+            .iter()
+            .map(|p| ipc_codecs::lzr_compress_with(p, &opts).len())
+            .sum();
+        let mbs = planes_mb
+            / best_of(reps, || {
+                for p in &all_planes {
+                    std::hint::black_box(ipc_codecs::lzr_compress_with(p, &opts));
+                }
+            });
+        (candidates, mbs, bytes)
+    });
+    for (candidates, mbs, bytes) in &lzr_chain {
+        println!(
+            "lzr_encode({candidates}-candidate): {mbs:>7.0} MB/s  ({bytes} bytes, all planes)"
+        );
+    }
+    let chain_speed_ratio = lzr_chain[1].1 / lzr_chain[0].1;
+    let chain_size_ratio = lzr_chain[1].2 as f64 / lzr_chain[0].2 as f64;
+    println!(
+        "lzr 2-candidate hash chain (planes): {chain_speed_ratio:.2}x encode speed at {chain_size_ratio:.4}x size (default stays 1-candidate)"
     );
 
     // Same A/B on raw f64 bytes of a smooth field — the anchor-stream /
@@ -252,6 +285,10 @@ fn main() {
     json.push_str(&format!(
         "    \"structured_floats\": {{\"skip_shift_6_mb_s\": {:.2}, \"skip_shift_5_mb_s\": {:.2}, \"encode_speedup\": {:.3}, \"size_ratio\": {:.4}}}\n  }},\n",
         lzr_skip_floats[0].1, lzr_skip_floats[1].1, lzr_float_speedup, lzr_float_size
+    ));
+    json.push_str(&format!(
+        "  \"lzr_hash_chain\": {{\"candidates_1_mb_s\": {:.2}, \"candidates_2_mb_s\": {:.2}, \"candidates_1_bytes\": {}, \"candidates_2_bytes\": {}, \"speed_ratio\": {chain_speed_ratio:.3}, \"size_ratio\": {chain_size_ratio:.4}, \"default\": 1}},\n",
+        lzr_chain[0].1, lzr_chain[1].1, lzr_chain[0].2, lzr_chain[1].2
     ));
     json.push_str("  \"codec_micro_mb_s\": {\n");
     for (i, (name, mbs)) in micro.iter().enumerate() {

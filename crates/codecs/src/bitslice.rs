@@ -41,7 +41,7 @@
 //! * **Packed plane bytes** are the serialized form of plane words: byte `k`
 //!   covers coefficients `8k..8k+8`, coefficient `8k` at the byte's MSB.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::envswitch::EnvSwitch;
 
 /// Row index of plane `p` in the output of [`transpose_64x64`] when the input
 /// rows are coefficient words in block order.
@@ -78,15 +78,32 @@ pub fn transpose_64x64(a: &mut [u64; 64]) {
 /// holds bit `p` of every coefficient in order, bit-identical to writing those
 /// bits one at a time through [`crate::bitstream::BitWriter`] (including the
 /// zero padding of the final byte).
+///
+/// The per-block 64×64 transpose dispatches to an AVX2 variant behind the
+/// same runtime-detection/`simd` conventions as the scatter kernels
+/// ([`gather_impl`] / `IPC_GATHER_IMPL` select it); output bytes are
+/// identical on every path.
 pub fn slice_planes(words: &[u64], num_planes: usize) -> Vec<Vec<u8>> {
     assert!(num_planes <= 64, "a u64 word has at most 64 planes");
     let n = words.len();
     let plane_len = n.div_ceil(8);
     let mut planes = vec![vec![0u8; plane_len]; num_planes];
+    let use_avx2 = gather_avx2_selected();
     for (b, block) in words.chunks(64).enumerate() {
         let mut m = [0u64; 64];
         m[..block.len()].copy_from_slice(block);
-        transpose_64x64(&mut m);
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if use_avx2 {
+            // SAFETY: AVX2 support verified by `gather_avx2_selected`.
+            unsafe { avx2::transpose_64x64_avx2(&mut m) };
+        } else {
+            transpose_64x64(&mut m);
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            let _ = use_avx2;
+            transpose_64x64(&mut m);
+        }
         let base = b * 8;
         let nbytes = (plane_len - base).min(8);
         for (p, plane) in planes.iter_mut().enumerate() {
@@ -95,6 +112,84 @@ pub fn slice_planes(words: &[u64], num_planes: usize) -> Vec<Vec<u8>> {
         }
     }
     planes
+}
+
+// ---- encode-side gather kernels ---------------------------------------------
+
+/// Which gather implementation [`slice_planes`] and [`gather_plane_words`]
+/// dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GatherImpl {
+    /// AVX2 kernels when the CPU has them, portable otherwise.
+    Auto = 0,
+    /// The portable kernels, never AVX2 (regardless of CPU).
+    Portable = 2,
+}
+
+/// Process-wide gather override, settable via [`force_gather_impl`] or the
+/// `IPC_GATHER_IMPL` environment variable (`portable` / `auto`), mirroring
+/// `IPC_SCATTER_IMPL`.
+static GATHER_IMPL: EnvSwitch = EnvSwitch::new("IPC_GATHER_IMPL");
+
+/// Force every subsequent gather onto one implementation (benchmark A/B
+/// harnesses; produced bits are identical either way).
+pub fn force_gather_impl(which: GatherImpl) {
+    GATHER_IMPL.force(which as u8);
+}
+
+/// The implementation gathers currently dispatch to.
+pub fn gather_impl() -> GatherImpl {
+    match GATHER_IMPL.get(|env| match env {
+        Some("portable") => GatherImpl::Portable as u8,
+        _ => GatherImpl::Auto as u8,
+    }) {
+        2 => GatherImpl::Portable,
+        _ => GatherImpl::Auto,
+    }
+}
+
+/// Whether the current dispatch resolves to the AVX2 gather kernels.
+fn gather_avx2_selected() -> bool {
+    gather_impl() == GatherImpl::Auto && avx2_available()
+}
+
+/// Extract planes `[plane_lo, plane_lo + count)` of packed coefficient words
+/// as per-plane packed words: `out[j][b]` holds plane `plane_lo + j` of
+/// coefficients `64b..64b+64`, coefficient `i` of the block at bit
+/// `63 - (i % 64)` (the [`PlaneBlock::plane`] convention).
+///
+/// This is the few-planes gather the decode pipeline's refinement prefix
+/// extraction needs: where a full [`PlaneBlock::gather`] transpose pays for
+/// all 64 planes, this touches only the requested ones — a direct bit loop
+/// portably, a shift + `movemask` sweep under AVX2 (runtime-detected behind
+/// the `simd` feature; bit-identical by the shared tests).
+pub fn gather_plane_words(words: &[u64], plane_lo: usize, count: usize) -> Vec<Vec<u64>> {
+    assert!(plane_lo + count <= 64, "plane range exceeds a 64-bit word");
+    let n_blocks = words.len().div_ceil(64);
+    let mut out = vec![vec![0u64; n_blocks]; count];
+    if count == 0 || words.is_empty() {
+        return out;
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if gather_avx2_selected() {
+        // SAFETY: AVX2 support verified by `gather_avx2_selected`.
+        unsafe { avx2::gather_plane_words_avx2(words, plane_lo, &mut out) };
+        return out;
+    }
+    gather_plane_words_portable(words, plane_lo, &mut out);
+    out
+}
+
+/// Portable gather: one bit test per (word, plane).
+fn gather_plane_words_portable(words: &[u64], plane_lo: usize, out: &mut [Vec<u64>]) {
+    for (b, block) in words.chunks(64).enumerate() {
+        for (i, &w) in block.iter().enumerate() {
+            for (j, plane) in out.iter_mut().enumerate() {
+                plane[b] |= ((w >> (plane_lo + j)) & 1) << (63 - i);
+            }
+        }
+    }
 }
 
 /// One 64-coefficient block in plane-major form, for word-parallel per-plane
@@ -153,31 +248,25 @@ pub enum ScatterImpl {
 
 /// Process-wide kernel override, settable via [`force_scatter_impl`] or the
 /// `IPC_SCATTER_IMPL` environment variable (`generic` / `portable` / `auto`),
-/// mirroring the `IPC_STORE_FORCE_FILE` escape-hatch precedent. `u8::MAX`
-/// means "not yet initialized from the environment".
-static SCATTER_IMPL: AtomicU8 = AtomicU8::new(u8::MAX);
+/// mirroring the `IPC_STORE_FORCE_FILE` escape-hatch precedent.
+static SCATTER_IMPL: EnvSwitch = EnvSwitch::new("IPC_SCATTER_IMPL");
 
 /// Force every subsequent [`scatter_planes`] call onto one implementation
 /// (benchmark A/B harnesses; decoded bits are identical either way).
 pub fn force_scatter_impl(which: ScatterImpl) {
-    SCATTER_IMPL.store(which as u8, Ordering::Relaxed);
+    SCATTER_IMPL.force(which as u8);
 }
 
 /// The implementation [`scatter_planes`] currently dispatches to.
 pub fn scatter_impl() -> ScatterImpl {
-    match SCATTER_IMPL.load(Ordering::Relaxed) {
+    match SCATTER_IMPL.get(|env| match env {
+        Some("generic") => ScatterImpl::Generic as u8,
+        Some("portable") => ScatterImpl::Portable as u8,
+        _ => ScatterImpl::Auto as u8,
+    }) {
         1 => ScatterImpl::Generic,
         2 => ScatterImpl::Portable,
-        0 => ScatterImpl::Auto,
-        _ => {
-            let from_env = match std::env::var("IPC_SCATTER_IMPL").as_deref() {
-                Ok("generic") => ScatterImpl::Generic,
-                Ok("portable") => ScatterImpl::Portable,
-                _ => ScatterImpl::Auto,
-            };
-            SCATTER_IMPL.store(from_env as u8, Ordering::Relaxed);
-            from_env
-        }
+        _ => ScatterImpl::Auto,
     }
 }
 
@@ -402,6 +491,91 @@ mod avx2 {
             super::scatter_planes_grouped(&tail, plane_lo, &mut out[done..]);
         }
     }
+
+    /// Bit-reversal of a 4-bit value: `movemask` yields lane 0 at bit 0, but
+    /// packed plane words want coefficient 0 at the high end.
+    const REV4: [u64; 16] = [
+        0b0000, 0b1000, 0b0100, 0b1100, 0b0010, 0b1010, 0b0110, 0b1110, //
+        0b0001, 0b1001, 0b0101, 0b1101, 0b0011, 0b1011, 0b0111, 0b1111,
+    ];
+
+    /// AVX2 gather: shift plane `p` into each lane's sign bit, then a
+    /// `movemask_pd` harvests 4 coefficients' bits per instruction. The
+    /// coefficient loop is outside the plane loop so each 4-word vector is
+    /// loaded once and swept across all requested planes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather_plane_words_avx2(
+        words: &[u64],
+        plane_lo: usize,
+        out: &mut [Vec<u64>],
+    ) {
+        for (b, block) in words.chunks(64).enumerate() {
+            let full = block.len() / 4;
+            for g in 0..full {
+                let v = _mm256_loadu_si256(block.as_ptr().add(g * 4) as *const __m256i);
+                let hi = 63 - 4 * g; // coefficient 4g sits at bit 63 - 4g
+                for (j, plane) in out.iter_mut().enumerate() {
+                    let shift = _mm_cvtsi32_si128((63 - (plane_lo + j)) as i32);
+                    let m = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_sll_epi64(v, shift)));
+                    plane[b] |= REV4[m as usize] << (hi - 3);
+                }
+            }
+            // Ragged block tail (< 4 words): portable bit loop.
+            for (i, &w) in block.iter().enumerate().skip(full * 4) {
+                for (j, plane) in out.iter_mut().enumerate() {
+                    plane[b] |= ((w >> (plane_lo + j)) & 1) << (63 - i);
+                }
+            }
+        }
+    }
+
+    /// AVX2 64×64 bit-matrix transpose: the four wide rounds (`j` = 32, 16,
+    /// 8, 4) pair rows four at a time with 256-bit shift/mask/XOR; the two
+    /// narrow rounds (`j` = 2, 1) run the scalar recurrence. Bit-identical to
+    /// [`super::transpose_64x64`] (pure bit movement).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn transpose_64x64_avx2(a: &mut [u64; 64]) {
+        const ROUNDS: [(u32, u64); 4] = [
+            (32, 0x0000_0000_FFFF_FFFF),
+            (16, 0x0000_FFFF_0000_FFFF),
+            (8, 0x00FF_00FF_00FF_00FF),
+            (4, 0x0F0F_0F0F_0F0F_0F0F),
+        ];
+        for (j, m) in ROUNDS {
+            let mask = _mm256_set1_epi64x(m as i64);
+            let jc = _mm_cvtsi32_si128(j as i32);
+            let mut k = 0usize;
+            while k < 64 {
+                if k & (j as usize) == 0 {
+                    let pa = a.as_mut_ptr().add(k) as *mut __m256i;
+                    let pb = a.as_mut_ptr().add(k + j as usize) as *mut __m256i;
+                    let va = _mm256_loadu_si256(pa);
+                    let vb = _mm256_loadu_si256(pb);
+                    let t = _mm256_and_si256(_mm256_xor_si256(va, _mm256_srl_epi64(vb, jc)), mask);
+                    _mm256_storeu_si256(pa, _mm256_xor_si256(va, t));
+                    _mm256_storeu_si256(pb, _mm256_xor_si256(vb, _mm256_sll_epi64(t, jc)));
+                }
+                k += 4;
+            }
+        }
+        for (j, m) in [(2u32, 0x3333_3333_3333_3333u64), (1, 0x5555_5555_5555_5555)] {
+            let mut k = 0usize;
+            while k < 64 {
+                let t = (a[k] ^ (a[k + j as usize] >> j)) & m;
+                a[k] ^= t;
+                a[k + j as usize] ^= t << j;
+                k = (k + j as usize + 1) & !(j as usize);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -581,6 +755,83 @@ mod tests {
         force_scatter_impl(ScatterImpl::Auto);
         assert_eq!(auto, generic);
         assert_eq!(auto, portable);
+    }
+
+    #[test]
+    fn gather_plane_words_matches_plane_block_on_every_range() {
+        // The PlaneBlock transpose is the reference for the few-planes
+        // gather, across ragged block sizes and plane offsets, on both
+        // implementations.
+        for &n in &[1usize, 3, 4, 7, 63, 64, 65, 130, 257, 500] {
+            let words: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 17)
+                .collect();
+            for &(lo, count) in &[(0usize, 1usize), (5, 2), (13, 3), (40, 4), (62, 2), (0, 64)] {
+                if lo + count > 64 {
+                    continue;
+                }
+                let mut want = vec![vec![0u64; n.div_ceil(64)]; count];
+                for (b, block) in words.chunks(64).enumerate() {
+                    let pb = PlaneBlock::gather(block);
+                    for (j, plane) in want.iter_mut().enumerate() {
+                        plane[b] = pb.plane(lo + j);
+                    }
+                }
+                let mut portable = vec![vec![0u64; n.div_ceil(64)]; count];
+                gather_plane_words_portable(&words, lo, &mut portable);
+                assert_eq!(portable, want, "portable n={n} lo={lo} count={count}");
+
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut simd = vec![vec![0u64; n.div_ceil(64)]; count];
+                    // SAFETY: AVX2 presence verified above.
+                    unsafe { avx2::gather_plane_words_avx2(&words, lo, &mut simd) };
+                    assert_eq!(simd, want, "avx2 n={n} lo={lo} count={count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_gather_impls_are_bit_identical() {
+        let words: Vec<u64> = (0..300)
+            .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95))
+            .collect();
+        let run = |which: GatherImpl| {
+            force_gather_impl(which);
+            let planes = slice_planes(&words, 48);
+            let gathered = gather_plane_words(&words, 10, 3);
+            force_gather_impl(GatherImpl::Auto);
+            (planes, gathered)
+        };
+        let auto = run(GatherImpl::Auto);
+        let portable = run(GatherImpl::Portable);
+        assert_eq!(auto, portable);
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_transpose_matches_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let mut a = [0u64; 64];
+        let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
+        for row in a.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *row = x;
+        }
+        let mut scalar = a;
+        transpose_64x64(&mut scalar);
+        // SAFETY: AVX2 presence verified above.
+        unsafe { avx2::transpose_64x64_avx2(&mut a) };
+        assert_eq!(a, scalar);
+        // Involution through the AVX2 path too.
+        unsafe { avx2::transpose_64x64_avx2(&mut a) };
+        transpose_64x64(&mut scalar);
+        assert_eq!(a, scalar);
     }
 
     #[test]

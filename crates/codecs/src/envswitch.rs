@@ -1,0 +1,76 @@
+//! Lazily initialized process-wide dispatch switches.
+//!
+//! Several kernels in this workspace are selectable at runtime for A/B
+//! benchmarking (`IPC_SCATTER_IMPL`, `IPC_GATHER_IMPL`, `IPC_CASCADE_IMPL`,
+//! `IPC_CASCADE_STREAM`, `IPC_DECODE_OVERLAP`). They all share one shape: an
+//! atomic byte that starts as "uninitialized", is populated from an
+//! environment variable on first read, and can be overridden programmatically
+//! at any time. [`EnvSwitch`] is that shape, once.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A process-wide `u8` switch initialized from an environment variable on
+/// first read and overridable via [`EnvSwitch::force`].
+///
+/// The value `u8::MAX` is reserved as the "not yet initialized" sentinel;
+/// parsers must not return it.
+pub struct EnvSwitch {
+    cell: AtomicU8,
+    env_var: &'static str,
+}
+
+impl EnvSwitch {
+    /// A switch backed by `env_var`, not yet initialized.
+    pub const fn new(env_var: &'static str) -> Self {
+        Self {
+            cell: AtomicU8::new(u8::MAX),
+            env_var,
+        }
+    }
+
+    /// Override the switch for every subsequent [`EnvSwitch::get`].
+    pub fn force(&self, value: u8) {
+        debug_assert_ne!(value, u8::MAX, "u8::MAX is the uninitialized sentinel");
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value, initializing from the environment on first read.
+    /// `parse` maps the variable's value (`None` when unset) to the stored
+    /// byte and must not return `u8::MAX`.
+    pub fn get(&self, parse: impl FnOnce(Option<&str>) -> u8) -> u8 {
+        match self.cell.load(Ordering::Relaxed) {
+            u8::MAX => {
+                let value = parse(std::env::var(self.env_var).ok().as_deref());
+                debug_assert_ne!(value, u8::MAX, "parser returned the sentinel");
+                self.cell.store(value, Ordering::Relaxed);
+                value
+            }
+            value => value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variable_uses_parser_default_and_force_overrides() {
+        let switch = EnvSwitch::new("IPC_ENVSWITCH_TEST_UNSET");
+        assert_eq!(switch.get(|v| if v.is_some() { 1 } else { 7 }), 7);
+        // Initialized: the parser no longer runs.
+        assert_eq!(switch.get(|_| unreachable!()), 7);
+        switch.force(3);
+        assert_eq!(switch.get(|_| unreachable!()), 3);
+    }
+
+    #[test]
+    fn force_before_first_get_skips_the_environment() {
+        // No env mutation here: `set_var` would race `getenv` calls on
+        // concurrently running test threads. The parse path is covered by
+        // the unset-variable test above.
+        let switch = EnvSwitch::new("IPC_ENVSWITCH_TEST_FORCED");
+        switch.force(2);
+        assert_eq!(switch.get(|_| unreachable!()), 2);
+    }
+}

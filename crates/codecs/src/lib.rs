@@ -26,6 +26,7 @@
 pub mod bitslice;
 pub mod bitstream;
 pub mod byteio;
+pub mod envswitch;
 pub mod huffman;
 pub mod lzr;
 pub mod negabinary;
@@ -35,8 +36,9 @@ pub mod varint;
 pub mod zigzag;
 
 pub use bitstream::{BitReader, BitWriter};
+pub use envswitch::EnvSwitch;
 pub use huffman::{huffman_decode, huffman_encode};
-pub use lzr::{lzr_compress, lzr_decompress};
+pub use lzr::{lzr_compress, lzr_compress_with, lzr_decompress, LzrOptions};
 pub use negabinary::{from_negabinary, to_negabinary};
 pub use rans::{rans_decode_bytes, rans_encode_bytes};
 pub use rle::{rle_decode, rle_encode};

@@ -55,16 +55,62 @@ const DEFAULT_SKIP_SHIFT: u32 = 5;
 /// byte-identical to the version-1 writer.
 const V1_SKIP_SHIFT: u32 = 6;
 
+/// Tokenizer tuning knobs (see [`lzr_compress_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LzrOptions {
+    /// Skip-step escalation shift of the empty-match path: the scan step
+    /// widens by one byte every `2^skip_shift` consecutive misses.
+    pub skip_shift: u32,
+    /// Match candidates probed per position: `1` keeps the single-head hash
+    /// table; `2` adds a one-deep hash chain (the previous head is retained
+    /// as a second candidate and the longer match wins). Deeper values clamp
+    /// to 2.
+    pub match_candidates: u8,
+}
+
+impl Default for LzrOptions {
+    fn default() -> Self {
+        Self {
+            skip_shift: DEFAULT_SKIP_SHIFT,
+            match_candidates: 1,
+        }
+    }
+}
+
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the match between `input[candidate..]` and `input[i..]`, or 0
+/// when the candidate is unusable (absent or beyond the window).
+#[inline]
+fn match_len_at(input: &[u8], candidate: usize, i: usize) -> usize {
+    if candidate == usize::MAX || i - candidate > WINDOW {
+        return 0;
+    }
+    let max_len = (input.len() - i).min(MAX_MATCH);
+    let mut l = 0usize;
+    while l < max_len && input[candidate + l] == input[i + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Produce the raw LZ77 token stream for `input` (no entropy stage).
-fn lz_tokenize(input: &[u8], skip_shift: u32) -> Vec<u8> {
+fn lz_tokenize(input: &[u8], skip_shift: u32, match_candidates: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    // One-deep hash chain: `prev[h]` holds the head displaced by the last
+    // insert, giving a second (older) candidate per bucket. Only allocated
+    // when the caller asked for it.
+    let chained = match_candidates >= 2;
+    let mut prev = if chained {
+        vec![usize::MAX; 1 << HASH_BITS]
+    } else {
+        Vec::new()
+    };
     let mut literal_start = 0usize;
     let mut i = 0usize;
 
@@ -77,22 +123,27 @@ fn lz_tokenize(input: &[u8], skip_shift: u32) -> Vec<u8> {
     while i + MIN_MATCH <= input.len() {
         let h = hash4(&input[i..]);
         let candidate = head[h];
+        let older = if chained { prev[h] } else { usize::MAX };
+        if chained {
+            prev[h] = head[h];
+        }
         head[h] = i;
 
-        let mut match_len = 0usize;
-        if candidate != usize::MAX && i - candidate <= WINDOW {
-            let max_len = (input.len() - i).min(MAX_MATCH);
-            let mut l = 0usize;
-            while l < max_len && input[candidate + l] == input[i + l] {
-                l += 1;
-            }
-            if l >= MIN_MATCH {
-                match_len = l;
+        // Probe the recent head first; the older candidate only wins with a
+        // strictly longer match (ties keep the shorter distance, which costs
+        // fewer varint bytes).
+        let mut match_len = match_len_at(input, candidate, i);
+        let mut match_src = candidate;
+        if chained && older != candidate {
+            let l2 = match_len_at(input, older, i);
+            if l2 > match_len {
+                match_len = l2;
+                match_src = older;
             }
         }
 
         if match_len >= MIN_MATCH {
-            let dist = i - candidate;
+            let dist = i - match_src;
             write_varint(&mut out, (i - literal_start) as u64);
             out.extend_from_slice(&input[literal_start..i]);
             write_varint(&mut out, match_len as u64);
@@ -102,7 +153,11 @@ fn lz_tokenize(input: &[u8], skip_shift: u32) -> Vec<u8> {
             let end = i + match_len;
             let mut j = i + 1;
             while j + MIN_MATCH <= input.len() && j < end && j < i + 16 {
-                head[hash4(&input[j..])] = j;
+                let hj = hash4(&input[j..]);
+                if chained {
+                    prev[hj] = head[hj];
+                }
+                head[hj] = j;
                 j += 1;
             }
             i = end;
@@ -197,7 +252,22 @@ pub fn lzr_compress(input: &[u8]) -> Vec<u8> {
 /// `BENCH_entropy.json`. Output at any shift decodes with the same reader —
 /// the shift only changes which matches the tokenizer finds.
 pub fn lzr_compress_accel(input: &[u8], skip_shift: u32) -> Vec<u8> {
-    let tokens = lz_tokenize(input, skip_shift);
+    lzr_compress_with(
+        input,
+        &LzrOptions {
+            skip_shift,
+            match_candidates: 1,
+        },
+    )
+}
+
+/// [`lzr_compress`] with explicit tokenizer options (skip-step escalation and
+/// hash-chain depth). Output under any options decodes with the same reader —
+/// the knobs only change which matches the tokenizer finds; the ratio/speed
+/// A/B between the single-head table and the 2-candidate chain lives in
+/// `BENCH_entropy.json`.
+pub fn lzr_compress_with(input: &[u8], options: &LzrOptions) -> Vec<u8> {
+    let tokens = lz_tokenize(input, options.skip_shift, options.match_candidates);
     // When matching bought nothing (the token stream is no shorter than the
     // input), drop the token framing: entropy-code the raw bytes if that
     // pays (mode 3), otherwise store them verbatim (mode 4). Either way
@@ -224,7 +294,7 @@ pub fn lzr_compress_accel(input: &[u8], skip_shift: u32) -> Vec<u8> {
 /// historical version-1 writer; kept so the benchmark harness can measure
 /// the chunked rANS pipeline against the exact baseline it replaced.
 pub fn lzr_compress_huffman(input: &[u8]) -> Vec<u8> {
-    let tokens = lz_tokenize(input, V1_SKIP_SHIFT);
+    let tokens = lz_tokenize(input, V1_SKIP_SHIFT, 1);
     let entropy = huffman_encode_bytes_under(&tokens, tokens.len() - tokens.len() / 8);
     let mut out = Vec::with_capacity(tokens.len() + 10);
     write_varint(&mut out, input.len() as u64);
@@ -408,6 +478,86 @@ mod tests {
         read_varint(&enc, &mut pos).unwrap();
         assert!(enc[pos] <= 1, "v1 writer only emits store/Huffman");
         assert_eq!(lzr_decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn chained_tokenizer_roundtrips_and_never_decodes_differently() {
+        // The 2-candidate chain changes which matches are found, never the
+        // format: every stream decodes back to the input.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let mut inputs: Vec<Vec<u8>> = Vec::new();
+        inputs.push((0..60_000u32).map(|i| (i % 251) as u8).collect());
+        inputs.push((0..50_000).map(|_| rng.gen::<u8>() & 0x1F).collect());
+        // Interleaved repeats: two periodic patterns sharing hash buckets, so
+        // the recent head is often the worse candidate and the chain pays.
+        inputs.push(
+            (0..80_000usize)
+                .map(|i| {
+                    if (i / 997) % 2 == 0 {
+                        (i % 13) as u8
+                    } else {
+                        ((i * 7) % 11) as u8 + 100
+                    }
+                })
+                .collect(),
+        );
+        for (k, data) in inputs.iter().enumerate() {
+            for candidates in [1u8, 2, 3] {
+                let opts = LzrOptions {
+                    skip_shift: DEFAULT_SKIP_SHIFT,
+                    match_candidates: candidates,
+                };
+                let enc = lzr_compress_with(data, &opts);
+                assert_eq!(
+                    &lzr_decompress(&enc).unwrap(),
+                    data,
+                    "input {k} c{candidates}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_tokenizer_finds_longer_matches_on_colliding_patterns() {
+        // A long early run, a bucket-colliding interloper, then the run
+        // again: the single-head table only sees the interloper; the chain
+        // still reaches the full-length original.
+        let run: Vec<u8> = (0..4096u32).map(|i| (i % 200) as u8).collect();
+        let mut data = run.clone();
+        data.extend_from_slice(&run[..8]); // displaces head entries
+        data.extend(std::iter::repeat_n(0xEEu8, 64));
+        data.extend_from_slice(&run);
+        let single = lzr_compress_with(
+            &data,
+            &LzrOptions {
+                skip_shift: DEFAULT_SKIP_SHIFT,
+                match_candidates: 1,
+            },
+        );
+        let chained = lzr_compress_with(
+            &data,
+            &LzrOptions {
+                skip_shift: DEFAULT_SKIP_SHIFT,
+                match_candidates: 2,
+            },
+        );
+        assert_eq!(lzr_decompress(&single).unwrap(), data);
+        assert_eq!(lzr_decompress(&chained).unwrap(), data);
+        assert!(
+            chained.len() <= single.len(),
+            "chain must not lose ratio here: {} vs {}",
+            chained.len(),
+            single.len()
+        );
+    }
+
+    #[test]
+    fn default_options_match_plain_compress() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 97) as u8).collect();
+        assert_eq!(
+            lzr_compress_with(&data, &LzrOptions::default()),
+            lzr_compress(&data)
+        );
     }
 
     #[test]

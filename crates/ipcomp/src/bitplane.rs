@@ -186,6 +186,11 @@ pub struct EncodeOptions {
     /// decision to Huffman/store, reproducing the PR 1 byte stream — kept for
     /// the benchmark harness and A/B tests.
     pub rans: bool,
+    /// LZ match candidates probed per position by the entropy stage's
+    /// tokenizer: `1` (default) keeps the single-head hash table; `2` adds a
+    /// one-deep hash chain that trades a little encode speed for ratio on
+    /// bucket-colliding data (A/B recorded in `BENCH_entropy.json`).
+    pub match_candidates: u8,
 }
 
 impl Default for EncodeOptions {
@@ -193,6 +198,7 @@ impl Default for EncodeOptions {
         Self {
             chunk_bytes: CHUNK_BYTES,
             rans: true,
+            match_candidates: 1,
         }
     }
 }
@@ -429,10 +435,18 @@ pub fn truncation_loss_table(nb: &[u64], num_planes: u8) -> Vec<u64> {
 /// Entropy-code one chunk of packed plane bytes according to the options.
 #[inline]
 fn compress_chunk(bytes: &[u8], opts: &EncodeOptions) -> Vec<u8> {
-    if opts.rans {
-        lzr_compress(bytes)
-    } else {
+    if !opts.rans {
         ipc_codecs::lzr::lzr_compress_huffman(bytes)
+    } else if opts.match_candidates > 1 {
+        ipc_codecs::lzr_compress_with(
+            bytes,
+            &ipc_codecs::LzrOptions {
+                match_candidates: opts.match_candidates,
+                ..ipc_codecs::LzrOptions::default()
+            },
+        )
+    } else {
+        lzr_compress(bytes)
     }
 }
 
@@ -792,6 +806,18 @@ impl<'a> PlaneStream<'a> {
     pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<std::ops::Range<usize>>> {
         self.pipeline.decode_next(acc)
     }
+
+    /// [`PlaneStream::decode_next`] with a post-scatter hook that runs inside
+    /// the fetch-overlap window (see
+    /// [`crate::pipeline::RegionPipeline::decode_next_with`]): consumer work
+    /// on the completed region hides under the next region's in-flight fetch.
+    pub fn decode_next_with(
+        &mut self,
+        acc: &mut [u64],
+        after_scatter: impl FnOnce(std::ops::Range<usize>, &[u64]),
+    ) -> Result<Option<std::ops::Range<usize>>> {
+        self.pipeline.decode_next_with(acc, after_scatter)
+    }
 }
 
 /// Decode the top `planes_loaded` planes of a level into quantization codes
@@ -1007,7 +1033,7 @@ mod tests {
     fn tiny_chunks() -> EncodeOptions {
         EncodeOptions {
             chunk_bytes: 64,
-            rans: true,
+            ..EncodeOptions::default()
         }
     }
 
@@ -1039,7 +1065,7 @@ mod tests {
                 false,
                 EncodeOptions {
                     chunk_bytes,
-                    rans: true,
+                    ..EncodeOptions::default()
                 },
             );
             let expected_chunks = if chunk_bytes == 0 {
@@ -1069,7 +1095,7 @@ mod tests {
             false,
             EncodeOptions {
                 chunk_bytes: 0,
-                rans: true,
+                ..EncodeOptions::default()
             },
         );
         let chunked = encode_level_with(&codes, 2, true, false, tiny_chunks());
@@ -1161,7 +1187,7 @@ mod tests {
                 &codes,
                 EncodeOptions {
                     chunk_bytes: 0,
-                    rans: true,
+                    ..EncodeOptions::default()
                 },
             );
         }
@@ -1192,7 +1218,7 @@ mod tests {
             &codes,
             EncodeOptions {
                 chunk_bytes: 8,
-                rans: true,
+                ..EncodeOptions::default()
             },
         );
     }
@@ -1473,7 +1499,7 @@ mod tests {
         ) {
             let opts = EncodeOptions {
                 chunk_bytes: chunk_step * 24, // 0, 24, 48, ... — multiples of 8
-                rans: true,
+                ..EncodeOptions::default()
             };
             let word = encode_level_with(&codes, prefix_bits, predictive, false, opts);
             let reference = scalar::encode_level_with(&codes, prefix_bits, predictive, opts);
@@ -1532,7 +1558,10 @@ mod tests {
             chunk_step in 1usize..6,
             range_seed in proptest::any::<u64>(),
         ) {
-            let opts = EncodeOptions { chunk_bytes: chunk_step * 8, rans: true };
+            let opts = EncodeOptions {
+                chunk_bytes: chunk_step * 8,
+                ..EncodeOptions::default()
+            };
             let enc = encode_level_with(&codes, 2, true, false, opts);
             let hi = enc.num_planes;
             let lo = if hi == 0 { 0 } else { (range_seed % (hi as u64 + 1)) as u8 };

@@ -1,0 +1,1309 @@
+//! Streaming SIMD reconstruction engine: the level-streamed interpolation
+//! cascade that turns decoded bitplane accumulators into a field.
+//!
+//! Historically the decoder ran the reconstruction as a monolithic sweep
+//! *after* every plane had been fetched and scattered: dequantize each level's
+//! accumulators into a residual buffer, then replay [`process_level`] with a
+//! per-point closure pulling residuals off an iterator. After the PR 4 decode
+//! pipeline cut the read path to a few milliseconds, that batch sweep was the
+//! dominant cost of a full retrieval (ROADMAP's top hot spot).
+//!
+//! [`CascadeEngine`] restructures the reconstruction around two ideas:
+//!
+//! 1. **Level streaming.** The interpolation cascade consumes levels coarsest
+//!    first — exactly the order the decode pipeline produces them — and each
+//!    level's pass only reads lattice points finalized by earlier passes. So
+//!    the engine runs level `k`'s interpolation as soon as level `k`'s
+//!    coefficients are scattered, while the finer levels (the finest holds
+//!    7/8 of the bytes in 3-D) are still fetching and entropy-decoding. A
+//!    [`CascadeState`] tracks per-level readiness, so levels may be handed
+//!    over in any order; passes are applied in cascade order as their
+//!    predecessors complete. Streaming raises the fetch/compute overlap
+//!    ceiling of the staged pipeline: against a slow backend, reconstruction
+//!    compute now hides under the next level's fetch instead of running after
+//!    the last byte lands.
+//! 2. **Fused SIMD passes.** A pass consumes quantization codes directly —
+//!    dequantization (`code · 2eb`) is fused into the interpolation kernel,
+//!    so the field is touched once per level instead of once per stage, and
+//!    no per-level residual `f64` buffer is materialized. The kernels operate
+//!    on whole innermost runs ([`crate::interp`]'s sweep geometry): each run
+//!    splits into a branchy head/tail (domain-boundary fallbacks, evaluated
+//!    point-wise exactly like [`crate::interp::predict_point`]) and a
+//!    branchless interior. The interior has an AVX2 variant (runtime-detected
+//!    behind the `simd` feature, same conventions as
+//!    [`ipc_codecs::bitslice`]): stride-2 deinterleaved loads, the cubic or
+//!    linear stencil evaluated with scalar operation order (mul/add/sub, no
+//!    FMA), and interleaved stores — so SIMD output is bit-identical to the
+//!    portable kernels, which are always compiled and are the only path on
+//!    other architectures or under `--no-default-features`.
+//!
+//! The implementation is selectable process-wide via `IPC_CASCADE_IMPL`
+//! (`auto` / `portable` / `reference`) or [`force_cascade_impl`], mirroring
+//! `IPC_SCATTER_IMPL`: `reference` routes every pass through the historical
+//! closure-driven [`process_level`] formulation, kept as the A/B baseline and
+//! correctness oracle. All three produce bit-identical fields.
+//!
+//! Level streaming itself can be disabled (`IPC_CASCADE_STREAM=0` or
+//! [`set_cascade_streaming`]) to force the historical decode-everything-then-
+//! reconstruct schedule for benchmarks; decoded bits are identical either
+//! way, only wall-clock overlap changes.
+
+use ipc_codecs::negabinary::from_negabinary;
+use ipc_codecs::EnvSwitch;
+use ipc_tensor::Shape;
+
+use crate::config::Interpolation;
+use crate::interp::{
+    for_each_level_pass, level_stride, num_levels, predict_point, process_anchors, process_level,
+    sweep_runs, SweepRun,
+};
+
+// ---- process-wide dispatch switches ----------------------------------------
+
+/// Which implementation the cascade kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CascadeImpl {
+    /// Pick per pass: AVX2 interior kernels when the CPU has them, otherwise
+    /// the portable run kernels.
+    Auto = 0,
+    /// The pre-cascade formulation: [`process_level`] with a per-point
+    /// closure pulling dequantized residuals off an iterator. Kept selectable
+    /// for A/B benchmarking and as the correctness oracle.
+    Reference = 1,
+    /// The portable run kernels, never AVX2 (regardless of CPU).
+    Portable = 2,
+}
+
+/// Process-wide kernel override, settable via [`force_cascade_impl`] or the
+/// `IPC_CASCADE_IMPL` environment variable (`auto` / `reference` /
+/// `portable`), mirroring `IPC_SCATTER_IMPL`.
+static CASCADE_IMPL: EnvSwitch = EnvSwitch::new("IPC_CASCADE_IMPL");
+
+/// Force every subsequent cascade pass onto one implementation (benchmark A/B
+/// harnesses; reconstructed fields are bit-identical either way).
+pub fn force_cascade_impl(which: CascadeImpl) {
+    CASCADE_IMPL.force(which as u8);
+}
+
+/// The implementation cascade passes currently dispatch to.
+pub fn cascade_impl() -> CascadeImpl {
+    match CASCADE_IMPL.get(|env| match env {
+        Some("reference") => CascadeImpl::Reference as u8,
+        Some("portable") => CascadeImpl::Portable as u8,
+        _ => CascadeImpl::Auto as u8,
+    }) {
+        1 => CascadeImpl::Reference,
+        2 => CascadeImpl::Portable,
+        _ => CascadeImpl::Auto,
+    }
+}
+
+/// Whether the AVX2 cascade kernels are compiled in and supported by this CPU.
+pub fn cascade_avx2_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Process-wide level-streaming switch.
+static CASCADE_STREAM: EnvSwitch = EnvSwitch::new("IPC_CASCADE_STREAM");
+
+/// Enable or disable level-streamed reconstruction (benchmark A/B harnesses).
+/// When disabled, the decoder loads every level before running any
+/// interpolation pass — the historical schedule. Reconstructed bits are
+/// identical either way.
+pub fn set_cascade_streaming(enabled: bool) {
+    CASCADE_STREAM.force(enabled as u8);
+}
+
+/// Whether the decoder interleaves interpolation passes with level loading
+/// (default true; `IPC_CASCADE_STREAM=0` disables).
+pub fn cascade_streaming() -> bool {
+    CASCADE_STREAM.get(|env| (env != Some("0")) as u8) != 0
+}
+
+// ---- bulk residual extraction ----------------------------------------------
+
+/// Negabinary-decode a level's accumulators into quantization codes (the
+/// values the cascade consumes). One tight xor/subtract pass the compiler
+/// auto-vectorizes; the `· 2eb` dequantization half is fused into the
+/// interpolation kernels so no per-level `f64` residual buffer exists.
+pub fn residual_codes(acc: &[u64]) -> Vec<i64> {
+    acc.iter().map(|&w| from_negabinary(w)).collect()
+}
+
+/// Codes newly contributed by a refinement step: the negabinary-decoded
+/// accumulators minus the pre-load snapshot. Same fused-dequantize contract
+/// as [`residual_codes`].
+pub fn delta_codes(acc: &[u64], before: &[i64]) -> Vec<i64> {
+    acc.iter()
+        .zip(before)
+        .map(|(&w, &b)| from_negabinary(w) - b)
+        .collect()
+}
+
+// ---- per-level readiness ----------------------------------------------------
+
+/// Lifecycle of one container level inside a [`CascadeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelState {
+    /// Coefficients not yet handed to the engine.
+    Pending,
+    /// Coefficients received, waiting for a coarser level's pass.
+    Ready,
+    /// Interpolation pass applied; the level's lattice is final.
+    Applied,
+}
+
+/// Per-level readiness tracker: levels may be handed over in any order, and
+/// the engine applies each level's pass exactly once, in cascade (coarsest
+/// first) order, as soon as all coarser levels are applied.
+#[derive(Debug, Clone)]
+pub struct CascadeState {
+    states: Vec<LevelState>,
+    applied: usize,
+}
+
+impl CascadeState {
+    fn new(n_levels: usize) -> Self {
+        Self {
+            states: vec![LevelState::Pending; n_levels],
+            applied: 0,
+        }
+    }
+
+    /// Per-level states, coarsest level first.
+    pub fn levels(&self) -> &[LevelState] {
+        &self.states
+    }
+
+    /// Number of levels whose pass has run.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Whether every level's pass has run.
+    pub fn is_complete(&self) -> bool {
+        self.applied == self.states.len()
+    }
+}
+
+/// Progress report emitted when a level's interpolation pass completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeProgress {
+    /// Index into the container's level list (coarsest level first).
+    pub level_idx: usize,
+    /// Interpolation level the pass covered (`num_levels` = coarsest, 1 =
+    /// finest; stride `2^(level-1)`).
+    pub interp_level: u32,
+    /// Grid points predicted (and finalized) by this pass.
+    pub points: usize,
+    /// Levels applied so far, including this one.
+    pub levels_applied: usize,
+    /// Total levels the cascade will apply.
+    pub levels_total: usize,
+}
+
+// ---- the engine -------------------------------------------------------------
+
+/// Streaming interpolation-cascade engine over one field reconstruction.
+///
+/// Lifecycle: [`CascadeEngine::new`], then exactly one of
+/// [`seed_anchors`](CascadeEngine::seed_anchors) (initial reconstruction) or
+/// [`seed_zero`](CascadeEngine::seed_zero) (refinement delta cascade), then
+/// per container level either
+///
+/// * [`level_ready`](CascadeEngine::level_ready) with the level's complete
+///   quantization codes (values for an initial reconstruction, deltas for a
+///   refinement; an empty vector means "all zero" and runs prediction-only
+///   passes), or
+/// * [`level_codes_arrived`](CascadeEngine::level_codes_arrived) with
+///   traversal-order code prefixes as chunk regions land, then
+///   [`level_complete`](CascadeEngine::level_complete) — the streaming form.
+///
+/// Codes arrive in the level's traversal order, which is the concatenation of
+/// its dimension sub-passes — so each sub-pass consumes a contiguous, known
+/// code range and can run as soon as the arrived prefix covers it (and all
+/// coarser levels are applied). That is what lets the finest level's early
+/// sub-passes overlap the fetch of its own remaining regions, on top of the
+/// coarse levels overlapping the finer levels' fetches entirely. Levels may
+/// be handed over in any order; parked codes apply once their predecessors
+/// complete. When [`CascadeState::is_complete`],
+/// [`into_field`](CascadeEngine::into_field) yields the reconstruction.
+pub struct CascadeEngine {
+    shape: Shape,
+    method: Interpolation,
+    /// `2 · error_bound`: multiplying a code by this dequantizes it with the
+    /// exact rounding of [`crate::quantize::dequantize`] (scaling by 2.0 is
+    /// exact, so the product rounds once either way).
+    two_eb: f64,
+    levels: u32,
+    /// Kernel implementation, captured at construction.
+    which: CascadeImpl,
+    avx2: bool,
+    work: Vec<f64>,
+    state: CascadeState,
+    slots: Vec<LevelSlot>,
+    /// Per level, its dimension sub-passes in traversal order.
+    geoms: Vec<Vec<SubPass>>,
+}
+
+/// One dimension pass of one level: the sweep geometry plus the contiguous
+/// code range it consumes.
+struct SubPass {
+    d: usize,
+    ranges: Vec<ipc_tensor::AxisRange>,
+    /// First code (traversal position within the level) this pass consumes.
+    start: usize,
+    /// Codes (= points) this pass consumes.
+    count: usize,
+}
+
+/// Arrival/application state of one level.
+#[derive(Default)]
+struct LevelSlot {
+    /// Codes arrived so far, from traversal position 0.
+    buf: Vec<i64>,
+    /// Sub-passes applied so far.
+    subs_applied: usize,
+    /// All codes arrived ([`CascadeEngine::level_complete`] called).
+    complete: bool,
+    /// All-zero level: prediction-only passes, no codes.
+    zero: bool,
+}
+
+impl CascadeEngine {
+    /// Engine over `shape` with `num_levels(shape)` cascade levels, bound to
+    /// the process-wide [`cascade_impl`] at construction.
+    pub fn new(shape: Shape, method: Interpolation, error_bound: f64) -> Self {
+        let levels = num_levels(&shape);
+        let work = vec![0.0f64; shape.len()];
+        let which = cascade_impl();
+        let avx2 = which == CascadeImpl::Auto && cascade_avx2_available();
+        let geoms = (0..levels)
+            .map(|idx| {
+                let stride = level_stride(levels - idx);
+                let mut subs = Vec::new();
+                let mut start = 0usize;
+                for_each_level_pass(&shape, stride, |d, ranges| {
+                    let count = ipc_tensor::GridIter::new(&shape, ranges.clone()).total();
+                    subs.push(SubPass {
+                        d,
+                        ranges,
+                        start,
+                        count,
+                    });
+                    start += count;
+                });
+                subs
+            })
+            .collect();
+        Self {
+            shape,
+            method,
+            two_eb: 2.0 * error_bound,
+            levels,
+            which,
+            avx2,
+            work,
+            state: CascadeState::new(levels as usize),
+            slots: (0..levels).map(|_| LevelSlot::default()).collect(),
+            geoms,
+        }
+    }
+
+    /// Number of cascade levels (container level `idx` maps to interpolation
+    /// level `levels - idx`).
+    pub fn num_levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Per-level readiness.
+    pub fn state(&self) -> &CascadeState {
+        &self.state
+    }
+
+    /// Sub-passes applied and total for a level (observability: a level's
+    /// early sub-passes run while its remaining codes are still arriving).
+    pub fn subpasses_applied(&self, idx: usize) -> (usize, usize) {
+        (self.slots[idx].subs_applied, self.geoms[idx].len())
+    }
+
+    /// The field under reconstruction (final once the state is complete).
+    pub fn field(&self) -> &[f64] {
+        &self.work
+    }
+
+    /// Consume the engine, yielding the reconstructed field.
+    pub fn into_field(self) -> Vec<f64> {
+        debug_assert!(self.state.is_complete(), "cascade incomplete");
+        self.work
+    }
+
+    /// Seed the anchor lattice from quantization codes (Algorithm 1's
+    /// zero-predicted anchors); missing codes read as zero.
+    pub fn seed_anchors(&mut self, codes: &[i64]) {
+        let two_eb = self.two_eb;
+        let mut it = codes.iter();
+        process_anchors(&self.shape, &mut self.work, |_, pred| {
+            pred + it.next().map_or(0.0, |&c| c as f64 * two_eb)
+        });
+    }
+
+    /// Seed an all-zero anchor lattice (Algorithm 2's delta cascade: the
+    /// cascade is linear in the residuals, so a delta field propagates
+    /// through the same passes from zero anchors).
+    pub fn seed_zero(&mut self) {
+        process_anchors(&self.shape, &mut self.work, |_, _| 0.0);
+    }
+
+    /// Hand container level `idx` (coarsest first) to the engine with its
+    /// complete quantization codes — values on an initial reconstruction,
+    /// deltas on a refinement, or an empty vector for an all-zero
+    /// (prediction-only) level. Runs this level's passes immediately when
+    /// every coarser level is applied (and then any finer levels that were
+    /// parked waiting), or parks the codes otherwise. Returns one progress
+    /// entry per level fully applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, was already handed over, or received
+    /// streamed prefixes (use [`CascadeEngine::level_complete`] then).
+    pub fn level_ready(&mut self, idx: usize, codes: Vec<i64>) -> Vec<CascadeProgress> {
+        assert!(idx < self.levels as usize, "level index out of range");
+        let slot = &mut self.slots[idx];
+        assert!(
+            !slot.complete && slot.buf.is_empty() && !slot.zero,
+            "level {idx} handed to the cascade twice"
+        );
+        if codes.is_empty() {
+            slot.zero = true;
+        } else {
+            slot.buf = codes;
+        }
+        self.finish_arrival(idx)
+    }
+
+    /// Append newly decoded codes for level `idx`, in traversal order — the
+    /// streaming form, fed as chunk regions land. Any dimension sub-passes
+    /// the arrived prefix now covers run immediately (once all coarser
+    /// levels are applied); the rest wait for more codes. Returns one
+    /// progress entry per level fully applied (parked finer levels may
+    /// complete when their blocker does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, the level was already completed, or
+    /// more codes arrive than the level has points.
+    pub fn level_codes_arrived(&mut self, idx: usize, new_codes: &[i64]) -> Vec<CascadeProgress> {
+        self.arrive(idx, |buf| buf.extend_from_slice(new_codes))
+    }
+
+    /// Streaming arrival straight from a decoder's accumulator slice: the
+    /// bulk dequantize stage-1 (negabinary decode, minus the refinement
+    /// snapshot when given) is fused into the buffer append, so the codes
+    /// are written exactly once. Semantics otherwise match
+    /// [`CascadeEngine::level_codes_arrived`].
+    pub fn level_span_arrived(
+        &mut self,
+        idx: usize,
+        acc_span: &[u64],
+        before_span: Option<&[i64]>,
+    ) -> Vec<CascadeProgress> {
+        self.arrive(idx, |buf| match before_span {
+            None => buf.extend(acc_span.iter().map(|&w| from_negabinary(w))),
+            Some(b) => buf.extend(
+                acc_span
+                    .iter()
+                    .zip(b)
+                    .map(|(&w, &x)| from_negabinary(w) - x),
+            ),
+        })
+    }
+
+    fn arrive(&mut self, idx: usize, append: impl FnOnce(&mut Vec<i64>)) -> Vec<CascadeProgress> {
+        assert!(idx < self.levels as usize, "level index out of range");
+        let slot = &mut self.slots[idx];
+        assert!(
+            !slot.complete && !slot.zero,
+            "codes arrived after level {idx} completed"
+        );
+        append(&mut slot.buf);
+        let total = self.level_points(idx);
+        assert!(
+            self.slots[idx].buf.len() <= total,
+            "level {idx} received more codes than its {total} points"
+        );
+        self.advance()
+    }
+
+    /// Mark a streamed level's codes complete. Returns one progress entry
+    /// per level fully applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, the level was already completed, or
+    /// the arrived codes do not cover the level (an empty arrival is the
+    /// all-zero level, as in [`CascadeEngine::level_ready`]).
+    pub fn level_complete(&mut self, idx: usize) -> Vec<CascadeProgress> {
+        assert!(idx < self.levels as usize, "level index out of range");
+        let total = self.level_points(idx);
+        let slot = &mut self.slots[idx];
+        assert!(!slot.complete, "level {idx} handed to the cascade twice");
+        if slot.buf.is_empty() && !slot.zero {
+            slot.zero = true;
+        }
+        assert!(
+            slot.zero || slot.buf.len() == total,
+            "level {idx} completed with {} of {total} codes",
+            slot.buf.len()
+        );
+        self.finish_arrival(idx)
+    }
+
+    /// Total points (= codes) of a level.
+    fn level_points(&self, idx: usize) -> usize {
+        self.geoms[idx].iter().map(|s| s.count).sum()
+    }
+
+    fn finish_arrival(&mut self, idx: usize) -> Vec<CascadeProgress> {
+        let slot = &mut self.slots[idx];
+        slot.complete = true;
+        if self.state.states[idx] == LevelState::Pending {
+            self.state.states[idx] = LevelState::Ready;
+        }
+        self.advance()
+    }
+
+    /// Apply every sub-pass whose codes are available, in cascade order,
+    /// reporting levels that became fully applied.
+    fn advance(&mut self) -> Vec<CascadeProgress> {
+        let mut out = Vec::new();
+        while (self.state.applied) < self.levels as usize {
+            let idx = self.state.applied;
+            let interp_level = self.levels - idx as u32;
+            let n_subs = self.geoms[idx].len();
+            if self.which == CascadeImpl::Reference {
+                // The closure formulation runs whole levels only; streamed
+                // prefixes buffer until completion.
+                if !self.slots[idx].complete {
+                    break;
+                }
+                let codes = std::mem::take(&mut self.slots[idx].buf);
+                self.reference_pass(interp_level, &codes);
+                self.slots[idx].subs_applied = n_subs;
+            } else {
+                loop {
+                    let slot = &self.slots[idx];
+                    if slot.subs_applied >= n_subs {
+                        break;
+                    }
+                    let sub = &self.geoms[idx][slot.subs_applied];
+                    if !slot.zero && slot.buf.len() < sub.start + sub.count {
+                        break;
+                    }
+                    self.apply_subpass(interp_level, idx, slot.subs_applied);
+                    self.slots[idx].subs_applied += 1;
+                }
+                let slot = &mut self.slots[idx];
+                if !(slot.complete && slot.subs_applied == n_subs) {
+                    break;
+                }
+                slot.buf = Vec::new();
+            }
+            self.state.states[idx] = LevelState::Applied;
+            self.state.applied += 1;
+            out.push(CascadeProgress {
+                level_idx: idx,
+                interp_level,
+                points: self.level_points(idx),
+                levels_applied: self.state.applied,
+                levels_total: self.levels as usize,
+            });
+        }
+        out
+    }
+
+    /// Run one dimension sub-pass of a level through the run kernels.
+    fn apply_subpass(&mut self, interp_level: u32, idx: usize, sub_idx: usize) {
+        let stride = level_stride(interp_level);
+        let sub = &self.geoms[idx][sub_idx];
+        let slot = &self.slots[idx];
+        let codes: &[i64] = if slot.zero {
+            &[]
+        } else {
+            &slot.buf[sub.start..sub.start + sub.count]
+        };
+        let dims = self.shape.dims();
+        let strides = self.shape.strides();
+        let mut ctx = RunCtx {
+            work: &mut self.work,
+            codes,
+            ci: 0,
+            two_eb: self.two_eb,
+            method: self.method,
+            stride,
+            dim_stride: strides[sub.d],
+            dim_len: dims[sub.d],
+            avx2: self.avx2,
+        };
+        sweep_runs(strides, &sub.ranges, sub.d, |run| ctx.do_run(run));
+        debug_assert!(
+            codes.is_empty() || ctx.ci == codes.len(),
+            "sub-pass consumed {} of {} codes",
+            ctx.ci,
+            codes.len()
+        );
+    }
+
+    /// The historical formulation: [`process_level`] with a closure pulling
+    /// dequantized codes off an iterator (the PR 4 batch reconstruction's
+    /// inner loop). Oracle and A/B baseline for the run kernels.
+    fn reference_pass(&mut self, interp_level: u32, codes: &[i64]) {
+        if codes.is_empty() {
+            process_level(
+                &self.shape,
+                interp_level,
+                self.method,
+                &mut self.work,
+                |_, pred| pred,
+            );
+        } else {
+            let two_eb = self.two_eb;
+            let mut it = codes.iter();
+            process_level(
+                &self.shape,
+                interp_level,
+                self.method,
+                &mut self.work,
+                |_, pred| pred + it.next().map_or(0.0, |&c| c as f64 * two_eb),
+            );
+        }
+    }
+}
+
+// ---- run kernels ------------------------------------------------------------
+
+/// Shared context of every run kernel in one dimension pass.
+struct RunCtx<'a> {
+    work: &'a mut [f64],
+    /// Quantization codes in traversal order; empty = all-zero residuals.
+    codes: &'a [i64],
+    /// Next code to consume.
+    ci: usize,
+    two_eb: f64,
+    method: Interpolation,
+    stride: usize,
+    dim_stride: usize,
+    dim_len: usize,
+    avx2: bool,
+}
+
+impl RunCtx<'_> {
+    /// Dequantized residual of traversal position `ci + t` (0 when the level
+    /// streams no codes).
+    #[inline(always)]
+    fn resid(&self, t: usize) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.codes[self.ci + t] as f64 * self.two_eb
+        }
+    }
+
+    /// Whether this run's points carry residuals (empty-code passes are
+    /// prediction-only, matching the reference's `|_, pred| pred` closure —
+    /// no `+ 0.0` is applied, so even `-0.0` predictions round-trip).
+    #[inline(always)]
+    fn with_resid(&self) -> bool {
+        !self.codes.is_empty()
+    }
+
+    /// Evaluate points `[t0, t1)` of a run with the fully general (branchy)
+    /// reference predictor — the head/tail points where domain-boundary
+    /// fallbacks apply.
+    fn scalar_span(&mut self, run: &SweepRun, t0: usize, t1: usize) {
+        let with_resid = self.with_resid();
+        for t in t0..t1 {
+            let offset = run.base + t * run.step;
+            let coord = run.coord + t * run.coord_step;
+            let pred = predict_point(
+                self.work,
+                offset,
+                coord,
+                self.dim_len,
+                self.dim_stride,
+                self.stride,
+                self.method,
+            );
+            self.work[offset] = if with_resid {
+                pred + self.resid(t)
+            } else {
+                pred
+            };
+        }
+    }
+
+    /// Process one innermost run of the active dimension pass.
+    fn do_run(&mut self, run: SweepRun) {
+        if run.count == 0 {
+            return;
+        }
+        let s = self.stride;
+        if run.coord_step != 0 {
+            // The active dimension is the innermost: boundary cases vary
+            // along the run. Head/tail fall back to the branchy reference;
+            // the interior is uniform (full cubic, or full linear).
+            debug_assert_eq!(self.dim_stride, 1);
+            debug_assert_eq!(run.coord, s);
+            debug_assert_eq!(run.coord_step, 2 * s);
+            // Points with an existing +stride neighbour: coord s(2t+1)+s < len.
+            let t_next = self
+                .dim_len
+                .div_ceil(2 * s)
+                .saturating_sub(1)
+                .min(run.count);
+            match self.method {
+                Interpolation::Linear => {
+                    self.interior_linear(run.base, t_next, run.step, s);
+                    self.scalar_span(&run, t_next, run.count);
+                }
+                Interpolation::Cubic => {
+                    // Full-cubic interior: coord ≥ 3s (t ≥ 1) and coord+3s < len.
+                    let t_hi = self
+                        .dim_len
+                        .div_ceil(2 * s)
+                        .saturating_sub(2)
+                        .min(run.count);
+                    let t_lo = 1.min(t_hi);
+                    self.scalar_span(&run, 0, t_lo);
+                    self.interior_cubic(run.base + t_lo * run.step, t_lo, t_hi - t_lo, run.step, s);
+                    self.scalar_span(&run, t_hi.max(t_lo), run.count);
+                }
+            }
+        } else {
+            // The active coordinate is constant along the run: one boundary
+            // case for every point.
+            let nd = s * self.dim_stride;
+            let has_next = run.coord + s < self.dim_len;
+            if !has_next {
+                // Boundary: copy the previous neighbour (plus residual).
+                self.interior_prev(run.base, run.count, run.step, nd);
+            } else if self.method == Interpolation::Cubic
+                && run.coord >= 3 * s
+                && run.coord + 3 * s < self.dim_len
+            {
+                self.interior_cubic(run.base, 0, run.count, run.step, nd);
+            } else {
+                self.interior_linear(run.base, run.count, run.step, nd);
+            }
+        }
+        self.ci += if self.with_resid() { run.count } else { 0 };
+    }
+
+    /// Uniform prev-copy span: `work[o] = work[o - nd] (+ resid)`.
+    fn interior_prev(&mut self, base: usize, count: usize, step: usize, nd: usize) {
+        let with_resid = self.with_resid();
+        for t in 0..count {
+            let o = base + t * step;
+            let pred = self.work[o - nd];
+            self.work[o] = if with_resid {
+                pred + self.resid(t)
+            } else {
+                pred
+            };
+        }
+    }
+
+    /// Uniform linear span over `count` points starting at `base`: neighbours
+    /// at `±nd`. `t0` is this span's first traversal position *within the
+    /// run* — points before it were handled by the caller.
+    fn interior_linear(&mut self, base: usize, count: usize, step: usize, nd: usize) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if self.avx2 && step == 2 && nd > 1 && count >= 4 {
+            // SAFETY: AVX2 support was verified by the dispatcher.
+            let done = unsafe {
+                avx2::linear_span(self.work, base, count, nd, self.codes, self.ci, self.two_eb)
+            };
+            self.linear_tail(base + done * step, done, count - done, step, nd);
+            return;
+        }
+        self.linear_tail(base, 0, count, step, nd);
+    }
+
+    /// Portable (auto-vectorizable) linear body.
+    fn linear_tail(&mut self, base: usize, t0: usize, count: usize, step: usize, nd: usize) {
+        let with_resid = self.with_resid();
+        for t in 0..count {
+            let o = base + t * step;
+            let pred = 0.5 * (self.work[o - nd] + self.work[o + nd]);
+            self.work[o] = if with_resid {
+                pred + self.resid(t0 + t)
+            } else {
+                pred
+            };
+        }
+    }
+
+    /// Uniform full-cubic span over `count` points starting at `base`:
+    /// neighbours at `±nd` and `±3·nd`; `t0` as in [`Self::interior_linear`].
+    fn interior_cubic(&mut self, base: usize, t0: usize, count: usize, step: usize, nd: usize) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if self.avx2 && step == 2 && nd > 1 && count >= 4 {
+            // SAFETY: AVX2 support was verified by the dispatcher.
+            let done = unsafe {
+                avx2::cubic_span(
+                    self.work,
+                    base,
+                    count,
+                    nd,
+                    self.codes,
+                    self.ci + t0,
+                    self.two_eb,
+                )
+            };
+            self.cubic_tail(base + done * step, t0 + done, count - done, step, nd);
+            return;
+        }
+        self.cubic_tail(base, t0, count, step, nd);
+    }
+
+    /// Portable (auto-vectorizable) cubic body; operation order matches
+    /// [`predict_point`] exactly.
+    fn cubic_tail(&mut self, base: usize, t0: usize, count: usize, step: usize, nd: usize) {
+        let with_resid = self.with_resid();
+        for t in 0..count {
+            let o = base + t * step;
+            let prev3 = self.work[o - 3 * nd];
+            let prev = self.work[o - nd];
+            let next = self.work[o + nd];
+            let next3 = self.work[o + 3 * nd];
+            let pred = -0.0625 * prev3 + 0.5625 * prev + 0.5625 * next - 0.0625 * next3;
+            self.work[o] = if with_resid {
+                pred + self.resid(t0 + t)
+            } else {
+                pred
+            };
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! AVX2 interiors for stride-2 runs (the finest level — 7/8 of a 3-D
+    //! field — sweeps every pass with a 2-element step). Targets and each
+    //! neighbour lattice are deinterleaved with `shuffle_pd`/`permute4x64_pd`
+    //! from two contiguous loads, the stencil is evaluated with the exact
+    //! scalar operation order (multiplies and adds/subtracts in sequence — no
+    //! FMA, so results are bit-identical to the portable kernels), and the
+    //! four results are re-interleaved with the untouched odd lane values for
+    //! a pair of contiguous stores.
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Deinterleaved load: `[p[0], p[2], p[4], p[6]]`.
+    ///
+    /// # Safety
+    ///
+    /// `p .. p+8` must be in bounds.
+    #[inline(always)]
+    unsafe fn deint2(p: *const f64) -> __m256d {
+        let v0 = _mm256_loadu_pd(p);
+        let v1 = _mm256_loadu_pd(p.add(4));
+        // [p0, p4, p2, p6] -> lanes (0, 2, 1, 3) -> [p0, p2, p4, p6].
+        _mm256_permute4x64_pd(_mm256_shuffle_pd(v0, v1, 0b0000), 0b1101_1000)
+    }
+
+    /// Interleaved store of results `r` with the untouched odd-lane values
+    /// `odd`: memory becomes `[r0, odd0, r1, odd1, r2, odd2, r3, odd3]`.
+    /// The odd values are written back unchanged (single-threaded pass).
+    ///
+    /// # Safety
+    ///
+    /// `q .. q+8` must be in bounds.
+    #[inline(always)]
+    unsafe fn store_interleaved(q: *mut f64, r: __m256d, odd: __m256d) {
+        let lo = _mm256_unpacklo_pd(r, odd); // [r0, o0, r2, o2]
+        let hi = _mm256_unpackhi_pd(r, odd); // [r1, o1, r3, o3]
+        _mm256_storeu_pd(q, _mm256_permute2f128_pd(lo, hi, 0x20));
+        _mm256_storeu_pd(q.add(4), _mm256_permute2f128_pd(lo, hi, 0x31));
+    }
+
+    /// Dequantized residuals for traversal positions `ci .. ci+4` (lane 0
+    /// first). `cvtsi2sd`-style scalar conversions keep the exact `as f64`
+    /// rounding for any i64 magnitude.
+    ///
+    /// # Safety
+    ///
+    /// `codes[ci .. ci+4]` must be in bounds when `codes` is non-empty.
+    #[inline(always)]
+    unsafe fn resid4(codes: &[i64], ci: usize, two_eb: __m256d) -> __m256d {
+        let c = codes.as_ptr().add(ci);
+        let f = _mm256_set_pd(
+            *c.add(3) as f64,
+            *c.add(2) as f64,
+            *c.add(1) as f64,
+            *c as f64,
+        );
+        _mm256_mul_pd(f, two_eb)
+    }
+
+    /// Linear interior: `work[base + 2t] = 0.5 · (work[o-nd] + work[o+nd])
+    /// (+ resid)` for `t` in `0..count`, four points per iteration. Returns
+    /// how many points were completed (a scalar tail may remain near the end
+    /// of `work`, where the 8-element loads would run out of bounds).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and that every point's
+    /// neighbours are in bounds (uniform full-linear span).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn linear_span(
+        work: &mut [f64],
+        base: usize,
+        count: usize,
+        nd: usize,
+        codes: &[i64],
+        ci: usize,
+        two_eb: f64,
+    ) -> usize {
+        let len = work.len();
+        let half = _mm256_set1_pd(0.5);
+        let eb = _mm256_set1_pd(two_eb);
+        let with_resid = !codes.is_empty();
+        let ptr = work.as_mut_ptr();
+        let mut t = 0usize;
+        while t + 4 <= count {
+            let o = base + 2 * t;
+            // Furthest element any 8-wide load touches: o + nd + 7 (next
+            // lattice) or o + 8 (odd lane reload).
+            if o + nd + 8 > len || o + 9 > len {
+                break;
+            }
+            let q = ptr.add(o);
+            let prev = deint2(q.sub(nd));
+            let next = deint2(q.add(nd));
+            let odd = deint2(q.add(1));
+            let mut r = _mm256_mul_pd(half, _mm256_add_pd(prev, next));
+            if with_resid {
+                r = _mm256_add_pd(r, resid4(codes, ci + t, eb));
+            }
+            store_interleaved(q, r, odd);
+            t += 4;
+        }
+        t
+    }
+
+    /// Cubic interior: the four-point stencil with scalar operation order,
+    /// four points per iteration. Returns how many points were completed.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and that every point's
+    /// neighbours (`±nd`, `±3nd`) are in bounds (uniform full-cubic span).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cubic_span(
+        work: &mut [f64],
+        base: usize,
+        count: usize,
+        nd: usize,
+        codes: &[i64],
+        ci: usize,
+        two_eb: f64,
+    ) -> usize {
+        let len = work.len();
+        let c3 = _mm256_set1_pd(-0.0625);
+        let c1 = _mm256_set1_pd(0.5625);
+        let c3p = _mm256_set1_pd(0.0625);
+        let eb = _mm256_set1_pd(two_eb);
+        let with_resid = !codes.is_empty();
+        let ptr = work.as_mut_ptr();
+        let mut t = 0usize;
+        while t + 4 <= count {
+            let o = base + 2 * t;
+            if o + 3 * nd + 8 > len || o + 9 > len {
+                break;
+            }
+            let q = ptr.add(o);
+            let prev3 = deint2(q.sub(3 * nd));
+            let prev = deint2(q.sub(nd));
+            let next = deint2(q.add(nd));
+            let next3 = deint2(q.add(3 * nd));
+            let odd = deint2(q.add(1));
+            // -0.0625·prev3 + 0.5625·prev + 0.5625·next - 0.0625·next3, in
+            // exactly the scalar association order.
+            let mut r = _mm256_mul_pd(c3, prev3);
+            r = _mm256_add_pd(r, _mm256_mul_pd(c1, prev));
+            r = _mm256_add_pd(r, _mm256_mul_pd(c1, next));
+            r = _mm256_sub_pd(r, _mm256_mul_pd(c3p, next3));
+            if with_resid {
+                r = _mm256_add_pd(r, resid4(codes, ci + t, eb));
+            }
+            store_interleaved(q, r, odd);
+            t += 4;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::level_count;
+    use crate::quantize::dequantize;
+
+    /// Serializes tests that flip the process-wide dispatch toggles: the
+    /// default harness runs tests on parallel threads, and assertions that
+    /// depend on *which* implementation is active (rather than on the
+    /// bit-identical outputs) would race otherwise.
+    static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn toggle_guard() -> std::sync::MutexGuard<'static, ()> {
+        TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+    use ipc_codecs::negabinary::to_negabinary;
+    use ipc_tensor::ArrayD;
+
+    /// PR 4's batch reconstruction, verbatim: dequantize every level into a
+    /// residual buffer, then closure-driven passes coarsest to finest.
+    fn batch_reference(
+        shape: &Shape,
+        method: Interpolation,
+        eb: f64,
+        anchors: &[i64],
+        level_codes: &[Vec<i64>],
+    ) -> Vec<f64> {
+        let levels = num_levels(shape);
+        assert_eq!(level_codes.len(), levels as usize);
+        let residuals: Vec<Vec<f64>> = level_codes
+            .iter()
+            .map(|codes| codes.iter().map(|&c| dequantize(c, eb)).collect())
+            .collect();
+        let mut work = vec![0.0f64; shape.len()];
+        let mut it = anchors.iter();
+        process_anchors(shape, &mut work, |_, pred| {
+            pred + it.next().map_or(0.0, |&c| dequantize(c, eb))
+        });
+        for level in (1..=levels).rev() {
+            let idx = (levels - level) as usize;
+            if residuals[idx].is_empty() {
+                process_level(shape, level, method, &mut work, |_, pred| pred);
+            } else {
+                let mut it = residuals[idx].iter();
+                process_level(shape, level, method, &mut work, |_, pred| {
+                    pred + it.next().copied().unwrap_or(0.0)
+                });
+            }
+        }
+        work
+    }
+
+    fn sample_codes(n: usize, spread: i64, seed: u64) -> Vec<i64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(seed);
+                let m = (h >> 40) as i64 % spread.max(1);
+                if h & 1 == 0 {
+                    m
+                } else {
+                    -m
+                }
+            })
+            .collect()
+    }
+
+    /// Build per-level code vectors matching a shape's level partition.
+    fn codes_for_shape(shape: &Shape, seed: u64) -> (Vec<i64>, Vec<Vec<i64>>) {
+        let levels = num_levels(shape);
+        let anchors = sample_codes(crate::interp::anchor_count(shape), 1 << 12, seed);
+        let per_level: Vec<Vec<i64>> = (0..levels)
+            .map(|idx| {
+                let level = levels - idx;
+                sample_codes(level_count(shape, level), 1 << 10, seed ^ (idx as u64 + 1))
+            })
+            .collect();
+        (anchors, per_level)
+    }
+
+    fn run_engine(
+        shape: &Shape,
+        method: Interpolation,
+        eb: f64,
+        anchors: &[i64],
+        level_codes: &[Vec<i64>],
+        which: CascadeImpl,
+    ) -> Vec<f64> {
+        force_cascade_impl(which);
+        let mut engine = CascadeEngine::new(shape.clone(), method, eb);
+        engine.seed_anchors(anchors);
+        for (idx, codes) in level_codes.iter().enumerate() {
+            engine.level_ready(idx, codes.clone());
+        }
+        force_cascade_impl(CascadeImpl::Auto);
+        assert!(engine.state().is_complete());
+        engine.into_field()
+    }
+
+    #[test]
+    fn all_impls_bit_identical_to_batch_reference() {
+        let _guard = toggle_guard();
+        for dims in [
+            vec![1usize],
+            vec![2],
+            vec![5],
+            vec![33],
+            vec![9, 12],
+            vec![17, 9, 11],
+            vec![24, 18, 20],
+            vec![3, 2, 5, 4],
+            vec![1, 50, 3],
+        ] {
+            let shape = Shape::new(&dims);
+            let (anchors, per_level) = codes_for_shape(&shape, 7);
+            for method in [Interpolation::Linear, Interpolation::Cubic] {
+                let eb = 1e-4;
+                let want = batch_reference(&shape, method, eb, &anchors, &per_level);
+                for which in [
+                    CascadeImpl::Reference,
+                    CascadeImpl::Portable,
+                    CascadeImpl::Auto,
+                ] {
+                    let got = run_engine(&shape, method, eb, &anchors, &per_level, which);
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "dims {dims:?} method {method:?} impl {which:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_code_levels_match_prediction_only_reference() {
+        let _guard = toggle_guard();
+        // Zero-residual levels (coarse retrievals, refinement passes) take the
+        // prediction-only path; it must agree with the closure formulation on
+        // every kernel.
+        let shape = Shape::d3(19, 14, 10);
+        let (anchors, mut per_level) = codes_for_shape(&shape, 3);
+        per_level[1] = Vec::new();
+        let last = per_level.len() - 1;
+        per_level[last] = Vec::new();
+        for method in [Interpolation::Linear, Interpolation::Cubic] {
+            let want = batch_reference(&shape, method, 1e-3, &anchors, &per_level);
+            for which in [CascadeImpl::Portable, CascadeImpl::Auto] {
+                let got = run_engine(&shape, method, 1e-3, &anchors, &per_level, which);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "method {method:?} impl {which:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_readiness_applies_in_cascade_order() {
+        let _guard = toggle_guard();
+        let shape = Shape::d2(17, 13);
+        let (anchors, per_level) = codes_for_shape(&shape, 11);
+        let want = run_engine(
+            &shape,
+            Interpolation::Cubic,
+            1e-4,
+            &anchors,
+            &per_level,
+            CascadeImpl::Auto,
+        );
+
+        let mut engine = CascadeEngine::new(shape.clone(), Interpolation::Cubic, 1e-4);
+        engine.seed_anchors(&anchors);
+        // Hand levels over finest-first: everything parks until level 0 lands.
+        let n = per_level.len();
+        for idx in (1..n).rev() {
+            let applied = engine.level_ready(idx, per_level[idx].clone());
+            assert!(applied.is_empty(), "level {idx} must park");
+            assert_eq!(engine.state().levels()[idx], LevelState::Ready);
+        }
+        let applied = engine.level_ready(0, per_level[0].clone());
+        assert_eq!(applied.len(), n, "level 0 must unlock the whole cascade");
+        for (i, p) in applied.iter().enumerate() {
+            assert_eq!(p.level_idx, i);
+            assert_eq!(p.interp_level, (n - i) as u32);
+            assert_eq!(p.levels_applied, i + 1);
+            assert_eq!(p.levels_total, n);
+            assert_eq!(p.points, level_count(&shape, p.interp_level));
+        }
+        assert!(engine.state().is_complete());
+        assert_eq!(engine.into_field(), want);
+    }
+
+    #[test]
+    fn prefix_streaming_matches_full_handover_and_applies_subpasses_early() {
+        let _guard = toggle_guard();
+        let shape = Shape::d3(20, 15, 11);
+        let (anchors, per_level) = codes_for_shape(&shape, 17);
+        for which in [
+            CascadeImpl::Portable,
+            CascadeImpl::Auto,
+            CascadeImpl::Reference,
+        ] {
+            let want = run_engine(
+                &shape,
+                Interpolation::Cubic,
+                1e-4,
+                &anchors,
+                &per_level,
+                which,
+            );
+
+            force_cascade_impl(which);
+            let mut engine = CascadeEngine::new(shape.clone(), Interpolation::Cubic, 1e-4);
+            force_cascade_impl(CascadeImpl::Auto);
+            engine.seed_anchors(&anchors);
+            let mut done = Vec::new();
+            for (idx, codes) in per_level.iter().enumerate() {
+                // Drip the codes in uneven increments, then complete.
+                let mut fed = 0usize;
+                let mut step = 7usize;
+                let mut early_subs = 0usize;
+                while fed < codes.len() {
+                    let end = (fed + step).min(codes.len());
+                    done.extend(engine.level_codes_arrived(idx, &codes[fed..end]));
+                    fed = end;
+                    step = step * 3 + 1;
+                    if fed < codes.len() {
+                        // Sub-passes applied strictly before all codes arrive.
+                        early_subs = early_subs.max(engine.subpasses_applied(idx).0);
+                    }
+                }
+                if which != CascadeImpl::Reference && idx + 1 == per_level.len() {
+                    // The finest level is large enough that its early
+                    // sub-passes must run mid-stream (streamed
+                    // reconstruction, not just buffering).
+                    assert!(
+                        early_subs > 0,
+                        "level {idx} ({which:?}): no sub-pass ran early"
+                    );
+                }
+                done.extend(engine.level_complete(idx));
+            }
+            assert!(engine.state().is_complete());
+            assert_eq!(done.len(), per_level.len());
+            let got = engine.into_field();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{which:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more codes than")]
+    fn overfeeding_codes_panics() {
+        let shape = Shape::d1(9);
+        let mut engine = CascadeEngine::new(shape.clone(), Interpolation::Linear, 1e-3);
+        engine.seed_zero();
+        let n = level_count(&shape, num_levels(&shape));
+        engine.level_codes_arrived(0, &vec![1i64; n + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "handed to the cascade twice")]
+    fn double_handover_panics() {
+        let shape = Shape::d1(9);
+        let mut engine = CascadeEngine::new(shape, Interpolation::Linear, 1e-3);
+        engine.seed_zero();
+        engine.level_ready(0, Vec::new());
+        engine.level_ready(0, Vec::new());
+    }
+
+    #[test]
+    fn residual_and_delta_codes_match_scalar_definitions() {
+        let codes = sample_codes(513, 1 << 20, 5);
+        let acc: Vec<u64> = codes.iter().map(|&c| to_negabinary(c)).collect();
+        assert_eq!(residual_codes(&acc), codes);
+        let before: Vec<i64> = codes.iter().map(|&c| c / 3).collect();
+        let deltas = delta_codes(&acc, &before);
+        for ((d, &c), &b) in deltas.iter().zip(&codes).zip(&before) {
+            assert_eq!(*d, c - b);
+        }
+    }
+
+    #[test]
+    fn toggles_roundtrip() {
+        let _guard = toggle_guard();
+        let stream = cascade_streaming();
+        set_cascade_streaming(false);
+        assert!(!cascade_streaming());
+        set_cascade_streaming(true);
+        assert!(cascade_streaming());
+        set_cascade_streaming(stream);
+
+        force_cascade_impl(CascadeImpl::Portable);
+        assert_eq!(cascade_impl(), CascadeImpl::Portable);
+        force_cascade_impl(CascadeImpl::Auto);
+        assert_eq!(cascade_impl(), CascadeImpl::Auto);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        /// Random geometry, method, and error bound: every implementation's
+        /// cascade is bit-identical to the batch closure reference.
+        #[test]
+        fn prop_kernels_bit_identical(
+            d0 in 1usize..40,
+            d1 in 1usize..16,
+            d2 in 1usize..10,
+            seed in proptest::prelude::any::<u64>(),
+            cubic in proptest::prelude::any::<bool>(),
+            eb_exp in 1i32..8,
+        ) {
+            let _guard = toggle_guard();
+            let shape = Shape::new(&[d0, d1, d2]);
+            let method = if cubic { Interpolation::Cubic } else { Interpolation::Linear };
+            let eb = 10f64.powi(-eb_exp);
+            let (anchors, per_level) = codes_for_shape(&shape, seed);
+            let want = batch_reference(&shape, method, eb, &anchors, &per_level);
+            for which in [CascadeImpl::Portable, CascadeImpl::Auto] {
+                let got = run_engine(&shape, method, eb, &anchors, &per_level, which);
+                proptest::prop_assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "impl {:?}", which
+                );
+            }
+        }
+    }
+
+    /// End-to-end sanity: the engine reproduces a real compression's
+    /// reconstruction when fed the compressor's own codes.
+    #[test]
+    fn engine_reconstructs_compressed_field_within_bound() {
+        let shape = Shape::d3(20, 17, 9);
+        let data = ArrayD::from_fn(shape.clone(), |c| {
+            (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() * 2.0 + c[2] as f64 * 0.05
+        });
+        let eb = 1e-6;
+        let c = crate::compressor::compress(&data, eb, &crate::config::Config::default()).unwrap();
+        let out = c.decompress().unwrap();
+        let err = data
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err <= eb * (1.0 + 1e-9), "err {err}");
+    }
+}

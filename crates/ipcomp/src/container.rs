@@ -1057,7 +1057,7 @@ mod tests {
         let codes_l2: Vec<i64> = (0..100).map(|i| (i % 31) as i64 - 15).collect();
         let opts = EncodeOptions {
             chunk_bytes: 16,
-            rans: true,
+            ..EncodeOptions::default()
         };
         c.levels = vec![
             crate::bitplane::encode_level_with(&codes_l2, 2, true, false, opts),
@@ -1160,7 +1160,7 @@ mod tests {
         let codes_l2: Vec<i64> = (0..100).map(|i| (i % 31) as i64 - 15).collect();
         let opts = EncodeOptions {
             chunk_bytes: 0,
-            rans: true,
+            ..EncodeOptions::default()
         };
         c.levels = vec![
             crate::bitplane::encode_level_with(&codes_l2, 2, true, false, opts),

@@ -40,14 +40,21 @@ pub fn anchor_count(shape: &Shape) -> usize {
 /// Number of points owned by level `level` (i.e. predicted during that level).
 pub fn level_count(shape: &Shape, level: u32) -> usize {
     let mut count = 0usize;
-    for_each_level_range(shape, level_stride(level), |ranges| {
+    for_each_level_pass(shape, level_stride(level), |_, ranges| {
         count += GridIter::new(shape, ranges).total();
     });
     count
 }
 
-/// Invoke `f` with the per-dimension axis ranges of every dimension pass of a level.
-fn for_each_level_range(shape: &Shape, stride: usize, mut f: impl FnMut(Vec<AxisRange>)) {
+/// Invoke `f` with the active dimension and per-dimension axis ranges of every
+/// dimension pass of a level. This is the single source of the level traversal
+/// geometry, shared by [`process_level`], [`level_count`], and the streaming
+/// cascade engine ([`crate::cascade`]).
+pub(crate) fn for_each_level_pass(
+    shape: &Shape,
+    stride: usize,
+    mut f: impl FnMut(usize, Vec<AxisRange>),
+) {
     let dims = shape.dims();
     let ndim = dims.len();
     for d in 0..ndim {
@@ -69,8 +76,19 @@ fn for_each_level_range(shape: &Shape, stride: usize, mut f: impl FnMut(Vec<Axis
             };
             ranges.push(range);
         }
-        f(ranges);
+        f(d, ranges);
     }
+}
+
+/// The per-dimension axis ranges of the anchor lattice (all coordinates
+/// multiples of the anchor stride).
+pub(crate) fn anchor_ranges(shape: &Shape) -> Vec<AxisRange> {
+    let stride = level_stride(num_levels(shape) + 1);
+    shape
+        .dims()
+        .iter()
+        .map(|&len| AxisRange::strided(0, stride, len))
+        .collect()
 }
 
 /// Compute the interpolation prediction for a target point.
@@ -79,7 +97,7 @@ fn for_each_level_range(shape: &Shape, stride: usize, mut f: impl FnMut(Vec<Axis
 /// dimension `d`, `dim_len`/`dim_stride` the size and flat stride of that dimension,
 /// and `work` the buffer holding already-reconstructed values.
 #[inline]
-fn predict_point(
+pub(crate) fn predict_point(
     work: &[f64],
     offset: usize,
     coord: usize,
@@ -111,21 +129,42 @@ fn predict_point(
     }
 }
 
-/// Row-major traversal of the sub-lattice described by `ranges`, invoking
-/// `visit(offset, coord_d)` with the flat offset and the coordinate along
-/// dimension `d` of every point.
+/// One innermost-dimension run of a sub-lattice sweep: `count` points starting
+/// at flat offset `base`, `step` elements apart. The active-dimension
+/// coordinate of point `t` is `coord + t · coord_step` (`coord_step` is zero
+/// when the active dimension is not the innermost, so the whole run shares one
+/// coordinate and therefore one boundary case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SweepRun {
+    /// Flat offset of the first point.
+    pub base: usize,
+    /// Number of points in the run.
+    pub count: usize,
+    /// Element step between consecutive points.
+    pub step: usize,
+    /// Active-dimension coordinate of the first point.
+    pub coord: usize,
+    /// Active-dimension coordinate increment per point (0 unless the active
+    /// dimension is the innermost).
+    pub coord_step: usize,
+}
+
+/// Row-major traversal of the sub-lattice described by `ranges`, invoking `f`
+/// once per innermost run. Runs arrive in exactly the order their points are
+/// visited by `GridIter::new(shape, ranges)`; concatenating them point by
+/// point reproduces that iteration.
 ///
-/// This is the hot loop of both compression and decompression. Where the generic
-/// [`GridIter`] pays a coordinate-vector clone and an odometer carry chain per
-/// point, this sweep specializes the innermost dimension to a direct strided run
-/// (`offset += step · stride` per point) and only runs the odometer across the
-/// outer dimensions once per run. The visit order is identical to
-/// `GridIter::new(shape, ranges)`.
-fn sweep_ranges(
+/// This is the core of the hot loop of both compression and decompression:
+/// where the generic [`GridIter`] pays a coordinate-vector clone and an
+/// odometer carry chain per point, this sweep specializes the innermost
+/// dimension to a direct strided run and only advances the odometer across the
+/// outer dimensions once per run — and it exposes whole runs so the cascade
+/// engine ([`crate::cascade`]) can hand them to vectorized kernels.
+pub(crate) fn sweep_runs(
     strides: &[usize],
     ranges: &[AxisRange],
     d: usize,
-    mut visit: impl FnMut(usize, usize),
+    mut f: impl FnMut(SweepRun),
 ) {
     if ranges.iter().any(|r| r.count() == 0) {
         return;
@@ -144,25 +183,21 @@ fn sweep_ranges(
         .sum::<usize>()
         + inner.start * strides[last];
     loop {
-        if d == last {
+        let (coord, coord_step) = if d == last {
             // The active dimension is the innermost: its coordinate advances
             // with the run.
-            let mut offset = base;
-            let mut coord = inner.start;
-            for _ in 0..inner_count {
-                visit(offset, coord);
-                offset += inner_step;
-                coord += inner.step;
-            }
+            (inner.start, inner.step)
         } else {
             // The active coordinate is constant along the innermost run.
-            let coord_d = coords[d];
-            let mut offset = base;
-            for _ in 0..inner_count {
-                visit(offset, coord_d);
-                offset += inner_step;
-            }
-        }
+            (coords[d], 0)
+        };
+        f(SweepRun {
+            base,
+            count: inner_count,
+            step: inner_step,
+            coord,
+            coord_step,
+        });
         // Advance the outer odometer (row-major: dimension `last-1` fastest).
         let mut dim = last;
         loop {
@@ -183,16 +218,29 @@ fn sweep_ranges(
     }
 }
 
+/// Per-point form of [`sweep_runs`]: `visit(offset, coord_d)` for every point.
+fn sweep_ranges(
+    strides: &[usize],
+    ranges: &[AxisRange],
+    d: usize,
+    mut visit: impl FnMut(usize, usize),
+) {
+    sweep_runs(strides, ranges, d, |run| {
+        let mut offset = run.base;
+        let mut coord = run.coord;
+        for _ in 0..run.count {
+            visit(offset, coord);
+            offset += run.step;
+            coord += run.coord_step;
+        }
+    });
+}
+
 /// Visit every anchor point (all coordinates multiples of the anchor stride) in
 /// deterministic row-major order. For each anchor, `f(offset, prediction)` is called
 /// with a prediction of `0.0` and must return the value to store into `work[offset]`.
 pub fn process_anchors(shape: &Shape, work: &mut [f64], mut f: impl FnMut(usize, f64) -> f64) {
-    let stride = level_stride(num_levels(shape) + 1);
-    let ranges: Vec<AxisRange> = shape
-        .dims()
-        .iter()
-        .map(|&len| AxisRange::strided(0, stride, len))
-        .collect();
+    let ranges = anchor_ranges(shape);
     sweep_ranges(shape.strides(), &ranges, 0, |offset, _| {
         work[offset] = f(offset, 0.0);
     });
@@ -212,28 +260,13 @@ pub fn process_level(
     let stride = level_stride(level);
     let dims = shape.dims().to_vec();
     let strides = shape.strides().to_vec();
-    let ndim = dims.len();
-    for d in 0..ndim {
-        if stride >= dims[d] {
-            continue;
-        }
-        let mut ranges = Vec::with_capacity(ndim);
-        for (e, &len) in dims.iter().enumerate() {
-            let range = if e < d {
-                AxisRange::strided(0, stride, len)
-            } else if e == d {
-                AxisRange::strided(stride, 2 * stride, len)
-            } else {
-                AxisRange::strided(0, 2 * stride, len)
-            };
-            ranges.push(range);
-        }
+    for_each_level_pass(shape, stride, |d, ranges| {
         sweep_ranges(&strides, &ranges, d, |offset, coord_d| {
             let pred = predict_point(work, offset, coord_d, dims[d], strides[d], stride, method);
             let new = f(offset, pred);
             work[offset] = new;
         });
-    }
+    });
 }
 
 /// Total number of points across anchors and all levels — must equal `shape.len()`.

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod bitplane;
+pub mod cascade;
 pub mod compressor;
 pub mod config;
 pub mod container;
@@ -63,6 +64,10 @@ pub mod progressive;
 pub mod quantize;
 pub mod source;
 
+pub use cascade::{
+    cascade_avx2_available, cascade_impl, cascade_streaming, force_cascade_impl,
+    set_cascade_streaming, CascadeEngine, CascadeImpl, CascadeProgress, CascadeState, LevelState,
+};
 pub use compressor::{compress, compress_rel};
 pub use config::{Config, Interpolation};
 pub use container::{Compressed, ContainerMap, Header, LevelMap};
@@ -70,5 +75,7 @@ pub use error::{IpcompError, Result};
 pub use optimizer::{
     plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan, PlanInput,
 };
-pub use progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest, StreamProgress};
+pub use progressive::{
+    ProgressiveDecoder, Retrieval, RetrievalRequest, StreamEvent, StreamProgress,
+};
 pub use source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource};

@@ -32,37 +32,29 @@
 //! are identical either way.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU8, Ordering};
 
-use ipc_codecs::bitslice::{self, PlaneBlock};
+use ipc_codecs::bitslice;
+use ipc_codecs::EnvSwitch;
 
 use crate::bitplane::{decode_chunk_bytes, ChunkGrid, EncodedLevel};
 use crate::container::LevelMap;
 use crate::error::{IpcompError, Result};
 use crate::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
 
-/// Process-wide fetch-overlap switch: `u8::MAX` = uninitialized, else 0/1.
-static FETCH_OVERLAP: AtomicU8 = AtomicU8::new(u8::MAX);
+/// Process-wide fetch-overlap switch.
+static FETCH_OVERLAP: EnvSwitch = EnvSwitch::new("IPC_DECODE_OVERLAP");
 
 /// Enable or disable the prefetch worker thread (benchmark A/B harnesses and
 /// environments where spawning is undesirable). Decoded output is identical
 /// either way; only the fetch/compute overlap changes.
 pub fn set_fetch_overlap(enabled: bool) {
-    FETCH_OVERLAP.store(enabled as u8, Ordering::Relaxed);
+    FETCH_OVERLAP.force(enabled as u8);
 }
 
 /// Whether [`RegionPipeline`] overlaps region `k + 1`'s fetch with region
 /// `k`'s decode (default true; `IPC_DECODE_OVERLAP=0` disables).
 pub fn fetch_overlap() -> bool {
-    match FETCH_OVERLAP.load(Ordering::Relaxed) {
-        0 => false,
-        1 => true,
-        _ => {
-            let enabled = std::env::var("IPC_DECODE_OVERLAP").as_deref() != Ok("0");
-            FETCH_OVERLAP.store(enabled as u8, Ordering::Relaxed);
-            enabled
-        }
-    }
+    FETCH_OVERLAP.get(|env| (env != Some("0")) as u8) != 0
 }
 
 /// One stage of the decode pipeline: a pure transform from a region index
@@ -267,23 +259,16 @@ impl ScatterStage {
     /// XOR-ed in. Prefix planes at or above `plane_hi` live in the
     /// accumulators (zero on a fresh decode where `plane_hi == num_planes`,
     /// since planes past the significant range are zero by construction);
-    /// they are extracted once with a transpose pass per block.
+    /// they are extracted once with the few-planes gather kernel — at most
+    /// `prefix_bits` planes, so the shift + movemask sweep beats a full
+    /// per-block transpose.
     fn undo_prediction(&self, chunks: &mut [Vec<u8>], region_len: usize, acc_region: &[u64]) {
         let plane_lo = self.plane_lo as usize;
         let plane_hi = self.plane_hi as usize;
         let prefix_bits = self.prefix_bits as usize;
-        let n_words = acc_region.len().div_ceil(64);
         let prefix_top = (plane_hi + prefix_bits).min(64);
         let acc_prefix: Vec<Vec<u64>> = if self.plane_hi < self.num_planes {
-            let count = prefix_top - plane_hi;
-            let mut extracted = vec![vec![0u64; n_words]; count];
-            for (b, chunk) in acc_region.chunks(64).enumerate() {
-                let block = PlaneBlock::gather(chunk);
-                for (j, plane) in extracted.iter_mut().enumerate() {
-                    plane[b] = block.plane(plane_hi + j);
-                }
-            }
-            extracted
+            bitslice::gather_plane_words(acc_region, plane_hi, prefix_top - plane_hi)
         } else {
             Vec::new()
         };
@@ -439,6 +424,20 @@ impl<'a> RegionPipeline<'a> {
     /// level accumulator). Returns the coefficient range completed, or
     /// `None` when the stream is exhausted.
     pub fn decode_next(&mut self, acc: &mut [u64]) -> Result<Option<Range<usize>>> {
+        self.decode_next_with(acc, |_, _| {})
+    }
+
+    /// [`RegionPipeline::decode_next`] with a post-scatter hook: on success,
+    /// `after_scatter(coeffs, acc_region)` runs with the region's completed
+    /// coefficient range and its final accumulator slice — *inside* the
+    /// fetch-overlap window, so consumer work (progress reporting, streaming
+    /// reconstruction) hides under region `k + 1`'s in-flight fetch instead
+    /// of running after the join.
+    pub fn decode_next_with(
+        &mut self,
+        acc: &mut [u64],
+        after_scatter: impl FnOnce(Range<usize>, &[u64]),
+    ) -> Result<Option<Range<usize>>> {
         if acc.len() != self.grid.n_values {
             return Err(IpcompError::InvalidInput(
                 "accumulator length changed mid-stream".into(),
@@ -464,26 +463,30 @@ impl<'a> RegionPipeline<'a> {
             && self.fetch.supports_prefetch()
             && fetch_overlap()
         {
-            // Overlap: region k's entropy + scatter on this thread, region
-            // k + 1's fetch on a scoped worker. The worker only borrows the
-            // fetch stage, so a decode failure still stores the prefetch
-            // result for the (possible) retry of the *next* region.
+            // Overlap: region k's entropy + scatter + consumer hook on this
+            // thread, region k + 1's fetch on a scoped worker. The worker
+            // only borrows the fetch stage, so a decode failure still stores
+            // the prefetch result for the (possible) retry of the *next*
+            // region.
             let fetch = &self.fetch;
             let entropy = &self.entropy;
             let scatter = &self.scatter;
+            let region_coeffs = coeffs.clone();
             let (work, pre) = overlap_fetch(
                 move || fetch.process(next, ()),
                 || {
                     entropy
                         .process(k, fetched)
-                        .and_then(|chunks| scatter.process(k, (chunks, acc_region)))
+                        .and_then(|chunks| scatter.process(k, (chunks, &mut *acc_region)))
+                        .map(|()| after_scatter(region_coeffs, acc_region))
                 },
             );
             self.prefetched = Some((next, pre));
             work?;
         } else {
             let chunks = self.entropy.process(k, fetched)?;
-            self.scatter.process(k, (chunks, acc_region))?;
+            self.scatter.process(k, (chunks, &mut *acc_region))?;
+            after_scatter(coeffs.clone(), acc_region);
         }
         self.next_region += 1;
         Ok(Some(coeffs))
@@ -513,7 +516,7 @@ mod tests {
         let codes = sample_codes(3000);
         let opts = EncodeOptions {
             chunk_bytes: 64,
-            rans: true,
+            ..EncodeOptions::default()
         };
         let enc = encode_level_with(&codes, 2, true, false, opts);
         let hi = enc.num_planes;

@@ -6,24 +6,33 @@
 //!
 //! * The **first** retrieval runs Algorithm 1: anchors and non-progressive levels are
 //!   decoded in full, then each progressive level contributes its loaded planes, and
-//!   the interpolation cascade rebuilds the field in a single pass.
+//!   the interpolation cascade rebuilds the field.
 //! * **Subsequent** retrievals run Algorithm 2: only the newly requested planes are
 //!   decoded, their dequantized deltas are pushed through the same interpolation
 //!   cascade (with zero anchors — the cascade is linear in the residuals), and the
 //!   resulting delta field is added onto the existing reconstruction. No previously
 //!   loaded block is ever re-read and no previous work is redone.
+//!
+//! Both algorithms drive the streaming cascade engine ([`crate::cascade`]):
+//! each level's interpolation pass runs as soon as that level's planes are
+//! decoded and scattered — on ranged bulk retrievals the pass overlaps the
+//! *next* level's batched fetch on a scoped worker, and on streaming
+//! retrievals [`StreamEvent::LevelReconstructed`] reports each applied pass —
+//! instead of one monolithic dequantize + interpolate sweep after the last
+//! byte lands. The reconstructed bits are identical either way
+//! (`IPC_CASCADE_STREAM=0` forces the historical batch schedule).
 
 use std::sync::Arc;
 
-use ipc_codecs::negabinary::{from_negabinary, from_negabinary_slice};
+use ipc_codecs::negabinary::from_negabinary_slice;
 use ipc_tensor::{ArrayD, Shape};
 
 use crate::bitplane::{decode_planes_into, PlaneStream};
+use crate::cascade::{self, CascadeEngine, CascadeProgress};
 use crate::container::{decode_anchors_bounded, Compressed, ContainerMap, Header};
 use crate::error::{IpcompError, Result};
-use crate::interp::{num_levels, process_anchors, process_level};
+use crate::interp::num_levels;
 use crate::optimizer::{LoadPlan, PlanInput};
-use crate::quantize::dequantize;
 use crate::source::ChunkSource;
 
 /// How much fidelity a retrieval should target (paper Sec. 5).
@@ -58,6 +67,19 @@ pub struct StreamProgress {
     pub coeffs_in_level: usize,
     /// Cumulative container bytes read by the decoder so far.
     pub bytes_total: usize,
+}
+
+/// One event of a streaming retrieval
+/// ([`ProgressiveDecoder::retrieve_streaming_events`]): decode progress at
+/// chunk-region granularity, interleaved with reconstruction progress at
+/// cascade-level granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// A chunk region finished decoding and scattering.
+    Region(StreamProgress),
+    /// The cascade applied a level's interpolation pass: every point of that
+    /// level (and all coarser lattices) is final at the requested fidelity.
+    LevelReconstructed(CascadeProgress),
 }
 
 /// The result of one retrieval step.
@@ -172,6 +194,10 @@ pub struct ProgressiveDecoder<'a> {
     /// Current error bound of `recon`.
     current_error_bound: f64,
     bytes_total: usize,
+    /// Whether the base read (header + anchors + metadata) has been counted.
+    /// It is read once per decoder, so a retry after a failed initial
+    /// reconstruction must not charge it again.
+    base_bytes_counted: bool,
 }
 
 impl<'a> ProgressiveDecoder<'a> {
@@ -226,6 +252,7 @@ impl<'a> ProgressiveDecoder<'a> {
             recon: None,
             current_error_bound: f64::INFINITY,
             bytes_total: 0,
+            base_bytes_counted: false,
         }
     }
 
@@ -277,14 +304,34 @@ impl<'a> ProgressiveDecoder<'a> {
     /// 512 Ki coefficients per report — so a caller can surface progress,
     /// meter I/O, or overlap consumption with decoding; version-1 containers
     /// report once per plane. The final reconstruction is identical to
-    /// [`ProgressiveDecoder::retrieve`] with the same request.
+    /// [`ProgressiveDecoder::retrieve`] with the same request. To also
+    /// observe reconstruction progress, use
+    /// [`ProgressiveDecoder::retrieve_streaming_events`].
     pub fn retrieve_streaming(
         &mut self,
         request: RetrievalRequest,
         mut progress: impl FnMut(StreamProgress),
     ) -> Result<Retrieval> {
+        self.retrieve_streaming_events(request, |event| {
+            if let StreamEvent::Region(p) = event {
+                progress(p);
+            }
+        })
+    }
+
+    /// Retrieve (or refine to) the fidelity described by `request`,
+    /// streaming both decode progress (one [`StreamEvent::Region`] per chunk
+    /// region) and reconstruction progress (one
+    /// [`StreamEvent::LevelReconstructed`] per cascade pass, as soon as the
+    /// level's coefficients land — coarse lattices are final while the finest
+    /// level is still streaming).
+    pub fn retrieve_streaming_events(
+        &mut self,
+        request: RetrievalRequest,
+        mut events: impl FnMut(StreamEvent),
+    ) -> Result<Retrieval> {
         let plan = self.plan(request)?;
-        self.retrieve_inner(&plan, Some(&mut progress))
+        self.retrieve_inner(&plan, Some(&mut events))
     }
 
     /// Retrieve (or refine to) a specific loading plan.
@@ -295,25 +342,146 @@ impl<'a> ProgressiveDecoder<'a> {
     fn retrieve_inner(
         &mut self,
         plan: &LoadPlan,
-        progress: Option<&mut dyn FnMut(StreamProgress)>,
+        events: Option<&mut dyn FnMut(StreamEvent)>,
     ) -> Result<Retrieval> {
-        if plan.planes_loaded.len() != self.store.num_level_entries() {
+        // Collapse the optional callback to a plain sink: `streaming` keeps
+        // the region-streaming path selection the callback's presence implies.
+        let mut noop = |_: StreamEvent| {};
+        let (events, streaming): (&mut dyn FnMut(StreamEvent), bool) = match events {
+            Some(cb) => (cb, true),
+            None => (&mut noop, false),
+        };
+        let n_levels = self.store.num_level_entries();
+        if plan.planes_loaded.len() != n_levels {
             return Err(IpcompError::InvalidInput(
                 "plan does not match the container's level count".into(),
             ));
         }
         let bytes_before = self.bytes_total;
-        if self.recon.is_none() {
-            self.initial_reconstruction(plan, progress)?;
-        } else {
-            self.incremental_refinement(plan, progress)?;
+        let initial = self.recon.is_none();
+        let header = self.store.header().clone();
+        let shape = self.shape.clone();
+        let levels = num_levels(&shape);
+        if initial {
+            // The cascade maps container level `idx` to interpolation level
+            // `num_levels - idx`; a container whose declared level count
+            // disagrees with its own grid geometry (possible only through
+            // corruption — the compressor derives both from the shape) would
+            // underflow that mapping.
+            if levels != header.num_levels || n_levels != levels as usize {
+                return Err(IpcompError::CorruptContainer(
+                    "declared level count inconsistent with grid dimensions",
+                ));
+            }
+            // The cascade kernels index each level's codes by traversal
+            // position, so every level's coefficient count must match the
+            // grid's level partition exactly (the compressor derives both
+            // from the shape; a mismatch is container corruption).
+            for idx in 0..n_levels {
+                let expect = crate::interp::level_count(&shape, levels - idx as u32);
+                if self.store.level_n_values(idx) != expect {
+                    return Err(IpcompError::CorruptContainer(
+                        "level size inconsistent with grid dimensions",
+                    ));
+                }
+            }
         }
+
+        // Per-level work items: (idx, lo, hi, want), coarsest level first.
+        // Planes are counted from the most significant: having `have` planes
+        // means [num_planes-have, num_planes) present.
+        let mut works: Vec<(usize, u8, u8, u8)> = Vec::new();
+        for idx in 0..n_levels {
+            let num_planes = self.store.level_num_planes(idx);
+            let want = plan.planes_loaded[idx].min(num_planes);
+            let have = self.planes_loaded[idx];
+            if want > have {
+                works.push((idx, num_planes - want, num_planes - have, want));
+            }
+        }
+        if !initial && works.is_empty() {
+            // Nothing new requested — retrieval is monotone.
+            let data = ArrayD::from_vec(
+                shape,
+                self.recon.as_ref().expect("reconstruction present").clone(),
+            );
+            let n = header.num_elements();
+            return Ok(Retrieval {
+                data,
+                bytes_this_request: 0,
+                bytes_total: self.bytes_total,
+                bitrate: self.bytes_total as f64 * 8.0 / n as f64,
+                error_bound: self.current_error_bound,
+            });
+        }
+
+        // Algorithm 1 seeds the cascade with the anchor codes; Algorithm 2
+        // propagates deltas from zero anchors (the cascade is linear in the
+        // residuals) and adds the delta field onto the reconstruction.
+        let mut engine =
+            CascadeEngine::new(shape.clone(), header.interpolation, header.error_bound);
+        if initial {
+            // Base data: header + anchors + metadata are always read — but
+            // only once per decoder, even across retries of a failed initial
+            // reconstruction.
+            if !self.base_bytes_counted {
+                self.bytes_total += self.store.base_bytes();
+                self.base_bytes_counted = true;
+            }
+            let anchor_codes = decode_anchors_bounded(self.store.anchors(), header.num_elements())?;
+            engine.seed_anchors(&anchor_codes);
+        } else {
+            engine.seed_zero();
+        }
+
+        let had_planes = self.planes_loaded.clone();
+        if let Err(e) = self.drive_levels(&works, initial, &mut engine, events, streaming) {
+            if !initial {
+                // Refinement must be atomic: the engine holding the applied
+                // levels' delta field dies with this error, and `recon` is
+                // only updated on success — leaving those levels marked
+                // loaded would strand their contribution forever (a retry
+                // would skip them). Undo every level this retrieval
+                // completed: the planes it added occupy bits `[lo, hi)`
+                // that were zero before the call, so clearing them (and
+                // restoring the plane counts and byte accounting) restores
+                // the pre-call state exactly. The failed level itself was
+                // already rolled back by its own decode path, and an initial
+                // reconstruction needs none of this — its partial loads are
+                // consumed from the accumulators by the retry.
+                for &(idx, lo, hi, want) in &works {
+                    if self.planes_loaded[idx] == want {
+                        let mask = (1u64 << hi) - (1u64 << lo);
+                        for w in &mut self.acc[idx] {
+                            *w &= !mask;
+                        }
+                        self.planes_loaded[idx] = had_planes[idx];
+                    }
+                }
+                self.bytes_total = bytes_before;
+            }
+            return Err(e);
+        }
+
+        let field = engine.into_field();
+        if initial {
+            self.recon = Some(field);
+        } else {
+            let recon = self
+                .recon
+                .as_mut()
+                .expect("refinement has a reconstruction");
+            for (r, d) in recon.iter_mut().zip(&field) {
+                *r += d;
+            }
+        }
+        self.current_error_bound = self.error_bound_for_loaded();
         let data = ArrayD::from_vec(
             self.shape.clone(),
             self.recon.as_ref().expect("reconstruction present").clone(),
         );
         let bytes_this = self.bytes_total - bytes_before;
-        let n = self.store.header().num_elements();
+        let n = header.num_elements();
         Ok(Retrieval {
             data,
             bytes_this_request: bytes_this,
@@ -323,117 +491,219 @@ impl<'a> ProgressiveDecoder<'a> {
         })
     }
 
-    /// Decode the planes requested by `plan` that are not loaded yet, updating the
-    /// accumulators and byte accounting. Returns per-level vectors of the *newly
-    /// added* dequantized residual deltas (empty when a level gained nothing).
+    /// Load every level in `works` and drive the cascade engine, coarsest
+    /// level first, feeding each level's codes as soon as its planes are
+    /// scattered (unless level streaming is disabled, in which case all
+    /// passes run after the last load).
     ///
     /// Every path is built from the staged decode pipeline
-    /// ([`crate::pipeline`]): with `progress` set, planes stream region by
+    /// ([`crate::pipeline`]): with `events` set, planes stream region by
     /// region through [`PlaneStream`] (the pipeline driver, which for ranged
     /// sources overlaps region `k + 1`'s fetch with region `k`'s decode) and
-    /// the callback observes every chunk region as it lands. Without it, the
-    /// bulk entropy stage fans out across the rayon pool — and for ranged
-    /// sources the *next level's* batched fetch is issued on a scoped worker
-    /// while the current level decodes, so backend latency overlaps compute
-    /// without changing the request pattern (still one coalescible
-    /// `read_ranges` per level).
-    fn load_new_planes(
+    /// the callback observes every chunk region and cascade pass as it
+    /// lands. Without it, the bulk entropy stage fans out across the rayon
+    /// pool — and for ranged sources the *next level's* batched fetch is
+    /// issued on a scoped worker while the current level decodes *and runs
+    /// its interpolation pass*, so backend latency overlaps both decode and
+    /// reconstruction compute without changing the request pattern (still
+    /// one coalescible `read_ranges` per level).
+    fn drive_levels(
         &mut self,
-        plan: &LoadPlan,
-        progress: Option<&mut dyn FnMut(StreamProgress)>,
-    ) -> Result<Vec<Vec<f64>>> {
+        works: &[(usize, u8, u8, u8)],
+        initial: bool,
+        engine: &mut CascadeEngine,
+        events: &mut dyn FnMut(StreamEvent),
+        streaming: bool,
+    ) -> Result<()> {
         // Clone the store handle (a reference or a pair of `Arc`s) so level
         // borrows come from a local, leaving `self` free for field updates.
         let store = self.store.clone();
         let header = store.header();
-        let eb = header.error_bound;
         let prefix_bits = header.prefix_bits;
         let predictive = header.predictive_coding;
         let n_levels = store.num_level_entries();
-        // Per-level work items: (idx, lo, hi, want), coarsest level first.
-        let mut works: Vec<(usize, u8, u8, u8)> = Vec::new();
-        for idx in 0..n_levels {
-            let num_planes = store.level_num_planes(idx);
-            let want = plan.planes_loaded[idx].min(num_planes);
-            let have = self.planes_loaded[idx];
-            if want > have {
-                // Planes are counted from the most significant: having
-                // `have` planes means [num_planes-have, num_planes) present.
-                works.push((idx, num_planes - want, num_planes - have, want));
-            }
-        }
-        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_levels];
+        let streamed = cascade::cascade_streaming();
+        // Passes parked for the end when level streaming is disabled.
+        let mut deferred: Vec<(usize, Vec<i64>)> = Vec::new();
+        let mut w = 0usize;
 
-        if let Some(cb) = progress {
-            for &(idx, lo, hi, want) in &works {
-                let before = self.stream_level(&store, cb, idx, lo, hi, prefix_bits, predictive)?;
-                deltas[idx] = self.finish_level(idx, want, eb, before);
-            }
-            return Ok(deltas);
-        }
-        match &store {
-            Store::Slice(c) => {
-                for &(idx, lo, hi, want) in &works {
-                    let level = &c.levels[idx];
-                    let before = self.snapshot_level(idx);
-                    decode_planes_into(level, lo, hi, prefix_bits, predictive, &mut self.acc[idx])?;
-                    for p in lo..hi {
-                        self.bytes_total += level.planes[p as usize].len();
-                    }
-                    deltas[idx] = self.finish_level(idx, want, eb, before);
-                }
-            }
-            Store::Source { map, source } => {
-                // Pipelined level loop: each level is one batched, coalescible
-                // `read_ranges` (exactly the PR 3 request pattern); the next
-                // level's fetch runs on a scoped worker while this one
-                // entropy-decodes and scatters.
-                let overlap = crate::pipeline::fetch_overlap();
-                let mut pending: Option<Result<crate::bitplane::EncodedLevel>> = None;
-                for (i, &(idx, lo, hi, want)) in works.iter().enumerate() {
-                    let fetched = match pending.take() {
-                        Some(res) => res?,
-                        None => map.levels[idx].fetch_planes(source.get(), lo, hi)?,
+        if streaming {
+            for idx in 0..n_levels {
+                if works.get(w).map(|x| x.0) == Some(idx) {
+                    let (_, lo, hi, want) = works[w];
+                    w += 1;
+                    let before = if initial {
+                        None
+                    } else {
+                        Some(self.snapshot_level(idx))
                     };
-                    let before = self.snapshot_level(idx);
-                    let next = works.get(i + 1).copied();
-                    let decoded = match next {
-                        Some((nidx, nlo, nhi, _)) if overlap => {
-                            let acc = &mut self.acc[idx];
-                            let (decoded, prefetch) = crate::pipeline::overlap_fetch(
-                                || map.levels[nidx].fetch_planes(source.get(), nlo, nhi),
-                                || {
-                                    decode_planes_into(
-                                        &fetched,
-                                        lo,
-                                        hi,
-                                        prefix_bits,
-                                        predictive,
-                                        acc,
-                                    )
-                                },
-                            );
-                            pending = Some(prefetch);
-                            decoded
+                    let cascade = if streamed {
+                        Some((&mut *engine, before.as_deref()))
+                    } else {
+                        None
+                    };
+                    self.stream_level(
+                        &store,
+                        events,
+                        cascade,
+                        idx,
+                        lo,
+                        hi,
+                        prefix_bits,
+                        predictive,
+                    )?;
+                    self.planes_loaded[idx] = want;
+                    if streamed {
+                        // Prefix feeding happened region by region inside the
+                        // stream; close the level out.
+                        for p in engine.level_complete(idx) {
+                            events(StreamEvent::LevelReconstructed(p));
                         }
-                        _ => decode_planes_into(
-                            &fetched,
-                            lo,
-                            hi,
-                            prefix_bits,
-                            predictive,
-                            &mut self.acc[idx],
-                        ),
-                    };
-                    decoded?;
-                    for p in lo..hi {
-                        self.bytes_total += map.levels[idx].plane_bytes(p);
+                    } else {
+                        let codes = self.loaded_codes(idx, before.as_deref());
+                        deferred.push((idx, codes));
                     }
-                    deltas[idx] = self.finish_level(idx, want, eb, before);
+                } else {
+                    let codes = self.unchanged_codes(idx, initial);
+                    Self::feed(engine, &mut deferred, streamed, idx, codes, events);
+                }
+            }
+        } else {
+            match &store {
+                Store::Slice(c) => {
+                    for idx in 0..n_levels {
+                        if works.get(w).map(|x| x.0) == Some(idx) {
+                            let (_, lo, hi, want) = works[w];
+                            w += 1;
+                            let before = if initial {
+                                None
+                            } else {
+                                Some(self.snapshot_level(idx))
+                            };
+                            let level = &c.levels[idx];
+                            decode_planes_into(
+                                level,
+                                lo,
+                                hi,
+                                prefix_bits,
+                                predictive,
+                                &mut self.acc[idx],
+                            )?;
+                            for p in lo..hi {
+                                self.bytes_total += level.planes[p as usize].len();
+                            }
+                            self.planes_loaded[idx] = want;
+                            let codes = self.loaded_codes(idx, before.as_deref());
+                            Self::feed(engine, &mut deferred, streamed, idx, codes, events);
+                        } else {
+                            let codes = self.unchanged_codes(idx, initial);
+                            Self::feed(engine, &mut deferred, streamed, idx, codes, events);
+                        }
+                    }
+                }
+                Store::Source { map, source } => {
+                    // Pipelined level loop: each level is one batched,
+                    // coalescible `read_ranges` (exactly the PR 3 request
+                    // pattern); the next level's fetch runs on a scoped
+                    // worker while this one entropy-decodes, scatters, and
+                    // runs its cascade pass.
+                    let overlap = crate::pipeline::fetch_overlap();
+                    let mut pending: Option<Result<crate::bitplane::EncodedLevel>> = None;
+                    for idx in 0..n_levels {
+                        if works.get(w).map(|x| x.0) == Some(idx) {
+                            let (_, lo, hi, want) = works[w];
+                            let next = works.get(w + 1).copied();
+                            w += 1;
+                            let fetched = match pending.take() {
+                                Some(res) => res?,
+                                None => map.levels[idx].fetch_planes(source.get(), lo, hi)?,
+                            };
+                            let before = if initial {
+                                None
+                            } else {
+                                Some(self.snapshot_level(idx))
+                            };
+                            let acc = &mut self.acc[idx];
+                            let mut work = || -> Result<()> {
+                                decode_planes_into(&fetched, lo, hi, prefix_bits, predictive, acc)?;
+                                let codes = match &before {
+                                    None => cascade::residual_codes(acc),
+                                    Some(b) => cascade::delta_codes(acc, b),
+                                };
+                                Self::feed(engine, &mut deferred, streamed, idx, codes, events);
+                                Ok(())
+                            };
+                            match next {
+                                Some((nidx, nlo, nhi, _)) if overlap => {
+                                    let (decoded, prefetch) = crate::pipeline::overlap_fetch(
+                                        || map.levels[nidx].fetch_planes(source.get(), nlo, nhi),
+                                        work,
+                                    );
+                                    pending = Some(prefetch);
+                                    decoded?;
+                                }
+                                _ => work()?,
+                            }
+                            for p in lo..hi {
+                                self.bytes_total += map.levels[idx].plane_bytes(p);
+                            }
+                            self.planes_loaded[idx] = want;
+                        } else {
+                            let codes = self.unchanged_codes(idx, initial);
+                            Self::feed(engine, &mut deferred, streamed, idx, codes, events);
+                        }
+                    }
                 }
             }
         }
-        Ok(deltas)
+
+        // Batch schedule (level streaming disabled): every pass after the
+        // last load, in cascade order. Bits are identical to the streamed
+        // schedule; only the fetch/compute overlap differs.
+        for (idx, codes) in deferred {
+            Self::feed(engine, &mut Vec::new(), true, idx, codes, events);
+        }
+        Ok(())
+    }
+
+    /// Feed one level's codes to the engine (streamed) or park them for the
+    /// end-of-load batch schedule, reporting applied passes to `cb`.
+    fn feed(
+        engine: &mut CascadeEngine,
+        deferred: &mut Vec<(usize, Vec<i64>)>,
+        streamed: bool,
+        idx: usize,
+        codes: Vec<i64>,
+        cb: &mut dyn FnMut(StreamEvent),
+    ) {
+        if streamed {
+            for p in engine.level_ready(idx, codes) {
+                cb(StreamEvent::LevelReconstructed(p));
+            }
+        } else {
+            deferred.push((idx, codes));
+        }
+    }
+
+    /// Cascade codes of a level this retrieval did not load: its full values
+    /// on an initial reconstruction (an empty vector when nothing is loaded
+    /// — all residuals zero), zero deltas on a refinement.
+    fn unchanged_codes(&self, idx: usize, initial: bool) -> Vec<i64> {
+        if initial && self.planes_loaded[idx] > 0 {
+            cascade::residual_codes(&self.acc[idx])
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Cascade codes of a freshly loaded level: full accumulator values on
+    /// an initial reconstruction, deltas against the pre-load snapshot on a
+    /// refinement.
+    fn loaded_codes(&self, idx: usize, before: Option<&[i64]>) -> Vec<i64> {
+        match before {
+            None => cascade::residual_codes(&self.acc[idx]),
+            Some(b) => cascade::delta_codes(&self.acc[idx], b),
+        }
     }
 
     /// Negabinary values of one level's accumulators before new planes land
@@ -446,35 +716,29 @@ impl<'a> ProgressiveDecoder<'a> {
         }
     }
 
-    /// Compute the newly added dequantized deltas of a level and mark its
-    /// planes loaded.
-    fn finish_level(&mut self, idx: usize, want: u8, eb: f64, before: Vec<i64>) -> Vec<f64> {
-        let delta: Vec<f64> = self.acc[idx]
-            .iter()
-            .zip(&before)
-            .map(|(&w, &b)| dequantize(from_negabinary(w) - b, eb))
-            .collect();
-        self.planes_loaded[idx] = want;
-        delta
-    }
-
     /// Stream one level's planes region by region through the pipeline,
     /// reporting progress per region and rolling the accumulators and byte
-    /// accounting back exactly on mid-stream failure. Returns the level's
-    /// pre-stream negabinary snapshot for delta computation.
+    /// accounting back exactly on mid-stream failure.
+    ///
+    /// With `cascade` set, each region's newly final coefficient prefix is
+    /// decoded to codes (values, or deltas against the refinement snapshot)
+    /// and fed to the engine, so the level's early interpolation sub-passes
+    /// run while its later regions are still fetching. A mid-stream failure
+    /// needs no engine rollback: the whole retrieval fails and the engine is
+    /// discarded with it.
     #[allow(clippy::too_many_arguments)] // decode parameters travel together
     fn stream_level(
         &mut self,
         store: &Store<'a>,
-        cb: &mut dyn FnMut(StreamProgress),
+        cb: &mut dyn FnMut(StreamEvent),
+        mut cascade: Option<(&mut CascadeEngine, Option<&[i64]>)>,
         idx: usize,
         lo: u8,
         hi: u8,
         prefix_bits: u8,
         predictive: bool,
-    ) -> Result<Vec<i64>> {
+    ) -> Result<()> {
         let n_values = store.level_n_values(idx);
-        let before = self.snapshot_level(idx);
         let acc = &mut self.acc[idx];
         let mut stream = match store {
             Store::Slice(c) => {
@@ -494,18 +758,42 @@ impl<'a> ProgressiveDecoder<'a> {
         let bytes_before = self.bytes_total;
         let mut coeffs_done = 0usize;
         let failure = loop {
-            match stream.decode_next(acc) {
+            let k = region;
+            let n_regions = stream.num_regions();
+            let region_bytes = if k < n_regions {
+                stream.region_compressed_bytes(k)
+            } else {
+                0
+            };
+            // Progress reporting and cascade feeding run in the pipeline's
+            // post-scatter hook — inside the fetch-overlap window, so the
+            // level's early interpolation sub-passes execute while the next
+            // region's chunks are still in flight.
+            let bytes_total = &mut self.bytes_total;
+            let cascade_ref = &mut cascade;
+            let result = stream.decode_next_with(acc, |coeffs, acc_region| {
+                *bytes_total += region_bytes;
+                cb(StreamEvent::Region(StreamProgress {
+                    level_idx: idx,
+                    region: k,
+                    regions_in_level: n_regions,
+                    coeffs_decoded: coeffs.end,
+                    coeffs_in_level: n_values,
+                    bytes_total: *bytes_total,
+                }));
+                if let Some((engine, before)) = cascade_ref.as_mut() {
+                    // The prefix `[0, coeffs.end)` is final across every
+                    // streamed plane: append the region's codes and let
+                    // covered sub-passes run now.
+                    let before_span = before.map(|b| &b[coeffs]);
+                    for p in engine.level_span_arrived(idx, acc_region, before_span) {
+                        cb(StreamEvent::LevelReconstructed(p));
+                    }
+                }
+            });
+            match result {
                 Ok(Some(coeffs)) => {
                     coeffs_done = coeffs.end;
-                    self.bytes_total += stream.region_compressed_bytes(region);
-                    cb(StreamProgress {
-                        level_idx: idx,
-                        region,
-                        regions_in_level: stream.num_regions(),
-                        coeffs_decoded: coeffs.end,
-                        coeffs_in_level: n_values,
-                        bytes_total: self.bytes_total,
-                    });
                     region += 1;
                 }
                 Ok(None) => break None,
@@ -525,7 +813,7 @@ impl<'a> ProgressiveDecoder<'a> {
             self.bytes_total = bytes_before;
             return Err(e);
         }
-        Ok(before)
+        Ok(())
     }
 
     /// Upper bound on the reconstruction error given the currently loaded planes.
@@ -537,112 +825,6 @@ impl<'a> ProgressiveDecoder<'a> {
             extra += crate::optimizer::level_error(c, idx, discard);
         }
         self.store.header().error_bound + extra
-    }
-
-    /// Algorithm 1: reconstruct from scratch with the planes selected by `plan`.
-    fn initial_reconstruction(
-        &mut self,
-        plan: &LoadPlan,
-        progress: Option<&mut dyn FnMut(StreamProgress)>,
-    ) -> Result<()> {
-        let header = self.store.header().clone();
-        let eb = header.error_bound;
-        let shape = self.shape.clone();
-        let levels = num_levels(&shape);
-        // The cascade below computes `num_levels - level`; a container whose
-        // declared level count disagrees with its own grid geometry (possible
-        // only through corruption — the compressor derives both from the
-        // shape) would underflow that index.
-        if levels != header.num_levels {
-            return Err(IpcompError::CorruptContainer(
-                "declared level count inconsistent with grid dimensions",
-            ));
-        }
-
-        // Base data: header + anchors + metadata are always read.
-        self.bytes_total += self.store.base_bytes();
-        let anchor_codes = decode_anchors_bounded(self.store.anchors(), header.num_elements())?;
-
-        let _deltas = self.load_new_planes(plan, progress)?;
-        // Residuals per level from the accumulators (values, not deltas).
-        let residuals: Vec<Vec<f64>> = self
-            .acc
-            .iter()
-            .map(|acc| {
-                acc.iter()
-                    .map(|&w| dequantize(from_negabinary(w), eb))
-                    .collect()
-            })
-            .collect();
-
-        let mut work = vec![0.0f64; shape.len()];
-        let mut anchor_iter = anchor_codes.into_iter();
-        process_anchors(&shape, &mut work, |_, pred| {
-            pred + dequantize(anchor_iter.next().unwrap_or(0), eb)
-        });
-        for level in (1..=levels).rev() {
-            let idx = (header.num_levels - level) as usize;
-            let mut it = residuals[idx].iter();
-            process_level(&shape, level, header.interpolation, &mut work, |_, pred| {
-                pred + it.next().copied().unwrap_or(0.0)
-            });
-        }
-        self.recon = Some(work);
-        self.current_error_bound = self.error_bound_for_loaded();
-        Ok(())
-    }
-
-    /// Algorithm 2: refine the existing reconstruction with newly loaded planes only.
-    fn incremental_refinement(
-        &mut self,
-        plan: &LoadPlan,
-        progress: Option<&mut dyn FnMut(StreamProgress)>,
-    ) -> Result<()> {
-        let header = self.store.header().clone();
-        let shape = self.shape.clone();
-        let levels = num_levels(&shape);
-        let deltas = self.load_new_planes(plan, progress)?;
-        if deltas.iter().all(Vec::is_empty) {
-            // Nothing new requested — retrieval is monotone.
-            return Ok(());
-        }
-
-        // Propagate the delta residuals through the (linear) interpolation cascade
-        // with zero anchors, then add onto the existing reconstruction.
-        let mut delta_field = vec![0.0f64; shape.len()];
-        process_anchors(&shape, &mut delta_field, |_, _| 0.0);
-        for level in (1..=levels).rev() {
-            let idx = (header.num_levels - level) as usize;
-            if deltas[idx].is_empty() {
-                // No new planes for this level: its delta residuals are all zero, but
-                // deltas from coarser levels still propagate through the prediction.
-                process_level(
-                    &shape,
-                    level,
-                    header.interpolation,
-                    &mut delta_field,
-                    |_, pred| pred,
-                );
-            } else {
-                let mut it = deltas[idx].iter();
-                process_level(
-                    &shape,
-                    level,
-                    header.interpolation,
-                    &mut delta_field,
-                    |_, pred| pred + it.next().copied().unwrap_or(0.0),
-                );
-            }
-        }
-        let recon = self
-            .recon
-            .as_mut()
-            .expect("called only after initial reconstruction");
-        for (r, d) in recon.iter_mut().zip(&delta_field) {
-            *r += d;
-        }
-        self.current_error_bound = self.error_bound_for_loaded();
-        Ok(())
     }
 }
 

@@ -64,4 +64,4 @@ pub use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, Memor
 pub use ipcomp::{ContainerMap, LevelMap};
 
 /// Convenience re-export: requests sessions are driven with.
-pub use ipcomp::RetrievalRequest;
+pub use ipcomp::{CascadeProgress, RetrievalRequest, StreamEvent, StreamProgress};

@@ -20,7 +20,9 @@
 use std::sync::Arc;
 
 use ipcomp::container::ContainerMap;
-use ipcomp::progressive::{ProgressiveDecoder, Retrieval, RetrievalRequest, StreamProgress};
+use ipcomp::progressive::{
+    ProgressiveDecoder, Retrieval, RetrievalRequest, StreamEvent, StreamProgress,
+};
 use ipcomp::source::ChunkSource;
 use ipcomp::Result;
 
@@ -195,6 +197,22 @@ impl RetrievalSession {
         progress: impl FnMut(StreamProgress),
     ) -> Result<Retrieval> {
         let out = self.decoder.retrieve_streaming(request, progress)?;
+        self.readahead();
+        Ok(out)
+    }
+
+    /// Streamed-reconstruction variant of
+    /// [`RetrievalSession::retrieve_streaming`]: the callback observes both
+    /// decoded chunk regions ([`StreamEvent::Region`]) and completed cascade
+    /// passes ([`StreamEvent::LevelReconstructed`]) — a client can render or
+    /// forward the coarse lattices while the finest level is still streaming
+    /// out of the shared store.
+    pub fn retrieve_streaming_events(
+        &mut self,
+        request: RetrievalRequest,
+        events: impl FnMut(StreamEvent),
+    ) -> Result<Retrieval> {
+        let out = self.decoder.retrieve_streaming_events(request, events)?;
         self.readahead();
         Ok(out)
     }
