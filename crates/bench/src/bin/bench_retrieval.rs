@@ -119,6 +119,17 @@ fn main() {
         readahead_planes: 0,
         protect_top_planes: 0,
     };
+    // A/B: gap derived from the backend's traffic model (latency ×
+    // throughput break-even — 1 MB for this profile) instead of the fixed
+    // local-disk threshold.
+    let model_gap =
+        ipc_store::traffic_model_gap(sim_profile().latency_per_request, THROUGHPUT_MB_S * 1e6);
+    let model_gap_options = StoreOptions {
+        cache_bytes: 0,
+        coalesce_gap: Some(model_gap),
+        readahead_planes: 0,
+        protect_top_planes: 0,
+    };
 
     let bounds = [1e-2, 1e-3, 1e-4, 1e-5];
     let requests: Vec<(String, RetrievalRequest)> = bounds
@@ -144,6 +155,7 @@ fn main() {
         };
         let per_chunk = measure(&bytes, per_chunk_options, *request);
         let coalesced = measure(&bytes, coalesced_options, *request);
+        let model = measure(&bytes, model_gap_options, *request);
         assert_eq!(
             per_chunk.checksum, reference,
             "{label}: per-chunk output diverged"
@@ -151,6 +163,10 @@ fn main() {
         assert_eq!(
             coalesced.checksum, reference,
             "{label}: coalesced output diverged"
+        );
+        assert_eq!(
+            model.checksum, reference,
+            "{label}: traffic-model-gap output diverged"
         );
 
         // Coalescing pays for the gap bytes it bridges, so its byte count is
@@ -164,15 +180,17 @@ fn main() {
             min_coalesce_factor = min_coalesce_factor.min(factor);
         }
         println!(
-            "bound {label:>5}: planned {:>9} B ({:>5.1}% of {total} B) | requests {:>4} per-chunk -> {:>3} coalesced ({factor:.1}x) | sim {:.1} ms vs {:.1} ms (full read {full_read_ms:.1} ms)",
+            "bound {label:>5}: planned {:>9} B ({:>5.1}% of {total} B) | requests {:>4} per-chunk -> {:>3} coalesced ({factor:.1}x) -> {:>2} model-gap | sim {:.1} / {:.1} / {:.1} ms (full read {full_read_ms:.1} ms)",
             per_chunk.bytes,
             fraction * 100.0,
             per_chunk.requests,
             coalesced.requests,
+            model.requests,
             per_chunk.sim_ms,
             coalesced.sim_ms,
+            model.sim_ms,
         );
-        rows.push((label.clone(), per_chunk, coalesced, fraction, factor));
+        rows.push((label.clone(), per_chunk, coalesced, model, fraction, factor));
     }
 
     // Multi-client fan-out: 8 clients refining coarse -> fine over one store,
@@ -298,21 +316,24 @@ fn main() {
         "  \"coefficients\": {n},\n  \"container_bytes\": {total},\n  \"compress_error_bound\": {eb:e},\n"
     ));
     json.push_str(&format!(
-        "  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n"
+        "  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}, \"traffic_model_gap_bytes\": {model_gap}}},\n"
     ));
     json.push_str(&format!(
         "  \"full_read\": {{\"bytes\": {total}, \"requests\": 1, \"sim_ms\": {full_read_ms:.2}}},\n"
     ));
     json.push_str("  \"rows\": [\n");
-    for (i, (label, per_chunk, coalesced, fraction, factor)) in rows.iter().enumerate() {
+    for (i, (label, per_chunk, coalesced, model, fraction, factor)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"error_bound\": \"{label}\", \"planned_bytes\": {}, \"coalesced_bytes\": {}, \"bytes_fraction_of_container\": {fraction:.4}, \"requests_per_chunk\": {}, \"requests_coalesced\": {}, \"coalesce_factor\": {factor:.2}, \"sim_ms_per_chunk\": {:.2}, \"sim_ms_coalesced\": {:.2}}}{}\n",
+            "    {{\"error_bound\": \"{label}\", \"planned_bytes\": {}, \"coalesced_bytes\": {}, \"bytes_fraction_of_container\": {fraction:.4}, \"requests_per_chunk\": {}, \"requests_coalesced\": {}, \"coalesce_factor\": {factor:.2}, \"sim_ms_per_chunk\": {:.2}, \"sim_ms_coalesced\": {:.2}, \"model_gap\": {{\"bytes\": {}, \"requests\": {}, \"sim_ms\": {:.2}}}}}{}\n",
             per_chunk.bytes,
             coalesced.bytes,
             per_chunk.requests,
             coalesced.requests,
             per_chunk.sim_ms,
             coalesced.sim_ms,
+            model.bytes,
+            model.requests,
+            model.sim_ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

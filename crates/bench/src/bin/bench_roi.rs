@@ -1,0 +1,212 @@
+//! Spatial ROI retrieval runner: emits `BENCH_roi.json`.
+//!
+//! Serves one precinct-partitioned (version-3) container from S3-like
+//! storage and measures what the region-scoped read path buys for a client
+//! that wants a 1/64th-domain bounding box at `ErrorBound(1e-3)`:
+//!
+//! * **Bytes fetched** — region retrieve against the full-domain planned
+//!   retrieval at the same bound; the floor asserted is ≤ 2× the ROI's ideal
+//!   byte share (the full payload scaled by region volume — the precinct
+//!   rounding plus the cascade's cross-level ancestor halo pay the rest).
+//! * **Reconstruct time** — wall clock of the region retrieve against the
+//!   full-domain retrieve on a resident container; asserted ≤ 1/8.
+//! * **Correctness** — region output asserted bit-identical to full decode
+//!   at the same bound, then crop.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_roi [out.json] [--smoke]`
+//! `--smoke` (or `IPC_BENCH_QUICK=1`) shrinks the field and skips the
+//! acceptance asserts; committed numbers come from the full 1M-coefficient
+//! (1024×1024) run.
+
+use std::sync::Arc;
+
+use ipc_bench::time;
+use ipc_store::{
+    plan_request, ChunkSource, ContainerStore, SimProfile, SimulatedObjectStore, StoreOptions,
+};
+use ipc_tensor::{ArrayD, Shape};
+use ipcomp::{compress, Config, ContainerMap, MemorySource, RetrievalRequest, RoiBox};
+
+/// Smooth structure plus deterministic coordinate-hash noise so residual
+/// planes stay dense (same recipe as `bench_retrieval`, in 2-D).
+fn bench_field(n: usize) -> ArrayD<f64> {
+    ArrayD::from_fn(Shape::d2(n, n), |c| {
+        let h = (c[0].wrapping_mul(73856093) ^ c[1].wrapping_mul(19349663)) as u64;
+        let noise = ((h.wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1 << 24) as f64) - 0.5;
+        (c[0] as f64 * 0.11).sin() * 3.0
+            + (c[1] as f64 * 0.07).cos() * 2.0
+            + (c[0] as f64 * 0.013).sin() * (c[1] as f64 * 0.019).cos()
+            + noise * 0.01
+    })
+}
+
+fn main() {
+    let mut out_path = "BENCH_roi.json".to_string();
+    let mut smoke = std::env::var("IPC_BENCH_QUICK").is_ok();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if !arg.starts_with('-') {
+            out_path = arg;
+        }
+    }
+
+    // 1024×1024 = 1,048,576 coefficients; the ROI is the 128×128 corner —
+    // exactly 1/64th of the domain. Precincts are 32×32 sub-bricks.
+    let (n, roi_side, precinct) = if smoke {
+        (256, 32, 16)
+    } else {
+        (1024, 128, 32)
+    };
+    let field = bench_field(n);
+    let eb = 1e-7;
+    let request = RetrievalRequest::ErrorBound(1e-3);
+    let compressed = compress(&field, eb, &Config::with_precincts(&[precinct, precinct])).unwrap();
+    let bytes = compressed.to_bytes();
+    let total = bytes.len();
+    let bounds = RoiBox::new(&[0, 0], &[roi_side, roi_side]);
+    let share = (field.len() / bounds.len()) as f64;
+    println!(
+        "container: {}x{n} = {} coefficients, {total} bytes, precincts {precinct}x{precinct}, eb {eb:.0e}",
+        n,
+        field.len()
+    );
+    println!(
+        "roi: [0,{roi_side})^2 = {} coefficients (1/{share:.0} of the domain) at {request:?}",
+        bounds.len()
+    );
+
+    // --- Bytes fetched (simulated object store, exact per-chunk requests so
+    // the byte count is the lowering itself, no coalescing slack).
+    let options = StoreOptions {
+        cache_bytes: 0,
+        coalesce_gap: None,
+        readahead_planes: 0,
+        protect_top_planes: 0,
+    };
+    let fetch = |roi: bool| {
+        let sim = Arc::new(SimulatedObjectStore::new(
+            MemorySource::new(bytes.clone()),
+            SimProfile::object_store(),
+        ));
+        let store = ContainerStore::open(sim.clone() as Arc<dyn ChunkSource>, options).unwrap();
+        sim.reset_stats(); // metadata open accounted separately for both sides
+        let mut session = store.session();
+        let out = if roi {
+            session.retrieve_roi(bounds, request).unwrap()
+        } else {
+            session.retrieve(request).unwrap()
+        };
+        (out, sim.stats())
+    };
+    let (full_out, full_stats) = fetch(false);
+    let (roi_out, roi_stats) = fetch(true);
+
+    // Bit-identity: region output == full decode at the same bound, cropped.
+    let full_slice = full_out.data.as_slice();
+    let cropped: Vec<f64> = (0..roi_side)
+        .flat_map(|x| (0..roi_side).map(move |y| full_slice[x * n + y]))
+        .collect();
+    assert_eq!(
+        roi_out.data.as_slice(),
+        cropped.as_slice(),
+        "ROI output must be bit-identical to full-decode-then-crop"
+    );
+
+    let ideal_bytes = full_stats.bytes as f64 / share;
+    let byte_ratio = roi_stats.bytes as f64 / ideal_bytes;
+    println!(
+        "bytes: roi {} B vs full {} B | ideal share {:.0} B | {byte_ratio:.2}x ideal (<= 2x required)",
+        roi_stats.bytes, full_stats.bytes, ideal_bytes
+    );
+    println!(
+        "requests: roi {} GETs ({:.1} sim ms) vs full {} GETs ({:.1} sim ms)",
+        roi_stats.requests,
+        roi_stats.simulated_secs * 1e3,
+        full_stats.requests,
+        full_stats.simulated_secs * 1e3
+    );
+
+    // Cross-check the store planner's region lowering against the decoder's
+    // actual traffic: both derive from the same precinct masks.
+    let map = ContainerMap::from_compressed(&compressed);
+    let planned = plan_request(
+        &map,
+        &vec![0u8; map.levels.len()],
+        RetrievalRequest::Roi {
+            bounds,
+            error_bound: 1e-3,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        planned.payload_bytes() as u64,
+        roi_stats.bytes,
+        "planner lowering must predict the decoder's exact traffic"
+    );
+
+    // --- Reconstruct time (resident container, no simulated latency): the
+    // ROI cascade runs its sub-passes over the ROI+halo window only, so its
+    // cost must scale with region volume, not domain volume. Timed with the
+    // store's standard coalescing layer — per-chunk requests were only for
+    // exact byte accounting above, and uncoalesced per-range overhead would
+    // measure the allocator, not the decode path.
+    let time_options = StoreOptions {
+        coalesce_gap: Some(4096),
+        ..options
+    };
+    let reps = if smoke { 1 } else { 3 };
+    let time_once = |roi: bool| {
+        let store = ContainerStore::open(
+            Arc::new(MemorySource::new(bytes.clone())) as Arc<dyn ChunkSource>,
+            time_options,
+        )
+        .unwrap();
+        let mut session = store.session();
+        let (_, secs) = time(|| {
+            if roi {
+                session.retrieve_roi(bounds, request).unwrap()
+            } else {
+                session.retrieve(request).unwrap()
+            }
+        });
+        secs
+    };
+    let full_secs = (0..reps).map(|_| time_once(false)).fold(f64::MAX, f64::min);
+    let roi_secs = (0..reps).map(|_| time_once(true)).fold(f64::MAX, f64::min);
+    let time_ratio = roi_secs / full_secs;
+    println!(
+        "reconstruct: roi {:.2} ms vs full {:.2} ms | {time_ratio:.3}x (<= 0.125x required)",
+        roi_secs * 1e3,
+        full_secs * 1e3
+    );
+
+    if !smoke {
+        assert!(
+            byte_ratio <= 2.0,
+            "ROI fetched {byte_ratio:.2}x its ideal byte share (max 2x)"
+        );
+        assert!(
+            time_ratio <= 0.125,
+            "ROI reconstructed in {time_ratio:.3}x of full-domain time (max 1/8)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"roi_retrieval\",\n  \"domain\": [{n}, {n}],\n  \"coefficients\": {},\n  \"container_bytes\": {total},\n  \"precinct_extents\": [{precinct}, {precinct}],\n  \"compress_error_bound\": {eb:e},\n  \"request_error_bound\": 1e-3,\n  \"roi\": {{\"lo\": [0, 0], \"hi\": [{roi_side}, {roi_side}], \"coefficients\": {}, \"domain_fraction\": {:.6}}},\n  \"sim_profile\": {{\"latency_ms_per_request\": 5, \"throughput_mb_s\": 200}},\n  \"bytes\": {{\"roi\": {}, \"full\": {}, \"ideal_share\": {ideal_bytes:.0}, \"ratio_vs_ideal\": {byte_ratio:.4}}},\n  \"requests\": {{\"roi\": {}, \"full\": {}, \"roi_sim_ms\": {:.2}, \"full_sim_ms\": {:.2}}},\n  \"reconstruct\": {{\"roi_ms\": {:.3}, \"full_ms\": {:.3}, \"ratio\": {time_ratio:.4}}},\n  \"planner_bytes_match_decoder\": true,\n  \"bit_identical_to_full_decode_then_crop\": true,\n  \"acceptance\": {{\"byte_ratio_max\": 2.0, \"time_ratio_max\": 0.125, \"pass\": {}}}\n}}\n",
+        field.len(),
+        bounds.len(),
+        1.0 / share,
+        roi_stats.bytes,
+        full_stats.bytes,
+        roi_stats.requests,
+        full_stats.requests,
+        roi_stats.simulated_secs * 1e3,
+        full_stats.simulated_secs * 1e3,
+        roi_secs * 1e3,
+        full_secs * 1e3,
+        byte_ratio <= 2.0 && time_ratio <= 0.125
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -145,11 +145,116 @@ impl ChunkGrid {
     }
 }
 
+/// How a level's packed plane bytes split into independently decodable chunk
+/// regions, and which coefficients each region covers.
+///
+/// Version-1/2 containers use a *uniform* byte grid ([`ChunkGrid`]): every
+/// region spans `chunk_bytes` packed bytes regardless of where coefficients
+/// sit in space. Version-3 containers cut regions on spatial *precinct*
+/// boundaries instead: region `k` holds the `spans[k]` coefficients of
+/// precinct `k` (in precinct-major container order), packed independently
+/// into `spans[k].div_ceil(8)` bytes so every region starts byte-aligned.
+/// The decode pipeline is written once against this scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionScheme {
+    /// Fixed-size byte regions (version-1/2 layout).
+    Uniform(ChunkGrid),
+    /// Precinct-aligned regions (version-3 layout).
+    Precincts {
+        /// Number of coefficients in the level.
+        n_values: usize,
+        /// Coefficients per precinct, precinct-id order (zero spans allowed).
+        spans: Vec<usize>,
+        /// Exclusive prefix sums of `spans` (coefficient start per region).
+        coeff_starts: Vec<usize>,
+        /// Packed-byte start of every region within a plane.
+        byte_starts: Vec<usize>,
+    },
+}
+
+impl RegionScheme {
+    /// Build the precinct-aligned scheme from per-precinct coefficient spans.
+    pub fn precincts(spans: &[usize]) -> Self {
+        let mut coeff_starts = Vec::with_capacity(spans.len());
+        let mut byte_starts = Vec::with_capacity(spans.len());
+        let (mut coeff, mut byte) = (0usize, 0usize);
+        for &s in spans {
+            coeff_starts.push(coeff);
+            byte_starts.push(byte);
+            coeff += s;
+            byte += s.div_ceil(8);
+        }
+        Self::Precincts {
+            n_values: coeff,
+            spans: spans.to_vec(),
+            coeff_starts,
+            byte_starts,
+        }
+    }
+
+    /// Number of coefficients in the level.
+    pub fn n_values(&self) -> usize {
+        match self {
+            RegionScheme::Uniform(g) => g.n_values,
+            RegionScheme::Precincts { n_values, .. } => *n_values,
+        }
+    }
+
+    /// Length of one packed (uncompressed) plane in bytes. Precinct planes
+    /// carry up to 7 padding bits per precinct, so this can exceed
+    /// `n_values.div_ceil(8)`.
+    pub fn plane_len(&self) -> usize {
+        match self {
+            RegionScheme::Uniform(g) => g.plane_len(),
+            RegionScheme::Precincts {
+                spans, byte_starts, ..
+            } => byte_starts.last().map_or(0, |&b| b) + spans.last().map_or(0, |&s| s.div_ceil(8)),
+        }
+    }
+
+    /// Number of chunk regions every plane of this level is split into.
+    pub fn num_regions(&self) -> usize {
+        match self {
+            RegionScheme::Uniform(g) => g.num_regions(),
+            RegionScheme::Precincts { spans, .. } => spans.len(),
+        }
+    }
+
+    /// Packed byte range of region `k` within a plane.
+    pub fn region_byte_range(&self, k: usize) -> std::ops::Range<usize> {
+        match self {
+            RegionScheme::Uniform(g) => g.region_byte_range(k),
+            RegionScheme::Precincts {
+                spans, byte_starts, ..
+            } => byte_starts[k]..byte_starts[k] + spans[k].div_ceil(8),
+        }
+    }
+
+    /// Coefficient range reconstructed by region `k`.
+    pub fn region_coeff_range(&self, k: usize) -> std::ops::Range<usize> {
+        match self {
+            RegionScheme::Uniform(g) => g.region_coeff_range(k),
+            RegionScheme::Precincts {
+                spans,
+                coeff_starts,
+                ..
+            } => coeff_starts[k]..coeff_starts[k] + spans[k],
+        }
+    }
+}
+
+impl From<ChunkGrid> for RegionScheme {
+    fn from(grid: ChunkGrid) -> Self {
+        RegionScheme::Uniform(grid)
+    }
+}
+
 /// One bitplane compressed as independently decodable entropy chunks.
 ///
 /// Chunk `k` covers packed plane bytes `[k·span, (k+1)·span)` where `span` is
 /// the owning level's [`EncodedLevel::region_bytes`]. Version-1 containers
-/// store a single chunk spanning the whole plane.
+/// store a single chunk spanning the whole plane; version-3 containers cut
+/// one chunk per spatial precinct instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedPlane {
     /// Compressed chunk payloads, in coefficient order.
@@ -218,15 +323,31 @@ pub struct EncodedLevel {
     pub trunc_loss: Vec<u64>,
     /// Packed bytes per entropy chunk; `0` means whole-plane blocks (the
     /// version-1 layout). All planes of a level share the same chunk grid.
+    /// Ignored when `precinct_spans` is set.
     pub chunk_bytes: usize,
+    /// Per-precinct coefficient spans of the version-3 precinct-major layout;
+    /// `None` for the uniform version-1/2 byte grid. When set, the level's
+    /// coefficients are stored precinct-major and chunk `k` of every plane
+    /// holds precinct `k`'s independently packed bits.
+    pub precinct_spans: Option<Vec<usize>>,
 }
 
 impl EncodedLevel {
-    /// The level's chunk-grid geometry.
+    /// The level's chunk-grid geometry (uniform layouts only; prefer
+    /// [`EncodedLevel::scheme`] which also covers precinct layouts).
     pub fn grid(&self) -> ChunkGrid {
         ChunkGrid {
             n_values: self.n_values,
             chunk_bytes: self.chunk_bytes,
+        }
+    }
+
+    /// The level's region scheme: how plane bytes split into chunks and which
+    /// coefficients each chunk covers.
+    pub fn scheme(&self) -> RegionScheme {
+        match &self.precinct_spans {
+            Some(spans) => RegionScheme::precincts(spans),
+            None => RegionScheme::Uniform(self.grid()),
         }
     }
 
@@ -520,6 +641,7 @@ pub fn encode_level_with(
         planes,
         trunc_loss,
         chunk_bytes: opts.chunk_bytes,
+        precinct_spans: None,
     }
 }
 
@@ -543,21 +665,102 @@ pub fn encode_level(
     )
 }
 
+/// Encode one level whose `codes` are already in precinct-major container
+/// order, cutting one entropy chunk per `(plane, precinct)` pair — the
+/// version-3 layout. Each precinct's plane bits are packed *independently*
+/// (padded to a byte boundary), so any precinct decodes from just its own
+/// chunks; `spans` gives the coefficient count per precinct and must sum to
+/// `codes.len()`.
+///
+/// The plane count and truncation-loss table are computed over the whole
+/// level exactly as in [`encode_level_with`] — both are order-invariant, so
+/// a version-3 level carries the same optimizer metadata as its version-2
+/// encoding of the same codes.
+pub fn encode_level_precincts(
+    codes: &[i64],
+    prefix_bits: u8,
+    predictive: bool,
+    parallel: bool,
+    opts: EncodeOptions,
+    spans: &[usize],
+) -> EncodedLevel {
+    assert_eq!(
+        spans.iter().sum::<usize>(),
+        codes.len(),
+        "precinct spans must partition the level"
+    );
+    let nb = to_negabinary_slice(codes);
+    let num_planes = required_bitplanes_words(&nb).min(63) as u8;
+    let trunc_loss = truncation_loss_table(&nb, num_planes);
+    let predicted: Vec<u64> = if predictive && prefix_bits > 0 {
+        nb.iter().map(|&w| predict_word(w, prefix_bits)).collect()
+    } else {
+        nb
+    };
+
+    // Slice each precinct's coefficient words into its own byte-aligned
+    // plane bits, then entropy-code every (plane, precinct) chunk. Empty
+    // precincts get zero-byte chunks without touching the entropy coder.
+    let starts = crate::precinct::prefix_sums(spans);
+    let jobs: Vec<&[u64]> = starts
+        .iter()
+        .zip(spans)
+        .map(|(&start, &span)| &predicted[start..start + span])
+        .collect();
+    let slice = |words: &[u64]| -> Vec<Vec<u8>> { slice_planes(words, num_planes as usize) };
+    let parallel = parallel && codes.len() > PARALLEL_THRESHOLD;
+    let sliced: Vec<Vec<Vec<u8>>> = if parallel {
+        jobs.into_par_iter().map(slice).collect()
+    } else {
+        jobs.into_iter().map(slice).collect()
+    };
+    let tasks: Vec<&[u8]> = (0..num_planes as usize)
+        .flat_map(|p| sliced.iter().map(move |pre| pre[p].as_slice()))
+        .collect();
+    let compress = |bytes: &[u8]| -> Vec<u8> {
+        if bytes.is_empty() {
+            Vec::new()
+        } else {
+            compress_chunk(bytes, &opts)
+        }
+    };
+    let compressed: Vec<Vec<u8>> = if parallel {
+        tasks.into_par_iter().map(compress).collect()
+    } else {
+        tasks.into_iter().map(compress).collect()
+    };
+
+    let mut it = compressed.into_iter();
+    let planes: Vec<EncodedPlane> = (0..num_planes)
+        .map(|_| EncodedPlane {
+            chunks: (&mut it).take(spans.len()).collect(),
+        })
+        .collect();
+    EncodedLevel {
+        n_values: codes.len(),
+        num_planes,
+        planes,
+        trunc_loss,
+        chunk_bytes: 0,
+        precinct_spans: Some(spans.to_vec()),
+    }
+}
+
 /// Validate a plane range request against a level's geometry and chunk
 /// structure; `plane_chunks` reports how many chunks plane `p` actually holds
 /// (from payload vecs or the metadata index, depending on the backing).
-fn check_plane_range_with(
-    grid: ChunkGrid,
+pub(crate) fn check_plane_range_with(
+    scheme: &RegionScheme,
     num_planes: u8,
     plane_chunks: impl Fn(u8) -> usize,
     plane_lo: u8,
     plane_hi: u8,
     acc_len: usize,
 ) -> Result<()> {
-    if acc_len != grid.n_values {
+    if acc_len != scheme.n_values() {
         return Err(IpcompError::InvalidInput(format!(
             "accumulator length {acc_len} does not match level size {}",
-            grid.n_values
+            scheme.n_values()
         )));
     }
     if plane_hi > num_planes || plane_lo > plane_hi {
@@ -565,7 +768,7 @@ fn check_plane_range_with(
             "invalid plane range {plane_lo}..{plane_hi} for level with {num_planes} planes"
         )));
     }
-    let n_regions = grid.num_regions();
+    let n_regions = scheme.num_regions();
     for p in plane_lo..plane_hi {
         if plane_chunks(p) != n_regions {
             return Err(IpcompError::CorruptContainer(
@@ -584,7 +787,7 @@ fn check_plane_range(
     acc_len: usize,
 ) -> Result<()> {
     check_plane_range_with(
-        level.grid(),
+        &level.scheme(),
         level.num_planes,
         |p| level.planes[p as usize].chunks.len(),
         plane_lo,
@@ -597,6 +800,16 @@ fn check_plane_range(
 /// the expected packed region length. Every allocation is bounded by the
 /// expected size, so corrupt chunk headers cannot force runaway memory use.
 pub(crate) fn decode_chunk_bytes(compressed: &[u8], expected: usize) -> Result<Vec<u8>> {
+    if expected == 0 {
+        // Empty precincts store zero-byte chunks with no entropy framing.
+        return if compressed.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(IpcompError::CorruptContainer(
+                "empty chunk region carries payload bytes",
+            ))
+        };
+    }
     let packed = ipc_codecs::lzr::lzr_decompress_bounded(compressed, expected)?;
     if packed.len() != expected {
         // The plane reader would run off the end (or past it) mid-stream.
@@ -642,12 +855,13 @@ pub fn decode_planes_into(
     if plane_lo == plane_hi || level.n_values == 0 {
         return Ok(());
     }
-    let n_regions = level.num_regions();
+    let scheme = level.scheme();
+    let n_regions = scheme.num_regions();
     let n_planes = (plane_hi - plane_lo) as usize;
     let parallel = level.n_values > PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
-    let entropy = EntropyStage::new(level.grid());
+    let entropy = EntropyStage::new(scheme.clone());
     let scatter_stage = ScatterStage::new(
-        level.grid(),
+        scheme.clone(),
         level.num_planes,
         plane_lo,
         plane_hi,
@@ -677,13 +891,16 @@ pub fn decode_planes_into(
     // Scatter stage: per-region prediction undo + kernel-specialized
     // scatter, each region owning its slice of the accumulators.
     type RegionTask<'a> = (usize, Vec<Vec<u8>>, &'a mut [u64]);
-    let region_coeffs = level.region_bytes() * 8;
-    let work: Vec<RegionTask<'_>> = regions
-        .into_iter()
-        .zip(acc.chunks_mut(region_coeffs))
-        .enumerate()
-        .map(|(k, (chunks, acc_region))| (k, chunks, acc_region))
-        .collect();
+    let mut work: Vec<RegionTask<'_>> = Vec::with_capacity(n_regions);
+    let mut rest = acc;
+    let mut consumed = 0usize;
+    for (k, chunks) in regions.into_iter().enumerate() {
+        let coeffs = scheme.region_coeff_range(k);
+        let (region, tail) = rest.split_at_mut(coeffs.end - consumed);
+        work.push((k, chunks, &mut region[coeffs.start - consumed..]));
+        consumed = coeffs.end;
+        rest = tail;
+    }
     let scatter = |(k, chunks, acc_region): (usize, Vec<Vec<u8>>, &mut [u64])| {
         scatter_stage
             .process(k, (chunks, acc_region))
@@ -741,7 +958,7 @@ impl<'a> PlaneStream<'a> {
                     plane_lo,
                     plane_hi,
                 },
-                level.grid(),
+                level.scheme(),
                 level.num_planes,
                 plane_lo,
                 plane_hi,
@@ -764,7 +981,7 @@ impl<'a> PlaneStream<'a> {
         acc_len: usize,
     ) -> Result<Self> {
         check_plane_range_with(
-            level.grid(),
+            &level.scheme(),
             level.num_planes,
             |p| level.plane_chunk_count(p),
             plane_lo,
@@ -779,7 +996,7 @@ impl<'a> PlaneStream<'a> {
                     plane_lo,
                     plane_hi,
                 },
-                level.grid(),
+                level.scheme(),
                 level.num_planes,
                 plane_lo,
                 plane_hi,
@@ -927,6 +1144,7 @@ pub mod scalar {
             planes,
             trunc_loss,
             chunk_bytes: opts.chunk_bytes,
+            precinct_spans: None,
         }
     }
 
@@ -1148,6 +1366,7 @@ mod tests {
                 prefix_bits: 2,
                 predictive_coding: true,
                 value_range: 1.0,
+                precincts: None,
             },
             anchors: Vec::new(),
             levels: vec![enc.clone()],

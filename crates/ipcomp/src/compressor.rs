@@ -3,11 +3,12 @@
 use ipc_tensor::ArrayD;
 use rayon::prelude::*;
 
-use crate::bitplane::{encode_level_with, EncodeOptions, EncodedLevel};
+use crate::bitplane::{encode_level_precincts, encode_level_with, EncodeOptions, EncodedLevel};
 use crate::config::Config;
-use crate::container::{encode_anchors, Compressed, Header};
+use crate::container::{encode_anchors, Compressed, Header, MAX_PRECINCTS};
 use crate::error::{IpcompError, Result};
 use crate::interp::{num_levels, process_anchors, process_level};
+use crate::precinct::PrecinctGrid;
 use crate::progressive::{ProgressiveDecoder, RetrievalRequest};
 use crate::quantize::{dequantize, quantize};
 
@@ -38,6 +39,19 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
             config.chunk_bytes
         )));
     }
+    let precinct_grid = match &config.precincts {
+        Some(extents) => {
+            let grid = PrecinctGrid::new(data.shape().dims(), &extents[..])?;
+            if grid.num_precincts() as u64 > MAX_PRECINCTS {
+                return Err(IpcompError::InvalidInput(format!(
+                    "precinct grid has {} precincts (max {MAX_PRECINCTS})",
+                    grid.num_precincts()
+                )));
+            }
+            Some(grid)
+        }
+        None => None,
+    };
     let shape = data.shape().clone();
     let orig = data.as_slice();
     let levels = num_levels(&shape);
@@ -76,19 +90,41 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
         chunk_bytes: config.chunk_bytes,
         ..EncodeOptions::default()
     };
-    let encode = |codes: &Vec<i64>| -> EncodedLevel {
-        encode_level_with(
-            codes,
-            config.prefix_bits,
-            config.predictive_coding,
-            config.parallel_encoding,
-            opts,
-        )
+    // `level_codes[idx]` holds interpolation level `levels - idx` (coarsest
+    // first); the v3 path permutes each level to precinct-major order before
+    // encoding, cutting chunks on precinct boundaries.
+    let jobs: Vec<(u32, &Vec<i64>)> = level_codes
+        .iter()
+        .enumerate()
+        .map(|(idx, codes)| (levels - idx as u32, codes))
+        .collect();
+    let encode = |&(level, codes): &(u32, &Vec<i64>)| -> EncodedLevel {
+        match &precinct_grid {
+            Some(grid) => {
+                let layout = grid.level_permutation(&shape, level);
+                let permuted = layout.to_precinct_order(codes);
+                encode_level_precincts(
+                    &permuted,
+                    config.prefix_bits,
+                    config.predictive_coding,
+                    config.parallel_encoding,
+                    opts,
+                    &layout.spans,
+                )
+            }
+            None => encode_level_with(
+                codes,
+                config.prefix_bits,
+                config.predictive_coding,
+                config.parallel_encoding,
+                opts,
+            ),
+        }
     };
     let encoded_levels: Vec<EncodedLevel> = if config.parallel_encoding {
-        level_codes.par_iter().map(encode).collect()
+        jobs.par_iter().map(encode).collect()
     } else {
-        level_codes.iter().map(encode).collect()
+        jobs.iter().map(encode).collect()
     };
 
     let progressive_levels = config.progressive_levels.unwrap_or(levels).clamp(0, levels);
@@ -103,6 +139,10 @@ pub fn compress(data: &ArrayD<f64>, error_bound: f64, config: &Config) -> Result
             prefix_bits: config.prefix_bits,
             predictive_coding: config.predictive_coding,
             value_range: data.value_range(),
+            precincts: config
+                .precincts
+                .as_ref()
+                .map(|e| e[..shape.dims().len()].to_vec()),
         },
         anchors: encode_anchors(&anchor_codes),
         levels: encoded_levels,

@@ -66,6 +66,14 @@ pub struct Config {
     /// ratio cost; `0` stores one monolithic block per plane, the version-1
     /// layout.
     pub chunk_bytes: usize,
+    /// Spatial precinct extents (per dimension, in domain coordinates).
+    /// `Some` switches the container to the version-3 layout: every level's
+    /// coefficients are stored precinct-major and entropy chunks are cut on
+    /// precinct boundaries, enabling region-of-interest retrieval that only
+    /// touches the chunks intersecting a bounding box (plus the cascade
+    /// halo). Only the first `ndim` entries are used; each must be ≥ 1.
+    /// `None` (default) keeps the byte-granular version-2 chunk layout.
+    pub precincts: Option<[usize; ipc_tensor::MAX_DIMS]>,
 }
 
 impl Default for Config {
@@ -77,6 +85,7 @@ impl Default for Config {
             prefix_bits: 2,
             parallel_encoding: true,
             chunk_bytes: crate::bitplane::CHUNK_BYTES,
+            precincts: None,
         }
     }
 }
@@ -93,6 +102,24 @@ impl Config {
     /// Default configuration with cubic interpolation.
     pub fn cubic() -> Self {
         Self::default()
+    }
+
+    /// Default configuration with a spatial precinct grid (version-3 layout).
+    /// `extents` gives the precinct size along each dimension; missing
+    /// trailing dimensions reuse the last extent given.
+    pub fn with_precincts(extents: &[usize]) -> Self {
+        assert!(
+            !extents.is_empty() && extents.len() <= ipc_tensor::MAX_DIMS,
+            "between 1 and {} precinct extents required",
+            ipc_tensor::MAX_DIMS
+        );
+        let last = *extents.last().expect("non-empty");
+        let mut e = [last; ipc_tensor::MAX_DIMS];
+        e[..extents.len()].copy_from_slice(extents);
+        Self {
+            precincts: Some(e),
+            ..Self::default()
+        }
     }
 }
 

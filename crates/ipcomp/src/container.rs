@@ -31,15 +31,21 @@ use ipc_codecs::{lzr_compress, zigzag_decode, zigzag_encode};
 
 use ipc_tensor::Shape;
 
-use crate::bitplane::{ChunkGrid, EncodedLevel, EncodedPlane};
+use crate::bitplane::{ChunkGrid, EncodedLevel, EncodedPlane, RegionScheme};
 use crate::config::Interpolation;
 use crate::error::{IpcompError, Result};
+use crate::precinct::PrecinctGrid;
 use crate::source::{read_ranges_exact, ByteRange, ChunkSource};
 
 /// Magic bytes identifying an IPComp container.
 pub const MAGIC: &[u8; 4] = b"IPCP";
-/// Current container format version (written by [`Compressed::to_bytes`]).
+/// Container format version written for the byte-granular chunk layout
+/// (no precinct grid — the default).
 pub const VERSION: u32 = 2;
+/// Container format version written when the header carries a precinct grid:
+/// levels are stored precinct-major with one entropy chunk per
+/// `(plane, precinct)` pair, enabling spatial ROI retrieval.
+pub const VERSION_ROI: u32 = 3;
 /// Oldest container format version still readable.
 pub const MIN_VERSION: u32 = 1;
 
@@ -47,6 +53,11 @@ pub const MIN_VERSION: u32 = 1;
 /// (2^48 ≈ 280 T elements); anything larger is treated as corrupt before any
 /// allocation is attempted.
 const MAX_ELEMENTS: u64 = 1 << 48;
+
+/// Upper bound on the number of precincts a version-3 header may declare;
+/// caps the per-level span tables a parser allocates before any payload
+/// validation can bound them.
+pub(crate) const MAX_PRECINCTS: u64 = 1 << 22;
 
 /// Container header: everything needed to plan a retrieval without touching payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +80,10 @@ pub struct Header {
     /// Value range (max − min) of the original data, stored for relative-bound
     /// retrievals and PSNR reporting.
     pub value_range: f64,
+    /// Spatial precinct extents (one per dimension, in domain coordinates).
+    /// `Some` marks the version-3 precinct-major layout; `None` the
+    /// byte-granular version-1/2 layouts.
+    pub precincts: Option<Vec<usize>>,
 }
 
 impl Header {
@@ -80,6 +95,22 @@ impl Header {
     /// Number of scalar elements in the original field.
     pub fn num_elements(&self) -> usize {
         self.dims.iter().product()
+    }
+
+    /// The precinct grid of a version-3 container, `None` otherwise.
+    pub fn precinct_grid(&self) -> Option<PrecinctGrid> {
+        self.precincts
+            .as_ref()
+            .map(|e| PrecinctGrid::new(&self.dims, e).expect("validated extents"))
+    }
+
+    /// Container format version [`Compressed::to_bytes`] writes for this header.
+    pub fn version(&self) -> u32 {
+        if self.precincts.is_some() {
+            VERSION_ROI
+        } else {
+            VERSION
+        }
     }
 }
 
@@ -150,7 +181,13 @@ impl Compressed {
             + 4 // progressive_levels
             + 1 // prefix bits
             + 1 // predictive flag
-            + 8; // value range
+            + 8 // value range
+            + self
+                .header
+                .precincts
+                .as_ref()
+                .map(|e| e.iter().map(|&x| varint_len(x as u64)).sum::<usize>())
+                .unwrap_or(0); // v3 precinct extents
         let anchors = varint_len(self.anchors.len() as u64) + self.anchors.len();
         let levels_header = varint_len(self.levels.len() as u64);
         let metadata: usize = self.levels.iter().map(Self::level_metadata_bytes).sum();
@@ -171,7 +208,7 @@ impl Compressed {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_bytes() + 64);
         out.extend_from_slice(MAGIC);
-        write_u32(&mut out, VERSION);
+        write_u32(&mut out, self.header.version());
         write_varint(&mut out, self.header.dims.len() as u64);
         for &d in &self.header.dims {
             write_varint(&mut out, d as u64);
@@ -183,6 +220,12 @@ impl Compressed {
         out.push(self.header.prefix_bits);
         out.push(self.header.predictive_coding as u8);
         write_f64(&mut out, self.header.value_range);
+        if let Some(extents) = &self.header.precincts {
+            // v3 only: one extent per dimension, right after the fixed header.
+            for &e in extents {
+                write_varint(&mut out, e as u64);
+            }
+        }
 
         write_bytes(&mut out, &self.anchors);
 
@@ -229,6 +272,11 @@ impl Compressed {
                 "v1 layout requires monolithic (single-chunk) planes".into(),
             ));
         }
+        if self.header.precincts.is_some() {
+            return Err(IpcompError::InvalidInput(
+                "v1 layout cannot carry a precinct grid".into(),
+            ));
+        }
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         write_u32(&mut out, 1);
@@ -271,7 +319,7 @@ impl Compressed {
         }
         pos += 4;
         let version = read_u32(buf, &mut pos)?;
-        if !(MIN_VERSION..=VERSION).contains(&version) {
+        if !(MIN_VERSION..=VERSION_ROI).contains(&version) {
             return Err(IpcompError::CorruptContainer("unsupported version"));
         }
         let ndim = read_varint(buf, &mut pos)? as usize;
@@ -301,6 +349,17 @@ impl Compressed {
         pos += 1;
         let value_range = read_f64(buf, &mut pos)?;
 
+        let (precincts, grid) = if version == VERSION_ROI {
+            let mut extents = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                extents.push(read_varint(buf, &mut pos)? as usize);
+            }
+            let grid = validate_precincts(&dims, &extents)?;
+            (Some(extents), Some(grid))
+        } else {
+            (None, None)
+        };
+
         let anchors = read_bytes(buf, &mut pos)?.to_vec();
 
         let n_levels = read_varint(buf, &mut pos)? as usize;
@@ -309,8 +368,16 @@ impl Compressed {
         if n_levels > buf.len() {
             return Err(IpcompError::CorruptContainer("implausible level count"));
         }
+        // One encoded level per interpolation level, always: the retrieval
+        // paths compute `num_levels - idx`, which must never underflow.
+        if n_levels != num_levels as usize {
+            return Err(IpcompError::CorruptContainer(
+                "level list does not match declared level count",
+            ));
+        }
+        let shape = Shape::new(&dims);
         let mut levels = Vec::with_capacity(n_levels);
-        for _ in 0..n_levels {
+        for idx in 0..n_levels {
             let n_values = read_varint(buf, &mut pos)?;
             if n_values > elements {
                 return Err(IpcompError::CorruptContainer(
@@ -327,6 +394,7 @@ impl Compressed {
             for _ in 0..=num_planes {
                 trunc_loss.push(read_varint(buf, &mut pos)?);
             }
+            let precinct_chunks = grid.as_ref().map(PrecinctGrid::num_precincts);
             let (chunk_bytes, planes) = if version == 1 {
                 // v1: planes are single `varint length + bytes` blocks.
                 let mut planes = Vec::with_capacity(num_planes as usize);
@@ -337,7 +405,16 @@ impl Compressed {
                 }
                 (0usize, planes)
             } else {
-                Self::read_v2_level_blocks(buf, &mut pos, n_values, num_planes)?
+                Self::read_v2_level_blocks(buf, &mut pos, n_values, num_planes, precinct_chunks)?
+            };
+            let precinct_spans = match &grid {
+                Some(g) => Some(level_spans_checked(
+                    g,
+                    &shape,
+                    num_levels - idx as u32,
+                    n_values,
+                )?),
+                None => None,
             };
             levels.push(EncodedLevel {
                 n_values,
@@ -345,14 +422,8 @@ impl Compressed {
                 planes,
                 trunc_loss,
                 chunk_bytes,
+                precinct_spans,
             });
-        }
-        // One encoded level per interpolation level, always: the retrieval
-        // paths compute `num_levels - idx`, which must never underflow.
-        if levels.len() != num_levels as usize {
-            return Err(IpcompError::CorruptContainer(
-                "level list does not match declared level count",
-            ));
         }
 
         Ok(Self {
@@ -365,22 +436,24 @@ impl Compressed {
                 prefix_bits,
                 predictive_coding,
                 value_range,
+                precincts,
             },
             anchors,
             levels,
         })
     }
 
-    /// Parse one v2 level's chunk index and payload into planes.
+    /// Parse one v2/v3 level's chunk index and payload into planes.
     fn read_v2_level_blocks(
         buf: &[u8],
         pos: &mut usize,
         n_values: usize,
         num_planes: u8,
+        precinct_chunks: Option<usize>,
     ) -> Result<(usize, Vec<EncodedPlane>)> {
         let (chunk_bytes, sizes, _) = {
             let mut cur = SliceIndexCursor { buf, pos };
-            parse_v2_chunk_index(&mut cur, n_values, num_planes)?
+            parse_v2_chunk_index(&mut cur, n_values, num_planes, precinct_chunks)?
         };
         let mut planes = Vec::with_capacity(num_planes as usize);
         for plane_sizes in sizes {
@@ -434,20 +507,29 @@ fn parse_v2_chunk_index(
     cur: &mut impl IndexCursor,
     n_values: usize,
     num_planes: u8,
+    precinct_chunks: Option<usize>,
 ) -> Result<(usize, Vec<Vec<u32>>, u64)> {
     let chunk_bytes = cur.index_varint()? as usize;
     if chunk_bytes != 0 && !chunk_bytes.is_multiple_of(8) {
         return Err(IpcompError::CorruptContainer("misaligned chunk size"));
     }
-    let grid = ChunkGrid {
-        n_values,
-        chunk_bytes,
-    };
     let expected_chunks = if num_planes == 0 {
         0
+    } else if let Some(p) = precinct_chunks {
+        // v3: one chunk per precinct; the byte-granular span is unused.
+        if chunk_bytes != 0 {
+            return Err(IpcompError::CorruptContainer(
+                "precinct level carries a byte-granular chunk size",
+            ));
+        }
+        p
     } else if chunk_bytes == 0 {
         1
     } else {
+        let grid = ChunkGrid {
+            n_values,
+            chunk_bytes,
+        };
         grid.plane_len().div_ceil(chunk_bytes).max(1)
     };
     // The whole index must fit in what's left of the stream (each entry is
@@ -485,6 +567,36 @@ fn parse_v2_chunk_index(
     Ok((chunk_bytes, sizes, payload_total))
 }
 
+/// Validate v3 precinct extents against the header geometry and build the
+/// grid. Extents are bounded below (≥ 1) by the grid constructor and the
+/// precinct count is capped before any span table is allocated.
+fn validate_precincts(dims: &[usize], extents: &[usize]) -> Result<PrecinctGrid> {
+    let grid = PrecinctGrid::new(dims, extents)
+        .map_err(|_| IpcompError::CorruptContainer("invalid precinct extents"))?;
+    if grid.num_precincts() as u64 > MAX_PRECINCTS {
+        return Err(IpcompError::CorruptContainer("implausible precinct count"));
+    }
+    Ok(grid)
+}
+
+/// Compute one level's precinct spans and check they partition exactly the
+/// declared coefficient count — the cross-check tying the header geometry to
+/// each level record.
+fn level_spans_checked(
+    grid: &PrecinctGrid,
+    shape: &Shape,
+    level: u32,
+    n_values: usize,
+) -> Result<Vec<usize>> {
+    let spans = grid.level_spans(shape, level);
+    if spans.iter().sum::<usize>() != n_values {
+        return Err(IpcompError::CorruptContainer(
+            "precinct spans do not partition the level",
+        ));
+    }
+    Ok(spans)
+}
+
 /// Chunk index of one level inside a serialized container: every chunk's
 /// compressed size and absolute byte offset, plus the metadata the decode and
 /// planning paths need (`trunc_loss`, plane count, grid geometry) — but no
@@ -504,6 +616,9 @@ pub struct LevelMap {
     pub trunc_loss: Vec<u64>,
     /// Packed bytes per entropy chunk; `0` for monolithic (v1) planes.
     pub chunk_bytes: usize,
+    /// Per-precinct coefficient spans of a version-3 level (chunk `k` of
+    /// every plane covers precinct `k`); `None` for byte-granular layouts.
+    precinct_spans: Option<Vec<usize>>,
     /// `chunk_sizes[p][k]`: compressed size of chunk `k` of plane `p`.
     chunk_sizes: Vec<Vec<u32>>,
     /// `chunk_offsets[p][k]`: absolute container offset of that chunk.
@@ -517,6 +632,20 @@ impl LevelMap {
             n_values: self.n_values,
             chunk_bytes: self.chunk_bytes,
         }
+    }
+
+    /// The level's region scheme: how plane bytes split into chunks and which
+    /// coefficients each chunk covers.
+    pub fn scheme(&self) -> RegionScheme {
+        match &self.precinct_spans {
+            Some(spans) => RegionScheme::precincts(spans),
+            None => RegionScheme::Uniform(self.grid()),
+        }
+    }
+
+    /// Per-precinct coefficient spans of a version-3 level, `None` otherwise.
+    pub fn precinct_spans(&self) -> Option<&[usize]> {
+        self.precinct_spans.as_deref()
     }
 
     /// Number of chunks the index records for plane `p`.
@@ -594,6 +723,86 @@ impl LevelMap {
             planes,
             trunc_loss: self.trunc_loss.clone(),
             chunk_bytes: self.chunk_bytes,
+            precinct_spans: self.precinct_spans.clone(),
+        })
+    }
+
+    /// Fetch only the chunks of planes `[plane_lo, plane_hi)` whose precinct
+    /// is marked in `mask`, assembling an [`EncodedLevel`] whose unfetched
+    /// chunks stay empty. The caller must only decode regions it asked for —
+    /// the pruned ROI decode path does exactly that. Byte-granular levels
+    /// reject the call (region pruning is a precinct-layout capability).
+    pub fn fetch_planes_precincts(
+        &self,
+        source: &dyn ChunkSource,
+        plane_lo: u8,
+        plane_hi: u8,
+        mask: &[bool],
+    ) -> Result<EncodedLevel> {
+        let spans = self.precinct_spans.as_ref().ok_or_else(|| {
+            IpcompError::InvalidInput("precinct fetch on a byte-granular level".into())
+        })?;
+        if mask.len() != spans.len() {
+            return Err(IpcompError::InvalidInput(
+                "precinct mask does not match the level's precinct count".into(),
+            ));
+        }
+        let hi = plane_hi.min(self.num_planes);
+        // Chunk ids tile a plane's payload back to back, so a run of
+        // consecutive masked precincts is one contiguous byte range. Reading
+        // per run instead of per chunk keeps the request list proportional to
+        // the region's precinct rows, not its precinct count times planes.
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut k = 0;
+        while k < mask.len() {
+            if mask[k] {
+                let k0 = k;
+                while k < mask.len() && mask[k] {
+                    k += 1;
+                }
+                runs.push((k0, k));
+            } else {
+                k += 1;
+            }
+        }
+        let ranges: Vec<ByteRange> = (plane_lo..hi)
+            .flat_map(|p| {
+                runs.iter().map(move |&(k0, k1)| {
+                    let first = self.chunk_range(p, k0);
+                    let last = self.chunk_range(p, k1 - 1);
+                    ByteRange::new(first.offset, (last.end() - first.offset) as usize)
+                })
+            })
+            .collect();
+        let bufs = read_ranges_exact(source, &ranges)?;
+        let mut it = bufs.into_iter();
+        let planes: Vec<EncodedPlane> = (0..self.num_planes)
+            .map(|p| {
+                let chunks = if (plane_lo..hi).contains(&p) {
+                    let mut chunks = vec![Vec::new(); mask.len()];
+                    for &(k0, k1) in &runs {
+                        let buf = it.next().expect("one buffer per run");
+                        let base = self.chunk_offsets[p as usize][k0];
+                        for (k, chunk) in chunks.iter_mut().enumerate().take(k1).skip(k0) {
+                            let r = self.chunk_range(p, k);
+                            let at = (r.offset - base) as usize;
+                            *chunk = buf[at..at + r.len].to_vec();
+                        }
+                    }
+                    chunks
+                } else {
+                    Vec::new()
+                };
+                EncodedPlane { chunks }
+            })
+            .collect();
+        Ok(EncodedLevel {
+            n_values: self.n_values,
+            num_planes: self.num_planes,
+            planes,
+            trunc_loss: self.trunc_loss.clone(),
+            chunk_bytes: self.chunk_bytes,
+            precinct_spans: self.precinct_spans.clone(),
         })
     }
 }
@@ -780,7 +989,7 @@ impl ContainerMap {
             return Err(IpcompError::CorruptContainer("bad magic"));
         }
         let version = cur.read_u32()?;
-        if !(MIN_VERSION..=VERSION).contains(&version) {
+        if !(MIN_VERSION..=VERSION_ROI).contains(&version) {
             return Err(IpcompError::CorruptContainer("unsupported version"));
         }
         let ndim = cur.read_varint()? as usize;
@@ -806,6 +1015,17 @@ impl ContainerMap {
         let predictive_coding = cur.read_u8()? != 0;
         let value_range = cur.read_f64()?;
 
+        let (precincts, grid) = if version == VERSION_ROI {
+            let mut extents = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                extents.push(cur.read_varint()? as usize);
+            }
+            let grid = validate_precincts(&dims, &extents)?;
+            (Some(extents), Some(grid))
+        } else {
+            (None, None)
+        };
+
         let anchors_len = cur.read_varint()? as usize;
         if anchors_len as u64 > cur.remaining() {
             return Err(IpcompError::CorruptContainer("eof"));
@@ -816,9 +1036,15 @@ impl ContainerMap {
         if n_levels as u64 > cur.len {
             return Err(IpcompError::CorruptContainer("implausible level count"));
         }
+        if n_levels != num_levels as usize {
+            return Err(IpcompError::CorruptContainer(
+                "level list does not match declared level count",
+            ));
+        }
+        let shape = Shape::new(&dims);
         let mut levels = Vec::with_capacity(n_levels);
         let mut payload_total: u64 = 0;
-        for _ in 0..n_levels {
+        for idx in 0..n_levels {
             let n_values = cur.read_varint()?;
             if n_values > elements {
                 return Err(IpcompError::CorruptContainer(
@@ -834,6 +1060,15 @@ impl ContainerMap {
             for _ in 0..=num_planes {
                 trunc_loss.push(cur.read_varint()?);
             }
+            let precinct_spans = match &grid {
+                Some(g) => Some(level_spans_checked(
+                    g,
+                    &shape,
+                    num_levels - idx as u32,
+                    n_values,
+                )?),
+                None => None,
+            };
             let level = if version == 1 {
                 // v1: planes are inline `varint length + bytes` blocks; each
                 // becomes one whole-payload chunk so ranged readers degrade
@@ -857,6 +1092,7 @@ impl ContainerMap {
                     num_planes,
                     trunc_loss,
                     chunk_bytes: 0,
+                    precinct_spans,
                     chunk_sizes,
                     chunk_offsets,
                 }
@@ -866,15 +1102,11 @@ impl ContainerMap {
                     n_values,
                     num_planes,
                     trunc_loss,
+                    precinct_spans,
                     &mut payload_total,
                 )?
             };
             levels.push(level);
-        }
-        if levels.len() != num_levels as usize {
-            return Err(IpcompError::CorruptContainer(
-                "level list does not match declared level count",
-            ));
         }
 
         Ok(Self {
@@ -887,6 +1119,7 @@ impl ContainerMap {
                 prefix_bits,
                 predictive_coding,
                 value_range,
+                precincts,
             },
             anchors,
             levels,
@@ -895,16 +1128,21 @@ impl ContainerMap {
         })
     }
 
-    /// Parse one v2 level's chunk index and record absolute payload offsets.
+    /// Parse one v2/v3 level's chunk index and record absolute payload offsets.
     fn open_v2_level(
         cur: &mut MetaCursor<'_>,
         n_values: usize,
         num_planes: u8,
         trunc_loss: Vec<u64>,
+        precinct_spans: Option<Vec<usize>>,
         payload_total: &mut u64,
     ) -> Result<LevelMap> {
-        let (chunk_bytes, chunk_sizes, level_payload) =
-            parse_v2_chunk_index(cur, n_values, num_planes)?;
+        let (chunk_bytes, chunk_sizes, level_payload) = parse_v2_chunk_index(
+            cur,
+            n_values,
+            num_planes,
+            precinct_spans.as_ref().map(Vec::len),
+        )?;
         // Payload follows plane-major; walk the sizes to assign offsets.
         let mut offset = cur.pos;
         let chunk_offsets: Vec<Vec<u64>> = chunk_sizes
@@ -927,6 +1165,7 @@ impl ContainerMap {
             num_planes,
             trunc_loss,
             chunk_bytes,
+            precinct_spans,
             chunk_sizes,
             chunk_offsets,
         })
@@ -970,6 +1209,7 @@ impl ContainerMap {
                     num_planes: level.num_planes,
                     trunc_loss: level.trunc_loss.clone(),
                     chunk_bytes: level.chunk_bytes,
+                    precinct_spans: level.precinct_spans.clone(),
                     chunk_sizes,
                     chunk_offsets,
                 }
@@ -1040,6 +1280,7 @@ mod tests {
                 prefix_bits: 2,
                 predictive_coding: true,
                 value_range: 3.5,
+                precincts: None,
             },
             anchors: encode_anchors(&codes_a),
             levels: vec![

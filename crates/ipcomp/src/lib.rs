@@ -60,6 +60,7 @@ pub mod error;
 pub mod interp;
 pub mod optimizer;
 pub mod pipeline;
+pub mod precinct;
 pub mod progressive;
 pub mod quantize;
 pub mod source;
@@ -74,7 +75,9 @@ pub use container::{Compressed, ContainerMap, Header, LevelMap};
 pub use error::{IpcompError, Result};
 pub use optimizer::{
     plan_for_bitrate, plan_for_bytes, plan_for_error_bound, plan_full, LoadPlan, PlanInput,
+    RoiScopedInput,
 };
+pub use precinct::{roi_precinct_masks, LevelPrecincts, PrecinctGrid, RoiBox};
 pub use progressive::{
     ProgressiveDecoder, Retrieval, RetrievalRequest, StreamEvent, StreamProgress,
 };

@@ -92,6 +92,48 @@ impl PlanInput for Compressed {
     }
 }
 
+/// A [`PlanInput`] view of a container restricted to a spatial region: every
+/// plane's byte cost is replaced by the bytes of the chunks whose precincts
+/// the region's halo windows intersect, so budget-constrained plans spend
+/// their byte budget on what an ROI retrieval actually fetches. The error
+/// side is unchanged — truncation loss is a per-level property of the codes,
+/// and the optimizer's per-region accounting only re-scopes the cost axis.
+pub struct RoiScopedInput<'a> {
+    inner: &'a dyn PlanInput,
+    /// `plane_bytes[idx][p]`: masked compressed bytes of plane `p` of level
+    /// entry `idx`.
+    plane_bytes: Vec<Vec<usize>>,
+}
+
+impl<'a> RoiScopedInput<'a> {
+    /// Wrap a plan input with region-scoped per-plane byte costs
+    /// (`plane_bytes[idx][p]`, one entry per significant plane per level).
+    pub fn new(inner: &'a dyn PlanInput, plane_bytes: Vec<Vec<usize>>) -> Self {
+        Self { inner, plane_bytes }
+    }
+}
+
+impl PlanInput for RoiScopedInput<'_> {
+    fn plan_header(&self) -> &Header {
+        self.inner.plan_header()
+    }
+    fn plan_num_level_entries(&self) -> usize {
+        self.inner.plan_num_level_entries()
+    }
+    fn plan_num_planes(&self, idx: usize) -> u8 {
+        self.inner.plan_num_planes(idx)
+    }
+    fn plan_trunc_loss(&self, idx: usize) -> &[u64] {
+        self.inner.plan_trunc_loss(idx)
+    }
+    fn plan_plane_bytes(&self, idx: usize, p: u8) -> usize {
+        self.plane_bytes[idx][p as usize]
+    }
+    fn plan_base_bytes(&self) -> usize {
+        self.inner.plan_base_bytes()
+    }
+}
+
 impl PlanInput for ContainerMap {
     fn plan_header(&self) -> &Header {
         &self.header
@@ -444,6 +486,12 @@ pub fn plan_for_request<C: PlanInput + ?Sized>(
         }
         RetrievalRequest::Bitrate(b) => plan_for_bitrate(compressed, b),
         RetrievalRequest::SizeBudget(bytes) => plan_for_bytes(compressed, bytes),
+        // The bounding box scopes which chunks are *fetched*, not which
+        // planes are loaded: planning against the full container keeps the
+        // plane selection identical to a full-domain retrieval at the same
+        // bound, which is what makes ROI output bit-identical to
+        // full-decode-then-crop.
+        RetrievalRequest::Roi { error_bound, .. } => plan_for_error_bound(compressed, error_bound),
     }
 }
 

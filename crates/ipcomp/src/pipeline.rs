@@ -36,7 +36,7 @@ use std::ops::Range;
 use ipc_codecs::bitslice;
 use ipc_codecs::EnvSwitch;
 
-use crate::bitplane::{decode_chunk_bytes, ChunkGrid, EncodedLevel};
+use crate::bitplane::{decode_chunk_bytes, EncodedLevel, RegionScheme};
 use crate::container::LevelMap;
 use crate::error::{IpcompError, Result};
 use crate::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
@@ -191,19 +191,22 @@ impl<'a> DecodeStage<()> for FetchStage<'a> {
 /// Stage 2: entropy-decode one region's compressed chunks into packed plane
 /// bytes, validating each decoded length against the region geometry.
 pub struct EntropyStage {
-    grid: ChunkGrid,
+    scheme: RegionScheme,
 }
 
 impl EntropyStage {
-    /// Entropy stage over one level's chunk grid.
-    pub fn new(grid: ChunkGrid) -> Self {
-        Self { grid }
+    /// Entropy stage over one level's region scheme (a [`crate::bitplane::ChunkGrid`]
+    /// converts implicitly for the uniform layouts).
+    pub fn new(scheme: impl Into<RegionScheme>) -> Self {
+        Self {
+            scheme: scheme.into(),
+        }
     }
 
     /// Decode a single compressed chunk of region `k` (the unit the bulk
     /// decoder fans out across the rayon pool).
     pub fn decode_chunk(&self, region: usize, compressed: &[u8]) -> Result<Vec<u8>> {
-        decode_chunk_bytes(compressed, self.grid.region_byte_range(region).len())
+        decode_chunk_bytes(compressed, self.scheme.region_byte_range(region).len())
     }
 }
 
@@ -225,7 +228,7 @@ impl<'a> DecodeStage<FetchedRegion<'a>> for EntropyStage {
 /// bytes into its slice of the accumulators, through the plane-count
 /// specialized kernels.
 pub struct ScatterStage {
-    grid: ChunkGrid,
+    scheme: RegionScheme,
     num_planes: u8,
     plane_lo: u8,
     plane_hi: u8,
@@ -237,7 +240,7 @@ impl ScatterStage {
     /// Scatter stage for planes `[plane_lo, plane_hi)` of a level with
     /// `num_planes` significant planes.
     pub fn new(
-        grid: ChunkGrid,
+        scheme: impl Into<RegionScheme>,
         num_planes: u8,
         plane_lo: u8,
         plane_hi: u8,
@@ -245,7 +248,7 @@ impl ScatterStage {
         predictive: bool,
     ) -> Self {
         Self {
-            grid,
+            scheme: scheme.into(),
             num_planes,
             plane_lo,
             plane_hi,
@@ -302,7 +305,7 @@ impl<'a> DecodeStage<(Vec<Vec<u8>>, &'a mut [u64])> for ScatterStage {
 
     fn process(&self, region: usize, input: (Vec<Vec<u8>>, &'a mut [u64])) -> Result<()> {
         let (mut chunks, acc_region) = input;
-        let region_len = self.grid.region_byte_range(region).len();
+        let region_len = self.scheme.region_byte_range(region).len();
         if self.predictive && self.prefix_bits > 0 {
             self.undo_prediction(&mut chunks, region_len, acc_region);
         }
@@ -367,7 +370,7 @@ pub struct RegionPipeline<'a> {
     fetch: FetchStage<'a>,
     entropy: EntropyStage,
     scatter: ScatterStage,
-    grid: ChunkGrid,
+    scheme: RegionScheme,
     plane_lo: u8,
     plane_hi: u8,
     next_region: usize,
@@ -380,25 +383,26 @@ impl<'a> RegionPipeline<'a> {
     /// `bitplane::check_plane_range`).
     pub fn new(
         fetch: FetchStage<'a>,
-        grid: ChunkGrid,
+        scheme: impl Into<RegionScheme>,
         num_planes: u8,
         plane_lo: u8,
         plane_hi: u8,
         prefix_bits: u8,
         predictive: bool,
     ) -> Self {
+        let scheme = scheme.into();
         Self {
             fetch,
-            entropy: EntropyStage::new(grid),
+            entropy: EntropyStage::new(scheme.clone()),
             scatter: ScatterStage::new(
-                grid,
+                scheme.clone(),
                 num_planes,
                 plane_lo,
                 plane_hi,
                 prefix_bits,
                 predictive,
             ),
-            grid,
+            scheme,
             plane_lo,
             plane_hi,
             next_region: 0,
@@ -408,10 +412,10 @@ impl<'a> RegionPipeline<'a> {
 
     /// Total number of chunk regions this pipeline will produce.
     pub fn num_regions(&self) -> usize {
-        if self.plane_lo == self.plane_hi || self.grid.n_values == 0 {
+        if self.plane_lo == self.plane_hi || self.scheme.n_values() == 0 {
             0
         } else {
-            self.grid.num_regions()
+            self.scheme.num_regions()
         }
     }
 
@@ -438,7 +442,7 @@ impl<'a> RegionPipeline<'a> {
         acc: &mut [u64],
         after_scatter: impl FnOnce(Range<usize>, &[u64]),
     ) -> Result<Option<Range<usize>>> {
-        if acc.len() != self.grid.n_values {
+        if acc.len() != self.scheme.n_values() {
             return Err(IpcompError::InvalidInput(
                 "accumulator length changed mid-stream".into(),
             ));
@@ -455,7 +459,7 @@ impl<'a> RegionPipeline<'a> {
                 self.fetch.process(k, ())?
             }
         };
-        let coeffs = self.grid.region_coeff_range(k);
+        let coeffs = self.scheme.region_coeff_range(k);
         let acc_region = &mut acc[coeffs.clone()];
         let next = k + 1;
         if next < n_regions

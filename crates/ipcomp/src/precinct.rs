@@ -1,0 +1,604 @@
+//! Spatial precinct geometry for the version-3 container layout and the ROI
+//! read path.
+//!
+//! A *precinct grid* partitions the domain into axis-aligned sub-bricks of a
+//! configurable extent per dimension (the JPEG2000 precinct idea applied to
+//! the interpolation lattice). A version-3 container orders every level's
+//! coefficients precinct-major — all coefficients of precinct 0 (in canonical
+//! traversal order), then precinct 1, … — and cuts entropy chunks exactly on
+//! precinct boundaries, so the chunks covering a bounding box can be fetched
+//! and decoded without touching the rest of the domain.
+//!
+//! The module also owns the *halo* arithmetic: reconstructing a region of
+//! interest bit-identically requires the interpolation cascade's neighbour
+//! reads to land on correct values, which grows the window by the predictor's
+//! reach at every level. See [`fetch_window`] / [`pass_window`] for the exact
+//! recurrence.
+
+use crate::config::Interpolation;
+use crate::container::Header;
+use crate::error::{IpcompError, Result};
+use crate::interp::{for_each_level_pass, level_stride};
+use ipc_tensor::{AxisRange, Shape, MAX_DIMS};
+
+/// An axis-aligned bounding box (half-open, `lo[i] <= x_i < hi[i]`) selecting
+/// a region of the domain for retrieval. Dimensions beyond `ndim` are unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoiBox {
+    /// Inclusive lower corner per dimension.
+    pub lo: [usize; MAX_DIMS],
+    /// Exclusive upper corner per dimension.
+    pub hi: [usize; MAX_DIMS],
+    /// Number of meaningful dimensions.
+    pub ndim: usize,
+}
+
+impl RoiBox {
+    /// Build a box from per-dimension bounds. Panics if `lo`/`hi` lengths
+    /// differ or exceed [`MAX_DIMS`].
+    pub fn new(lo: &[usize], hi: &[usize]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "RoiBox lo/hi rank mismatch");
+        assert!(
+            lo.len() <= MAX_DIMS,
+            "RoiBox supports at most {MAX_DIMS} dims"
+        );
+        let mut b = Self {
+            lo: [0; MAX_DIMS],
+            hi: [0; MAX_DIMS],
+            ndim: lo.len(),
+        };
+        b.lo[..lo.len()].copy_from_slice(lo);
+        b.hi[..hi.len()].copy_from_slice(hi);
+        b
+    }
+
+    /// Check the box against the domain: matching rank, non-empty, in bounds.
+    pub fn validate(&self, dims: &[usize]) -> Result<()> {
+        if self.ndim != dims.len() {
+            return Err(IpcompError::InvalidInput(format!(
+                "ROI rank {} does not match domain rank {}",
+                self.ndim,
+                dims.len()
+            )));
+        }
+        for (i, &d) in dims.iter().enumerate() {
+            if self.lo[i] >= self.hi[i] || self.hi[i] > d {
+                return Err(IpcompError::InvalidInput(format!(
+                    "ROI bounds [{}, {}) invalid for dimension {i} of size {d}",
+                    self.lo[i], self.hi[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Size of the box along each dimension.
+    pub fn dims(&self) -> Vec<usize> {
+        (0..self.ndim).map(|i| self.hi[i] - self.lo[i]).collect()
+    }
+
+    /// Number of points inside the box.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// True when the box selects no points (never the case once validated).
+    pub fn is_empty(&self) -> bool {
+        (0..self.ndim).any(|i| self.lo[i] >= self.hi[i])
+    }
+}
+
+/// Neighbour reach of the predictor along the active dimension, in units of
+/// the level stride: cubic reads `±3·stride`, linear `±stride`.
+pub(crate) fn reach(method: Interpolation) -> usize {
+    match method {
+        Interpolation::Linear => 1,
+        Interpolation::Cubic => 3,
+    }
+}
+
+/// A per-dimension half-open window `[lo, hi)` clamped to the domain.
+pub(crate) type Window = Vec<(usize, usize)>;
+
+fn expand(roi: &RoiBox, dims: &[usize], halo: impl Fn(usize) -> usize) -> Window {
+    (0..roi.ndim)
+        .map(|i| {
+            let h = halo(i);
+            (roi.lo[i].saturating_sub(h), (roi.hi[i] + h).min(dims[i]))
+        })
+        .collect()
+}
+
+/// The window of level-`level` lattice points whose codes an ROI decode must
+/// fetch: the ROI expanded by `reach·(stride−1)` in every dimension plus a
+/// further `reach·stride` in every dimension *after the first swept one* —
+/// the first sub-pass of a level reads its not-yet-swept dimensions on the
+/// coarser `2·stride` lattice, so their halo is one level wider.
+pub(crate) fn fetch_window(
+    roi: &RoiBox,
+    dims: &[usize],
+    method: Interpolation,
+    level: u32,
+) -> Window {
+    let r = reach(method);
+    let s = level_stride(level);
+    expand(roi, dims, |i| r * (s - 1) + if i > 0 { r * s } else { 0 })
+}
+
+/// The window a dimension sub-pass `d` of level `level` must *compute* so
+/// that every later pass (same level, later dimension, or any finer level)
+/// reads only correct values: `reach·(stride−1)` everywhere plus
+/// `reach·stride` along dimensions not yet swept by this level.
+pub(crate) fn pass_window(
+    roi: &RoiBox,
+    dims: &[usize],
+    method: Interpolation,
+    level: u32,
+    d: usize,
+) -> Window {
+    let r = reach(method);
+    let s = level_stride(level);
+    expand(roi, dims, |i| r * (s - 1) + if i > d { r * s } else { 0 })
+}
+
+/// Per-level precinct fetch masks of an ROI retrieval: `masks[idx][k]` is
+/// true iff precinct `k` intersects container level entry `idx`'s fetch
+/// window (the box plus the cascade's cross-level ancestor halo). This is the
+/// single source of truth for *which chunks an ROI touches* — the decoder
+/// fetches by it and the store planner lowers byte ranges from it, so the two
+/// can never disagree.
+///
+/// # Errors
+///
+/// [`IpcompError::InvalidInput`] if the box is invalid for the container's
+/// domain or the container has no precinct grid (pre-v3 layout).
+pub fn roi_precinct_masks(header: &Header, bounds: &RoiBox) -> Result<Vec<Vec<bool>>> {
+    bounds.validate(&header.dims)?;
+    let grid = header.precinct_grid().ok_or_else(|| {
+        IpcompError::InvalidInput(
+            "ROI retrieval requires the precinct-partitioned (version-3) container layout".into(),
+        )
+    })?;
+    Ok((0..header.num_levels)
+        .map(|idx| {
+            let w = fetch_window(
+                bounds,
+                &header.dims,
+                header.interpolation,
+                header.num_levels - idx,
+            );
+            grid.intersecting(&w)
+        })
+        .collect())
+}
+
+/// Clip each [`AxisRange`] of a lattice sweep to a window, preserving the
+/// lattice phase: the clipped range starts at the first on-lattice coordinate
+/// `>= window.lo` and ends at `min(end, window.hi)`.
+pub(crate) fn clip_ranges(ranges: &[AxisRange], window: &[(usize, usize)]) -> Vec<AxisRange> {
+    ranges
+        .iter()
+        .zip(window)
+        .map(|(r, &(lo, hi))| {
+            let start = if lo > r.start {
+                r.start + (lo - r.start).div_ceil(r.step) * r.step
+            } else {
+                r.start
+            };
+            AxisRange::strided(start, r.step, r.end.min(hi))
+        })
+        .collect()
+}
+
+/// The spatial precinct grid of a version-3 container: one partition of the
+/// *domain* shared by every level, so a precinct id means the same brick of
+/// space at every resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecinctGrid {
+    dims: Vec<usize>,
+    extents: Vec<usize>,
+    counts: Vec<usize>,
+}
+
+impl PrecinctGrid {
+    /// Build the grid over a domain. Every extent must be at least 1; extents
+    /// larger than the dimension collapse to a single precinct along it.
+    pub fn new(dims: &[usize], extents: &[usize]) -> Result<Self> {
+        if extents.len() < dims.len() || extents[..dims.len()].contains(&0) {
+            return Err(IpcompError::InvalidInput(format!(
+                "precinct extents {extents:?} invalid for domain {dims:?}"
+            )));
+        }
+        let extents: Vec<usize> = extents[..dims.len()].to_vec();
+        let counts = dims
+            .iter()
+            .zip(&extents)
+            .map(|(&d, &e)| d.div_ceil(e))
+            .collect();
+        Ok(Self {
+            dims: dims.to_vec(),
+            extents,
+            counts,
+        })
+    }
+
+    /// Per-dimension precinct extents.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Number of precincts along each dimension.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of precincts (identical for every level).
+    pub fn num_precincts(&self) -> usize {
+        self.counts.iter().product()
+    }
+
+    /// Row-major precinct id of a domain coordinate.
+    #[inline]
+    pub fn precinct_of(&self, coords: &[usize]) -> usize {
+        let mut id = 0usize;
+        for ((&c, &count), &extent) in coords.iter().zip(&self.counts).zip(&self.extents) {
+            id = id * count + c / extent;
+        }
+        id
+    }
+
+    /// Domain bounding box `[lo, hi)` of a precinct (clamped to the domain).
+    pub fn precinct_box(&self, id: usize) -> (Vec<usize>, Vec<usize>) {
+        let ndim = self.dims.len();
+        let mut rem = id;
+        let mut cell = vec![0usize; ndim];
+        for i in (0..ndim).rev() {
+            cell[i] = rem % self.counts[i];
+            rem /= self.counts[i];
+        }
+        let lo: Vec<usize> = (0..ndim).map(|i| cell[i] * self.extents[i]).collect();
+        let hi: Vec<usize> = (0..ndim)
+            .map(|i| ((cell[i] + 1) * self.extents[i]).min(self.dims[i]))
+            .collect();
+        (lo, hi)
+    }
+
+    /// Mask over precinct ids: true where the precinct's box intersects the
+    /// half-open window.
+    pub(crate) fn intersecting(&self, window: &[(usize, usize)]) -> Vec<bool> {
+        let ndim = self.dims.len();
+        // Per-dimension range of intersecting precinct cells.
+        let cell_ranges: Vec<(usize, usize)> = (0..ndim)
+            .map(|i| {
+                let (lo, hi) = window[i];
+                if lo >= hi {
+                    return (0, 0);
+                }
+                (lo / self.extents[i], ((hi - 1) / self.extents[i]) + 1)
+            })
+            .collect();
+        let mut mask = vec![false; self.num_precincts()];
+        let mut cell: Vec<usize> = cell_ranges.iter().map(|&(l, _)| l).collect();
+        if cell_ranges.iter().any(|&(l, h)| l >= h) {
+            return mask;
+        }
+        loop {
+            let mut id = 0usize;
+            for (&count, &c) in self.counts.iter().zip(&cell) {
+                id = id * count + c;
+            }
+            mask[id] = true;
+            let mut dim = ndim;
+            loop {
+                if dim == 0 {
+                    return mask;
+                }
+                dim -= 1;
+                cell[dim] += 1;
+                if cell[dim] < cell_ranges[dim].1 {
+                    break;
+                }
+                cell[dim] = cell_ranges[dim].0;
+            }
+        }
+    }
+
+    /// Number of level-`level` lattice points inside each precinct, in
+    /// precinct-id order. These are the coefficient spans of the level's
+    /// precinct-major layout; empty precincts (common at coarse levels) get a
+    /// zero span and a zero-byte chunk per plane.
+    pub fn level_spans(&self, shape: &Shape, level: u32) -> Vec<usize> {
+        let ndim = self.dims.len();
+        let mut spans = vec![0usize; self.num_precincts()];
+        let stride = level_stride(level);
+        for_each_level_pass(shape, stride, |_, ranges| {
+            // A precinct's span factorizes into per-dimension lattice-point
+            // counts, so one count vector per dimension covers every
+            // precinct — the id odometer below just multiplies them out.
+            let counts: Vec<Vec<usize>> = (0..ndim)
+                .map(|i| {
+                    (0..self.counts[i])
+                        .map(|c| {
+                            let lo = c * self.extents[i];
+                            let hi = ((c + 1) * self.extents[i]).min(self.dims[i]);
+                            clip_count(&ranges[i], lo, hi)
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut cell = vec![0usize; ndim];
+            for span in spans.iter_mut() {
+                let mut n = 1usize;
+                for i in 0..ndim {
+                    n *= counts[i][cell[i]];
+                }
+                *span += n;
+                let mut d = ndim;
+                while d > 0 {
+                    d -= 1;
+                    cell[d] += 1;
+                    if cell[d] < self.counts[d] {
+                        break;
+                    }
+                    cell[d] = 0;
+                }
+            }
+        });
+        spans
+    }
+
+    /// The permutation from precinct-major order to canonical traversal order
+    /// of a level: `to_canonical[i]` is the canonical position of the `i`-th
+    /// coefficient of the precinct-major layout. Within a precinct,
+    /// coefficients keep their canonical relative order, so the map is the
+    /// stable bucket sort of the canonical sweep by precinct id.
+    pub fn level_permutation(&self, shape: &Shape, level: u32) -> LevelPrecincts {
+        let spans = self.level_spans(shape, level);
+        let total: usize = spans.iter().sum();
+        let mut cursor = prefix_sums(&spans);
+        let mut to_canonical = vec![0u32; total];
+        let mut pos = 0u32;
+        for_each_canonical_point(shape, level, |coords, _| {
+            let p = self.precinct_of(coords);
+            to_canonical[cursor[p]] = pos;
+            cursor[p] += 1;
+            pos += 1;
+        });
+        LevelPrecincts {
+            spans,
+            to_canonical,
+        }
+    }
+}
+
+/// Number of coordinates of a strided range inside `[lo, hi)`.
+fn clip_count(r: &AxisRange, lo: usize, hi: usize) -> usize {
+    let start = if lo > r.start {
+        r.start + (lo - r.start).div_ceil(r.step) * r.step
+    } else {
+        r.start
+    };
+    let end = r.end.min(hi);
+    if start >= end {
+        0
+    } else {
+        (end - start).div_ceil(r.step)
+    }
+}
+
+/// Exclusive prefix sums of `spans` (the start offset of every precinct).
+pub(crate) fn prefix_sums(spans: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(spans.len());
+    let mut acc = 0usize;
+    for &s in spans {
+        out.push(acc);
+        acc += s;
+    }
+    out
+}
+
+/// Precinct layout of one level: coefficient spans per precinct and the
+/// precinct-major → canonical-order permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPrecincts {
+    /// Level coefficients per precinct (precinct-id order).
+    pub spans: Vec<usize>,
+    /// `to_canonical[i]` = canonical traversal position of precinct-major
+    /// coefficient `i`.
+    pub to_canonical: Vec<u32>,
+}
+
+impl LevelPrecincts {
+    /// Reorder canonical-order per-coefficient values into precinct-major
+    /// container order.
+    pub fn to_precinct_order<T: Copy>(&self, canonical: &[T]) -> Vec<T> {
+        self.to_canonical
+            .iter()
+            .map(|&c| canonical[c as usize])
+            .collect()
+    }
+
+    /// Reorder precinct-major container-order values back into canonical
+    /// traversal order.
+    pub fn to_canonical_order<T: Copy + Default>(&self, precinct: &[T]) -> Vec<T> {
+        let mut out = vec![T::default(); precinct.len()];
+        for (i, &c) in self.to_canonical.iter().enumerate() {
+            out[c as usize] = precinct[i];
+        }
+        out
+    }
+}
+
+/// Visit every level-`level` lattice point in canonical traversal order
+/// (sub-pass-major, row-major within a sub-pass) with its coordinates and
+/// flat offset — the order the compressor records codes in.
+pub(crate) fn for_each_canonical_point(
+    shape: &Shape,
+    level: u32,
+    mut f: impl FnMut(&[usize], usize),
+) {
+    let strides = shape.strides().to_vec();
+    for_each_level_pass(shape, level_stride(level), |_, ranges| {
+        if ranges.iter().any(|r| r.count() == 0) {
+            return;
+        }
+        let ndim = ranges.len();
+        let mut coords: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        let mut offset: usize = coords.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+        loop {
+            f(&coords, offset);
+            let mut dim = ndim;
+            loop {
+                if dim == 0 {
+                    return;
+                }
+                dim -= 1;
+                let r = ranges[dim];
+                let next = coords[dim] + r.step;
+                if next < r.end {
+                    coords[dim] = next;
+                    offset += r.step * strides[dim];
+                    break;
+                }
+                offset -= (coords[dim] - r.start) * strides[dim];
+                coords[dim] = r.start;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{level_count, num_levels};
+    use ipc_tensor::GridIter;
+
+    #[test]
+    fn grid_counts_and_boxes() {
+        let g = PrecinctGrid::new(&[20, 16], &[8, 8]).unwrap();
+        assert_eq!(g.counts(), &[3, 2]);
+        assert_eq!(g.num_precincts(), 6);
+        let (lo, hi) = g.precinct_box(4); // cell (2, 0)
+        assert_eq!(lo, vec![16, 0]);
+        assert_eq!(hi, vec![20, 8]); // clamped to dim 20
+        assert_eq!(g.precinct_of(&[17, 3]), 4);
+        assert_eq!(g.precinct_of(&[0, 0]), 0);
+        assert_eq!(g.precinct_of(&[19, 15]), 5);
+    }
+
+    #[test]
+    fn spans_partition_every_level() {
+        for dims in [vec![17usize], vec![20, 16], vec![9, 12, 7]] {
+            let shape = Shape::new(&dims);
+            let extents: Vec<usize> = dims.iter().map(|&d| (d / 3).max(1)).collect();
+            let g = PrecinctGrid::new(&dims, &extents).unwrap();
+            for level in 1..=num_levels(&shape) {
+                let spans = g.level_spans(&shape, level);
+                assert_eq!(
+                    spans.iter().sum::<usize>(),
+                    level_count(&shape, level),
+                    "dims {dims:?} level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_grouped_by_precinct() {
+        let shape = Shape::d2(13, 11);
+        let g = PrecinctGrid::new(&[13, 11], &[4, 4]).unwrap();
+        for level in 1..=num_levels(&shape) {
+            let lp = g.level_permutation(&shape, level);
+            let n = lp.to_canonical.len();
+            assert_eq!(n, level_count(&shape, level));
+            let mut seen = vec![false; n];
+            for &c in &lp.to_canonical {
+                assert!(!seen[c as usize]);
+                seen[c as usize] = true;
+            }
+            // Round trip through both reorderings is the identity.
+            let vals: Vec<u32> = (0..n as u32).collect();
+            let pre = lp.to_precinct_order(&vals);
+            assert_eq!(lp.to_canonical_order(&pre), vals);
+            // Every precinct's slice holds exactly the canonical points whose
+            // coordinates fall in that precinct, in canonical order.
+            let starts = prefix_sums(&lp.spans);
+            let mut by_point: Vec<usize> = Vec::new();
+            for_each_canonical_point(&shape, level, |coords, _| {
+                by_point.push(g.precinct_of(coords));
+            });
+            for (p, (&start, &span)) in starts.iter().zip(&lp.spans).enumerate() {
+                let slice = &lp.to_canonical[start..start + span];
+                assert!(slice.windows(2).all(|w| w[0] < w[1]), "stable order");
+                for &c in slice {
+                    assert_eq!(by_point[c as usize], p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_walk_matches_grid_iter() {
+        let shape = Shape::d3(6, 9, 5);
+        for level in 1..=num_levels(&shape) {
+            let mut got: Vec<(Vec<usize>, usize)> = Vec::new();
+            for_each_canonical_point(&shape, level, |c, o| got.push((c.to_vec(), o)));
+            let mut want: Vec<(Vec<usize>, usize)> = Vec::new();
+            for_each_level_pass(&shape, level_stride(level), |_, ranges| {
+                want.extend(GridIter::new(&shape, ranges));
+            });
+            assert_eq!(got, want, "level {level}");
+        }
+    }
+
+    #[test]
+    fn intersection_mask_matches_boxes() {
+        let g = PrecinctGrid::new(&[32, 24], &[8, 8]).unwrap();
+        let mask = g.intersecting(&[(5, 9), (0, 24)]);
+        for (id, &m) in mask.iter().enumerate() {
+            let (lo, hi) = g.precinct_box(id);
+            let hit = lo[0] < 9 && hi[0] > 5;
+            assert_eq!(m, hit, "precinct {id}");
+        }
+        // Empty window hits nothing.
+        assert!(g.intersecting(&[(4, 4), (0, 24)]).iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn clip_preserves_lattice_phase() {
+        let r = AxisRange::strided(3, 4, 40);
+        let c = clip_ranges(&[r], &[(6, 30)]);
+        assert_eq!(c[0], AxisRange::strided(7, 4, 30));
+        let c = clip_ranges(&[r], &[(0, 40)]);
+        assert_eq!(c[0], r);
+        let c = clip_ranges(&[r], &[(8, 8)]);
+        assert_eq!(c[0].count(), 0);
+    }
+
+    #[test]
+    fn roi_box_validation() {
+        let b = RoiBox::new(&[2, 3], &[5, 7]);
+        assert!(b.validate(&[10, 10]).is_ok());
+        assert_eq!(b.dims(), vec![3, 4]);
+        assert_eq!(b.len(), 12);
+        assert!(b.validate(&[10]).is_err());
+        assert!(b.validate(&[4, 10]).is_err());
+        assert!(RoiBox::new(&[3, 3], &[3, 7]).validate(&[10, 10]).is_err());
+    }
+
+    #[test]
+    fn windows_clamp_to_domain() {
+        let roi = RoiBox::new(&[0, 100], &[16, 116]);
+        let dims = [128usize, 128];
+        let w = fetch_window(&roi, &dims, Interpolation::Cubic, 2);
+        // stride 2, reach 3: halo = 3*(2-1) = 3 along dim 0, +3*2 along dim 1.
+        assert_eq!(w[0], (0, 19));
+        assert_eq!(w[1], (91, 125));
+        let w = pass_window(&roi, &dims, Interpolation::Cubic, 1, 0);
+        // stride 1: 0 along swept dims <= 0, reach along dim 1.
+        assert_eq!(w[0], (0, 16));
+        assert_eq!(w[1], (97, 119));
+        let w = pass_window(&roi, &dims, Interpolation::Cubic, 1, 1);
+        assert_eq!(w, vec![(0, 16), (100, 116)]);
+    }
+}

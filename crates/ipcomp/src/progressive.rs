@@ -24,15 +24,19 @@
 
 use std::sync::Arc;
 
-use ipc_codecs::negabinary::from_negabinary_slice;
-use ipc_tensor::{ArrayD, Shape};
+use ipc_codecs::negabinary::{from_negabinary, from_negabinary_slice};
+use ipc_tensor::{ArrayD, AxisRange, Shape};
 
-use crate::bitplane::{decode_planes_into, PlaneStream};
+use crate::bitplane::{decode_planes_into, EncodedLevel, PlaneStream};
 use crate::cascade::{self, CascadeEngine, CascadeProgress};
 use crate::container::{decode_anchors_bounded, Compressed, ContainerMap, Header};
 use crate::error::{IpcompError, Result};
-use crate::interp::num_levels;
-use crate::optimizer::{LoadPlan, PlanInput};
+use crate::interp::{
+    for_each_level_pass, level_stride, num_levels, predict_point, process_anchors, sweep_runs,
+};
+use crate::optimizer::{LoadPlan, PlanInput, RoiScopedInput};
+use crate::pipeline::{DecodeStage, EntropyStage, FetchStage, ScatterStage};
+use crate::precinct::{clip_ranges, pass_window, prefix_sums, LevelPrecincts, RoiBox};
 use crate::source::ChunkSource;
 
 /// How much fidelity a retrieval should target (paper Sec. 5).
@@ -48,6 +52,19 @@ pub enum RetrievalRequest {
     SizeBudget(usize),
     /// Load everything (classic full-fidelity decompression).
     Full,
+    /// Reconstruct only an axis-aligned region with point-wise error no
+    /// larger than this absolute bound, fetching only the chunks whose
+    /// precincts intersect the box (plus the cascade halo). Requires the
+    /// precinct-partitioned (version-3) container layout; the retrieval's
+    /// `data` is the cropped region. Equivalent to
+    /// [`ProgressiveDecoder::retrieve_roi`] with
+    /// [`RetrievalRequest::ErrorBound`].
+    Roi {
+        /// The region to reconstruct, in domain coordinates.
+        bounds: RoiBox,
+        /// Absolute point-wise error bound inside the region.
+        error_bound: f64,
+    },
 }
 
 /// Progress report emitted once per decoded chunk region during a streaming
@@ -179,6 +196,32 @@ impl Store<'_> {
             Store::Source { map, .. } => map.as_ref(),
         }
     }
+
+    /// Compressed bytes of every (level, plane) restricted to the masked
+    /// precincts — the byte cost an ROI retrieval actually pays.
+    fn roi_plane_bytes(&self, masks: &[Vec<bool>]) -> Vec<Vec<usize>> {
+        (0..self.num_level_entries())
+            .map(|idx| {
+                (0..self.level_num_planes(idx))
+                    .map(|p| match self {
+                        Store::Slice(c) => c.levels[idx].planes[p as usize]
+                            .chunks
+                            .iter()
+                            .zip(&masks[idx])
+                            .filter(|&(_, &m)| m)
+                            .map(|(ch, _)| ch.len())
+                            .sum(),
+                        Store::Source { map, .. } => masks[idx]
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &m)| m)
+                            .map(|(k, _)| map.levels[idx].chunk_size(p, k))
+                            .sum(),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 /// Stateful progressive decoder for one compressed field.
@@ -198,6 +241,10 @@ pub struct ProgressiveDecoder<'a> {
     /// It is read once per decoder, so a retry after a failed initial
     /// reconstruction must not charge it again.
     base_bytes_counted: bool,
+    /// Per-level precinct layouts of a version-3 container, built lazily on
+    /// the first full-domain retrieval (ROI retrievals never need the whole
+    /// permutation). `None` for byte-granular containers.
+    layouts: Option<Vec<LevelPrecincts>>,
 }
 
 impl<'a> ProgressiveDecoder<'a> {
@@ -253,6 +300,36 @@ impl<'a> ProgressiveDecoder<'a> {
             current_error_bound: f64::INFINITY,
             bytes_total: 0,
             base_bytes_counted: false,
+            layouts: None,
+        }
+    }
+
+    /// Build the per-level precinct permutations of a version-3 container on
+    /// first use. A no-op for byte-granular containers and once built. Must
+    /// run after the level-geometry validation: the interpolation level of
+    /// entry `idx` is `num_levels - idx`.
+    fn ensure_layouts(&mut self) {
+        if self.layouts.is_some() {
+            return;
+        }
+        let Some(grid) = self.store.header().precinct_grid() else {
+            return;
+        };
+        let levels = num_levels(&self.shape);
+        let layouts = (0..self.store.num_level_entries())
+            .map(|idx| grid.level_permutation(&self.shape, levels - idx as u32))
+            .collect();
+        self.layouts = Some(layouts);
+    }
+
+    /// Reorder one level's cascade codes from the container's precinct-major
+    /// layout into canonical traversal order (the order the cascade engine
+    /// consumes). The identity for byte-granular containers and for empty
+    /// code vectors (nothing-loaded levels).
+    fn canonical_codes(&self, idx: usize, codes: Vec<i64>) -> Vec<i64> {
+        match &self.layouts {
+            Some(layouts) if !codes.is_empty() => layouts[idx].to_canonical_order(&codes),
+            _ => codes,
         }
     }
 
@@ -293,6 +370,13 @@ impl<'a> ProgressiveDecoder<'a> {
     /// already loaded, the current reconstruction is returned unchanged and no data
     /// is read.
     pub fn retrieve(&mut self, request: RetrievalRequest) -> Result<Retrieval> {
+        if let RetrievalRequest::Roi {
+            bounds,
+            error_bound,
+        } = request
+        {
+            return self.retrieve_roi(bounds, RetrievalRequest::ErrorBound(error_bound));
+        }
         let plan = self.plan(request)?;
         self.retrieve_with_plan(&plan)
     }
@@ -330,6 +414,17 @@ impl<'a> ProgressiveDecoder<'a> {
         request: RetrievalRequest,
         mut events: impl FnMut(StreamEvent),
     ) -> Result<Retrieval> {
+        if let RetrievalRequest::Roi {
+            bounds,
+            error_bound,
+        } = request
+        {
+            return self.retrieve_roi_inner(
+                bounds,
+                RetrievalRequest::ErrorBound(error_bound),
+                Some(&mut events),
+            );
+        }
         let plan = self.plan(request)?;
         self.retrieve_inner(&plan, Some(&mut events))
     }
@@ -337,6 +432,311 @@ impl<'a> ProgressiveDecoder<'a> {
     /// Retrieve (or refine to) a specific loading plan.
     pub fn retrieve_with_plan(&mut self, plan: &LoadPlan) -> Result<Retrieval> {
         self.retrieve_inner(plan, None)
+    }
+
+    /// Reconstruct only the axis-aligned region `bounds` at the fidelity of
+    /// `request`, fetching exactly the entropy chunks whose precincts
+    /// intersect the region's per-level halo windows.
+    ///
+    /// Requires a precinct-partitioned (version-3) container. The returned
+    /// [`Retrieval::data`] has the region's shape and is bit-identical to
+    /// cropping a full-domain retrieval of the same request: fidelity-typed
+    /// requests ([`RetrievalRequest::ErrorBound`], `RelErrorBound`, `Full`)
+    /// plan against the whole container, so the per-level plane selection is
+    /// the one a full retrieval would use. Budget-typed requests
+    /// ([`RetrievalRequest::SizeBudget`], and [`RetrievalRequest::Bitrate`]
+    /// re-read as bits per *region* scalar) budget only the bytes the region
+    /// actually fetches.
+    ///
+    /// ROI retrievals are stateless with respect to the decoder's
+    /// progressive accumulators: they never consume or advance previously
+    /// loaded planes, so they interleave freely with full-domain
+    /// retrievals. Only the cumulative byte accounting is shared, and a
+    /// failed ROI retrieval commits nothing.
+    pub fn retrieve_roi(&mut self, bounds: RoiBox, request: RetrievalRequest) -> Result<Retrieval> {
+        self.retrieve_roi_inner(bounds, request, None)
+    }
+
+    /// Like [`ProgressiveDecoder::retrieve_roi`], reporting one
+    /// [`StreamEvent::Region`] per fetched precinct (with `region` counting
+    /// fetched precincts and `regions_in_level` their total for the level)
+    /// and one [`StreamEvent::LevelReconstructed`] per windowed cascade
+    /// pass.
+    pub fn retrieve_roi_streaming(
+        &mut self,
+        bounds: RoiBox,
+        request: RetrievalRequest,
+        mut events: impl FnMut(StreamEvent),
+    ) -> Result<Retrieval> {
+        self.retrieve_roi_inner(bounds, request, Some(&mut events))
+    }
+
+    fn retrieve_roi_inner(
+        &mut self,
+        bounds: RoiBox,
+        request: RetrievalRequest,
+        events: Option<&mut dyn FnMut(StreamEvent)>,
+    ) -> Result<Retrieval> {
+        let mut noop = |_: StreamEvent| {};
+        let events: &mut dyn FnMut(StreamEvent) = match events {
+            Some(cb) => cb,
+            None => &mut noop,
+        };
+        if matches!(request, RetrievalRequest::Roi { .. }) {
+            return Err(IpcompError::InvalidInput(
+                "ROI retrieval cannot nest a second bounding box".into(),
+            ));
+        }
+        let store = self.store.clone();
+        let header = store.header().clone();
+        let shape = self.shape.clone();
+        let dims = shape.dims().to_vec();
+        bounds.validate(&dims)?;
+        let grid = header.precinct_grid().ok_or_else(|| {
+            IpcompError::InvalidInput(
+                "ROI retrieval requires the precinct-partitioned (version-3) container layout"
+                    .into(),
+            )
+        })?;
+        let n_levels = store.num_level_entries();
+        let levels = num_levels(&shape);
+        if levels != header.num_levels || n_levels != levels as usize {
+            return Err(IpcompError::CorruptContainer(
+                "declared level count inconsistent with grid dimensions",
+            ));
+        }
+        for idx in 0..n_levels {
+            let expect = crate::interp::level_count(&shape, levels - idx as u32);
+            if store.level_n_values(idx) != expect {
+                return Err(IpcompError::CorruptContainer(
+                    "level size inconsistent with grid dimensions",
+                ));
+            }
+        }
+        let method = header.interpolation;
+
+        // The chunks each level must fetch: every precinct intersecting the
+        // region expanded by the cascade's cross-level ancestor halo. Shared
+        // with the store planner's range lowering.
+        let masks = crate::precinct::roi_precinct_masks(&header, &bounds)?;
+
+        // Fidelity-typed requests plan against the full container so the
+        // plane selection matches a full-domain retrieval bit for bit;
+        // budget-typed requests budget only the bytes the region fetches.
+        let plan = match request {
+            RetrievalRequest::SizeBudget(bytes) => {
+                let scoped = RoiScopedInput::new(store.plan_input(), store.roi_plane_bytes(&masks));
+                crate::optimizer::plan_for_bytes(&scoped, bytes)?
+            }
+            RetrievalRequest::Bitrate(b) => {
+                if !(b.is_finite() && b > 0.0) {
+                    return Err(IpcompError::InvalidInput(format!(
+                        "bitrate must be positive and finite, got {b}"
+                    )));
+                }
+                let scoped = RoiScopedInput::new(store.plan_input(), store.roi_plane_bytes(&masks));
+                let bytes = (b * bounds.len() as f64 / 8.0).floor() as usize;
+                crate::optimizer::plan_for_bytes(&scoped, bytes)?
+            }
+            _ => crate::optimizer::plan_for_request(store.plan_input(), request)?,
+        };
+
+        let two_eb = 2.0 * header.error_bound;
+        let strides = shape.strides().to_vec();
+        let mut work = vec![0.0f64; shape.len()];
+        let mut codes = vec![0i64; shape.len()];
+        let base_add = if self.base_bytes_counted {
+            0
+        } else {
+            store.base_bytes()
+        };
+        let mut payload_bytes = 0usize;
+
+        // Anchor lattice seed — the same arithmetic the cascade engine uses.
+        let anchor_codes = decode_anchors_bounded(store.anchors(), header.num_elements())?;
+        {
+            let mut it = anchor_codes.iter();
+            process_anchors(&shape, &mut work, |_, pred| {
+                pred + it.next().map_or(0.0, |&c| c as f64 * two_eb)
+            });
+        }
+
+        for (idx, mask) in masks.iter().enumerate() {
+            let level_no = levels - idx as u32;
+            let stride = level_stride(level_no);
+            let num_planes = store.level_num_planes(idx);
+            let want = plan.planes_loaded[idx].min(num_planes);
+            let n_values = store.level_n_values(idx);
+            let mut level_has_codes = false;
+
+            if want > 0 && n_values > 0 {
+                let lo = num_planes - want;
+                // Resolve the level's chunks: resident containers borrow
+                // them, ranged stores fetch only the masked precincts in one
+                // batched (coalescible) ranged read.
+                let owned;
+                let level: &EncodedLevel = match &store {
+                    Store::Slice(c) => &c.levels[idx],
+                    Store::Source { map, source } => {
+                        owned = map.levels[idx].fetch_planes_precincts(
+                            source.get(),
+                            lo,
+                            num_planes,
+                            mask,
+                        )?;
+                        &owned
+                    }
+                };
+                let spans =
+                    level
+                        .precinct_spans
+                        .as_deref()
+                        .ok_or(IpcompError::CorruptContainer(
+                            "precinct container level lacks precinct spans",
+                        ))?;
+                if spans.len() != grid.num_precincts()
+                    || spans != grid.level_spans(&shape, level_no).as_slice()
+                {
+                    return Err(IpcompError::CorruptContainer(
+                        "precinct spans inconsistent with grid geometry",
+                    ));
+                }
+                let mut acc = vec![0u64; n_values];
+                let scheme = level.scheme();
+                let fetch = FetchStage::Resident {
+                    level,
+                    plane_lo: lo,
+                    plane_hi: num_planes,
+                };
+                let entropy = EntropyStage::new(scheme.clone());
+                let scatter = ScatterStage::new(
+                    scheme.clone(),
+                    num_planes,
+                    lo,
+                    num_planes,
+                    header.prefix_bits,
+                    header.predictive_coding,
+                );
+                let regions_in_level = mask.iter().filter(|&&m| m).count();
+                let mut fetched_regions = 0usize;
+                let mut coeffs_decoded = 0usize;
+                for (k, &m) in mask.iter().enumerate() {
+                    if !m {
+                        continue;
+                    }
+                    if spans[k] > 0 {
+                        let compressed = fetch.process(k, ())?;
+                        let chunks = entropy.process(k, compressed)?;
+                        let range = scheme.region_coeff_range(k);
+                        scatter.process(k, (chunks, &mut acc[range]))?;
+                    }
+                    payload_bytes += fetch.region_compressed_bytes(k);
+                    coeffs_decoded += spans[k];
+                    events(StreamEvent::Region(StreamProgress {
+                        level_idx: idx,
+                        region: fetched_regions,
+                        regions_in_level,
+                        coeffs_decoded,
+                        coeffs_in_level: n_values,
+                        bytes_total: self.bytes_total + base_add + payload_bytes,
+                    }));
+                    fetched_regions += 1;
+                }
+
+                // Convert each fetched precinct's accumulators to residual
+                // codes at their domain offsets: a precinct's slice of the
+                // precinct-major layout holds its points in canonical order,
+                // which is the canonical sweep clipped to the precinct box.
+                let starts = prefix_sums(spans);
+                for (k, &m) in mask.iter().enumerate() {
+                    if !m || spans[k] == 0 {
+                        continue;
+                    }
+                    let (plo, phi) = grid.precinct_box(k);
+                    let window: Vec<(usize, usize)> =
+                        plo.iter().zip(&phi).map(|(&a, &b)| (a, b)).collect();
+                    let mut i = starts[k];
+                    for_each_level_pass(&shape, stride, |d, ranges| {
+                        let clipped = clip_ranges(&ranges, &window);
+                        sweep_runs(&strides, &clipped, d, |run| {
+                            let mut offset = run.base;
+                            for _ in 0..run.count {
+                                codes[offset] = from_negabinary(acc[i]);
+                                i += 1;
+                                offset += run.step;
+                            }
+                        });
+                    });
+                    debug_assert_eq!(i, starts[k] + spans[k]);
+                }
+                level_has_codes = true;
+            }
+
+            // Windowed interpolation sub-passes: compute exactly the window
+            // later passes read, clipped from the full level geometry so the
+            // lattice phase (and therefore the arithmetic) matches the
+            // engine's full-domain sweep.
+            let mut points = 0usize;
+            for_each_level_pass(&shape, stride, |d, ranges| {
+                let w = pass_window(&bounds, &dims, method, level_no, d);
+                let clipped = clip_ranges(&ranges, &w);
+                let dim_len = dims[d];
+                let dim_stride = strides[d];
+                sweep_runs(&strides, &clipped, d, |run| {
+                    let mut offset = run.base;
+                    let mut coord = run.coord;
+                    for _ in 0..run.count {
+                        let pred = predict_point(
+                            &work, offset, coord, dim_len, dim_stride, stride, method,
+                        );
+                        let resid = if level_has_codes {
+                            codes[offset] as f64 * two_eb
+                        } else {
+                            0.0
+                        };
+                        work[offset] = pred + resid;
+                        offset += run.step;
+                        coord += run.coord_step;
+                    }
+                    points += run.count;
+                });
+            });
+            events(StreamEvent::LevelReconstructed(CascadeProgress {
+                level_idx: idx,
+                interp_level: level_no,
+                points,
+                levels_applied: idx + 1,
+                levels_total: n_levels,
+            }));
+        }
+
+        // Crop the reconstructed window to the requested box.
+        let mut out = Vec::with_capacity(bounds.len());
+        let unit: Vec<AxisRange> = (0..bounds.ndim)
+            .map(|i| AxisRange::strided(bounds.lo[i], 1, bounds.hi[i]))
+            .collect();
+        sweep_runs(&strides, &unit, 0, |run| {
+            let mut offset = run.base;
+            for _ in 0..run.count {
+                out.push(work[offset]);
+                offset += run.step;
+            }
+        });
+        let data = ArrayD::from_vec(Shape::new(&bounds.dims()), out);
+
+        // State commits only on success: an ROI retrieval touches no
+        // accumulators, so any failure above leaves the decoder exactly as
+        // it was (short-read rollback is the absence of a partial commit).
+        self.base_bytes_counted = true;
+        self.bytes_total += base_add + payload_bytes;
+        let n = header.num_elements();
+        Ok(Retrieval {
+            data,
+            bytes_this_request: base_add + payload_bytes,
+            bytes_total: self.bytes_total,
+            bitrate: self.bytes_total as f64 * 8.0 / n as f64,
+            error_bound: header.error_bound + plan.extra_error_bound,
+        })
     }
 
     fn retrieve_inner(
@@ -386,6 +786,12 @@ impl<'a> ProgressiveDecoder<'a> {
                 }
             }
         }
+        // Version-3 containers store each level precinct-major; the cascade
+        // consumes canonical traversal order, so the permutations must be
+        // ready before any codes are fed. (Runs after the geometry checks —
+        // an initial retrieval validates them above, and a refinement implies
+        // a successful initial retrieval already did.)
+        self.ensure_layouts();
 
         // Per-level work items: (idx, lo, hi, want), coarsest level first.
         // Planes are counted from the most significant: having `have` planes
@@ -537,7 +943,12 @@ impl<'a> ProgressiveDecoder<'a> {
                     } else {
                         Some(self.snapshot_level(idx))
                     };
-                    let cascade = if streamed {
+                    // Version-3 levels stream in precinct-major order, which
+                    // is not a canonical-order prefix — their cascade feed
+                    // waits for the whole level instead of riding the region
+                    // stream.
+                    let span_feed = streamed && self.layouts.is_none();
+                    let cascade = if span_feed {
                         Some((&mut *engine, before.as_deref()))
                     } else {
                         None
@@ -553,18 +964,19 @@ impl<'a> ProgressiveDecoder<'a> {
                         predictive,
                     )?;
                     self.planes_loaded[idx] = want;
-                    if streamed {
+                    if span_feed {
                         // Prefix feeding happened region by region inside the
                         // stream; close the level out.
                         for p in engine.level_complete(idx) {
                             events(StreamEvent::LevelReconstructed(p));
                         }
                     } else {
-                        let codes = self.loaded_codes(idx, before.as_deref());
-                        deferred.push((idx, codes));
+                        let codes =
+                            self.canonical_codes(idx, self.loaded_codes(idx, before.as_deref()));
+                        Self::feed(engine, &mut deferred, streamed, idx, codes, events);
                     }
                 } else {
-                    let codes = self.unchanged_codes(idx, initial);
+                    let codes = self.canonical_codes(idx, self.unchanged_codes(idx, initial));
                     Self::feed(engine, &mut deferred, streamed, idx, codes, events);
                 }
             }
@@ -593,10 +1005,12 @@ impl<'a> ProgressiveDecoder<'a> {
                                 self.bytes_total += level.planes[p as usize].len();
                             }
                             self.planes_loaded[idx] = want;
-                            let codes = self.loaded_codes(idx, before.as_deref());
+                            let codes = self
+                                .canonical_codes(idx, self.loaded_codes(idx, before.as_deref()));
                             Self::feed(engine, &mut deferred, streamed, idx, codes, events);
                         } else {
-                            let codes = self.unchanged_codes(idx, initial);
+                            let codes =
+                                self.canonical_codes(idx, self.unchanged_codes(idx, initial));
                             Self::feed(engine, &mut deferred, streamed, idx, codes, events);
                         }
                     }
@@ -623,12 +1037,17 @@ impl<'a> ProgressiveDecoder<'a> {
                             } else {
                                 Some(self.snapshot_level(idx))
                             };
+                            let layout = self.layouts.as_ref().map(|l| &l[idx]);
                             let acc = &mut self.acc[idx];
                             let mut work = || -> Result<()> {
                                 decode_planes_into(&fetched, lo, hi, prefix_bits, predictive, acc)?;
                                 let codes = match &before {
                                     None => cascade::residual_codes(acc),
                                     Some(b) => cascade::delta_codes(acc, b),
+                                };
+                                let codes = match layout {
+                                    Some(lp) if !codes.is_empty() => lp.to_canonical_order(&codes),
+                                    _ => codes,
                                 };
                                 Self::feed(engine, &mut deferred, streamed, idx, codes, events);
                                 Ok(())
@@ -1154,6 +1573,153 @@ mod tests {
         let out = dec.retrieve(RetrievalRequest::Full).unwrap();
         let reference = c.decompress().unwrap();
         assert_eq!(out.data.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn precinct_layout_decodes_identically_to_byte_layout() {
+        let data = field();
+        let flat = compress(&data, 1e-6, &Config::default()).unwrap();
+        let v3 = compress(&data, 1e-6, &Config::with_precincts(&[8, 8, 8])).unwrap();
+        let a = flat.decompress().unwrap();
+        let b = v3.decompress().unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        // The ranged-source and streaming paths canonicalize too.
+        let source = crate::source::MemorySource::new(v3.to_bytes());
+        let mut dec = ProgressiveDecoder::from_source(&source).unwrap();
+        let out = dec.retrieve(RetrievalRequest::Full).unwrap();
+        assert_eq!(out.data.as_slice(), a.as_slice());
+        let mut sdec = ProgressiveDecoder::from_source(&source).unwrap();
+        let mut regions = 0usize;
+        let streamed = sdec
+            .retrieve_streaming(RetrievalRequest::Full, |_| regions += 1)
+            .unwrap();
+        assert!(regions > 0);
+        assert_eq!(streamed.data.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn precinct_refinement_converges_like_byte_layout() {
+        // Precinct chunk boundaries change per-plane byte sizes, so the
+        // optimizer may pick a different (equally valid) plane mix than the
+        // byte-granular layout — partial decodes are not bitwise comparable
+        // across layouts. The refinement contract is the same as the v2
+        // layout's: every step honours its bound and refining to Full lands
+        // within float-accumulation noise of a from-scratch full decode.
+        let data = field();
+        let v3 = compress(&data, 1e-7, &Config::with_precincts(&[8, 8, 8])).unwrap();
+        let mut dec = ProgressiveDecoder::new(&v3);
+        let mut prev_bytes = 0;
+        for eb in [1e-2, 1e-4] {
+            let r = dec.retrieve(RetrievalRequest::ErrorBound(eb)).unwrap();
+            let err = linf_error(data.as_slice(), r.data.as_slice());
+            assert!(err <= eb * (1.0 + 1e-9), "eb {eb}: err {err}");
+            assert!(r.bytes_total > prev_bytes);
+            prev_bytes = r.bytes_total;
+        }
+        let refined = dec.retrieve(RetrievalRequest::Full).unwrap();
+        let direct = ProgressiveDecoder::new(&v3)
+            .retrieve(RetrievalRequest::Full)
+            .unwrap();
+        let drift = linf_error(refined.data.as_slice(), direct.data.as_slice());
+        assert!(drift < 1e-9, "refinement drift {drift}");
+        let err = linf_error(data.as_slice(), refined.data.as_slice());
+        assert!(err <= 1e-7 * (1.0 + 1e-9), "full err {err}");
+    }
+
+    #[test]
+    fn roi_retrieval_matches_full_decode_then_crop() {
+        let data = field(); // 24 x 18 x 20
+        let c = compress(&data, 1e-7, &Config::with_precincts(&[6, 6, 5])).unwrap();
+        let source = crate::source::MemorySource::new(c.to_bytes());
+        let bounds = RoiBox::new(&[3, 0, 10], &[11, 7, 20]);
+        for request in [RetrievalRequest::Full, RetrievalRequest::ErrorBound(1e-3)] {
+            let mut full = ProgressiveDecoder::new(&c);
+            let whole = full.retrieve(request).unwrap();
+            let mut expect = Vec::new();
+            for x in 3..11 {
+                for y in 0..7 {
+                    for z in 10..20 {
+                        expect.push(whole.data.as_slice()[(x * 18 + y) * 20 + z]);
+                    }
+                }
+            }
+            let mut roi_dec = ProgressiveDecoder::from_source(&source).unwrap();
+            let roi = roi_dec.retrieve_roi(bounds, request).unwrap();
+            assert_eq!(roi.data.as_slice(), expect.as_slice(), "{request:?}");
+            assert!(roi.bytes_total <= whole.bytes_total, "{request:?}");
+            let mut roi_slice = ProgressiveDecoder::new(&c);
+            let roi2 = roi_slice.retrieve_roi(bounds, request).unwrap();
+            assert_eq!(roi2.data.as_slice(), expect.as_slice(), "{request:?}");
+            assert_eq!(roi2.bytes_total, roi.bytes_total, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn roi_request_variant_routes_through_retrieve() {
+        let data = field();
+        let c = compress(&data, 1e-7, &Config::with_precincts(&[6, 6, 5])).unwrap();
+        let bounds = RoiBox::new(&[0, 0, 0], &[6, 6, 5]);
+        let mut dec = ProgressiveDecoder::new(&c);
+        let via_variant = dec
+            .retrieve(RetrievalRequest::Roi {
+                bounds,
+                error_bound: 1e-3,
+            })
+            .unwrap();
+        let mut dec2 = ProgressiveDecoder::new(&c);
+        let direct = dec2
+            .retrieve_roi(bounds, RetrievalRequest::ErrorBound(1e-3))
+            .unwrap();
+        assert_eq!(via_variant.data.as_slice(), direct.data.as_slice());
+        assert_eq!(via_variant.data.shape().dims(), &[6, 6, 5]);
+    }
+
+    #[test]
+    fn roi_requires_precinct_layout_and_valid_bounds() {
+        let data = field();
+        let flat = compress(&data, 1e-6, &Config::default()).unwrap();
+        let mut dec = ProgressiveDecoder::new(&flat);
+        assert!(matches!(
+            dec.retrieve_roi(RoiBox::new(&[0, 0, 0], &[4, 4, 4]), RetrievalRequest::Full),
+            Err(IpcompError::InvalidInput(_))
+        ));
+        let v3 = compress(&data, 1e-6, &Config::with_precincts(&[8, 8, 8])).unwrap();
+        let mut dec = ProgressiveDecoder::new(&v3);
+        // Out-of-domain and rank-mismatched boxes are rejected.
+        assert!(dec
+            .retrieve_roi(RoiBox::new(&[0, 0, 0], &[25, 4, 4]), RetrievalRequest::Full)
+            .is_err());
+        assert!(dec
+            .retrieve_roi(RoiBox::new(&[0, 0], &[4, 4]), RetrievalRequest::Full)
+            .is_err());
+        // And a nested ROI request cannot sneak a second box in.
+        assert!(dec
+            .retrieve_roi(
+                RoiBox::new(&[0, 0, 0], &[4, 4, 4]),
+                RetrievalRequest::Roi {
+                    bounds: RoiBox::new(&[0, 0, 0], &[4, 4, 4]),
+                    error_bound: 1e-3,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn roi_budget_requests_scope_bytes_to_the_region() {
+        let data = field();
+        let c = compress(&data, 1e-8, &Config::with_precincts(&[6, 6, 5])).unwrap();
+        let bounds = RoiBox::new(&[0, 0, 0], &[8, 8, 8]);
+        let budget = c.base_bytes() + 2000;
+        let mut dec = ProgressiveDecoder::new(&c);
+        let out = dec
+            .retrieve_roi(bounds, RetrievalRequest::SizeBudget(budget))
+            .unwrap();
+        assert!(
+            out.bytes_total <= budget.max(c.base_bytes()) + 1,
+            "loaded {} of budget {budget}",
+            out.bytes_total
+        );
+        assert_eq!(out.data.shape().dims(), &[8, 8, 8]);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! configurable threshold (paying for the gap bytes to save a request), and
 //! [`CoalescingSource`] applies that transparently under any consumer.
 
+use std::time::Duration;
+
 use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
 use ipcomp::Result;
 
@@ -66,10 +68,36 @@ pub struct CoalescingSource<S> {
     max_gap: u64,
 }
 
+/// The break-even gap of a backend traffic model: bridging a gap pays
+/// `gap / throughput` in transfer time to save one request's fixed
+/// `latency`, so merging wins exactly while `gap ≤ latency × throughput`.
+/// The paper-style object store (5 ms per GET, 200 MB/s) breaks even at
+/// 1 MB — ~250× the 4 KiB threshold that suits a local disk. A
+/// latency-only model (zero/non-finite throughput) merges unconditionally.
+pub fn traffic_model_gap(latency_per_request: Duration, throughput_bytes_per_sec: f64) -> u64 {
+    if !(throughput_bytes_per_sec.is_finite() && throughput_bytes_per_sec > 0.0) {
+        return u64::MAX;
+    }
+    (latency_per_request.as_secs_f64() * throughput_bytes_per_sec) as u64
+}
+
 impl<S: ChunkSource> CoalescingSource<S> {
     /// Coalesce requests whose gap is at most `max_gap` bytes.
     pub fn new(inner: S, max_gap: u64) -> Self {
         Self { inner, max_gap }
+    }
+
+    /// Derive the gap threshold from the backend's traffic model (see
+    /// [`traffic_model_gap`]) instead of picking a fixed byte count.
+    pub fn for_traffic_model(
+        inner: S,
+        latency_per_request: Duration,
+        throughput_bytes_per_sec: f64,
+    ) -> Self {
+        Self::new(
+            inner,
+            traffic_model_gap(latency_per_request, throughput_bytes_per_sec),
+        )
     }
 
     /// The configured gap threshold.
@@ -134,6 +162,25 @@ mod tests {
         for (r, b) in ranges.iter().zip(&bufs) {
             assert_eq!(&b[..], &data[r.offset as usize..r.end() as usize]);
         }
+    }
+
+    #[test]
+    fn traffic_model_gap_matches_break_even() {
+        // 5 ms × 200 MB/s = 1 MB break-even.
+        assert_eq!(
+            traffic_model_gap(Duration::from_millis(5), 200e6),
+            1_000_000
+        );
+        // Local NVMe-ish: 100 µs × 2 GB/s = 200 KB.
+        assert_eq!(traffic_model_gap(Duration::from_micros(100), 2e9), 200_000);
+        // Latency-only models merge everything.
+        assert_eq!(traffic_model_gap(Duration::from_millis(5), 0.0), u64::MAX);
+        let src = CoalescingSource::for_traffic_model(
+            MemorySource::new(vec![0u8; 16]),
+            Duration::from_millis(5),
+            200e6,
+        );
+        assert_eq!(src.max_gap(), 1_000_000);
     }
 
     #[test]

@@ -12,12 +12,17 @@ use ipcomp::source::{ByteRange, Bytes, ChunkSource};
 use ipcomp::{IpcompError, Result};
 
 /// [`ChunkSource`] over a serialized container on the filesystem.
+///
+/// Reads are lock-free wherever the platform offers a positioned read
+/// (`pread` on Unix, `seek_read` on Windows): concurrent sessions issue
+/// independent reads against the shared descriptor without serializing on a
+/// cursor. Only platforms with neither primitive fall back to a cursor lock.
 pub struct FileSource {
     file: File,
     len: u64,
     path: PathBuf,
-    /// Positioned reads need a cursor lock on platforms without `pread`.
-    #[cfg(not(unix))]
+    /// Cursor lock for platforms without any positioned-read primitive.
+    #[cfg(not(any(unix, windows)))]
     lock: std::sync::Mutex<()>,
 }
 
@@ -31,7 +36,7 @@ impl FileSource {
             file,
             len,
             path,
-            #[cfg(not(unix))]
+            #[cfg(not(any(unix, windows)))]
             lock: std::sync::Mutex::new(()),
         })
     }
@@ -48,7 +53,21 @@ impl FileSource {
             use std::os::unix::fs::FileExt;
             self.file.read_exact_at(&mut buf, range.offset)?;
         }
-        #[cfg(not(unix))]
+        #[cfg(windows)]
+        {
+            use std::os::windows::fs::FileExt;
+            let mut filled = 0usize;
+            while filled < buf.len() {
+                let n = self
+                    .file
+                    .seek_read(&mut buf[filled..], range.offset + filled as u64)?;
+                if n == 0 {
+                    return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof).into());
+                }
+                filled += n;
+            }
+        }
+        #[cfg(not(any(unix, windows)))]
         {
             use std::io::{Read, Seek, SeekFrom};
             let _guard = self.lock.lock().expect("file cursor lock");
@@ -96,6 +115,32 @@ mod tests {
         assert_eq!(&bufs[0][..], &data[0..3]);
         assert_eq!(&bufs[1][..], &data[190..200]);
         assert!(src.read_ranges(&[ByteRange::new(195, 6)]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_descriptor() {
+        use std::sync::Arc;
+        let data: Vec<u8> = (0..=255u8).cycle().take(1 << 16).collect();
+        let path = scratch_file("file_source_concurrent", &data);
+        let src = Arc::new(FileSource::open(&path).unwrap());
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let src = Arc::clone(&src);
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200usize {
+                        let off = (t * 7919 + i * 104_729) % (data.len() - 600);
+                        let len = 1 + (i * 31 + t) % 512;
+                        let bufs = src.read_ranges(&[ByteRange::new(off as u64, len)]).unwrap();
+                        assert_eq!(&bufs[0][..], &data[off..off + len]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         std::fs::remove_file(&path).ok();
     }
 }

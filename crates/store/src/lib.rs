@@ -51,9 +51,9 @@ pub mod sim;
 pub mod testutil;
 
 pub use cache::{CacheStats, CachedSource};
-pub use coalesce::{coalesce_ranges, CoalescingSource};
+pub use coalesce::{coalesce_ranges, traffic_model_gap, CoalescingSource};
 pub use file::FileSource;
-pub use planner::{lower_plan, plan_request, ChunkRead, RangePlan};
+pub use planner::{lower_plan, lower_plan_roi, plan_request, ChunkRead, RangePlan};
 pub use server::{field_checksum, ClientOutcome, ClientStep, StoreServer};
 pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, StoreOptions};
 pub use sim::{Fault, SimProfile, SimStats, SimulatedObjectStore};
@@ -63,5 +63,9 @@ pub use sim::{Fault, SimProfile, SimStats, SimulatedObjectStore};
 pub use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource};
 pub use ipcomp::{ContainerMap, LevelMap};
 
-/// Convenience re-export: requests sessions are driven with.
-pub use ipcomp::{CascadeProgress, RetrievalRequest, StreamEvent, StreamProgress};
+/// Convenience re-export: requests sessions are driven with, and the spatial
+/// types ROI retrievals are scoped by.
+pub use ipcomp::{
+    roi_precinct_masks, CascadeProgress, PrecinctGrid, RetrievalRequest, RoiBox, StreamEvent,
+    StreamProgress,
+};

@@ -105,14 +105,59 @@ pub fn lower_plan(map: &ContainerMap, already_loaded: &[u8], plan: &LoadPlan) ->
     }
 }
 
+/// Lower `plan` to the chunks an ROI retrieval fetches: per level, only the
+/// chunks of precincts whose mask bit is set (see
+/// [`ipcomp::roi_precinct_masks`]). In the version-3 layout a plane's chunk
+/// index *is* the precinct id, so the lowering stays a direct walk of the
+/// chunk table. ROI retrievals are stateless — they never skip
+/// already-loaded planes — so there is no `already_loaded` parameter.
+pub fn lower_plan_roi(map: &ContainerMap, plan: &LoadPlan, masks: &[Vec<bool>]) -> RangePlan {
+    let mut reads = Vec::new();
+    for (idx, level) in map.levels.iter().enumerate() {
+        let want = plan
+            .planes_loaded
+            .get(idx)
+            .copied()
+            .unwrap_or(0)
+            .min(level.num_planes);
+        if want == 0 {
+            continue;
+        }
+        let lo = level.num_planes - want;
+        for p in lo..level.num_planes {
+            debug_assert_eq!(masks[idx].len(), level.plane_chunk_count(p));
+            for (k, &fetch) in masks[idx].iter().enumerate() {
+                if fetch {
+                    reads.push(ChunkRead {
+                        level: idx,
+                        plane: p,
+                        chunk: k,
+                        range: level.chunk_range(p, k),
+                    });
+                }
+            }
+        }
+    }
+    RangePlan {
+        load: plan.clone(),
+        reads,
+    }
+}
+
 /// Resolve `request` through the optimizer (the same dispatch the decoder's
-/// `plan()` uses) and lower it in one step.
+/// `plan()` uses) and lower it in one step. A [`RetrievalRequest::Roi`]
+/// lowers region-scoped: only chunk ranges of precincts intersecting the
+/// box plus its cross-level ancestor halo.
 pub fn plan_request(
     map: &ContainerMap,
     already_loaded: &[u8],
     request: RetrievalRequest,
 ) -> Result<RangePlan> {
     let plan = plan_for_request(map, request)?;
+    if let RetrievalRequest::Roi { bounds, .. } = request {
+        let masks = ipcomp::roi_precinct_masks(&map.header, &bounds)?;
+        return Ok(lower_plan_roi(map, &plan, &masks));
+    }
     Ok(lower_plan(map, already_loaded, &plan))
 }
 
@@ -181,6 +226,57 @@ mod tests {
             coarse.payload_bytes() + refined.payload_bytes(),
             full.payload_bytes()
         );
+    }
+
+    #[test]
+    fn roi_lowering_selects_masked_subset_and_matches_decoder_bytes() {
+        use ipcomp::{PlanInput, ProgressiveDecoder, RoiBox};
+        let field = ArrayD::from_fn(Shape::d3(24, 20, 16), |c| {
+            (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() * 2.0 + c[2] as f64 * 0.01
+        });
+        let config = Config::with_precincts(&[8, 8, 8]);
+        let c = compress(&field, 1e-7, &config).unwrap();
+        let map = ContainerMap::from_compressed(&c);
+        let bounds = RoiBox::new(&[0, 0, 0], &[8, 8, 8]);
+        let zeros = vec![0u8; map.levels.len()];
+        let request = RetrievalRequest::Roi {
+            bounds,
+            error_bound: 1e-3,
+        };
+        let roi = plan_request(&map, &zeros, request).unwrap();
+        let full = plan_request(&map, &zeros, RetrievalRequest::ErrorBound(1e-3)).unwrap();
+        // Same plane selection, strictly fewer chunks, and every ROI read is
+        // one of the full lowering's reads.
+        assert_eq!(roi.load.planes_loaded, full.load.planes_loaded);
+        assert!(roi.request_count() < full.request_count());
+        let all: std::collections::HashSet<_> = full
+            .reads
+            .iter()
+            .map(|r| (r.level, r.plane, r.chunk))
+            .collect();
+        assert!(roi
+            .reads
+            .iter()
+            .all(|r| all.contains(&(r.level, r.plane, r.chunk))));
+        // The lowering predicts exactly the bytes the decoder fetches.
+        let mut dec = ProgressiveDecoder::new(&c);
+        let out = dec
+            .retrieve_roi(bounds, RetrievalRequest::ErrorBound(1e-3))
+            .unwrap();
+        assert_eq!(
+            roi.payload_bytes(),
+            out.bytes_this_request - map.plan_base_bytes()
+        );
+    }
+
+    #[test]
+    fn roi_lowering_requires_precinct_layout() {
+        let (_, map) = toy_map(64);
+        let request = RetrievalRequest::Roi {
+            bounds: ipcomp::RoiBox::new(&[0, 0, 0], &[4, 4, 4]),
+            error_bound: 1e-3,
+        };
+        assert!(plan_request(&map, &vec![0; map.levels.len()], request).is_err());
     }
 
     #[test]

@@ -217,6 +217,34 @@ impl RetrievalSession {
         Ok(out)
     }
 
+    /// Retrieve a crop-exact region of the domain at the requested fidelity,
+    /// fetching only the chunks of precincts intersecting `bounds` plus the
+    /// cascade's cross-level ancestor halo. Requires a version-3 (precinct
+    /// partitioned) container. ROI retrievals are stateless with respect to
+    /// the session's progressive refinement and skip the configured
+    /// readahead — a region client opted into region-scoped traffic, and
+    /// prefetching full-domain planes would defeat exactly that.
+    pub fn retrieve_roi(
+        &mut self,
+        bounds: ipcomp::RoiBox,
+        request: RetrievalRequest,
+    ) -> Result<Retrieval> {
+        self.decoder.retrieve_roi(bounds, request)
+    }
+
+    /// Streaming variant of [`RetrievalSession::retrieve_roi`]: the callback
+    /// observes per-precinct [`StreamEvent::Region`] decode progress and
+    /// per-level [`StreamEvent::LevelReconstructed`] cascade completions
+    /// scoped to the ROI window.
+    pub fn retrieve_roi_streaming(
+        &mut self,
+        bounds: ipcomp::RoiBox,
+        request: RetrievalRequest,
+        events: impl FnMut(StreamEvent),
+    ) -> Result<Retrieval> {
+        self.decoder.retrieve_roi_streaming(bounds, request, events)
+    }
+
     /// Warm the shared cache with every chunk `request` would add beyond
     /// what this session has loaded, without decoding anything. Returns what
     /// was fetched; a no-op (zero outcome) when the store has no cache layer
@@ -266,8 +294,13 @@ impl RetrievalSession {
     }
 
     /// The plan lowering this session's next `request` would fetch (for
-    /// inspection or cost estimation; does not read anything).
+    /// inspection or cost estimation; does not read anything). ROI requests
+    /// lower region-scoped: only chunk ranges of precincts the box (plus
+    /// halo) touches.
     pub fn plan_ranges(&self, request: RetrievalRequest) -> Result<crate::planner::RangePlan> {
+        if matches!(request, RetrievalRequest::Roi { .. }) {
+            return plan_request(&self.store.map, self.decoder.planes_loaded(), request);
+        }
         let plan = self.decoder.plan(request)?;
         Ok(lower_plan(
             &self.store.map,
