@@ -112,12 +112,14 @@ fn main() {
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     };
     let coalesced_options = StoreOptions {
         cache_bytes: 0,
         coalesce_gap: Some(COALESCE_GAP),
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     };
     // A/B: gap derived from the backend's traffic model (latency ×
     // throughput break-even — 1 MB for this profile) instead of the fixed
@@ -129,6 +131,7 @@ fn main() {
         coalesce_gap: Some(model_gap),
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     };
 
     let bounds = [1e-2, 1e-3, 1e-4, 1e-5];
@@ -212,6 +215,7 @@ fn main() {
                 coalesce_gap: Some(COALESCE_GAP),
                 readahead_planes: 0,
                 protect_top_planes: 0,
+                whole_read_below: None,
             },
         )
         .unwrap();
@@ -258,6 +262,7 @@ fn main() {
                 coalesce_gap: Some(COALESCE_GAP),
                 readahead_planes: 0,
                 protect_top_planes: protect,
+                whole_read_below: None,
             },
         )
         .unwrap();
@@ -296,6 +301,66 @@ fn main() {
         assert!(
             pin_hit_rate >= 0.5,
             "post-sweep coarse retrieval should mostly hit: {pin_hit_rate:.3}"
+        );
+    }
+
+    // Small-container crossover: below the traffic model's break-even
+    // (latency × throughput — 1 MB for this profile) ranged retrieval used
+    // to *lose* to downloading the whole archive, because every GET pays the
+    // fixed latency and there are few bytes to skip. `for_backend` collapses
+    // such containers to one whole-payload GET; the same policy leaves a
+    // container above the break-even on ranged reads.
+    let small_field = ArrayD::from_fn(Shape::d3(12, 12, 10), |c| {
+        (c[0] as f64 * 0.4).sin() + (c[1] as f64 * 0.3).cos() * 1.5 + c[2] as f64 * 0.02
+    });
+    let small_bytes = compress(&small_field, eb, &Config::default())
+        .unwrap()
+        .to_bytes();
+    let small_total = small_bytes.len();
+    let backend_options = StoreOptions {
+        cache_bytes: 0,
+        ..StoreOptions::for_backend(sim_profile().latency_per_request, THROUGHPUT_MB_S * 1e6)
+    };
+    let small_request = RetrievalRequest::ErrorBound(1e-4);
+    let small_ranged = measure(&small_bytes, coalesced_options, small_request);
+    let small_whole = measure(&small_bytes, backend_options, small_request);
+    assert_eq!(
+        small_whole.checksum, small_ranged.checksum,
+        "collapsed small-container output diverged"
+    );
+    println!(
+        "small container ({small_total} B < {model_gap} B break-even): ranged {} GETs / {} B / {:.1} ms vs whole-read collapse {} GET / {} B / {:.1} ms",
+        small_ranged.requests,
+        small_ranged.bytes,
+        small_ranged.sim_ms,
+        small_whole.requests,
+        small_whole.bytes,
+        small_whole.sim_ms,
+    );
+    assert!(
+        (small_total as u64) < model_gap,
+        "crossover scenario needs a sub-break-even container ({small_total} B)"
+    );
+    assert_eq!(
+        small_whole.requests, 1,
+        "below break-even the whole container must be one GET"
+    );
+    assert!(
+        small_whole.sim_ms < small_ranged.sim_ms,
+        "whole-read must win below break-even: {:.2} ms vs ranged {:.2} ms",
+        small_whole.sim_ms,
+        small_ranged.sim_ms
+    );
+    // The same backend-derived policy keeps a container above the break-even
+    // on ranged reads (skipped in smoke runs where the big field shrinks
+    // below the threshold).
+    if total as u64 > model_gap {
+        let big_backend = measure(&bytes, backend_options, RetrievalRequest::ErrorBound(1e-3));
+        assert!(
+            big_backend.requests > 1 && big_backend.bytes < total as u64,
+            "above break-even retrieval must stay ranged: {} GETs / {} B",
+            big_backend.requests,
+            big_backend.bytes
         );
     }
 
@@ -345,6 +410,15 @@ fn main() {
     json.push_str(&format!(
         "  \"cache_admission\": {{\"cache_bytes\": {}, \"scenario\": \"coarse after one-shot full sweep\", \"lru\": {{\"refetched_bytes\": {lru_bytes}, \"gets\": {lru_gets}, \"hit_rate\": {lru_hit_rate:.4}}}, \"top_plane_pinning\": {{\"protect_top_planes\": 63, \"refetched_bytes\": {pin_bytes}, \"gets\": {pin_gets}, \"hit_rate\": {pin_hit_rate:.4}}}}},\n",
         (total / 2).max(64 << 10)
+    ));
+    json.push_str(&format!(
+        "  \"small_container_crossover\": {{\"container_bytes\": {small_total}, \"break_even_bytes\": {model_gap}, \"ranged\": {{\"requests\": {}, \"bytes\": {}, \"sim_ms\": {:.2}}}, \"whole_read\": {{\"requests\": {}, \"bytes\": {}, \"sim_ms\": {:.2}}}}},\n",
+        small_ranged.requests,
+        small_ranged.bytes,
+        small_ranged.sim_ms,
+        small_whole.requests,
+        small_whole.bytes,
+        small_whole.sim_ms
     ));
     json.push_str(&format!(
         "  \"acceptance\": {{\"mid_error_bound\": \"1e-3\", \"bytes_fraction_mid\": {mid_fraction:.4}, \"min_coalesce_factor\": {min_coalesce_factor:.2}, \"bit_identical_to_slice_path\": true}}\n}}\n"

@@ -83,6 +83,7 @@ fn main() {
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     };
     let fetch = |roi: bool| {
         let sim = Arc::new(SimulatedObjectStore::new(

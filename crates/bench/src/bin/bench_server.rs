@@ -1,0 +1,408 @@
+//! Store-service scaling runner: emits `BENCH_server.json`.
+//!
+//! Models a multi-tenant retrieval frontend over S3-like storage: N tenants
+//! submit Zipf-distributed sessions (popular containers dominate, a long
+//! tail trickles) against 8 containers, each backed by its own
+//! [`SimulatedObjectStore`] (5 ms per GET, 200 MB/s), through the
+//! [`StoreService`]'s bounded admission path. Measured:
+//!
+//! * **Tail latency** — per-session simulated backend latency (misses the
+//!   session's reads generate, coalesced the way the stack batches them),
+//!   p50/p99 across the fleet.
+//! * **Backend-GET amplification** — total backend GETs when the fleet grows
+//!   8×, relative to the small fleet. The shared per-container caches must
+//!   absorb the growth: amplification ≤ 2× is asserted.
+//! * **Tenant policy** — a budget-capped tenant is refused deterministically
+//!   before any I/O; a quota'd sweeper never exceeds its cache residency cap.
+//!
+//! Every completed session's checksum is asserted bit-identical to a plain
+//! single-client session running the same workload on the same container.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_server [out.json] [--smoke]`
+//! `--smoke` (or `IPC_BENCH_QUICK=1`) shrinks fields and fleet for CI health
+//! checks; committed numbers come from the full ≥1000-session run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipc_store::{
+    field_checksum, ChunkSource, ContainerId, ContainerStore, CostModel, MemorySource,
+    RetrievalRequest, ServiceConfig, ServiceError, ServiceEvent, SimProfile, SimulatedObjectStore,
+    StoreOptions, StoreService, TenantConfig, TenantId,
+};
+use ipc_tensor::{ArrayD, Shape};
+use ipcomp::{compress, Config};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const LATENCY_MS: f64 = 5.0;
+const THROUGHPUT_MB_S: f64 = 200.0;
+const COALESCE_GAP: u64 = 4096;
+const CONTAINERS: usize = 8;
+const TENANTS: usize = 16;
+/// Zipf exponent over container popularity.
+const ZIPF_S: f64 = 1.1;
+
+fn sim_profile() -> SimProfile {
+    SimProfile {
+        latency_per_request: Duration::from_micros((LATENCY_MS * 1000.0) as u64),
+        throughput_bytes_per_sec: THROUGHPUT_MB_S * 1e6,
+        real_sleep: false,
+    }
+}
+
+/// Eight distinct containers with different structure and sizes.
+fn make_containers(smoke: bool) -> Vec<Vec<u8>> {
+    (0..CONTAINERS)
+        .map(|i| {
+            let n = if smoke {
+                14 + 2 * (i % 3)
+            } else {
+                28 + 4 * (i % 4)
+            };
+            let (a, b) = (0.07 + 0.03 * i as f64, 0.11 + 0.02 * i as f64);
+            let field = ArrayD::from_fn(Shape::d3(n, n, n.max(8)), |c| {
+                let h = (c[0].wrapping_mul(73856093)
+                    ^ c[1].wrapping_mul(19349663)
+                    ^ c[2].wrapping_mul(83492791)) as u64
+                    ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                let noise =
+                    ((h.wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1 << 24) as f64) - 0.5;
+                (c[0] as f64 * a).sin() * (2.0 + i as f64 * 0.3)
+                    + (c[1] as f64 * b).cos()
+                    + noise * 0.02
+            });
+            compress(&field, 1e-7, &Config::default())
+                .unwrap()
+                .to_bytes()
+        })
+        .collect()
+}
+
+/// The session mix: mostly interactive coarse→mid refinement, some deep
+/// refinement, an occasional full sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Kind {
+    Interactive,
+    Deep,
+    Sweep,
+}
+
+impl Kind {
+    fn workload(self) -> Vec<RetrievalRequest> {
+        match self {
+            Kind::Interactive => vec![
+                RetrievalRequest::ErrorBound(1e-2),
+                RetrievalRequest::ErrorBound(1e-3),
+            ],
+            Kind::Deep => vec![
+                RetrievalRequest::ErrorBound(1e-2),
+                RetrievalRequest::ErrorBound(1e-4),
+            ],
+            Kind::Sweep => vec![RetrievalRequest::Full],
+        }
+    }
+
+    fn sample(rng: &mut ChaCha8Rng) -> Self {
+        match rng.gen_range(0..100u32) {
+            0..=69 => Kind::Interactive,
+            70..=94 => Kind::Deep,
+            _ => Kind::Sweep,
+        }
+    }
+}
+
+/// Zipf sample over `n` ranks: rank r drawn with weight 1/(r+1)^s.
+fn zipf(rng: &mut ChaCha8Rng, cum: &[f64]) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    cum.iter().position(|&c| u < c).unwrap_or(cum.len() - 1)
+}
+
+struct FleetResult {
+    sessions: usize,
+    backend_gets: u64,
+    backend_bytes: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    sweeper_peak_resident: usize,
+}
+
+/// Run a fleet of `sessions` Zipf-distributed sessions over fresh stores and
+/// a fresh service, verifying every checksum against `references`.
+fn run_fleet(
+    containers: &[Vec<u8>],
+    references: &HashMap<(usize, Kind), u64>,
+    sessions: usize,
+) -> FleetResult {
+    let sims: Vec<Arc<SimulatedObjectStore<MemorySource>>> = containers
+        .iter()
+        .map(|b| {
+            Arc::new(SimulatedObjectStore::new(
+                MemorySource::new(b.clone()),
+                sim_profile(),
+            ))
+        })
+        .collect();
+    let stores: Vec<Arc<ContainerStore>> = sims
+        .iter()
+        .zip(containers)
+        .map(|(sim, b)| {
+            ContainerStore::open(
+                Arc::clone(sim) as Arc<dyn ChunkSource>,
+                StoreOptions {
+                    // Cache provisioned for the whole container — a service
+                    // sizes cache for its hot set; the per-tenant quotas
+                    // below are what bound each tenant's own admissions.
+                    cache_bytes: b.len().max(32 << 10),
+                    coalesce_gap: Some(COALESCE_GAP),
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let service = StoreService::new(ServiceConfig {
+        workers: 8,
+        max_inflight: 64,
+        event_depth: 64,
+        cost_model: Some(CostModel {
+            latency_per_request: sim_profile().latency_per_request,
+            throughput_bytes_per_sec: THROUGHPUT_MB_S * 1e6,
+            coalesce_gap: COALESCE_GAP,
+        }),
+    });
+    let cids: Vec<ContainerId> = stores
+        .iter()
+        .map(|s| service.register_container(Arc::clone(s)))
+        .collect();
+    // Tenant fleet; sweep-heavy tenants could churn the shared caches, so
+    // every tenant carries a moderate admission quota.
+    let tids: Vec<TenantId> = (0..TENANTS)
+        .map(|_| {
+            service.register_tenant(TenantConfig {
+                cache_quota: Some(64 << 10),
+                max_inflight: 8,
+                ..TenantConfig::default()
+            })
+        })
+        .collect();
+
+    // Pre-sample every session (tenant, container, kind) so the schedule is
+    // identical at every fleet scale prefix.
+    let mut rng = ChaCha8Rng::seed_from_u64(20250808);
+    let weights: Vec<f64> = (0..CONTAINERS)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(ZIPF_S))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+    let plan: Vec<(usize, usize, Kind)> = (0..sessions)
+        .map(|i| (i % TENANTS, zipf(&mut rng, &cum), Kind::sample(&mut rng)))
+        .collect();
+
+    // One client thread per tenant, each driving its share of the sessions
+    // and validating checksums inline.
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let plan = &plan;
+                let service = &service;
+                let cids = &cids;
+                let tid = tids[t];
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    for &(tenant, container, kind) in plan.iter().filter(|p| p.0 == t) {
+                        debug_assert_eq!(tenant, t);
+                        let rx = service
+                            .submit(tid, cids[container], kind.workload())
+                            .unwrap();
+                        let mut done = None;
+                        while let Ok(ev) = rx.recv() {
+                            match ev {
+                                ServiceEvent::WorkloadDone { outcome, sim_nanos } => {
+                                    done = Some((outcome.checksum, sim_nanos));
+                                }
+                                ServiceEvent::WorkloadFailed { error, .. } => {
+                                    panic!("session failed: {error}");
+                                }
+                                _ => {}
+                            }
+                        }
+                        let (checksum, nanos) = done.expect("session completed");
+                        assert_eq!(
+                            checksum, references[&(container, kind)],
+                            "session on container {container} ({kind:?}) diverged from single-client reference"
+                        );
+                        lat.push(nanos);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        all
+    });
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 * 1e-6;
+    let backend_gets: u64 = sims.iter().map(|s| s.stats().requests).sum();
+    let backend_bytes: u64 = sims.iter().map(|s| s.stats().bytes).sum();
+    let (hits, misses) = stores
+        .iter()
+        .filter_map(|s| s.cache_stats())
+        .fold((0u64, 0u64), |(h, m), c| (h + c.hits, m + c.misses));
+    let sweeper_peak_resident = stores
+        .iter()
+        .filter_map(|s| s.cache())
+        .flat_map(|c| tids.iter().map(move |t| c.tag_stats(t.0).resident_bytes))
+        .max()
+        .unwrap_or(0);
+    FleetResult {
+        sessions,
+        backend_gets,
+        backend_bytes,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        sweeper_peak_resident,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_server.json".to_string();
+    let mut smoke = std::env::var("IPC_BENCH_QUICK").is_ok();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if !arg.starts_with('-') {
+            out_path = arg;
+        }
+    }
+
+    let containers = make_containers(smoke);
+    let total_bytes: usize = containers.iter().map(Vec::len).sum();
+    println!("{CONTAINERS} containers, {total_bytes} B total, {TENANTS} tenants, Zipf s={ZIPF_S}");
+
+    // Single-client references: every (container, kind) workload through a
+    // plain session, no service involved.
+    let references: HashMap<(usize, Kind), u64> = containers
+        .iter()
+        .enumerate()
+        .flat_map(|(c, bytes)| {
+            [Kind::Interactive, Kind::Deep, Kind::Sweep]
+                .into_iter()
+                .map(move |kind| {
+                    let store = ContainerStore::open(
+                        Arc::new(MemorySource::new(bytes.clone())),
+                        StoreOptions::default(),
+                    )
+                    .unwrap();
+                    let mut session = store.session();
+                    let mut last = None;
+                    for req in kind.workload() {
+                        last = Some(session.retrieve(req).unwrap());
+                    }
+                    let checksum = field_checksum(last.unwrap().data.as_slice());
+                    ((c, kind), checksum)
+                })
+        })
+        .collect();
+
+    // The fleet at base scale and at 8× growth, fresh stores each time.
+    let base_sessions = if smoke { 16 } else { 128 };
+    let grown_sessions = base_sessions * 8; // ≥1000 sessions in the full run
+    let base = run_fleet(&containers, &references, base_sessions);
+    let grown = run_fleet(&containers, &references, grown_sessions);
+    let amplification = grown.backend_gets as f64 / base.backend_gets.max(1) as f64;
+
+    for r in [&base, &grown] {
+        println!(
+            "{:>5} sessions: {} backend GETs / {} B | session sim latency p50 {:.1} ms p99 {:.1} ms | cache hit rate {:.0}% | peak tenant residency {} B",
+            r.sessions,
+            r.backend_gets,
+            r.backend_bytes,
+            r.p50_ms,
+            r.p99_ms,
+            r.hit_rate * 100.0,
+            r.sweeper_peak_resident,
+        );
+    }
+    println!(
+        "backend-GET amplification at 8x client growth: {amplification:.2}x (<= 2.0x required)"
+    );
+    assert!(
+        amplification <= 2.0,
+        "shared caches must absorb 8x client growth: amplification {amplification:.2}"
+    );
+    assert!(
+        base.sweeper_peak_resident <= 64 << 10 && grown.sweeper_peak_resident <= 64 << 10,
+        "tenant cache quota exceeded"
+    );
+
+    // Per-tenant budget enforcement through the same service shape: a tenant
+    // whose budget cannot cover even the coarse step is refused before any
+    // I/O, and its accounting stays at zero.
+    let budget_enforced = {
+        let store = ContainerStore::open(
+            Arc::new(MemorySource::new(containers[0].clone())),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let service = StoreService::new(ServiceConfig::default());
+        let cid = service.register_container(store);
+        let broke = service.register_tenant(TenantConfig {
+            byte_budget: Some(8),
+            ..TenantConfig::default()
+        });
+        let rx = service
+            .submit(broke, cid, Kind::Interactive.workload())
+            .unwrap();
+        let mut refused = false;
+        while let Ok(ev) = rx.recv() {
+            if let ServiceEvent::WorkloadFailed {
+                error: ServiceError::BudgetExhausted { .. },
+                ..
+            } = ev
+            {
+                refused = true;
+            }
+        }
+        assert!(refused, "budget-capped tenant must be refused");
+        assert_eq!(service.tenant_bytes_used(broke), 0);
+        refused
+    };
+    println!("per-tenant byte budget enforced: {budget_enforced}");
+
+    let fleet_json = |r: &FleetResult| {
+        format!(
+            "{{\"sessions\": {}, \"backend_gets\": {}, \"backend_bytes\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"cache_hit_rate\": {:.4}, \"peak_tenant_resident_bytes\": {}}}",
+            r.sessions,
+            r.backend_gets,
+            r.backend_bytes,
+            r.p50_ms,
+            r.p99_ms,
+            r.hit_rate,
+            r.sweeper_peak_resident
+        )
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"bit_identical_to_single_client\": true}}\n}}\n",
+        fleet_json(&base),
+        fleet_json(&grown),
+        64 << 10
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -1,5 +1,5 @@
 //! Byte-budgeted LRU cache over a [`ChunkSource`], with protected admission
-//! for the hot coarse prefix.
+//! for the hot coarse prefix and per-tenant admission quotas.
 //!
 //! Keys are the exact requested ranges. That is effective because the
 //! decoder always addresses a given chunk by the same `(offset, len)` pair —
@@ -15,9 +15,18 @@
 //! budget. Pure LRU failed exactly there: one client's one-shot sweep
 //! through the low planes (a `Full` retrieval reads megabytes it will never
 //! re-read) evicted the coarse prefix that every *other* client hits, so
-//! fleet hit rates collapsed after each deep retrieval. Protecting the
-//! coarse prefix costs the sweep nothing (its chunks were dead on arrival)
-//! and keeps the common path warm.
+//! fleet hit rates collapsed after each deep retrieval.
+//!
+//! **Tenancy**: reads can carry a [`CacheTag`] (see
+//! [`CachedSource::read_ranges_tagged`] and the [`TaggedSource`] wrapper a
+//! per-tenant session stack uses). Entries remember which tag admitted them,
+//! and a tag can be given an *admission quota* ([`CachedSource::set_quota`]):
+//! once the tag's resident bytes reach its quota, its new admissions recycle
+//! its **own** least-recently-used unprotected entries instead of evicting
+//! anyone else's — so one tenant's deep sweep can displace other tenants'
+//! entries (and the protected coarse prefix) by at most its quota, however
+//! many megabytes it streams through. Per-tag hit/miss/byte counters back
+//! the service layer's per-tenant accounting.
 //!
 //! Concurrency: the miss fetch happens outside the lock, so two sessions
 //! racing on the same cold chunk may both fetch it (last insert wins). That
@@ -26,10 +35,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
 use ipcomp::Result;
+
+/// Identifies the tenant (or session) a tagged read acts on behalf of.
+pub type CacheTag = u32;
 
 /// Hit/miss counters of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +58,44 @@ pub struct CacheStats {
     pub protected_ranges: usize,
 }
 
+/// Per-tag counters and residency (see [`CachedSource::tag_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Ranges this tag's reads served from the cache.
+    pub hits: u64,
+    /// Ranges this tag's reads had to fetch from the wrapped source.
+    pub misses: u64,
+    /// Payload bytes of those missed ranges.
+    pub miss_bytes: u64,
+    /// Bytes currently resident that this tag's reads admitted.
+    pub resident_bytes: usize,
+}
+
+/// Result of a tagged read: the payload plus which requested ranges missed,
+/// so a caller can attribute backend cost (a simulated latency model, a
+/// byte meter) to exactly the traffic this call generated.
+#[derive(Debug, Clone)]
+pub struct TaggedRead {
+    /// One buffer per requested range, in request order.
+    pub bytes: Vec<Bytes>,
+    /// Indices (into the request slice) of ranges served by the wrapped
+    /// source rather than the cache.
+    pub missed: Vec<u32>,
+}
+
 struct CacheEntry {
     bytes: Bytes,
     tick: u64,
+    owner: Option<CacheTag>,
+}
+
+#[derive(Default)]
+struct TagState {
+    resident: usize,
+    quota: Option<usize>,
+    hits: u64,
+    misses: u64,
+    miss_bytes: u64,
 }
 
 struct CacheState {
@@ -57,6 +104,21 @@ struct CacheState {
     protected: HashSet<ByteRange>,
     resident: usize,
     tick: u64,
+    tags: HashMap<CacheTag, TagState>,
+}
+
+impl CacheState {
+    /// Remove `key`, keeping global and per-owner residency in sync.
+    fn remove_entry(&mut self, key: ByteRange) {
+        if let Some(e) = self.map.remove(&key) {
+            self.resident -= e.bytes.len();
+            if let Some(owner) = e.owner {
+                if let Some(t) = self.tags.get_mut(&owner) {
+                    t.resident = t.resident.saturating_sub(e.bytes.len());
+                }
+            }
+        }
+    }
 }
 
 /// A [`ChunkSource`] wrapper holding recently requested ranges in an LRU
@@ -80,6 +142,7 @@ impl<S: ChunkSource> CachedSource<S> {
                 protected: HashSet::new(),
                 resident: 0,
                 tick: 0,
+                tags: HashMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -96,6 +159,15 @@ impl<S: ChunkSource> CachedSource<S> {
         state.protected.extend(ranges.iter().copied());
     }
 
+    /// Cap the bytes `tag`'s reads may keep resident: once at the cap, the
+    /// tag's new admissions evict its **own** least-recently-used
+    /// unprotected entries (or are bypassed when none exist) instead of
+    /// displacing other tags. `None` removes the cap.
+    pub fn set_quota(&self, tag: CacheTag, quota: Option<usize>) {
+        let mut state = self.state.lock().expect("cache lock");
+        state.tags.entry(tag).or_default().quota = quota;
+    }
+
     /// Snapshot of the hit/miss counters and residency.
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");
@@ -108,12 +180,29 @@ impl<S: ChunkSource> CachedSource<S> {
         }
     }
 
-    /// Drop every cached entry (counters keep accumulating, protection
-    /// registrations persist).
+    /// Snapshot of one tag's counters and admitted residency.
+    pub fn tag_stats(&self, tag: CacheTag) -> TagStats {
+        let state = self.state.lock().expect("cache lock");
+        state
+            .tags
+            .get(&tag)
+            .map_or(TagStats::default(), |t| TagStats {
+                hits: t.hits,
+                misses: t.misses,
+                miss_bytes: t.miss_bytes,
+                resident_bytes: t.resident,
+            })
+    }
+
+    /// Drop every cached entry (counters keep accumulating, protection and
+    /// quota registrations persist).
     pub fn clear(&self) {
         let mut state = self.state.lock().expect("cache lock");
         state.map.clear();
         state.resident = 0;
+        for t in state.tags.values_mut() {
+            t.resident = 0;
+        }
     }
 
     /// Evict least-recently-used *unprotected* entries until the budget
@@ -138,19 +227,45 @@ impl<S: ChunkSource> CachedSource<S> {
                         .map(|(k, _)| *k)
                 })
                 .expect("non-empty");
-            if let Some(e) = state.map.remove(&victim) {
-                state.resident -= e.bytes.len();
+            state.remove_entry(victim);
+        }
+    }
+
+    /// Make room for a `len`-byte admission by `tag` under its quota by
+    /// evicting the tag's own unprotected LRU entries. Returns `false` (do
+    /// not admit) when the quota cannot be met that way — the entry alone
+    /// exceeds the quota, or everything the tag still holds is protected.
+    fn make_tag_room(state: &mut CacheState, tag: CacheTag, len: usize, quota: usize) -> bool {
+        if len > quota {
+            return false;
+        }
+        loop {
+            let resident = state.tags.get(&tag).map_or(0, |t| t.resident);
+            if resident + len <= quota {
+                return true;
+            }
+            let victim = state
+                .map
+                .iter()
+                .filter(|(k, e)| e.owner == Some(tag) && !state.protected.contains(*k))
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => state.remove_entry(k),
+                None => return false,
             }
         }
     }
-}
 
-impl<S: ChunkSource> ChunkSource for CachedSource<S> {
-    fn len(&self) -> u64 {
-        self.inner.len()
-    }
-
-    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+    /// Tagged variant of `read_ranges`: serves `ranges` through the cache on
+    /// behalf of `tag`, attributing admissions (quota-checked), hit/miss
+    /// counters, and the returned miss list to it. `None` behaves like the
+    /// plain untagged path (no quota, global counters only).
+    pub fn read_ranges_tagged(
+        &self,
+        tag: Option<CacheTag>,
+        ranges: &[ByteRange],
+    ) -> Result<TaggedRead> {
         let mut out: Vec<Option<Bytes>> = vec![None; ranges.len()];
         let mut miss_idx: Vec<usize> = Vec::new();
         {
@@ -165,6 +280,13 @@ impl<S: ChunkSource> ChunkSource for CachedSource<S> {
                     miss_idx.push(i);
                 }
             }
+            if let Some(tag) = tag {
+                let miss_bytes: u64 = miss_idx.iter().map(|&i| ranges[i].len as u64).sum();
+                let t = state.tags.entry(tag).or_default();
+                t.hits += (ranges.len() - miss_idx.len()) as u64;
+                t.misses += miss_idx.len() as u64;
+                t.miss_bytes += miss_bytes;
+            }
         }
         self.hits
             .fetch_add((ranges.len() - miss_idx.len()) as u64, Ordering::Relaxed);
@@ -174,43 +296,102 @@ impl<S: ChunkSource> ChunkSource for CachedSource<S> {
         if !miss_idx.is_empty() {
             let miss_ranges: Vec<ByteRange> = miss_idx.iter().map(|&i| ranges[i]).collect();
             // Fetch outside the lock; read_ranges_exact guarantees sizes, so
-            // cached entries are always exactly their key's length.
+            // cached entries are always exactly their key's length. A short
+            // read errors here, *before* any admission below — truncated
+            // bytes never enter the cache.
             let bufs = read_ranges_exact(&self.inner, &miss_ranges)?;
             let mut state = self.state.lock().expect("cache lock");
             state.tick += 1;
             let tick = state.tick;
+            let quota = tag.and_then(|t| state.tags.get(&t).and_then(|s| s.quota));
             for (&i, buf) in miss_idx.iter().zip(bufs) {
                 out[i] = Some(buf.clone());
                 let r = ranges[i];
                 // Entries larger than the whole budget bypass the cache.
-                if r.len <= self.budget && !state.map.contains_key(&r) {
-                    // A coalescing layer below returns slices of one large
-                    // merged read; storing such a slice would pin the whole
-                    // backing buffer while `resident` counts only the slice.
-                    // Copy into a right-sized allocation so the byte budget
-                    // bounds real memory (one chunk-sized memcpy per miss).
-                    let stored = if buf.len() == buf.backing_len() {
-                        buf
-                    } else {
-                        Bytes::from_vec(buf.to_vec())
-                    };
-                    state.resident += stored.len();
-                    state.map.insert(
-                        r,
-                        CacheEntry {
-                            bytes: stored,
-                            tick,
-                        },
-                    );
+                if r.len > self.budget || state.map.contains_key(&r) {
+                    continue;
                 }
+                // Quota'd tags recycle their own entries; admission is
+                // skipped when the quota cannot be met from them.
+                if let (Some(tag), Some(q)) = (tag, quota) {
+                    if !Self::make_tag_room(&mut state, tag, r.len, q) {
+                        continue;
+                    }
+                }
+                // A coalescing layer below returns slices of one large
+                // merged read; storing such a slice would pin the whole
+                // backing buffer while `resident` counts only the slice.
+                // Copy into a right-sized allocation so the byte budget
+                // bounds real memory (one chunk-sized memcpy per miss).
+                let stored = if buf.len() == buf.backing_len() {
+                    buf
+                } else {
+                    Bytes::from_vec(buf.to_vec())
+                };
+                state.resident += stored.len();
+                if let Some(tag) = tag {
+                    state.tags.entry(tag).or_default().resident += stored.len();
+                }
+                state.map.insert(
+                    r,
+                    CacheEntry {
+                        bytes: stored,
+                        tick,
+                        owner: tag,
+                    },
+                );
             }
             let budget = self.budget;
             Self::evict_to_budget(&mut state, budget);
         }
-        Ok(out
-            .into_iter()
-            .map(|b| b.expect("all slots filled"))
-            .collect())
+        Ok(TaggedRead {
+            bytes: out
+                .into_iter()
+                .map(|b| b.expect("all slots filled"))
+                .collect(),
+            missed: miss_idx.into_iter().map(|i| i as u32).collect(),
+        })
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for CachedSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        Ok(self.read_ranges_tagged(None, ranges)?.bytes)
+    }
+}
+
+/// A [`ChunkSource`] that routes every read through a shared
+/// [`CachedSource`] under one fixed [`CacheTag`] — the top of a tenant's
+/// session stack, so the decoder below needs no notion of tenancy while the
+/// cache still attributes (and quota-checks) all of the tenant's traffic.
+pub struct TaggedSource<S> {
+    cache: Arc<CachedSource<S>>,
+    tag: CacheTag,
+}
+
+impl<S: ChunkSource> TaggedSource<S> {
+    /// Read through `cache` on behalf of `tag`.
+    pub fn new(cache: Arc<CachedSource<S>>, tag: CacheTag) -> Self {
+        Self { cache, tag }
+    }
+
+    /// The tag this wrapper reads under.
+    pub fn tag(&self) -> CacheTag {
+        self.tag
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for TaggedSource<S> {
+    fn len(&self) -> u64 {
+        self.cache.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        Ok(self.cache.read_ranges_tagged(Some(self.tag), ranges)?.bytes)
     }
 }
 
@@ -332,5 +513,127 @@ mod tests {
         let cache = CachedSource::new(MemorySource::new(vec![1u8; 4096]), 64);
         cache.read_ranges(&[ByteRange::new(0, 1024)]).unwrap();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn tagged_reads_report_misses_and_per_tag_counters() {
+        let data: Vec<u8> = (0..=255).cycle().take(4096).map(|v| v as u8).collect();
+        let cache = Arc::new(CachedSource::new(MemorySource::new(data), 1 << 20));
+        let ranges = [ByteRange::new(0, 64), ByteRange::new(256, 64)];
+        let first = cache.read_ranges_tagged(Some(7), &ranges).unwrap();
+        assert_eq!(first.missed, vec![0, 1]);
+        // Second read by another tag: all hits, misses attributed to 7 only.
+        let second = cache.read_ranges_tagged(Some(9), &ranges).unwrap();
+        assert!(second.missed.is_empty());
+        let t7 = cache.tag_stats(7);
+        let t9 = cache.tag_stats(9);
+        assert_eq!((t7.hits, t7.misses, t7.miss_bytes), (0, 2, 128));
+        assert_eq!((t9.hits, t9.misses), (2, 0));
+        assert_eq!(t7.resident_bytes, 128);
+        assert_eq!(t9.resident_bytes, 0);
+    }
+
+    #[test]
+    fn quota_limits_a_tenants_residency_to_its_own_recycled_slots() {
+        let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
+        let cache = Arc::new(CachedSource::new(MemorySource::new(data.clone()), 4096));
+        // Tenant 1's working set: four chunks, no quota.
+        let hot: Vec<ByteRange> = (0..4).map(|i| ByteRange::new(i * 128, 128)).collect();
+        cache.read_ranges_tagged(Some(1), &hot).unwrap();
+        // Tenant 2 sweeps 16 chunks with a 256-byte quota: only two of its
+        // entries may be resident at any point, recycled among themselves.
+        cache.set_quota(2, Some(256));
+        for i in 0..16 {
+            let r = ByteRange::new(4096 + i * 128, 128);
+            cache
+                .read_ranges_tagged(Some(2), std::slice::from_ref(&r))
+                .unwrap();
+            assert!(cache.tag_stats(2).resident_bytes <= 256);
+        }
+        // Tenant 1's entries all survived the sweep.
+        let misses_before = cache.stats().misses;
+        let bufs = cache.read_ranges_tagged(Some(1), &hot).unwrap();
+        assert_eq!(cache.stats().misses, misses_before, "tenant 1 was evicted");
+        for (r, b) in hot.iter().zip(&bufs.bytes) {
+            assert_eq!(&b[..], &data[r.offset as usize..r.end() as usize]);
+        }
+        assert_eq!(cache.tag_stats(1).resident_bytes, 512);
+    }
+
+    #[test]
+    fn quota_shields_protected_prefix_of_other_tenants() {
+        let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
+        // Cache smaller than the sweep, so without a quota the sweep would
+        // churn everything unprotected out.
+        let cache = Arc::new(CachedSource::new(MemorySource::new(data.clone()), 1024));
+        let prefix = [ByteRange::new(0, 128), ByteRange::new(128, 128)];
+        cache.protect(&prefix);
+        cache.read_ranges_tagged(Some(1), &prefix).unwrap();
+        // Unprotected entry of tenant 1 too.
+        let warm = ByteRange::new(512, 128);
+        cache
+            .read_ranges_tagged(Some(1), std::slice::from_ref(&warm))
+            .unwrap();
+        cache.set_quota(2, Some(384));
+        let sweep: Vec<ByteRange> = (0..24)
+            .map(|i| ByteRange::new(4096 + i * 128, 128))
+            .collect();
+        for r in &sweep {
+            cache
+                .read_ranges_tagged(Some(2), std::slice::from_ref(r))
+                .unwrap();
+        }
+        // Tenant 2 held at most its quota; the protected prefix and tenant
+        // 1's warm chunk never left (the quota'd sweep recycled its own
+        // slots instead of pushing the cache over budget).
+        assert!(cache.tag_stats(2).resident_bytes <= 384);
+        let misses_before = cache.stats().misses;
+        cache.read_ranges_tagged(Some(1), &prefix).unwrap();
+        cache
+            .read_ranges_tagged(Some(1), std::slice::from_ref(&warm))
+            .unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            misses_before,
+            "tenant 1 lost entries to tenant 2's sweep"
+        );
+    }
+
+    #[test]
+    fn entry_larger_than_quota_is_bypassed_not_admitted() {
+        let cache = Arc::new(CachedSource::new(MemorySource::new(vec![5u8; 4096]), 2048));
+        cache.set_quota(3, Some(100));
+        cache
+            .read_ranges_tagged(Some(3), &[ByteRange::new(0, 512)])
+            .unwrap();
+        assert_eq!(cache.tag_stats(3).resident_bytes, 0);
+        assert_eq!(cache.stats().entries, 0);
+        // Within quota admits normally.
+        cache
+            .read_ranges_tagged(Some(3), &[ByteRange::new(1024, 64)])
+            .unwrap();
+        assert_eq!(cache.tag_stats(3).resident_bytes, 64);
+    }
+
+    #[test]
+    fn tagged_source_routes_through_shared_cache() {
+        let sim = Arc::new(SimulatedObjectStore::new(
+            MemorySource::new(vec![4u8; 2048]),
+            SimProfile::free(),
+        ));
+        let cache = Arc::new(CachedSource::new(
+            Arc::clone(&sim) as Arc<dyn ChunkSource>,
+            1 << 20,
+        ));
+        let a = TaggedSource::new(Arc::clone(&cache), 1);
+        let b = TaggedSource::new(Arc::clone(&cache), 2);
+        let r = [ByteRange::new(0, 256)];
+        a.read_ranges(&r).unwrap();
+        b.read_ranges(&r).unwrap();
+        assert_eq!(sim.stats().requests, 1, "b hits a's admission");
+        assert_eq!(cache.tag_stats(1).misses, 1);
+        assert_eq!(cache.tag_stats(2).hits, 1);
+        assert_eq!(a.tag(), 1);
+        assert_eq!(a.len(), 2048);
     }
 }

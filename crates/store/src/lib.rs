@@ -19,7 +19,10 @@
 //! 3. **Service** — [`ContainerStore`] composes a source stack (backend →
 //!    coalescing → shared LRU [`CachedSource`]) and hands out
 //!    [`RetrievalSession`]s; [`StoreServer`] drives N concurrent client
-//!    sessions over the shared cache on the rayon pool.
+//!    sessions over the shared cache on the rayon pool, and [`StoreService`]
+//!    is the long-lived multi-tenant front door: bounded admission, a
+//!    worker pool streaming [`StreamEvent`]s back per workload, per-tenant
+//!    byte budgets and cache quotas.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -41,22 +44,31 @@
 //! assert!(coarse.bytes_total < fine.bytes_total);
 //! ```
 
+pub mod async_source;
 pub mod cache;
 pub mod coalesce;
 pub mod file;
 pub mod planner;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod sim;
 pub mod testutil;
+pub mod whole;
 
-pub use cache::{CacheStats, CachedSource};
+pub use async_source::{AsyncSourceAdapter, BatchFetch, ThreadedFetch};
+pub use cache::{CacheStats, CacheTag, CachedSource, TagStats, TaggedRead, TaggedSource};
 pub use coalesce::{coalesce_ranges, traffic_model_gap, CoalescingSource};
 pub use file::FileSource;
 pub use planner::{lower_plan, lower_plan_roi, plan_request, ChunkRead, RangePlan};
 pub use server::{field_checksum, ClientOutcome, ClientStep, StoreServer};
-pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, StoreOptions};
-pub use sim::{Fault, SimProfile, SimStats, SimulatedObjectStore};
+pub use service::{
+    ContainerId, CostModel, ServiceConfig, ServiceError, ServiceEvent, StoreService, TenantConfig,
+    TenantId,
+};
+pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, SharedCache, StoreOptions};
+pub use sim::{Fault, FaultSource, SimProfile, SimStats, SimulatedObjectStore};
+pub use whole::WholeReadSource;
 
 // The storage abstraction itself lives next to the container format so the
 // decoder can consume it; re-export it as part of this crate's surface.

@@ -73,15 +73,20 @@ impl StoreServer {
     /// Run every workload as its own session, fanning out over the rayon
     /// pool. Results arrive in workload order; a failing request fails only
     /// its own client.
+    ///
+    /// The workloads are borrowed across the fan-out — a thousand-client
+    /// bench used to duplicate every request vector up front
+    /// (`workloads.to_vec()`) before any session ran, an allocation storm
+    /// proportional to the fleet size that bought nothing: sessions only
+    /// ever read the requests.
     pub fn serve(&self, workloads: &[Vec<RetrievalRequest>]) -> Vec<Result<ClientOutcome>> {
         workloads
-            .to_vec()
-            .into_par_iter()
+            .par_iter()
             .map(|requests| {
                 let mut session = self.store.session();
                 let mut steps = Vec::with_capacity(requests.len());
                 let mut last = None;
-                for request in requests {
+                for &request in requests {
                     let out = session.retrieve(request)?;
                     steps.push(ClientStep {
                         bytes_this_request: out.bytes_this_request,

@@ -1,0 +1,897 @@
+//! Multi-tenant store service: connection/session multiplexing over a
+//! worker pool, with per-tenant budgets and incremental event streaming.
+//!
+//! [`StoreServer`](crate::StoreServer) fans a fixed batch of workloads over
+//! the rayon pool and returns only when everything finished — fine for a
+//! bench, not a service. [`StoreService`] is the service shape: tenants
+//! submit workloads at any time over a **bounded admission path**, sessions
+//! run on a long-lived worker pool, and each workload's results flow back
+//! over its own **bounded event channel**, forwarding the decoder's
+//! [`StreamEvent`]s *as they land* — a client renders the coarse lattice
+//! while the fine planes are still streaming out of the shared cache,
+//! exactly the consumer shape of a progressive-delivery frontend.
+//!
+//! ```text
+//!  tenant A ──submit──▶ ┌─────────────┐     ┌────────────┐  events (bounded)
+//!  tenant B ──submit──▶ │  admission  │ ──▶ │ job queue  │ ──▶ worker ──▶ rx A
+//!      │                │  semaphores │     │ (≤ global  │ ──▶ worker ──▶ rx B
+//!      └─ backpressure ◀┤  per-tenant │     │  in-flight)│       │
+//!        (submit blocks)│  + global   │     └────────────┘       ▼
+//!                       └─────────────┘              session_tagged(tenant)
+//!                                                    over the shared cache
+//! ```
+//!
+//! **Backpressure** exists at both ends: admission blocks (or
+//! [`StoreService::try_submit`] refuses with [`ServiceError::Busy`]) once a
+//! tenant — or the service globally — has its configured number of
+//! workloads in flight, and a worker producing events faster than the
+//! client drains them blocks on the bounded channel instead of buffering
+//! unboundedly.
+//!
+//! **Tenancy**: each tenant's sessions read through the shared per-container
+//! chunk cache under the tenant's [`CacheTag`], so its cache admissions are
+//! quota-capped ([`TenantConfig::cache_quota`] — a deep sweep recycles the
+//! tenant's own slots instead of flushing its neighbours) and its traffic is
+//! attributed. A cumulative **byte budget** ([`TenantConfig::byte_budget`])
+//! is enforced *before* each request runs, against the planner's exact byte
+//! count for the delta the request would fetch — an over-budget tenant is
+//! refused deterministically instead of cut off mid-transfer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ipcomp::progressive::{RetrievalRequest, StreamEvent};
+use ipcomp::source::{ByteRange, Bytes, ChunkSource};
+use ipcomp::IpcompError;
+
+use crate::cache::CacheTag;
+use crate::coalesce::coalesce_ranges;
+use crate::server::{field_checksum, ClientOutcome, ClientStep};
+use crate::session::{ContainerStore, RetrievalSession, SharedCache};
+
+/// Handle of a container registered with the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerId(pub usize);
+
+/// Handle of a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantId(pub u32);
+
+/// Per-tenant resource policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantConfig {
+    /// Cumulative container payload bytes the tenant may fetch across its
+    /// lifetime; a request whose planned delta would exceed the remainder
+    /// fails with [`ServiceError::BudgetExhausted`] before any I/O.
+    /// `None` = unmetered.
+    pub byte_budget: Option<u64>,
+    /// Cap on the shared-cache bytes this tenant's reads may keep resident
+    /// per container (see [`crate::CachedSource::set_quota`]). `None` =
+    /// uncapped.
+    pub cache_quota: Option<usize>,
+    /// Workloads the tenant may have in flight before `submit` blocks
+    /// (backpressure) and `try_submit` refuses.
+    pub max_inflight: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        Self {
+            byte_budget: None,
+            cache_quota: None,
+            max_inflight: 4,
+        }
+    }
+}
+
+/// Cost model used to attribute simulated backend latency to each workload:
+/// the misses a workload's reads generate are coalesced under `coalesce_gap`
+/// (mirroring the GETs the backend would see) and charged
+/// `latency_per_request` each plus transfer time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per backend GET.
+    pub latency_per_request: Duration,
+    /// Transfer rate; `0.0` means latency-only.
+    pub throughput_bytes_per_sec: f64,
+    /// Gap under which adjacent misses merge into one GET (use the stack's
+    /// coalescing gap so attribution matches the real request stream).
+    pub coalesce_gap: u64,
+}
+
+impl CostModel {
+    fn nanos(&self, gets: u64, bytes: u64) -> u64 {
+        let mut secs = gets as f64 * self.latency_per_request.as_secs_f64();
+        if self.throughput_bytes_per_sec > 0.0 {
+            secs += bytes as f64 / self.throughput_bytes_per_sec;
+        }
+        (secs * 1e9) as u64
+    }
+}
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads running sessions.
+    pub workers: usize,
+    /// Total workloads admitted (queued + running) before `submit` blocks.
+    pub max_inflight: usize,
+    /// Capacity of each workload's event channel; a slow consumer stalls
+    /// its own worker once this many events are buffered.
+    pub event_depth: usize,
+    /// When set, every `RequestDone`/`WorkloadDone` event carries the
+    /// simulated backend nanoseconds the workload's cache misses cost.
+    pub cost_model: Option<CostModel>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_inflight: 64,
+            event_depth: 64,
+            cost_model: None,
+        }
+    }
+}
+
+/// Why a submission or workload failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The tenant id was never registered.
+    UnknownTenant,
+    /// The container id was never registered.
+    UnknownContainer,
+    /// `try_submit` would have had to block (tenant or global in-flight
+    /// limit reached).
+    Busy,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The tenant's cumulative byte budget cannot cover the request's
+    /// planned fetch.
+    BudgetExhausted {
+        /// Bytes the request would fetch.
+        requested: u64,
+        /// Bytes left in the tenant's budget.
+        remaining: u64,
+    },
+    /// The retrieval itself failed (decode error, short read, ...). The
+    /// session rolled back; peers are unaffected.
+    Retrieval(IpcompError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownTenant => write!(f, "unknown tenant"),
+            ServiceError::UnknownContainer => write!(f, "unknown container"),
+            ServiceError::Busy => write!(f, "in-flight limit reached"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "byte budget exhausted: request needs {requested} B, {remaining} B remaining"
+            ),
+            ServiceError::Retrieval(e) => write!(f, "retrieval failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One message on a workload's event channel, in delivery order.
+#[derive(Debug, Clone)]
+pub enum ServiceEvent {
+    /// Incremental decode/reconstruction progress of request `request`,
+    /// forwarded from the session as it lands (chunk regions and completed
+    /// cascade levels — see [`StreamEvent`]).
+    Stream {
+        /// Index of the request within the workload.
+        request: usize,
+        /// The underlying decoder event.
+        event: StreamEvent,
+    },
+    /// Request `request` completed; `step` carries its byte accounting.
+    RequestDone {
+        /// Index of the request within the workload.
+        request: usize,
+        /// Byte/error accounting of the completed request.
+        step: ClientStep,
+        /// Simulated backend cost attributed so far (0 without a
+        /// [`ServiceConfig::cost_model`] or cache layer).
+        sim_nanos: u64,
+    },
+    /// The whole workload completed; terminal event.
+    WorkloadDone {
+        /// Per-request accounting plus the final reconstruction's checksum.
+        outcome: ClientOutcome,
+        /// Total simulated backend cost of the workload.
+        sim_nanos: u64,
+    },
+    /// The workload failed at request `request`; terminal event. Prior
+    /// requests' results remain valid; the session rolled the failed one
+    /// back.
+    WorkloadFailed {
+        /// Index of the failing request within the workload.
+        request: usize,
+        /// What went wrong.
+        error: ServiceError,
+    },
+}
+
+/// Counting semaphore (std has none; the vendored environment has no tokio).
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        while *p == 0 {
+            p = self.cv.wait(p).expect("semaphore wait");
+        }
+        *p -= 1;
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        if *p == 0 {
+            return false;
+        }
+        *p -= 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        *p += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct TenantState {
+    config: TenantConfig,
+    tag: CacheTag,
+    bytes_used: AtomicU64,
+    inflight: Semaphore,
+}
+
+impl TenantState {
+    /// Reserve `need` bytes against the budget without overshooting under
+    /// concurrent workloads of the same tenant.
+    fn try_reserve(&self, need: u64) -> Result<(), ServiceError> {
+        let Some(budget) = self.config.byte_budget else {
+            return Ok(());
+        };
+        let mut cur = self.bytes_used.load(Ordering::Relaxed);
+        loop {
+            if cur.saturating_add(need) > budget {
+                return Err(ServiceError::BudgetExhausted {
+                    requested: need,
+                    remaining: budget - cur.min(budget),
+                });
+            }
+            match self.bytes_used.compare_exchange(
+                cur,
+                cur + need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release_reservation(&self, bytes: u64) {
+        self.bytes_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+struct Job {
+    store: Arc<ContainerStore>,
+    tenant: Arc<TenantState>,
+    workload: Vec<RetrievalRequest>,
+    events: SyncSender<ServiceEvent>,
+}
+
+struct Shared {
+    containers: Mutex<Vec<Arc<ContainerStore>>>,
+    tenants: Mutex<Vec<Arc<TenantState>>>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    global: Semaphore,
+    shutdown: AtomicBool,
+    config: ServiceConfig,
+}
+
+/// Session source that meters simulated backend cost: reads go through the
+/// shared cache under the tenant's tag, and the misses of each call —
+/// coalesced the way the stack below would batch them — are charged to this
+/// workload's clock. Per-workload instance, so attribution is exact even
+/// when a tenant runs many sessions at once.
+struct MeterSource {
+    cache: Arc<SharedCache>,
+    tag: CacheTag,
+    cost: Option<CostModel>,
+    nanos: AtomicU64,
+}
+
+impl MeterSource {
+    fn nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+impl ChunkSource for MeterSource {
+    fn len(&self) -> u64 {
+        self.cache.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> ipcomp::Result<Vec<Bytes>> {
+        let read = self.cache.read_ranges_tagged(Some(self.tag), ranges)?;
+        if let Some(cost) = &self.cost {
+            if !read.missed.is_empty() {
+                let miss: Vec<ByteRange> =
+                    read.missed.iter().map(|&i| ranges[i as usize]).collect();
+                let bytes: u64 = miss.iter().map(|r| r.len as u64).sum();
+                let gets = coalesce_ranges(&miss, cost.coalesce_gap).0.len() as u64;
+                self.nanos
+                    .fetch_add(cost.nanos(gets, bytes), Ordering::Relaxed);
+            }
+        }
+        Ok(read.bytes)
+    }
+}
+
+/// A multi-tenant, multi-container retrieval service (see module docs).
+pub struct StoreService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StoreService {
+    /// Start the worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            containers: Mutex::new(Vec::new()),
+            tenants: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            global: Semaphore::new(config.max_inflight.max(1)),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Register a container; returns the id tenants address it by. Already
+    /// registered tenants' cache quotas apply to it immediately.
+    pub fn register_container(&self, store: Arc<ContainerStore>) -> ContainerId {
+        for t in self.shared.tenants.lock().expect("tenants lock").iter() {
+            if let Some(q) = t.config.cache_quota {
+                store.set_tag_quota(t.tag, Some(q));
+            }
+        }
+        let mut containers = self.shared.containers.lock().expect("containers lock");
+        containers.push(store);
+        ContainerId(containers.len() - 1)
+    }
+
+    /// Register a tenant; its cache quota is installed on every registered
+    /// container's shared cache.
+    pub fn register_tenant(&self, config: TenantConfig) -> TenantId {
+        let mut tenants = self.shared.tenants.lock().expect("tenants lock");
+        let tag = tenants.len() as CacheTag;
+        if let Some(q) = config.cache_quota {
+            for store in self
+                .shared
+                .containers
+                .lock()
+                .expect("containers lock")
+                .iter()
+            {
+                store.set_tag_quota(tag, Some(q));
+            }
+        }
+        tenants.push(Arc::new(TenantState {
+            config,
+            tag,
+            bytes_used: AtomicU64::new(0),
+            inflight: Semaphore::new(config.max_inflight.max(1)),
+        }));
+        TenantId(tag)
+    }
+
+    /// Cumulative budget bytes `tenant` has consumed.
+    pub fn tenant_bytes_used(&self, tenant: TenantId) -> u64 {
+        self.shared
+            .tenants
+            .lock()
+            .expect("tenants lock")
+            .get(tenant.0 as usize)
+            .map_or(0, |t| t.bytes_used.load(Ordering::Relaxed))
+    }
+
+    fn lookup(
+        &self,
+        tenant: TenantId,
+        container: ContainerId,
+    ) -> Result<(Arc<TenantState>, Arc<ContainerStore>), ServiceError> {
+        let tenant = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenants lock")
+            .get(tenant.0 as usize)
+            .cloned()
+            .ok_or(ServiceError::UnknownTenant)?;
+        let store = self
+            .shared
+            .containers
+            .lock()
+            .expect("containers lock")
+            .get(container.0)
+            .cloned()
+            .ok_or(ServiceError::UnknownContainer)?;
+        Ok((tenant, store))
+    }
+
+    fn enqueue(
+        &self,
+        tenant: Arc<TenantState>,
+        store: Arc<ContainerStore>,
+        workload: Vec<RetrievalRequest>,
+    ) -> Result<Receiver<ServiceEvent>, ServiceError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            tenant.inflight.release();
+            self.shared.global.release();
+            return Err(ServiceError::ShuttingDown);
+        }
+        let (tx, rx) = sync_channel(self.shared.config.event_depth.max(1));
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.push_back(Job {
+            store,
+            tenant,
+            workload,
+            events: tx,
+        });
+        self.shared.queue_cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Submit a workload on behalf of `tenant` against `container`,
+    /// **blocking** while the tenant or the service is at its in-flight
+    /// limit (admission backpressure). Returns the workload's event
+    /// receiver; events arrive incrementally and end with `WorkloadDone` or
+    /// `WorkloadFailed`.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        container: ContainerId,
+        workload: Vec<RetrievalRequest>,
+    ) -> Result<Receiver<ServiceEvent>, ServiceError> {
+        let (tenant, store) = self.lookup(tenant, container)?;
+        tenant.inflight.acquire();
+        self.shared.global.acquire();
+        self.enqueue(tenant, store, workload)
+    }
+
+    /// Non-blocking [`StoreService::submit`]: refuses with
+    /// [`ServiceError::Busy`] instead of waiting for an in-flight slot.
+    pub fn try_submit(
+        &self,
+        tenant: TenantId,
+        container: ContainerId,
+        workload: Vec<RetrievalRequest>,
+    ) -> Result<Receiver<ServiceEvent>, ServiceError> {
+        let (tenant, store) = self.lookup(tenant, container)?;
+        if !tenant.inflight.try_acquire() {
+            return Err(ServiceError::Busy);
+        }
+        if !self.shared.global.try_acquire() {
+            tenant.inflight.release();
+            return Err(ServiceError::Busy);
+        }
+        self.enqueue(tenant, store, workload)
+    }
+
+    /// Stop accepting work, finish queued jobs, and join the workers.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StoreService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue wait");
+            }
+        };
+        run_job(&shared, job);
+    }
+}
+
+/// Run one workload to completion on the calling worker. Always releases
+/// the in-flight permits; always terminates the event stream (unless the
+/// client hung up, in which case remaining work is abandoned).
+fn run_job(shared: &Shared, job: Job) {
+    let Job {
+        store,
+        tenant,
+        workload,
+        events,
+    } = job;
+
+    let meter = store.cache().map(|cache| {
+        Arc::new(MeterSource {
+            cache: Arc::clone(cache),
+            tag: tenant.tag,
+            cost: shared.config.cost_model,
+            nanos: AtomicU64::new(0),
+        })
+    });
+    let mut session: RetrievalSession = match &meter {
+        Some(m) => store.session_over(Arc::clone(m) as Arc<dyn ChunkSource>),
+        None => store.session(),
+    };
+    let sim_nanos = |m: &Option<Arc<MeterSource>>| m.as_ref().map_or(0, |m| m.nanos());
+
+    let mut steps = Vec::with_capacity(workload.len());
+    let mut last = None;
+    for (i, &request) in workload.iter().enumerate() {
+        // Budget gate: the planner prices the exact delta this session
+        // would fetch; refuse before any I/O happens.
+        let reserved = match plan_bytes(&session, request, &tenant) {
+            Ok(reserved) => reserved,
+            Err(error) => {
+                let _ = events.send(ServiceEvent::WorkloadFailed { request: i, error });
+                break;
+            }
+        };
+        let forward = |event: StreamEvent| {
+            // A gone client is detected between requests; mid-request we
+            // just stop forwarding.
+            let _ = events.send(ServiceEvent::Stream { request: i, event });
+        };
+        match session.retrieve_streaming_events(request, forward) {
+            Ok(out) => {
+                let step = ClientStep {
+                    bytes_this_request: out.bytes_this_request,
+                    bytes_total: out.bytes_total,
+                    error_bound: out.error_bound,
+                };
+                steps.push(step);
+                let done = ServiceEvent::RequestDone {
+                    request: i,
+                    step,
+                    sim_nanos: sim_nanos(&meter),
+                };
+                last = Some(out);
+                if events.send(done).is_err() {
+                    break; // client hung up; stop wasting the worker
+                }
+            }
+            Err(e) => {
+                tenant.release_reservation(reserved);
+                let _ = events.send(ServiceEvent::WorkloadFailed {
+                    request: i,
+                    error: ServiceError::Retrieval(e),
+                });
+                break;
+            }
+        }
+    }
+    if steps.len() == workload.len() {
+        let checksum = last.map_or(0, |out| field_checksum(out.data.as_slice()));
+        let _ = events.send(ServiceEvent::WorkloadDone {
+            outcome: ClientOutcome { steps, checksum },
+            sim_nanos: sim_nanos(&meter),
+        });
+    }
+    shared.global.release();
+    tenant.inflight.release();
+}
+
+/// Price `request` and reserve the bytes against the tenant's budget.
+/// Returns the reserved byte count (0 when unmetered).
+fn plan_bytes(
+    session: &RetrievalSession,
+    request: RetrievalRequest,
+    tenant: &TenantState,
+) -> Result<u64, ServiceError> {
+    if tenant.config.byte_budget.is_none() {
+        return Ok(0);
+    }
+    let need = session
+        .plan_ranges(request)
+        .map_err(ServiceError::Retrieval)?
+        .payload_bytes() as u64;
+    tenant.try_reserve(need)?;
+    Ok(need)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipc_tensor::{ArrayD, Shape};
+    use ipcomp::source::MemorySource;
+    use ipcomp::{compress, Config};
+
+    use crate::session::StoreOptions;
+
+    fn toy_store(cache_bytes: usize) -> (Arc<ContainerStore>, u64) {
+        let field = ArrayD::from_fn(Shape::d3(16, 16, 12), |c| {
+            (c[0] as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() * 2.0 + c[2] as f64 * 0.01
+        });
+        let compressed = compress(&field, 1e-7, &Config::default()).unwrap();
+        let bytes = compressed.to_bytes();
+        let store = ContainerStore::open(
+            Arc::new(MemorySource::new(bytes)),
+            StoreOptions {
+                cache_bytes,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        // Reference checksum from a plain single-client session running the
+        // same coarse→fine workload the service tests submit (a one-shot
+        // 1e-4 decode may legally load a different plane set than the
+        // refinement path). Computed over a *separate* store instance so the
+        // store under test keeps a stone-cold cache.
+        let reference = {
+            let mut dec = ipcomp::ProgressiveDecoder::new(&compressed);
+            dec.retrieve(RetrievalRequest::ErrorBound(1e-2)).unwrap();
+            let out = dec.retrieve(RetrievalRequest::ErrorBound(1e-4)).unwrap();
+            field_checksum(out.data.as_slice())
+        };
+        (store, reference)
+    }
+
+    fn drain(rx: Receiver<ServiceEvent>) -> (Vec<ServiceEvent>, Option<ClientOutcome>) {
+        let mut events = Vec::new();
+        let mut outcome = None;
+        while let Ok(ev) = rx.recv() {
+            if let ServiceEvent::WorkloadDone { outcome: o, .. } = &ev {
+                outcome = Some(o.clone());
+            }
+            events.push(ev);
+        }
+        (events, outcome)
+    }
+
+    #[test]
+    fn workload_streams_events_then_completes_bit_identical() {
+        let (store, reference) = toy_store(1 << 20);
+        let service = StoreService::new(ServiceConfig::default());
+        let cid = service.register_container(store);
+        let tid = service.register_tenant(TenantConfig::default());
+        let rx = service
+            .submit(
+                tid,
+                cid,
+                vec![
+                    RetrievalRequest::ErrorBound(1e-2),
+                    RetrievalRequest::ErrorBound(1e-4),
+                ],
+            )
+            .unwrap();
+        let (events, outcome) = drain(rx);
+        let outcome = outcome.expect("workload completed");
+        assert_eq!(outcome.steps.len(), 2);
+        assert_eq!(outcome.checksum, reference);
+        // Stream events arrived before their request's completion, and both
+        // kinds of progress were forwarded.
+        let first_stream = events
+            .iter()
+            .position(|e| matches!(e, ServiceEvent::Stream { .. }))
+            .expect("stream events forwarded");
+        let first_done = events
+            .iter()
+            .position(|e| matches!(e, ServiceEvent::RequestDone { .. }))
+            .unwrap();
+        assert!(first_stream < first_done);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ServiceEvent::Stream {
+                event: StreamEvent::LevelReconstructed(_),
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ServiceEvent::Stream {
+                event: StreamEvent::Region(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn byte_budget_refuses_before_any_io() {
+        let (store, _) = toy_store(1 << 20);
+        let backend_stats = store.cache_stats().unwrap();
+        let service = StoreService::new(ServiceConfig::default());
+        let cid = service.register_container(Arc::clone(&store));
+        let broke = service.register_tenant(TenantConfig {
+            byte_budget: Some(16), // can't afford anything
+            ..TenantConfig::default()
+        });
+        let rx = service
+            .submit(broke, cid, vec![RetrievalRequest::ErrorBound(1e-2)])
+            .unwrap();
+        let (events, outcome) = drain(rx);
+        assert!(outcome.is_none());
+        assert!(matches!(
+            events.last(),
+            Some(ServiceEvent::WorkloadFailed {
+                error: ServiceError::BudgetExhausted { .. },
+                ..
+            })
+        ));
+        // Nothing was fetched on the broke tenant's behalf.
+        let after = store.cache_stats().unwrap();
+        assert_eq!(after.misses, backend_stats.misses);
+        assert_eq!(service.tenant_bytes_used(broke), 0);
+        // A funded tenant on the same service proceeds.
+        let funded = service.register_tenant(TenantConfig {
+            byte_budget: Some(u64::MAX / 2),
+            ..TenantConfig::default()
+        });
+        let rx = service
+            .submit(funded, cid, vec![RetrievalRequest::ErrorBound(1e-2)])
+            .unwrap();
+        let (_, outcome) = drain(rx);
+        assert!(outcome.is_some());
+        assert!(service.tenant_bytes_used(funded) > 0);
+    }
+
+    #[test]
+    fn budget_spans_requests_and_cuts_off_refinement() {
+        let (store, _) = toy_store(1 << 20);
+        let service = StoreService::new(ServiceConfig::default());
+        let cid = service.register_container(store);
+        // Budget sized so the coarse step fits but the full refinement does
+        // not: price both steps through a probe tenant first.
+        let probe = service.register_tenant(TenantConfig::default());
+        let rx = service
+            .submit(probe, cid, vec![RetrievalRequest::ErrorBound(1e-2)])
+            .unwrap();
+        let (_, probe_out) = drain(rx);
+        let coarse_bytes = probe_out.unwrap().steps[0].bytes_this_request as u64;
+        let capped = service.register_tenant(TenantConfig {
+            byte_budget: Some(coarse_bytes + 8),
+            ..TenantConfig::default()
+        });
+        let rx = service
+            .submit(
+                capped,
+                cid,
+                vec![RetrievalRequest::ErrorBound(1e-2), RetrievalRequest::Full],
+            )
+            .unwrap();
+        let (events, outcome) = drain(rx);
+        assert!(outcome.is_none());
+        // First request done, second refused.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServiceEvent::RequestDone { request: 0, .. })));
+        assert!(matches!(
+            events.last(),
+            Some(ServiceEvent::WorkloadFailed {
+                request: 1,
+                error: ServiceError::BudgetExhausted { .. },
+            })
+        ));
+    }
+
+    #[test]
+    fn try_submit_refuses_when_tenant_inflight_full() {
+        let (store, _) = toy_store(1 << 20);
+        // One worker and an event queue of depth 1 that nobody drains: the
+        // worker blocks forwarding events, pinning the workload in flight.
+        let service = StoreService::new(ServiceConfig {
+            workers: 1,
+            max_inflight: 8,
+            event_depth: 1,
+            cost_model: None,
+        });
+        let cid = service.register_container(store);
+        let tid = service.register_tenant(TenantConfig {
+            max_inflight: 1,
+            ..TenantConfig::default()
+        });
+        let rx = service
+            .submit(tid, cid, vec![RetrievalRequest::ErrorBound(1e-3)])
+            .unwrap();
+        // The undrained first workload keeps the tenant at its limit.
+        let refused = service.try_submit(tid, cid, vec![RetrievalRequest::ErrorBound(1e-2)]);
+        assert!(matches!(refused, Err(ServiceError::Busy)));
+        // Draining unblocks the worker and completes the workload ...
+        let (_, outcome) = drain(rx);
+        assert!(outcome.is_some());
+        // ... after which the tenant may submit again.
+        let rx = service
+            .try_submit(tid, cid, vec![RetrievalRequest::ErrorBound(1e-2)])
+            .unwrap();
+        assert!(drain(rx).1.is_some());
+    }
+
+    #[test]
+    fn cost_model_attributes_miss_cost_to_workloads() {
+        let (store, _) = toy_store(1 << 20);
+        let service = StoreService::new(ServiceConfig {
+            cost_model: Some(CostModel {
+                latency_per_request: Duration::from_millis(5),
+                throughput_bytes_per_sec: 200e6,
+                coalesce_gap: 4096,
+            }),
+            ..ServiceConfig::default()
+        });
+        let cid = service.register_container(store);
+        let tid = service.register_tenant(TenantConfig::default());
+        let run = |req| {
+            let rx = service.submit(tid, cid, vec![req]).unwrap();
+            let mut nanos = None;
+            while let Ok(ev) = rx.recv() {
+                if let ServiceEvent::WorkloadDone { sim_nanos, .. } = ev {
+                    nanos = Some(sim_nanos);
+                }
+            }
+            nanos.expect("completed")
+        };
+        let cold = run(RetrievalRequest::ErrorBound(1e-3));
+        // Same request again: everything hits the now-warm cache.
+        let warm = run(RetrievalRequest::ErrorBound(1e-3));
+        assert!(cold > 0, "cold workload must pay simulated latency");
+        assert_eq!(warm, 0, "warm workload is all cache hits: {warm}");
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let service = StoreService::new(ServiceConfig::default());
+        let err = service.submit(TenantId(0), ContainerId(0), vec![]);
+        assert!(matches!(err, Err(ServiceError::UnknownTenant)));
+        let tid = service.register_tenant(TenantConfig::default());
+        let err = service.submit(tid, ContainerId(3), vec![]);
+        assert!(matches!(err, Err(ServiceError::UnknownContainer)));
+    }
+}

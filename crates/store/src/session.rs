@@ -26,9 +26,13 @@ use ipcomp::progressive::{
 use ipcomp::source::ChunkSource;
 use ipcomp::Result;
 
-use crate::cache::{CacheStats, CachedSource};
+use crate::cache::{CacheStats, CacheTag, CachedSource, TaggedSource};
 use crate::coalesce::CoalescingSource;
 use crate::planner::{lower_plan, plan_request};
+use crate::whole::WholeReadSource;
+
+/// The shared chunk cache type a [`ContainerStore`]'s stack composes.
+pub type SharedCache = CachedSource<Arc<dyn ChunkSource>>;
 
 /// Configuration of a [`ContainerStore`]'s source stack and sessions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +53,15 @@ pub struct StoreOptions {
     /// the cache byte budget (topmost planes across all levels first) and is
     /// a no-op without a cache layer. `0` restores pure LRU.
     pub protect_top_planes: u8,
+    /// Collapse the whole stack to **one whole-payload GET** when the
+    /// container is at most this many bytes. Below the backend's
+    /// latency/throughput break-even ([`crate::traffic_model_gap`]) ranged
+    /// retrieval loses on simulated wall-clock — latency dominates and the
+    /// fixed cost of extra round trips outweighs the bytes ranged reads
+    /// skip — so small containers are served from a single resident fetch
+    /// instead ([`WholeReadSource`]); the decoder and planner above are
+    /// unchanged. `None` (the default) never collapses.
+    pub whole_read_below: Option<u64>,
 }
 
 impl Default for StoreOptions {
@@ -58,6 +71,27 @@ impl Default for StoreOptions {
             coalesce_gap: Some(4096),
             readahead_planes: 0,
             protect_top_planes: 2,
+            whole_read_below: None,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Derive the traffic-shape knobs from a backend's cost model: both the
+    /// coalescing gap and the whole-read collapse threshold are set to the
+    /// model's break-even `latency × throughput` (see
+    /// [`crate::traffic_model_gap`]), so range merging and the small-container
+    /// collapse kick in exactly where the model says a request saved pays for
+    /// the bytes it costs.
+    pub fn for_backend(
+        latency_per_request: std::time::Duration,
+        throughput_bytes_per_sec: f64,
+    ) -> Self {
+        let gap = crate::coalesce::traffic_model_gap(latency_per_request, throughput_bytes_per_sec);
+        Self {
+            coalesce_gap: Some(gap),
+            whole_read_below: Some(gap),
+            ..Self::default()
         }
     }
 }
@@ -67,16 +101,20 @@ impl Default for StoreOptions {
 pub struct ContainerStore {
     map: Arc<ContainerMap>,
     stack: Arc<dyn ChunkSource>,
-    cache: Option<Arc<CachedSource<Arc<dyn ChunkSource>>>>,
+    cache: Option<Arc<SharedCache>>,
     options: StoreOptions,
 }
 
 impl ContainerStore {
     /// Open a container over `base`, reading its metadata map and composing
-    /// the configured source stack above the backend.
+    /// the configured source stack above the backend. When the container
+    /// falls under [`StoreOptions::whole_read_below`] the metadata parse
+    /// itself triggers the collapse's single fetch, so the backend sees
+    /// exactly one GET for the whole store lifetime.
     pub fn open(base: Arc<dyn ChunkSource>, options: StoreOptions) -> Result<Arc<Self>> {
+        let (base, collapsed) = Self::collapse_small(base, &options);
         let map = Arc::new(ContainerMap::open(base.as_ref())?);
-        Ok(Self::with_map(base, map, options))
+        Ok(Self::assemble(base, map, options, collapsed))
     }
 
     /// Like [`ContainerStore::open`] with an already-parsed metadata map.
@@ -85,22 +123,48 @@ impl ContainerStore {
         map: Arc<ContainerMap>,
         options: StoreOptions,
     ) -> Arc<Self> {
-        let mut stack: Arc<dyn ChunkSource> = base;
-        if let Some(gap) = options.coalesce_gap {
-            stack = Arc::new(CoalescingSource::new(stack, gap));
+        let (base, collapsed) = Self::collapse_small(base, &options);
+        Self::assemble(base, map, options, collapsed)
+    }
+
+    /// Apply the small-container collapse policy: below the threshold the
+    /// whole stack is one lazily-filled resident buffer.
+    fn collapse_small(
+        base: Arc<dyn ChunkSource>,
+        options: &StoreOptions,
+    ) -> (Arc<dyn ChunkSource>, bool) {
+        match options.whole_read_below {
+            Some(t) if base.len() <= t => (Arc::new(WholeReadSource::new(base)), true),
+            _ => (base, false),
         }
+    }
+
+    fn assemble(
+        base: Arc<dyn ChunkSource>,
+        map: Arc<ContainerMap>,
+        options: StoreOptions,
+        collapsed: bool,
+    ) -> Arc<Self> {
+        let mut stack: Arc<dyn ChunkSource> = base;
         let mut cache = None;
-        if options.cache_bytes > 0 {
-            let cached = Arc::new(CachedSource::new(stack, options.cache_bytes));
-            if options.protect_top_planes > 0 {
-                cached.protect(&Self::protected_ranges(
-                    &map,
-                    options.protect_top_planes,
-                    options.cache_bytes / 2,
-                ));
+        // A collapsed container is fully resident after its one GET;
+        // coalescing and caching above it would only duplicate memory.
+        if !collapsed {
+            if let Some(gap) = options.coalesce_gap {
+                stack = Arc::new(CoalescingSource::new(stack, gap));
             }
-            cache = Some(Arc::clone(&cached));
-            stack = cached;
+            if options.cache_bytes > 0 {
+                let cached = Arc::new(CachedSource::new(stack, options.cache_bytes));
+                if options.protect_top_planes > 0 {
+                    cached.protect(&Self::protected_ranges(
+                        &map,
+                        options.protect_top_planes,
+                        options.cache_bytes / 2,
+                    ));
+                }
+                cache = Some(Arc::clone(&cached));
+                stack = cached;
+            }
         }
         Arc::new(Self {
             map,
@@ -155,10 +219,43 @@ impl ContainerStore {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// The shared cache layer, if one is configured (absent when
+    /// `cache_bytes` is 0 or the store collapsed to a whole read).
+    pub fn cache(&self) -> Option<&Arc<SharedCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Cap the cache bytes reads tagged with `tag` may keep resident (see
+    /// [`CachedSource::set_quota`]); a no-op without a cache layer.
+    pub fn set_tag_quota(&self, tag: CacheTag, quota: Option<usize>) {
+        if let Some(cache) = &self.cache {
+            cache.set_quota(tag, quota);
+        }
+    }
+
     /// Start a fresh retrieval session (nothing loaded yet).
     pub fn session(self: &Arc<Self>) -> RetrievalSession {
-        let decoder =
-            ProgressiveDecoder::from_shared_source(Arc::clone(&self.stack), Arc::clone(&self.map));
+        self.session_over(Arc::clone(&self.stack))
+    }
+
+    /// Start a session whose cache traffic is attributed to `tag` — the
+    /// tenant entry point: admissions count against the tag's quota and the
+    /// per-tag hit/miss/byte counters feed the service layer's accounting.
+    /// Without a cache layer this degrades to a plain [`ContainerStore::session`].
+    pub fn session_tagged(self: &Arc<Self>, tag: CacheTag) -> RetrievalSession {
+        match &self.cache {
+            Some(cache) => self.session_over(Arc::new(TaggedSource::new(Arc::clone(cache), tag))),
+            None => self.session(),
+        }
+    }
+
+    /// Start a session reading through a caller-supplied top of stack
+    /// (wrapping [`ContainerStore::source`] — e.g. a per-session
+    /// [`crate::FaultSource`] for deterministic fault routing, or a meter).
+    /// The session still shares this store's metadata map and readahead
+    /// configuration.
+    pub fn session_over(self: &Arc<Self>, source: Arc<dyn ChunkSource>) -> RetrievalSession {
+        let decoder = ProgressiveDecoder::from_shared_source(source, Arc::clone(&self.map));
         RetrievalSession {
             store: Arc::clone(self),
             decoder,

@@ -10,6 +10,7 @@
 //! numbers too.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use ipcomp::source::{ByteRange, Bytes, ChunkSource};
@@ -47,15 +48,45 @@ impl SimProfile {
 }
 
 /// Fault injection applied to returned buffers.
+///
+/// The request index the fault triggers on is whatever counter the wrapper
+/// applying it maintains: store-lifetime-global on a
+/// [`SimulatedObjectStore`] (so under concurrent sessions *which* session
+/// observes the fault depends on scheduling), per-wrapper on a
+/// [`FaultSource`] (deterministic — wrap one session's stack to fault
+/// exactly that session's nth request).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// Honest backend.
     None,
-    /// Every range request with index `>= after` (counted across the store's
-    /// lifetime) returns only the first half of its bytes — the kind of
-    /// silent truncation an interrupted transfer produces. Consumers must
-    /// surface a bounded error, never panic.
+    /// Every range request with index `>= after` returns only the first
+    /// half of its bytes — the kind of silent truncation an interrupted
+    /// transfer produces. Consumers must surface a bounded error, never
+    /// panic.
     ShortReadAfter(u64),
+}
+
+impl Fault {
+    /// Apply the fault to one batch of returned buffers, where
+    /// `first_index` is the request index of `bufs[0]` under the applying
+    /// wrapper's counter.
+    fn apply(self, first_index: u64, bufs: Vec<Bytes>) -> Vec<Bytes> {
+        match self {
+            Fault::None => bufs,
+            Fault::ShortReadAfter(after) => bufs
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    if first_index + i as u64 >= after && !b.is_empty() {
+                        let keep = b.len() / 2;
+                        b.slice(0..keep)
+                    } else {
+                        b
+                    }
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Cumulative counters of one simulated store.
@@ -148,21 +179,62 @@ impl<S: ChunkSource> ChunkSource for SimulatedObjectStore<S> {
         }
 
         let bufs = self.inner.read_ranges(ranges)?;
-        match self.fault {
-            Fault::None => Ok(bufs),
-            Fault::ShortReadAfter(after) => Ok(bufs
-                .into_iter()
-                .enumerate()
-                .map(|(i, b)| {
-                    if first_index + i as u64 >= after && !b.is_empty() {
-                        let keep = b.len() / 2;
-                        b.slice(0..keep)
-                    } else {
-                        b
-                    }
-                })
-                .collect()),
+        Ok(self.fault.apply(first_index, bufs))
+    }
+}
+
+/// Deterministic per-session fault injection: a [`ChunkSource`] wrapper
+/// with its **own** request counter, so the fault's trigger index counts
+/// only the requests issued through this wrapper. Wrap exactly one
+/// session's view of a shared stack and that session — and no concurrent
+/// peer — observes the fault on its nth request, reproducibly, however the
+/// scheduler interleaves the fleet. (The [`SimulatedObjectStore`]'s own
+/// fault counter is store-lifetime-global and therefore racy under
+/// concurrency; use it only for single-session tests.)
+///
+/// The fault is swappable at runtime ([`FaultSource::set_fault`]), which
+/// models a transient backend: inject, observe the bounded error and
+/// rollback, heal, and verify the retry completes bit-identically.
+pub struct FaultSource<S> {
+    inner: S,
+    fault: Mutex<Fault>,
+    requests: AtomicU64,
+}
+
+impl<S: ChunkSource> FaultSource<S> {
+    /// Wrap `inner`, applying `fault` against this wrapper's own counter.
+    pub fn new(inner: S, fault: Fault) -> Self {
+        Self {
+            inner,
+            fault: Mutex::new(fault),
+            requests: AtomicU64::new(0),
         }
+    }
+
+    /// Replace the active fault (e.g. heal with [`Fault::None`]). The
+    /// request counter keeps running.
+    pub fn set_fault(&self, fault: Fault) {
+        *self.fault.lock().expect("fault lock") = fault;
+    }
+
+    /// Requests issued through this wrapper so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for FaultSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        let first_index = self
+            .requests
+            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        let fault = *self.fault.lock().expect("fault lock");
+        let bufs = self.inner.read_ranges(ranges)?;
+        Ok(fault.apply(first_index, bufs))
     }
 }
 
@@ -211,5 +283,38 @@ mod tests {
         assert_eq!(bufs[1].len(), 8);
         // And read_ranges_exact surfaces it as a bounded error.
         assert!(ipcomp::source::read_ranges_exact(&sim, &[ByteRange::new(0, 16)]).is_err());
+    }
+
+    #[test]
+    fn fault_source_counts_per_wrapper_not_globally() {
+        use std::sync::Arc;
+        // One shared backend, two per-session fault wrappers: the fault
+        // routes to each wrapper's own second request regardless of how the
+        // other wrapper's traffic interleaves.
+        let shared = Arc::new(MemorySource::new(vec![2u8; 256]));
+        let a = FaultSource::new(Arc::clone(&shared) as Arc<dyn ChunkSource>, Fault::None);
+        let b = FaultSource::new(
+            Arc::clone(&shared) as Arc<dyn ChunkSource>,
+            Fault::ShortReadAfter(1),
+        );
+        let r = [ByteRange::new(0, 32)];
+        // Interleave traffic: a, b, a, b.
+        assert_eq!(a.read_ranges(&r).unwrap()[0].len(), 32);
+        assert_eq!(
+            b.read_ranges(&r).unwrap()[0].len(),
+            32,
+            "b's request 0 is clean"
+        );
+        assert_eq!(a.read_ranges(&r).unwrap()[0].len(), 32);
+        assert_eq!(
+            b.read_ranges(&r).unwrap()[0].len(),
+            16,
+            "b's request 1 faults"
+        );
+        assert_eq!(a.read_ranges(&r).unwrap()[0].len(), 32, "a never faults");
+        assert_eq!((a.requests(), b.requests()), (3, 2));
+        // Healing stops further faults.
+        b.set_fault(Fault::None);
+        assert_eq!(b.read_ranges(&r).unwrap()[0].len(), 32);
     }
 }

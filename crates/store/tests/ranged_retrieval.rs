@@ -159,12 +159,14 @@ fn coalescing_cuts_request_count_at_least_4x() {
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     });
     let coalesced = count_requests(StoreOptions {
         cache_bytes: 0,
         coalesce_gap: Some(4096),
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     });
     assert!(
         per_chunk >= 4 * coalesced,
@@ -274,6 +276,7 @@ fn streaming_short_read_rolls_back_and_session_can_retry() {
             coalesce_gap: None,
             readahead_planes: 0,
             protect_top_planes: 0,
+            whole_read_below: None,
         },
     );
     let mut session = store.session();

@@ -66,6 +66,7 @@ fn store_options() -> StoreOptions {
         coalesce_gap: Some(4096),
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     }
 }
 
@@ -215,6 +216,7 @@ fn short_read_faults_roll_back_exactly() {
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
+        whole_read_below: None,
     };
     let honest = Arc::new(SimulatedObjectStore::new(
         ipcomp::MemorySource::new(bytes.clone()),
