@@ -31,6 +31,7 @@ use ipc_store::{
     RetrievalRequest, ServiceConfig, ServiceError, ServiceEvent, SimProfile, SimulatedObjectStore,
     StoreOptions, StoreService, TenantConfig, TenantId,
 };
+use ipc_telemetry::Histogram;
 use ipc_tensor::{ArrayD, Shape};
 use ipcomp::{compress, Config};
 use rand::{Rng, SeedableRng};
@@ -127,6 +128,9 @@ struct FleetResult {
     p99_ms: f64,
     hit_rate: f64,
     sweeper_peak_resident: usize,
+    /// The service's own [`StoreService::metrics_json`] document, verified
+    /// against the client-side numbers before the fleet is torn down.
+    service_metrics_json: String,
 }
 
 /// Run a fleet of `sessions` Zipf-distributed sessions over fresh stores and
@@ -163,6 +167,9 @@ fn run_fleet(
             .unwrap()
         })
         .collect();
+    // GETs issued while opening the containers (metadata parse, protected
+    // top-plane preload) — everything after this belongs to tenant traffic.
+    let open_gets: u64 = sims.iter().map(|s| s.stats().requests).sum();
 
     let service = StoreService::new(ServiceConfig {
         workers: 8,
@@ -210,7 +217,7 @@ fn run_fleet(
 
     // One client thread per tenant, each driving its share of the sessions
     // and validating checksums inline.
-    let latencies: Vec<u64> = std::thread::scope(|scope| {
+    let per_tenant: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..TENANTS)
             .map(|t| {
                 let plan = &plan;
@@ -247,17 +254,64 @@ fn run_fleet(
                 })
             })
             .collect();
-        let mut all = Vec::new();
-        for h in handles {
-            all.extend(h.join().expect("client thread"));
-        }
-        all
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
     });
 
-    let mut sorted = latencies.clone();
-    sorted.sort_unstable();
-    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 * 1e-6;
+    // Fleet-wide latency distribution via the shared telemetry histogram
+    // (the same primitive the service's own metrics use).
+    let fleet_hist = Histogram::new();
+    for &n in per_tenant.iter().flatten() {
+        fleet_hist.record(n);
+    }
+    let fleet = fleet_hist.snapshot();
+    let pct = |p: f64| fleet.percentile(p) as f64 * 1e-6;
+
+    // Cross-check the service's published telemetry against this client's
+    // independent accounting before tearing the fleet down.
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.tenants.len(), TENANTS);
+    for (t, lat) in per_tenant.iter().enumerate() {
+        let s = &snap.tenants[t];
+        assert_eq!(s.workloads as usize, lat.len(), "tenant {t} workload count");
+        assert_eq!(s.failures, 0);
+        // The service histogrammed the same sim-nanos values this client
+        // read off its WorkloadDone events: distributions agree exactly.
+        let client = Histogram::new();
+        for &n in lat {
+            client.record(n);
+        }
+        let client = client.snapshot();
+        assert_eq!(s.latency_ns.count, client.count);
+        assert_eq!(s.latency_ns.sum, client.sum);
+        for q in [0.50, 0.95, 0.99] {
+            assert_eq!(
+                s.latency_ns.percentile(q),
+                client.percentile(q),
+                "tenant {t} latency p{q}"
+            );
+        }
+        // Per-tenant hit/miss counts match the shared caches' own per-tag
+        // ledgers summed across containers.
+        let (hits, misses) = stores
+            .iter()
+            .filter_map(|st| st.cache())
+            .map(|c| c.tag_stats(t as u32))
+            .fold((0u64, 0u64), |(h, m), ts| (h + ts.hits, m + ts.misses));
+        assert_eq!((s.cache_hits, s.cache_misses), (hits, misses), "tenant {t}");
+    }
     let backend_gets: u64 = sims.iter().map(|s| s.stats().requests).sum();
+    // Per-tenant GET attribution partitions the backend's request stream:
+    // every GET after container-open belongs to exactly one tenant.
+    let tenant_gets: u64 = snap.tenants.iter().map(|t| t.gets).sum();
+    assert_eq!(
+        tenant_gets,
+        backend_gets - open_gets,
+        "tenant GET attribution must partition the backend request stream"
+    );
+
     let backend_bytes: u64 = sims.iter().map(|s| s.stats().bytes).sum();
     let (hits, misses) = stores
         .iter()
@@ -277,6 +331,7 @@ fn run_fleet(
         p99_ms: pct(0.99),
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         sweeper_peak_resident,
+        service_metrics_json: snap.to_json(),
     }
 }
 
@@ -398,9 +453,10 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"bit_identical_to_single_client\": true}}\n}}\n",
+        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"service_metrics\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"service_metrics_verified\": true, \"bit_identical_to_single_client\": true}}\n}}\n",
         fleet_json(&base),
         fleet_json(&grown),
+        grown.service_metrics_json,
         64 << 10
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

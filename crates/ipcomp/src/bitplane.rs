@@ -875,6 +875,10 @@ pub fn decode_planes_into(
         .flat_map(|p| (0..n_regions).map(move |k| (p, k)))
         .collect();
     let decode = |(p, k): (u8, usize)| entropy.decode_chunk(k, &level.planes[p as usize].chunks[k]);
+    // One level-scope entropy span: the bulk path fans chunks across the
+    // rayon pool, so per-chunk spans would time queueing, not decoding.
+    let obs = crate::obs::metrics();
+    let mut entropy_span = ipc_telemetry::span_timed("pipeline", "entropy", obs.entropy_ns);
     let decoded: Vec<Result<Vec<u8>>> = if parallel && tasks.len() > 1 {
         tasks.into_par_iter().map(decode).collect()
     } else {
@@ -884,9 +888,15 @@ pub fn decode_planes_into(
     let mut regions: Vec<Vec<Vec<u8>>> = (0..n_regions)
         .map(|_| Vec::with_capacity(n_planes))
         .collect();
+    let mut decoded_bytes = 0u64;
     for (t, chunk) in decoded.into_iter().enumerate() {
-        regions[t % n_regions].push(chunk?);
+        let chunk = chunk?;
+        decoded_bytes += chunk.len() as u64;
+        regions[t % n_regions].push(chunk);
     }
+    obs.entropy_bytes.add(decoded_bytes);
+    entropy_span.add_arg("bytes", decoded_bytes);
+    drop(entropy_span);
 
     // Scatter stage: per-region prediction undo + kernel-specialized
     // scatter, each region owning its slice of the accumulators.

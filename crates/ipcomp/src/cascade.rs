@@ -532,6 +532,13 @@ impl CascadeEngine {
 
     /// Run one dimension sub-pass of a level through the run kernels.
     fn apply_subpass(&mut self, interp_level: u32, idx: usize, sub_idx: usize) {
+        let mut span = ipc_telemetry::span_timed(
+            "cascade",
+            "cascade.pass",
+            crate::obs::metrics().cascade_pass_ns,
+        );
+        span.add_arg("level", interp_level as u64);
+        span.add_arg("dim", sub_idx as u64);
         let stride = level_stride(interp_level);
         let sub = &self.geoms[idx][sub_idx];
         let slot = &self.slots[idx];
@@ -566,6 +573,12 @@ impl CascadeEngine {
     /// dequantized codes off an iterator (the PR 4 batch reconstruction's
     /// inner loop). Oracle and A/B baseline for the run kernels.
     fn reference_pass(&mut self, interp_level: u32, codes: &[i64]) {
+        let mut span = ipc_telemetry::span_timed(
+            "cascade",
+            "cascade.pass",
+            crate::obs::metrics().cascade_pass_ns,
+        );
+        span.add_arg("level", interp_level as u64);
         if codes.is_empty() {
             process_level(
                 &self.shape,

@@ -703,7 +703,13 @@ impl LevelMap {
     ) -> Result<EncodedLevel> {
         let hi = plane_hi.min(self.num_planes);
         let ranges = self.plane_ranges(plane_lo, hi);
+        let obs = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("pipeline", "fetch", obs.fetch_ns);
+        let bytes: u64 = ranges.iter().map(|r| r.len as u64).sum();
+        obs.fetch_bytes.add(bytes);
+        span.add_arg("bytes", bytes);
         let bufs = read_ranges_exact(source, &ranges)?;
+        drop(span);
         let mut it = bufs.into_iter();
         let planes: Vec<EncodedPlane> = (0..self.num_planes)
             .map(|p| {
@@ -774,7 +780,13 @@ impl LevelMap {
                 })
             })
             .collect();
+        let obs = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("pipeline", "fetch", obs.fetch_ns);
+        let bytes: u64 = ranges.iter().map(|r| r.len as u64).sum();
+        obs.fetch_bytes.add(bytes);
+        span.add_arg("bytes", bytes);
         let bufs = read_ranges_exact(source, &ranges)?;
+        drop(span);
         let mut it = bufs.into_iter();
         let planes: Vec<EncodedPlane> = (0..self.num_planes)
             .map(|p| {

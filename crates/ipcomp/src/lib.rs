@@ -58,6 +58,7 @@ pub mod config;
 pub mod container;
 pub mod error;
 pub mod interp;
+pub mod obs;
 pub mod optimizer;
 pub mod pipeline;
 pub mod precinct;

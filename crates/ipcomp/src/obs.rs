@@ -1,0 +1,48 @@
+//! Registry handles for the decode stack's instrumentation.
+//!
+//! One lazily-resolved bundle of `'static` telemetry handles, so the hot
+//! paths (per-region stage calls, per-level cascade passes) never touch the
+//! registry lock — they pay one `OnceLock` load plus whatever the instrument
+//! itself costs (nothing when telemetry is disabled or compiled out).
+
+use std::sync::OnceLock;
+
+use ipc_telemetry::{Counter, Histogram};
+
+/// Handles for every metric the ipcomp layer records.
+pub struct DecodeMetrics {
+    /// Per-region fetch-stage duration (ns).
+    pub fetch_ns: &'static Histogram,
+    /// Compressed bytes resolved by the fetch stage.
+    pub fetch_bytes: &'static Counter,
+    /// Per-region entropy-stage duration (ns).
+    pub entropy_ns: &'static Histogram,
+    /// Packed plane bytes produced by the entropy stage.
+    pub entropy_bytes: &'static Counter,
+    /// Per-region scatter-stage duration (ns).
+    pub scatter_ns: &'static Histogram,
+    /// Per-dimension cascade sub-pass duration (ns).
+    pub cascade_pass_ns: &'static Histogram,
+    /// End-to-end retrieve duration (ns), bulk and streaming alike.
+    pub retrieve_ns: &'static Histogram,
+    /// Retrieval requests completed.
+    pub retrieves: &'static Counter,
+    /// Compressed payload bytes consumed by completed retrievals.
+    pub retrieve_bytes: &'static Counter,
+}
+
+/// The process-wide ipcomp metric bundle.
+pub fn metrics() -> &'static DecodeMetrics {
+    static METRICS: OnceLock<DecodeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| DecodeMetrics {
+        fetch_ns: ipc_telemetry::histogram("ipcomp.pipeline.fetch_ns"),
+        fetch_bytes: ipc_telemetry::counter("ipcomp.pipeline.fetch_bytes"),
+        entropy_ns: ipc_telemetry::histogram("ipcomp.pipeline.entropy_ns"),
+        entropy_bytes: ipc_telemetry::counter("ipcomp.pipeline.entropy_bytes"),
+        scatter_ns: ipc_telemetry::histogram("ipcomp.pipeline.scatter_ns"),
+        cascade_pass_ns: ipc_telemetry::histogram("ipcomp.cascade.pass_ns"),
+        retrieve_ns: ipc_telemetry::histogram("ipcomp.retrieve.ns"),
+        retrieves: ipc_telemetry::counter("ipcomp.retrieve.requests"),
+        retrieve_bytes: ipc_telemetry::counter("ipcomp.retrieve.bytes"),
+    })
+}

@@ -159,16 +159,19 @@ impl<'a> DecodeStage<()> for FetchStage<'a> {
     type Output = FetchedRegion<'a>;
 
     fn process(&self, region: usize, _input: ()) -> Result<FetchedRegion<'a>> {
-        match self {
+        let m = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("pipeline", "fetch", m.fetch_ns);
+        span.add_arg("region", region as u64);
+        let out = match self {
             FetchStage::Resident {
                 level,
                 plane_lo,
                 plane_hi,
-            } => Ok(FetchedRegion::Borrowed(
+            } => FetchedRegion::Borrowed(
                 (*plane_lo..*plane_hi)
                     .map(|p| level.planes[p as usize].chunks[region].as_slice())
                     .collect(),
-            )),
+            ),
             FetchStage::Ranged {
                 level,
                 source,
@@ -178,9 +181,13 @@ impl<'a> DecodeStage<()> for FetchStage<'a> {
                 let ranges: Vec<ByteRange> = (*plane_lo..*plane_hi)
                     .map(|p| level.chunk_range(p, region))
                     .collect();
-                Ok(FetchedRegion::Fetched(read_ranges_exact(*source, &ranges)?))
+                FetchedRegion::Fetched(read_ranges_exact(*source, &ranges)?)
             }
-        }
+        };
+        let bytes: u64 = (0..out.len()).map(|i| out.chunk(i).len() as u64).sum();
+        m.fetch_bytes.add(bytes);
+        span.add_arg("bytes", bytes);
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -214,9 +221,16 @@ impl<'a> DecodeStage<FetchedRegion<'a>> for EntropyStage {
     type Output = Vec<Vec<u8>>;
 
     fn process(&self, region: usize, input: FetchedRegion<'a>) -> Result<Vec<Vec<u8>>> {
-        (0..input.len())
+        let m = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("pipeline", "entropy", m.entropy_ns);
+        span.add_arg("region", region as u64);
+        let out: Vec<Vec<u8>> = (0..input.len())
             .map(|i| self.decode_chunk(region, input.chunk(i)))
-            .collect()
+            .collect::<Result<_>>()?;
+        let bytes: u64 = out.iter().map(|c| c.len() as u64).sum();
+        m.entropy_bytes.add(bytes);
+        span.add_arg("bytes", bytes);
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -304,6 +318,9 @@ impl<'a> DecodeStage<(Vec<Vec<u8>>, &'a mut [u64])> for ScatterStage {
     type Output = ();
 
     fn process(&self, region: usize, input: (Vec<Vec<u8>>, &'a mut [u64])) -> Result<()> {
+        let mut span =
+            ipc_telemetry::span_timed("pipeline", "scatter", crate::obs::metrics().scatter_ns);
+        span.add_arg("region", region as u64);
         let (mut chunks, acc_region) = input;
         let region_len = self.scheme.region_byte_range(region).len();
         if self.predictive && self.prefix_bits > 0 {

@@ -477,6 +477,8 @@ impl<'a> ProgressiveDecoder<'a> {
         request: RetrievalRequest,
         events: Option<&mut dyn FnMut(StreamEvent)>,
     ) -> Result<Retrieval> {
+        let m = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("retrieve", "retrieve_roi", m.retrieve_ns);
         let mut noop = |_: StreamEvent| {};
         let events: &mut dyn FnMut(StreamEvent) = match events {
             Some(cb) => cb,
@@ -730,6 +732,9 @@ impl<'a> ProgressiveDecoder<'a> {
         self.base_bytes_counted = true;
         self.bytes_total += base_add + payload_bytes;
         let n = header.num_elements();
+        m.retrieves.incr();
+        m.retrieve_bytes.add((base_add + payload_bytes) as u64);
+        span.add_arg("bytes", (base_add + payload_bytes) as u64);
         Ok(Retrieval {
             data,
             bytes_this_request: base_add + payload_bytes,
@@ -744,6 +749,8 @@ impl<'a> ProgressiveDecoder<'a> {
         plan: &LoadPlan,
         events: Option<&mut dyn FnMut(StreamEvent)>,
     ) -> Result<Retrieval> {
+        let m = crate::obs::metrics();
+        let mut span = ipc_telemetry::span_timed("retrieve", "retrieve", m.retrieve_ns);
         // Collapse the optional callback to a plain sink: `streaming` keeps
         // the region-streaming path selection the callback's presence implies.
         let mut noop = |_: StreamEvent| {};
@@ -812,6 +819,8 @@ impl<'a> ProgressiveDecoder<'a> {
                 self.recon.as_ref().expect("reconstruction present").clone(),
             );
             let n = header.num_elements();
+            m.retrieves.incr();
+            span.add_arg("bytes", 0);
             return Ok(Retrieval {
                 data,
                 bytes_this_request: 0,
@@ -888,6 +897,9 @@ impl<'a> ProgressiveDecoder<'a> {
         );
         let bytes_this = self.bytes_total - bytes_before;
         let n = header.num_elements();
+        m.retrieves.incr();
+        m.retrieve_bytes.add(bytes_this as u64);
+        span.add_arg("bytes", bytes_this as u64);
         Ok(Retrieval {
             data,
             bytes_this_request: bytes_this,

@@ -34,7 +34,6 @@
 //! latency — the right trade for a read-only cache.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
@@ -89,13 +88,21 @@ struct CacheEntry {
     owner: Option<CacheTag>,
 }
 
+/// Hit/miss accounting of one attribution slot (a tag, or the untagged
+/// reads). This is the **only** bookkeeping — the cache-wide view in
+/// [`CacheStats`] is the sum over slots, not a second set of counters.
+#[derive(Default, Clone, Copy)]
+struct TagCounters {
+    hits: u64,
+    misses: u64,
+    miss_bytes: u64,
+}
+
 #[derive(Default)]
 struct TagState {
     resident: usize,
     quota: Option<usize>,
-    hits: u64,
-    misses: u64,
-    miss_bytes: u64,
+    counts: TagCounters,
 }
 
 struct CacheState {
@@ -105,6 +112,8 @@ struct CacheState {
     resident: usize,
     tick: u64,
     tags: HashMap<CacheTag, TagState>,
+    /// Accounting slot for reads that carry no tag.
+    untagged: TagCounters,
 }
 
 impl CacheState {
@@ -127,8 +136,6 @@ pub struct CachedSource<S> {
     inner: S,
     budget: usize,
     state: Mutex<CacheState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl<S: ChunkSource> CachedSource<S> {
@@ -143,9 +150,8 @@ impl<S: ChunkSource> CachedSource<S> {
                 resident: 0,
                 tick: 0,
                 tags: HashMap::new(),
+                untagged: TagCounters::default(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
@@ -168,12 +174,20 @@ impl<S: ChunkSource> CachedSource<S> {
         state.tags.entry(tag).or_default().quota = quota;
     }
 
-    /// Snapshot of the hit/miss counters and residency.
+    /// Snapshot of the hit/miss counters and residency. The cache-wide
+    /// counters are the sum of every attribution slot (tags plus untagged) —
+    /// there is no second, parallel set of global counters to drift.
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");
+        let mut hits = state.untagged.hits;
+        let mut misses = state.untagged.misses;
+        for t in state.tags.values() {
+            hits += t.counts.hits;
+            misses += t.counts.misses;
+        }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             resident_bytes: state.resident,
             entries: state.map.len(),
             protected_ranges: state.protected.len(),
@@ -187,9 +201,9 @@ impl<S: ChunkSource> CachedSource<S> {
             .tags
             .get(&tag)
             .map_or(TagStats::default(), |t| TagStats {
-                hits: t.hits,
-                misses: t.misses,
-                miss_bytes: t.miss_bytes,
+                hits: t.counts.hits,
+                misses: t.counts.misses,
+                miss_bytes: t.counts.miss_bytes,
                 resident_bytes: t.resident,
             })
     }
@@ -280,18 +294,21 @@ impl<S: ChunkSource> CachedSource<S> {
                     miss_idx.push(i);
                 }
             }
-            if let Some(tag) = tag {
-                let miss_bytes: u64 = miss_idx.iter().map(|&i| ranges[i].len as u64).sum();
-                let t = state.tags.entry(tag).or_default();
-                t.hits += (ranges.len() - miss_idx.len()) as u64;
-                t.misses += miss_idx.len() as u64;
-                t.miss_bytes += miss_bytes;
-            }
+            let hits = (ranges.len() - miss_idx.len()) as u64;
+            let misses = miss_idx.len() as u64;
+            let miss_bytes: u64 = miss_idx.iter().map(|&i| ranges[i].len as u64).sum();
+            let slot = match tag {
+                Some(tag) => &mut state.tags.entry(tag).or_default().counts,
+                None => &mut state.untagged,
+            };
+            slot.hits += hits;
+            slot.misses += misses;
+            slot.miss_bytes += miss_bytes;
+            let m = crate::obs::metrics();
+            m.cache_hits.add(hits);
+            m.cache_misses.add(misses);
+            m.cache_miss_bytes.add(miss_bytes);
         }
-        self.hits
-            .fetch_add((ranges.len() - miss_idx.len()) as u64, Ordering::Relaxed);
-        self.misses
-            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
 
         if !miss_idx.is_empty() {
             let miss_ranges: Vec<ByteRange> = miss_idx.iter().map(|&i| ranges[i]).collect();

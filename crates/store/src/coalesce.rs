@@ -113,6 +113,9 @@ impl<S: ChunkSource> ChunkSource for CoalescingSource<S> {
 
     fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
         let (reads, slices) = coalesce_ranges(ranges, self.max_gap);
+        let m = crate::obs::metrics();
+        m.coalesce_ranges_in.add(ranges.len() as u64);
+        m.coalesce_reads_out.add(reads.len() as u64);
         let bufs = read_ranges_exact(&self.inner, &reads)?;
         Ok(ranges
             .iter()

@@ -48,6 +48,7 @@ pub mod async_source;
 pub mod cache;
 pub mod coalesce;
 pub mod file;
+pub mod obs;
 pub mod planner;
 pub mod server;
 pub mod service;
@@ -63,8 +64,8 @@ pub use file::FileSource;
 pub use planner::{lower_plan, lower_plan_roi, plan_request, ChunkRead, RangePlan};
 pub use server::{field_checksum, ClientOutcome, ClientStep, StoreServer};
 pub use service::{
-    ContainerId, CostModel, ServiceConfig, ServiceError, ServiceEvent, StoreService, TenantConfig,
-    TenantId,
+    ContainerId, CostModel, ServiceConfig, ServiceError, ServiceEvent, ServiceMetricsSnapshot,
+    StoreService, TenantConfig, TenantId, TenantMetricsSnapshot,
 };
 pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, SharedCache, StoreOptions};
 pub use sim::{Fault, FaultSource, SimProfile, SimStats, SimulatedObjectStore};

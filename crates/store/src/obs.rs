@@ -1,0 +1,49 @@
+//! Registry handles for the store layer's process-wide instrumentation.
+//!
+//! Per-instance snapshots ([`crate::cache::CacheStats`],
+//! [`crate::sim::SimStats`], per-tenant service metrics) stay exact and
+//! instance-local; the handles here are the process-wide aggregates the
+//! registry snapshot exports, fed from the same accounting sites.
+
+use std::sync::OnceLock;
+
+use ipc_telemetry::{Counter, Histogram};
+
+/// Handles for every process-wide metric the store layer records.
+pub struct StoreMetrics {
+    /// Ranges served from any cache instance.
+    pub cache_hits: &'static Counter,
+    /// Ranges any cache instance fetched from its wrapped source.
+    pub cache_misses: &'static Counter,
+    /// Payload bytes of those missed ranges.
+    pub cache_miss_bytes: &'static Counter,
+    /// Ranges requested through any coalescing source.
+    pub coalesce_ranges_in: &'static Counter,
+    /// Backend reads those ranges collapsed into.
+    pub coalesce_reads_out: &'static Counter,
+    /// Simulated-store GETs (one per range request).
+    pub sim_requests: &'static Counter,
+    /// Simulated-store payload bytes returned.
+    pub sim_bytes: &'static Counter,
+    /// Service queue wait per workload (ns, wall clock).
+    pub queue_wait_ns: &'static Histogram,
+    /// End-to-end service workload latency (ns; simulated time when the
+    /// service prices requests with a cost model, wall time otherwise).
+    pub workload_ns: &'static Histogram,
+}
+
+/// The process-wide store metric bundle.
+pub fn metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StoreMetrics {
+        cache_hits: ipc_telemetry::counter("store.cache.hits"),
+        cache_misses: ipc_telemetry::counter("store.cache.misses"),
+        cache_miss_bytes: ipc_telemetry::counter("store.cache.miss_bytes"),
+        coalesce_ranges_in: ipc_telemetry::counter("store.coalesce.ranges_in"),
+        coalesce_reads_out: ipc_telemetry::counter("store.coalesce.reads_out"),
+        sim_requests: ipc_telemetry::counter("store.sim.requests"),
+        sim_bytes: ipc_telemetry::counter("store.sim.bytes"),
+        queue_wait_ns: ipc_telemetry::histogram("store.service.queue_wait_ns"),
+        workload_ns: ipc_telemetry::histogram("store.service.workload_ns"),
+    })
+}

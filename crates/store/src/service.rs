@@ -44,6 +44,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ipc_telemetry::{now_nanos, span, Counter, Histogram, HistogramSnapshot};
 use ipcomp::progressive::{RetrievalRequest, StreamEvent};
 use ipcomp::source::{ByteRange, Bytes, ChunkSource};
 use ipcomp::IpcompError;
@@ -225,6 +226,100 @@ pub enum ServiceEvent {
     },
 }
 
+/// Point-in-time telemetry of one tenant (see
+/// [`StoreService::metrics_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct TenantMetricsSnapshot {
+    /// The tenant these numbers belong to.
+    pub tenant: TenantId,
+    /// Workloads that ran to completion (`WorkloadDone`).
+    pub workloads: u64,
+    /// Workloads that ended in `WorkloadFailed`.
+    pub failures: u64,
+    /// Individual requests completed.
+    pub requests: u64,
+    /// Backend GETs attributed to the tenant (cache misses, coalesced under
+    /// the cost model's gap when one is configured).
+    pub gets: u64,
+    /// Ranges served from the shared cache.
+    pub cache_hits: u64,
+    /// Ranges that had to be fetched from the backend.
+    pub cache_misses: u64,
+    /// Cumulative budget bytes consumed (see [`TenantConfig::byte_budget`]).
+    pub bytes_used: u64,
+    /// The tenant's configured budget, for "x of y" reporting.
+    pub byte_budget: Option<u64>,
+    /// Distribution of nanoseconds workloads spent queued before a worker
+    /// picked them up.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Distribution of end-to-end workload latency in nanoseconds (simulated
+    /// backend time under a cost model, wall-clock otherwise).
+    pub latency_ns: HistogramSnapshot,
+}
+
+impl TenantMetricsSnapshot {
+    /// Fraction of ranges served from cache, in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Stable JSON object for this tenant (one entry of
+    /// [`ServiceMetricsSnapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tenant\": {}, \"workloads\": {}, \"failures\": {}, \"requests\": {}, \
+             \"gets\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}, \
+             \"bytes_used\": {}, \"byte_budget\": {}, \"queue_wait_ns\": {}, \"latency_ns\": {}}}",
+            self.tenant.0,
+            self.workloads,
+            self.failures,
+            self.requests,
+            self.gets,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.bytes_used,
+            self.byte_budget
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            self.queue_wait_ns.to_json(),
+            self.latency_ns.to_json(),
+        )
+    }
+}
+
+/// Point-in-time telemetry of the whole service: per-tenant breakdowns plus
+/// the merged aggregates. Histogram percentiles are meaningful only in
+/// builds with the `telemetry` feature (the default); counters are exact in
+/// every build.
+#[derive(Debug, Clone)]
+pub struct ServiceMetricsSnapshot {
+    /// One entry per registered tenant, in registration order.
+    pub tenants: Vec<TenantMetricsSnapshot>,
+    /// All tenants' queue waits merged.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// All tenants' workload latencies merged.
+    pub latency_ns: HistogramSnapshot,
+}
+
+impl ServiceMetricsSnapshot {
+    /// Stable JSON document (`schema: ipc-service-metrics-v1`).
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self.tenants.iter().map(|t| t.to_json()).collect();
+        format!(
+            "{{\"schema\": \"ipc-service-metrics-v1\", \"tenants\": [{}], \
+             \"queue_wait_ns\": {}, \"latency_ns\": {}}}",
+            tenants.join(", "),
+            self.queue_wait_ns.to_json(),
+            self.latency_ns.to_json(),
+        )
+    }
+}
+
 /// Counting semaphore (std has none; the vendored environment has no tokio).
 struct Semaphore {
     permits: Mutex<usize>,
@@ -263,11 +358,39 @@ impl Semaphore {
     }
 }
 
+/// Instance-local per-tenant telemetry. These live on the tenant's state —
+/// not in the process-global registry — so two services in one process (or
+/// parallel tests) never see each other's traffic; the registry only carries
+/// the service-wide aggregates (`store.service.*`).
+#[derive(Default)]
+struct TenantMetrics {
+    /// Workloads that ran to `WorkloadDone`.
+    workloads: Counter,
+    /// Workloads that ended in `WorkloadFailed`.
+    failures: Counter,
+    /// Requests completed across all workloads.
+    requests: Counter,
+    /// Backend GETs attributed to this tenant: each read's cache misses,
+    /// coalesced under the cost model's gap when one is configured (mirroring
+    /// the request stream the backend actually sees), raw misses otherwise.
+    gets: Counter,
+    /// Ranges served from the shared cache.
+    cache_hits: Counter,
+    /// Ranges that had to be fetched.
+    cache_misses: Counter,
+    /// Nanoseconds each workload spent queued before a worker picked it up.
+    queue_wait_ns: Histogram,
+    /// End-to-end workload latency: simulated backend nanoseconds under a
+    /// [`ServiceConfig::cost_model`], wall-clock otherwise.
+    latency_ns: Histogram,
+}
+
 struct TenantState {
     config: TenantConfig,
     tag: CacheTag,
     bytes_used: AtomicU64,
     inflight: Semaphore,
+    metrics: TenantMetrics,
 }
 
 impl TenantState {
@@ -303,10 +426,15 @@ impl TenantState {
 }
 
 struct Job {
+    /// Service-wide workload sequence number (span/trace correlation id).
+    id: u64,
     store: Arc<ContainerStore>,
     tenant: Arc<TenantState>,
     workload: Vec<RetrievalRequest>,
     events: SyncSender<ServiceEvent>,
+    /// Telemetry clock reading at enqueue; 0 when telemetry is disabled,
+    /// which makes the recorded queue wait 0 rather than garbage.
+    enqueued_at: u64,
 }
 
 struct Shared {
@@ -316,6 +444,7 @@ struct Shared {
     queue_cv: Condvar,
     global: Semaphore,
     shutdown: AtomicBool,
+    next_workload: AtomicU64,
     config: ServiceConfig,
 }
 
@@ -326,7 +455,7 @@ struct Shared {
 /// when a tenant runs many sessions at once.
 struct MeterSource {
     cache: Arc<SharedCache>,
-    tag: CacheTag,
+    tenant: Arc<TenantState>,
     cost: Option<CostModel>,
     nanos: AtomicU64,
 }
@@ -343,13 +472,24 @@ impl ChunkSource for MeterSource {
     }
 
     fn read_ranges(&self, ranges: &[ByteRange]) -> ipcomp::Result<Vec<Bytes>> {
-        let read = self.cache.read_ranges_tagged(Some(self.tag), ranges)?;
-        if let Some(cost) = &self.cost {
-            if !read.missed.is_empty() {
-                let miss: Vec<ByteRange> =
-                    read.missed.iter().map(|&i| ranges[i as usize]).collect();
-                let bytes: u64 = miss.iter().map(|r| r.len as u64).sum();
-                let gets = coalesce_ranges(&miss, cost.coalesce_gap).0.len() as u64;
+        let read = self
+            .cache
+            .read_ranges_tagged(Some(self.tenant.tag), ranges)?;
+        let m = &self.tenant.metrics;
+        let missed = read.missed.len() as u64;
+        m.cache_hits.add(ranges.len() as u64 - missed);
+        m.cache_misses.add(missed);
+        if !read.missed.is_empty() {
+            let miss: Vec<ByteRange> = read.missed.iter().map(|&i| ranges[i as usize]).collect();
+            let bytes: u64 = miss.iter().map(|r| r.len as u64).sum();
+            let gets = match &self.cost {
+                // Coalesce the way the stack below batches GETs, so the
+                // per-tenant count partitions the backend's request stream.
+                Some(cost) => coalesce_ranges(&miss, cost.coalesce_gap).0.len() as u64,
+                None => missed,
+            };
+            m.gets.add(gets);
+            if let Some(cost) = &self.cost {
                 self.nanos
                     .fetch_add(cost.nanos(gets, bytes), Ordering::Relaxed);
             }
@@ -374,6 +514,7 @@ impl StoreService {
             queue_cv: Condvar::new(),
             global: Semaphore::new(config.max_inflight.max(1)),
             shutdown: AtomicBool::new(false),
+            next_workload: AtomicU64::new(0),
             config,
         });
         let workers = (0..config.workers.max(1))
@@ -419,6 +560,7 @@ impl StoreService {
             tag,
             bytes_used: AtomicU64::new(0),
             inflight: Semaphore::new(config.max_inflight.max(1)),
+            metrics: TenantMetrics::default(),
         }));
         TenantId(tag)
     }
@@ -431,6 +573,45 @@ impl StoreService {
             .expect("tenants lock")
             .get(tenant.0 as usize)
             .map_or(0, |t| t.bytes_used.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot every tenant's counters and latency distributions plus the
+    /// service-wide merges. Cheap enough to poll: counters are relaxed loads
+    /// and each histogram copies a fixed bucket array.
+    pub fn metrics_snapshot(&self) -> ServiceMetricsSnapshot {
+        let tenants = self.shared.tenants.lock().expect("tenants lock");
+        let mut out = Vec::with_capacity(tenants.len());
+        let mut queue_wait = HistogramSnapshot::empty();
+        let mut latency = HistogramSnapshot::empty();
+        for t in tenants.iter() {
+            let q = t.metrics.queue_wait_ns.snapshot();
+            let l = t.metrics.latency_ns.snapshot();
+            queue_wait.merge(&q);
+            latency.merge(&l);
+            out.push(TenantMetricsSnapshot {
+                tenant: TenantId(t.tag),
+                workloads: t.metrics.workloads.get(),
+                failures: t.metrics.failures.get(),
+                requests: t.metrics.requests.get(),
+                gets: t.metrics.gets.get(),
+                cache_hits: t.metrics.cache_hits.get(),
+                cache_misses: t.metrics.cache_misses.get(),
+                bytes_used: t.bytes_used.load(Ordering::Relaxed),
+                byte_budget: t.config.byte_budget,
+                queue_wait_ns: q,
+                latency_ns: l,
+            });
+        }
+        ServiceMetricsSnapshot {
+            tenants: out,
+            queue_wait_ns: queue_wait,
+            latency_ns: latency,
+        }
+    }
+
+    /// [`StoreService::metrics_snapshot`] rendered as a stable JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
     }
 
     fn lookup(
@@ -471,10 +652,12 @@ impl StoreService {
         let (tx, rx) = sync_channel(self.shared.config.event_depth.max(1));
         let mut queue = self.shared.queue.lock().expect("queue lock");
         queue.push_back(Job {
+            id: self.shared.next_workload.fetch_add(1, Ordering::Relaxed),
             store,
             tenant,
             workload,
             events: tx,
+            enqueued_at: now_nanos(),
         });
         self.shared.queue_cv.notify_one();
         Ok(rx)
@@ -555,16 +738,28 @@ fn worker_loop(shared: Arc<Shared>) {
 /// client hung up, in which case remaining work is abandoned).
 fn run_job(shared: &Shared, job: Job) {
     let Job {
+        id,
         store,
         tenant,
         workload,
         events,
+        enqueued_at,
     } = job;
+
+    let started_at = now_nanos();
+    let queue_wait = started_at.saturating_sub(enqueued_at);
+    tenant.metrics.queue_wait_ns.record(queue_wait);
+    crate::obs::metrics().queue_wait_ns.record(queue_wait);
+    let mut wl_span = span("service", "workload")
+        .arg("tenant", tenant.tag as u64)
+        .arg("workload", id)
+        .arg("requests", workload.len() as u64)
+        .arg("queue_ns", queue_wait);
 
     let meter = store.cache().map(|cache| {
         Arc::new(MeterSource {
             cache: Arc::clone(cache),
-            tag: tenant.tag,
+            tenant: Arc::clone(&tenant),
             cost: shared.config.cost_model,
             nanos: AtomicU64::new(0),
         })
@@ -583,6 +778,7 @@ fn run_job(shared: &Shared, job: Job) {
         let reserved = match plan_bytes(&session, request, &tenant) {
             Ok(reserved) => reserved,
             Err(error) => {
+                tenant.metrics.failures.incr();
                 let _ = events.send(ServiceEvent::WorkloadFailed { request: i, error });
                 break;
             }
@@ -600,6 +796,7 @@ fn run_job(shared: &Shared, job: Job) {
                     error_bound: out.error_bound,
                 };
                 steps.push(step);
+                tenant.metrics.requests.incr();
                 let done = ServiceEvent::RequestDone {
                     request: i,
                     step,
@@ -612,6 +809,7 @@ fn run_job(shared: &Shared, job: Job) {
             }
             Err(e) => {
                 tenant.release_reservation(reserved);
+                tenant.metrics.failures.incr();
                 let _ = events.send(ServiceEvent::WorkloadFailed {
                     request: i,
                     error: ServiceError::Retrieval(e),
@@ -621,12 +819,28 @@ fn run_job(shared: &Shared, job: Job) {
         }
     }
     if steps.len() == workload.len() {
+        let sim = sim_nanos(&meter);
+        // End-to-end latency on the timeline the deployment runs on: the
+        // simulated backend clock when a cost model attributes one, the
+        // telemetry wall clock otherwise. Recorded from the *same* value the
+        // terminal event carries, so a client histogramming its
+        // `WorkloadDone` nanos reproduces this histogram exactly.
+        let latency = if shared.config.cost_model.is_some() && meter.is_some() {
+            sim
+        } else {
+            now_nanos().saturating_sub(started_at)
+        };
+        tenant.metrics.workloads.incr();
+        tenant.metrics.latency_ns.record(latency);
+        crate::obs::metrics().workload_ns.record(latency);
+        wl_span.add_arg("latency_ns", latency);
         let checksum = last.map_or(0, |out| field_checksum(out.data.as_slice()));
         let _ = events.send(ServiceEvent::WorkloadDone {
             outcome: ClientOutcome { steps, checksum },
-            sim_nanos: sim_nanos(&meter),
+            sim_nanos: sim,
         });
     }
+    drop(wl_span);
     shared.global.release();
     tenant.inflight.release();
 }
@@ -883,6 +1097,76 @@ mod tests {
         let warm = run(RetrievalRequest::ErrorBound(1e-3));
         assert!(cold > 0, "cold workload must pay simulated latency");
         assert_eq!(warm, 0, "warm workload is all cache hits: {warm}");
+    }
+
+    #[test]
+    fn metrics_snapshot_attributes_traffic_per_tenant() {
+        let (store, _) = toy_store(1 << 20);
+        let service = StoreService::new(ServiceConfig {
+            cost_model: Some(CostModel {
+                latency_per_request: Duration::from_millis(5),
+                throughput_bytes_per_sec: 200e6,
+                coalesce_gap: 4096,
+            }),
+            ..ServiceConfig::default()
+        });
+        let cid = service.register_container(store);
+        let busy = service.register_tenant(TenantConfig::default());
+        let idle = service.register_tenant(TenantConfig::default());
+        let mut done_nanos = Vec::new();
+        for req in [
+            RetrievalRequest::ErrorBound(1e-2),
+            RetrievalRequest::ErrorBound(1e-4),
+            RetrievalRequest::ErrorBound(1e-4), // warm repeat: all hits
+        ] {
+            let rx = service.submit(busy, cid, vec![req]).unwrap();
+            while let Ok(ev) = rx.recv() {
+                if let ServiceEvent::WorkloadDone { sim_nanos, .. } = ev {
+                    done_nanos.push(sim_nanos);
+                }
+            }
+        }
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        let t = &snap.tenants[busy.0 as usize];
+        assert_eq!(t.tenant, busy);
+        assert_eq!(t.workloads, 3);
+        assert_eq!(t.requests, 3);
+        assert_eq!(t.failures, 0);
+        assert!(t.gets > 0, "cold workloads must have hit the backend");
+        assert!(t.cache_misses > 0);
+        assert!(t.cache_hits > 0, "the warm repeat must have hit the cache");
+        assert!(t.hit_rate() > 0.0 && t.hit_rate() < 1.0);
+        // The idle tenant saw none of that traffic.
+        let z = &snap.tenants[idle.0 as usize];
+        assert_eq!(
+            (z.workloads, z.requests, z.gets, z.cache_hits),
+            (0, 0, 0, 0)
+        );
+        // The JSON document is well-formed enough to carry both tenants.
+        let json = service.metrics_json();
+        assert!(json.starts_with("{\"schema\": \"ipc-service-metrics-v1\""));
+        assert!(json.contains("\"tenants\": [{\"tenant\": 0,"));
+
+        // With the `telemetry` feature on, the service-side latency
+        // histogram is fed from the same values the client observed on its
+        // WorkloadDone events — percentiles must agree exactly.
+        #[cfg(feature = "telemetry")]
+        {
+            use ipc_telemetry::Histogram;
+            assert_eq!(t.latency_ns.count, 3);
+            assert_eq!(t.queue_wait_ns.count, 3);
+            let client_side = Histogram::new();
+            for &n in &done_nanos {
+                client_side.record(n);
+            }
+            let client = client_side.snapshot();
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(t.latency_ns.percentile(q), client.percentile(q), "q={q}");
+            }
+            assert_eq!(t.latency_ns.sum, client.sum);
+        }
+        let _ = done_nanos;
     }
 
     #[test]

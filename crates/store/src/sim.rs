@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use ipc_telemetry::{Clock, Counter, ManualClock};
 use ipcomp::source::{ByteRange, Bytes, ChunkSource};
 use ipcomp::Result;
 
@@ -108,10 +109,13 @@ pub struct SimulatedObjectStore<S> {
     inner: S,
     profile: SimProfile,
     fault: Fault,
-    requests: AtomicU64,
-    batches: AtomicU64,
-    bytes: AtomicU64,
-    simulated_nanos: AtomicU64,
+    requests: Counter,
+    batches: Counter,
+    bytes: Counter,
+    /// Simulated time, exposed as an injectable [`Clock`] so trace spans can
+    /// run on the same timeline the cost model charges
+    /// ([`SimulatedObjectStore::clock`] + [`ipc_telemetry::set_clock`]).
+    clock: ManualClock,
 }
 
 impl<S: ChunkSource> SimulatedObjectStore<S> {
@@ -121,11 +125,16 @@ impl<S: ChunkSource> SimulatedObjectStore<S> {
             inner,
             profile,
             fault: Fault::None,
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            simulated_nanos: AtomicU64::new(0),
+            requests: Counter::new(),
+            batches: Counter::new(),
+            bytes: Counter::new(),
+            clock: ManualClock::new(),
         }
+    }
+
+    /// The simulated clock this store advances; clone shares the timeline.
+    pub fn clock(&self) -> ManualClock {
+        self.clock.clone()
     }
 
     /// Wrap `inner` with a cost model and fault injection.
@@ -139,19 +148,19 @@ impl<S: ChunkSource> SimulatedObjectStore<S> {
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> SimStats {
         SimStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            simulated_secs: self.simulated_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            requests: self.requests.get(),
+            batches: self.batches.get(),
+            bytes: self.bytes.get(),
+            simulated_secs: self.clock.now_nanos() as f64 * 1e-9,
         }
     }
 
     /// Reset the traffic counters (fault state is lifetime-global).
     pub fn reset_stats(&self) {
-        self.requests.store(0, Ordering::Relaxed);
-        self.batches.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.simulated_nanos.store(0, Ordering::Relaxed);
+        self.requests.reset();
+        self.batches.reset();
+        self.bytes.reset();
+        self.clock.set(0);
     }
 }
 
@@ -161,19 +170,19 @@ impl<S: ChunkSource> ChunkSource for SimulatedObjectStore<S> {
     }
 
     fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
-        let first_index = self
-            .requests
-            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        let first_index = self.requests.fetch_add(ranges.len() as u64);
+        self.batches.incr();
         let total: u64 = ranges.iter().map(|r| r.len as u64).sum();
-        self.bytes.fetch_add(total, Ordering::Relaxed);
+        self.bytes.add(total);
+        let m = crate::obs::metrics();
+        m.sim_requests.add(ranges.len() as u64);
+        m.sim_bytes.add(total);
 
         let mut cost = self.profile.latency_per_request * ranges.len() as u32;
         if self.profile.throughput_bytes_per_sec > 0.0 {
             cost += Duration::from_secs_f64(total as f64 / self.profile.throughput_bytes_per_sec);
         }
-        self.simulated_nanos
-            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.clock.advance(cost.as_nanos() as u64);
         if self.profile.real_sleep && !cost.is_zero() {
             std::thread::sleep(cost);
         }

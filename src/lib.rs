@@ -12,11 +12,13 @@
 //! * [`ipc_codecs`] — bitstream, negabinary, Huffman, RLE, and LZR lossless backends.
 //! * [`ipc_datagen`] — synthetic scientific datasets and post-analysis operators.
 //! * [`ipc_metrics`] — L∞ / MSE / PSNR / entropy / compression-ratio metrics.
+//! * [`ipc_telemetry`] — process-wide metric registry, trace spans, runtime profiles.
 
 pub use ipc_baselines as baselines;
 pub use ipc_codecs as codecs;
 pub use ipc_datagen as datagen;
 pub use ipc_metrics as metrics;
 pub use ipc_store as store;
+pub use ipc_telemetry as telemetry;
 pub use ipc_tensor as tensor;
 pub use ipcomp as core;
