@@ -303,16 +303,88 @@ fn main() {
             speedup >= 1.5,
             "cascade must deliver >= 1.5x on the reconstruct stage, got {speedup:.2}x"
         );
+        // 2% tolerance: on a 1-CPU host the overlap gain is ~0 and the two
+        // walls are equal up to scheduler noise, so an exact <= is a coin flip.
         assert!(
-            stream_wall <= batch_wall,
+            stream_wall.as_secs_f64() <= batch_wall.as_secs_f64() * 1.02,
             "streamed cascade must not lose to decode-then-reconstruct: {stream_wall:?} vs {batch_wall:?}"
         );
     }
 
+    // ---- multi-core scaling: parallel cascade sub-pass rows ----------------
+    // 1/2/4/8-thread reconstruct sweep through the run-parallel scheduler
+    // (IPC_CASCADE_PAR). On real multi-core hardware the 2-thread row must
+    // clear the 1.6x efficiency floor; on a 1-CPU container the extra
+    // threads only timeslice, so the rows assert no-regression instead —
+    // bit-identity with the serial schedule is asserted either way.
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let thread_sweep = [1usize, 2, 4, 8];
+    let mut scaling_rows: Vec<(usize, usize, Duration)> = Vec::new();
+    for &t in &thread_sweep {
+        // The vendored rayon shim re-reads RAYON_NUM_THREADS on every
+        // parallel call, so the sweep needs no subprocesses. The engine
+        // clamps the pool width to the hardware, so a row's *effective*
+        // thread count can be lower than requested on small hosts.
+        std::env::set_var("RAYON_NUM_THREADS", t.to_string());
+        let eff = cascade::cascade_threads();
+        let mut best = Duration::MAX;
+        let mut per_level = vec![Duration::MAX; n_levels];
+        for _ in 0..reps {
+            let cloned = level_codes.clone();
+            let (out, total) =
+                cascade_reconstruct(&shape, &config, eb, &anchors, cloned, &mut per_level);
+            best = best.min(total);
+            assert_eq!(
+                checksum(&out),
+                checksum(&pr4_field),
+                "{t}-thread cascade diverged from the serial schedule"
+            );
+        }
+        println!(
+            "reconstruct @{t} threads (effective {eff}): {:.2} ms ({:.2}x vs 1t)",
+            best.as_secs_f64() * 1e3,
+            scaling_rows
+                .first()
+                .map_or(1.0, |(_, _, one)| one.as_secs_f64() / best.as_secs_f64())
+        );
+        scaling_rows.push((t, eff, best));
+    }
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let one_t = scaling_rows[0].2;
+    let speedup_2t = one_t.as_secs_f64() / scaling_rows[1].2.as_secs_f64();
+    if !smoke {
+        if hw > 1 {
+            assert!(
+                speedup_2t >= 1.6,
+                "2-thread reconstruct must reach the 1.6x efficiency floor on {hw}-CPU hardware, got {speedup_2t:.2}x"
+            );
+        } else {
+            for &(t, _, ms) in &scaling_rows[1..] {
+                assert!(
+                    ms.as_secs_f64() <= one_t.as_secs_f64() * 1.25,
+                    "{t}-thread reconstruct regressed on 1-CPU hardware: {:.2} ms vs {:.2} ms",
+                    ms.as_secs_f64() * 1e3,
+                    one_t.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+    println!(
+        "scaling: {hw} hardware thread(s); 2t speedup {speedup_2t:.2}x ({})",
+        if hw > 1 {
+            ">= 1.6x floor asserted"
+        } else {
+            "no-regression asserted on 1 CPU"
+        }
+    );
+
     let mut json = String::from("{\n  \"benchmark\": \"cascade_reconstruction\",\n");
+    // The headline sections above ran with RAYON_NUM_THREADS pinned to 1;
+    // record the count that was actually in effect, not a literal.
     json.push_str(&format!(
-        "  \"coefficients\": {n},\n  \"container_bytes\": {},\n  \"compress_error_bound\": {eb:e},\n  \"threads\": 1,\n  \"avx2\": {},\n",
+        "  \"coefficients\": {n},\n  \"container_bytes\": {},\n  \"compress_error_bound\": {eb:e},\n  \"threads\": {},\n  \"avx2\": {},\n",
         bytes.len(),
+        cascade::cascade_threads(),
         cascade::cascade_avx2_available()
     ));
     json.push_str(&format!(
@@ -344,6 +416,19 @@ fn main() {
         stream_wall.as_secs_f64() * 1e3,
         hidden.as_secs_f64() * 1e3,
     ));
+    json.push_str(&format!(
+        "  \"scaling\": {{\"hardware_threads\": {hw}, \"efficiency_floor_2t\": 1.6, \"floor_asserted\": {}, \"rows\": [\n",
+        !smoke && hw > 1
+    ));
+    for (i, &(t, eff, ms)) in scaling_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"effective_threads\": {eff}, \"reconstruct_ms\": {:.3}, \"speedup_vs_1t\": {:.3}, \"bit_identical\": true}}{}\n",
+            ms.as_secs_f64() * 1e3,
+            one_t.as_secs_f64() / ms.as_secs_f64(),
+            if i + 1 < scaling_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
     json.push_str(&format!(
         "  \"acceptance\": {{\"reconstruct_speedup\": {speedup:.3}, \"required\": 1.5, \"streamed_beats_batch\": {}, \"bit_identical\": true}}\n}}\n",
         stream_wall <= batch_wall

@@ -109,6 +109,7 @@ fn main() {
 
     let per_chunk_options = StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
@@ -116,6 +117,7 @@ fn main() {
     };
     let coalesced_options = StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: Some(COALESCE_GAP),
         readahead_planes: 0,
         protect_top_planes: 0,
@@ -128,6 +130,7 @@ fn main() {
         ipc_store::traffic_model_gap(sim_profile().latency_per_request, THROUGHPUT_MB_S * 1e6);
     let model_gap_options = StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: Some(model_gap),
         readahead_planes: 0,
         protect_top_planes: 0,
@@ -212,6 +215,7 @@ fn main() {
             sim.clone() as Arc<dyn ChunkSource>,
             StoreOptions {
                 cache_bytes,
+                cache_shards: 0,
                 coalesce_gap: Some(COALESCE_GAP),
                 readahead_planes: 0,
                 protect_top_planes: 0,
@@ -259,6 +263,7 @@ fn main() {
             sim.clone() as Arc<dyn ChunkSource>,
             StoreOptions {
                 cache_bytes: (total / 2).max(64 << 10),
+                cache_shards: 0,
                 coalesce_gap: Some(COALESCE_GAP),
                 readahead_planes: 0,
                 protect_top_planes: protect,

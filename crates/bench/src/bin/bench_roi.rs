@@ -80,6 +80,7 @@ fn main() {
     // the byte count is the lowering itself, no coalescing slack).
     let options = StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,

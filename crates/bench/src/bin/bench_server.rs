@@ -128,17 +128,23 @@ struct FleetResult {
     p99_ms: f64,
     hit_rate: f64,
     sweeper_peak_resident: usize,
+    /// Wall time of the session-driving phase (client submit → last event).
+    wall: Duration,
     /// The service's own [`StoreService::metrics_json`] document, verified
     /// against the client-side numbers before the fleet is torn down.
     service_metrics_json: String,
 }
 
 /// Run a fleet of `sessions` Zipf-distributed sessions over fresh stores and
-/// a fresh service, verifying every checksum against `references`.
+/// a fresh service with `workers` decode workers and `cache_shards` shards
+/// per container cache (0 = the store default), verifying every checksum
+/// against `references`.
 fn run_fleet(
     containers: &[Vec<u8>],
     references: &HashMap<(usize, Kind), u64>,
     sessions: usize,
+    workers: usize,
+    cache_shards: usize,
 ) -> FleetResult {
     let sims: Vec<Arc<SimulatedObjectStore<MemorySource>>> = containers
         .iter()
@@ -160,6 +166,7 @@ fn run_fleet(
                     // sizes cache for its hot set; the per-tenant quotas
                     // below are what bound each tenant's own admissions.
                     cache_bytes: b.len().max(32 << 10),
+                    cache_shards,
                     coalesce_gap: Some(COALESCE_GAP),
                     ..StoreOptions::default()
                 },
@@ -172,7 +179,7 @@ fn run_fleet(
     let open_gets: u64 = sims.iter().map(|s| s.stats().requests).sum();
 
     let service = StoreService::new(ServiceConfig {
-        workers: 8,
+        workers,
         max_inflight: 64,
         event_depth: 64,
         cost_model: Some(CostModel {
@@ -217,6 +224,7 @@ fn run_fleet(
 
     // One client thread per tenant, each driving its share of the sessions
     // and validating checksums inline.
+    let wall_start = std::time::Instant::now();
     let per_tenant: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..TENANTS)
             .map(|t| {
@@ -259,6 +267,7 @@ fn run_fleet(
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
+    let wall = wall_start.elapsed();
 
     // Fleet-wide latency distribution via the shared telemetry histogram
     // (the same primitive the service's own metrics use).
@@ -331,6 +340,7 @@ fn run_fleet(
         p99_ms: pct(0.99),
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         sweeper_peak_resident,
+        wall,
         service_metrics_json: snap.to_json(),
     }
 }
@@ -378,8 +388,8 @@ fn main() {
     // The fleet at base scale and at 8× growth, fresh stores each time.
     let base_sessions = if smoke { 16 } else { 128 };
     let grown_sessions = base_sessions * 8; // ≥1000 sessions in the full run
-    let base = run_fleet(&containers, &references, base_sessions);
-    let grown = run_fleet(&containers, &references, grown_sessions);
+    let base = run_fleet(&containers, &references, base_sessions, 8, 0);
+    let grown = run_fleet(&containers, &references, grown_sessions, 8, 0);
     let amplification = grown.backend_gets as f64 / base.backend_gets.max(1) as f64;
 
     for r in [&base, &grown] {
@@ -404,6 +414,55 @@ fn main() {
     assert!(
         base.sweeper_peak_resident <= 64 << 10 && grown.sweeper_peak_resident <= 64 << 10,
         "tenant cache quota exceeded"
+    );
+
+    // ---- multi-core scaling: service worker sweep --------------------------
+    // The same base-scale fleet at 1/2/4/8 decode workers. Bit-identity is
+    // asserted inside every run; across worker counts the backend-GET total
+    // must stay at parity — concurrency may reorder cache admissions but must
+    // not fragment or inflate the miss stream.
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let worker_sweep = [1usize, 2, 4, 8];
+    let mut scaling_rows = Vec::new();
+    for &w in &worker_sweep {
+        let r = run_fleet(&containers, &references, base_sessions, w, 0);
+        println!(
+            "{w} worker(s): wall {:.1} ms, {} backend GETs, sim latency p50 {:.1} ms p99 {:.1} ms",
+            r.wall.as_secs_f64() * 1e3,
+            r.backend_gets,
+            r.p50_ms,
+            r.p99_ms
+        );
+        scaling_rows.push((w, r));
+    }
+    // Concurrent workers can duplicate an in-flight miss before the first
+    // admission lands, so parity carries a small slack — tight at full scale,
+    // looser in smoke where totals are tiny and one duplicate moves percents.
+    let parity_slack = if smoke { 1.25 } else { 1.05 };
+    let one_worker_gets = scaling_rows[0].1.backend_gets;
+    for (w, r) in &scaling_rows[1..] {
+        let inflation = r.backend_gets as f64 / one_worker_gets.max(1) as f64;
+        assert!(
+            inflation <= parity_slack,
+            "{w}-worker fleet inflated backend GETs {inflation:.3}x over the 1-worker run"
+        );
+    }
+
+    // ---- sharded-cache parity: 1 shard (single lock) vs 8 shards -----------
+    // Same fleet, same schedule; the only change is the per-container cache
+    // going from one global lock to 8 hash-sharded locks. Outputs stay
+    // bit-identical (asserted per session inside run_fleet) and the backend
+    // GET stream must not inflate beyond hash-imbalance slack.
+    let single_lock = run_fleet(&containers, &references, base_sessions, 8, 1);
+    let sharded = run_fleet(&containers, &references, base_sessions, 8, 8);
+    let shard_inflation = sharded.backend_gets as f64 / single_lock.backend_gets.max(1) as f64;
+    println!(
+        "sharded cache (8 shards vs single lock): {} vs {} backend GETs ({shard_inflation:.3}x, <= {parity_slack}x required), outputs bit-identical",
+        sharded.backend_gets, single_lock.backend_gets
+    );
+    assert!(
+        shard_inflation <= parity_slack,
+        "sharding the cache must keep backend-GET parity with the single lock: {shard_inflation:.3}x"
     );
 
     // Per-tenant budget enforcement through the same service shape: a tenant
@@ -452,10 +511,26 @@ fn main() {
             r.sweeper_peak_resident
         )
     };
+    let mut scaling_json =
+        format!("{{\"hardware_threads\": {hw}, \"sessions\": {base_sessions}, \"rows\": [\n");
+    for (i, (w, r)) in scaling_rows.iter().enumerate() {
+        scaling_json.push_str(&format!(
+            "    {{\"workers\": {w}, \"wall_ms\": {:.1}, \"backend_gets\": {}, \"get_parity_vs_1_worker\": {:.3}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"bit_identical\": true}}{}\n",
+            r.wall.as_secs_f64() * 1e3,
+            r.backend_gets,
+            r.backend_gets as f64 / one_worker_gets.max(1) as f64,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < scaling_rows.len() { "," } else { "" }
+        ));
+    }
+    scaling_json.push_str("  ]}");
     let json = format!(
-        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"service_metrics\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"service_metrics_verified\": true, \"bit_identical_to_single_client\": true}}\n}}\n",
+        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"scaling\": {scaling_json},\n  \"sharded_cache\": {{\"shards\": 8, \"backend_gets_single_lock\": {}, \"backend_gets_sharded\": {}, \"get_inflation\": {shard_inflation:.3}, \"inflation_limit\": 1.05, \"bit_identical\": true}},\n  \"service_metrics\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"get_inflation_sharded_cache\": {shard_inflation:.3}, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"service_metrics_verified\": true, \"bit_identical_to_single_client\": true}}\n}}\n",
         fleet_json(&base),
         fleet_json(&grown),
+        single_lock.backend_gets,
+        sharded.backend_gets,
         grown.service_metrics_json,
         64 << 10
     );

@@ -14,10 +14,10 @@
 //!   slot arithmetic step per symbol; there is no bit-buffer shifting by
 //!   variable code lengths.
 //!
-//! The encoder walks the input backwards (rANS is last-in-first-out) and the
-//! buffer is reversed once at the end, so the decoder streams strictly
-//! forward. Two implementation choices keep the per-symbol critical path
-//! short:
+//! The encoder walks the input backwards (rANS is last-in-first-out),
+//! collecting renorm words into a `u32` list that is assembled in reverse
+//! at the end, so the decoder streams strictly forward. Two
+//! implementation choices keep the per-symbol critical path short:
 //!
 //! * **64-bit states, 32-bit renormalization.** States live in
 //!   `[2³¹, 2⁶³)` and refill a whole `u32` at a time. One refill always
@@ -109,6 +109,51 @@ impl EncSymbol {
         let q = ((x as u128 * self.rcp_freq as u128) >> self.rcp_shift) as u64;
         x + self.bias as u64 + q * self.cmpl_freq as u64
     }
+
+    /// [`EncSymbol::encode`] pushing the renorm word onto a `u32` word list
+    /// instead of a byte buffer. The caller assembles the payload by walking
+    /// the list in reverse push order and writing each word big-endian —
+    /// which is exactly the byte stream the legacy build-forward-then-
+    /// `reverse()` path produced (reversing little-endian bytes of words in
+    /// emit order), so the output stays byte-identical while the hot loop
+    /// touches only the words actually emitted: no pre-zeroed 4·n scratch
+    /// buffer and no whole-payload reversal pass.
+    #[inline(always)]
+    fn encode_push(&self, x: u64, words: &mut Vec<u32>) -> u64 {
+        let mut x = x;
+        if x >= self.x_max {
+            words.push(x as u32);
+            x >>= 32;
+        }
+        let q = ((x as u128 * self.rcp_freq as u128) >> self.rcp_shift) as u64;
+        x + self.bias as u64 + q * self.cmpl_freq as u64
+    }
+}
+
+/// Byte histogram with the counting loop split over four lanes: a run of
+/// one repeated symbol makes the naive `hist[b] += 1` loop a serial chain
+/// of store-forwarded increments to one slot, and heavily skewed inputs
+/// are exactly what the predictive bitplane stage feeds this coder.
+fn histogram(bytes: &[u8]) -> [u64; 256] {
+    let mut lanes = [[0u32; 256]; 4];
+    let mut it = bytes.chunks_exact(4);
+    for q in &mut it {
+        lanes[0][q[0] as usize] += 1;
+        lanes[1][q[1] as usize] += 1;
+        lanes[2][q[2] as usize] += 1;
+        lanes[3][q[3] as usize] += 1;
+    }
+    for &b in it.remainder() {
+        lanes[0][b as usize] += 1;
+    }
+    let mut hist = [0u64; 256];
+    for s in 0..256 {
+        hist[s] = lanes.iter().map(|l| u64::from(l[s])).sum();
+    }
+    // u32 lanes cannot overflow: chunk payloads are far below 4 GiB, and
+    // the bitplane pipeline never feeds a single slice that large.
+    debug_assert!(bytes.len() < u32::MAX as usize);
+    hist
 }
 
 /// Normalize a byte histogram to frequencies summing to exactly [`SCALE`],
@@ -199,10 +244,7 @@ pub fn rans_encode_bytes_under(bytes: &[u8], limit: usize) -> Option<Vec<u8>> {
         write_varint(&mut out, 0);
         return (out.len() < limit).then_some(out);
     }
-    let mut hist = [0u64; 256];
-    for &b in bytes {
-        hist[b as usize] += 1;
-    }
+    let hist = histogram(bytes);
     let freqs = normalize_freqs(&hist).expect("n > 0");
     if limit != usize::MAX {
         // The estimate overshoots the true size by at most ~1.1% + rounding,
@@ -236,15 +278,84 @@ pub fn rans_encode_bytes_under(bytes: &[u8], limit: usize) -> Option<Vec<u8>> {
         }
     }
 
-    // Payload, built backwards then reversed: symbol i is coded by state
-    // i & 3, walking from the last symbol to the first. The four states live
-    // in locals so their dependency chains stay independent in the pipeline.
-    let mut payload = Vec::with_capacity(n / 2 + 40);
+    // Payload: symbol i is coded by state i & 3, walking from the last
+    // symbol to the first; each renorm emit pushes one u32 onto `words`.
+    // Compressible input emits far fewer than one word per symbol, so the
+    // hot loop only ever touches live words — unlike a pre-sized `4n + 32`
+    // byte scratch buffer, whose zeroing memset alone costs ~4× the input
+    // size and measurably loses to the legacy grow-as-you-go path. The
+    // four states live in locals so their dependency chains stay
+    // independent in the pipeline.
+    let mut words: Vec<u32> = Vec::with_capacity(n / 2 + 8);
     let mut states = [RANS_L; 4];
     let (main, tail) = bytes.split_at(n & !3);
     // Trailing 0–3 symbols first (they are encoded last-to-first); `main`'s
     // length is a multiple of 4, so global index `main.len() + j` has state
     // `j & 3`.
+    for (j, &b) in tail.iter().enumerate().rev() {
+        states[j & 3] = syms[b as usize].encode_push(states[j & 3], &mut words);
+    }
+    let mut x0 = states[0];
+    let mut x1 = states[1];
+    let mut x2 = states[2];
+    let mut x3 = states[3];
+    for quad in main.rchunks_exact(4) {
+        x3 = syms[quad[3] as usize].encode_push(x3, &mut words);
+        x2 = syms[quad[2] as usize].encode_push(x2, &mut words);
+        x1 = syms[quad[1] as usize].encode_push(x1, &mut words);
+        x0 = syms[quad[0] as usize].encode_push(x0, &mut words);
+    }
+    // Assemble decoder-forward: the 32-byte state flush (the decoder reads
+    // state 0 as 8 big-endian bytes first, then states 1, 2, 3), followed
+    // by the renorm words in *reverse* push order, each big-endian.
+    let payload_len = 32 + 4 * words.len();
+    write_varint(&mut out, payload_len as u64);
+    out.reserve(payload_len);
+    for x in [x0, x1, x2, x3] {
+        out.extend_from_slice(&x.to_be_bytes());
+    }
+    for &w in words.iter().rev() {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    (out.len() < limit).then_some(out)
+}
+
+/// The pre-PR-9 encoder: grow-as-you-go payload built in emit order and
+/// reversed once at the end. Kept (not wired into any production path) as
+/// the baseline of the encode A/B in `bench_entropy` and the byte-identity
+/// oracle for [`rans_encode_bytes`]'s reverse-assembled word-list writer.
+#[doc(hidden)]
+pub fn rans_encode_bytes_legacy(bytes: &[u8]) -> Vec<u8> {
+    let n = bytes.len();
+    let mut out = Vec::with_capacity(n / 2 + 64);
+    write_varint(&mut out, n as u64);
+    if n == 0 {
+        return out;
+    }
+    let mut hist = [0u64; 256];
+    for &b in bytes {
+        hist[b as usize] += 1;
+    }
+    let freqs = normalize_freqs(&hist).expect("n > 0");
+    let mut syms = [EncSymbol::default(); 256];
+    let mut start = 0u32;
+    for s in 0..256 {
+        if freqs[s] > 0 {
+            syms[s] = EncSymbol::new(start, freqs[s]);
+            start += freqs[s];
+        }
+    }
+    let n_present = freqs.iter().filter(|&&f| f > 0).count();
+    write_varint(&mut out, n_present as u64);
+    for s in 0..256u32 {
+        if freqs[s as usize] > 0 {
+            out.push(s as u8);
+            write_varint(&mut out, freqs[s as usize] as u64);
+        }
+    }
+    let mut payload = Vec::with_capacity(n / 2 + 40);
+    let mut states = [RANS_L; 4];
+    let (main, tail) = bytes.split_at(n & !3);
     for (j, &b) in tail.iter().enumerate().rev() {
         states[j & 3] = syms[b as usize].encode(states[j & 3], &mut payload);
     }
@@ -258,16 +369,13 @@ pub fn rans_encode_bytes_under(bytes: &[u8], limit: usize) -> Option<Vec<u8>> {
         x1 = syms[quad[1] as usize].encode(x1, &mut payload);
         x0 = syms[quad[0] as usize].encode(x0, &mut payload);
     }
-    // Flush states 3..0, low byte first: after the reversal the decoder reads
-    // state 0 as 8 big-endian bytes first, then states 1, 2, 3.
     for x in [x3, x2, x1, x0] {
         payload.extend_from_slice(&x.to_le_bytes());
     }
     payload.reverse();
-
     write_varint(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
-    (out.len() < limit).then_some(out)
+    out
 }
 
 /// Decode a buffer produced by [`rans_encode_bytes`].
@@ -597,6 +705,42 @@ mod tests {
             rans_decode_bytes(&bad),
             Err(CodecError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn back_to_front_writer_matches_legacy_bytes() {
+        // The optimized encoder must be a pure speedup: byte-identical
+        // streams to the build-forward-then-reverse baseline on every
+        // distribution shape (empty, tails of 1–3, skewed, uniform, runs).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 2],
+            vec![9; 3],
+            vec![42; 10_000],
+            (0..=255u8).cycle().take(10_001).collect(),
+        ];
+        cases.push((0..30_000).map(|_| rng.gen()).collect());
+        cases.push(
+            (0..30_000)
+                .map(|_| {
+                    if rng.gen_bool(0.95) {
+                        0
+                    } else {
+                        rng.gen_range(1..8)
+                    }
+                })
+                .collect(),
+        );
+        for data in &cases {
+            assert_eq!(
+                rans_encode_bytes(data),
+                rans_encode_bytes_legacy(data),
+                "len={}",
+                data.len()
+            );
+        }
     }
 
     #[test]

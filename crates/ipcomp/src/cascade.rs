@@ -47,6 +47,24 @@
 //! [`set_cascade_streaming`]) to force the historical decode-everything-then-
 //! reconstruct schedule for benchmarks; decoded bits are identical either
 //! way, only wall-clock overlap changes.
+//!
+//! **Multi-core execution.** Within one dimension sub-pass every target point
+//! sits at an *odd* multiple of the stride along the active dimension, while
+//! every value the predictor reads (`±stride`, `±3·stride` along that
+//! dimension) sits at an *even* multiple — finalized by an earlier pass and
+//! never written by this one. The sub-pass's innermost runs are therefore
+//! mutually independent, and [`CascadeEngine`] fans them out across scoped
+//! worker threads in contiguous chunks, each thread replaying its runs in the
+//! serial traversal order with the serial kernels — so the parallel schedule
+//! is bit-identical to the serial one by construction, not by tolerance.
+//! The thread count follows [`rayon::current_num_threads`] (so
+//! `RAYON_NUM_THREADS` bounds it, and passes already running inside a rayon
+//! worker stay serial instead of oversubscribing); `IPC_CASCADE_PAR=0` or
+//! [`set_cascade_parallel`] is the kill switch. To shorten the critical tail,
+//! the finest level's last sub-pass is additionally slab-split along its
+//! outermost non-singleton dimension at construction time, so its early slabs
+//! stream behind in-flight fetches instead of waiting for the level's final
+//! region.
 
 use ipc_codecs::negabinary::from_negabinary;
 use ipc_codecs::EnvSwitch;
@@ -54,8 +72,8 @@ use ipc_tensor::Shape;
 
 use crate::config::Interpolation;
 use crate::interp::{
-    for_each_level_pass, level_stride, num_levels, predict_point, process_anchors, process_level,
-    sweep_runs, SweepRun,
+    for_each_level_pass, level_stride, num_levels, predict_point_read, process_anchors,
+    process_level, sweep_runs, SweepRun,
 };
 
 // ---- process-wide dispatch switches ----------------------------------------
@@ -127,6 +145,67 @@ pub fn set_cascade_streaming(enabled: bool) {
 pub fn cascade_streaming() -> bool {
     CASCADE_STREAM.get(|env| (env != Some("0")) as u8) != 0
 }
+
+/// Process-wide sub-pass parallelism switch.
+static CASCADE_PAR: EnvSwitch = EnvSwitch::new("IPC_CASCADE_PAR");
+
+/// Enable or disable multi-threaded sub-pass execution (the `IPC_CASCADE_PAR`
+/// kill switch). Runs within a dimension sub-pass are independent and each
+/// run keeps its serial scalar operation order, so reconstructed bits are
+/// identical for every thread count.
+pub fn set_cascade_parallel(enabled: bool) {
+    CASCADE_PAR.force(enabled as u8);
+}
+
+/// Whether sub-passes may fan their runs out across worker threads
+/// (default true; `IPC_CASCADE_PAR=0` disables).
+pub fn cascade_parallel() -> bool {
+    CASCADE_PAR.get(|env| (env != Some("0")) as u8) != 0
+}
+
+/// Test/bench hook: pin the worker-thread count a parallel sub-pass splits
+/// into, overriding the [`rayon::current_num_threads`] default. `None`
+/// restores the default. Exists so bit-identity suites can exercise the
+/// concurrent schedule deterministically even on a 1-CPU host.
+pub fn force_cascade_threads(n: Option<usize>) {
+    CASCADE_FORCE_THREADS.store(n.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+}
+
+static CASCADE_FORCE_THREADS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Worker threads the next sub-pass would split across: 1 when parallelism is
+/// switched off or the pass is already inside a rayon worker (the `StoreServer`
+/// session fan-out), else the forced override or the rayon pool width.
+///
+/// The pool width is clamped to `available_parallelism()`: the cascade is
+/// CPU-bound, so oversubscribing a host (e.g. `RAYON_NUM_THREADS=8` on one
+/// core) only buys context-switch overhead. `force_cascade_threads` bypasses
+/// the clamp so correctness tests can exercise the parallel schedule anywhere.
+pub fn cascade_threads() -> usize {
+    if !cascade_parallel() {
+        return 1;
+    }
+    match CASCADE_FORCE_THREADS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => rayon::current_num_threads().min(hardware_threads()),
+        n => n,
+    }
+}
+
+/// Cached `available_parallelism()` (queried once; it is a syscall and
+/// `cascade_threads` runs once per sub-pass).
+fn hardware_threads() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Below this many points a sub-pass runs serially: thread spawn/join costs
+/// more than the sweep itself (coarse levels are a few hundred points).
+const PAR_MIN_POINTS: usize = 1 << 12;
+
+/// Slabs the finest level's last sub-pass is split into (bounded by the
+/// split dimension's extent).
+const TAIL_SLABS: usize = 8;
 
 // ---- bulk residual extraction ----------------------------------------------
 
@@ -301,6 +380,13 @@ impl CascadeEngine {
                     });
                     start += count;
                 });
+                if idx + 1 == levels {
+                    // The finest level holds most of the field's points, and
+                    // its last sub-pass is the whole cascade's tail: it used
+                    // to wait for the level's final streamed region. Slabbing
+                    // it lets earlier slabs run behind in-flight fetches.
+                    slab_split_last(&mut subs);
+                }
                 subs
             })
             .collect();
@@ -530,7 +616,9 @@ impl CascadeEngine {
         out
     }
 
-    /// Run one dimension sub-pass of a level through the run kernels.
+    /// Run one dimension sub-pass of a level through the run kernels,
+    /// fanning independent runs out across worker threads when the pass is
+    /// large enough (see the module docs for why runs never alias).
     fn apply_subpass(&mut self, interp_level: u32, idx: usize, sub_idx: usize) {
         let mut span = ipc_telemetry::span_timed(
             "cascade",
@@ -541,6 +629,10 @@ impl CascadeEngine {
         span.add_arg("dim", sub_idx as u64);
         let stride = level_stride(interp_level);
         let sub = &self.geoms[idx][sub_idx];
+        let field = FieldPtr {
+            ptr: self.work.as_mut_ptr(),
+            len: self.work.len(),
+        };
         let slot = &self.slots[idx];
         let codes: &[i64] = if slot.zero {
             &[]
@@ -549,8 +641,8 @@ impl CascadeEngine {
         };
         let dims = self.shape.dims();
         let strides = self.shape.strides();
-        let mut ctx = RunCtx {
-            work: &mut self.work,
+        let ctx = RunCtx {
+            field,
             codes,
             ci: 0,
             two_eb: self.two_eb,
@@ -558,8 +650,45 @@ impl CascadeEngine {
             stride,
             dim_stride: strides[sub.d],
             dim_len: dims[sub.d],
+            inner_len: *dims.last().unwrap(),
             avx2: self.avx2,
         };
+        let threads = cascade_threads();
+        let forced = CASCADE_FORCE_THREADS.load(std::sync::atomic::Ordering::Relaxed) != 0;
+        // A pinned thread count skips the size gate so bit-identity suites
+        // can drive the concurrent schedule through arbitrarily small and
+        // ragged geometries.
+        if threads > 1 && (forced || sub.count >= PAR_MIN_POINTS) {
+            // Materialize the runs with their code offsets (the serial sweep
+            // order, so offsets are a deterministic prefix sum) and hand each
+            // worker a contiguous chunk to replay with the serial kernels.
+            let mut runs: Vec<(SweepRun, usize)> = Vec::new();
+            let mut off = 0usize;
+            sweep_runs(strides, &sub.ranges, sub.d, |run| {
+                runs.push((run, off));
+                off += run.count;
+            });
+            debug_assert_eq!(off, sub.count);
+            if runs.len() >= 2 {
+                let chunks = threads.min(runs.len());
+                span.add_arg("threads", chunks as u64);
+                let chunk_len = runs.len().div_ceil(chunks);
+                let mut parts = runs.chunks(chunk_len);
+                let first = parts.next().unwrap();
+                std::thread::scope(|scope| {
+                    for part in parts {
+                        let ctx = ctx.clone();
+                        scope.spawn(move || run_chunk(ctx, part));
+                    }
+                    // The caller thread takes the first chunk instead of
+                    // idling on the join.
+                    run_chunk(ctx, first);
+                });
+                return;
+            }
+        }
+        span.add_arg("threads", 1);
+        let mut ctx = ctx;
         sweep_runs(strides, &sub.ranges, sub.d, |run| ctx.do_run(run));
         debug_assert!(
             codes.is_empty() || ctx.ci == codes.len(),
@@ -601,11 +730,115 @@ impl CascadeEngine {
     }
 }
 
+/// Split a level's last sub-pass into up to [`TAIL_SLABS`] contiguous slabs
+/// along the outermost dimension with more than one coordinate (all
+/// dimensions before it being singleton guarantees each slab's points form a
+/// contiguous range of the traversal, so the slabs' code ranges partition the
+/// original sub-pass's exactly). Slabs keep the original traversal order, so
+/// reconstruction bits are unchanged; 1-D and degenerate geometries are left
+/// alone.
+fn slab_split_last(subs: &mut Vec<SubPass>) {
+    let Some(last) = subs.pop() else { return };
+    let inner = last.ranges.len() - 1;
+    // First non-singleton dimension before the innermost run dimension; every
+    // dimension before it has exactly one coordinate (sub-passes never have
+    // empty ranges), so traversal order is "for each coordinate of j: the
+    // full inner block".
+    let Some(j) = (0..inner).find(|&j| last.ranges[j].count() > 1) else {
+        subs.push(last);
+        return;
+    };
+    let r = last.ranges[j];
+    let n = r.count();
+    let slabs = TAIL_SLABS.min(n);
+    debug_assert!(slabs >= 2);
+    // Points per coordinate of dimension j.
+    let per: usize = last
+        .ranges
+        .iter()
+        .enumerate()
+        .filter(|&(e, _)| e != j)
+        .map(|(_, r)| r.count())
+        .product();
+    let mut start = last.start;
+    for s in 0..slabs {
+        let k0 = s * n / slabs;
+        let k1 = (s + 1) * n / slabs;
+        if k0 == k1 {
+            continue;
+        }
+        let mut ranges = last.ranges.clone();
+        ranges[j] = ipc_tensor::AxisRange::strided(
+            r.start + k0 * r.step,
+            r.step,
+            (r.start + k1 * r.step).min(r.end),
+        );
+        debug_assert_eq!(ranges[j].count(), k1 - k0);
+        let count = (k1 - k0) * per;
+        subs.push(SubPass {
+            d: last.d,
+            ranges,
+            start,
+            count,
+        });
+        start += count;
+    }
+    debug_assert_eq!(start, last.start + last.count);
+}
+
 // ---- run kernels ------------------------------------------------------------
 
+/// Raw element view of the shared reconstruction buffer, the form the run
+/// kernels use so independent runs of one sub-pass can execute on different
+/// threads. Within a sub-pass, every written element is a target point (odd
+/// multiple of the stride along the active dimension) visited by exactly one
+/// run, and every read element is an even multiple finalized by an earlier
+/// pass — so concurrent kernels never touch the same element and a shared
+/// `&mut [f64]` would over-claim. Bounds are still debug-asserted per access.
+#[derive(Clone, Copy)]
+struct FieldPtr {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: every access goes through `get`/`set` (or the AVX2 spans, whose
+// disjointness is argued at the call sites); the engine only constructs one
+// `FieldPtr` per sub-pass, over runs proven non-aliasing.
+unsafe impl Send for FieldPtr {}
+unsafe impl Sync for FieldPtr {}
+
+impl FieldPtr {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        // SAFETY: `i` is in bounds (asserted above in debug; the sweep
+        // geometry guarantees it structurally).
+        unsafe { *self.ptr.add(i) }
+    }
+
+    #[inline(always)]
+    fn set(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len);
+        // SAFETY: as in `get`; `i` is a target point owned by this run.
+        unsafe { *self.ptr.add(i) = v }
+    }
+}
+
+/// Replay a contiguous chunk of a sub-pass's runs on one worker thread, in
+/// the serial traversal order, with each run's code cursor pinned to its
+/// serial offset — the parallel schedule is a permutation of whole runs, and
+/// within a run the scalar operation order is untouched.
+fn run_chunk(mut ctx: RunCtx<'_>, chunk: &[(SweepRun, usize)]) {
+    for &(run, off) in chunk {
+        ctx.ci = off;
+        ctx.do_run(run);
+    }
+}
+
 /// Shared context of every run kernel in one dimension pass.
+#[derive(Clone)]
 struct RunCtx<'a> {
-    work: &'a mut [f64],
+    field: FieldPtr,
     /// Quantization codes in traversal order; empty = all-zero residuals.
     codes: &'a [i64],
     /// Next code to consume.
@@ -615,6 +848,9 @@ struct RunCtx<'a> {
     stride: usize,
     dim_stride: usize,
     dim_len: usize,
+    /// Extent of the innermost dimension (the run direction of every
+    /// AVX2-eligible span); bounds the vector write window to the run's row.
+    inner_len: usize,
     avx2: bool,
 }
 
@@ -646,8 +882,8 @@ impl RunCtx<'_> {
         for t in t0..t1 {
             let offset = run.base + t * run.step;
             let coord = run.coord + t * run.coord_step;
-            let pred = predict_point(
-                self.work,
+            let pred = predict_point_read(
+                |i| self.field.get(i),
                 offset,
                 coord,
                 self.dim_len,
@@ -655,11 +891,14 @@ impl RunCtx<'_> {
                 self.stride,
                 self.method,
             );
-            self.work[offset] = if with_resid {
-                pred + self.resid(t)
-            } else {
-                pred
-            };
+            self.field.set(
+                offset,
+                if with_resid {
+                    pred + self.resid(t)
+                } else {
+                    pred
+                },
+            );
         }
     }
 
@@ -720,17 +959,34 @@ impl RunCtx<'_> {
         self.ci += if self.with_resid() { run.count } else { 0 };
     }
 
+    /// Exclusive bound for an AVX2 span's 8-element write window: the end of
+    /// the run's own innermost row. AVX2-eligible spans start at inner
+    /// coordinate 0, so the row occupies `[base, base + inner_len)`; capping
+    /// the vector window there keeps a concurrent sub-pass's threads from
+    /// re-writing (with unchanged values) the first element of the next row —
+    /// harmless single-threaded, a data race under fan-out. The last ≤3
+    /// points of odd-length rows fall to the scalar tail, which is
+    /// bit-identical.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline(always)]
+    fn row_cap(&self, base: usize) -> usize {
+        base + self.inner_len
+    }
+
     /// Uniform prev-copy span: `work[o] = work[o - nd] (+ resid)`.
     fn interior_prev(&mut self, base: usize, count: usize, step: usize, nd: usize) {
         let with_resid = self.with_resid();
         for t in 0..count {
             let o = base + t * step;
-            let pred = self.work[o - nd];
-            self.work[o] = if with_resid {
-                pred + self.resid(t)
-            } else {
-                pred
-            };
+            let pred = self.field.get(o - nd);
+            self.field.set(
+                o,
+                if with_resid {
+                    pred + self.resid(t)
+                } else {
+                    pred
+                },
+            );
         }
     }
 
@@ -740,9 +996,20 @@ impl RunCtx<'_> {
     fn interior_linear(&mut self, base: usize, count: usize, step: usize, nd: usize) {
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
         if self.avx2 && step == 2 && nd > 1 && count >= 4 {
-            // SAFETY: AVX2 support was verified by the dispatcher.
+            // SAFETY: AVX2 support was verified by the dispatcher; the span
+            // is a uniform full-linear interior, and the write window is
+            // capped to this run's row.
             let done = unsafe {
-                avx2::linear_span(self.work, base, count, nd, self.codes, self.ci, self.two_eb)
+                avx2::linear_span(
+                    self.field,
+                    base,
+                    count,
+                    nd,
+                    self.row_cap(base),
+                    self.codes,
+                    self.ci,
+                    self.two_eb,
+                )
             };
             self.linear_tail(base + done * step, done, count - done, step, nd);
             return;
@@ -755,12 +1022,15 @@ impl RunCtx<'_> {
         let with_resid = self.with_resid();
         for t in 0..count {
             let o = base + t * step;
-            let pred = 0.5 * (self.work[o - nd] + self.work[o + nd]);
-            self.work[o] = if with_resid {
-                pred + self.resid(t0 + t)
-            } else {
-                pred
-            };
+            let pred = 0.5 * (self.field.get(o - nd) + self.field.get(o + nd));
+            self.field.set(
+                o,
+                if with_resid {
+                    pred + self.resid(t0 + t)
+                } else {
+                    pred
+                },
+            );
         }
     }
 
@@ -769,13 +1039,16 @@ impl RunCtx<'_> {
     fn interior_cubic(&mut self, base: usize, t0: usize, count: usize, step: usize, nd: usize) {
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
         if self.avx2 && step == 2 && nd > 1 && count >= 4 {
-            // SAFETY: AVX2 support was verified by the dispatcher.
+            // SAFETY: AVX2 support was verified by the dispatcher; the span
+            // is a uniform full-cubic interior, and the write window is
+            // capped to this run's row.
             let done = unsafe {
                 avx2::cubic_span(
-                    self.work,
+                    self.field,
                     base,
                     count,
                     nd,
+                    self.row_cap(base),
                     self.codes,
                     self.ci + t0,
                     self.two_eb,
@@ -788,21 +1061,24 @@ impl RunCtx<'_> {
     }
 
     /// Portable (auto-vectorizable) cubic body; operation order matches
-    /// [`predict_point`] exactly.
+    /// [`crate::interp::predict_point`] exactly.
     fn cubic_tail(&mut self, base: usize, t0: usize, count: usize, step: usize, nd: usize) {
         let with_resid = self.with_resid();
         for t in 0..count {
             let o = base + t * step;
-            let prev3 = self.work[o - 3 * nd];
-            let prev = self.work[o - nd];
-            let next = self.work[o + nd];
-            let next3 = self.work[o + 3 * nd];
+            let prev3 = self.field.get(o - 3 * nd);
+            let prev = self.field.get(o - nd);
+            let next = self.field.get(o + nd);
+            let next3 = self.field.get(o + 3 * nd);
             let pred = -0.0625 * prev3 + 0.5625 * prev + 0.5625 * next - 0.0625 * next3;
-            self.work[o] = if with_resid {
-                pred + self.resid(t0 + t)
-            } else {
-                pred
-            };
+            self.field.set(
+                o,
+                if with_resid {
+                    pred + self.resid(t0 + t)
+                } else {
+                    pred
+                },
+            );
         }
     }
 }
@@ -835,7 +1111,11 @@ mod avx2 {
 
     /// Interleaved store of results `r` with the untouched odd-lane values
     /// `odd`: memory becomes `[r0, odd0, r1, odd1, r2, odd2, r3, odd3]`.
-    /// The odd values are written back unchanged (single-threaded pass).
+    /// The odd values are written back unchanged; they belong to a *later*
+    /// sub-pass of the same level and are neither read nor written by any
+    /// concurrent run of this one (the callers additionally cap the window to
+    /// the run's own row, so the store never crosses into a neighbouring
+    /// thread's row).
     ///
     /// # Safety
     ///
@@ -870,33 +1150,39 @@ mod avx2 {
     /// Linear interior: `work[base + 2t] = 0.5 · (work[o-nd] + work[o+nd])
     /// (+ resid)` for `t` in `0..count`, four points per iteration. Returns
     /// how many points were completed (a scalar tail may remain near the end
-    /// of `work`, where the 8-element loads would run out of bounds).
+    /// of `work`, where the 8-element loads would run out of bounds, or near
+    /// the end of an odd-length row, where the 8-wide store would spill one
+    /// element into the next row — a race under concurrent runs).
     ///
     /// # Safety
     ///
-    /// Caller must ensure AVX2 is available and that every point's
-    /// neighbours are in bounds (uniform full-linear span).
+    /// Caller must ensure AVX2 is available, that every point's neighbours
+    /// are in bounds (uniform full-linear span), and that `cap` is the
+    /// exclusive end of the run's own row.
+    #[allow(clippy::too_many_arguments)] // span geometry travels together
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn linear_span(
-        work: &mut [f64],
+        field: super::FieldPtr,
         base: usize,
         count: usize,
         nd: usize,
+        cap: usize,
         codes: &[i64],
         ci: usize,
         two_eb: f64,
     ) -> usize {
-        let len = work.len();
+        let len = field.len;
         let half = _mm256_set1_pd(0.5);
         let eb = _mm256_set1_pd(two_eb);
         let with_resid = !codes.is_empty();
-        let ptr = work.as_mut_ptr();
+        let ptr = field.ptr;
         let mut t = 0usize;
         while t + 4 <= count {
             let o = base + 2 * t;
             // Furthest element any 8-wide load touches: o + nd + 7 (next
-            // lattice) or o + 8 (odd lane reload).
-            if o + nd + 8 > len || o + 9 > len {
+            // lattice) or o + 8 (odd lane reload); the store window must
+            // also stay within this run's row.
+            if o + nd + 8 > len || o + 9 > len || o + 8 > cap {
                 break;
             }
             let q = ptr.add(o);
@@ -918,29 +1204,32 @@ mod avx2 {
     ///
     /// # Safety
     ///
-    /// Caller must ensure AVX2 is available and that every point's
-    /// neighbours (`±nd`, `±3nd`) are in bounds (uniform full-cubic span).
+    /// Caller must ensure AVX2 is available, that every point's neighbours
+    /// (`±nd`, `±3nd`) are in bounds (uniform full-cubic span), and that
+    /// `cap` is the exclusive end of the run's own row.
+    #[allow(clippy::too_many_arguments)] // span geometry travels together
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn cubic_span(
-        work: &mut [f64],
+        field: super::FieldPtr,
         base: usize,
         count: usize,
         nd: usize,
+        cap: usize,
         codes: &[i64],
         ci: usize,
         two_eb: f64,
     ) -> usize {
-        let len = work.len();
+        let len = field.len;
         let c3 = _mm256_set1_pd(-0.0625);
         let c1 = _mm256_set1_pd(0.5625);
         let c3p = _mm256_set1_pd(0.0625);
         let eb = _mm256_set1_pd(two_eb);
         let with_resid = !codes.is_empty();
-        let ptr = work.as_mut_ptr();
+        let ptr = field.ptr;
         let mut t = 0usize;
         while t + 4 <= count {
             let o = base + 2 * t;
-            if o + 3 * nd + 8 > len || o + 9 > len {
+            if o + 3 * nd + 8 > len || o + 9 > len || o + 8 > cap {
                 break;
             }
             let q = ptr.add(o);
@@ -1267,13 +1556,90 @@ mod tests {
         assert_eq!(cascade_impl(), CascadeImpl::Portable);
         force_cascade_impl(CascadeImpl::Auto);
         assert_eq!(cascade_impl(), CascadeImpl::Auto);
+
+        let par = cascade_parallel();
+        set_cascade_parallel(false);
+        assert!(!cascade_parallel());
+        set_cascade_parallel(true);
+        assert!(cascade_parallel());
+        set_cascade_parallel(par);
+    }
+
+    #[test]
+    fn finest_level_last_subpass_is_slab_split() {
+        let shape = Shape::d3(24, 18, 20);
+        let engine = CascadeEngine::new(shape.clone(), Interpolation::Cubic, 1e-4);
+        let finest = engine.geoms.last().unwrap();
+        assert!(
+            finest.len() > shape.ndim(),
+            "finest level's last sub-pass must be slabbed ({} sub-passes)",
+            finest.len()
+        );
+        // The slabs' code ranges partition the level exactly, in order.
+        let mut start = 0usize;
+        for sub in finest {
+            assert_eq!(sub.start, start);
+            assert!(sub.count > 0);
+            start += sub.count;
+        }
+        assert_eq!(start, level_count(&shape, 1));
+        // Coarser levels keep one sub-pass per swept dimension.
+        assert!(engine.geoms[0].len() <= shape.ndim());
+        // 1-D geometry has no outer dimension to slab.
+        let e1 = CascadeEngine::new(Shape::d1(33), Interpolation::Linear, 1e-3);
+        assert_eq!(e1.geoms.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parallel_schedule_bit_identical_across_thread_counts() {
+        let _guard = toggle_guard();
+        for dims in [
+            vec![1usize],
+            vec![2],
+            vec![33],
+            vec![9, 12],
+            vec![24, 18, 20],
+            vec![1, 50, 3],
+            vec![3, 2, 5, 4],
+        ] {
+            let shape = Shape::new(&dims);
+            let (anchors, per_level) = codes_for_shape(&shape, 23);
+            for method in [Interpolation::Linear, Interpolation::Cubic] {
+                force_cascade_threads(None);
+                let want = run_engine(
+                    &shape,
+                    method,
+                    1e-4,
+                    &anchors,
+                    &per_level,
+                    CascadeImpl::Auto,
+                );
+                for threads in [2usize, 3, 8] {
+                    force_cascade_threads(Some(threads));
+                    for which in [
+                        CascadeImpl::Portable,
+                        CascadeImpl::Auto,
+                        CascadeImpl::Reference,
+                    ] {
+                        let got = run_engine(&shape, method, 1e-4, &anchors, &per_level, which);
+                        assert_eq!(
+                            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            "dims {dims:?} method {method:?} impl {which:?} threads {threads}"
+                        );
+                    }
+                    force_cascade_threads(None);
+                }
+            }
+        }
     }
 
     proptest::proptest! {
         #![proptest_config(proptest::ProptestConfig::with_cases(24))]
 
-        /// Random geometry, method, and error bound: every implementation's
-        /// cascade is bit-identical to the batch closure reference.
+        /// Random geometry, method, error bound, and worker-thread count
+        /// (1 = the serial schedule): every implementation's cascade is
+        /// bit-identical to the batch closure reference.
         #[test]
         fn prop_kernels_bit_identical(
             d0 in 1usize..40,
@@ -1282,6 +1648,7 @@ mod tests {
             seed in proptest::prelude::any::<u64>(),
             cubic in proptest::prelude::any::<bool>(),
             eb_exp in 1i32..8,
+            threads in 1usize..6,
         ) {
             let _guard = toggle_guard();
             let shape = Shape::new(&[d0, d1, d2]);
@@ -1289,14 +1656,16 @@ mod tests {
             let eb = 10f64.powi(-eb_exp);
             let (anchors, per_level) = codes_for_shape(&shape, seed);
             let want = batch_reference(&shape, method, eb, &anchors, &per_level);
+            force_cascade_threads((threads > 1).then_some(threads));
             for which in [CascadeImpl::Portable, CascadeImpl::Auto] {
                 let got = run_engine(&shape, method, eb, &anchors, &per_level, which);
                 proptest::prop_assert_eq!(
                     got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                     want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                    "impl {:?}", which
+                    "impl {:?} threads {}", which, threads
                 );
             }
+            force_cascade_threads(None);
         }
     }
 

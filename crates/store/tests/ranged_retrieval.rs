@@ -156,6 +156,7 @@ fn coalescing_cuts_request_count_at_least_4x() {
 
     let per_chunk = count_requests(StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: None,
         readahead_planes: 0,
         protect_top_planes: 0,
@@ -163,6 +164,7 @@ fn coalescing_cuts_request_count_at_least_4x() {
     });
     let coalesced = count_requests(StoreOptions {
         cache_bytes: 0,
+        cache_shards: 0,
         coalesce_gap: Some(4096),
         readahead_planes: 0,
         protect_top_planes: 0,
@@ -273,6 +275,7 @@ fn streaming_short_read_rolls_back_and_session_can_retry() {
         map.clone(),
         StoreOptions {
             cache_bytes: 0,
+            cache_shards: 0,
             coalesce_gap: None,
             readahead_planes: 0,
             protect_top_planes: 0,

@@ -65,36 +65,42 @@ fn decode_all_ways(
 }
 
 /// Assert that streamed and batch cascade schedules, on every kernel
-/// implementation and every decode path, produce identical bits and byte
+/// implementation, every decode path, and both the serial and a forced
+/// 3-thread concurrent sub-pass schedule, produce identical bits and byte
 /// accounting for each request.
 fn assert_streamed_equals_batch(data: &ArrayD<f64>, config: &Config, eb: f64) {
     let _guard = TOGGLE_LOCK.lock().unwrap();
     let c = compress(data, eb, config).unwrap();
     for request in [RetrievalRequest::ErrorBound(1e-2), RetrievalRequest::Full] {
         let mut want: Option<(Vec<u64>, usize)> = None;
-        for streamed in [true, false] {
-            set_cascade_streaming(streamed);
-            for which in [
-                CascadeImpl::Reference,
-                CascadeImpl::Portable,
-                CascadeImpl::Auto,
-            ] {
-                ipcomp::force_cascade_impl(which);
-                for (name, bits, bytes) in decode_all_ways(&c, request) {
-                    match &want {
-                        None => want = Some((bits, bytes)),
-                        Some((wb, wn)) => {
-                            assert_eq!(
-                                &bits, wb,
-                                "{name} diverged (streamed={streamed} {which:?} {request:?})"
-                            );
-                            assert_eq!(&bytes, wn, "{name} byte accounting");
+        for threads in [None, Some(3)] {
+            ipcomp::force_cascade_threads(threads);
+            for streamed in [true, false] {
+                set_cascade_streaming(streamed);
+                for which in [
+                    CascadeImpl::Reference,
+                    CascadeImpl::Portable,
+                    CascadeImpl::Auto,
+                ] {
+                    ipcomp::force_cascade_impl(which);
+                    for (name, bits, bytes) in decode_all_ways(&c, request) {
+                        match &want {
+                            None => want = Some((bits, bytes)),
+                            Some((wb, wn)) => {
+                                assert_eq!(
+                                    &bits, wb,
+                                    "{name} diverged (streamed={streamed} {which:?} \
+                                     threads={threads:?} {request:?})"
+                                );
+                                assert_eq!(&bytes, wn, "{name} byte accounting");
+                            }
                         }
                     }
                 }
             }
         }
     }
+    ipcomp::force_cascade_threads(None);
     set_cascade_streaming(true);
     ipcomp::force_cascade_impl(CascadeImpl::Auto);
 }
