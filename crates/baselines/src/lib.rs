@@ -23,6 +23,7 @@ pub mod pmgard;
 pub mod residual;
 pub mod sperr;
 pub mod sz3;
+pub mod timeseries;
 pub mod wavelet;
 pub mod zfp;
 
@@ -34,6 +35,7 @@ pub use pmgard::{Pmgard, PmgardArchive};
 pub use residual::{Residual, ResidualArchive};
 pub use sperr::Sperr;
 pub use sz3::Sz3;
+pub use timeseries::{IndependentArchive, IndependentRetrieval, IndependentSteps};
 pub use zfp::Zfp;
 
 /// A one-shot error-bounded lossy compressor (decompression always returns full

@@ -26,14 +26,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use ipc_datagen::{Dataset, SequenceRecipe};
 use ipc_store::{
-    field_checksum, ChunkSource, ContainerId, ContainerStore, CostModel, MemorySource,
-    RetrievalRequest, ServiceConfig, ServiceError, ServiceEvent, SimProfile, SimulatedObjectStore,
-    StoreOptions, StoreService, TenantConfig, TenantId,
+    field_checksum, ArchiveRequest, ArchiveStore, ChunkSource, ContainerId, ContainerStore,
+    CostModel, MemorySource, RetrievalRequest, RoiBox, ServiceConfig, ServiceError, ServiceEvent,
+    SimProfile, SimulatedObjectStore, StoreOptions, StoreService, StreamEvent, TenantConfig,
+    TenantId,
 };
 use ipc_telemetry::Histogram;
 use ipc_tensor::{ArrayD, Shape};
-use ipcomp::{compress, Config};
+use ipcomp::{composition_reference, compress, ArchiveBuilder, ArchiveConfig, Config};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -499,6 +501,164 @@ fn main() {
     };
     println!("per-tenant byte budget enforced: {budget_enforced}");
 
+    // ---- mixed ROI + timestep traffic over one shared archive --------------
+    // Closes the "mixed traffic" half of ROADMAP item 4: a step-sweeping
+    // archive tenant walks a time-series archive window by window while
+    // interactive tenants replay single steps spatially scoped to an ROI —
+    // all through one StoreService over one shared cache. Asserted: every
+    // sweep window's checksum matches the encode-independent composition
+    // reference, every ROI step matches crop-of-composition, and the ROI
+    // tenants' per-tag cache stats show them riding the chunks the sweep
+    // already pulled.
+    let (ashape, asteps, interval, precinct) = if smoke {
+        (Shape::d3(16, 16, 16), 6usize, 3usize, 8usize)
+    } else {
+        (Shape::d3(32, 32, 24), 12, 4, 8)
+    };
+    let recipe = SequenceRecipe {
+        dataset: Dataset::Wave,
+        steps: asteps,
+        correlation: 0.97,
+        advect: [0, 0, 0],
+        decay: 0.99,
+    };
+    let afields = recipe.generate(&ashape, 77);
+    let mut aconfig = ArchiveConfig::new(1e-5, 1e-3);
+    aconfig.keyframe_interval = interval;
+    aconfig.codec = Config::with_precincts(&[precinct, precinct, precinct]);
+    let mut builder =
+        ArchiveBuilder::new(vec!["wave".into()], ashape.clone(), aconfig.clone()).unwrap();
+    for f in &afields {
+        builder.push_step(std::slice::from_ref(f)).unwrap();
+    }
+    let archive_bytes = builder.finish().unwrap();
+    let fidelity = RetrievalRequest::ErrorBound(1e-3);
+    let reference = composition_reference(&afields, &aconfig, fidelity).unwrap();
+    let adims = ashape.dims().to_vec();
+    let roi = RoiBox::new(&[0, 0, 0], &[adims[0] / 2, adims[1] / 2, adims[2] / 2]);
+    let crop = |s: usize| {
+        let full = &reference[s];
+        ArrayD::from_fn(Shape::d3(roi.hi[0], roi.hi[1], roi.hi[2]), |c| {
+            *full.get(&[c[0] + roi.lo[0], c[1] + roi.lo[1], c[2] + roi.lo[2]])
+        })
+    };
+    let fold = |steps: &[usize], cropped: bool| -> u64 {
+        let mut c = 0u64;
+        for &s in steps {
+            let digest = if cropped {
+                field_checksum(crop(s).as_slice())
+            } else {
+                field_checksum(reference[s].as_slice())
+            };
+            c = c.rotate_left(17).wrapping_add(digest);
+        }
+        c
+    };
+
+    let asim = Arc::new(SimulatedObjectStore::new(
+        MemorySource::new(archive_bytes.clone()),
+        sim_profile(),
+    ));
+    let astore = ArchiveStore::open(
+        Arc::clone(&asim) as Arc<dyn ChunkSource>,
+        StoreOptions {
+            cache_bytes: archive_bytes.len().max(1 << 20),
+            coalesce_gap: Some(COALESCE_GAP),
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let aservice = StoreService::new(ServiceConfig {
+        workers: 4,
+        cost_model: Some(CostModel {
+            latency_per_request: sim_profile().latency_per_request,
+            throughput_bytes_per_sec: THROUGHPUT_MB_S * 1e6,
+            coalesce_gap: COALESCE_GAP,
+        }),
+        ..ServiceConfig::default()
+    });
+    let aid = aservice.register_archive(Arc::clone(&astore));
+    let sweeper = aservice.register_tenant(TenantConfig::default());
+    let roi_tenants: Vec<TenantId> = (0..3)
+        .map(|_| aservice.register_tenant(TenantConfig::default()))
+        .collect();
+    let drain = |rx: std::sync::mpsc::Receiver<ServiceEvent>| -> (u64, usize) {
+        let mut checksum = None;
+        let mut step_events = 0usize;
+        while let Ok(ev) = rx.recv() {
+            match ev {
+                ServiceEvent::Stream {
+                    event: StreamEvent::StepReconstructed(_),
+                    ..
+                } => step_events += 1,
+                ServiceEvent::WorkloadDone { outcome, .. } => checksum = Some(outcome.checksum),
+                ServiceEvent::WorkloadFailed { error, .. } => {
+                    panic!("mixed-traffic workload failed: {error}")
+                }
+                _ => {}
+            }
+        }
+        (checksum.expect("workload completed"), step_events)
+    };
+
+    // Phase 1: the archive tenant sweeps the whole range in consecutive
+    // windows against a cold cache.
+    let windows: Vec<std::ops::Range<usize>> = (0..asteps)
+        .step_by(interval)
+        .map(|s| s..(s + interval).min(asteps))
+        .collect();
+    for w in &windows {
+        let rx = aservice
+            .submit_archive(sweeper, aid, ArchiveRequest::steps(0, w.clone(), fidelity))
+            .unwrap();
+        let (checksum, step_events) = drain(rx);
+        let expect: Vec<usize> = w.clone().collect();
+        assert_eq!(step_events, w.len(), "sweep window {w:?} step events");
+        assert_eq!(
+            checksum,
+            fold(&expect, false),
+            "sweep window {w:?} diverged from the composition reference"
+        );
+    }
+    // Phase 2: interactive ROI tenants replay single steps spatially scoped;
+    // every chunk they need is a subset of what the sweep cached.
+    let mut pending = Vec::new();
+    for s in 0..asteps {
+        let mut req = ArchiveRequest::steps(0, s..s + 1, fidelity);
+        req.roi = Some(roi);
+        let rx = aservice
+            .submit_archive(roi_tenants[s % roi_tenants.len()], aid, req)
+            .unwrap();
+        pending.push((s, rx));
+    }
+    for (s, rx) in pending {
+        let (checksum, step_events) = drain(rx);
+        assert_eq!(step_events, 1);
+        assert_eq!(
+            checksum,
+            fold(&[s], true),
+            "ROI step {s} diverged from crop-of-composition"
+        );
+    }
+    let acache = astore.cache().expect("archive cache configured");
+    let (roi_hits, roi_misses) = roi_tenants
+        .iter()
+        .map(|t| acache.tag_stats(t.0))
+        .fold((0u64, 0u64), |(h, m), ts| (h + ts.hits, m + ts.misses));
+    let roi_hit_rate = roi_hits as f64 / (roi_hits + roi_misses).max(1) as f64;
+    let astats = astore.cache_stats().unwrap();
+    println!(
+        "mixed traffic: {} sweep windows + {asteps} ROI steps | ROI tenant hit rate {:.0}% ({roi_hits} hits / {roi_misses} misses) | cache overall {} hits / {} misses",
+        windows.len(),
+        roi_hit_rate * 100.0,
+        astats.hits,
+        astats.misses
+    );
+    assert!(
+        roi_hit_rate >= 0.5,
+        "interactive ROI tenants must ride the sweep's cached chunks, hit rate {roi_hit_rate:.2}"
+    );
+
     let fleet_json = |r: &FleetResult| {
         format!(
             "{{\"sessions\": {}, \"backend_gets\": {}, \"backend_bytes\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"cache_hit_rate\": {:.4}, \"peak_tenant_resident_bytes\": {}}}",
@@ -526,11 +686,12 @@ fn main() {
     }
     scaling_json.push_str("  ]}");
     let json = format!(
-        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"scaling\": {scaling_json},\n  \"sharded_cache\": {{\"shards\": 8, \"backend_gets_single_lock\": {}, \"backend_gets_sharded\": {}, \"get_inflation\": {shard_inflation:.3}, \"inflation_limit\": 1.05, \"bit_identical\": true}},\n  \"service_metrics\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"get_inflation_sharded_cache\": {shard_inflation:.3}, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"service_metrics_verified\": true, \"bit_identical_to_single_client\": true}}\n}}\n",
+        "{{\n  \"benchmark\": \"store_service\",\n  \"containers\": {CONTAINERS},\n  \"container_bytes_total\": {total_bytes},\n  \"tenants\": {TENANTS},\n  \"zipf_exponent\": {ZIPF_S},\n  \"sim_profile\": {{\"latency_ms_per_request\": {LATENCY_MS}, \"throughput_mb_s\": {THROUGHPUT_MB_S}, \"coalesce_gap_bytes\": {COALESCE_GAP}}},\n  \"workload_mix\": {{\"interactive\": 0.70, \"deep\": 0.25, \"sweep\": 0.05}},\n  \"base_fleet\": {},\n  \"grown_fleet\": {},\n  \"scaling\": {scaling_json},\n  \"sharded_cache\": {{\"shards\": 8, \"backend_gets_single_lock\": {}, \"backend_gets_sharded\": {}, \"get_inflation\": {shard_inflation:.3}, \"inflation_limit\": 1.05, \"bit_identical\": true}},\n  \"mixed_traffic\": {{\"archive_steps\": {asteps}, \"sweep_windows\": {}, \"roi_steps\": {asteps}, \"roi_tenant_hit_rate\": {roi_hit_rate:.4}, \"roi_hits\": {roi_hits}, \"roi_misses\": {roi_misses}, \"bit_identical_to_composition\": true}},\n  \"service_metrics\": {},\n  \"acceptance\": {{\"get_amplification_at_8x\": {amplification:.3}, \"amplification_limit\": 2.0, \"get_inflation_sharded_cache\": {shard_inflation:.3}, \"tenant_cache_quota_bytes\": {}, \"budget_enforced\": {budget_enforced}, \"service_metrics_verified\": true, \"bit_identical_to_single_client\": true}}\n}}\n",
         fleet_json(&base),
         fleet_json(&grown),
         single_lock.backend_gets,
         sharded.backend_gets,
+        windows.len(),
         grown.service_metrics_json,
         64 << 10
     );

@@ -1,0 +1,232 @@
+//! Time-series archive runner: emits `BENCH_timeseries.json`.
+//!
+//! Builds a cross-timestep residual archive (`ipcomp::archive`, container
+//! format v4) from a correlated `ipc_datagen` sequence and measures what the
+//! residual chains buy against the natural baseline — every step compressed
+//! as its own standalone container at the same finest bound:
+//!
+//! * **Archive size** — total v4 bytes vs the sum of independent per-step
+//!   containers; asserted ≤ 0.8×.
+//! * **Bytes fetched** — a "steps 10–20 at `ErrorBound(1e-3)`" retrieval
+//!   served from S3-like storage through a cold cache vs the same window
+//!   fetched from independent containers; asserted strictly smaller.
+//! * **Correctness** — every reconstructed step asserted bit-identical to
+//!   `ipcomp::composition_reference`, the encode-independent-then-retrieve
+//!   composition.
+//! * **Shared-prefix dedup** — two tenants sweep overlapping windows through
+//!   the shared cache; the second tenant's per-`CacheTag` stats must show
+//!   cache hits on the keyframe/coarse-prefix chunks the first already
+//!   pulled.
+//!
+//! Usage: `cargo run --release -p ipc_bench --bin bench_timeseries
+//! [out.json] [--smoke]`. `--smoke` (or `IPC_BENCH_QUICK=1`) shrinks the
+//! sequence and skips the acceptance asserts; committed numbers come from
+//! the full 20-step, 1M-coefficient run.
+
+use std::sync::Arc;
+
+use ipc_baselines::IndependentSteps;
+use ipc_datagen::{Dataset, SequenceRecipe};
+use ipc_store::{
+    ArchiveStore, ChunkSource, MemorySource, SimProfile, SimulatedObjectStore, StoreOptions,
+};
+use ipc_tensor::Shape;
+use ipcomp::{
+    composition_reference, ArchiveBuilder, ArchiveConfig, ArchiveRequest, RetrievalRequest,
+};
+
+fn main() {
+    let mut out_path = "BENCH_timeseries.json".to_string();
+    let mut smoke = std::env::var("IPC_BENCH_QUICK").is_ok();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if !arg.starts_with('-') {
+            out_path = arg;
+        }
+    }
+
+    // ≥ 16 steps of ≥ 1M coefficients each for the committed run; the smoke
+    // pass keeps the same code path at unit-test scale.
+    let (shape, steps, interval, window) = if smoke {
+        (Shape::d3(16, 20, 20), 8, 4, 3..7)
+    } else {
+        (Shape::d3(96, 104, 104), 20, 8, 10..20)
+    };
+    let recipe = SequenceRecipe {
+        correlation: 0.98,
+        advect: [0, 0, 0],
+        decay: 0.99,
+        ..SequenceRecipe::correlated(Dataset::Density, steps)
+    };
+    let fields = recipe.generate(&shape, 2024);
+    let coeffs = shape.len();
+    println!(
+        "sequence: {} x {steps} steps of {coeffs} coefficients (correlation {}, advect {:?}, decay {})",
+        Dataset::Density.name(),
+        recipe.correlation,
+        recipe.advect,
+        recipe.decay
+    );
+
+    // --- Archive vs independent-per-step size at the same finest bound.
+    let mut config = ArchiveConfig::new(1e-5, 1e-3);
+    config.keyframe_interval = interval;
+    let mut builder =
+        ArchiveBuilder::new(vec!["density".into()], shape.clone(), config.clone()).unwrap();
+    for field in &fields {
+        builder.push_step(std::slice::from_ref(field)).unwrap();
+    }
+    let archive_bytes = builder.finish().unwrap();
+
+    let baseline = IndependentSteps::new(config.finest_bound, config.codec);
+    let independent = baseline.compress_sequence(&fields).unwrap();
+    let size_ratio = archive_bytes.len() as f64 / independent.total_bytes() as f64;
+    println!(
+        "size: archive {} B vs independent {} B | ratio {size_ratio:.3} (<= 0.8 required)",
+        archive_bytes.len(),
+        independent.total_bytes()
+    );
+
+    // --- Bytes fetched: the window at ErrorBound(1e-3) from S3-like storage
+    // through a cold cache. No coalescing, so the simulator counts exactly
+    // the chunk bytes the plan selects (gap fill would blur the comparison);
+    // the independent side's cold per-step fetches are its containers'
+    // planned bytes. The request fidelity equals the archive's reference
+    // bound, so chained steps decode once and the chain prefix is the only
+    // extra work vs the baseline.
+    let request = RetrievalRequest::ErrorBound(1e-3);
+    let options = StoreOptions {
+        cache_bytes: 64 << 20,
+        cache_shards: 0,
+        coalesce_gap: None,
+        readahead_planes: 0,
+        protect_top_planes: 0,
+        whole_read_below: None,
+    };
+    let sim = Arc::new(SimulatedObjectStore::new(
+        MemorySource::new(archive_bytes.clone()),
+        SimProfile::object_store(),
+    ));
+    let store = ArchiveStore::open(sim.clone() as Arc<dyn ChunkSource>, options).unwrap();
+    sim.reset_stats(); // metadata open is accounted separately for both sides
+    let mut session = store.session();
+    let archive_request = ArchiveRequest::steps(0, window.clone(), request);
+    let window_steps = session.retrieve_steps(&archive_request).unwrap();
+    let window_stats = sim.stats();
+    let (independent_fields, independent_bytes) =
+        independent.retrieve_range(window.clone(), request).unwrap();
+    println!(
+        "window {:?} @ {request:?}: archive {} backend B in {} GETs ({:.1} sim ms) vs independent {} B",
+        window, window_stats.bytes, window_stats.requests,
+        window_stats.simulated_secs * 1e3, independent_bytes
+    );
+
+    // --- Bit-identity: every reconstructed step must equal the
+    // encode-independent-then-retrieve composition, and the independent
+    // baseline must satisfy the same bound without being bit-equal (it
+    // encodes full fields, not residuals).
+    let reference = composition_reference(&fields, &config, request).unwrap();
+    for (s, out) in window.clone().zip(&window_steps) {
+        assert_eq!(out.step, s);
+        assert_eq!(
+            out.data.as_slice(),
+            reference[s].as_slice(),
+            "step {s} must be bit-identical to the composition reference"
+        );
+    }
+    // Also sweep the full range through a fresh session so "every step" means
+    // every step of the archive, not just the benchmark window.
+    let mut full_session = store.session();
+    let all = full_session
+        .retrieve_steps(&ArchiveRequest::steps(0, 0..steps, request))
+        .unwrap();
+    for (s, out) in all.iter().enumerate() {
+        assert_eq!(
+            out.data.as_slice(),
+            reference[s].as_slice(),
+            "step {s} must be bit-identical to the composition reference"
+        );
+    }
+    for (s, ind) in window.clone().zip(&independent_fields) {
+        for (a, b) in fields[s].as_slice().iter().zip(ind.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-12);
+        }
+    }
+    println!("bit-identity: all {steps} steps match the composition reference");
+
+    // --- Shared-prefix dedup: tenant 2's overlapping window rides the
+    // keyframe/coarse-prefix chunks tenant 1 already pulled into the shared
+    // cache. Per-tag stats attribute the reuse.
+    let dedup_store = ArchiveStore::open(
+        Arc::new(MemorySource::new(archive_bytes.clone())) as Arc<dyn ChunkSource>,
+        options,
+    )
+    .unwrap();
+    let (w1, w2) = if smoke { (1..5, 3..7) } else { (8..15, 12..19) };
+    let mut t1 = dedup_store.session_tagged(1);
+    t1.retrieve_steps(&ArchiveRequest::steps(0, w1.clone(), request))
+        .unwrap();
+    let mut t2 = dedup_store.session_tagged(2);
+    t2.retrieve_steps(&ArchiveRequest::steps(0, w2.clone(), request))
+        .unwrap();
+    let cache = dedup_store.cache().expect("cache configured");
+    let (s1, s2) = (cache.tag_stats(1), cache.tag_stats(2));
+    println!(
+        "dedup: tenant 1 {:?} -> {} misses ({} B); tenant 2 {:?} -> {} hits / {} misses ({} B)",
+        w1, s1.misses, s1.miss_bytes, w2, s2.hits, s2.misses, s2.miss_bytes
+    );
+
+    let byte_win = window_stats.bytes < independent_bytes as u64;
+    if !smoke {
+        assert!(
+            size_ratio <= 0.8,
+            "archive must be <= 0.8x the independent total, got {size_ratio:.3}"
+        );
+        assert!(
+            byte_win,
+            "archive window fetch ({} B) must beat independent ({} B)",
+            window_stats.bytes, independent_bytes
+        );
+        assert!(
+            s2.hits > 0,
+            "the overlapping window must hit the shared cache"
+        );
+        assert!(
+            s2.miss_bytes < s1.miss_bytes,
+            "the second tenant's backend bytes must shrink: {} vs {}",
+            s2.miss_bytes,
+            s1.miss_bytes
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"timeseries_archive\",\n  \"dataset\": \"Density\",\n  \"domain\": {:?},\n  \"coefficients_per_step\": {coeffs},\n  \"steps\": {steps},\n  \"sequence\": {{\"correlation\": {}, \"advect\": {:?}, \"decay\": {}}},\n  \"archive\": {{\"keyframe_interval\": {interval}, \"reference_bound\": 1e-3, \"finest_bound\": 1e-5}},\n  \"size\": {{\"archive_bytes\": {}, \"independent_bytes\": {}, \"ratio\": {size_ratio:.4}, \"max_allowed\": 0.8}},\n  \"window_fetch\": {{\"steps\": [{}, {}], \"request_error_bound\": 1e-3, \"archive_backend_bytes\": {}, \"archive_requests\": {}, \"archive_sim_ms\": {:.2}, \"independent_bytes\": {independent_bytes}, \"archive_wins\": {byte_win}}},\n  \"dedup\": {{\"window_1\": [{}, {}], \"window_2\": [{}, {}], \"tenant1_miss_bytes\": {}, \"tenant2_hits\": {}, \"tenant2_miss_bytes\": {}}},\n  \"bit_identical_to_composition_reference\": true,\n  \"acceptance\": {{\"size_ratio_max\": 0.8, \"fewer_backend_bytes\": {byte_win}, \"pass\": {}}}\n}}\n",
+        shape.dims(),
+        recipe.correlation,
+        recipe.advect,
+        recipe.decay,
+        archive_bytes.len(),
+        independent.total_bytes(),
+        window.start,
+        window.end,
+        window_stats.bytes,
+        window_stats.requests,
+        window_stats.simulated_secs * 1e3,
+        w1.start,
+        w1.end,
+        w2.start,
+        w2.end,
+        s1.miss_bytes,
+        s2.hits,
+        s2.miss_bytes,
+        !smoke && size_ratio <= 0.8 && byte_win && s2.hits > 0,
+    );
+    if smoke {
+        println!("smoke run: not writing {out_path}");
+        println!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).unwrap();
+        println!("wrote {out_path}");
+    }
+}

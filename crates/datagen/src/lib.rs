@@ -16,9 +16,11 @@
 
 pub mod analysis;
 pub mod fields;
+pub mod sequence;
 
 pub use analysis::{curl_magnitude, gradient, laplacian};
 pub use fields::FieldRecipe;
+pub use sequence::{generate_sequence, relative_step_delta, SequenceRecipe};
 
 use ipc_tensor::{ArrayD, Shape};
 

@@ -51,6 +51,7 @@
 //! assert!(fine.error_bound <= 1e-5);
 //! ```
 
+pub mod archive;
 pub mod bitplane;
 pub mod cascade;
 pub mod compressor;
@@ -66,6 +67,11 @@ pub mod progressive;
 pub mod quantize;
 pub mod source;
 
+pub use archive::{
+    composition_reference, ArchiveBuilder, ArchiveConfig, ArchiveEntry, ArchiveMap, ArchiveOutcome,
+    ArchiveReader, ArchiveRequest, StepKind, StepPlan, StepProgress, StepRetrieval,
+    VERSION_ARCHIVE,
+};
 pub use cascade::{
     cascade_avx2_available, cascade_impl, cascade_parallel, cascade_streaming, cascade_threads,
     force_cascade_impl, force_cascade_threads, set_cascade_parallel, set_cascade_streaming,
@@ -83,4 +89,4 @@ pub use precinct::{roi_precinct_masks, LevelPrecincts, PrecinctGrid, RoiBox};
 pub use progressive::{
     ProgressiveDecoder, Retrieval, RetrievalRequest, StreamEvent, StreamProgress,
 };
-pub use source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource};
+pub use source::{read_ranges_exact, ByteRange, Bytes, ChunkSource, MemorySource, OffsetSource};

@@ -46,3 +46,33 @@ pub fn metrics() -> &'static DecodeMetrics {
         retrieve_bytes: ipc_telemetry::counter("ipcomp.retrieve.bytes"),
     })
 }
+
+/// Handles for the time-series archive layer's metrics.
+pub struct ArchiveMetrics {
+    /// Output timesteps reconstructed and emitted.
+    pub steps: &'static Counter,
+    /// Keyframe step decodes (output or chain).
+    pub keyframes: &'static Counter,
+    /// Residual step decodes (output or chain).
+    pub residuals: &'static Counter,
+    /// Requests that resumed from a cached chain base instead of re-decoding
+    /// the keyframe prefix.
+    pub chain_reuse: &'static Counter,
+    /// Archive bytes fetched across all step decodes.
+    pub bytes: &'static Counter,
+    /// Per-step wall time (decode + chain composition), ns.
+    pub step_ns: &'static Histogram,
+}
+
+/// The process-wide archive metric bundle.
+pub fn archive_metrics() -> &'static ArchiveMetrics {
+    static METRICS: OnceLock<ArchiveMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ArchiveMetrics {
+        steps: ipc_telemetry::counter("ipcomp.archive.steps"),
+        keyframes: ipc_telemetry::counter("ipcomp.archive.keyframes"),
+        residuals: ipc_telemetry::counter("ipcomp.archive.residuals"),
+        chain_reuse: ipc_telemetry::counter("ipcomp.archive.chain_reuse"),
+        bytes: ipc_telemetry::counter("ipcomp.archive.bytes"),
+        step_ns: ipc_telemetry::histogram("ipcomp.archive.step_ns"),
+    })
+}

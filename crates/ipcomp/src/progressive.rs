@@ -97,6 +97,10 @@ pub enum StreamEvent {
     /// The cascade applied a level's interpolation pass: every point of that
     /// level (and all coarser lattices) is final at the requested fidelity.
     LevelReconstructed(CascadeProgress),
+    /// An archive retrieval finished reconstructing one output timestep
+    /// (emitted by [`crate::archive::ArchiveReader`]; never seen on
+    /// single-container retrievals).
+    StepReconstructed(crate::archive::StepProgress),
 }
 
 /// The result of one retrieval step.

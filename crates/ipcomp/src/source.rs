@@ -249,6 +249,63 @@ impl ChunkSource for MemorySource {
     }
 }
 
+/// A fixed byte window of a parent source, exposed as a [`ChunkSource`] of
+/// its own.
+///
+/// The archive container (format v4) embeds one standard per-step container
+/// after another; an `OffsetSource` makes each embedded container addressable
+/// with container-local offsets, so [`crate::ContainerMap`] and the
+/// progressive decoder work on it unchanged. Reads translate to
+/// parent-absolute offsets before they hit the parent, which means any cache
+/// or coalescing layer *below* the window still sees one shared key space —
+/// exactly what lets consecutive-step retrievals deduplicate the chunks they
+/// have in common.
+#[derive(Clone)]
+pub struct OffsetSource<S> {
+    inner: S,
+    offset: u64,
+    len: u64,
+}
+
+impl<S: ChunkSource> OffsetSource<S> {
+    /// View `len` bytes of `inner` starting at `offset`.
+    ///
+    /// Fails if the window exceeds the parent, so a corrupt archive
+    /// directory surfaces here instead of as an out-of-bounds read later.
+    pub fn new(inner: S, offset: u64, len: u64) -> Result<Self> {
+        if offset.checked_add(len).is_none_or(|end| end > inner.len()) {
+            return Err(IpcompError::CorruptContainer(
+                "window beyond end of parent source",
+            ));
+        }
+        Ok(Self { inner, offset, len })
+    }
+
+    /// Absolute offset of the window within the parent source.
+    pub fn base_offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for OffsetSource<S> {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_ranges(&self, ranges: &[ByteRange]) -> Result<Vec<Bytes>> {
+        let mut shifted = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            if r.end() > self.len {
+                return Err(IpcompError::CorruptContainer(
+                    "byte range beyond end of window",
+                ));
+            }
+            shifted.push(ByteRange::new(self.offset + r.offset, r.len));
+        }
+        self.inner.read_ranges(&shifted)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,7 @@
 //! assert!(coarse.bytes_total < fine.bytes_total);
 //! ```
 
+pub mod archive;
 pub mod async_source;
 pub mod cache;
 pub mod coalesce;
@@ -57,6 +58,9 @@ pub mod sim;
 pub mod testutil;
 pub mod whole;
 
+pub use archive::{
+    plan_archive_request, ArchiveRangePlan, ArchiveSession, ArchiveStepRanges, ArchiveStore,
+};
 pub use async_source::{AsyncSourceAdapter, BatchFetch, ThreadedFetch};
 pub use cache::{CacheStats, CacheTag, CachedSource, TagStats, TaggedRead, TaggedSource};
 pub use coalesce::{coalesce_ranges, traffic_model_gap, CoalescingSource};
@@ -64,8 +68,8 @@ pub use file::FileSource;
 pub use planner::{lower_plan, lower_plan_roi, plan_request, ChunkRead, RangePlan};
 pub use server::{field_checksum, ClientOutcome, ClientStep, StoreServer};
 pub use service::{
-    ContainerId, CostModel, ServiceConfig, ServiceError, ServiceEvent, ServiceMetricsSnapshot,
-    StoreService, TenantConfig, TenantId, TenantMetricsSnapshot,
+    ArchiveId, ContainerId, CostModel, ServiceConfig, ServiceError, ServiceEvent,
+    ServiceMetricsSnapshot, StoreService, TenantConfig, TenantId, TenantMetricsSnapshot,
 };
 pub use session::{ContainerStore, PrefetchOutcome, RetrievalSession, SharedCache, StoreOptions};
 pub use sim::{Fault, FaultSource, SimProfile, SimStats, SimulatedObjectStore};
@@ -81,4 +85,11 @@ pub use ipcomp::{ContainerMap, LevelMap};
 pub use ipcomp::{
     roi_precinct_masks, CascadeProgress, PrecinctGrid, RetrievalRequest, RoiBox, StreamEvent,
     StreamProgress,
+};
+
+/// Convenience re-export: the archive request/response types
+/// [`ArchiveSession`] and [`StoreService::submit_archive`] are driven with.
+pub use ipcomp::{
+    ArchiveConfig, ArchiveMap, ArchiveOutcome, ArchiveReader, ArchiveRequest, StepKind,
+    StepProgress, StepRetrieval,
 };

@@ -49,6 +49,9 @@ use ipcomp::progressive::{RetrievalRequest, StreamEvent};
 use ipcomp::source::{ByteRange, Bytes, ChunkSource};
 use ipcomp::IpcompError;
 
+use ipcomp::archive::ArchiveRequest;
+
+use crate::archive::{ArchiveSession, ArchiveStore};
 use crate::cache::CacheTag;
 use crate::coalesce::coalesce_ranges;
 use crate::server::{field_checksum, ClientOutcome, ClientStep};
@@ -57,6 +60,10 @@ use crate::session::{ContainerStore, RetrievalSession, SharedCache};
 /// Handle of a container registered with the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContainerId(pub usize);
+
+/// Handle of a time-series archive registered with the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveId(pub usize);
 
 /// Handle of a registered tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -425,12 +432,24 @@ impl TenantState {
     }
 }
 
+/// What a job runs: a per-container request sequence or a step-spanning
+/// archive request.
+enum Work {
+    Container {
+        store: Arc<ContainerStore>,
+        requests: Vec<RetrievalRequest>,
+    },
+    Archive {
+        store: Arc<ArchiveStore>,
+        request: ArchiveRequest,
+    },
+}
+
 struct Job {
     /// Service-wide workload sequence number (span/trace correlation id).
     id: u64,
-    store: Arc<ContainerStore>,
+    work: Work,
     tenant: Arc<TenantState>,
-    workload: Vec<RetrievalRequest>,
     events: SyncSender<ServiceEvent>,
     /// Telemetry clock reading at enqueue; 0 when telemetry is disabled,
     /// which makes the recorded queue wait 0 rather than garbage.
@@ -439,6 +458,7 @@ struct Job {
 
 struct Shared {
     containers: Mutex<Vec<Arc<ContainerStore>>>,
+    archives: Mutex<Vec<Arc<ArchiveStore>>>,
     tenants: Mutex<Vec<Arc<TenantState>>>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
@@ -509,6 +529,7 @@ impl StoreService {
     pub fn new(config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             containers: Mutex::new(Vec::new()),
+            archives: Mutex::new(Vec::new()),
             tenants: Mutex::new(Vec::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -539,8 +560,22 @@ impl StoreService {
         ContainerId(containers.len() - 1)
     }
 
+    /// Register a time-series archive; returns the id tenants address it by
+    /// via [`StoreService::submit_archive`]. Already registered tenants'
+    /// cache quotas apply to it immediately.
+    pub fn register_archive(&self, store: Arc<ArchiveStore>) -> ArchiveId {
+        for t in self.shared.tenants.lock().expect("tenants lock").iter() {
+            if let Some(q) = t.config.cache_quota {
+                store.set_tag_quota(t.tag, Some(q));
+            }
+        }
+        let mut archives = self.shared.archives.lock().expect("archives lock");
+        archives.push(store);
+        ArchiveId(archives.len() - 1)
+    }
+
     /// Register a tenant; its cache quota is installed on every registered
-    /// container's shared cache.
+    /// container's and archive's shared cache.
     pub fn register_tenant(&self, config: TenantConfig) -> TenantId {
         let mut tenants = self.shared.tenants.lock().expect("tenants lock");
         let tag = tenants.len() as CacheTag;
@@ -552,6 +587,9 @@ impl StoreService {
                 .expect("containers lock")
                 .iter()
             {
+                store.set_tag_quota(tag, Some(q));
+            }
+            for store in self.shared.archives.lock().expect("archives lock").iter() {
                 store.set_tag_quota(tag, Some(q));
             }
         }
@@ -614,19 +652,22 @@ impl StoreService {
         self.metrics_snapshot().to_json()
     }
 
-    fn lookup(
-        &self,
-        tenant: TenantId,
-        container: ContainerId,
-    ) -> Result<(Arc<TenantState>, Arc<ContainerStore>), ServiceError> {
-        let tenant = self
-            .shared
+    fn lookup_tenant(&self, tenant: TenantId) -> Result<Arc<TenantState>, ServiceError> {
+        self.shared
             .tenants
             .lock()
             .expect("tenants lock")
             .get(tenant.0 as usize)
             .cloned()
-            .ok_or(ServiceError::UnknownTenant)?;
+            .ok_or(ServiceError::UnknownTenant)
+    }
+
+    fn lookup(
+        &self,
+        tenant: TenantId,
+        container: ContainerId,
+    ) -> Result<(Arc<TenantState>, Arc<ContainerStore>), ServiceError> {
+        let tenant = self.lookup_tenant(tenant)?;
         let store = self
             .shared
             .containers
@@ -638,11 +679,27 @@ impl StoreService {
         Ok((tenant, store))
     }
 
+    fn lookup_archive(
+        &self,
+        tenant: TenantId,
+        archive: ArchiveId,
+    ) -> Result<(Arc<TenantState>, Arc<ArchiveStore>), ServiceError> {
+        let tenant = self.lookup_tenant(tenant)?;
+        let store = self
+            .shared
+            .archives
+            .lock()
+            .expect("archives lock")
+            .get(archive.0)
+            .cloned()
+            .ok_or(ServiceError::UnknownContainer)?;
+        Ok((tenant, store))
+    }
+
     fn enqueue(
         &self,
         tenant: Arc<TenantState>,
-        store: Arc<ContainerStore>,
-        workload: Vec<RetrievalRequest>,
+        work: Work,
     ) -> Result<Receiver<ServiceEvent>, ServiceError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             tenant.inflight.release();
@@ -653,9 +710,8 @@ impl StoreService {
         let mut queue = self.shared.queue.lock().expect("queue lock");
         queue.push_back(Job {
             id: self.shared.next_workload.fetch_add(1, Ordering::Relaxed),
-            store,
+            work,
             tenant,
-            workload,
             events: tx,
             enqueued_at: now_nanos(),
         });
@@ -677,7 +733,51 @@ impl StoreService {
         let (tenant, store) = self.lookup(tenant, container)?;
         tenant.inflight.acquire();
         self.shared.global.acquire();
-        self.enqueue(tenant, store, workload)
+        self.enqueue(
+            tenant,
+            Work::Container {
+                store,
+                requests: workload,
+            },
+        )
+    }
+
+    /// Submit a step-spanning archive workload, blocking at the same
+    /// admission limits as [`StoreService::submit`]. The event stream
+    /// carries the per-step decoders' [`ServiceEvent::Stream`] progress
+    /// (including [`StreamEvent::StepReconstructed`] per output step), one
+    /// [`ServiceEvent::RequestDone`] per output step, and a terminal
+    /// [`ServiceEvent::WorkloadDone`] whose checksum folds every emitted
+    /// step's field checksum.
+    pub fn submit_archive(
+        &self,
+        tenant: TenantId,
+        archive: ArchiveId,
+        request: ArchiveRequest,
+    ) -> Result<Receiver<ServiceEvent>, ServiceError> {
+        let (tenant, store) = self.lookup_archive(tenant, archive)?;
+        tenant.inflight.acquire();
+        self.shared.global.acquire();
+        self.enqueue(tenant, Work::Archive { store, request })
+    }
+
+    /// Non-blocking [`StoreService::submit_archive`]: refuses with
+    /// [`ServiceError::Busy`] instead of waiting for an in-flight slot.
+    pub fn try_submit_archive(
+        &self,
+        tenant: TenantId,
+        archive: ArchiveId,
+        request: ArchiveRequest,
+    ) -> Result<Receiver<ServiceEvent>, ServiceError> {
+        let (tenant, store) = self.lookup_archive(tenant, archive)?;
+        if !tenant.inflight.try_acquire() {
+            return Err(ServiceError::Busy);
+        }
+        if !self.shared.global.try_acquire() {
+            tenant.inflight.release();
+            return Err(ServiceError::Busy);
+        }
+        self.enqueue(tenant, Work::Archive { store, request })
     }
 
     /// Non-blocking [`StoreService::submit`]: refuses with
@@ -696,7 +796,13 @@ impl StoreService {
             tenant.inflight.release();
             return Err(ServiceError::Busy);
         }
-        self.enqueue(tenant, store, workload)
+        self.enqueue(
+            tenant,
+            Work::Container {
+                store,
+                requests: workload,
+            },
+        )
     }
 
     /// Stop accepting work, finish queued jobs, and join the workers.
@@ -739,9 +845,8 @@ fn worker_loop(shared: Arc<Shared>) {
 fn run_job(shared: &Shared, job: Job) {
     let Job {
         id,
-        store,
+        work,
         tenant,
-        workload,
         events,
         enqueued_at,
     } = job;
@@ -750,20 +855,54 @@ fn run_job(shared: &Shared, job: Job) {
     let queue_wait = started_at.saturating_sub(enqueued_at);
     tenant.metrics.queue_wait_ns.record(queue_wait);
     crate::obs::metrics().queue_wait_ns.record(queue_wait);
+
+    match work {
+        Work::Container { store, requests } => run_container_job(
+            shared, id, store, &tenant, requests, &events, queue_wait, started_at,
+        ),
+        Work::Archive { store, request } => run_archive_job(
+            shared, id, store, &tenant, request, &events, queue_wait, started_at,
+        ),
+    }
+
+    shared.global.release();
+    tenant.inflight.release();
+}
+
+/// Build the per-workload meter over a store's shared cache, when it has one.
+fn make_meter(
+    shared: &Shared,
+    tenant: &Arc<TenantState>,
+    cache: Option<&Arc<SharedCache>>,
+) -> Option<Arc<MeterSource>> {
+    cache.map(|cache| {
+        Arc::new(MeterSource {
+            cache: Arc::clone(cache),
+            tenant: Arc::clone(tenant),
+            cost: shared.config.cost_model,
+            nanos: AtomicU64::new(0),
+        })
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_container_job(
+    shared: &Shared,
+    id: u64,
+    store: Arc<ContainerStore>,
+    tenant: &Arc<TenantState>,
+    workload: Vec<RetrievalRequest>,
+    events: &SyncSender<ServiceEvent>,
+    queue_wait: u64,
+    started_at: u64,
+) {
     let mut wl_span = span("service", "workload")
         .arg("tenant", tenant.tag as u64)
         .arg("workload", id)
         .arg("requests", workload.len() as u64)
         .arg("queue_ns", queue_wait);
 
-    let meter = store.cache().map(|cache| {
-        Arc::new(MeterSource {
-            cache: Arc::clone(cache),
-            tenant: Arc::clone(&tenant),
-            cost: shared.config.cost_model,
-            nanos: AtomicU64::new(0),
-        })
-    });
+    let meter = make_meter(shared, tenant, store.cache());
     let mut session: RetrievalSession = match &meter {
         Some(m) => store.session_over(Arc::clone(m) as Arc<dyn ChunkSource>),
         None => store.session(),
@@ -775,7 +914,7 @@ fn run_job(shared: &Shared, job: Job) {
     for (i, &request) in workload.iter().enumerate() {
         // Budget gate: the planner prices the exact delta this session
         // would fetch; refuse before any I/O happens.
-        let reserved = match plan_bytes(&session, request, &tenant) {
+        let reserved = match plan_bytes(&session, request, tenant) {
             Ok(reserved) => reserved,
             Err(error) => {
                 tenant.metrics.failures.incr();
@@ -841,8 +980,119 @@ fn run_job(shared: &Shared, job: Job) {
         });
     }
     drop(wl_span);
-    shared.global.release();
-    tenant.inflight.release();
+}
+
+/// Run one archive workload: a single step-spanning request whose whole
+/// chunk plan is priced against the budget up front, streamed back as one
+/// `RequestDone` per output step (request index = position in the output
+/// window), with a terminal `WorkloadDone` whose checksum folds every
+/// emitted step's field checksum in step order.
+#[allow(clippy::too_many_arguments)]
+fn run_archive_job(
+    shared: &Shared,
+    id: u64,
+    store: Arc<ArchiveStore>,
+    tenant: &Arc<TenantState>,
+    request: ArchiveRequest,
+    events: &SyncSender<ServiceEvent>,
+    queue_wait: u64,
+    started_at: u64,
+) {
+    let mut wl_span = span("service", "archive_workload")
+        .arg("tenant", tenant.tag as u64)
+        .arg("workload", id)
+        .arg("steps", request.end.saturating_sub(request.start) as u64)
+        .arg("queue_ns", queue_wait);
+
+    let meter = make_meter(shared, tenant, store.cache());
+    let mut session: ArchiveSession = match &meter {
+        Some(m) => store.session_over(Arc::clone(m) as Arc<dyn ChunkSource>),
+        None => store.session(),
+    };
+    let sim_nanos = |m: &Option<Arc<MeterSource>>| m.as_ref().map_or(0, |m| m.nanos());
+
+    // Budget gate: price the whole step-spanning plan (chain prefix +
+    // output window) before any I/O.
+    let reserved = match plan_archive_bytes(&session, &request, tenant) {
+        Ok(reserved) => reserved,
+        Err(error) => {
+            tenant.metrics.failures.incr();
+            let _ = events.send(ServiceEvent::WorkloadFailed { request: 0, error });
+            drop(wl_span);
+            return;
+        }
+    };
+
+    // Both callbacks index events by the output step's position in the
+    // window; a Cell lets the stream callback read it while the step
+    // callback owns the accumulators.
+    let emitted = std::cell::Cell::new(0usize);
+    let mut steps = Vec::new();
+    let mut checksum = 0u64;
+    let outcome = session.retrieve_steps_streaming_events(
+        &request,
+        |event| {
+            let _ = events.send(ServiceEvent::Stream {
+                request: emitted.get(),
+                event,
+            });
+        },
+        |s| {
+            let step = ClientStep {
+                bytes_this_request: s.bytes_step,
+                bytes_total: s.bytes_step,
+                error_bound: s.error_bound,
+            };
+            tenant.metrics.requests.incr();
+            // Order-sensitive fold: swapping or dropping a step changes the
+            // digest, so a client can verify the whole sweep end to end.
+            checksum = checksum
+                .rotate_left(17)
+                .wrapping_add(field_checksum(s.data.as_slice()));
+            let _ = events.send(ServiceEvent::RequestDone {
+                request: emitted.get(),
+                step,
+                sim_nanos: sim_nanos(&meter),
+            });
+            emitted.set(emitted.get() + 1);
+            steps.push(step);
+        },
+    );
+    match outcome {
+        Ok(out) => {
+            let sim = sim_nanos(&meter);
+            let latency = if shared.config.cost_model.is_some() && meter.is_some() {
+                sim
+            } else {
+                now_nanos().saturating_sub(started_at)
+            };
+            // Running totals: make bytes_total cumulative across the sweep,
+            // mirroring the per-request container semantics.
+            let mut total = 0usize;
+            for s in &mut steps {
+                total += s.bytes_this_request;
+                s.bytes_total = total;
+            }
+            tenant.metrics.workloads.incr();
+            tenant.metrics.latency_ns.record(latency);
+            crate::obs::metrics().workload_ns.record(latency);
+            wl_span.add_arg("latency_ns", latency);
+            wl_span.add_arg("bytes", out.bytes_this_request as u64);
+            let _ = events.send(ServiceEvent::WorkloadDone {
+                outcome: ClientOutcome { steps, checksum },
+                sim_nanos: sim,
+            });
+        }
+        Err(e) => {
+            tenant.release_reservation(reserved);
+            tenant.metrics.failures.incr();
+            let _ = events.send(ServiceEvent::WorkloadFailed {
+                request: steps.len(),
+                error: ServiceError::Retrieval(e),
+            });
+        }
+    }
+    drop(wl_span);
 }
 
 /// Price `request` and reserve the bytes against the tenant's budget.
@@ -850,6 +1100,23 @@ fn run_job(shared: &Shared, job: Job) {
 fn plan_bytes(
     session: &RetrievalSession,
     request: RetrievalRequest,
+    tenant: &TenantState,
+) -> Result<u64, ServiceError> {
+    if tenant.config.byte_budget.is_none() {
+        return Ok(0);
+    }
+    let need = session
+        .plan_ranges(request)
+        .map_err(ServiceError::Retrieval)?
+        .payload_bytes() as u64;
+    tenant.try_reserve(need)?;
+    Ok(need)
+}
+
+/// Archive flavor of [`plan_bytes`]: price the full step-spanning plan.
+fn plan_archive_bytes(
+    session: &ArchiveSession,
+    request: &ArchiveRequest,
     tenant: &TenantState,
 ) -> Result<u64, ServiceError> {
     if tenant.config.byte_budget.is_none() {

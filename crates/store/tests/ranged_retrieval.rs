@@ -73,6 +73,7 @@ fn session_streams_reconstruction_events_in_cascade_order() {
         .retrieve_streaming_events(RetrievalRequest::Full, |event| match event {
             StreamEvent::Region(_) => regions += 1,
             StreamEvent::LevelReconstructed(p) => passes.push(p),
+            StreamEvent::StepReconstructed(_) => unreachable!("not an archive retrieval"),
         })
         .unwrap();
 
@@ -97,6 +98,7 @@ fn session_streams_reconstruction_events_in_cascade_order() {
         .retrieve_streaming_events(RetrievalRequest::Full, |event| match event {
             StreamEvent::Region(_) => order.push(0),
             StreamEvent::LevelReconstructed(_) => order.push(1),
+            StreamEvent::StepReconstructed(_) => unreachable!("not an archive retrieval"),
         })
         .unwrap();
     let last_region = order.iter().rposition(|&e| e == 0).unwrap();

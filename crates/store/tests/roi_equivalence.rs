@@ -108,6 +108,7 @@ fn check_roi(
                 .retrieve_roi_streaming(bounds, request, |e| match e {
                     StreamEvent::Region(_) => regions += 1,
                     StreamEvent::LevelReconstructed(_) => levels += 1,
+                    StreamEvent::StepReconstructed(_) => unreachable!("not an archive retrieval"),
                 })
                 .unwrap();
             assert!(levels > 0, "streaming ROI must report cascade progress");

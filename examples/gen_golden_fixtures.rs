@@ -10,7 +10,7 @@
 //! (removed when the format moved to v2) and can no longer be regenerated;
 //! this tool refuses to overwrite it.
 
-use ipcomp_suite::core::{compress, Config};
+use ipcomp_suite::core::{compress, ArchiveBuilder, ArchiveConfig, Config};
 use ipcomp_suite::tensor::{ArrayD, Shape};
 
 /// Deterministic smooth-ish field: exact dyadic values on a 20×16×12 grid.
@@ -26,6 +26,31 @@ fn golden_field() -> ArrayD<f64> {
 
 /// Absolute error bound used by every fixture: 2^-10, exactly representable.
 const GOLDEN_EB: f64 = 0.0009765625;
+
+/// The archive fixture's timesteps: the golden field plus a small dyadic
+/// per-step drift, so residual payloads are exact dyadic values too.
+fn golden_archive_fields() -> Vec<ArrayD<f64>> {
+    let shape = Shape::d3(20, 16, 12);
+    (0..4)
+        .map(|t| {
+            ArrayD::from_fn(shape.clone(), |c| {
+                let (x, y, z) = (c[0] as i64, c[1] as i64, c[2] as i64);
+                let a = ((x * x * 3 + y * 7 + z * 11) % 257 - 128) as f64 / 32.0;
+                let b = ((x * 5 + y * y * 2 + z * z * 13) % 127 - 63) as f64 / 64.0;
+                let drift = ((x * 2 + y * 3 + z * 5 + 17 * t as i64) % 61 - 30) as f64 / 256.0;
+                a + b * 0.5 + drift * t as f64
+            })
+        })
+        .collect()
+}
+
+/// The archive fixture's knobs: keyframes every 2 steps, reference bound
+/// 2^-6, finest bound 2^-10 — all exactly representable.
+fn golden_archive_config() -> ArchiveConfig {
+    let mut config = ArchiveConfig::new(GOLDEN_EB, 0.015625);
+    config.keyframe_interval = 2;
+    config
+}
 
 fn main() {
     let field = golden_field();
@@ -55,4 +80,19 @@ fn main() {
     }
     std::fs::write(dir.join("expected_values.bin"), &value_bytes).unwrap();
     println!("expected_values.bin: {} bytes", value_bytes.len());
+
+    // Version-4 time-series archive: 4 steps of the drifting golden field,
+    // keyframes every 2 steps, residuals against the 2^-6 reference
+    // reconstruction. Pins the v4 framing (header, directory, embedded
+    // per-step containers) byte for byte.
+    let fields = golden_archive_fields();
+    let config = golden_archive_config();
+    let mut builder =
+        ArchiveBuilder::new(vec!["golden".into()], fields[0].shape().clone(), config).unwrap();
+    for f in &fields {
+        builder.push_step(std::slice::from_ref(f)).unwrap();
+    }
+    let archive = builder.finish().unwrap();
+    std::fs::write(dir.join("container_v4.bin"), &archive).unwrap();
+    println!("container_v4.bin: {} bytes", archive.len());
 }

@@ -13,13 +13,23 @@
 //!   the wild.
 //! * `expected_values.bin` — the bit-exact `f64` reconstruction all of the
 //!   containers above must decode to.
+//! * `container_v4.bin` — output of the version-4 time-series archive writer
+//!   (4 drifting steps, keyframes every 2, residuals against the 2^-6
+//!   reference). Re-encoding the deterministic step fields must reproduce it
+//!   byte for byte, pinning the v4 framing alongside the v1–v3 layouts.
 //!
 //! The golden field uses only exact dyadic arithmetic (integer products
 //! scaled by powers of two), so every byte is reproducible across platforms.
 //! Regenerate the v2 fixtures with `cargo run --example gen_golden_fixtures`
 //! after an *intentional* format bump, and commit them with it.
 
-use ipcomp_suite::core::{compress, Compressed, Config, ProgressiveDecoder, RetrievalRequest};
+use std::sync::Arc;
+
+use ipcomp_suite::core::{
+    composition_reference, compress, ArchiveBuilder, ArchiveConfig, ArchiveMap, ArchiveReader,
+    ArchiveRequest, Compressed, Config, MemorySource, ProgressiveDecoder, RetrievalRequest,
+    StepKind,
+};
 use ipcomp_suite::tensor::{ArrayD, Shape};
 
 /// Deterministic smooth-ish field: exact dyadic values on a 20×16×12 grid.
@@ -141,6 +151,110 @@ fn v1_and_v2_agree_under_progressive_retrieval() {
             r2.data.as_slice(),
             "divergence at {request:?}"
         );
+    }
+}
+
+/// The archive fixture's timesteps: the golden field plus a small dyadic
+/// per-step drift. Must match `examples/gen_golden_fixtures.rs` exactly.
+fn golden_archive_fields() -> Vec<ArrayD<f64>> {
+    let shape = Shape::d3(20, 16, 12);
+    (0..4)
+        .map(|t| {
+            ArrayD::from_fn(shape.clone(), |c| {
+                let (x, y, z) = (c[0] as i64, c[1] as i64, c[2] as i64);
+                let a = ((x * x * 3 + y * 7 + z * 11) % 257 - 128) as f64 / 32.0;
+                let b = ((x * 5 + y * y * 2 + z * z * 13) % 127 - 63) as f64 / 64.0;
+                let drift = ((x * 2 + y * 3 + z * 5 + 17 * t as i64) % 61 - 30) as f64 / 256.0;
+                a + b * 0.5 + drift * t as f64
+            })
+        })
+        .collect()
+}
+
+fn golden_archive_config() -> ArchiveConfig {
+    let mut config = ArchiveConfig::new(GOLDEN_EB, 0.015625);
+    config.keyframe_interval = 2;
+    config
+}
+
+/// The current archive writer must reproduce the committed v4 fixture byte
+/// for byte — framing header, directory, and every embedded container.
+#[test]
+fn v4_archive_encode_is_byte_exact() {
+    let fields = golden_archive_fields();
+    let mut builder = ArchiveBuilder::new(
+        vec!["golden".into()],
+        fields[0].shape().clone(),
+        golden_archive_config(),
+    )
+    .unwrap();
+    for f in &fields {
+        builder.push_step(std::slice::from_ref(f)).unwrap();
+    }
+    let bytes = builder.finish().unwrap();
+    let golden = fixture("container_v4.bin");
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "serialized size changed — archive format drifted"
+    );
+    assert!(
+        bytes == golden,
+        "serialized bytes changed — archive format drifted"
+    );
+    // And the fixture is a version-4 archive.
+    assert_eq!(&golden[..4], b"IPCP");
+    assert_eq!(&golden[4..8], &4u32.to_le_bytes());
+}
+
+/// The committed v4 fixture parses, exposes the expected framing, embeds a
+/// keyframe container byte-identical to the standalone writer's output, and
+/// every step decodes bit-identically to the independent-encoding
+/// composition.
+#[test]
+fn v4_fixture_decodes_to_independent_composition() {
+    let golden = fixture("container_v4.bin");
+    let fields = golden_archive_fields();
+    let config = golden_archive_config();
+
+    let source: Arc<dyn ipcomp_suite::core::ChunkSource> =
+        Arc::new(MemorySource::new(golden.clone()));
+    let map = ArchiveMap::open(&source).unwrap();
+    assert_eq!(map.num_steps(), 4);
+    assert_eq!(map.variables(), ["golden"]);
+    assert_eq!(map.keyframe_interval(), 2);
+    assert_eq!(map.dims(), &[20, 16, 12]);
+    for (step, kind) in [
+        (0, StepKind::Keyframe),
+        (1, StepKind::Residual),
+        (2, StepKind::Keyframe),
+        (3, StepKind::Residual),
+    ] {
+        assert_eq!(map.entry(step, 0).kind, kind);
+    }
+    // A keyframe's embedded container is exactly the standalone writer's
+    // output for the same field.
+    let e = map.entry(2, 0);
+    let standalone = compress(&fields[2], GOLDEN_EB, &Config::default())
+        .unwrap()
+        .to_bytes();
+    assert_eq!(
+        &golden[e.offset as usize..(e.offset + e.len) as usize],
+        &standalone[..],
+        "embedded keyframe container drifted from the standalone writer"
+    );
+
+    let request = RetrievalRequest::ErrorBound(GOLDEN_EB);
+    let reference = composition_reference(&fields, &config, request).unwrap();
+    let mut reader = ArchiveReader::open(source).unwrap();
+    let steps = reader
+        .retrieve_steps(&ArchiveRequest::steps(0, 0..4, request))
+        .unwrap();
+    for (s, out) in steps.iter().enumerate() {
+        assert_eq!(out.data.as_slice(), reference[s].as_slice(), "step {s}");
+        for (a, b) in fields[s].as_slice().iter().zip(out.data.as_slice()) {
+            assert!((a - b).abs() <= GOLDEN_EB * (1.0 + 1e-12));
+        }
     }
 }
 
